@@ -1,0 +1,74 @@
+// Ablation Abl-4: attack-suite composition.
+//
+// How does the measured minimum privacy guarantee rho change as the
+// adversary gets stronger? Reports rho for a random and an optimized
+// perturbation under: naive only; naive+ICA; naive+ICA+known-input with
+// m = 2/4/8/16 known records. Expectation: rho is non-increasing as attacks
+// are added (min over a superset), the known-input attack dominates once m
+// is moderate, and optimization helps most against the weaker suites.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "optimize/optimizer.hpp"
+
+int main() {
+  using namespace sap;
+  const std::string dataset = "Diabetes";
+  const double sigma = 0.1;
+
+  std::printf("== Ablation: attack-suite composition vs measured rho (%s, sigma=%.2f) ==\n\n",
+              dataset.c_str(), sigma);
+
+  const data::Dataset pool = bench::normalized_uci(dataset, 9);
+  const linalg::Matrix x = pool.features_T();
+
+  struct SuiteSpec {
+    std::string label;
+    privacy::AttackSuiteOptions attacks;
+  };
+  std::vector<SuiteSpec> suites{
+      {"naive only", {.naive = true, .ica = false, .known_inputs = 0}},
+      {"naive+ICA", {.naive = true, .ica = true, .known_inputs = 0}},
+      {"naive+ICA+known(2)", {.naive = true, .ica = true, .known_inputs = 2}},
+      {"naive+ICA+known(4)", {.naive = true, .ica = true, .known_inputs = 4}},
+      {"naive+ICA+known(8)", {.naive = true, .ica = true, .known_inputs = 8}},
+      {"naive+ICA+known(16)", {.naive = true, .ica = true, .known_inputs = 16}},
+  };
+
+  // Fixed perturbations so rows are comparable: a pool of random draws
+  // (averaged — a single draw is too noisy to compare against) and one
+  // perturbation optimized against the strongest suite.
+  rng::Engine eng(43);
+  std::vector<perturb::GeometricPerturbation> random_pool;
+  for (int i = 0; i < 6; ++i)
+    random_pool.push_back(perturb::GeometricPerturbation::random(x.rows(), sigma, eng));
+  opt::OptimizerOptions oopts;
+  oopts.candidates = 16;
+  oopts.refine_steps = 8;
+  oopts.noise_sigma = sigma;
+  oopts.max_eval_records = 140;
+  oopts.attacks = suites.back().attacks;
+  const auto g_optimized = opt::optimize_perturbation(x, oopts, eng).best;
+
+  Table table({"attack suite", "rho(random G, mean of 6)", "rho(optimized G)"});
+  const int kRepeats = 4;  // average over eval subsample/noise randomness
+  for (const auto& suite : suites) {
+    double rho_rand = 0.0, rho_opt = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+      for (const auto& g : random_pool)
+        rho_rand += opt::evaluate_perturbation(x, g, suite.attacks, 140, eng);
+      rho_opt += opt::evaluate_perturbation(x, g_optimized, suite.attacks, 140, eng);
+    }
+    table.add_row({suite.label,
+                   Table::num(rho_rand / (kRepeats * static_cast<double>(random_pool.size()))),
+                   Table::num(rho_opt / kRepeats)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nexpected: rho non-increasing down the table; the known-input attack\n"
+              "bites as m grows; optimized G above the random-G mean on the suite it\n"
+              "was optimized against (the bottom row).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation Abl-5: the rotation-invariance boundary.
+//
+// The paper's accuracy-preservation claim covers classifiers invariant to
+// distance-preserving transforms. This bench measures accuracy deviation
+// under a PURE rotation+translation (sigma = 0, so any deviation is due to
+// the model family, not noise) for:
+//   KNN          — exactly invariant (distances unchanged),
+//   SVM (RBF)    — invariant up to SMO randomness (kernel uses distances),
+//   perceptron   — invariant in expressiveness (linear separability is
+//                  rotation-invariant; training dynamics nearly so),
+//   Gaussian NB  — NOT invariant: axis-aligned independence is destroyed.
+//
+// Expectation: first three rows near zero; Naive Bayes degrades visibly on
+// datasets with anisotropic class structure.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "classify/knn.hpp"
+#include "classify/naive_bayes.hpp"
+#include "classify/perceptron.hpp"
+#include "classify/svm.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+/// Zero-mean classes separated only by axis-aligned variances — the
+/// construction on which rotation provably destroys Naive Bayes (after a
+/// 45-degree rotation both classes have identical marginal moments).
+sap::data::Dataset variance_separated(std::uint64_t seed) {
+  using namespace sap;
+  rng::Engine eng(seed);
+  const std::size_t n = 250;
+  linalg::Matrix f(2 * n, 2);
+  std::vector<int> labels(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const bool pos = i >= n;
+    f(i, 0) = eng.normal(0.0, pos ? 3.0 : 0.3);
+    f(i, 1) = eng.normal(0.0, pos ? 0.3 : 3.0);
+    labels[i] = pos;
+  }
+  return {"VarSep", std::move(f), std::move(labels)};
+}
+
+sap::data::Dataset bench_dataset(const std::string& name, std::uint64_t seed) {
+  if (name == "VarSep") return variance_separated(seed);
+  return sap::bench::normalized_uci(name, seed);
+}
+
+template <typename ClassifierT>
+double rotation_deviation(const std::string& dataset, std::uint64_t seed) {
+  using namespace sap;
+  const data::Dataset pool = bench_dataset(dataset, seed);
+  rng::Engine eng(seed * 131 + 7);
+  const auto split = data::stratified_split(pool, 0.7, eng);
+
+  ClassifierT original;
+  original.fit(split.train);
+  const double acc_orig = ml::accuracy(original, split.test);
+
+  const auto g = perturb::GeometricPerturbation::random(pool.dims(), 0.0, eng);
+  const data::Dataset train_r(pool.name(),
+                              g.apply_noiseless(split.train.features_T()).transpose(),
+                              split.train.labels());
+  const data::Dataset test_r(pool.name(),
+                             g.apply_noiseless(split.test.features_T()).transpose(),
+                             split.test.labels());
+  ClassifierT rotated;
+  rotated.fit(train_r);
+  return (ml::accuracy(rotated, test_r) - acc_orig) * 100.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sap;
+  const std::vector<std::string> datasets{"Iris", "Wine", "Diabetes", "Ionosphere",
+                                          "VarSep"};
+  const std::vector<std::uint64_t> seeds{1, 2, 3};
+
+  std::printf("== Ablation: accuracy deviation under pure rotation (sigma = 0) ==\n");
+  std::printf("(percentage points; rows near zero = rotation-invariant family)\n\n");
+
+  std::vector<std::string> header{"classifier"};
+  for (const auto& d : datasets) header.push_back(d);
+  Table table(header);
+
+  auto add_row = [&](const char* label, auto measure) {
+    std::vector<std::string> row{label};
+    for (const auto& dataset : datasets) {
+      double dev = 0.0;
+      for (const auto seed : seeds) dev += measure(dataset, seed);
+      row.push_back(Table::num(dev / static_cast<double>(seeds.size()), 2));
+    }
+    table.add_row(std::move(row));
+  };
+
+  add_row("KNN(5)", [](const std::string& d, std::uint64_t s) {
+    return rotation_deviation<ml::Knn>(d, s);
+  });
+  add_row("SVM(RBF)", [](const std::string& d, std::uint64_t s) {
+    return rotation_deviation<ml::Svm>(d, s);
+  });
+  add_row("perceptron", [](const std::string& d, std::uint64_t s) {
+    return rotation_deviation<ml::Perceptron>(d, s);
+  });
+  add_row("GaussianNB", [](const std::string& d, std::uint64_t s) {
+    return rotation_deviation<ml::GaussianNaiveBayes>(d, s);
+  });
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nexpected: KNN exactly 0 everywhere; SVM/perceptron within noise of 0;\n"
+              "GaussianNB collapses on VarSep (variance-separated classes, where the\n"
+              "45-degree marginal argument applies) — the boundary of the paper's\n"
+              "invariance claim (§1 'many popular classifiers ... are invariant').\n"
+              "On mean-separated UCI-style data NB survives rotation because its\n"
+              "induced boundary is near-linear, which is itself rotation-invariant.\n");
+  return 0;
+}

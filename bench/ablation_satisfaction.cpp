@@ -1,0 +1,65 @@
+// Ablation Abl-7: measured satisfaction levels s_i in live protocol runs.
+//
+// Figure 4's theory asks: how many parties are needed so a desired
+// satisfaction s0 is affordable? This bench measures the other side —
+// what satisfaction the unified target space actually delivers: for each
+// dataset and party count, the mean and min of s_i = rho^G_i / rho_i across
+// parties, and the fraction of parties meeting s0 in {0.90, 0.95}.
+//
+// Expectation: s_i concentrates near (often above) 0.9. A random target
+// space is "as good as" a locally optimized one for most parties because
+// optimized rho distributions are tight near the bound (Figure 2), so the
+// unified space sacrifices little — the paper's core trade-off argument.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace sap;
+  const std::vector<std::string> datasets{"Diabetes", "Votes", "Wine"};
+
+  std::printf("== Ablation: measured satisfaction s_i = rho^G_i / rho_i in SAP runs ==\n\n");
+
+  Stopwatch sw;
+  Table table({"dataset", "k", "mean s_i", "min s_i", ">=0.90", ">=0.95"});
+  for (const auto& dataset : datasets) {
+    for (const std::size_t k : {4, 7, 10}) {
+      const data::Dataset pool = bench::normalized_uci(dataset, 13);
+      rng::Engine eng(500 + k);
+      data::PartitionOptions popts;
+      auto parts = data::partition(pool, k, popts, eng);
+
+      auto opts = bench::bench_sap_options();
+      opts.compute_satisfaction = true;
+      opts.bound_runs = 2;
+      opts.seed = 600 + k;
+      proto::SapProtocol protocol(std::move(parts), opts);
+      const auto result = protocol.run();
+
+      double mean_s = 0.0, min_s = 1e300;
+      std::size_t ge90 = 0, ge95 = 0;
+      for (const auto& p : result.parties) {
+        mean_s += p.satisfaction;
+        min_s = std::min(min_s, p.satisfaction);
+        ge90 += (p.satisfaction >= 0.90);
+        ge95 += (p.satisfaction >= 0.95);
+      }
+      mean_s /= static_cast<double>(result.parties.size());
+      table.add_row({dataset, std::to_string(k), Table::num(mean_s), Table::num(min_s),
+                     Table::num(static_cast<double>(ge90) / static_cast<double>(k), 2),
+                     Table::num(static_cast<double>(ge95) / static_cast<double>(k), 2)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\nexpected: mean s_i in the 0.75-0.95 band across datasets and k — the\n"
+              "random unified space costs some local privacy (s_i < 1), but eq. (2)'s\n"
+              "collaboration term also shrinks by 1/(k-1), which is the trade the\n"
+              "protocol sells. Figure 4 then answers how large k must be for a\n"
+              "desired s0 given these rates.  elapsed=%.1fs\n",
+              sw.seconds());
+  return 0;
+}

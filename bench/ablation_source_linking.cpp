@@ -1,0 +1,67 @@
+// Ablation Abl-6: how real is pi = 1/(k-1)?
+//
+// The paper's identifiability bound treats shards as exchangeable. But class
+// labels travel in the clear, so a miner that knows per-provider class
+// profiles (public case-mix statistics) can fingerprint shards. This bench
+// runs the source-linking adversary against Uniform and Class-skewed
+// partitions for growing k and reports linking accuracy vs the 1/(k-1)
+// baseline.
+//
+// Expectation: Uniform partitioning stays near the baseline (shards look
+// alike); Class-skewed partitioning is dramatically more linkable — a real
+// caveat for deployments, and an argument for the Uniform regime.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "protocol/adversary.hpp"
+
+int main() {
+  using namespace sap;
+  const std::string dataset = "Credit_g";
+  const int kRepeats = 10;
+
+  std::printf("== Ablation: source-linking adversary vs the 1/(k-1) baseline (%s) ==\n\n",
+              dataset.c_str());
+
+  Table table({"k", "baseline 1/(k-1)", "linking acc (Uniform)", "linking acc (Class)"});
+  for (std::size_t k = 4; k <= 10; k += 2) {
+    double acc_uniform = 0.0, acc_class = 0.0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const data::Dataset pool = bench::normalized_uci(dataset, 20 + rep);
+      const auto pooled_classes = pool.classes();
+      for (const auto kind : {data::PartitionKind::kUniform, data::PartitionKind::kClass}) {
+        rng::Engine eng(100 * k + static_cast<std::uint64_t>(rep));
+        data::PartitionOptions popts;
+        popts.kind = kind;
+        const auto shards = data::partition(pool, k, popts, eng);
+        // Reference-sample design: the miner observes one half of each
+        // shard; the adversary's public profiles come from the other half
+        // (simulating previously published case-mix statistics).
+        std::vector<data::Dataset> observed, reference;
+        for (const auto& shard : shards) {
+          auto halves = data::train_test_split(shard, 0.5, eng);
+          observed.push_back(std::move(halves.train));
+          reference.push_back(std::move(halves.test));
+        }
+        const auto observations = proto::observe_shards(observed, pooled_classes);
+        const auto profiles = proto::provider_profiles(reference, pooled_classes);
+        const auto result = proto::link_sources(observations, profiles);
+        (kind == data::PartitionKind::kUniform ? acc_uniform : acc_class) +=
+            result.accuracy;
+      }
+    }
+    table.add_row({std::to_string(k), Table::num(1.0 / static_cast<double>(k - 1)),
+                   Table::num(acc_uniform / kRepeats), Table::num(acc_class / kRepeats)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nnote: profiles come from a held-out half of each shard (published\n"
+      "case-mix statistics), never from the observed shard itself. Uniform\n"
+      "shards all look like the pool, so linkage stays near the 1/(k-1)\n"
+      "baseline; Class-skewed shards carry distinctive fingerprints and are\n"
+      "linkable far above it. Deployments wanting the paper's pi should keep\n"
+      "shard statistics near-uniform or strip labels before the exchange.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each fig*_ binary prints the series of one paper figure as an aligned
+// text table (sap::Table); EXPERIMENTS.md quotes these outputs verbatim.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "data/dataset.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "perturb/geometric.hpp"
+#include "protocol/sap.hpp"
+
+namespace sap::bench {
+
+/// Normalized copy of a synthetic UCI dataset (min-max to [0,1], as the
+/// paper's pipeline requires before perturbation).
+inline data::Dataset normalized_uci(const std::string& name, std::uint64_t seed) {
+  const data::Dataset raw = data::make_uci(name, seed);
+  data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  return {raw.name(), norm.transform(raw.features()), raw.labels()};
+}
+
+/// Transform a normalized N x d dataset into a SAP target space (the
+/// provider-side step that lets parties use the miner's model).
+inline data::Dataset to_target_space(const data::Dataset& ds,
+                                     const perturb::GeometricPerturbation& g_t) {
+  return {ds.name(), g_t.apply_noiseless(ds.features_T()).transpose(), ds.labels()};
+}
+
+/// Figure 5/6 measurement: accuracy deviation (percentage points) of a
+/// classifier trained on the SAP-unified data versus the original data.
+/// Returns {baseline accuracy, deviation in points}.
+template <typename ClassifierT>
+std::pair<double, double> accuracy_deviation(const std::string& dataset,
+                                             data::PartitionKind kind, std::size_t parties,
+                                             std::uint64_t seed,
+                                             const proto::SapOptions& sap_opts) {
+  const data::Dataset pool = normalized_uci(dataset, seed);
+  rng::Engine eng(seed * 1000003 + 17);
+  const auto split = data::stratified_split(pool, 0.7, eng);
+
+  data::PartitionOptions popts;
+  popts.kind = kind;
+  auto parts = data::partition(split.train, parties, popts, eng);
+
+  auto opts = sap_opts;
+  opts.seed = seed ^ 0xF16;
+  proto::SapProtocol protocol(std::move(parts), opts);
+  const auto result = protocol.run();
+
+  ClassifierT baseline;
+  baseline.fit(split.train);
+  const double acc_base = ml::accuracy(baseline, split.test);
+
+  ClassifierT unified;
+  unified.fit(result.unified);
+  const data::Dataset test_t = to_target_space(split.test, result.target_space);
+  const double acc_sap = ml::accuracy(unified, test_t);
+
+  return {acc_base, (acc_sap - acc_base) * 100.0};
+}
+
+/// SAP options tuned for the figure benches: local optimization on, modest
+/// optimizer budget, satisfaction accounting off (figures 5/6 measure
+/// accuracy only).
+inline proto::SapOptions bench_sap_options() {
+  proto::SapOptions o;
+  o.optimizer.candidates = 6;
+  o.optimizer.refine_steps = 3;
+  o.optimizer.max_eval_records = 120;
+  o.optimizer.attacks.naive = true;
+  o.optimizer.attacks.ica = false;  // rho accounting is not measured here
+  o.optimizer.attacks.known_inputs = 4;
+  o.bound_runs = 1;
+  o.compute_satisfaction = false;
+  return o;
+}
+
+}  // namespace sap::bench

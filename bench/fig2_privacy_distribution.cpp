@@ -1,0 +1,98 @@
+// Figure 2 reproduction: distribution of the minimum privacy guarantee rho
+// for RANDOM geometric perturbations versus OPTIMIZED ones.
+//
+// The paper's claim (illustrated, not tabulated): the optimizer shifts the
+// rho distribution to the right — optimized perturbations give a higher
+// privacy guarantee on average, concentrating near the empirical bound b.
+//
+// Output: a text histogram of both distributions plus summary stats.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "optimize/optimizer.hpp"
+
+int main() {
+  using namespace sap;
+  const std::string dataset = "Diabetes";
+  const std::size_t kRandomDraws = 300;
+  const std::size_t kOptimizedRuns = 100;
+
+  std::printf("== Figure 2: privacy-guarantee distribution, dataset=%s ==\n",
+              dataset.c_str());
+  std::printf("(random: %zu draws; optimized: %zu runs of the randomized optimizer)\n\n",
+              kRandomDraws, kOptimizedRuns);
+
+  const data::Dataset pool = bench::normalized_uci(dataset, 2);
+  const linalg::Matrix x = pool.features_T();
+
+  opt::OptimizerOptions opts;
+  opts.candidates = 8;
+  opts.refine_steps = 4;
+  opts.noise_sigma = 0.1;
+  opts.max_eval_records = 120;
+  opts.attacks = {.naive = true, .ica = false, .known_inputs = 4};
+
+  rng::Engine eng(42);
+  std::vector<double> random_rhos;
+  while (random_rhos.size() < kRandomDraws) {
+    const auto g = perturb::GeometricPerturbation::random(x.rows(), opts.noise_sigma, eng);
+    random_rhos.push_back(
+        opt::evaluate_perturbation(x, g, opts.attacks, opts.max_eval_records, eng));
+  }
+
+  std::vector<double> optimized_rhos;
+  for (std::size_t run = 0; run < kOptimizedRuns; ++run)
+    optimized_rhos.push_back(opt::optimize_perturbation(x, opts, eng).best_rho);
+
+  auto stats = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const double mean =
+        std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+    return std::tuple{v.front(), mean, v[v.size() / 2], v.back()};
+  };
+  const auto [rmin, rmean, rmed, rmax] = stats(random_rhos);
+  const auto [omin, omean, omed, omax] = stats(optimized_rhos);
+
+  Table summary({"perturbations", "min", "mean", "median", "max (b-hat)"});
+  summary.add_row({"random", Table::num(rmin), Table::num(rmean), Table::num(rmed),
+                   Table::num(rmax)});
+  summary.add_row({"optimized", Table::num(omin), Table::num(omean), Table::num(omed),
+                   Table::num(omax)});
+  std::fputs(summary.str().c_str(), stdout);
+
+  // Histogram over the combined range.
+  const double lo = std::min(rmin, omin);
+  const double hi = std::max(rmax, omax) + 1e-9;
+  const int kBuckets = 12;
+  auto histogram = [&](const std::vector<double>& v) {
+    std::vector<int> h(kBuckets, 0);
+    for (double r : v) {
+      int b = static_cast<int>((r - lo) / (hi - lo) * kBuckets);
+      b = std::clamp(b, 0, kBuckets - 1);
+      ++h[b];
+    }
+    return h;
+  };
+  const auto hr = histogram(random_rhos);
+  const auto ho = histogram(optimized_rhos);
+
+  std::printf("\nrho bucket        random     optimized\n");
+  std::printf("---------------------------------------\n");
+  for (int b = 0; b < kBuckets; ++b) {
+    const double b_lo = lo + (hi - lo) * b / kBuckets;
+    const double b_hi = lo + (hi - lo) * (b + 1) / kBuckets;
+    std::string bar_r(static_cast<std::size_t>(hr[b] * 40 / std::max(1, static_cast<int>(random_rhos.size()))), '#');
+    std::string bar_o(static_cast<std::size_t>(ho[b] * 40 / std::max(1, static_cast<int>(optimized_rhos.size()))), '*');
+    std::printf("[%.3f,%.3f)  %4d %-12s %4d %s\n", b_lo, b_hi, hr[b], bar_r.c_str(), ho[b],
+                bar_o.c_str());
+  }
+  std::printf("\npaper-shape check: optimized mean (%.3f) > random mean (%.3f): %s\n",
+              omean, rmean, omean > rmean ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 4 reproduction: lower bound on the number of parties versus the
+// desired satisfaction level s0, for the three optimality rates the paper
+// reads off Figure 3 (Diabetes 0.95, Shuttle 0.89, Votes 0.98).
+//
+// The brief announcement gives the risk formula (eq. 2) but not the exact
+// acceptance threshold behind the plot, so both defensible criteria are
+// printed (see DESIGN.md §3):
+//   primary  — residual tolerance: (1 - s0 r)/(k-1) <= 1 - s0,
+//   alt      — no extra risk:      (1 - s0 r)/(k-1) <= 1 - r.
+// The primary criterion reproduces the figure's qualitative shape: min-k
+// rises steeply as s0 -> 1, and the lowest-opt-rate dataset (Shuttle) needs
+// the most parties.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "optimize/optimizer.hpp"
+#include "protocol/risk.hpp"
+
+int main() {
+  using namespace sap;
+  struct Entry {
+    std::string dataset;
+    double rate;
+  };
+  const std::vector<Entry> paper_rates{
+      {"Diabetes", 0.95}, {"Shuttle", 0.89}, {"Votes", 0.98}};
+
+  std::printf("== Figure 4: minimum number of parties vs satisfaction level s0 ==\n\n");
+
+  auto sweep = [&](proto::MinPartiesCriterion criterion, const char* label) {
+    std::printf("criterion: %s\n", label);
+    std::vector<std::string> header{"s0"};
+    for (const auto& e : paper_rates)
+      header.push_back(e.dataset + " (r=" + Table::num(e.rate, 2) + ")");
+    Table table(header);
+    for (double s0 = 0.90; s0 < 0.9951; s0 += 0.01) {
+      std::vector<std::string> row{Table::num(s0, 2)};
+      for (const auto& e : paper_rates) {
+        const auto k = proto::min_parties(s0, e.rate, criterion, 500);
+        row.push_back(k > 500 ? ">500" : std::to_string(k));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\n");
+  };
+
+  sweep(proto::MinPartiesCriterion::kResidualTolerance,
+        "residual tolerance (primary; (1 - s0 r)/(k-1) <= 1 - s0)");
+  sweep(proto::MinPartiesCriterion::kNoExtraRisk,
+        "no extra risk (alternative; (1 - s0 r)/(k-1) <= 1 - r)");
+
+  // Ground the curve in *measured* optimality rates of our synthetic stand-ins
+  // (ties Figure 4 to Figure 3's machinery).
+  std::printf("measured optimality rates of the synthetic stand-ins (12 runs/dataset):\n");
+  opt::OptimizerOptions opts;
+  opts.candidates = 6;
+  opts.refine_steps = 3;
+  opts.noise_sigma = 0.1;
+  opts.max_eval_records = 120;
+  opts.attacks = {.naive = true, .ica = false, .known_inputs = 4};
+  Table measured({"dataset", "measured rate", "min k @ s0=0.95 (primary)"});
+  for (const auto& e : paper_rates) {
+    const data::Dataset pool = bench::normalized_uci(e.dataset, 4);
+    rng::Engine eng(99);
+    const auto est = opt::estimate_optimality_rate(pool.features_T(), opts, 12, eng);
+    const auto k = proto::min_parties(0.95, est.rate,
+                                      proto::MinPartiesCriterion::kResidualTolerance, 500);
+    measured.add_row({e.dataset, Table::num(est.rate), std::to_string(k)});
+  }
+  std::fputs(measured.str().c_str(), stdout);
+  std::printf("\npaper-shape check: min-k grows as s0 -> 1 and is largest for the\n"
+              "lowest optimality rate (Shuttle 0.89) under the primary criterion.\n");
+  return 0;
+}

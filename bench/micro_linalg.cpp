@@ -1,0 +1,117 @@
+// Micro-benchmarks for the linear-algebra substrate (google-benchmark).
+//
+// These size the cost of the primitives everything else is built from:
+// matmul (perturbation application), QR (random-orthogonal sampling),
+// symmetric eigen (ICA whitening), SVD (Procrustes attack), LU (adaptor
+// algebra checks).
+#include <benchmark/benchmark.h>
+
+#include "linalg/decompose.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/orthogonal.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using sap::linalg::Matrix;
+using sap::rng::Engine;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Engine eng(seed);
+  return Matrix::generate(r, c, [&] { return eng.normal(); });
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    Matrix c = a * b;
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatMul)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity(benchmark::oNCubed);
+
+void BM_MatMulRectangularPerturbShape(benchmark::State& state) {
+  // d x d rotation times d x N data — the exact shape of G(X).
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix r = random_matrix(d, d, 3);
+  const Matrix x = random_matrix(d, 1000, 4);
+  for (auto _ : state) {
+    Matrix y = r * x;
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_MatMulRectangularPerturbShape)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_QrDecompose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 5);
+  for (auto _ : state) {
+    auto f = sap::linalg::qr_decompose(a);
+    benchmark::DoNotOptimize(f.q.data().data());
+  }
+}
+BENCHMARK(BM_QrDecompose)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_RandomOrthogonal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine eng(6);
+  for (auto _ : state) {
+    Matrix q = sap::linalg::random_orthogonal(n, eng);
+    benchmark::DoNotOptimize(q.data().data());
+  }
+}
+BENCHMARK(BM_RandomOrthogonal)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_SymEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix g = random_matrix(n, n, 7);
+  const Matrix a = 0.5 * (g + g.transpose());
+  for (auto _ : state) {
+    auto e = sap::linalg::sym_eigen(a);
+    benchmark::DoNotOptimize(e.values.data());
+  }
+}
+BENCHMARK(BM_SymEigen)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_Svd(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 8);
+  for (auto _ : state) {
+    auto f = sap::linalg::svd(a);
+    benchmark::DoNotOptimize(f.s.data());
+  }
+}
+BENCHMARK(BM_Svd)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a = random_matrix(n, n, 9);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  sap::linalg::Vector b(n, 1.0);
+  for (auto _ : state) {
+    const auto f = sap::linalg::lu_decompose(a);
+    auto x = sap::linalg::lu_solve(f, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_Procrustes(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Engine eng(10);
+  const Matrix r = sap::linalg::random_orthogonal(d, eng);
+  const Matrix src = random_matrix(d, 32, 11);
+  const Matrix dst = r * src;
+  for (auto _ : state) {
+    Matrix r_hat = sap::linalg::procrustes_rotation(src, dst);
+    benchmark::DoNotOptimize(r_hat.data().data());
+  }
+}
+BENCHMARK(BM_Procrustes)->Arg(8)->Arg(16)->Arg(34);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Micro-benchmarks for the perturbation / privacy / protocol hot paths
+// (google-benchmark): perturbation application, adaptor application,
+// FastICA, full attack-suite evaluation, SMO training, and one complete
+// SAP protocol round.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "classify/svm.hpp"
+#include "linalg/orthogonal.hpp"
+#include "optimize/optimizer.hpp"
+#include "perturb/geometric.hpp"
+#include "perturb/space_adaptor.hpp"
+#include "privacy/evaluator.hpp"
+#include "privacy/fastica.hpp"
+
+namespace {
+
+using sap::linalg::Matrix;
+using sap::rng::Engine;
+
+void BM_PerturbApply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine eng(1);
+  const Matrix x = Matrix::generate(16, n, [&] { return eng.uniform(); });
+  const auto g = sap::perturb::GeometricPerturbation::random(16, 0.1, eng);
+  for (auto _ : state) {
+    Matrix y = g.apply(x, eng);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PerturbApply)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_AdaptorApply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine eng(2);
+  const Matrix y = Matrix::generate(16, n, [&] { return eng.uniform(); });
+  const auto g_i = sap::perturb::GeometricPerturbation::random(16, 0.1, eng);
+  const auto g_t = sap::perturb::GeometricPerturbation::random(16, 0.0, eng);
+  const auto a = sap::perturb::SpaceAdaptor::between(g_i, g_t);
+  for (auto _ : state) {
+    Matrix z = a.apply(y);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AdaptorApply)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FastIca(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine eng(3);
+  const Matrix s = Matrix::generate(8, n, [&] { return eng.uniform(); });
+  const Matrix r = sap::linalg::random_orthogonal(8, eng);
+  const Matrix y = r * s;
+  for (auto _ : state) {
+    auto res = sap::privacy::fast_ica(y, {.max_iterations = 100}, eng);
+    benchmark::DoNotOptimize(res.sources.data().data());
+  }
+}
+BENCHMARK(BM_FastIca)->Arg(160)->Arg(500)->Arg(2000);
+
+void BM_AttackSuiteEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine eng(4);
+  const Matrix x = Matrix::generate(8, n, [&] { return eng.uniform(); });
+  const auto g = sap::perturb::GeometricPerturbation::random(8, 0.1, eng);
+  const Matrix y = g.apply(x, eng);
+  const sap::privacy::AttackSuite suite({.naive = true, .ica = true, .known_inputs = 4});
+  for (auto _ : state) {
+    auto report = suite.evaluate(x, y, eng);
+    benchmark::DoNotOptimize(report.rho);
+  }
+}
+BENCHMARK(BM_AttackSuiteEvaluate)->Arg(160)->Arg(500);
+
+void BM_OptimizeRun(benchmark::State& state) {
+  const auto pool = sap::bench::normalized_uci("Diabetes", 12);
+  const Matrix x = pool.features_T();
+  sap::opt::OptimizerOptions opts;
+  opts.candidates = static_cast<std::size_t>(state.range(0));
+  opts.refine_steps = 0;
+  opts.max_eval_records = 120;
+  opts.attacks = {.naive = true, .ica = false, .known_inputs = 4};
+  Engine eng(5);
+  for (auto _ : state) {
+    auto res = sap::opt::optimize_perturbation(x, opts, eng);
+    benchmark::DoNotOptimize(res.best_rho);
+  }
+}
+BENCHMARK(BM_OptimizeRun)->Arg(4)->Arg(16);
+
+void BM_SmoFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Engine eng(6);
+  Matrix x(n, 8);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = i % 2 == 0;
+    for (std::size_t f = 0; f < 8; ++f) x(i, f) = eng.normal(pos ? 1.0 : -1.0, 0.7);
+    y[i] = pos ? 1 : -1;
+  }
+  for (auto _ : state) {
+    sap::ml::BinarySvm svm;
+    svm.fit(x, y);
+    benchmark::DoNotOptimize(svm.support_vector_count());
+  }
+}
+BENCHMARK(BM_SmoFit)->Arg(100)->Arg(400)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_SapProtocolRound(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto pool = sap::bench::normalized_uci("Iris", 13);
+    Engine eng(7);
+    sap::data::PartitionOptions popts;
+    auto parts = sap::data::partition(pool, k, popts, eng);
+    auto opts = sap::proto::SapOptions::fast();
+    opts.compute_satisfaction = false;
+    state.ResumeTiming();
+    sap::proto::SapProtocol protocol(std::move(parts), opts);
+    auto result = protocol.run();
+    benchmark::DoNotOptimize(result.total_bytes);
+  }
+  state.SetLabel("providers=" + std::to_string(k));
+}
+BENCHMARK(BM_SapProtocolRound)->Arg(3)->Arg(6)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Attack resilience: how each adversary breaks (or fails to break) the
+// layers of a geometric perturbation.
+//
+// Walks one dataset through four protection levels and scores each against
+// the three attack models:
+//   A. no perturbation at all,
+//   B. weak rotation (small-angle Givens — barely mixes columns),
+//   C. random rotation + translation, no noise,
+//   D. full optimized geometric perturbation (rotation + translation + noise).
+//
+// The table shows why each ingredient exists: rotation defeats the naive
+// read-off, non-Gaussian structure lets ICA undo rotation alone, and only
+// the noise term blunts the known-input (Procrustes) attack.
+//
+// Build & run:  ./build/examples/attack_resilience
+#include <cstdio>
+#include <limits>
+#include <numbers>
+
+#include "common/table.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/orthogonal.hpp"
+#include "optimize/optimizer.hpp"
+#include "privacy/evaluator.hpp"
+
+int main() {
+  using namespace sap;
+
+  const data::Dataset raw = data::make_uci("Votes", 5);
+  data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const data::Dataset ds(raw.name(), norm.transform(raw.features()), raw.labels());
+  const linalg::Matrix x = ds.features_T();
+  const std::size_t d = x.rows();
+  rng::Engine eng(77);
+
+  std::printf("== Attack resilience across protection levels (dataset %s) ==\n\n",
+              raw.name().c_str());
+
+  // The four protection levels.
+  struct Level {
+    const char* label;
+    linalg::Matrix y;
+  };
+  std::vector<Level> levels;
+
+  levels.push_back({"A. identity (no protection)", x});
+
+  auto weak = linalg::givens(d, 0, 1, std::numbers::pi / 16.0);
+  levels.push_back({"B. weak rotation", weak * x});
+
+  const auto g_rot = perturb::GeometricPerturbation::random(d, 0.0, eng);
+  levels.push_back({"C. random rotation+translation", g_rot.apply_noiseless(x)});
+
+  opt::OptimizerOptions opts;
+  opts.candidates = 10;
+  opts.refine_steps = 5;
+  opts.noise_sigma = 0.12;
+  opts.attacks = {.naive = true, .ica = true, .known_inputs = 4};
+  const auto g_opt = opt::optimize_perturbation(x, opts, eng).best;
+  levels.push_back({"D. optimized + noise (sigma=0.12)", g_opt.apply(x, eng)});
+
+  // Score each level against each attack separately.
+  Table table({"protection", "naive", "ica", "known-input(4)", "rho (min)"});
+  for (const auto& level : levels) {
+    std::vector<std::string> row{level.label};
+    double rho = std::numeric_limits<double>::infinity();
+    for (int which = 0; which < 3; ++which) {
+      privacy::AttackSuiteOptions ao;
+      ao.naive = (which == 0);
+      ao.ica = (which == 1);
+      ao.known_inputs = (which == 2) ? 4 : 0;
+      const privacy::AttackSuite suite(ao);
+      rng::Engine eval_eng(101 + which);
+      const auto report = suite.evaluate(x, level.y, eval_eng);
+      row.push_back(report.attacks.front().failed ? "failed" : Table::num(report.rho));
+      if (!report.attacks.front().failed) rho = std::min(rho, report.rho);
+    }
+    row.push_back(Table::num(rho));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf(
+      "\nreading the table (0 = fully disclosed, ~1.41 = uninformed guessing):\n"
+      "  * naive collapses only when columns are unmixed (A, partially B);\n"
+      "  * ICA recovers non-Gaussian columns through any pure rotation (C);\n"
+      "  * known-input inverts rotation+translation exactly unless noise is\n"
+      "    present — only D keeps all three attacks at bay, which is why the\n"
+      "    paper's perturbation carries all three components.\n");
+  return 0;
+}

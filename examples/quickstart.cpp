@@ -1,0 +1,81 @@
+// Quickstart: protect one dataset with an optimized geometric perturbation
+// and verify that a distance-based classifier keeps its accuracy.
+//
+//   1. generate + normalize a dataset,
+//   2. optimize a geometric perturbation G(X) = RX + Psi + Delta for it,
+//   3. measure the minimum privacy guarantee rho under the attack suite,
+//   4. train KNN on original vs perturbed data and compare accuracy.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "classify/knn.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "optimize/optimizer.hpp"
+
+int main() {
+  using namespace sap;
+
+  // ---- 1. data: a synthetic stand-in for the UCI Diabetes dataset,
+  //         min-max normalized to [0,1] (the perturbation's expected domain).
+  const data::Dataset raw = data::make_uci("Diabetes", /*seed=*/1);
+  data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const data::Dataset ds(raw.name(), norm.transform(raw.features()), raw.labels());
+  std::printf("dataset: %s  (%zu records, %zu dims, %zu classes)\n\n", ds.name().c_str(),
+              ds.size(), ds.dims(), ds.classes().size());
+
+  // ---- 2. optimize a perturbation for this data: random search + Givens
+  //         refinement, scored by the attack suite (naive + ICA + known-input).
+  opt::OptimizerOptions opts;
+  opts.candidates = 12;
+  opts.refine_steps = 6;
+  opts.noise_sigma = 0.1;
+  opts.attacks = {.naive = true, .ica = true, .known_inputs = 4};
+  rng::Engine eng(2024);
+
+  const linalg::Matrix x = ds.features_T();  // paper layout: d x N
+  const auto result = opt::optimize_perturbation(x, opts, eng);
+  std::printf("optimized perturbation: rho = %.3f  (%zu attack-suite evaluations)\n",
+              result.best_rho, result.evaluations);
+  double mean_random = 0.0;
+  for (double rho : result.candidate_rhos) mean_random += rho;
+  mean_random /= static_cast<double>(result.candidate_rhos.size());
+  std::printf("mean random candidate:  rho = %.3f  -> optimization gain %.3f\n\n",
+              mean_random, result.best_rho - mean_random);
+
+  // ---- 3. privacy: what does rho mean? It is the minimum over columns and
+  //         attacks of how far (in column stddevs) the best adversarial
+  //         reconstruction stays from the truth. ~sqrt(2) is "uninformed".
+  std::printf("privacy guarantee rho = %.3f column-stddevs of reconstruction error\n\n",
+              result.best_rho);
+
+  // ---- 4. utility: train KNN on original vs perturbed data.
+  rng::Engine split_eng(7);
+  const auto split = data::stratified_split(ds, 0.7, split_eng);
+
+  ml::Knn knn_orig(5);
+  knn_orig.fit(split.train);
+  const double acc_orig = ml::accuracy(knn_orig, split.test);
+
+  // Perturb train and test with the SAME optimized perturbation (what a
+  // data provider would publish), then train/evaluate in perturbed space.
+  rng::Engine noise(99);
+  const data::Dataset train_p(ds.name(),
+                              result.best.apply(split.train.features_T(), noise).transpose(),
+                              split.train.labels());
+  const data::Dataset test_p(ds.name(),
+                             result.best.apply(split.test.features_T(), noise).transpose(),
+                             split.test.labels());
+  ml::Knn knn_pert(5);
+  knn_pert.fit(train_p);
+  const double acc_pert = ml::accuracy(knn_pert, test_p);
+
+  std::printf("KNN accuracy  original space: %.1f%%   perturbed space: %.1f%%   "
+              "deviation: %+.1f points\n",
+              acc_orig * 100.0, acc_pert * 100.0, (acc_pert - acc_orig) * 100.0);
+  std::printf("\n-> rotation+translation preserve distances exactly; the noise term\n"
+              "   costs a little accuracy and buys the privacy guarantee above.\n");
+  return 0;
+}

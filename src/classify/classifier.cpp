@@ -1,0 +1,40 @@
+#include "classify/classifier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sap::ml {
+
+double accuracy(const Classifier& model, const data::Dataset& test) {
+  SAP_REQUIRE(test.size() > 0, "accuracy: empty test set");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    hits += (model.predict(test.record(i)) == test.label(i));
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+Confusion confusion_matrix(const Classifier& model, const data::Dataset& test) {
+  SAP_REQUIRE(test.size() > 0, "confusion_matrix: empty test set");
+  Confusion out;
+  out.classes = test.classes();
+  out.counts = linalg::Matrix(out.classes.size(), out.classes.size(), 0.0);
+
+  auto index_of = [&](int label) -> std::size_t {
+    const auto it = std::find(out.classes.begin(), out.classes.end(), label);
+    SAP_REQUIRE(it != out.classes.end(), "confusion_matrix: prediction outside test classes");
+    return static_cast<std::size_t>(it - out.classes.begin());
+  };
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const int pred = model.predict(test.record(i));
+    // Predictions of classes absent from the test set land in the nearest
+    // bucket only if present; otherwise count as a miss against the truth row.
+    const auto truth = index_of(test.label(i));
+    const auto it = std::find(out.classes.begin(), out.classes.end(), pred);
+    if (it == out.classes.end()) continue;  // miss, not representable in the matrix
+    out.counts(truth, static_cast<std::size_t>(it - out.classes.begin())) += 1.0;
+  }
+  return out;
+}
+
+}  // namespace sap::ml

@@ -1,0 +1,44 @@
+// Classifier interface + evaluation helpers.
+//
+// The paper's utility experiments (Figures 5/6) train classifiers on data
+// perturbed by the unified SAP space and compare accuracy against training
+// on the original data. KNN and SVM(RBF) are the paper's two representative
+// models; both depend on the data only through pairwise distances, which
+// rotation + translation preserve exactly and noise perturbs mildly — that
+// is the geometric-invariance property the whole approach rests on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sap::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on a labeled dataset (N x d rows = records).
+  virtual void fit(const data::Dataset& train) = 0;
+
+  /// Predict the label of one record (must match training dimensionality).
+  [[nodiscard]] virtual int predict(std::span<const double> record) const = 0;
+
+  [[nodiscard]] virtual bool trained() const = 0;
+};
+
+/// Fraction of test records classified correctly, in [0, 1].
+double accuracy(const Classifier& model, const data::Dataset& test);
+
+/// Confusion counts: entry (i, j) = records of classes()[i] predicted as
+/// classes()[j], with the class list returned alongside.
+struct Confusion {
+  std::vector<int> classes;
+  linalg::Matrix counts;
+};
+Confusion confusion_matrix(const Classifier& model, const data::Dataset& test);
+
+}  // namespace sap::ml

@@ -1,0 +1,130 @@
+#include "classify/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sap::ml {
+namespace {
+
+/// Heap ordering: the WORST (largest distance, then largest index) neighbor
+/// sits at the front so it can be evicted. Matches the brute-force
+/// (distance, index) ascending tie-break exactly.
+bool neighbor_less(const KdTree::Neighbor& a, const KdTree::Neighbor& b) {
+  if (a.distance_sq != b.distance_sq) return a.distance_sq < b.distance_sq;
+  return a.index < b.index;
+}
+
+}  // namespace
+
+KdTree::KdTree(linalg::Matrix points) : points_(std::move(points)) {
+  SAP_REQUIRE(points_.rows() > 0 && points_.cols() > 0, "KdTree: empty point set");
+  order_.resize(points_.rows());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  nodes_.reserve(2 * points_.rows() / kLeafSize + 4);
+  root_ = build(0, points_.rows(), 0);
+}
+
+int KdTree::build(std::size_t begin, std::size_t end, std::size_t depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  const std::size_t count = end - begin;
+  if (count <= kLeafSize) {
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  // Split on the dimension with the largest spread in this range (more
+  // robust than cycling dimensions on skewed data).
+  std::size_t best_dim = depth % points_.cols();
+  double best_spread = -1.0;
+  for (std::size_t dim = 0; dim < points_.cols(); ++dim) {
+    double lo = points_(order_[begin], dim);
+    double hi = lo;
+    for (std::size_t i = begin + 1; i < end; ++i) {
+      const double v = points_(order_[i], dim);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = dim;
+    }
+  }
+  if (best_spread <= 0.0) {  // all points identical in range: make a leaf
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  const std::size_t mid = begin + count / 2;
+  std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_(a, best_dim) < points_(b, best_dim);
+                   });
+  node.split_dim = best_dim;
+  node.split_value = points_(order_[mid], best_dim);
+
+  const int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);  // placeholder; children filled below
+  const int left = build(begin, mid, depth + 1);
+  const int right = build(mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+void KdTree::search(int node_index, std::span<const double> query, std::size_t k,
+                    std::vector<Neighbor>& heap) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+
+  auto consider = [&](std::size_t row) {
+    auto point = points_.row(row);
+    double dist_sq = 0.0;
+    for (std::size_t f = 0; f < point.size(); ++f) {
+      const double diff = point[f] - query[f];
+      dist_sq += diff * diff;
+    }
+    const Neighbor candidate{row, dist_sq};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), neighbor_less);
+    } else if (neighbor_less(candidate, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), neighbor_less);
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end(), neighbor_less);
+    }
+  };
+
+  if (node.left < 0) {  // leaf
+    for (std::size_t i = node.begin; i < node.end; ++i) consider(order_[i]);
+    return;
+  }
+
+  const double delta = query[node.split_dim] - node.split_value;
+  const int near = (delta < 0.0) ? node.left : node.right;
+  const int far = (delta < 0.0) ? node.right : node.left;
+  search(near, query, k, heap);
+  // Prune the far side only when the splitting plane is provably farther
+  // than the current worst neighbor (or the heap is not yet full).
+  if (heap.size() < k || delta * delta <= heap.front().distance_sq) {
+    search(far, query, k, heap);
+  }
+}
+
+std::vector<KdTree::Neighbor> KdTree::nearest(std::span<const double> query,
+                                              std::size_t k) const {
+  SAP_REQUIRE(query.size() == dims(), "KdTree::nearest: dimension mismatch");
+  SAP_REQUIRE(k >= 1, "KdTree::nearest: k must be >= 1");
+  k = std::min(k, size());
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  search(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end(), neighbor_less);
+  return heap;
+}
+
+}  // namespace sap::ml

@@ -1,0 +1,58 @@
+// kd-tree for exact k-nearest-neighbor queries.
+//
+// Median-split build (O(N log N)), branch-and-bound search with a bounded
+// max-heap. Results are EXACTLY the brute-force neighbor set, including the
+// deterministic (distance, index) tie-break — the property tests in
+// classify_test assert bit-for-bit agreement, which is what lets Knn switch
+// between backends freely.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace sap::ml {
+
+class KdTree {
+ public:
+  /// Build over an N x d point matrix (rows = points; copied in).
+  explicit KdTree(linalg::Matrix points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.rows(); }
+  [[nodiscard]] std::size_t dims() const noexcept { return points_.cols(); }
+
+  struct Neighbor {
+    std::size_t index;     ///< row in the original matrix
+    double distance_sq;    ///< squared Euclidean distance
+  };
+
+  /// The k nearest points to `query`, sorted ascending by
+  /// (distance_sq, index). k is clamped to size().
+  [[nodiscard]] std::vector<Neighbor> nearest(std::span<const double> query,
+                                              std::size_t k) const;
+
+ private:
+  struct Node {
+    std::size_t begin = 0;   ///< range into order_
+    std::size_t end = 0;
+    std::size_t split_dim = 0;
+    double split_value = 0.0;
+    int left = -1;   ///< child node indices; -1 = leaf
+    int right = -1;
+  };
+
+  int build(std::size_t begin, std::size_t end, std::size_t depth);
+  void search(int node, std::span<const double> query, std::size_t k,
+              std::vector<Neighbor>& heap) const;
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  linalg::Matrix points_;
+  std::vector<std::size_t> order_;  ///< permutation of row indices
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace sap::ml

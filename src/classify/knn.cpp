@@ -1,0 +1,80 @@
+#include "classify/knn.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace sap::ml {
+namespace {
+
+constexpr std::size_t kAutoTreeThreshold = 256;
+
+}  // namespace
+
+Knn::Knn(std::size_t k, KnnBackend backend) : k_(k), backend_(backend) {
+  SAP_REQUIRE(k >= 1, "Knn: k must be >= 1");
+}
+
+void Knn::fit(const data::Dataset& train) {
+  SAP_REQUIRE(train.size() >= 1, "Knn::fit: empty training set");
+  train_ = train;
+  const bool want_tree =
+      backend_ == KnnBackend::kKdTree ||
+      (backend_ == KnnBackend::kAuto && train.size() >= kAutoTreeThreshold);
+  tree_ = want_tree ? std::make_unique<KdTree>(train_.features()) : nullptr;
+}
+
+int Knn::predict(std::span<const double> record) const {
+  SAP_REQUIRE(trained(), "Knn::predict before fit");
+  SAP_REQUIRE(record.size() == train_.dims(), "Knn::predict: dimension mismatch");
+
+  const std::size_t n = train_.size();
+  const std::size_t k = std::min(k_, n);
+
+  // Collect the k nearest as (distance_sq, index), ascending with the
+  // (distance, index) tie-break — identical for both backends.
+  std::vector<KdTree::Neighbor> nearest;
+  if (tree_) {
+    nearest = tree_->nearest(record, k);
+  } else {
+    std::vector<std::pair<double, std::size_t>> dist(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = train_.record(i);
+      double acc = 0.0;
+      for (std::size_t c = 0; c < record.size(); ++c) {
+        const double diff = row[c] - record[c];
+        acc += diff * diff;
+      }
+      dist[i] = {acc, i};
+    }
+    std::nth_element(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dist.end());
+    dist.resize(k);
+    std::sort(dist.begin(), dist.end());
+    nearest.reserve(k);
+    for (const auto& [d, i] : dist) nearest.push_back({i, d});
+  }
+
+  // Majority vote over the k nearest; break ties by summed proximity
+  // (smaller total distance wins).
+  std::map<int, std::pair<std::size_t, double>> votes;  // label -> (count, dist sum)
+  for (const auto& nb : nearest) {
+    auto& [count, dsum] = votes[train_.label(nb.index)];
+    ++count;
+    dsum += nb.distance_sq;
+  }
+  int best_label = votes.begin()->first;
+  std::pair<std::size_t, double> best{0, 0.0};
+  for (const auto& [label, tally] : votes) {
+    const bool wins = tally.first > best.first ||
+                      (tally.first == best.first && tally.second < best.second);
+    if (wins) {
+      best = tally;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace sap::ml

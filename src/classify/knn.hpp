@@ -1,0 +1,41 @@
+// k-nearest-neighbor classifier (majority vote, Euclidean metric).
+//
+// Two interchangeable backends with identical results (exact search, same
+// (distance, index) tie-break): brute force, and a kd-tree for larger
+// training sets. kAuto picks the tree once the training set is big enough
+// for the build cost to pay off.
+#pragma once
+
+#include <memory>
+
+#include "classify/classifier.hpp"
+#include "classify/kdtree.hpp"
+
+namespace sap::ml {
+
+enum class KnnBackend {
+  kAuto,        ///< kd-tree when training size >= 256, else brute force
+  kBruteForce,
+  kKdTree,
+};
+
+class Knn final : public Classifier {
+ public:
+  /// k must be >= 1; ties are broken toward the closer neighbor set.
+  explicit Knn(std::size_t k = 5, KnnBackend backend = KnnBackend::kAuto);
+
+  void fit(const data::Dataset& train) override;
+  [[nodiscard]] int predict(std::span<const double> record) const override;
+  [[nodiscard]] bool trained() const override { return train_.size() > 0; }
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] bool using_kdtree() const noexcept { return tree_ != nullptr; }
+
+ private:
+  std::size_t k_;
+  KnnBackend backend_;
+  data::Dataset train_;
+  std::unique_ptr<KdTree> tree_;
+};
+
+}  // namespace sap::ml

@@ -1,0 +1,93 @@
+#include "classify/naive_bayes.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace sap::ml {
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing)
+    : var_smoothing_(var_smoothing) {
+  SAP_REQUIRE(var_smoothing >= 0.0, "GaussianNaiveBayes: smoothing must be non-negative");
+}
+
+void GaussianNaiveBayes::fit(const data::Dataset& train) {
+  SAP_REQUIRE(train.size() >= 2, "GaussianNaiveBayes::fit: need at least two records");
+  classes_ = train.classes();
+  SAP_REQUIRE(classes_.size() >= 2, "GaussianNaiveBayes::fit: need at least two classes");
+  const std::size_t d = train.dims();
+  const std::size_t c = classes_.size();
+
+  means_ = linalg::Matrix(c, d, 0.0);
+  variances_ = linalg::Matrix(c, d, 0.0);
+  log_priors_.assign(c, 0.0);
+  std::vector<std::size_t> counts(c, 0);
+
+  auto class_index = [&](int label) {
+    for (std::size_t i = 0; i < c; ++i)
+      if (classes_[i] == label) return i;
+    SAP_FAIL("GaussianNaiveBayes: label vanished between classes() and fit");
+  };
+
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    const std::size_t ci = class_index(train.label(r));
+    ++counts[ci];
+    auto rec = train.record(r);
+    auto mrow = means_.row(ci);
+    for (std::size_t f = 0; f < d; ++f) mrow[f] += rec[f];
+  }
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    SAP_REQUIRE(counts[ci] > 0, "GaussianNaiveBayes: empty class");
+    auto mrow = means_.row(ci);
+    for (auto& v : mrow) v /= static_cast<double>(counts[ci]);
+    log_priors_[ci] = std::log(static_cast<double>(counts[ci]) /
+                               static_cast<double>(train.size()));
+  }
+  for (std::size_t r = 0; r < train.size(); ++r) {
+    const std::size_t ci = class_index(train.label(r));
+    auto rec = train.record(r);
+    auto mrow = means_.row(ci);
+    auto vrow = variances_.row(ci);
+    for (std::size_t f = 0; f < d; ++f) {
+      const double diff = rec[f] - mrow[f];
+      vrow[f] += diff * diff;
+    }
+  }
+  // Global smoothing term: keeps degenerate (constant) features usable.
+  double max_var = 0.0;
+  for (std::size_t ci = 0; ci < c; ++ci) {
+    auto vrow = variances_.row(ci);
+    for (std::size_t f = 0; f < d; ++f) {
+      vrow[f] /= static_cast<double>(counts[ci]);
+      max_var = std::max(max_var, vrow[f]);
+    }
+  }
+  const double eps = std::max(var_smoothing_ * max_var, 1e-12);
+  for (auto& v : variances_.data()) v += eps;
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> record) const {
+  SAP_REQUIRE(trained(), "GaussianNaiveBayes::predict before fit");
+  SAP_REQUIRE(record.size() == means_.cols(), "GaussianNaiveBayes::predict: dimension mismatch");
+
+  double best_log_posterior = -std::numeric_limits<double>::infinity();
+  int best_label = classes_.front();
+  for (std::size_t ci = 0; ci < classes_.size(); ++ci) {
+    double lp = log_priors_[ci];
+    auto mrow = means_.row(ci);
+    auto vrow = variances_.row(ci);
+    for (std::size_t f = 0; f < record.size(); ++f) {
+      const double diff = record[f] - mrow[f];
+      lp += -0.5 * (std::log(2.0 * std::numbers::pi * vrow[f]) + diff * diff / vrow[f]);
+    }
+    if (lp > best_log_posterior) {
+      best_log_posterior = lp;
+      best_label = classes_[ci];
+    }
+  }
+  return best_label;
+}
+
+}  // namespace sap::ml

@@ -1,0 +1,32 @@
+// Gaussian Naive Bayes — a deliberately rotation-SENSITIVE classifier.
+//
+// The paper's framework only claims model-accuracy preservation for
+// classifiers invariant to distance-preserving transforms (KNN, kernel SVMs,
+// linear models). Naive Bayes assumes axis-aligned conditional independence,
+// which an arbitrary rotation destroys; this class exists to demonstrate and
+// test that boundary (see ablation_classifier_invariance).
+#pragma once
+
+#include "classify/classifier.hpp"
+
+namespace sap::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  /// var_smoothing: fraction of the largest feature variance added to every
+  /// per-class variance for numeric stability (sklearn-style).
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9);
+
+  void fit(const data::Dataset& train) override;
+  [[nodiscard]] int predict(std::span<const double> record) const override;
+  [[nodiscard]] bool trained() const override { return !classes_.empty(); }
+
+ private:
+  double var_smoothing_;
+  std::vector<int> classes_;
+  std::vector<double> log_priors_;
+  linalg::Matrix means_;      // classes x d
+  linalg::Matrix variances_;  // classes x d
+};
+
+}  // namespace sap::ml

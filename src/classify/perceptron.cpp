@@ -1,0 +1,66 @@
+#include "classify/perceptron.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace sap::ml {
+
+Perceptron::Perceptron(PerceptronOptions opts) : opts_(opts) {
+  SAP_REQUIRE(opts_.epochs >= 1, "Perceptron: epochs must be >= 1");
+  SAP_REQUIRE(opts_.learning_rate > 0.0, "Perceptron: learning rate must be positive");
+}
+
+void Perceptron::fit(const data::Dataset& train) {
+  SAP_REQUIRE(train.size() >= 2, "Perceptron::fit: need at least two records");
+  classes_ = train.classes();
+  SAP_REQUIRE(classes_.size() >= 2, "Perceptron::fit: need at least two classes");
+  const std::size_t d = train.dims();
+  const std::size_t n = train.size();
+
+  // One-vs-rest averaged perceptron per class.
+  linalg::Matrix w(classes_.size(), d + 1, 0.0);
+  linalg::Matrix w_sum(classes_.size(), d + 1, 0.0);
+  rng::Engine eng(opts_.seed);
+
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    auto wc = w.row(c);
+    for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+      const auto order = eng.permutation(n);
+      for (std::size_t t : order) {
+        auto rec = train.record(t);
+        double score = wc[d];
+        for (std::size_t f = 0; f < d; ++f) score += wc[f] * rec[f];
+        const double target = (train.label(t) == classes_[c]) ? 1.0 : -1.0;
+        if (target * score <= 0.0) {
+          for (std::size_t f = 0; f < d; ++f)
+            wc[f] += opts_.learning_rate * target * rec[f];
+          wc[d] += opts_.learning_rate * target;
+        }
+      }
+      auto ws = w_sum.row(c);
+      for (std::size_t f = 0; f <= d; ++f) ws[f] += wc[f];
+    }
+  }
+  weights_ = std::move(w_sum);  // averaged weights: more stable decisions
+}
+
+int Perceptron::predict(std::span<const double> record) const {
+  SAP_REQUIRE(trained(), "Perceptron::predict before fit");
+  SAP_REQUIRE(record.size() + 1 == weights_.cols(), "Perceptron::predict: dimension mismatch");
+  const std::size_t d = record.size();
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    auto wc = weights_.row(c);
+    double score = wc[d];
+    for (std::size_t f = 0; f < d; ++f) score += wc[f] * record[f];
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return classes_[best];
+}
+
+}  // namespace sap::ml

@@ -1,0 +1,32 @@
+// Averaged linear perceptron (one-vs-rest for multiclass).
+//
+// The paper's §1 lists linear classifiers among the rotation-invariant
+// model families; this implementation backs the invariance ablations.
+#pragma once
+
+#include "classify/classifier.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::ml {
+
+struct PerceptronOptions {
+  std::size_t epochs = 30;
+  double learning_rate = 0.5;
+  std::uint64_t seed = 0xacce1;  ///< epoch shuffling
+};
+
+class Perceptron final : public Classifier {
+ public:
+  explicit Perceptron(PerceptronOptions opts = {});
+
+  void fit(const data::Dataset& train) override;
+  [[nodiscard]] int predict(std::span<const double> record) const override;
+  [[nodiscard]] bool trained() const override { return !weights_.empty(); }
+
+ private:
+  PerceptronOptions opts_;
+  std::vector<int> classes_;
+  linalg::Matrix weights_;  // classes x (d + 1), last column = bias
+};
+
+}  // namespace sap::ml

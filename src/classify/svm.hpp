@@ -1,0 +1,64 @@
+// Support Vector Machine with RBF kernel, trained by SMO
+// (simplified Platt sequential minimal optimization), with a
+// one-vs-one wrapper for multiclass problems.
+#pragma once
+
+#include "classify/classifier.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::ml {
+
+struct SvmOptions {
+  double c = 4.0;            ///< soft-margin penalty
+  /// RBF width; <= 0 selects the "scale" heuristic 1 / (d * mean col var).
+  double gamma = 0.0;
+  double tolerance = 1e-3;   ///< KKT violation tolerance
+  std::size_t max_passes = 8;    ///< consecutive violation-free sweeps to stop
+  std::size_t max_iterations = 4000;  ///< hard cap on full sweeps
+  std::uint64_t seed = 0x5eed;   ///< SMO partner-selection randomness
+};
+
+/// Binary soft-margin SVM; labels are the two distinct values seen in fit().
+class BinarySvm {
+ public:
+  explicit BinarySvm(SvmOptions opts = {});
+
+  /// Train on records x (N x d) with labels in {-1, +1}.
+  void fit(const linalg::Matrix& x, const std::vector<int>& y);
+
+  /// Decision value f(record); classify by sign.
+  [[nodiscard]] double decision(std::span<const double> record) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !alpha_y_.empty(); }
+  [[nodiscard]] std::size_t support_vector_count() const noexcept { return sv_.rows(); }
+  [[nodiscard]] double gamma() const noexcept { return gamma_; }
+
+ private:
+  SvmOptions opts_;
+  double gamma_ = 0.0;
+  double bias_ = 0.0;
+  linalg::Matrix sv_;            // support vectors (rows)
+  std::vector<double> alpha_y_;  // alpha_i * y_i per support vector
+};
+
+/// One-vs-one multiclass SVM implementing the Classifier interface.
+class Svm final : public Classifier {
+ public:
+  explicit Svm(SvmOptions opts = {});
+
+  void fit(const data::Dataset& train) override;
+  [[nodiscard]] int predict(std::span<const double> record) const override;
+  [[nodiscard]] bool trained() const override { return !machines_.empty(); }
+
+ private:
+  SvmOptions opts_;
+  std::vector<int> classes_;
+  struct Pair {
+    int positive;
+    int negative;
+    BinarySvm machine;
+  };
+  std::vector<Pair> machines_;
+};
+
+}  // namespace sap::ml

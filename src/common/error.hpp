@@ -1,0 +1,39 @@
+// Error handling primitives for libsap.
+//
+// All contract violations and unrecoverable runtime failures in the library
+// raise sap::Error (derived from std::runtime_error) so callers can
+// distinguish library failures from standard-library failures.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace sap {
+
+/// Exception type thrown by every libsap module on contract violation or
+/// unrecoverable runtime failure (singular matrix, malformed message, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise(const std::string& message,
+                        std::source_location where = std::source_location::current());
+}  // namespace detail
+
+}  // namespace sap
+
+/// Precondition / invariant check. Active in all build types: the library is
+/// a security-relevant protocol implementation, so contract checks must not
+/// silently disappear in Release builds.
+#define SAP_REQUIRE(cond, msg)                  \
+  do {                                          \
+    if (!(cond)) [[unlikely]] {                 \
+      ::sap::detail::raise((msg));              \
+    }                                           \
+  } while (false)
+
+/// Unconditional failure with message.
+#define SAP_FAIL(msg) ::sap::detail::raise((msg))

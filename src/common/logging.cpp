@@ -1,0 +1,26 @@
+#include "common/logging.hpp"
+
+namespace sap::log {
+namespace {
+Level g_level = Level::kWarn;
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kError: return "ERROR";
+    case Level::kWarn: return "WARN ";
+    case Level::kInfo: return "INFO ";
+    case Level::kDebug: return "DEBUG";
+    default: return "?    ";
+  }
+}
+}  // namespace
+
+Level level() noexcept { return g_level; }
+void set_level(Level lvl) noexcept { g_level = lvl; }
+
+void write(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) > static_cast<int>(g_level) || lvl == Level::kOff) return;
+  std::fprintf(stderr, "[sap %s] %s\n", tag(lvl), message.c_str());
+}
+
+}  // namespace sap::log

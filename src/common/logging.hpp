@@ -1,0 +1,27 @@
+// Minimal leveled logger.
+//
+// The protocol simulator and benches use this to narrate runs; tests set the
+// level to kOff. No global constructor magic: the sink is a plain function
+// pointer defaulting to stderr.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace sap::log {
+
+enum class Level { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+/// Global verbosity threshold (messages above it are discarded).
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// Emit one line at the given level. Thread-compatible: callers serialize.
+void write(Level lvl, const std::string& message);
+
+inline void error(const std::string& m) { write(Level::kError, m); }
+inline void warn(const std::string& m) { write(Level::kWarn, m); }
+inline void info(const std::string& m) { write(Level::kInfo, m); }
+inline void debug(const std::string& m) { write(Level::kDebug, m); }
+
+}  // namespace sap::log

@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sap {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i]))) {
+      digit = true;
+    } else if (s[i] != '.' && s[i] != 'e' && s[i] != 'E' && s[i] != '-' && s[i] != '+' &&
+               s[i] != '%') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SAP_REQUIRE(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SAP_REQUIRE(cells.size() == header_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol);
+  std::vector<bool> numeric(ncol, true);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, bool align_num) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      if (c) os << "  ";
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (align_num && numeric[c]) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_, /*align_num=*/false);
+  std::size_t total = (ncol - 1) * 2;
+  for (std::size_t c = 0; c < ncol; ++c) total += width[c];
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, /*align_num=*/true);
+  return os.str();
+}
+
+}  // namespace sap

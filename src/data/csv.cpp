@@ -1,0 +1,81 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sap::data {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void save_csv(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  SAP_REQUIRE(out.good(), "save_csv: cannot open '" + path + "' for writing");
+  for (std::size_t c = 0; c < ds.dims(); ++c) out << 'f' << c << ',';
+  out << "label\n";
+  out.precision(17);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    for (double v : ds.record(i)) out << v << ',';
+    out << ds.label(i) << '\n';
+  }
+  SAP_REQUIRE(out.good(), "save_csv: write failure on '" + path + "'");
+}
+
+Dataset load_csv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  SAP_REQUIRE(in.good(), "load_csv: cannot open '" + path + "'");
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  std::string line;
+  std::size_t dims = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_line(line);
+    SAP_REQUIRE(cells.size() >= 2, "load_csv: row needs at least one feature and a label");
+    double probe;
+    if (first && !parse_double(cells[0], probe)) {
+      first = false;
+      continue;  // header line
+    }
+    first = false;
+    std::vector<double> rec(cells.size() - 1);
+    for (std::size_t c = 0; c + 1 < cells.size(); ++c)
+      SAP_REQUIRE(parse_double(cells[c], rec[c]), "load_csv: malformed number '" + cells[c] + "'");
+    double label_value;
+    SAP_REQUIRE(parse_double(cells.back(), label_value),
+                "load_csv: malformed label '" + cells.back() + "'");
+    if (dims == 0) dims = rec.size();
+    SAP_REQUIRE(rec.size() == dims, "load_csv: ragged row");
+    rows.push_back(std::move(rec));
+    labels.push_back(static_cast<int>(label_value));
+  }
+  SAP_REQUIRE(!rows.empty(), "load_csv: no records in '" + path + "'");
+
+  linalg::Matrix features(rows.size(), dims);
+  for (std::size_t i = 0; i < rows.size(); ++i) features.set_row(i, rows[i]);
+  return {name, std::move(features), std::move(labels)};
+}
+
+}  // namespace sap::data

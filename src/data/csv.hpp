@@ -1,0 +1,21 @@
+// CSV import/export for Dataset.
+//
+// Format: one record per line, features as decimal numbers, integer label in
+// the last column. An optional header line is written on save and skipped on
+// load when it does not parse as numbers.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace sap::data {
+
+/// Write `ds` to `path`; throws sap::Error on IO failure.
+void save_csv(const Dataset& ds, const std::string& path);
+
+/// Read a dataset written by save_csv (or any feature,label CSV).
+/// Throws sap::Error on IO failure or malformed rows.
+Dataset load_csv(const std::string& path, const std::string& name);
+
+}  // namespace sap::data

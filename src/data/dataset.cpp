@@ -1,0 +1,98 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace sap::data {
+
+Dataset::Dataset(std::string name, linalg::Matrix features, std::vector<int> labels)
+    : name_(std::move(name)), features_(std::move(features)), labels_(std::move(labels)) {
+  SAP_REQUIRE(features_.rows() == labels_.size(), "Dataset: feature/label count mismatch");
+}
+
+int Dataset::label(std::size_t i) const {
+  SAP_REQUIRE(i < labels_.size(), "Dataset::label: index out of range");
+  return labels_[i];
+}
+
+std::vector<int> Dataset::classes() const {
+  std::set<int> s(labels_.begin(), labels_.end());
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::map<int, std::size_t> counts;
+  for (int l : labels_) ++counts[l];
+  std::vector<std::size_t> out;
+  out.reserve(counts.size());
+  for (const auto& [label, count] : counts) out.push_back(count);
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  linalg::Matrix f(indices.size(), dims());
+  std::vector<int> l(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    SAP_REQUIRE(indices[i] < size(), "Dataset::subset: index out of range");
+    f.set_row(i, features_.row(indices[i]));
+    l[i] = labels_[indices[i]];
+  }
+  return {name_, std::move(f), std::move(l)};
+}
+
+Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
+  SAP_REQUIRE(a.dims() == b.dims(), "Dataset::concat: dimensionality mismatch");
+  linalg::Matrix f = linalg::Matrix::vcat(a.features_, b.features_);
+  std::vector<int> l = a.labels_;
+  l.insert(l.end(), b.labels_.begin(), b.labels_.end());
+  return {a.name_, std::move(f), std::move(l)};
+}
+
+void Dataset::shuffle(rng::Engine& eng) {
+  const auto perm = eng.permutation(size());
+  linalg::Matrix f(size(), dims());
+  std::vector<int> l(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    f.set_row(i, features_.row(perm[i]));
+    l[i] = labels_[perm[i]];
+  }
+  features_ = std::move(f);
+  labels_ = std::move(l);
+}
+
+Split train_test_split(const Dataset& ds, double train_fraction, rng::Engine& eng) {
+  SAP_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+              "train_test_split: fraction must be in (0,1)");
+  SAP_REQUIRE(ds.size() >= 2, "train_test_split: need at least two records");
+  const auto perm = eng.permutation(ds.size());
+  auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(ds.size()));
+  n_train = std::clamp<std::size_t>(n_train, 1, ds.size() - 1);
+  const std::span<const std::size_t> all(perm);
+  return {ds.subset(all.subspan(0, n_train)), ds.subset(all.subspan(n_train))};
+}
+
+Split stratified_split(const Dataset& ds, double train_fraction, rng::Engine& eng) {
+  SAP_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0,
+              "stratified_split: fraction must be in (0,1)");
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < ds.size(); ++i) by_class[ds.label(i)].push_back(i);
+
+  std::vector<std::size_t> train_idx, test_idx;
+  for (auto& [label, idx] : by_class) {
+    // Shuffle within the class for an unbiased draw.
+    for (std::size_t i = idx.size(); i > 1; --i)
+      std::swap(idx[i - 1], idx[eng.uniform_index(i)]);
+    auto n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(idx.size()));
+    if (idx.size() >= 2) n_train = std::clamp<std::size_t>(n_train, 1, idx.size() - 1);
+    train_idx.insert(train_idx.end(), idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(n_train));
+    test_idx.insert(test_idx.end(), idx.begin() + static_cast<std::ptrdiff_t>(n_train), idx.end());
+  }
+  SAP_REQUIRE(!train_idx.empty() && !test_idx.empty(),
+              "stratified_split: degenerate split (dataset too small)");
+  return {ds.subset(train_idx), ds.subset(test_idx)};
+}
+
+}  // namespace sap::data

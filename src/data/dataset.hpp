@@ -1,0 +1,71 @@
+// Labeled dataset container (ML-facing, row = record).
+//
+// The protocol side of the library views data as d x N matrices (column =
+// record) to follow the paper's algebra; Dataset::features_T() bridges the
+// two conventions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::data {
+
+/// N x d feature matrix plus integer class labels.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of features (N x d) and labels (size N).
+  Dataset(std::string name, linalg::Matrix features, std::vector<int> labels);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return features_.rows(); }
+  [[nodiscard]] std::size_t dims() const noexcept { return features_.cols(); }
+
+  [[nodiscard]] const linalg::Matrix& features() const noexcept { return features_; }
+  [[nodiscard]] linalg::Matrix& features() noexcept { return features_; }
+  [[nodiscard]] const std::vector<int>& labels() const noexcept { return labels_; }
+
+  /// Record view / label of row i.
+  [[nodiscard]] std::span<const double> record(std::size_t i) const { return features_.row(i); }
+  [[nodiscard]] int label(std::size_t i) const;
+
+  /// Features transposed to the paper's d x N layout (column = record).
+  [[nodiscard]] linalg::Matrix features_T() const { return features_.transpose(); }
+
+  /// Distinct labels, ascending.
+  [[nodiscard]] std::vector<int> classes() const;
+
+  /// Number of records with each label, aligned with classes().
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+
+  /// Row subset (copies); indices must be in range.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Concatenate two datasets with identical dimensionality.
+  [[nodiscard]] static Dataset concat(const Dataset& a, const Dataset& b);
+
+  /// Randomly permute records in place.
+  void shuffle(rng::Engine& eng);
+
+ private:
+  std::string name_;
+  linalg::Matrix features_;
+  std::vector<int> labels_;
+};
+
+/// Train/test split by fraction (0 < train_fraction < 1) after a shuffle.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+Split train_test_split(const Dataset& ds, double train_fraction, rng::Engine& eng);
+
+/// Stratified variant: class proportions preserved in both halves
+/// (each class is split independently).
+Split stratified_split(const Dataset& ds, double train_fraction, rng::Engine& eng);
+
+}  // namespace sap::data

@@ -1,0 +1,86 @@
+#include "data/normalize.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/stats.hpp"
+
+namespace sap::data {
+
+void MinMaxNormalizer::fit(const linalg::Matrix& x) {
+  SAP_REQUIRE(!x.empty(), "MinMaxNormalizer::fit: empty matrix");
+  const std::size_t d = x.cols();
+  lo_.assign(d, std::numeric_limits<double>::infinity());
+  hi_.assign(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      lo_[c] = std::min(lo_[c], row[c]);
+      hi_[c] = std::max(hi_[c], row[c]);
+    }
+  }
+}
+
+linalg::Matrix MinMaxNormalizer::transform(const linalg::Matrix& x) const {
+  SAP_REQUIRE(fitted(), "MinMaxNormalizer: transform before fit");
+  SAP_REQUIRE(x.cols() == lo_.size(), "MinMaxNormalizer: dimension mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double range = hi_[c] - lo_[c];
+      dst[c] = (range > 0.0) ? (src[c] - lo_[c]) / range : 0.5;
+    }
+  }
+  return out;
+}
+
+linalg::Matrix MinMaxNormalizer::inverse(const linalg::Matrix& x) const {
+  SAP_REQUIRE(fitted(), "MinMaxNormalizer: inverse before fit");
+  SAP_REQUIRE(x.cols() == lo_.size(), "MinMaxNormalizer: dimension mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double range = hi_[c] - lo_[c];
+      dst[c] = (range > 0.0) ? src[c] * range + lo_[c] : lo_[c];
+    }
+  }
+  return out;
+}
+
+void ZScoreNormalizer::fit(const linalg::Matrix& x) {
+  SAP_REQUIRE(x.rows() >= 2, "ZScoreNormalizer::fit: need at least two rows");
+  mean_ = linalg::col_means(x);
+  sd_ = linalg::col_stddev(x);
+}
+
+linalg::Matrix ZScoreNormalizer::transform(const linalg::Matrix& x) const {
+  SAP_REQUIRE(fitted(), "ZScoreNormalizer: transform before fit");
+  SAP_REQUIRE(x.cols() == mean_.size(), "ZScoreNormalizer: dimension mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      dst[c] = (sd_[c] > 0.0) ? (src[c] - mean_[c]) / sd_[c] : 0.0;
+  }
+  return out;
+}
+
+linalg::Matrix ZScoreNormalizer::inverse(const linalg::Matrix& x) const {
+  SAP_REQUIRE(fitted(), "ZScoreNormalizer: inverse before fit");
+  SAP_REQUIRE(x.cols() == mean_.size(), "ZScoreNormalizer: dimension mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t c = 0; c < x.cols(); ++c) dst[c] = src[c] * sd_[c] + mean_[c];
+  }
+  return out;
+}
+
+}  // namespace sap::data

@@ -1,0 +1,46 @@
+// Column normalizers.
+//
+// The paper's perturbation operates on the *normalized* dataset ("X denotes
+// the normalized original dataset") with translations drawn from [-1, 1], so
+// min-max normalization to [0, 1] is the library default; z-score is provided
+// for classifiers that prefer standardized inputs.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace sap::data {
+
+/// Per-column min-max scaling to [0, 1]. Constant columns map to 0.5.
+class MinMaxNormalizer {
+ public:
+  /// Learn column ranges from an N x d matrix.
+  void fit(const linalg::Matrix& x);
+
+  /// Scale (N x d) into [0,1] using the fitted ranges.
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// Undo the scaling.
+  [[nodiscard]] linalg::Matrix inverse(const linalg::Matrix& x) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return !lo_.empty(); }
+  [[nodiscard]] const linalg::Vector& lows() const noexcept { return lo_; }
+  [[nodiscard]] const linalg::Vector& highs() const noexcept { return hi_; }
+
+ private:
+  linalg::Vector lo_, hi_;
+};
+
+/// Per-column standardization to zero mean / unit variance.
+/// Constant columns map to 0.
+class ZScoreNormalizer {
+ public:
+  void fit(const linalg::Matrix& x);
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+  [[nodiscard]] linalg::Matrix inverse(const linalg::Matrix& x) const;
+  [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+ private:
+  linalg::Vector mean_, sd_;
+};
+
+}  // namespace sap::data

@@ -1,0 +1,127 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace sap::data {
+namespace {
+
+/// Turn Dirichlet weights into integer sizes that sum to n, each >= min_size.
+std::vector<std::size_t> integer_sizes(std::span<const double> weights, std::size_t n,
+                                       std::size_t min_size) {
+  const std::size_t k = weights.size();
+  SAP_REQUIRE(k * min_size <= n, "partition: pool too small for k parties at min_records");
+  std::vector<std::size_t> sizes(k, min_size);
+  std::size_t remaining = n - k * min_size;
+  // Largest-remainder apportionment of the rest.
+  std::vector<double> quota(k);
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    quota[i] = static_cast<double>(remaining) * weights[i] / wsum;
+    sizes[i] += static_cast<std::size_t>(quota[i]);
+    assigned += static_cast<std::size_t>(quota[i]);
+  }
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return quota[a] - std::floor(quota[a]) > quota[b] - std::floor(quota[b]);
+  });
+  for (std::size_t i = 0; assigned < remaining; ++i, ++assigned) ++sizes[order[i % k]];
+  return sizes;
+}
+
+}  // namespace
+
+std::vector<Dataset> partition(const Dataset& pool, std::size_t k,
+                               const PartitionOptions& opts, rng::Engine& eng) {
+  SAP_REQUIRE(k >= 2, "partition: need at least two parties");
+  SAP_REQUIRE(pool.size() >= k * opts.min_records,
+              "partition: pool too small for k parties at min_records");
+
+  const auto sizes = integer_sizes(eng.dirichlet(k, opts.size_alpha), pool.size(),
+                                   opts.min_records);
+
+  std::vector<std::size_t> assignment;  // record index -> order of draw
+  if (opts.kind == PartitionKind::kUniform) {
+    assignment = eng.permutation(pool.size());
+  } else {
+    // Class-skewed: each party prefers classes according to its own
+    // Dirichlet weight vector. We realize this by sorting each class's
+    // records into a per-class pool and drawing for one party at a time with
+    // probability proportional to its class weights.
+    const auto classes = pool.classes();
+    std::map<int, std::vector<std::size_t>> by_class;
+    for (std::size_t i = 0; i < pool.size(); ++i) by_class[pool.label(i)].push_back(i);
+    for (auto& [label, idx] : by_class) {
+      for (std::size_t i = idx.size(); i > 1; --i)
+        std::swap(idx[i - 1], idx[eng.uniform_index(i)]);
+    }
+
+    assignment.reserve(pool.size());
+    for (std::size_t party = 0; party < k; ++party) {
+      auto weights = eng.dirichlet(classes.size(), opts.class_alpha);
+      for (std::size_t draw = 0; draw < sizes[party]; ++draw) {
+        // Re-normalize over non-empty classes on every draw.
+        double total = 0.0;
+        for (std::size_t c = 0; c < classes.size(); ++c)
+          if (!by_class[classes[c]].empty()) total += weights[c];
+        SAP_REQUIRE(total > 0.0, "partition: exhausted class pools");
+        double u = eng.uniform() * total;
+        std::size_t chosen = classes.size();
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+          auto& bucket = by_class[classes[c]];
+          if (bucket.empty()) continue;
+          u -= weights[c];
+          if (u <= 0.0) {
+            chosen = c;
+            break;
+          }
+        }
+        if (chosen == classes.size()) {  // numeric edge: take last non-empty
+          for (std::size_t c = classes.size(); c-- > 0;)
+            if (!by_class[classes[c]].empty()) {
+              chosen = c;
+              break;
+            }
+        }
+        auto& bucket = by_class[classes[chosen]];
+        assignment.push_back(bucket.back());
+        bucket.pop_back();
+      }
+    }
+  }
+
+  std::vector<Dataset> parts;
+  parts.reserve(k);
+  std::size_t offset = 0;
+  for (std::size_t party = 0; party < k; ++party) {
+    const std::span<const std::size_t> idx(assignment.data() + offset, sizes[party]);
+    Dataset part = pool.subset(idx);
+    parts.push_back(std::move(part));
+    offset += sizes[party];
+  }
+  SAP_REQUIRE(offset == pool.size(), "partition: records lost during assignment");
+  return parts;
+}
+
+double class_skew(const Dataset& pool, const Dataset& part) {
+  SAP_REQUIRE(part.size() > 0, "class_skew: empty part");
+  const auto classes = pool.classes();
+  double tv = 0.0;
+  for (int c : classes) {
+    double p_pool = 0.0, p_part = 0.0;
+    for (std::size_t i = 0; i < pool.size(); ++i) p_pool += (pool.label(i) == c);
+    for (std::size_t i = 0; i < part.size(); ++i) p_part += (part.label(i) == c);
+    p_pool /= static_cast<double>(pool.size());
+    p_part /= static_cast<double>(part.size());
+    tv += std::abs(p_pool - p_part);
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace sap::data

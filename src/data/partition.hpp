@@ -1,0 +1,45 @@
+// Multiparty partitioners.
+//
+// The paper's experiments split each pooled dataset into k "randomly sized
+// sub-datasets" per data provider, under two regimes:
+//   * Uniform — each local dataset is (approximately) a uniform random
+//     sample of the pooled data;
+//   * Class (skewed) — local class proportions diverge from the pooled
+//     ones, modeled with per-party Dirichlet class weights.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace sap::data {
+
+enum class PartitionKind {
+  kUniform,  ///< local datasets are uniform samples of the pool
+  kClass,    ///< class-skewed local datasets (Dirichlet over classes)
+};
+
+struct PartitionOptions {
+  PartitionKind kind = PartitionKind::kUniform;
+  /// Dirichlet concentration for the random *sizes* of the k parts
+  /// (larger → more equal sizes).
+  double size_alpha = 8.0;
+  /// Dirichlet concentration for per-party class weights in kClass mode
+  /// (smaller → more skew).
+  double class_alpha = 0.5;
+  /// Every party receives at least this many records.
+  std::size_t min_records = 8;
+};
+
+/// Split `pool` into k local datasets. Every record is assigned to exactly
+/// one party. Throws sap::Error when the pool is too small to honor
+/// min_records for all parties.
+std::vector<Dataset> partition(const Dataset& pool, std::size_t k,
+                               const PartitionOptions& opts, rng::Engine& eng);
+
+/// Total-variation distance between a party's class distribution and the
+/// pooled one — 0 for perfectly uniform sampling, → 1 for extreme skew.
+/// Used by tests and the partition-effect experiments.
+double class_skew(const Dataset& pool, const Dataset& part);
+
+}  // namespace sap::data

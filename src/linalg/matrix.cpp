@@ -1,0 +1,215 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sap::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  SAP_REQUIRE((rows == 0) == (cols == 0), "Matrix: degenerate shape (one zero dimension)");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    SAP_REQUIRE(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  SAP_REQUIRE(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  SAP_REQUIRE(r < rows_ && c < cols_, "Matrix: index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  SAP_REQUIRE(r < rows_, "Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  SAP_REQUIRE(r < rows_, "Matrix::row: index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Vector Matrix::col(std::size_t c) const {
+  SAP_REQUIRE(c < cols_, "Matrix::col: index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, std::span<const double> values) {
+  SAP_REQUIRE(r < rows_ && values.size() == cols_, "Matrix::set_row: shape mismatch");
+  std::copy(values.begin(), values.end(), data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+void Matrix::set_col(std::size_t c, std::span<const double> values) {
+  SAP_REQUIRE(c < cols_ && values.size() == rows_, "Matrix::set_col: shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.data_[c * rows_ + r] = data_[r * cols_ + c];
+  return t;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
+  SAP_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_, "Matrix::block: out of range");
+  Matrix b(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) b(r, c) = data_[(r0 + r) * cols_ + (c0 + c)];
+  return b;
+}
+
+Matrix Matrix::hcat(const Matrix& a, const Matrix& b) {
+  SAP_REQUIRE(a.rows_ == b.rows_, "Matrix::hcat: row count mismatch");
+  Matrix out(a.rows_, a.cols_ + b.cols_);
+  for (std::size_t r = 0; r < a.rows_; ++r) {
+    auto dst = out.row(r);
+    auto ra = a.row(r);
+    auto rb = b.row(r);
+    std::copy(ra.begin(), ra.end(), dst.begin());
+    std::copy(rb.begin(), rb.end(), dst.begin() + static_cast<std::ptrdiff_t>(a.cols_));
+  }
+  return out;
+}
+
+Matrix Matrix::vcat(const Matrix& a, const Matrix& b) {
+  SAP_REQUIRE(a.cols_ == b.cols_, "Matrix::vcat: column count mismatch");
+  Matrix out(a.rows_ + b.rows_, a.cols_);
+  std::copy(a.data_.begin(), a.data_.end(), out.data_.begin());
+  std::copy(b.data_.begin(), b.data_.end(),
+            out.data_.begin() + static_cast<std::ptrdiff_t>(a.data_.size()));
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  SAP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "Matrix::+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  SAP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "Matrix::-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  SAP_REQUIRE(a.cols_ == b.rows_, "Matrix::*: inner dimension mismatch");
+  Matrix c(a.rows_, b.cols_);
+  // ikj loop order: the inner loop streams rows of both b and c.
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    double* crow = c.data_.data() + i * c.cols_;
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a.data_[i * a.cols_ + k];
+      if (aik == 0.0) continue;
+      const double* brow = b.data_.data() + k * b.cols_;
+      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Vector Matrix::matvec(std::span<const double> x) const {
+  SAP_REQUIRE(x.size() == cols_, "Matrix::matvec: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) y[r] = dot(row(r), x);
+  return y;
+}
+
+Vector Matrix::matvec_transposed(std::span<const double> x) const {
+  SAP_REQUIRE(x.size() == rows_, "Matrix::matvec_transposed: size mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) axpy(x[r], row(r), y);
+  return y;
+}
+
+double Matrix::norm_fro() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool Matrix::approx_equal(const Matrix& other, double tol) const noexcept {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+std::string Matrix::str(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << data_[r * cols_ + c];
+    }
+    os << (r + 1 == rows_ ? "]]" : "]\n");
+  }
+  return os.str();
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  SAP_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SAP_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double distance(std::span<const double> a, std::span<const double> b) {
+  SAP_REQUIRE(a.size() == b.size(), "distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace sap::linalg

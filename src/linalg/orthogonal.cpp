@@ -1,0 +1,64 @@
+#include "linalg/orthogonal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/decompose.hpp"
+
+namespace sap::linalg {
+
+Matrix random_orthogonal(std::size_t d, rng::Engine& eng) {
+  SAP_REQUIRE(d > 0, "random_orthogonal: dimension must be positive");
+  Matrix g = Matrix::generate(d, d, [&] { return eng.normal(); });
+  Qr f = qr_decompose(g);
+  // Stewart's sign correction: scale Q's columns by sign(diag(R)) so the
+  // distribution is exactly Haar (QR alone biases toward positive diagonal).
+  for (std::size_t j = 0; j < d; ++j) {
+    const double sign = (f.r(j, j) >= 0.0) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < d; ++i) f.q(i, j) *= sign;
+  }
+  return std::move(f.q);
+}
+
+Matrix random_rotation(std::size_t d, rng::Engine& eng) {
+  Matrix q = random_orthogonal(d, eng);
+  if (determinant(q) < 0.0) {
+    // Flip one column: stays Haar on SO(d) by symmetry.
+    for (std::size_t i = 0; i < d; ++i) q(i, 0) = -q(i, 0);
+  }
+  return q;
+}
+
+double orthogonality_defect(const Matrix& q) {
+  SAP_REQUIRE(q.rows() == q.cols(), "orthogonality_defect: matrix must be square");
+  const Matrix gram = q.transpose() * q;
+  const Matrix eye = Matrix::identity(q.rows());
+  double defect = 0.0;
+  for (std::size_t i = 0; i < gram.rows(); ++i)
+    for (std::size_t j = 0; j < gram.cols(); ++j)
+      defect = std::max(defect, std::abs(gram(i, j) - eye(i, j)));
+  return defect;
+}
+
+Matrix procrustes_rotation(const Matrix& src, const Matrix& dst) {
+  SAP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+              "procrustes_rotation: shape mismatch");
+  SAP_REQUIRE(src.cols() >= 1, "procrustes_rotation: need at least one point");
+  const Matrix m = dst * src.transpose();
+  const Svd f = svd(m);
+  return f.u * f.v.transpose();
+}
+
+Matrix givens(std::size_t d, std::size_t p, std::size_t q, double angle) {
+  SAP_REQUIRE(p < d && q < d && p != q, "givens: invalid plane");
+  Matrix g = Matrix::identity(d);
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  g(p, p) = c;
+  g(q, q) = c;
+  g(p, q) = -s;
+  g(q, p) = s;
+  return g;
+}
+
+}  // namespace sap::linalg

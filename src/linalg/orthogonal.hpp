@@ -1,0 +1,34 @@
+// Random orthogonal matrices and the orthogonal Procrustes solver.
+//
+// random_orthogonal implements Stewart's construction (QR of a Gaussian
+// matrix with sign correction), which samples from the Haar measure on O(d)
+// — the "random rotation" R of the paper's perturbation G(X) = RX + Psi + Delta.
+// procrustes_rotation backs the known-input attack: given a few original
+// points and their perturbed images, the attacker's best orthogonal estimate
+// of R is the Procrustes solution.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::linalg {
+
+/// Haar-distributed random orthogonal d x d matrix (det is +1 or -1).
+Matrix random_orthogonal(std::size_t d, rng::Engine& eng);
+
+/// Haar-distributed random rotation: orthogonal with det = +1.
+Matrix random_rotation(std::size_t d, rng::Engine& eng);
+
+/// Orthogonality defect ||Q^T Q - I||_max; 0 for exactly orthogonal Q.
+double orthogonality_defect(const Matrix& q);
+
+/// Orthogonal Procrustes: the orthogonal R minimizing ||R * src - dst||_F,
+/// where src and dst are d x m matrices whose COLUMNS are corresponding
+/// points. Solution: with M = dst * src^T = U S V^T, R = U V^T.
+Matrix procrustes_rotation(const Matrix& src, const Matrix& dst);
+
+/// Elementary Givens rotation in the (p, q) plane of dimension d — used by
+/// the optimizer's local refinement step.
+Matrix givens(std::size_t d, std::size_t p, std::size_t q, double angle);
+
+}  // namespace sap::linalg

@@ -1,0 +1,122 @@
+#include "linalg/stats.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sap::linalg {
+
+Vector row_means(const Matrix& a) {
+  SAP_REQUIRE(!a.empty(), "row_means: empty matrix");
+  Vector m(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (double v : a.row(r)) acc += v;
+    m[r] = acc / static_cast<double>(a.cols());
+  }
+  return m;
+}
+
+Vector row_stddev(const Matrix& a) {
+  SAP_REQUIRE(!a.empty(), "row_stddev: empty matrix");
+  const Vector mean = row_means(a);
+  Vector sd(a.rows(), 0.0);
+  if (a.cols() < 2) return sd;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (double v : a.row(r)) {
+      const double d = v - mean[r];
+      acc += d * d;
+    }
+    sd[r] = std::sqrt(acc / static_cast<double>(a.cols() - 1));
+  }
+  return sd;
+}
+
+Vector col_means(const Matrix& a) {
+  SAP_REQUIRE(!a.empty(), "col_means: empty matrix");
+  Vector m(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) m[c] += row[c];
+  }
+  for (auto& v : m) v /= static_cast<double>(a.rows());
+  return m;
+}
+
+Vector col_stddev(const Matrix& a) {
+  SAP_REQUIRE(!a.empty(), "col_stddev: empty matrix");
+  const Vector mean = col_means(a);
+  Vector sd(a.cols(), 0.0);
+  if (a.rows() < 2) return sd;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double d = row[c] - mean[c];
+      sd[c] += d * d;
+    }
+  }
+  for (auto& v : sd) v = std::sqrt(v / static_cast<double>(a.rows() - 1));
+  return sd;
+}
+
+Matrix covariance_cols(const Matrix& a) {
+  SAP_REQUIRE(a.cols() >= 2, "covariance_cols: need at least two records");
+  const std::size_t d = a.rows();
+  const std::size_t n = a.cols();
+  const Vector mean = row_means(a);
+  Matrix cov(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        acc += (a(i, k) - mean[i]) * (a(j, k) - mean[j]);
+      const double c = acc / static_cast<double>(n - 1);
+      cov(i, j) = c;
+      cov(j, i) = c;
+    }
+  }
+  return cov;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  SAP_REQUIRE(x.size() == y.size() && x.size() >= 2, "pearson: need matched sequences, n >= 2");
+  const auto n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double excess_kurtosis(std::span<const double> x) {
+  SAP_REQUIRE(x.size() >= 4, "excess_kurtosis: need at least 4 samples");
+  const auto n = static_cast<double>(x.size());
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= n;
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 1e-300) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+}  // namespace sap::linalg

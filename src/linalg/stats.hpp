@@ -1,0 +1,36 @@
+// Descriptive statistics over matrices.
+//
+// Both layouts used in the library are served:
+//   * per-ROW stats for the paper's d x N "column = record" layout
+//     (one statistic per dimension), and
+//   * per-COLUMN stats for the ML-facing N x d layout.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace sap::linalg {
+
+/// Mean of each row (d x N layout: per-dimension mean over records).
+Vector row_means(const Matrix& a);
+
+/// Sample standard deviation of each row (ddof = 1; 0 when N < 2).
+Vector row_stddev(const Matrix& a);
+
+/// Mean of each column (N x d layout).
+Vector col_means(const Matrix& a);
+
+/// Sample standard deviation of each column (ddof = 1).
+Vector col_stddev(const Matrix& a);
+
+/// d x d sample covariance of a d x N matrix whose columns are records.
+Matrix covariance_cols(const Matrix& a);
+
+/// Pearson correlation between two equally-sized sequences; returns 0 when
+/// either sequence is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Excess kurtosis of a sequence (0 for a Gaussian); returns 0 when the
+/// sequence is constant. Used by the ICA attack's non-Gaussianity ranking.
+double excess_kurtosis(std::span<const double> x);
+
+}  // namespace sap::linalg

@@ -1,0 +1,109 @@
+#include "optimize/optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "linalg/orthogonal.hpp"
+
+namespace sap::opt {
+namespace {
+
+/// Column subsample for evaluation (keeps rho estimation O(max_records)).
+linalg::Matrix subsample_records(const linalg::Matrix& x, std::size_t max_records,
+                                 rng::Engine& eng) {
+  if (x.cols() <= max_records) return x;
+  const auto idx = eng.sample_without_replacement(x.cols(), max_records);
+  linalg::Matrix out(x.rows(), max_records);
+  for (std::size_t j = 0; j < max_records; ++j) {
+    const linalg::Vector col = x.col(idx[j]);
+    out.set_col(j, col);
+  }
+  return out;
+}
+
+double score(const linalg::Matrix& x_eval, const perturb::GeometricPerturbation& g,
+             const privacy::AttackSuite& suite, rng::Engine& eng) {
+  const linalg::Matrix y = g.apply(x_eval, eng);
+  return suite.evaluate(x_eval, y, eng).rho;
+}
+
+}  // namespace
+
+double evaluate_perturbation(const linalg::Matrix& x,
+                             const perturb::GeometricPerturbation& g,
+                             const privacy::AttackSuiteOptions& attacks,
+                             std::size_t max_eval_records, rng::Engine& eng) {
+  SAP_REQUIRE(x.rows() == g.dims(), "evaluate_perturbation: dimension mismatch");
+  const privacy::AttackSuite suite(attacks);
+  const linalg::Matrix x_eval = subsample_records(x, max_eval_records, eng);
+  return score(x_eval, g, suite, eng);
+}
+
+OptimizationResult optimize_perturbation(const linalg::Matrix& x,
+                                         const OptimizerOptions& opts, rng::Engine& eng) {
+  SAP_REQUIRE(opts.candidates >= 1, "optimize_perturbation: need at least one candidate");
+  SAP_REQUIRE(x.rows() >= 2 && x.cols() >= 8,
+              "optimize_perturbation: dataset too small (need d >= 2, N >= 8)");
+
+  const privacy::AttackSuite suite(opts.attacks);
+  const linalg::Matrix x_eval = subsample_records(x, opts.max_eval_records, eng);
+  const std::size_t d = x.rows();
+
+  OptimizationResult result;
+  result.candidate_rhos.reserve(opts.candidates);
+
+  // --- random search phase
+  for (std::size_t c = 0; c < opts.candidates; ++c) {
+    auto g = perturb::GeometricPerturbation::random(d, opts.noise_sigma, eng);
+    const double rho = score(x_eval, g, suite, eng);
+    ++result.evaluations;
+    result.candidate_rhos.push_back(rho);
+    if (rho > result.best_rho || c == 0) {
+      result.best_rho = rho;
+      result.best = std::move(g);
+    }
+  }
+
+  // --- Givens hill climbing on the winner
+  double angle = opts.refine_angle;
+  for (std::size_t step = 0; step < opts.refine_steps; ++step) {
+    if (d < 2) break;
+    const std::size_t p = eng.uniform_index(d);
+    std::size_t q = eng.uniform_index(d - 1);
+    if (q >= p) ++q;
+    const double theta = (eng.bernoulli(0.5) ? 1.0 : -1.0) * angle;
+
+    perturb::GeometricPerturbation trial = result.best;
+    trial.precompose_rotation(linalg::givens(d, p, q, theta));
+    const double rho = score(x_eval, trial, suite, eng);
+    ++result.evaluations;
+    if (rho > result.best_rho) {
+      result.best_rho = rho;
+      result.best = std::move(trial);
+    } else {
+      angle *= 0.7;  // cool down when the step fails
+    }
+  }
+  return result;
+}
+
+OptimalityEstimate estimate_optimality_rate(const linalg::Matrix& x,
+                                            const OptimizerOptions& opts,
+                                            std::size_t runs, rng::Engine& eng) {
+  SAP_REQUIRE(runs >= 2, "estimate_optimality_rate: need at least two runs");
+  OptimalityEstimate est;
+  est.run_rhos.reserve(runs);
+  double total = 0.0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const OptimizationResult res = optimize_perturbation(x, opts, eng);
+    est.run_rhos.push_back(res.best_rho);
+    total += res.best_rho;
+    est.bound = std::max(est.bound, res.best_rho);
+  }
+  est.mean_rho = total / static_cast<double>(runs);
+  SAP_REQUIRE(est.bound > 0.0, "estimate_optimality_rate: all runs scored zero privacy");
+  est.rate = est.mean_rho / est.bound;
+  return est;
+}
+
+}  // namespace sap::opt

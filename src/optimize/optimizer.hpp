@@ -1,0 +1,74 @@
+// Randomized perturbation optimization (companion paper [2], PODC'07 §2).
+//
+// A data provider wants the perturbation with the highest minimum privacy
+// guarantee rho for *their* data. Since rho(R, t) is non-convex over the
+// orthogonal group, [2] optimizes by randomized search: sample candidate
+// perturbations, keep the best under the attack suite, and locally refine
+// the winner with small Givens rotations (hill climbing on SO(d) planes).
+//
+// This module also estimates the paper's empirical quantities:
+//   b-hat  = max rho over n optimization runs  (upper bound estimate),
+//   rho-bar = mean optimized rho over runs,
+//   optimality rate O = rho-bar / b-hat        (Figure 3's y-axis).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "perturb/geometric.hpp"
+#include "privacy/evaluator.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::opt {
+
+struct OptimizerOptions {
+  /// Random candidate perturbations sampled per optimization run.
+  std::size_t candidates = 12;
+  /// Givens-plane hill-climbing steps applied to the winning candidate
+  /// (0 disables refinement).
+  std::size_t refine_steps = 8;
+  /// Magnitude of refinement rotations (radians, halved on failure).
+  double refine_angle = 0.35;
+  /// Noise level sigma of the sampled perturbations.
+  double noise_sigma = 0.1;
+  /// Privacy evaluation subsamples at most this many records (the metric
+  /// converges with a few hundred; keeps 100-round experiments tractable).
+  std::size_t max_eval_records = 160;
+  /// Adversaries used to score candidates.
+  privacy::AttackSuiteOptions attacks{.naive = true, .ica = true, .known_inputs = 4};
+};
+
+struct OptimizationResult {
+  perturb::GeometricPerturbation best;
+  double best_rho = 0.0;
+  /// rho of every *random* candidate (before refinement) — the "random
+  /// perturbations" distribution of Figure 2.
+  linalg::Vector candidate_rhos;
+  /// Evaluations spent (candidates + refinement probes).
+  std::size_t evaluations = 0;
+};
+
+/// One optimization run on a d x N dataset (paper layout, column = record).
+OptimizationResult optimize_perturbation(const linalg::Matrix& x,
+                                         const OptimizerOptions& opts, rng::Engine& eng);
+
+/// Score a specific perturbation on a dataset: applies it (fresh noise from
+/// `eng`), evaluates the attack suite, returns rho. Exposed for benches and
+/// for the protocol's satisfaction computation.
+double evaluate_perturbation(const linalg::Matrix& x,
+                             const perturb::GeometricPerturbation& g,
+                             const privacy::AttackSuiteOptions& attacks,
+                             std::size_t max_eval_records, rng::Engine& eng);
+
+struct OptimalityEstimate {
+  double mean_rho = 0.0;  ///< rho-bar over runs
+  double bound = 0.0;     ///< b-hat = max over runs
+  double rate = 0.0;      ///< rho-bar / b-hat
+  linalg::Vector run_rhos;
+};
+
+/// Repeat `runs` independent optimization runs and estimate the optimality
+/// rate (Figure 3; the paper uses 100 rounds).
+OptimalityEstimate estimate_optimality_rate(const linalg::Matrix& x,
+                                            const OptimizerOptions& opts,
+                                            std::size_t runs, rng::Engine& eng);
+
+}  // namespace sap::opt

@@ -1,0 +1,90 @@
+#include "privacy/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "linalg/stats.hpp"
+#include "privacy/metric.hpp"
+
+namespace sap::privacy {
+
+linalg::Vector candidate_pool_privacy(const linalg::Matrix& original,
+                                      const linalg::Matrix& candidates) {
+  SAP_REQUIRE(original.cols() == candidates.cols(),
+              "candidate_pool_privacy: record count mismatch");
+  SAP_REQUIRE(original.cols() >= 2, "candidate_pool_privacy: need at least two records");
+
+  const linalg::Vector sd_orig = linalg::row_stddev(original);
+  linalg::Vector privacy(original.rows());
+  for (std::size_t j = 0; j < original.rows(); ++j) {
+    // Constant dimensions are excluded from the guarantee (see
+    // privacy/metric.cpp for the rationale).
+    if (sd_orig[j] <= 0.0) {
+      privacy[j] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    double best_abs_corr = 0.0;
+    for (std::size_t c = 0; c < candidates.rows(); ++c) {
+      const double r = std::abs(linalg::pearson(original.row(j), candidates.row(c)));
+      best_abs_corr = std::max(best_abs_corr, r);
+    }
+    privacy[j] = std::sqrt(std::max(0.0, 2.0 * (1.0 - best_abs_corr)));
+  }
+  return privacy;
+}
+
+AttackSuite::AttackSuite(AttackSuiteOptions opts) : opts_(opts) {
+  if (opts_.naive) attacks_.push_back(std::make_unique<NaiveEstimationAttack>());
+  if (opts_.ica) attacks_.push_back(std::make_unique<IcaReconstructionAttack>(opts_.ica_options));
+  if (opts_.spectral) attacks_.push_back(std::make_unique<SpectralAttack>());
+  if (opts_.known_inputs > 0) attacks_.push_back(std::make_unique<KnownInputAttack>());
+  SAP_REQUIRE(!attacks_.empty(), "AttackSuite: no attacks enabled");
+}
+
+PrivacyReport AttackSuite::evaluate(const linalg::Matrix& original,
+                                    const linalg::Matrix& perturbed,
+                                    rng::Engine& eng) const {
+  SAP_REQUIRE(original.rows() == perturbed.rows() && original.cols() == perturbed.cols(),
+              "AttackSuite::evaluate: shape mismatch");
+
+  AttackContext ctx;
+  ctx.perturbed = &perturbed;
+  ctx.original_means = linalg::row_means(original);
+  ctx.original_stddevs = linalg::row_stddev(original);
+  if (opts_.known_inputs > 0) {
+    const std::size_t m = std::min<std::size_t>(opts_.known_inputs, original.cols());
+    ctx.known_indices = eng.sample_without_replacement(original.cols(), m);
+    ctx.known_originals = linalg::Matrix(original.rows(), m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const linalg::Vector col = original.col(ctx.known_indices[j]);
+      ctx.known_originals.set_col(j, col);
+    }
+  }
+
+  PrivacyReport report;
+  report.rho = std::numeric_limits<double>::infinity();
+  for (const auto& attack : attacks_) {
+    AttackOutcome outcome;
+    outcome.attack = attack->name();
+    try {
+      const Reconstruction rec = attack->reconstruct(ctx, eng);
+      outcome.per_column = (rec.kind == Reconstruction::Kind::kAligned)
+                               ? column_privacy(original, rec.estimate)
+                               : candidate_pool_privacy(original, rec.estimate);
+      outcome.rho = *std::min_element(outcome.per_column.begin(), outcome.per_column.end());
+      report.rho = std::min(report.rho, outcome.rho);
+    } catch (const Error& e) {
+      outcome.failed = true;
+      log::debug(std::string("attack '") + outcome.attack + "' failed: " + e.what());
+    }
+    report.attacks.push_back(std::move(outcome));
+  }
+  SAP_REQUIRE(std::isfinite(report.rho),
+              "AttackSuite::evaluate: every enabled attack failed");
+  return report;
+}
+
+}  // namespace sap::privacy

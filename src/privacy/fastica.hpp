@@ -1,0 +1,38 @@
+// FastICA (Hyvärinen's fixed-point algorithm, symmetric orthogonalization,
+// tanh nonlinearity) — the engine of the ICA reconstruction attack.
+//
+// Rotation perturbation preserves the mixing structure of the data: if the
+// original columns are (nearly) independent non-Gaussian sources, Y = R X is
+// exactly the ICA mixing model and an adversary can recover X up to
+// permutation/sign/scale. The attack-resilience of a perturbation is
+// precisely how badly ICA fails on it, which the privacy metric measures.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::privacy {
+
+struct FastIcaOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-6;    ///< convergence on max |1 - |<w_new, w_old>||
+  std::size_t components = 0; ///< 0 → as many as input dimensions
+};
+
+struct FastIcaResult {
+  /// components x N recovered source matrix (unit variance rows,
+  /// permutation/sign ambiguous — as inherent to ICA).
+  linalg::Matrix sources;
+  /// components x d unmixing matrix W with sources = W * (X - mean).
+  linalg::Matrix unmixing;
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+/// Run FastICA on a d x N matrix (columns = observations).
+/// Throws sap::Error when the input has fewer than 8 observations or the
+/// covariance is too degenerate to whiten.
+FastIcaResult fast_ica(const linalg::Matrix& observations, const FastIcaOptions& opts,
+                       rng::Engine& eng);
+
+}  // namespace sap::privacy

@@ -1,0 +1,49 @@
+#include "privacy/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "linalg/stats.hpp"
+
+namespace sap::privacy {
+
+linalg::Vector column_privacy(const linalg::Matrix& original,
+                              const linalg::Matrix& reconstruction) {
+  SAP_REQUIRE(original.rows() == reconstruction.rows() &&
+                  original.cols() == reconstruction.cols(),
+              "column_privacy: shape mismatch");
+  SAP_REQUIRE(original.cols() >= 2, "column_privacy: need at least two records");
+
+  const linalg::Vector sd_orig = linalg::row_stddev(original);
+  linalg::Matrix diff = original;
+  diff -= reconstruction;
+  const linalg::Vector sd_diff = linalg::row_stddev(diff);
+
+  linalg::Vector p(original.rows());
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    if (sd_orig[j] > 0.0) {
+      p[j] = sd_diff[j] / sd_orig[j];
+    } else {
+      // Constant dimension: its single value is already fixed by the public
+      // normalization bounds, so there is no *distributional* information to
+      // protect — excluded from the minimum guarantee (+inf). This also
+      // keeps small-party evaluations (where a rare binary feature is
+      // locally constant) from degenerating to rho = 0.
+      p[j] = std::numeric_limits<double>::infinity();
+    }
+  }
+  return p;
+}
+
+double min_privacy_guarantee(const linalg::Matrix& original,
+                             const linalg::Matrix& reconstruction) {
+  const linalg::Vector p = column_privacy(original, reconstruction);
+  const double rho = *std::min_element(p.begin(), p.end());
+  SAP_REQUIRE(std::isfinite(rho),
+              "min_privacy_guarantee: every column is constant (nothing to evaluate)");
+  return rho;
+}
+
+}  // namespace sap::privacy

@@ -1,0 +1,30 @@
+// Multi-column privacy metric (papers [1, 2], used by PODC'07 §2).
+//
+// For an original d x N dataset X and an adversary's reconstruction X_hat,
+// the privacy of dimension j is the normalized deviation of the estimate:
+//
+//   p_j = std(X_j - X_hat_j) / std(X_j)
+//
+// i.e. how many "column standard deviations" the attacker's guess is off by
+// (0 = exact disclosure, sqrt(2) ~ uninformed guessing with matched moments,
+// larger = actively misleading). The *minimum privacy guarantee* over the
+// dataset is rho = min_j p_j: privacy is only as strong as the most exposed
+// column. This is the quantity the perturbation optimizer maximizes and the
+// protocol's risk formulas consume.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace sap::privacy {
+
+/// Per-column privacy p_j of a reconstruction (inputs are d x N, column =
+/// record, row = dimension). Constant original rows yield +inf privacy
+/// unless exactly reconstructed (then 0).
+linalg::Vector column_privacy(const linalg::Matrix& original,
+                              const linalg::Matrix& reconstruction);
+
+/// rho = min_j p_j.
+double min_privacy_guarantee(const linalg::Matrix& original,
+                             const linalg::Matrix& reconstruction);
+
+}  // namespace sap::privacy

@@ -1,0 +1,102 @@
+#include "protocol/adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace sap::proto {
+namespace {
+
+std::vector<double> class_histogram(const data::Dataset& ds,
+                                    const std::vector<int>& pooled_classes) {
+  std::vector<double> hist(pooled_classes.size(), 0.0);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto it = std::find(pooled_classes.begin(), pooled_classes.end(), ds.label(i));
+    SAP_REQUIRE(it != pooled_classes.end(), "adversary: shard label outside pooled classes");
+    hist[static_cast<std::size_t>(it - pooled_classes.begin())] += 1.0;
+  }
+  for (auto& v : hist) v /= static_cast<double>(ds.size());
+  return hist;
+}
+
+double total_variation(const std::vector<double>& a, const std::vector<double>& b) {
+  SAP_REQUIRE(a.size() == b.size(), "adversary: profile size mismatch");
+  double tv = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) tv += std::abs(a[i] - b[i]);
+  return 0.5 * tv;
+}
+
+}  // namespace
+
+std::vector<ShardObservation> observe_shards(const std::vector<data::Dataset>& provider_data,
+                                             const std::vector<int>& pooled_classes) {
+  SAP_REQUIRE(!provider_data.empty(), "observe_shards: no shards");
+  std::vector<ShardObservation> out;
+  out.reserve(provider_data.size());
+  for (const auto& shard : provider_data) {
+    SAP_REQUIRE(shard.size() > 0, "observe_shards: empty shard");
+    out.push_back({class_histogram(shard, pooled_classes), shard.size()});
+  }
+  return out;
+}
+
+std::vector<ProviderProfile> provider_profiles(const std::vector<data::Dataset>& provider_data,
+                                               const std::vector<int>& pooled_classes) {
+  SAP_REQUIRE(!provider_data.empty(), "provider_profiles: no providers");
+  std::vector<ProviderProfile> out;
+  out.reserve(provider_data.size());
+  for (const auto& shard : provider_data)
+    out.push_back({class_histogram(shard, pooled_classes), shard.size()});
+  return out;
+}
+
+LinkingResult link_sources(const std::vector<ShardObservation>& shards,
+                           const std::vector<ProviderProfile>& profiles) {
+  SAP_REQUIRE(shards.size() == profiles.size() && shards.size() >= 2,
+              "link_sources: need matching shard/profile lists (>= 2)");
+  const std::size_t k = shards.size();
+
+  // Greedy globally-best assignment: repeatedly take the (shard, provider)
+  // pair with the smallest TV distance among unassigned ones. (Optimal
+  // assignment would be Hungarian; greedy is the standard cheap adversary
+  // and suffices to expose the fingerprinting signal.)
+  LinkingResult result;
+  result.guesses.assign(k, k);
+  std::vector<bool> shard_done(k, false), provider_done(k, false);
+  // Class-profile distance only. Record counts are a second side channel
+  // (mitigable by padding, orthogonal to what this adversary demonstrates),
+  // so they are deliberately not used for linking.
+  auto dist = [&](std::size_t s, std::size_t p) {
+    return total_variation(shards[s].class_profile, profiles[p].class_profile);
+  };
+  for (std::size_t round = 0; round < k; ++round) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bs = k, bp = k;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (shard_done[s]) continue;
+      for (std::size_t p = 0; p < k; ++p) {
+        if (provider_done[p]) continue;
+        const double d = dist(s, p);
+        if (d < best) {
+          best = d;
+          bs = s;
+          bp = p;
+        }
+      }
+    }
+    SAP_REQUIRE(bs < k && bp < k, "link_sources: assignment failed");
+    result.guesses[bs] = bp;
+    shard_done[bs] = true;
+    provider_done[bp] = true;
+  }
+
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < k; ++s) hits += (result.guesses[s] == s);
+  result.accuracy = static_cast<double>(hits) / static_cast<double>(k);
+  result.baseline = 1.0 / static_cast<double>(k - 1);
+  return result;
+}
+
+}  // namespace sap::proto

@@ -1,0 +1,35 @@
+// Direct-submission baseline: collaborative mining WITHOUT space adaptation.
+//
+// Each provider locally perturbs its shard and sends it (plus its space
+// adaptor) straight to the miner. Utility is identical to SAP — the miner
+// unifies with the same adaptors — but the miner knows exactly whose data is
+// whose: source identifiability pi_i = 1. This is the comparator implicit in
+// the paper's eq. (1)/(2): SAP's whole point is dividing that risk by (k-1)
+// at the cost of one extra data hop. The baseline_direct_vs_sap bench
+// quantifies both sides of that trade.
+#pragma once
+
+#include "protocol/sap.hpp"
+
+namespace sap::proto {
+
+/// Same options as SAP (optimizer budget, noise level, seed); the exchange
+/// and coordinator machinery are simply not used.
+class DirectSubmissionProtocol {
+ public:
+  /// Requires >= 2 providers with equal dimensionality (same contract as
+  /// SapProtocol, minus the need for an anonymizing peer group).
+  DirectSubmissionProtocol(std::vector<data::Dataset> provider_data, SapOptions opts);
+
+  /// Execute; `job` may be empty. PartyReports carry identifiability 1.
+  SapResult run(const MinerJob& job = {});
+
+  [[nodiscard]] const SimulatedNetwork& network() const;
+
+ private:
+  std::vector<data::Dataset> provider_data_;
+  SapOptions opts_;
+  std::optional<SimulatedNetwork> net_;
+};
+
+}  // namespace sap::proto

@@ -1,0 +1,130 @@
+#include "protocol/message.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace sap::proto {
+namespace {
+
+/// Validate-and-cast a wire double that must encode a small non-negative
+/// integer (dimension, record count, label, party id). Rejects non-finite,
+/// non-integral, negative, or absurdly large values — wire payloads are
+/// adversarial input until proven otherwise.
+std::size_t checked_count(double v, const char* what) {
+  SAP_REQUIRE(std::isfinite(v) && v >= 0.0 && v < 1e9 && v == std::floor(v),
+              std::string("decode: malformed ") + what);
+  return static_cast<std::size_t>(v);
+}
+
+int checked_label(double v) {
+  SAP_REQUIRE(std::isfinite(v) && std::abs(v) < 2e9 && v == std::floor(v),
+              "decode: malformed label");
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+std::string to_string(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kTargetSpace: return "target-space";
+    case PayloadKind::kRoutingNotice: return "routing-notice";
+    case PayloadKind::kPerturbedData: return "perturbed-data";
+    case PayloadKind::kForwardedData: return "forwarded-data";
+    case PayloadKind::kSpaceAdaptor: return "space-adaptor";
+    case PayloadKind::kAdaptorSequence: return "adaptor-sequence";
+    case PayloadKind::kModelReport: return "model-report";
+  }
+  return "unknown";
+}
+
+EncryptedEnvelope::EncryptedEnvelope(std::span<const double> plain, std::uint64_t key) {
+  rng::Engine keystream(key);
+  cipher_.resize(plain.size());
+  checksum_ = 0xC0FFEE ^ key;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    const auto word = std::bit_cast<std::uint64_t>(plain[i]);
+    checksum_ = checksum_ * 1099511628211ULL ^ word;
+    cipher_[i] = word ^ keystream();
+  }
+}
+
+std::vector<double> EncryptedEnvelope::open(std::uint64_t key) const {
+  rng::Engine keystream(key);
+  std::vector<double> plain(cipher_.size());
+  std::uint64_t check = 0xC0FFEE ^ key;
+  for (std::size_t i = 0; i < cipher_.size(); ++i) {
+    const std::uint64_t word = cipher_[i] ^ keystream();
+    check = check * 1099511628211ULL ^ word;
+    plain[i] = std::bit_cast<double>(word);
+  }
+  SAP_REQUIRE(check == checksum_, "EncryptedEnvelope::open: checksum mismatch (wrong key?)");
+  return plain;
+}
+
+std::vector<double> encode_dataset(const linalg::Matrix& features_dxn,
+                                   std::span<const int> labels) {
+  SAP_REQUIRE(features_dxn.cols() == labels.size(), "encode_dataset: label count mismatch");
+  std::vector<double> wire;
+  const std::size_t d = features_dxn.rows();
+  const std::size_t n = features_dxn.cols();
+  wire.reserve(2 + d * n + n);
+  wire.push_back(static_cast<double>(d));
+  wire.push_back(static_cast<double>(n));
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < d; ++i) wire.push_back(features_dxn(i, j));
+  for (int label : labels) wire.push_back(static_cast<double>(label));
+  return wire;
+}
+
+DecodedDataset decode_dataset(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() >= 2, "decode_dataset: truncated payload");
+  const std::size_t d = checked_count(wire[0], "dimension count");
+  const std::size_t n = checked_count(wire[1], "record count");
+  SAP_REQUIRE(d > 0 && n > 0 && wire.size() == 2 + d * n + n,
+              "decode_dataset: malformed payload");
+  DecodedDataset out;
+  out.features = linalg::Matrix(d, n);
+  std::size_t pos = 2;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < d; ++i) out.features(i, j) = wire[pos++];
+  out.labels.resize(n);
+  for (std::size_t j = 0; j < n; ++j) out.labels[j] = checked_label(wire[pos++]);
+  return out;
+}
+
+std::vector<double> encode_target_space(const linalg::Matrix& r, const linalg::Vector& t) {
+  SAP_REQUIRE(r.rows() == r.cols() && r.rows() == t.size(),
+              "encode_target_space: shape mismatch");
+  std::vector<double> wire;
+  wire.reserve(1 + r.size() + t.size());
+  wire.push_back(static_cast<double>(r.rows()));
+  wire.insert(wire.end(), r.data().begin(), r.data().end());
+  wire.insert(wire.end(), t.begin(), t.end());
+  return wire;
+}
+
+DecodedTargetSpace decode_target_space(std::span<const double> wire) {
+  SAP_REQUIRE(!wire.empty(), "decode_target_space: empty payload");
+  const std::size_t d = checked_count(wire[0], "dimension count");
+  SAP_REQUIRE(d > 0 && wire.size() == 1 + d * d + d, "decode_target_space: malformed payload");
+  DecodedTargetSpace out;
+  out.r = linalg::Matrix(d, d);
+  for (std::size_t i = 0; i < d * d; ++i) out.r.data()[i] = wire[1 + i];
+  out.t.assign(wire.begin() + static_cast<std::ptrdiff_t>(1 + d * d), wire.end());
+  return out;
+}
+
+std::vector<double> encode_routing(PartyId receiver) {
+  return {static_cast<double>(receiver)};
+}
+
+PartyId decode_routing(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() == 1, "decode_routing: malformed payload");
+  return static_cast<PartyId>(checked_count(wire[0], "party id"));
+}
+
+}  // namespace sap::proto

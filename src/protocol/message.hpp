@@ -1,0 +1,94 @@
+// Protocol messages and the encrypted-channel boundary.
+//
+// The paper assumes encrypted pairwise channels and a semi-honest model; the
+// protocol's privacy therefore rests on *who is sent what*, which these
+// types make explicit and the network records for the invariant tests.
+// Payloads travel as EncryptedEnvelope: a per-link keystream cipher over the
+// serialized doubles. The cipher is a stand-in for TLS (documented
+// substitution) — the point is that the network trace retains only
+// ciphertext + metadata, so tests can assert that no honest-but-curious
+// observer of the wire sees plaintext.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sap::proto {
+
+using PartyId = std::uint32_t;
+
+/// Message kinds — one per protocol step (paper §3).
+enum class PayloadKind : std::uint8_t {
+  kTargetSpace = 1,      ///< coordinator -> provider: G_t parameters
+  kRoutingNotice = 2,    ///< coordinator -> provider: where to send your data
+  kPerturbedData = 3,    ///< provider -> provider: Y_i = G_i(X_i) + labels
+  kForwardedData = 4,    ///< provider -> miner: relayed Y_tau(i)
+  kSpaceAdaptor = 5,     ///< provider -> coordinator: A_it
+  kAdaptorSequence = 6,  ///< coordinator -> miner: adaptors aligned to forwarders
+  kModelReport = 7,      ///< miner -> providers: trained model summary
+};
+
+/// Printable name for traces and tests.
+std::string to_string(PayloadKind kind);
+
+/// Ciphertext container. Construction encrypts; open() decrypts. Keys are
+/// per-(sender, receiver) pair and derived inside the network from its
+/// session secret — parties never exchange them in-band.
+class EncryptedEnvelope {
+ public:
+  EncryptedEnvelope() = default;
+
+  /// Encrypt `plain` under `key`.
+  EncryptedEnvelope(std::span<const double> plain, std::uint64_t key);
+
+  /// Decrypt under `key`; wrong keys yield garbage (checked via checksum):
+  /// throws sap::Error on checksum mismatch.
+  [[nodiscard]] std::vector<double> open(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t size_doubles() const noexcept { return cipher_.size(); }
+  [[nodiscard]] std::span<const std::uint64_t> ciphertext() const noexcept { return cipher_; }
+
+ private:
+  std::vector<std::uint64_t> cipher_;
+  std::uint64_t checksum_ = 0;
+};
+
+/// One wire message (as recorded by the simulated network).
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;
+  PayloadKind kind = PayloadKind::kTargetSpace;
+  EncryptedEnvelope envelope;
+  std::size_t wire_bytes = 0;  ///< ciphertext size (8 bytes per word)
+};
+
+// ---- payload (de)serialization helpers --------------------------------
+// Flat double-vector encodings; every encoder has a matching decoder that
+// validates shape and throws sap::Error on malformed input.
+
+/// [d, N, features column-major... , labels...]
+std::vector<double> encode_dataset(const linalg::Matrix& features_dxn,
+                                   std::span<const int> labels);
+struct DecodedDataset {
+  linalg::Matrix features;  ///< d x N
+  std::vector<int> labels;
+};
+DecodedDataset decode_dataset(std::span<const double> wire);
+
+/// [d, R row-major..., t...] for a noiseless target space (R_t, t_t).
+std::vector<double> encode_target_space(const linalg::Matrix& r, const linalg::Vector& t);
+struct DecodedTargetSpace {
+  linalg::Matrix r;
+  linalg::Vector t;
+};
+DecodedTargetSpace decode_target_space(std::span<const double> wire);
+
+/// Routing notice: [receiver id].
+std::vector<double> encode_routing(PartyId receiver);
+PartyId decode_routing(std::span<const double> wire);
+
+}  // namespace sap::proto

@@ -1,0 +1,75 @@
+#include "protocol/network.hpp"
+
+#include "common/error.hpp"
+
+namespace sap::proto {
+
+SimulatedNetwork::SimulatedNetwork(std::uint64_t session_secret)
+    : session_secret_(session_secret) {}
+
+PartyId SimulatedNetwork::add_party() {
+  inboxes_.emplace_back();
+  return static_cast<PartyId>(inboxes_.size() - 1);
+}
+
+std::uint64_t SimulatedNetwork::link_key(PartyId from, PartyId to) const {
+  // Deterministic per-directed-link key derivation from the session secret.
+  std::uint64_t h = session_secret_;
+  h ^= 0x9E3779B97F4A7C15ULL + (static_cast<std::uint64_t>(from) << 32 | to);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+void SimulatedNetwork::set_drop_filter(DropFilter filter) {
+  drop_filter_ = std::move(filter);
+}
+
+void SimulatedNetwork::send(PartyId from, PartyId to, PayloadKind kind,
+                            std::span<const double> payload) {
+  SAP_REQUIRE(from < party_count() && to < party_count(),
+              "SimulatedNetwork::send: unknown party");
+  SAP_REQUIRE(from != to, "SimulatedNetwork::send: self-send is not a protocol step");
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.kind = kind;
+  msg.envelope = EncryptedEnvelope(payload, link_key(from, to));
+  msg.wire_bytes = msg.envelope.size_doubles() * sizeof(double);
+  total_bytes_ += msg.wire_bytes;
+  const bool dropped = drop_filter_ && drop_filter_(from, to, kind);
+  trace_.push_back(std::move(msg));
+  if (dropped) {
+    ++dropped_;
+  } else {
+    inboxes_[to].push_back(trace_.size() - 1);
+  }
+}
+
+bool SimulatedNetwork::has_mail(PartyId party) const {
+  SAP_REQUIRE(party < party_count(), "SimulatedNetwork::has_mail: unknown party");
+  return !inboxes_[party].empty();
+}
+
+SimulatedNetwork::Delivery SimulatedNetwork::receive(PartyId party) {
+  SAP_REQUIRE(party < party_count(), "SimulatedNetwork::receive: unknown party");
+  SAP_REQUIRE(!inboxes_[party].empty(), "SimulatedNetwork::receive: empty inbox");
+  const std::size_t idx = inboxes_[party].front();
+  inboxes_[party].pop_front();
+  const Message& msg = trace_[idx];
+  return {msg.from, msg.kind, msg.envelope.open(link_key(msg.from, msg.to))};
+}
+
+std::map<std::pair<PartyId, PartyId>, std::size_t> SimulatedNetwork::link_bytes() const {
+  std::map<std::pair<PartyId, PartyId>, std::size_t> bytes;
+  for (const Message& msg : trace_) bytes[{msg.from, msg.to}] += msg.wire_bytes;
+  return bytes;
+}
+
+std::size_t SimulatedNetwork::count_received(PartyId party, PayloadKind kind) const {
+  std::size_t count = 0;
+  for (const Message& msg : trace_) count += (msg.to == party && msg.kind == kind);
+  return count;
+}
+
+}  // namespace sap::proto

@@ -1,0 +1,56 @@
+#include "protocol/risk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sap::proto {
+namespace {
+
+void validate(const RiskInputs& in) {
+  SAP_REQUIRE(in.bound > 0.0, "risk: bound b_i must be positive");
+  SAP_REQUIRE(in.rho >= 0.0 && in.rho <= in.bound + 1e-12,
+              "risk: rho must lie in [0, b_i]");
+  SAP_REQUIRE(in.satisfaction >= 0.0, "risk: satisfaction must be non-negative");
+  SAP_REQUIRE(in.identifiability >= 0.0 && in.identifiability <= 1.0,
+              "risk: identifiability must be a probability");
+}
+
+}  // namespace
+
+double risk_of_privacy_breach(const RiskInputs& in) {
+  validate(in);
+  const double inner = 1.0 - in.satisfaction * in.rho / in.bound;
+  return in.identifiability * std::max(0.0, inner);
+}
+
+double sap_risk(const RiskInputs& in, std::size_t parties) {
+  validate(in);
+  SAP_REQUIRE(parties >= 2, "sap_risk: need at least two parties");
+  const double local_term = (in.bound - in.rho) / in.bound;
+  const double collab_term = std::max(0.0, (in.bound - in.satisfaction * in.rho) / in.bound) /
+                             static_cast<double>(parties - 1);
+  return std::max(local_term, collab_term);
+}
+
+std::size_t min_parties(double s0, double optimality_rate, MinPartiesCriterion criterion,
+                        std::size_t max_parties) {
+  SAP_REQUIRE(s0 > 0.0 && s0 < 1.0, "min_parties: s0 must be in (0,1)");
+  SAP_REQUIRE(optimality_rate > 0.0 && optimality_rate <= 1.0,
+              "min_parties: optimality rate must be in (0,1]");
+  SAP_REQUIRE(max_parties >= 2, "min_parties: cap must allow at least two parties");
+
+  const double numerator = 1.0 - s0 * optimality_rate;  // (b - s0 rho)/b with rho = r b
+  const double tolerance = (criterion == MinPartiesCriterion::kResidualTolerance)
+                               ? 1.0 - s0
+                               : 1.0 - optimality_rate;
+  if (tolerance <= 0.0) return max_parties + 1;  // r == 1 under kNoExtraRisk
+  // Need (k - 1) >= numerator / tolerance.
+  const double k_real = 1.0 + numerator / tolerance;
+  const auto k = static_cast<std::size_t>(std::ceil(k_real - 1e-12));
+  const std::size_t clamped = std::max<std::size_t>(k, 2);
+  return (clamped > max_parties) ? max_parties + 1 : clamped;
+}
+
+}  // namespace sap::proto

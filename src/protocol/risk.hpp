@@ -1,0 +1,48 @@
+// Multiparty privacy-risk model (paper §2 eq. (1), §3 eq. (2), Figure 4).
+#pragma once
+
+#include <cstddef>
+
+namespace sap::proto {
+
+/// Inputs of the per-party risk formulas. All quantities follow the paper:
+///   rho   — locally optimized minimum privacy guarantee of DP_i
+///   bound — b_i, the (empirical) upper bound of rho for DP_i's data
+///   satisfaction — s_i = rho^G_i / rho_i, quality of the unified space
+///   identifiability — pi_i = Pr(DP_i | X_i), source-identification risk
+struct RiskInputs {
+  double rho = 0.0;
+  double bound = 1.0;
+  double satisfaction = 1.0;
+  double identifiability = 1.0;
+};
+
+/// Eq. (1): R^G_i = pi_i * (b_i - s_i rho_i) / b_i.
+/// Throws sap::Error for non-positive bound or out-of-range pi/s.
+double risk_of_privacy_breach(const RiskInputs& in);
+
+/// Eq. (2): R^SAP_i = max{ (b_i - rho_i)/b_i,
+///                         (b_i - s_i rho_i)/b_i * 1/(k-1) },
+/// the overall risk under SAP with k parties (k >= 2).
+double sap_risk(const RiskInputs& in, std::size_t parties);
+
+/// Acceptance criteria for the Figure 4 "lower bound of the number of
+/// parties" sweep. The brief announcement does not pin the threshold; both
+/// published-plausible readings are implemented (DESIGN.md §3 note).
+enum class MinPartiesCriterion {
+  /// Collaboration-induced risk within residual tolerance:
+  /// (1 - s0 r) / (k - 1) <= 1 - s0.
+  kResidualTolerance,
+  /// SAP adds no risk over local optimization:
+  /// (1 - s0 r) / (k - 1) <= 1 - r.
+  kNoExtraRisk,
+};
+
+/// Smallest k (>= 2) satisfying the criterion for desired satisfaction
+/// s0 in (0, 1) and optimality rate r in (0, 1]; capped at `max_parties`
+/// (returns max_parties + 1 when unsatisfiable below the cap — callers
+/// can render that as "> cap").
+std::size_t min_parties(double s0, double optimality_rate, MinPartiesCriterion criterion,
+                        std::size_t max_parties = 1000);
+
+}  // namespace sap::proto

@@ -1,0 +1,94 @@
+// Unit tests for sap::common (error handling, logging, table rendering).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+TEST(Error, RequireThrowsWithLocation) {
+  try {
+    SAP_REQUIRE(false, "boom");
+    FAIL() << "SAP_REQUIRE(false) must throw";
+  } catch (const sap::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("boom"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(SAP_REQUIRE(1 + 1 == 2, "never"));
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(SAP_FAIL("unconditional"), sap::Error);
+}
+
+TEST(Error, IsRuntimeError) {
+  EXPECT_THROW(SAP_FAIL("x"), std::runtime_error);
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const auto prev = sap::log::level();
+  sap::log::set_level(sap::log::Level::kDebug);
+  EXPECT_EQ(sap::log::level(), sap::log::Level::kDebug);
+  sap::log::set_level(prev);
+}
+
+TEST(Logging, SuppressedBelowThresholdDoesNotCrash) {
+  const auto prev = sap::log::level();
+  sap::log::set_level(sap::log::Level::kOff);
+  sap::log::error("must be swallowed");
+  sap::log::debug("must be swallowed");
+  sap::log::set_level(prev);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotonicTime) {
+  sap::Stopwatch sw;
+  const double a = sw.seconds();
+  const double b = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  sap::Table t({"name", "value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"beta", "-3.5"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-3.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumericColumnsRightAligned) {
+  sap::Table t({"v"});
+  t.add_row({"1.0"});
+  t.add_row({"10.0"});
+  const std::string out = t.str();
+  // "1.0" padded to the width of "10.0" → leading space.
+  EXPECT_NE(out.find(" 1.0"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  sap::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), sap::Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(sap::Table t({}), sap::Error);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(sap::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(sap::Table::num(-0.5, 3), "-0.500");
+  EXPECT_EQ(sap::Table::num(2.0, 0), "2");
+}
+
+}  // namespace

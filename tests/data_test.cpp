@@ -1,0 +1,336 @@
+// Unit tests for sap::data: Dataset, splits, normalizers, partitioners,
+// synthetic UCI generators, CSV round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/stats.hpp"
+
+namespace {
+
+using sap::data::Dataset;
+using sap::linalg::Matrix;
+using sap::rng::Engine;
+
+Dataset tiny_dataset() {
+  Matrix f{{0.0, 0.0}, {1.0, 0.1}, {0.2, 0.9}, {0.8, 0.7}, {0.5, 0.5}, {0.3, 0.2}};
+  return {"tiny", f, {0, 0, 1, 1, 0, 1}};
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_EQ(ds.dims(), 2u);
+  EXPECT_EQ(ds.label(2), 1);
+  EXPECT_DOUBLE_EQ(ds.record(1)[0], 1.0);
+  EXPECT_EQ(ds.name(), "tiny");
+}
+
+TEST(Dataset, LabelCountMismatchThrows) {
+  Matrix f(3, 2);
+  EXPECT_THROW(Dataset("bad", f, {0, 1}), sap::Error);
+}
+
+TEST(Dataset, ClassesAndCounts) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_EQ(ds.classes(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ds.class_counts(), (std::vector<std::size_t>{3, 3}));
+}
+
+TEST(Dataset, FeaturesTransposedLayout) {
+  const Dataset ds = tiny_dataset();
+  const Matrix t = ds.features_T();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 6u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 1.0);
+}
+
+TEST(Dataset, SubsetCopiesRowsAndLabels) {
+  const Dataset ds = tiny_dataset();
+  const std::vector<std::size_t> idx{2, 0};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_DOUBLE_EQ(sub.record(1)[1], 0.0);
+  const std::vector<std::size_t> bad{9};
+  EXPECT_THROW(ds.subset(bad), sap::Error);
+}
+
+TEST(Dataset, ConcatStacksRecords) {
+  const Dataset ds = tiny_dataset();
+  const Dataset both = Dataset::concat(ds, ds);
+  EXPECT_EQ(both.size(), 12u);
+  EXPECT_EQ(both.label(7), ds.label(1));
+}
+
+TEST(Dataset, ShufflePreservesMultiset) {
+  Dataset ds = tiny_dataset();
+  Engine eng(5);
+  auto sum_before = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) sum_before += ds.record(i)[0];
+  ds.shuffle(eng);
+  auto sum_after = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) sum_after += ds.record(i)[0];
+  EXPECT_NEAR(sum_before, sum_after, 1e-12);
+  EXPECT_EQ(ds.class_counts(), (std::vector<std::size_t>{3, 3}));
+}
+
+TEST(Split, TrainTestSizesAndDisjointness) {
+  const Dataset ds = sap::data::make_uci("Iris", 1);
+  Engine eng(7);
+  const auto split = sap::data::train_test_split(ds, 0.7, eng);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / ds.size(), 0.7, 0.02);
+}
+
+TEST(Split, BadFractionThrows) {
+  const Dataset ds = tiny_dataset();
+  Engine eng(1);
+  EXPECT_THROW(sap::data::train_test_split(ds, 0.0, eng), sap::Error);
+  EXPECT_THROW(sap::data::train_test_split(ds, 1.0, eng), sap::Error);
+}
+
+TEST(Split, StratifiedPreservesClassBalance) {
+  const Dataset ds = sap::data::make_uci("Diabetes", 3);
+  Engine eng(11);
+  const auto split = sap::data::stratified_split(ds, 0.6, eng);
+  const double skew_train = sap::data::class_skew(ds, split.train);
+  const double skew_test = sap::data::class_skew(ds, split.test);
+  EXPECT_LT(skew_train, 0.02);
+  EXPECT_LT(skew_test, 0.03);
+}
+
+// ---------------------------------------------------------- normalizers
+
+TEST(MinMax, MapsToUnitIntervalAndInverts) {
+  const Dataset ds = sap::data::make_uci("Wine", 2);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(ds.features());
+  const Matrix scaled = norm.transform(ds.features());
+  for (double v : scaled.data()) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+  const Matrix back = norm.inverse(scaled);
+  EXPECT_TRUE(back.approx_equal(ds.features(), 1e-9));
+}
+
+TEST(MinMax, ConstantColumnMapsToHalf) {
+  Matrix f{{2.0, 1.0}, {2.0, 3.0}, {2.0, 5.0}};
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(f);
+  const Matrix scaled = norm.transform(f);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(2, 1), 1.0);
+}
+
+TEST(MinMax, TransformBeforeFitThrows) {
+  sap::data::MinMaxNormalizer norm;
+  Matrix f(2, 2);
+  EXPECT_THROW(norm.transform(f), sap::Error);
+}
+
+TEST(ZScore, StandardizesColumns) {
+  const Dataset ds = sap::data::make_uci("Heart", 4);
+  sap::data::ZScoreNormalizer norm;
+  norm.fit(ds.features());
+  const Matrix z = norm.transform(ds.features());
+  const auto mean = sap::linalg::col_means(z);
+  const auto sd = sap::linalg::col_stddev(z);
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    EXPECT_NEAR(mean[c], 0.0, 1e-9);
+    // Binary columns keep sd 1 after scaling too (any non-constant column).
+    EXPECT_NEAR(sd[c], 1.0, 1e-9);
+  }
+  const Matrix back = norm.inverse(z);
+  EXPECT_TRUE(back.approx_equal(ds.features(), 1e-9));
+}
+
+// ---------------------------------------------------------- partitioners
+
+TEST(Partition, EveryRecordAssignedExactlyOnce) {
+  const Dataset ds = sap::data::make_uci("Diabetes", 5);
+  Engine eng(13);
+  sap::data::PartitionOptions opts;
+  const auto parts = sap::data::partition(ds, 6, opts, eng);
+  ASSERT_EQ(parts.size(), 6u);
+  std::size_t total = 0;
+  double checksum = 0.0, checksum_pool = 0.0;
+  for (const auto& p : parts) {
+    total += p.size();
+    for (std::size_t i = 0; i < p.size(); ++i) checksum += p.record(i)[0];
+  }
+  for (std::size_t i = 0; i < ds.size(); ++i) checksum_pool += ds.record(i)[0];
+  EXPECT_EQ(total, ds.size());
+  EXPECT_NEAR(checksum, checksum_pool, 1e-9);
+}
+
+TEST(Partition, RespectsMinRecords) {
+  const Dataset ds = sap::data::make_uci("Iris", 6);
+  Engine eng(17);
+  sap::data::PartitionOptions opts;
+  opts.min_records = 10;
+  const auto parts = sap::data::partition(ds, 5, opts, eng);
+  for (const auto& p : parts) EXPECT_GE(p.size(), 10u);
+}
+
+TEST(Partition, PoolTooSmallThrows) {
+  const Dataset ds = tiny_dataset();
+  Engine eng(1);
+  sap::data::PartitionOptions opts;
+  opts.min_records = 8;
+  EXPECT_THROW(sap::data::partition(ds, 3, opts, eng), sap::Error);
+}
+
+TEST(Partition, UniformPartsHaveLowClassSkew) {
+  const Dataset ds = sap::data::make_uci("Credit_g", 7);
+  Engine eng(19);
+  sap::data::PartitionOptions opts;
+  opts.kind = sap::data::PartitionKind::kUniform;
+  const auto parts = sap::data::partition(ds, 5, opts, eng);
+  double mean_skew = 0.0;
+  for (const auto& p : parts) mean_skew += sap::data::class_skew(ds, p);
+  mean_skew /= static_cast<double>(parts.size());
+  EXPECT_LT(mean_skew, 0.1);
+}
+
+TEST(Partition, ClassModeIsMoreSkewedThanUniform) {
+  const Dataset ds = sap::data::make_uci("Credit_g", 8);
+  Engine eng_u(23), eng_c(23);
+  sap::data::PartitionOptions uni;
+  uni.kind = sap::data::PartitionKind::kUniform;
+  sap::data::PartitionOptions cls;
+  cls.kind = sap::data::PartitionKind::kClass;
+  cls.class_alpha = 0.4;
+  const auto parts_u = sap::data::partition(ds, 5, uni, eng_u);
+  const auto parts_c = sap::data::partition(ds, 5, cls, eng_c);
+  double skew_u = 0.0, skew_c = 0.0;
+  for (const auto& p : parts_u) skew_u += sap::data::class_skew(ds, p);
+  for (const auto& p : parts_c) skew_c += sap::data::class_skew(ds, p);
+  EXPECT_GT(skew_c, skew_u * 1.5);
+}
+
+TEST(Partition, NeedsAtLeastTwoParties) {
+  const Dataset ds = sap::data::make_uci("Iris", 9);
+  Engine eng(1);
+  sap::data::PartitionOptions opts;
+  EXPECT_THROW(sap::data::partition(ds, 1, opts, eng), sap::Error);
+}
+
+// ---------------------------------------------------------- synthetic suite
+
+TEST(Synthetic, SuiteHasTwelvePaperDatasets) {
+  const auto& suite = sap::data::uci_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(suite.front().name, "Breast_w");
+  EXPECT_EQ(suite.back().name, "Wine");
+}
+
+TEST(Synthetic, ShapesMatchSpecs) {
+  for (const auto& spec : sap::data::uci_suite()) {
+    const Dataset ds = sap::data::make_synthetic(spec, 42);
+    EXPECT_EQ(ds.size(), spec.rows) << spec.name;
+    EXPECT_EQ(ds.dims(), spec.dims) << spec.name;
+    EXPECT_EQ(ds.classes().size(), spec.classes) << spec.name;
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const Dataset a = sap::data::make_uci("Votes", 99);
+  const Dataset b = sap::data::make_uci("Votes", 99);
+  EXPECT_TRUE(a.features().approx_equal(b.features(), 0.0));
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const Dataset a = sap::data::make_uci("Votes", 1);
+  const Dataset b = sap::data::make_uci("Votes", 2);
+  EXPECT_FALSE(a.features().approx_equal(b.features(), 1e-6));
+}
+
+TEST(Synthetic, VotesIsFullyBinary) {
+  const Dataset ds = sap::data::make_uci("Votes", 3);
+  for (double v : ds.features().data()) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(Synthetic, PriorsApproximatelyRespected) {
+  const Dataset ds = sap::data::make_uci("Shuttle", 4);
+  const auto counts = ds.class_counts();
+  const auto& spec = sap::data::uci_suite()[9];
+  ASSERT_EQ(spec.name, "Shuttle");
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const double frac = static_cast<double>(counts[c]) / ds.size();
+    EXPECT_NEAR(frac, spec.priors[c], 0.02) << "class " << c;
+  }
+}
+
+TEST(Synthetic, UnknownNameThrows) {
+  EXPECT_THROW(sap::data::make_uci("NoSuchDataset", 1), sap::Error);
+}
+
+TEST(Synthetic, ClassesAreGeometricallySeparated) {
+  // Between-class centroid distance should exceed the typical within-class
+  // spread for a well-separated spec (Iris, sep 3.2).
+  const Dataset ds = sap::data::make_uci("Iris", 5);
+  const auto classes = ds.classes();
+  std::vector<sap::linalg::Vector> centroids;
+  for (int c : classes) {
+    sap::linalg::Vector mean(ds.dims(), 0.0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      if (ds.label(i) != c) continue;
+      ++count;
+      for (std::size_t f = 0; f < ds.dims(); ++f) mean[f] += ds.record(i)[f];
+    }
+    for (auto& v : mean) v /= static_cast<double>(count);
+    centroids.push_back(std::move(mean));
+  }
+  double min_dist = 1e300;
+  for (std::size_t a = 0; a < centroids.size(); ++a)
+    for (std::size_t b = a + 1; b < centroids.size(); ++b)
+      min_dist = std::min(min_dist, sap::linalg::distance(centroids[a], centroids[b]));
+  EXPECT_GT(min_dist, 1.5);
+}
+
+// ---------------------------------------------------------- CSV
+
+TEST(Csv, RoundTripPreservesData) {
+  const Dataset ds = sap::data::make_uci("Iris", 10);
+  const std::string path = "/tmp/sap_csv_test.csv";
+  sap::data::save_csv(ds, path);
+  const Dataset back = sap::data::load_csv(path, "iris-back");
+  ASSERT_EQ(back.size(), ds.size());
+  ASSERT_EQ(back.dims(), ds.dims());
+  EXPECT_TRUE(back.features().approx_equal(ds.features(), 1e-12));
+  EXPECT_EQ(back.labels(), ds.labels());
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(sap::data::load_csv("/tmp/definitely_missing_sap.csv", "x"), sap::Error);
+}
+
+TEST(Csv, MalformedRowThrows) {
+  const std::string path = "/tmp/sap_csv_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("f0,label\n1.0,0\nnot_a_number,1\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(sap::data::load_csv(path, "bad"), sap::Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// End-to-end integration tests: the full pipeline of the paper —
+// partition → local optimization → SAP exchange → unified mining —
+// checked for both privacy and utility outcomes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classify/knn.hpp"
+#include "classify/svm.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "protocol/sap.hpp"
+
+namespace {
+
+using sap::data::Dataset;
+using sap::rng::Engine;
+namespace proto = sap::proto;
+
+struct Pipeline {
+  Dataset train_orig;  // normalized original training pool
+  Dataset test_orig;   // normalized original test set
+  proto::SapResult sap;
+};
+
+/// Run the full paper pipeline on one dataset: normalize, split, partition
+/// the training pool across k providers, execute SAP.
+Pipeline run_pipeline(const std::string& name, std::size_t k, std::uint64_t seed,
+                      sap::data::PartitionKind kind) {
+  const Dataset raw = sap::data::make_uci(name, seed);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const Dataset normalized(raw.name(), norm.transform(raw.features()), raw.labels());
+
+  Engine eng(seed * 31 + 7);
+  const auto split = sap::data::stratified_split(normalized, 0.7, eng);
+
+  sap::data::PartitionOptions popts;
+  popts.kind = kind;
+  auto parts = sap::data::partition(split.train, k, popts, eng);
+
+  auto opts = proto::SapOptions::fast();
+  opts.seed = seed;
+  proto::SapProtocol protocol(std::move(parts), opts);
+
+  Pipeline out{split.train, split.test, protocol.run()};
+  return out;
+}
+
+/// Transform a normalized N x d dataset into the SAP target space
+/// (provider-side operation: they know G_t).
+Dataset to_target_space(const Dataset& ds, const sap::perturb::GeometricPerturbation& g_t) {
+  return {ds.name(), g_t.apply_noiseless(ds.features_T()).transpose(), ds.labels()};
+}
+
+TEST(Integration, KnnAccuracyDeviationSmallUnderUniformPartition) {
+  const auto pipe = run_pipeline("Iris", 4, 1, sap::data::PartitionKind::kUniform);
+
+  sap::ml::Knn baseline(5);
+  baseline.fit(pipe.train_orig);
+  const double acc_orig = sap::ml::accuracy(baseline, pipe.test_orig);
+
+  sap::ml::Knn unified(5);
+  unified.fit(pipe.sap.unified);
+  const Dataset test_t = to_target_space(pipe.test_orig, pipe.sap.target_space);
+  const double acc_sap = sap::ml::accuracy(unified, test_t);
+
+  // Paper Figure 5: deviations within a few percentage points.
+  EXPECT_GT(acc_orig, 0.85);
+  EXPECT_NEAR(acc_sap, acc_orig, 0.08);
+}
+
+TEST(Integration, SvmAccuracyDeviationSmallUnderUniformPartition) {
+  const auto pipe = run_pipeline("Wine", 4, 2, sap::data::PartitionKind::kUniform);
+
+  sap::ml::Svm baseline;
+  baseline.fit(pipe.train_orig);
+  const double acc_orig = sap::ml::accuracy(baseline, pipe.test_orig);
+
+  sap::ml::Svm unified;
+  unified.fit(pipe.sap.unified);
+  const Dataset test_t = to_target_space(pipe.test_orig, pipe.sap.target_space);
+  const double acc_sap = sap::ml::accuracy(unified, test_t);
+
+  EXPECT_GT(acc_orig, 0.8);
+  EXPECT_NEAR(acc_sap, acc_orig, 0.1);
+}
+
+TEST(Integration, ClassSkewedPartitionStillPoolsEverything) {
+  const auto pipe = run_pipeline("Diabetes", 5, 3, sap::data::PartitionKind::kClass);
+  EXPECT_EQ(pipe.sap.unified.size(), pipe.train_orig.size());
+  // Unified pool restores the global class distribution even though each
+  // provider's share was skewed.
+  EXPECT_LT(sap::data::class_skew(pipe.train_orig, pipe.sap.unified), 1e-9);
+}
+
+TEST(Integration, UnifiedSpacePreservesPairwiseDistancesUpToNoise) {
+  // Compare distance *distributions* via mean pairwise distance (the
+  // unified pool reorders records, so direct pairing is unavailable).
+  // Mean over ALL pairs: prefix subsampling would bias the comparison
+  // because stratified_split returns class-ordered records while the
+  // unified pool is shard-ordered.
+  auto mean_pairwise = [](const Dataset& ds) {
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      for (std::size_t j = i + 1; j < ds.size(); ++j) {
+        total += sap::linalg::distance(ds.record(i), ds.record(j));
+        ++count;
+      }
+    return total / static_cast<double>(count);
+  };
+
+  // With sigma = 0 the unified space is an exact rigid image of the pool:
+  // the complete pairwise-distance multiset is preserved, so the means must
+  // agree to numerical precision.
+  {
+    const Dataset raw = sap::data::make_uci("Iris", 4);
+    sap::data::MinMaxNormalizer norm;
+    norm.fit(raw.features());
+    const Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
+    Engine eng(44);
+    const auto split = sap::data::stratified_split(pool, 0.7, eng);
+    sap::data::PartitionOptions popts;
+    auto parts = sap::data::partition(split.train, 4, popts, eng);
+    auto opts = proto::SapOptions::fast();
+    opts.noise_sigma = 0.0;
+    opts.seed = 45;
+    proto::SapProtocol protocol(std::move(parts), opts);
+    const auto result = protocol.run();
+    const Dataset train_t = to_target_space(split.train, result.target_space);
+    const double d_orig = mean_pairwise(train_t);
+    const double d_unified = mean_pairwise(result.unified);
+    EXPECT_NEAR(d_unified, d_orig, 1e-9);
+  }
+
+  // With sigma > 0 distances inflate by roughly sqrt(d^2 + 2 d_dims sigma^2)
+  // (independent noise on both endpoints): check the unified mean lies
+  // between the noiseless value and the inflated expectation's vicinity.
+  {
+    const auto pipe = run_pipeline("Iris", 4, 4, sap::data::PartitionKind::kUniform);
+    const Dataset train_t = to_target_space(pipe.train_orig, pipe.sap.target_space);
+    const double d_orig = mean_pairwise(train_t);
+    const double d_unified = mean_pairwise(pipe.sap.unified);
+    const double sigma = 0.1;  // SapOptions::fast() default noise level
+    const double inflated = std::sqrt(
+        d_orig * d_orig + 2.0 * static_cast<double>(pipe.train_orig.dims()) * sigma * sigma);
+    EXPECT_GT(d_unified, d_orig * 0.95);
+    EXPECT_LT(d_unified, inflated * 1.25);
+  }
+}
+
+TEST(Integration, SapRiskBelowNaiveSinglePartyExposure) {
+  // With SAP, identifiability drops from 1 to 1/(k-1); eq. (1) risk must be
+  // strictly below the same risk at identifiability 1.
+  const auto pipe = run_pipeline("Iris", 5, 5, sap::data::PartitionKind::kUniform);
+  for (const auto& p : pipe.sap.parties) {
+    proto::RiskInputs exposed{.rho = std::min(p.local_rho, p.bound),
+                              .bound = p.bound,
+                              .satisfaction = p.satisfaction,
+                              .identifiability = 1.0};
+    const double naive_risk = proto::risk_of_privacy_breach(exposed);
+    if (naive_risk > 0.0) EXPECT_LT(p.risk_breach, naive_risk);
+  }
+}
+
+TEST(Integration, MoreNoiseLowersUtilityRaisesPrivacy) {
+  const Dataset raw = sap::data::make_uci("Iris", 6);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const Dataset normalized(raw.name(), norm.transform(raw.features()), raw.labels());
+  Engine eng(61);
+  const auto split = sap::data::stratified_split(normalized, 0.7, eng);
+
+  auto run_sigma = [&](double sigma) {
+    Engine peng(62);
+    sap::data::PartitionOptions popts;
+    auto parts = sap::data::partition(split.train, 4, popts, peng);
+    auto opts = proto::SapOptions::fast();
+    opts.noise_sigma = sigma;
+    opts.seed = 63;
+    proto::SapProtocol protocol(std::move(parts), opts);
+    const auto result = protocol.run();
+    sap::ml::Knn knn(5);
+    knn.fit(result.unified);
+    const Dataset test_t = to_target_space(split.test, result.target_space);
+    double mean_rho = 0.0;
+    for (const auto& p : result.parties) mean_rho += p.local_rho;
+    mean_rho /= static_cast<double>(result.parties.size());
+    return std::pair{sap::ml::accuracy(knn, test_t), mean_rho};
+  };
+
+  const auto [acc_low, rho_low] = run_sigma(0.02);
+  const auto [acc_high, rho_high] = run_sigma(0.6);
+  EXPECT_GT(acc_low, acc_high);   // heavy noise destroys utility
+  EXPECT_GT(rho_high, rho_low);   // ...but buys privacy
+}
+
+TEST(Integration, OptimizedLocalPerturbationBeatsRandomOnAverage) {
+  const Dataset raw = sap::data::make_uci("Diabetes", 7);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const Dataset normalized(raw.name(), norm.transform(raw.features()), raw.labels());
+  Engine eng(71);
+  sap::data::PartitionOptions popts;
+  auto parts_a = sap::data::partition(normalized, 4, popts, eng);
+  auto parts_b = parts_a;
+
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 72;
+  opts.optimize_local = true;
+  proto::SapProtocol optimized(std::move(parts_a), opts);
+  const auto res_opt = optimized.run();
+
+  opts.optimize_local = false;
+  proto::SapProtocol random(std::move(parts_b), opts);
+  const auto res_rand = random.run();
+
+  double rho_opt = 0.0, rho_rand = 0.0;
+  for (const auto& p : res_opt.parties) rho_opt += p.local_rho;
+  for (const auto& p : res_rand.parties) rho_rand += p.local_rho;
+  EXPECT_GT(rho_opt, rho_rand);
+}
+
+}  // namespace

@@ -1,0 +1,435 @@
+// Unit + property tests for sap::privacy: the VoD privacy metric, FastICA,
+// the three attack models, and the attack-suite evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/orthogonal.hpp"
+#include "linalg/stats.hpp"
+#include "perturb/geometric.hpp"
+#include "privacy/attacks.hpp"
+#include "privacy/evaluator.hpp"
+#include "privacy/fastica.hpp"
+#include "privacy/metric.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using sap::linalg::Matrix;
+using sap::linalg::Vector;
+using sap::perturb::GeometricPerturbation;
+using sap::rng::Engine;
+
+/// Non-Gaussian independent sources (uniform columns) — ICA's best case.
+Matrix uniform_sources(std::size_t d, std::size_t n, Engine& eng) {
+  return Matrix::generate(d, n, [&] { return eng.uniform(); });
+}
+
+// ------------------------------------------------------------ metric
+
+TEST(Metric, PerfectReconstructionHasZeroPrivacy) {
+  Engine eng(1);
+  const Matrix x = uniform_sources(3, 100, eng);
+  const Vector p = sap::privacy::column_privacy(x, x);
+  for (double v : p) EXPECT_NEAR(v, 0.0, 1e-12);
+  EXPECT_NEAR(sap::privacy::min_privacy_guarantee(x, x), 0.0, 1e-12);
+}
+
+TEST(Metric, ConstantOffsetIsStillZeroPrivacy) {
+  // std(X - X_hat) ignores constant shifts: an estimate off by a constant
+  // reveals the column shape exactly, which the metric treats as disclosure.
+  Engine eng(2);
+  const Matrix x = uniform_sources(2, 50, eng);
+  Matrix shifted = x;
+  for (auto& v : shifted.data()) v += 5.0;
+  EXPECT_NEAR(sap::privacy::min_privacy_guarantee(x, shifted), 0.0, 1e-12);
+}
+
+TEST(Metric, IndependentGuessGivesSqrtTwoPrivacy) {
+  // An uninformed guess with matched moments is ~sqrt(2) column stddevs off.
+  Engine eng(3);
+  const std::size_t n = 20000;
+  Matrix x(1, n), guess(1, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(0, i) = eng.normal();
+    guess(0, i) = eng.normal();
+  }
+  EXPECT_NEAR(sap::privacy::min_privacy_guarantee(x, guess), std::sqrt(2.0), 0.05);
+}
+
+TEST(Metric, MinTakenAcrossColumns) {
+  Engine eng(4);
+  const Matrix x = uniform_sources(2, 200, eng);
+  Matrix est = x;  // column 0 perfectly known, column 1 garbage
+  for (std::size_t j = 0; j < 200; ++j) est(1, j) = eng.uniform();
+  const double rho = sap::privacy::min_privacy_guarantee(x, est);
+  EXPECT_NEAR(rho, 0.0, 1e-12);
+}
+
+TEST(Metric, ShapeMismatchThrows) {
+  Matrix a(2, 10), b(3, 10);
+  EXPECT_THROW(sap::privacy::column_privacy(a, b), sap::Error);
+}
+
+TEST(Metric, ConstantOriginalColumnExcludedFromGuarantee) {
+  // A locally constant column carries no distributional information (its
+  // value is pinned by the public normalization bounds), so it must not
+  // drive rho to zero even when "reconstructed" exactly.
+  Matrix x(2, 10, 1.0);
+  for (std::size_t j = 0; j < 10; ++j) x(1, j) = static_cast<double>(j);
+  Matrix est = x;  // exact match INCLUDING the constant column
+  const Vector p = sap::privacy::column_privacy(x, est);
+  EXPECT_TRUE(std::isinf(p[0]));  // excluded, not zero
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+  // The guarantee is driven by the varying column only.
+  EXPECT_NEAR(sap::privacy::min_privacy_guarantee(x, est), 0.0, 1e-12);
+}
+
+TEST(Metric, AllConstantDataThrows) {
+  Matrix x(2, 10, 1.0);
+  EXPECT_THROW(sap::privacy::min_privacy_guarantee(x, x), sap::Error);
+}
+
+TEST(Metric, CandidatePoolExcludesConstantColumns) {
+  sap::rng::Engine eng(77);
+  Matrix x(2, 40, 0.0);
+  for (std::size_t j = 0; j < 40; ++j) x(1, j) = eng.uniform();
+  const Vector p = sap::privacy::candidate_pool_privacy(x, x);
+  EXPECT_TRUE(std::isinf(p[0]));
+  EXPECT_NEAR(p[1], 0.0, 1e-9);
+}
+
+// ------------------------------------------------------------ FastICA
+
+TEST(FastIca, RecoversIndependentUniformSources) {
+  Engine eng(5);
+  const std::size_t d = 4, n = 3000;
+  const Matrix s = uniform_sources(d, n, eng);
+  const Matrix r = sap::linalg::random_orthogonal(d, eng);
+  const Matrix y = r * s;
+
+  const auto res = sap::privacy::fast_ica(y, {.max_iterations = 400, .tolerance = 1e-8}, eng);
+  EXPECT_TRUE(res.converged);
+
+  // Every true source should be highly correlated with some recovered
+  // component (up to sign/permutation).
+  for (std::size_t j = 0; j < d; ++j) {
+    double best = 0.0;
+    for (std::size_t c = 0; c < res.sources.rows(); ++c)
+      best = std::max(best, std::abs(sap::linalg::pearson(s.row(j), res.sources.row(c))));
+    EXPECT_GT(best, 0.95) << "source " << j << " not recovered";
+  }
+}
+
+TEST(FastIca, SourcesComeBackWhitened) {
+  Engine eng(6);
+  const Matrix s = uniform_sources(3, 2000, eng);
+  const Matrix r = sap::linalg::random_orthogonal(3, eng);
+  const auto res = sap::privacy::fast_ica(r * s, {}, eng);
+  const Matrix cov = sap::linalg::covariance_cols(res.sources);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(cov(i, i), 1.0, 0.05);
+}
+
+TEST(FastIca, GaussianSourcesAreUnidentifiable) {
+  // With Gaussian sources the ICA model is unidentifiable; recovered
+  // components should NOT align well with the originals.
+  Engine eng(7);
+  const std::size_t d = 3, n = 4000;
+  Matrix s = Matrix::generate(d, n, [&] { return eng.normal(); });
+  const Matrix r = sap::linalg::random_orthogonal(d, eng);
+  const auto res = sap::privacy::fast_ica(r * s, {}, eng);
+  double worst_best = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    double best = 0.0;
+    for (std::size_t c = 0; c < res.sources.rows(); ++c)
+      best = std::max(best, std::abs(sap::linalg::pearson(s.row(j), res.sources.row(c))));
+    worst_best = std::max(worst_best, best);
+  }
+  // At least one direction should stay far from perfectly recovered.
+  double min_best = 1.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    double best = 0.0;
+    for (std::size_t c = 0; c < res.sources.rows(); ++c)
+      best = std::max(best, std::abs(sap::linalg::pearson(s.row(j), res.sources.row(c))));
+    min_best = std::min(min_best, best);
+  }
+  EXPECT_LT(min_best, 0.9);
+}
+
+TEST(FastIca, TooFewObservationsThrows) {
+  Engine eng(8);
+  Matrix y(3, 4);
+  EXPECT_THROW(sap::privacy::fast_ica(y, {}, eng), sap::Error);
+}
+
+// ------------------------------------------------------------ attacks
+
+TEST(NaiveAttack, DefeatedByStrongRotationButNotByWeakOne) {
+  Engine eng(9);
+  const Matrix x = uniform_sources(4, 500, eng);
+
+  // Weak rotation: near-identity (small Givens angle) — naive read-off
+  // still correlates strongly with the original columns.
+  const Matrix weak = sap::linalg::givens(4, 0, 1, 0.1);
+  const Matrix y_weak = weak * x;
+  const Vector p_weak = sap::privacy::candidate_pool_privacy(x, y_weak);
+
+  // Strong mixing rotation.
+  const Matrix strong = sap::linalg::random_orthogonal(4, eng);
+  const Matrix y_strong = strong * x;
+  const Vector p_strong = sap::privacy::candidate_pool_privacy(x, y_strong);
+
+  const double min_weak = *std::min_element(p_weak.begin(), p_weak.end());
+  const double min_strong = *std::min_element(p_strong.begin(), p_strong.end());
+  EXPECT_LT(min_weak, 0.25);  // weak rotation leaks
+  EXPECT_GT(min_strong, min_weak);
+}
+
+TEST(NaiveAttack, IdentityPerturbationHasZeroPrivacy) {
+  Engine eng(10);
+  const Matrix x = uniform_sources(3, 300, eng);
+  const Vector p = sap::privacy::candidate_pool_privacy(x, x);
+  for (double v : p) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(IcaAttack, BreaksPureRotationOnNonGaussianData) {
+  Engine eng(11);
+  const Matrix x = uniform_sources(4, 2500, eng);
+  const Matrix r = sap::linalg::random_orthogonal(4, eng);
+  const Matrix y = r * x;
+
+  sap::privacy::IcaReconstructionAttack attack({.max_iterations = 400, .tolerance = 1e-8});
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &y;
+  const auto rec = attack.reconstruct(ctx, eng);
+  ASSERT_EQ(rec.kind, sap::privacy::Reconstruction::Kind::kCandidatePool);
+  const Vector p = sap::privacy::candidate_pool_privacy(x, rec.estimate);
+  const double rho = *std::min_element(p.begin(), p.end());
+  // ICA should reconstruct at least one column almost exactly.
+  EXPECT_LT(rho, 0.35);
+}
+
+TEST(IcaAttack, NoiseAdditionRestoresPrivacy) {
+  Engine eng(12);
+  const Matrix x = uniform_sources(4, 2500, eng);
+  auto g = GeometricPerturbation::random(4, 0.35, eng);
+  Engine noise(13);
+  const Matrix y = g.apply(x, noise);
+
+  sap::privacy::IcaReconstructionAttack attack({.max_iterations = 300, .tolerance = 1e-7});
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &y;
+  const auto rec = attack.reconstruct(ctx, eng);
+  const Vector p = sap::privacy::candidate_pool_privacy(x, rec.estimate);
+  const double rho_noisy = *std::min_element(p.begin(), p.end());
+
+  const Matrix y_clean = g.apply_noiseless(x);
+  const auto rec_clean = attack.reconstruct(
+      [&] {
+        sap::privacy::AttackContext c2;
+        c2.perturbed = &y_clean;
+        return c2;
+      }(),
+      eng);
+  const Vector p_clean = sap::privacy::candidate_pool_privacy(x, rec_clean.estimate);
+  const double rho_clean = *std::min_element(p_clean.begin(), p_clean.end());
+  EXPECT_GT(rho_noisy, rho_clean);
+}
+
+TEST(KnownInputAttack, ExactlyInvertsNoiselessPerturbation) {
+  Engine eng(14);
+  const Matrix x = uniform_sources(4, 200, eng);
+  const auto g = GeometricPerturbation::random(4, 0.0, eng);
+  const Matrix y = g.apply_noiseless(x);
+
+  sap::privacy::KnownInputAttack attack;
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &y;
+  ctx.known_indices = {0, 1, 2, 3, 4, 5};
+  ctx.known_originals = Matrix(4, 6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    const Vector col = x.col(j);
+    ctx.known_originals.set_col(j, col);
+  }
+  const auto rec = attack.reconstruct(ctx, eng);
+  ASSERT_EQ(rec.kind, sap::privacy::Reconstruction::Kind::kAligned);
+  // Without noise the known-input attack is devastating: rho ~ 0.
+  EXPECT_LT(sap::privacy::min_privacy_guarantee(x, rec.estimate), 0.05);
+}
+
+TEST(KnownInputAttack, NoiseLimitsReconstruction) {
+  Engine eng(15);
+  const Matrix x = uniform_sources(4, 400, eng);
+  const double sigma = 0.3;
+  const auto g = GeometricPerturbation::random(4, sigma, eng);
+  Engine noise(16);
+  const Matrix y = g.apply(x, noise);
+
+  sap::privacy::KnownInputAttack attack;
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &y;
+  ctx.known_indices = {0, 1, 2, 3, 4, 5, 6, 7};
+  ctx.known_originals = Matrix(4, 8);
+  for (std::size_t j = 0; j < 8; ++j) {
+    const Vector col = x.col(j);
+    ctx.known_originals.set_col(j, col);
+  }
+  const auto rec = attack.reconstruct(ctx, eng);
+  const double rho = sap::privacy::min_privacy_guarantee(x, rec.estimate);
+  // Residual privacy should be on the order of sigma / column-std
+  // (column std of U[0,1] is ~0.29).
+  EXPECT_GT(rho, 0.5);
+}
+
+TEST(SpectralAttack, BreaksBareRotationOnAnisotropicData) {
+  // Second-order attack: needs only distinct covariance eigenvalues, not
+  // non-Gaussianity. Gaussian data with anisotropic covariance is exactly
+  // the case ICA cannot crack but PCA can.
+  Engine eng(31);
+  const std::size_t d = 4, n = 3000;
+  Matrix x(d, n);
+  const double scales[4] = {4.0, 2.0, 1.0, 0.5};  // distinct eigenvalues
+  for (std::size_t j = 0; j < d; ++j)
+    for (std::size_t i = 0; i < n; ++i) x(j, i) = eng.normal(0.0, scales[j]);
+  const Matrix r = sap::linalg::random_orthogonal(d, eng);
+  const Matrix y = r * x;
+
+  sap::privacy::SpectralAttack attack;
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &y;
+  const auto rec = attack.reconstruct(ctx, eng);
+  ASSERT_EQ(rec.kind, sap::privacy::Reconstruction::Kind::kCandidatePool);
+  const Vector p = sap::privacy::candidate_pool_privacy(x, rec.estimate);
+  // The dominant axes are recovered almost exactly.
+  const double rho = *std::min_element(p.begin(), p.end());
+  EXPECT_LT(rho, 0.2);
+}
+
+TEST(SpectralAttack, BluntedByIsotropicData) {
+  // With (near-)equal eigenvalues the eigenbasis is arbitrary: the spectral
+  // attack learns nothing about the rotation.
+  Engine eng(32);
+  const std::size_t d = 4, n = 3000;
+  Matrix x = Matrix::generate(d, n, [&] { return eng.normal(); });
+  const Matrix r = sap::linalg::random_orthogonal(d, eng);
+  const Matrix y = r * x;
+
+  sap::privacy::SpectralAttack attack;
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &y;
+  const auto rec = attack.reconstruct(ctx, eng);
+  const Vector p = sap::privacy::candidate_pool_privacy(x, rec.estimate);
+  const double rho = *std::min_element(p.begin(), p.end());
+  EXPECT_GT(rho, 0.5);
+}
+
+TEST(SpectralAttack, NoiseReducesRecovery) {
+  Engine eng(33);
+  const std::size_t d = 4, n = 2000;
+  Matrix x(d, n);
+  const double scales[4] = {4.0, 2.0, 1.0, 0.5};
+  for (std::size_t j = 0; j < d; ++j)
+    for (std::size_t i = 0; i < n; ++i) x(j, i) = eng.normal(0.0, scales[j]);
+  const Matrix r = sap::linalg::random_orthogonal(d, eng);
+
+  auto rho_with_noise = [&](double sigma) {
+    Matrix y = r * x;
+    for (auto& v : y.data()) v += eng.normal(0.0, sigma);
+    sap::privacy::SpectralAttack attack;
+    sap::privacy::AttackContext ctx;
+    ctx.perturbed = &y;
+    const auto rec = attack.reconstruct(ctx, eng);
+    const Vector p = sap::privacy::candidate_pool_privacy(x, rec.estimate);
+    return *std::min_element(p.begin(), p.end());
+  };
+  EXPECT_GT(rho_with_noise(2.0), rho_with_noise(0.0));
+}
+
+TEST(SpectralAttack, IncludedInSuiteWhenEnabled) {
+  Engine eng(34);
+  const Matrix x = uniform_sources(3, 200, eng);
+  const auto g = GeometricPerturbation::random(3, 0.1, eng);
+  Engine noise(35);
+  const Matrix y = g.apply(x, noise);
+  sap::privacy::AttackSuite suite(
+      {.naive = false, .ica = false, .spectral = true, .known_inputs = 0});
+  const auto report = suite.evaluate(x, y, eng);
+  ASSERT_EQ(report.attacks.size(), 1u);
+  EXPECT_EQ(report.attacks.front().attack, "spectral");
+  EXPECT_FALSE(report.attacks.front().failed);
+}
+
+TEST(KnownInputAttack, RequiresAtLeastTwoKnownRecords) {
+  Engine eng(17);
+  const Matrix x = uniform_sources(3, 50, eng);
+  sap::privacy::KnownInputAttack attack;
+  sap::privacy::AttackContext ctx;
+  ctx.perturbed = &x;
+  ctx.known_indices = {0};
+  ctx.known_originals = Matrix(3, 1);
+  EXPECT_THROW(attack.reconstruct(ctx, eng), sap::Error);
+}
+
+// ------------------------------------------------------------ evaluator
+
+TEST(AttackSuite, RhoIsMinAcrossAttacks) {
+  Engine eng(18);
+  const Matrix x = uniform_sources(4, 600, eng);
+  const auto g = GeometricPerturbation::random(4, 0.1, eng);
+  Engine noise(19);
+  const Matrix y = g.apply(x, noise);
+
+  sap::privacy::AttackSuite suite(
+      {.naive = true, .ica = true, .known_inputs = 4});
+  const auto report = suite.evaluate(x, y, eng);
+  ASSERT_EQ(report.attacks.size(), 3u);
+  double min_rho = 1e300;
+  for (const auto& a : report.attacks) {
+    if (a.failed) continue;
+    min_rho = std::min(min_rho, a.rho);
+  }
+  EXPECT_DOUBLE_EQ(report.rho, min_rho);
+}
+
+TEST(AttackSuite, NoAttacksEnabledThrows) {
+  EXPECT_THROW(sap::privacy::AttackSuite({.naive = false, .ica = false, .known_inputs = 0}),
+               sap::Error);
+}
+
+TEST(AttackSuite, KnownInputDominatesWhenNoiseFree) {
+  // With sigma = 0 the known-input attack reconstructs everything, so the
+  // suite's rho collapses regardless of how good the rotation is.
+  Engine eng(20);
+  const Matrix x = uniform_sources(5, 300, eng);
+  const auto g = GeometricPerturbation::random(5, 0.0, eng);
+  const Matrix y = g.apply_noiseless(x);
+  sap::privacy::AttackSuite suite({.naive = true, .ica = false, .known_inputs = 6});
+  const auto report = suite.evaluate(x, y, eng);
+  EXPECT_LT(report.rho, 0.05);
+}
+
+TEST(AttackSuite, OptimizableGapExistsBetweenRotations) {
+  // The premise of the optimizer: different rotations at the same noise
+  // level give materially different rho. Verify spread across 12 draws.
+  Engine eng(21);
+  const sap::data::Dataset ds = sap::data::make_uci("Iris", 7);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(ds.features());
+  const Matrix x = norm.transform(ds.features()).transpose();
+
+  sap::privacy::AttackSuite suite({.naive = true, .ica = false, .known_inputs = 0});
+  double lo = 1e300, hi = 0.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto g = GeometricPerturbation::random(4, 0.05, eng);
+    Engine noise(100 + trial);
+    const auto report = suite.evaluate(x, g.apply(x, noise), eng);
+    lo = std::min(lo, report.rho);
+    hi = std::max(hi, report.rho);
+  }
+  EXPECT_GT(hi - lo, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,673 @@
+// Tests for sap::proto: message codecs, encrypted simulated network, risk
+// formulas, and the SAP protocol's information-flow invariants (DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "linalg/orthogonal.hpp"
+#include "protocol/adversary.hpp"
+#include "protocol/baseline.hpp"
+#include "protocol/message.hpp"
+#include "protocol/network.hpp"
+#include "protocol/risk.hpp"
+#include "protocol/sap.hpp"
+
+namespace {
+
+using sap::data::Dataset;
+using sap::linalg::Matrix;
+using sap::linalg::Vector;
+using sap::rng::Engine;
+namespace proto = sap::proto;
+
+/// Normalized pool split into k provider datasets.
+std::vector<Dataset> provider_split(const std::string& dataset, std::size_t k,
+                                    std::uint64_t seed) {
+  const Dataset pool = sap::data::make_uci(dataset, seed);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(pool.features());
+  const Dataset normalized(pool.name(), norm.transform(pool.features()), pool.labels());
+  Engine eng(seed ^ 0xBEEF);
+  sap::data::PartitionOptions opts;
+  return sap::data::partition(normalized, k, opts, eng);
+}
+
+// ------------------------------------------------------------ envelopes
+
+TEST(Envelope, RoundTripWithCorrectKey) {
+  const std::vector<double> plain{1.0, -2.5, 3.25, 0.0};
+  const proto::EncryptedEnvelope env(plain, 0xABCD);
+  EXPECT_EQ(env.open(0xABCD), plain);
+}
+
+TEST(Envelope, WrongKeyDetected) {
+  const std::vector<double> plain{1.0, 2.0};
+  const proto::EncryptedEnvelope env(plain, 111);
+  EXPECT_THROW(env.open(222), sap::Error);
+}
+
+TEST(Envelope, CiphertextDiffersFromPlaintext) {
+  const std::vector<double> plain{42.0, 43.0, 44.0};
+  const proto::EncryptedEnvelope env(plain, 7);
+  ASSERT_EQ(env.ciphertext().size(), plain.size());
+  // At least one word must differ (overwhelmingly all of them).
+  bool any_diff = false;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    if (env.ciphertext()[i] != std::bit_cast<std::uint64_t>(plain[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------------------------------ codecs
+
+TEST(Codec, DatasetRoundTrip) {
+  Engine eng(1);
+  Matrix f = Matrix::generate(3, 7, [&] { return eng.normal(); });
+  const std::vector<int> labels{0, 1, 2, 0, 1, 2, 0};
+  const auto wire = proto::encode_dataset(f, labels);
+  const auto back = proto::decode_dataset(wire);
+  EXPECT_TRUE(back.features.approx_equal(f, 0.0));
+  EXPECT_EQ(back.labels, labels);
+}
+
+TEST(Codec, DatasetMalformedRejected) {
+  EXPECT_THROW(proto::decode_dataset(std::vector<double>{3.0}), sap::Error);
+  EXPECT_THROW(proto::decode_dataset(std::vector<double>{2.0, 2.0, 1.0}), sap::Error);
+}
+
+TEST(Codec, TargetSpaceRoundTrip) {
+  Engine eng(2);
+  const Matrix r = sap::linalg::random_orthogonal(4, eng);
+  const Vector t{0.1, -0.2, 0.3, -0.4};
+  const auto wire = proto::encode_target_space(r, t);
+  const auto back = proto::decode_target_space(wire);
+  EXPECT_TRUE(back.r.approx_equal(r, 0.0));
+  EXPECT_EQ(back.t, t);
+}
+
+TEST(Codec, RoutingRoundTrip) {
+  EXPECT_EQ(proto::decode_routing(proto::encode_routing(7)), 7u);
+  EXPECT_THROW(proto::decode_routing(std::vector<double>{1.0, 2.0}), sap::Error);
+}
+
+TEST(Codec, PayloadKindNamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto kind : {proto::PayloadKind::kTargetSpace, proto::PayloadKind::kRoutingNotice,
+                    proto::PayloadKind::kPerturbedData, proto::PayloadKind::kForwardedData,
+                    proto::PayloadKind::kSpaceAdaptor, proto::PayloadKind::kAdaptorSequence,
+                    proto::PayloadKind::kModelReport})
+    names.insert(proto::to_string(kind));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+// ------------------------------------------------------------ network
+
+TEST(Network, DeliversInOrder) {
+  proto::SimulatedNetwork net(1);
+  const auto a = net.add_party();
+  const auto b = net.add_party();
+  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
+  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{2.0});
+  ASSERT_TRUE(net.has_mail(b));
+  EXPECT_DOUBLE_EQ(net.receive(b).payload[0], 1.0);
+  EXPECT_DOUBLE_EQ(net.receive(b).payload[0], 2.0);
+  EXPECT_FALSE(net.has_mail(b));
+}
+
+TEST(Network, SelfSendRejected) {
+  proto::SimulatedNetwork net(1);
+  const auto a = net.add_party();
+  EXPECT_THROW(net.send(a, a, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0}),
+               sap::Error);
+}
+
+TEST(Network, EmptyInboxThrows) {
+  proto::SimulatedNetwork net(1);
+  const auto a = net.add_party();
+  (void)net.add_party();
+  EXPECT_THROW(net.receive(a), sap::Error);
+}
+
+TEST(Network, TraceRecordsMetadataAndBytes) {
+  proto::SimulatedNetwork net(99);
+  const auto a = net.add_party();
+  const auto b = net.add_party();
+  const std::vector<double> payload(10, 1.0);
+  net.send(a, b, proto::PayloadKind::kPerturbedData, payload);
+  ASSERT_EQ(net.trace().size(), 1u);
+  EXPECT_EQ(net.trace()[0].from, a);
+  EXPECT_EQ(net.trace()[0].to, b);
+  EXPECT_EQ(net.trace()[0].wire_bytes, 80u);
+  EXPECT_EQ(net.total_bytes(), 80u);
+  EXPECT_EQ(net.count_received(b, proto::PayloadKind::kPerturbedData), 1u);
+  EXPECT_EQ(net.count_received(a, proto::PayloadKind::kPerturbedData), 0u);
+}
+
+TEST(Network, LinkBytesAggregatesPerDirectedPair) {
+  proto::SimulatedNetwork net(5);
+  const auto a = net.add_party();
+  const auto b = net.add_party();
+  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
+  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0, 2.0});
+  net.send(b, a, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
+  const auto bytes = net.link_bytes();
+  EXPECT_EQ(bytes.at({a, b}), 24u);
+  EXPECT_EQ(bytes.at({b, a}), 8u);
+}
+
+// ------------------------------------------------------------ risk formulas
+
+TEST(Risk, Equation1KnownValues) {
+  // R = pi (1 - s rho / b): pi=1, s=1, rho=b → 0 (no residual risk).
+  proto::RiskInputs in{.rho = 1.0, .bound = 1.0, .satisfaction = 1.0, .identifiability = 1.0};
+  EXPECT_NEAR(proto::risk_of_privacy_breach(in), 0.0, 1e-12);
+  // Half-satisfied: pi (1 - 0.5) = 0.5 pi.
+  in.satisfaction = 0.5;
+  in.identifiability = 0.2;
+  EXPECT_NEAR(proto::risk_of_privacy_breach(in), 0.2 * 0.5, 1e-12);
+}
+
+TEST(Risk, Equation1MonotoneInSatisfactionAndIdentifiability) {
+  proto::RiskInputs lo{.rho = 0.8, .bound = 1.0, .satisfaction = 0.9, .identifiability = 0.5};
+  proto::RiskInputs hi = lo;
+  hi.satisfaction = 0.95;
+  EXPECT_LT(proto::risk_of_privacy_breach(hi), proto::risk_of_privacy_breach(lo));
+  hi = lo;
+  hi.identifiability = 0.9;
+  EXPECT_GT(proto::risk_of_privacy_breach(hi), proto::risk_of_privacy_breach(lo));
+}
+
+TEST(Risk, Equation2MaxOfLocalAndCollaborationTerms) {
+  proto::RiskInputs in{.rho = 0.6, .bound = 1.0, .satisfaction = 0.9, .identifiability = 0.5};
+  // local term = 0.4; collab term with k=2: (1 - 0.54)/1 = 0.46 → max = 0.46
+  EXPECT_NEAR(proto::sap_risk(in, 2), 0.46, 1e-12);
+  // k=10: collab term 0.46/9 ≈ 0.051 → local term dominates.
+  EXPECT_NEAR(proto::sap_risk(in, 10), 0.4, 1e-12);
+}
+
+TEST(Risk, Equation2ApproachesLocalRiskAsPartiesGrow) {
+  proto::RiskInputs in{.rho = 0.7, .bound = 1.0, .satisfaction = 0.8, .identifiability = 1.0};
+  const double local = (1.0 - 0.7);
+  EXPECT_NEAR(proto::sap_risk(in, 1000), local, 1e-9);
+}
+
+TEST(Risk, InvalidInputsThrow) {
+  proto::RiskInputs in;
+  in.bound = 0.0;
+  EXPECT_THROW(proto::risk_of_privacy_breach(in), sap::Error);
+  in = {.rho = 2.0, .bound = 1.0, .satisfaction = 1.0, .identifiability = 1.0};
+  EXPECT_THROW(proto::risk_of_privacy_breach(in), sap::Error);
+  in = {.rho = 0.5, .bound = 1.0, .satisfaction = 1.0, .identifiability = 1.5};
+  EXPECT_THROW(proto::risk_of_privacy_breach(in), sap::Error);
+  in = {.rho = 0.5, .bound = 1.0, .satisfaction = 1.0, .identifiability = 1.0};
+  EXPECT_THROW(proto::sap_risk(in, 1), sap::Error);
+}
+
+TEST(MinParties, ResidualToleranceCriterionMatchesHandComputation) {
+  // k = 1 + ceil((1 - s0 r) / (1 - s0)); s0=0.95, r=0.9: (1-0.855)/0.05 = 2.9
+  // → k = 1 + 3 = 4.
+  EXPECT_EQ(proto::min_parties(0.95, 0.9, proto::MinPartiesCriterion::kResidualTolerance), 4u);
+  // s0=0.99, r=0.89: (1-0.8811)/0.01 = 11.89 → k = 13.
+  EXPECT_EQ(proto::min_parties(0.99, 0.89, proto::MinPartiesCriterion::kResidualTolerance),
+            13u);
+}
+
+TEST(MinParties, MonotoneIncreasingInS0AndDecreasingInRate) {
+  using C = proto::MinPartiesCriterion;
+  std::size_t prev = 2;
+  for (double s0 : {0.90, 0.92, 0.94, 0.96, 0.98, 0.99}) {
+    const auto k = proto::min_parties(s0, 0.9, C::kResidualTolerance);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+  EXPECT_GE(proto::min_parties(0.95, 0.85, C::kResidualTolerance),
+            proto::min_parties(0.95, 0.98, C::kResidualTolerance));
+}
+
+TEST(MinParties, NoExtraRiskCriterionDecreasesInS0) {
+  using C = proto::MinPartiesCriterion;
+  const auto k_low = proto::min_parties(0.90, 0.9, C::kNoExtraRisk);
+  const auto k_high = proto::min_parties(0.99, 0.9, C::kNoExtraRisk);
+  EXPECT_LE(k_high, k_low);
+}
+
+TEST(MinParties, CapRespected) {
+  const auto k = proto::min_parties(0.999999, 0.5,
+                                    proto::MinPartiesCriterion::kResidualTolerance, 50);
+  EXPECT_EQ(k, 51u);  // cap + 1 signals "unsatisfiable below cap"
+}
+
+TEST(MinParties, InvalidArgsThrow) {
+  using C = proto::MinPartiesCriterion;
+  EXPECT_THROW(proto::min_parties(0.0, 0.9, C::kResidualTolerance), sap::Error);
+  EXPECT_THROW(proto::min_parties(1.0, 0.9, C::kResidualTolerance), sap::Error);
+  EXPECT_THROW(proto::min_parties(0.9, 0.0, C::kResidualTolerance), sap::Error);
+  EXPECT_THROW(proto::min_parties(0.9, 1.1, C::kResidualTolerance), sap::Error);
+}
+
+// ------------------------------------------------------------ SAP protocol
+
+class SapRun : public ::testing::Test {
+ protected:
+  static proto::SapResult run(std::size_t k, std::uint64_t seed,
+                              proto::SapProtocol** out_protocol = nullptr) {
+    static std::vector<std::unique_ptr<proto::SapProtocol>> keep_alive;
+    auto opts = proto::SapOptions::fast();
+    opts.seed = seed;
+    auto protocol =
+        std::make_unique<proto::SapProtocol>(provider_split("Iris", k, seed), opts);
+    auto result = protocol->run();
+    if (out_protocol) *out_protocol = protocol.get();
+    keep_alive.push_back(std::move(protocol));
+    return result;
+  }
+};
+
+TEST_F(SapRun, UnifiedDatasetPoolsAllRecords) {
+  const auto result = run(4, 1);
+  EXPECT_EQ(result.unified.size(), 150u);  // Iris row count
+  EXPECT_EQ(result.unified.dims(), 4u);
+  EXPECT_EQ(result.unified.classes().size(), 3u);
+}
+
+TEST_F(SapRun, CoordinatorNeverReceivesData) {
+  proto::SapProtocol* protocol = nullptr;
+  const auto result = run(5, 2, &protocol);
+  (void)result;
+  const auto& net = protocol->network();
+  const proto::PartyId coordinator = 4;  // k-1 with k=5
+  EXPECT_EQ(net.count_received(coordinator, proto::PayloadKind::kPerturbedData), 0u);
+  EXPECT_EQ(net.count_received(coordinator, proto::PayloadKind::kForwardedData), 0u);
+}
+
+TEST_F(SapRun, MinerReceivesExactlyKDatasetsAndKAdaptors) {
+  proto::SapProtocol* protocol = nullptr;
+  const auto result = run(5, 3, &protocol);
+  (void)result;
+  const auto& net = protocol->network();
+  const proto::PartyId miner = 5;
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kForwardedData), 5u);
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kAdaptorSequence), 5u);
+  // The miner must never see raw provider-to-provider traffic kinds.
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kPerturbedData), 0u);
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kTargetSpace), 0u);
+}
+
+TEST_F(SapRun, EveryProviderDatasetReachesMinerViaSomePeer) {
+  const auto result = run(6, 4);
+  ASSERT_EQ(result.audit_forwarder_of.size(), 6u);
+  const proto::PartyId coordinator = 5;
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NE(result.audit_forwarder_of[i], coordinator)
+        << "coordinator must never forward data";
+    EXPECT_LT(result.audit_forwarder_of[i], 5u);
+  }
+}
+
+TEST_F(SapRun, PartyReportsAreComplete) {
+  const auto result = run(4, 5);
+  ASSERT_EQ(result.parties.size(), 4u);
+  for (const auto& p : result.parties) {
+    EXPECT_GT(p.local_rho, 0.0);
+    EXPECT_GE(p.bound, p.local_rho);
+    EXPECT_GT(p.satisfaction, 0.0);
+    EXPECT_NEAR(p.identifiability, 1.0 / 3.0, 1e-12);
+    EXPECT_GE(p.risk_breach, 0.0);
+    EXPECT_LE(p.risk_breach, 1.0);
+    EXPECT_GE(p.risk_sap, 0.0);
+    EXPECT_LE(p.risk_sap, 1.0);
+  }
+}
+
+TEST_F(SapRun, DeterministicForSameSeed) {
+  const auto a = run(4, 42);
+  const auto b = run(4, 42);
+  EXPECT_TRUE(a.unified.features().approx_equal(b.unified.features(), 0.0));
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  ASSERT_EQ(a.parties.size(), b.parties.size());
+  for (std::size_t i = 0; i < a.parties.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.parties[i].local_rho, b.parties[i].local_rho);
+}
+
+TEST_F(SapRun, DifferentSeedsShuffleAssignments) {
+  const auto a = run(6, 1);
+  const auto b = run(6, 99);
+  // Forwarder assignments should differ for at least one provider across
+  // two independent runs (probability of full coincidence is negligible).
+  EXPECT_NE(a.audit_forwarder_of, b.audit_forwarder_of);
+}
+
+TEST_F(SapRun, MinerJobRunsAndReportsBroadcast) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 7;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 7), opts);
+  bool job_ran = false;
+  const auto result = protocol.run([&](const Dataset& unified) {
+    job_ran = true;
+    return std::vector<double>{static_cast<double>(unified.size())};
+  });
+  EXPECT_TRUE(job_ran);
+  (void)result;
+  // One model report per provider.
+  std::size_t reports = 0;
+  for (proto::PartyId p = 0; p < 4; ++p)
+    reports += protocol.network().count_received(p, proto::PayloadKind::kModelReport);
+  EXPECT_EQ(reports, 4u);
+}
+
+TEST_F(SapRun, FewerThanThreeProvidersRejected) {
+  auto opts = proto::SapOptions::fast();
+  EXPECT_THROW(proto::SapProtocol(provider_split("Iris", 2, 1), opts), sap::Error);
+}
+
+TEST_F(SapRun, MismatchedDimensionsRejected) {
+  auto parts = provider_split("Iris", 3, 1);
+  // Corrupt one provider with a different dimensionality.
+  parts[1] = Dataset("bad", Matrix(20, 3, 0.5), std::vector<int>(20, 0));
+  EXPECT_THROW(proto::SapProtocol(std::move(parts), proto::SapOptions::fast()), sap::Error);
+}
+
+// Parameterized end-to-end sweep: the §3 information-flow invariants must
+// hold for every (dataset, party count) combination, not just Iris/k=4.
+class SapInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, std::size_t>> {};
+
+TEST_P(SapInvariantSweep, InformationFlowInvariantsHold) {
+  const auto [dataset, k] = GetParam();
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 0xABC0 + k;
+  opts.compute_satisfaction = false;
+  auto shards = provider_split(dataset, k, 7 * k + 1);
+  std::size_t total_records = 0;
+  for (const auto& s : shards) total_records += s.size();
+
+  proto::SapProtocol protocol(std::move(shards), opts);
+  const auto result = protocol.run();
+  const auto& net = protocol.network();
+  const auto coordinator = static_cast<proto::PartyId>(k - 1);
+  const auto miner = static_cast<proto::PartyId>(k);
+
+  // 1. Unified pool is lossless.
+  EXPECT_EQ(result.unified.size(), total_records);
+  // 2. Coordinator never receives data.
+  EXPECT_EQ(net.count_received(coordinator, proto::PayloadKind::kPerturbedData), 0u);
+  EXPECT_EQ(net.count_received(coordinator, proto::PayloadKind::kForwardedData), 0u);
+  // 3. Miner receives exactly k shards + k adaptors, and nothing else that
+  //    would leak sources.
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kForwardedData), k);
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kAdaptorSequence), k);
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kTargetSpace), 0u);
+  EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kSpaceAdaptor), 0u);
+  // 4. Forwarders are never the coordinator.
+  for (const auto fwd : result.audit_forwarder_of) EXPECT_NE(fwd, coordinator);
+  // 5. Identifiability accounting matches the party count.
+  for (const auto& p : result.parties)
+    EXPECT_NEAR(p.identifiability, 1.0 / static_cast<double>(k - 1), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndParties, SapInvariantSweep,
+    ::testing::Combine(::testing::Values("Iris", "Wine", "Diabetes", "Votes"),
+                       ::testing::Values(std::size_t{3}, std::size_t{5}, std::size_t{8})),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SapIdentifiability, ForwarderChoiceIsNearUniformOverRuns) {
+  // Monte-Carlo check of pi_i = 1/(k-1): over many protocol runs, provider
+  // 0's data should reach the miner via each of the k-1 non-coordinator
+  // peers roughly equally often.
+  const std::size_t k = 5;
+  std::map<proto::PartyId, int> counts;
+  const int runs = 60;
+  for (int r = 0; r < runs; ++r) {
+    auto opts = proto::SapOptions::fast();
+    opts.seed = 1000 + static_cast<std::uint64_t>(r);
+    opts.compute_satisfaction = false;  // keep the Monte-Carlo cheap
+    proto::SapProtocol protocol(provider_split("Iris", k, 77), opts);
+    const auto result = protocol.run();
+    ++counts[result.audit_forwarder_of[0]];
+  }
+  ASSERT_LE(counts.size(), k - 1);
+  for (const auto& [forwarder, count] : counts) {
+    EXPECT_LT(forwarder, k - 1);
+    EXPECT_NEAR(static_cast<double>(count) / runs, 1.0 / (k - 1), 0.18);
+  }
+}
+
+// ------------------------------------------------------------ direct baseline
+
+TEST(DirectBaseline, PoolsAllRecordsWithFullIdentifiability) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 201;
+  opts.compute_satisfaction = false;
+  proto::DirectSubmissionProtocol protocol(provider_split("Iris", 4, 201), opts);
+  const auto result = protocol.run();
+  EXPECT_EQ(result.unified.size(), 150u);
+  ASSERT_EQ(result.parties.size(), 4u);
+  for (const auto& p : result.parties) EXPECT_DOUBLE_EQ(p.identifiability, 1.0);
+}
+
+TEST(DirectBaseline, RiskStrictlyAboveSapForSameParties) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 202;
+  auto shards_a = provider_split("Iris", 5, 202);
+  auto shards_b = shards_a;
+  proto::SapProtocol sap_protocol(std::move(shards_a), opts);
+  proto::DirectSubmissionProtocol direct_protocol(std::move(shards_b), opts);
+  const auto sap_result = sap_protocol.run();
+  const auto direct_result = direct_protocol.run();
+
+  double sap_risk_sum = 0.0, direct_risk_sum = 0.0;
+  for (const auto& p : sap_result.parties) sap_risk_sum += p.risk_breach;
+  for (const auto& p : direct_result.parties) direct_risk_sum += p.risk_breach;
+  // pi drops from 1 to 1/(k-1) = 1/4: risk should shrink accordingly.
+  EXPECT_LT(sap_risk_sum, direct_risk_sum);
+}
+
+TEST(DirectBaseline, CheaperOnTheWireThanSap) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 203;
+  opts.compute_satisfaction = false;
+  auto shards_a = provider_split("Iris", 4, 203);
+  auto shards_b = shards_a;
+  proto::SapProtocol sap_protocol(std::move(shards_a), opts);
+  proto::DirectSubmissionProtocol direct_protocol(std::move(shards_b), opts);
+  const auto sap_result = sap_protocol.run();
+  const auto direct_result = direct_protocol.run();
+  EXPECT_LT(direct_result.total_bytes, sap_result.total_bytes);
+}
+
+TEST(DirectBaseline, TwoProvidersAllowed) {
+  // Unlike SAP (which needs an anonymity set), direct submission works with
+  // two providers.
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 204;
+  opts.compute_satisfaction = false;
+  const Dataset pool = sap::data::make_uci("Iris", 204);
+  Engine eng(204);
+  sap::data::PartitionOptions popts;
+  auto shards = sap::data::partition(pool, 2, popts, eng);
+  proto::DirectSubmissionProtocol protocol(std::move(shards), opts);
+  EXPECT_EQ(protocol.run().unified.size(), 150u);
+}
+
+TEST(DirectBaseline, MinerJobRuns) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 205;
+  opts.compute_satisfaction = false;
+  proto::DirectSubmissionProtocol protocol(provider_split("Iris", 3, 205), opts);
+  bool ran = false;
+  (void)protocol.run([&](const Dataset& unified) {
+    ran = true;
+    return std::vector<double>{double(unified.size())};
+  });
+  EXPECT_TRUE(ran);
+}
+
+// ------------------------------------------------------------ failure injection
+
+TEST(SapFaults, DroppedDataMessageIsDetected) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 91;
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 91), opts);
+  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+    static bool dropped = false;
+    if (!dropped && kind == proto::PayloadKind::kPerturbedData) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  EXPECT_THROW(protocol.run(), sap::Error);
+  EXPECT_GE(protocol.network().dropped_count(), 1u);
+}
+
+TEST(SapFaults, DroppedRoutingNoticeAbortsBeforeExchange) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 92;
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 92), opts);
+  protocol.inject_faults([](proto::PartyId, proto::PartyId to, proto::PayloadKind kind) {
+    return kind == proto::PayloadKind::kRoutingNotice && to == 0;
+  });
+  try {
+    protocol.run();
+    FAIL() << "protocol must abort on missing setup messages";
+  } catch (const sap::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("setup"), std::string::npos);
+  }
+  // Crucially: no provider dataset may have reached the miner before the
+  // abort (nothing is mined from a half-configured round).
+  EXPECT_EQ(protocol.network().count_received(4, proto::PayloadKind::kForwardedData), 0u);
+}
+
+TEST(SapFaults, DroppedAdaptorIsDetected) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 93;
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 5, 93), opts);
+  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+    return kind == proto::PayloadKind::kSpaceAdaptor;
+  });
+  EXPECT_THROW(protocol.run(), sap::Error);
+}
+
+TEST(SapFaults, DroppedModelReportIsBenign) {
+  // Losing the final broadcast degrades service but must not corrupt the
+  // protocol result itself.
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 94;
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 94), opts);
+  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+    return kind == proto::PayloadKind::kModelReport;
+  });
+  const auto result = protocol.run(
+      [](const Dataset& unified) { return std::vector<double>{double(unified.size())}; });
+  EXPECT_EQ(result.unified.size(), 150u);
+  EXPECT_EQ(protocol.network().dropped_count(), 4u);
+}
+
+TEST(SapFaults, NoFaultsMeansNoDrops) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 95;
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 95), opts);
+  (void)protocol.run();
+  EXPECT_EQ(protocol.network().dropped_count(), 0u);
+}
+
+// ------------------------------------------------------------ source linking
+
+/// Split each shard: one half is what the miner observes, the other half
+/// models the provider's previously published statistics (see adversary.hpp
+/// on why profiles must not come from the observed shards themselves).
+static double linking_accuracy(sap::data::PartitionKind kind, std::uint64_t seed) {
+  const Dataset pool = sap::data::make_uci("Credit_g", seed);
+  Engine eng(seed ^ 0xAD);
+  sap::data::PartitionOptions popts;
+  popts.kind = kind;
+  popts.class_alpha = 0.4;
+  const auto shards = sap::data::partition(pool, 6, popts, eng);
+  std::vector<Dataset> observed, reference;
+  for (const auto& shard : shards) {
+    auto halves = sap::data::train_test_split(shard, 0.5, eng);
+    observed.push_back(std::move(halves.train));
+    reference.push_back(std::move(halves.test));
+  }
+  const auto obs = proto::observe_shards(observed, pool.classes());
+  const auto prof = proto::provider_profiles(reference, pool.classes());
+  return proto::link_sources(obs, prof).accuracy;
+}
+
+TEST(SourceLinking, UniformShardsStayNearBaseline) {
+  // Fingerprinting uniform shards via reference profiles should do poorly:
+  // all shards look like the pool.
+  double acc = 0.0;
+  const int reps = 8;
+  for (int rep = 0; rep < reps; ++rep)
+    acc += linking_accuracy(sap::data::PartitionKind::kUniform, 50 + rep);
+  EXPECT_LT(acc / reps, 0.55);
+}
+
+TEST(SourceLinking, ClassSkewedShardsAreFarMoreLinkable) {
+  double acc_uniform = 0.0, acc_class = 0.0;
+  const int reps = 8;
+  for (int rep = 0; rep < reps; ++rep) {
+    acc_uniform += linking_accuracy(sap::data::PartitionKind::kUniform, 70 + rep);
+    acc_class += linking_accuracy(sap::data::PartitionKind::kClass, 70 + rep);
+  }
+  EXPECT_GT(acc_class / reps, acc_uniform / reps + 0.15);
+}
+
+TEST(SourceLinking, PerfectFingerprintsAreFullyLinkable) {
+  // Degenerate sanity check: single-class shards with distinct classes are
+  // trivially linkable.
+  Matrix f(30, 2, 0.5);
+  std::vector<int> labels(30);
+  for (std::size_t i = 0; i < 30; ++i) labels[i] = static_cast<int>(i / 10);
+  const Dataset pool("three-classes", std::move(f), std::move(labels));
+  std::vector<Dataset> shards;
+  for (int c = 0; c < 3; ++c) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < 30; ++i)
+      if (pool.label(i) == c) idx.push_back(i);
+    shards.push_back(pool.subset(idx));
+  }
+  const auto obs = proto::observe_shards(shards, pool.classes());
+  const auto prof = proto::provider_profiles(shards, pool.classes());
+  const auto result = proto::link_sources(obs, prof);
+  EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+  EXPECT_NEAR(result.baseline, 0.5, 1e-12);
+}
+
+TEST(SourceLinking, InvalidInputsThrow) {
+  EXPECT_THROW(proto::link_sources({}, {}), sap::Error);
+  std::vector<proto::ShardObservation> one(1);
+  std::vector<proto::ProviderProfile> two(2);
+  EXPECT_THROW(proto::link_sources(one, two), sap::Error);
+}
+
+TEST(SapCost, BytesScaleWithDataNotWithGossip) {
+  // Data payloads dominate the wire cost: total bytes should be within a
+  // small factor of 2x the raw data volume (each record crosses two hops).
+  auto opts = proto::SapOptions::fast();
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 9), opts);
+  const auto result = protocol.run();
+  const std::size_t raw_bytes = 150 * 4 * sizeof(double);
+  EXPECT_GT(result.total_bytes, 2 * raw_bytes);       // two data hops
+  EXPECT_LT(result.total_bytes, 2 * raw_bytes * 3);   // plus bounded overhead
+}
+
+}  // namespace

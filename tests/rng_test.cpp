@@ -1,0 +1,246 @@
+// Unit and statistical tests for sap::rng::Engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using sap::rng::Engine;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Engine a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Engine a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Engine e(0);
+  // Must not get stuck at zero.
+  std::uint64_t ored = 0;
+  for (int i = 0; i < 8; ++i) ored |= e();
+  EXPECT_NE(ored, 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Engine e(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = e.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Engine e(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = e.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Engine e(11);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += e.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllBucketsRoughlyEvenly) {
+  Engine e(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[e.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Engine e(1);
+  EXPECT_THROW(e.uniform_index(0), sap::Error);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Engine e(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = e.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Engine e(1);
+  EXPECT_THROW(e.uniform_int(3, 2), sap::Error);
+}
+
+TEST(Rng, NormalMomentsMatchStandardGaussian) {
+  Engine e(19);
+  const int n = 200000;
+  double m1 = 0.0, m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = e.normal();
+    m1 += x;
+    m2 += x * x;
+  }
+  m1 /= n;
+  m2 /= n;
+  EXPECT_NEAR(m1, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMeanSigma) {
+  Engine e(23);
+  const int n = 100000;
+  double m1 = 0.0, m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = e.normal(10.0, 2.0);
+    m1 += x;
+    m2 += x * x;
+  }
+  m1 /= n;
+  const double var = m2 / n - m1 * m1;
+  EXPECT_NEAR(m1, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalNegativeSigmaThrows) {
+  Engine e(1);
+  EXPECT_THROW(e.normal(0.0, -1.0), sap::Error);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Engine e(29);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += e.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Engine e(31);
+  for (std::size_t n : {0u, 1u, 2u, 17u, 100u}) {
+    auto p = e.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::set<std::size_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), n);
+    if (n) {
+      EXPECT_EQ(*seen.begin(), 0u);
+      EXPECT_EQ(*seen.rbegin(), n - 1);
+    }
+  }
+}
+
+TEST(Rng, PermutationIsUniformOverPositions) {
+  // Each value should land in each position with probability 1/n.
+  Engine e(37);
+  const std::size_t n = 5;
+  const int trials = 30000;
+  std::vector<std::vector<int>> counts(n, std::vector<int>(n, 0));
+  for (int t = 0; t < trials; ++t) {
+    auto p = e.permutation(n);
+    for (std::size_t i = 0; i < n; ++i) ++counts[i][p[i]];
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(counts[i][j], trials / static_cast<int>(n), trials / 5 * 0.25);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndInRange) {
+  Engine e(41);
+  auto s = e.sample_without_replacement(50, 12);
+  ASSERT_EQ(s.size(), 12u);
+  std::set<std::size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 12u);
+  for (auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Engine e(43);
+  auto s = e.sample_without_replacement(8, 8);
+  std::set<std::size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, SampleWithoutReplacementTooManyThrows) {
+  Engine e(1);
+  EXPECT_THROW(e.sample_without_replacement(3, 4), sap::Error);
+}
+
+TEST(Rng, DirichletSumsToOneAndPositive) {
+  Engine e(47);
+  for (double alpha : {0.3, 1.0, 5.0}) {
+    auto w = e.dirichlet(6, alpha);
+    ASSERT_EQ(w.size(), 6u);
+    double total = 0.0;
+    for (double v : w) {
+      EXPECT_GT(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, DirichletLargeAlphaIsNearUniform) {
+  Engine e(53);
+  const std::size_t n = 4;
+  std::vector<double> mean(n, 0.0);
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    auto w = e.dirichlet(n, 100.0);
+    for (std::size_t i = 0; i < n; ++i) mean[i] += w[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(mean[i] / trials, 0.25, 0.02);
+}
+
+TEST(Rng, DirichletBadAlphaThrows) {
+  Engine e(1);
+  EXPECT_THROW(e.dirichlet(3, 0.0), sap::Error);
+  EXPECT_THROW(e.dirichlet(3, -1.0), sap::Error);
+}
+
+TEST(Rng, SpawnedChildIndependentOfParentContinuation) {
+  Engine parent(99);
+  Engine child = parent.spawn();
+  // Child stream should not mirror the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SpawnDeterministicGivenParentState) {
+  Engine p1(7), p2(7);
+  Engine c1 = p1.spawn();
+  Engine c2 = p2.spawn();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1(), c2());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGeneratorForStdShuffle) {
+  Engine e(61);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  auto sorted = v;
+  std::shuffle(v.begin(), v.end(), e);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
