@@ -66,7 +66,7 @@ int main() {
                    Table::num(rho_rand / (kRepeats * static_cast<double>(random_pool.size()))),
                    Table::num(rho_opt / kRepeats)});
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("attack_suite", table);
   std::printf("\nexpected: rho non-increasing down the table; the known-input attack\n"
               "bites as m grows; optimized G above the random-G mean on the suite it\n"
               "was optimized against (the bottom row).\n");

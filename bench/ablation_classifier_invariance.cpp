@@ -109,7 +109,7 @@ int main() {
     return rotation_deviation<ml::GaussianNaiveBayes>(d, s);
   });
 
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("classifier_invariance", table);
   std::printf("\nexpected: KNN exactly 0 everywhere; SVM/perceptron within noise of 0;\n"
               "GaussianNB collapses on VarSep (variance-separated classes, where the\n"
               "45-degree marginal argument applies) — the boundary of the paper's\n"

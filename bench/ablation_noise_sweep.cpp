@@ -51,7 +51,7 @@ int main() {
                    Table::num(base_knn * 100.0 + dev_knn, 1),
                    Table::num(base_svm * 100.0 + dev_svm, 1)});
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("noise_sweep", table);
   std::printf("\nexpected: rho increases with sigma; accuracy decays.  elapsed=%.1fs\n",
               sw.seconds());
   return 0;

@@ -45,7 +45,7 @@ int main() {
     table.add_row({std::to_string(n), Table::num(mean), Table::num(mean - rho_single),
                    Table::num(ms, 1)});
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("optimizer_rounds", table);
   std::printf("\nexpected: diminishing returns (max-of-n concentrates near b-hat).\n");
 
   // Refinement contribution at a fixed candidate budget.

@@ -37,8 +37,8 @@ int main() {
       opts.compute_satisfaction = true;
       opts.bound_runs = 2;
       opts.seed = 600 + k;
-      proto::SapProtocol protocol(std::move(parts), opts);
-      const auto result = protocol.run();
+      proto::SapSession session(std::move(parts), opts);
+      const auto result = session.run();
 
       double mean_s = 0.0, min_s = 1e300;
       std::size_t ge90 = 0, ge95 = 0;
@@ -54,7 +54,7 @@ int main() {
                      Table::num(static_cast<double>(ge95) / static_cast<double>(k), 2)});
     }
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("satisfaction", table);
   std::printf("\nexpected: mean s_i in the 0.75-0.95 band across datasets and k — the\n"
               "random unified space costs some local privacy (s_i < 1), but eq. (2)'s\n"
               "collaboration term also shrinks by 1/(k-1), which is the trade the\n"

@@ -55,7 +55,7 @@ int main() {
     table.add_row({std::to_string(k), Table::num(1.0 / static_cast<double>(k - 1)),
                    Table::num(acc_uniform / kRepeats), Table::num(acc_class / kRepeats)});
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("source_linking", table);
   std::printf(
       "\nnote: profiles come from a held-out half of each shard (published\n"
       "case-mix statistics), never from the observed shard itself. Uniform\n"

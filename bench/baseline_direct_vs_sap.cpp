@@ -38,8 +38,8 @@ int main() {
       opts.compute_satisfaction = true;
       opts.seed = 800 + k + seed;
 
-      proto::SapProtocol sap_protocol(std::move(shards_sap), opts);
-      const auto sap_result = sap_protocol.run();
+      proto::SapSession sap_session(std::move(shards_sap), opts);
+      const auto sap_result = sap_session.run();
       proto::DirectSubmissionProtocol direct_protocol(std::move(shards_direct), opts);
       const auto direct_result = direct_protocol.run();
 
@@ -67,7 +67,7 @@ int main() {
                    Table::num(kib_direct / n, 1), Table::num(acc_sap / n, 1),
                    Table::num(acc_direct / n, 1)});
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("baseline_direct_vs_sap", table);
   std::printf("\nexpected: SAP risk ~ direct risk / (k-1); SAP bytes ~ 2x direct\n"
               "(one extra data hop) plus adaptor routing; accuracies equivalent.\n");
   return 0;

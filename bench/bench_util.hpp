@@ -2,19 +2,25 @@
 //
 // Each fig*_ binary prints the series of one paper figure as an aligned
 // text table (sap::Table); EXPERIMENTS.md quotes these outputs verbatim.
+// emit_table() additionally writes the same series as BENCH_<name>.json so
+// the perf/accuracy trajectory can be tracked across PRs by machines.
 #pragma once
 
+#include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "classify/classifier.hpp"
+#include "common/table.hpp"
 #include "data/dataset.hpp"
 #include "data/normalize.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 #include "perturb/geometric.hpp"
-#include "protocol/sap.hpp"
+#include "protocol/session.hpp"
 
 namespace sap::bench {
 
@@ -52,8 +58,8 @@ std::pair<double, double> accuracy_deviation(const std::string& dataset,
 
   auto opts = sap_opts;
   opts.seed = seed ^ 0xF16;
-  proto::SapProtocol protocol(std::move(parts), opts);
-  const auto result = protocol.run();
+  proto::SapSession session(std::move(parts), opts);
+  const auto result = session.run();
 
   ClassifierT baseline;
   baseline.fit(split.train);
@@ -81,6 +87,85 @@ inline proto::SapOptions bench_sap_options() {
   o.bound_runs = 1;
   o.compute_satisfaction = false;
   return o;
+}
+
+// ---- machine-readable output ---------------------------------------------
+
+/// True when the cell prints unchanged as a JSON number (the Table cells are
+/// produced by std::to_string / Table::num, so plain decimal syntax covers
+/// every numeric cell the benches emit).
+inline bool is_json_number(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = (cell[0] == '-') ? 1 : 0;
+  if (i == cell.size()) return false;
+  bool digits = false, dot = false;
+  for (; i < cell.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(cell[i]))) {
+      digits = true;
+    } else if (cell[i] == '.' && !dot) {
+      dot = true;
+    } else {
+      return false;
+    }
+  }
+  return digits && cell.back() != '.';
+}
+
+/// Minimal JSON string escaping (the cells are ASCII table text).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Write `table` as BENCH_<name>.json in the working directory:
+///   {"bench": <name>, "columns": [...], "rows": [{column: value, ...}, ...]}
+/// Numeric cells become JSON numbers, everything else strings.
+inline void write_bench_json(const std::string& name, const Table& table) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n  \"columns\": [";
+  const auto& header = table.header();
+  for (std::size_t c = 0; c < header.size(); ++c)
+    out << (c ? ", " : "") << '"' << json_escape(header[c]) << '"';
+  out << "],\n  \"rows\": [\n";
+  const auto& rows = table.row_data();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "    {";
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      const std::string& cell = rows[r][c];
+      out << (c ? ", " : "") << '"' << json_escape(header[c]) << "\": ";
+      if (is_json_number(cell)) {
+        out << cell;
+      } else {
+        out << '"' << json_escape(cell) << '"';
+      }
+    }
+    out << '}' << (r + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "  ]\n}\n";
+}
+
+/// Print the table to stdout AND write BENCH_<name>.json beside it.
+inline void emit_table(const std::string& name, const Table& table) {
+  std::fputs(table.str().c_str(), stdout);
+  write_bench_json(name, table);
 }
 
 }  // namespace sap::bench

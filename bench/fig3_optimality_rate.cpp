@@ -56,7 +56,7 @@ int main() {
       table.add_row(std::move(row));
     }
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("fig3_optimality_rate", table);
   std::printf("\npaper-shape check: all rates in [0.75, 1.0] band "
               "(paper: 0.8-1.0).  elapsed=%.1fs\n", sw.seconds());
   return 0;

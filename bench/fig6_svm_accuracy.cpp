@@ -45,7 +45,7 @@ int main() {
                    Table::num(dev_uniform / n, 2), Table::num(dev_class / n, 2)});
     worst = std::min({worst, dev_uniform / n, dev_class / n});
   }
-  std::fputs(table.str().c_str(), stdout);
+  bench::emit_table("fig6_svm_accuracy", table);
   std::printf("\npaper-shape check: deviations within single digits of zero "
               "(paper: -8..+1 points); worst here = %.2f.  elapsed=%.1fs\n", worst,
               sw.seconds());

@@ -18,7 +18,7 @@
 #include "data/normalize.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
-#include "protocol/sap.hpp"
+#include "protocol/session.hpp"
 
 int main() {
   using namespace sap;
@@ -53,17 +53,32 @@ int main() {
   opts.bound_runs = 2;
   opts.seed = 424242;
 
-  proto::SapProtocol protocol(std::move(shards), opts);
+  opts.transport = proto::TransportKind::kThreadedLocal;  // one worker per party
+
+  proto::SapSession session(std::move(shards), opts);
+  session.run_until(proto::SessionPhase::kMine);  // the exchange, phase by phase
+
+  std::printf("\nprotocol phases (concurrent per-party execution):\n");
+  for (const auto& stats : session.phase_log())
+    std::printf("  %-20s %7.1f ms   %3zu msgs  %7.1f KiB\n",
+                proto::to_string(stats.phase).c_str(), stats.millis, stats.messages,
+                static_cast<double>(stats.total_bytes) / 1024.0);
+
+  // One exchange serves many mining jobs: train the SVM, then re-mine the
+  // pooled unified space with a second named job at zero exchange cost.
   double miner_train_acc = 0.0;
-  const proto::SapResult result = protocol.run([&](const data::Dataset& unified) {
+  const proto::SapResult result = session.mine([&](const data::Dataset& unified) {
     ml::Svm svm;
     svm.fit(unified);
     miner_train_acc = ml::accuracy(svm, unified);
     return std::vector<double>{miner_train_acc};
   });
+  const proto::SapResult knn_result = session.mine_named("knn-train-accuracy");
 
-  std::printf("\nminer unified %zu records in the target space (train acc %.1f%%)\n",
+  std::printf("\nminer unified %zu records in the target space (SVM train acc %.1f%%)\n",
               result.unified.size(), miner_train_acc * 100.0);
+  std::printf("second job on the same pool: knn-train-accuracy (+%zu report msgs only)\n",
+              knn_result.messages - result.messages);
   std::printf("network: %zu messages, %.1f KiB ciphertext total\n\n", result.messages,
               static_cast<double>(result.total_bytes) / 1024.0);
 

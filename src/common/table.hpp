@@ -27,6 +27,12 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for machine-readable re-emission (see bench_util's JSON).
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_data() const noexcept {
+    return rows_;
+  }
+
   /// Format a double with fixed precision (helper for cells).
   static std::string num(double v, int precision = 3);
 

@@ -1,8 +1,10 @@
 #include "protocol/baseline.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
+#include "privacy/attacks.hpp"
 
 namespace sap::proto {
 
@@ -17,8 +19,8 @@ DirectSubmissionProtocol::DirectSubmissionProtocol(std::vector<data::Dataset> pr
   }
 }
 
-const SimulatedNetwork& DirectSubmissionProtocol::network() const {
-  SAP_REQUIRE(net_.has_value(), "DirectSubmissionProtocol::network: call run() first");
+const Transport& DirectSubmissionProtocol::transport() const {
+  SAP_REQUIRE(net_ != nullptr, "DirectSubmissionProtocol::transport: call run() first");
   return *net_;
 }
 
@@ -27,7 +29,7 @@ SapResult DirectSubmissionProtocol::run(const MinerJob& job) {
   const std::size_t d = provider_data_.front().dims();
   rng::Engine master(opts_.seed);
 
-  net_.emplace(master());
+  net_ = make_transport(opts_.transport, master());
   std::vector<PartyId> provider_id(k);
   for (std::size_t i = 0; i < k; ++i) provider_id[i] = net_->add_party();
   const PartyId miner = net_->add_party();
@@ -49,25 +51,31 @@ SapResult DirectSubmissionProtocol::run(const MinerJob& job) {
     ps[i].eng = master.spawn();
   }
 
-  // Local optimization — identical to SAP step 1.
+  // Local optimization — identical to SAP phase 1; one task per provider so
+  // a concurrent transport parallelizes the dominant cost.
+  std::vector<std::function<void()>> optimize_tasks(k);
   for (std::size_t i = 0; i < k; ++i) {
-    auto& p = ps[i];
-    auto opt_opts = opts_.optimizer;
-    opt_opts.noise_sigma = opts_.noise_sigma;
-    if (opts_.optimize_local) {
-      const auto first = opt::optimize_perturbation(p.x, opt_opts, p.eng);
-      p.g = first.best;
-      p.rho = first.best_rho;
-      p.bound = first.best_rho;
-      for (std::size_t r = 1; r < opts_.bound_runs; ++r)
-        p.bound = std::max(p.bound, opt::optimize_perturbation(p.x, opt_opts, p.eng).best_rho);
-    } else {
-      p.g = perturb::GeometricPerturbation::random(d, opts_.noise_sigma, p.eng);
-      p.rho = opt::evaluate_perturbation(p.x, p.g, opt_opts.attacks,
-                                         opt_opts.max_eval_records, p.eng);
-      p.bound = p.rho;
-    }
+    optimize_tasks[i] = [this, &ps, d, i] {
+      auto& p = ps[i];
+      auto opt_opts = opts_.optimizer;
+      opt_opts.noise_sigma = opts_.noise_sigma;
+      if (opts_.optimize_local) {
+        const auto first = opt::optimize_perturbation(p.x, opt_opts, p.eng);
+        p.g = first.best;
+        p.rho = first.best_rho;
+        p.bound = first.best_rho;
+        for (std::size_t r = 1; r < opts_.bound_runs; ++r)
+          p.bound =
+              std::max(p.bound, opt::optimize_perturbation(p.x, opt_opts, p.eng).best_rho);
+      } else {
+        p.g = perturb::GeometricPerturbation::random(d, opts_.noise_sigma, p.eng);
+        p.rho = opt::evaluate_perturbation(p.x, p.g, opt_opts.attacks,
+                                           opt_opts.max_eval_records, p.eng);
+        p.bound = p.rho;
+      }
+    };
   }
+  net_->run_parties(std::move(optimize_tasks));
 
   // Provider 0 selects the target space and shares it with the other
   // providers (the miner must still not learn G_t).

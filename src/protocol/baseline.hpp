@@ -9,27 +9,28 @@
 // quantifies both sides of that trade.
 #pragma once
 
-#include "protocol/sap.hpp"
+#include "protocol/session.hpp"
 
 namespace sap::proto {
 
-/// Same options as SAP (optimizer budget, noise level, seed); the exchange
-/// and coordinator machinery are simply not used.
+/// Same options as SAP (optimizer budget, noise level, seed, transport
+/// backend); the exchange and coordinator machinery are simply not used.
 class DirectSubmissionProtocol {
  public:
   /// Requires >= 2 providers with equal dimensionality (same contract as
-  /// SapProtocol, minus the need for an anonymizing peer group).
+  /// SapSession, minus the need for an anonymizing peer group).
   DirectSubmissionProtocol(std::vector<data::Dataset> provider_data, SapOptions opts);
 
   /// Execute; `job` may be empty. PartyReports carry identifiability 1.
   SapResult run(const MinerJob& job = {});
 
-  [[nodiscard]] const SimulatedNetwork& network() const;
+  /// The transport of the last run (throws before the first run()).
+  [[nodiscard]] const Transport& transport() const;
 
  private:
   std::vector<data::Dataset> provider_data_;
   SapOptions opts_;
-  std::optional<SimulatedNetwork> net_;
+  std::unique_ptr<Transport> net_;
 };
 
 }  // namespace sap::proto

@@ -1,0 +1,45 @@
+#include "protocol/jobs.hpp"
+
+#include "classify/knn.hpp"
+#include "classify/naive_bayes.hpp"
+#include "classify/svm.hpp"
+
+namespace sap::proto {
+
+const std::map<std::string, MinerJob>& builtin_miner_jobs() {
+  static const std::map<std::string, MinerJob> registry = {
+      {"record-count",
+       [](const data::Dataset& unified) {
+         return std::vector<double>{static_cast<double>(unified.size())};
+       }},
+      {"class-histogram",
+       [](const data::Dataset& unified) {
+         const auto counts = unified.class_counts();
+         std::vector<double> report;
+         report.reserve(counts.size());
+         for (const auto count : counts) report.push_back(static_cast<double>(count));
+         return report;
+       }},
+      {"knn-train-accuracy",
+       [](const data::Dataset& unified) {
+         ml::Knn knn(5);
+         knn.fit(unified);
+         return std::vector<double>{ml::accuracy(knn, unified)};
+       }},
+      {"svm-train-accuracy",
+       [](const data::Dataset& unified) {
+         ml::Svm svm;
+         svm.fit(unified);
+         return std::vector<double>{ml::accuracy(svm, unified)};
+       }},
+      {"nb-train-accuracy",
+       [](const data::Dataset& unified) {
+         ml::GaussianNaiveBayes nb;
+         nb.fit(unified);
+         return std::vector<double>{ml::accuracy(nb, unified)};
+       }},
+  };
+  return registry;
+}
+
+}  // namespace sap::proto

@@ -1,0 +1,29 @@
+// Named MinerJob registry.
+//
+// A MinerJob is what the mining service provider executes on the unified
+// pool once the exchange is complete (SapSession phase kMine). Naming jobs
+// lets callers — sap_cli's --job flag, benches, repeated mine_named() calls
+// on one session — pick a workload without hand-writing the closure, and
+// lets one exchange serve many jobs (the protocol cost is paid once).
+//
+// The built-in registry covers the paper's mining workloads (KNN / SVM
+// training accuracy on the unified space) plus cheap structural jobs; every
+// SapSession starts with a copy and can register_job() its own.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "protocol/session.hpp"
+
+namespace sap::proto {
+
+/// The built-in named jobs:
+///   "record-count"       → {N}
+///   "class-histogram"    → {count of class 0, count of class 1, ...}
+///   "knn-train-accuracy" → {training accuracy of a 5-NN on the pool}
+///   "svm-train-accuracy" → {training accuracy of the SMO-trained SVM}
+///   "nb-train-accuracy"  → {training accuracy of Gaussian Naive Bayes}
+const std::map<std::string, MinerJob>& builtin_miner_jobs();
+
+}  // namespace sap::proto

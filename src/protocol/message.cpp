@@ -118,13 +118,16 @@ DecodedTargetSpace decode_target_space(std::span<const double> wire) {
   return out;
 }
 
-std::vector<double> encode_routing(PartyId receiver) {
-  return {static_cast<double>(receiver)};
+std::vector<double> encode_routing(PartyId receiver, std::uint32_t inbound) {
+  return {static_cast<double>(receiver), static_cast<double>(inbound)};
 }
 
-PartyId decode_routing(std::span<const double> wire) {
-  SAP_REQUIRE(wire.size() == 1, "decode_routing: malformed payload");
-  return static_cast<PartyId>(checked_count(wire[0], "party id"));
+RoutingNotice decode_routing(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() == 2, "decode_routing: malformed payload");
+  RoutingNotice notice;
+  notice.receiver = static_cast<PartyId>(checked_count(wire[0], "party id"));
+  notice.inbound = static_cast<std::uint32_t>(checked_count(wire[1], "inbound count"));
+  return notice;
 }
 
 }  // namespace sap::proto

@@ -87,8 +87,15 @@ struct DecodedTargetSpace {
 };
 DecodedTargetSpace decode_target_space(std::span<const double> wire);
 
-/// Routing notice: [receiver id].
-std::vector<double> encode_routing(PartyId receiver);
-PartyId decode_routing(std::span<const double> wire);
+/// Routing notice: [receiver id, inbound count]. The coordinator tells each
+/// provider where to send its perturbed data AND how many peer datasets it
+/// must expect and forward — the count is what lets a receiver detect a
+/// dropped exchange message instead of waiting on mail that never comes.
+std::vector<double> encode_routing(PartyId receiver, std::uint32_t inbound);
+struct RoutingNotice {
+  PartyId receiver = 0;    ///< where to send this provider's perturbed data
+  std::uint32_t inbound = 0;  ///< how many peer datasets to receive & forward
+};
+RoutingNotice decode_routing(std::span<const double> wire);
 
 }  // namespace sap::proto

@@ -13,12 +13,7 @@ PartyId SimulatedNetwork::add_party() {
 }
 
 std::uint64_t SimulatedNetwork::link_key(PartyId from, PartyId to) const {
-  // Deterministic per-directed-link key derivation from the session secret.
-  std::uint64_t h = session_secret_;
-  h ^= 0x9E3779B97F4A7C15ULL + (static_cast<std::uint64_t>(from) << 32 | to);
-  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
-  return h ^ (h >> 31);
+  return detail::derive_link_key(session_secret_, from, to);
 }
 
 void SimulatedNetwork::set_drop_filter(DropFilter filter) {
@@ -51,25 +46,13 @@ bool SimulatedNetwork::has_mail(PartyId party) const {
   return !inboxes_[party].empty();
 }
 
-SimulatedNetwork::Delivery SimulatedNetwork::receive(PartyId party) {
+Transport::Delivery SimulatedNetwork::receive(PartyId party) {
   SAP_REQUIRE(party < party_count(), "SimulatedNetwork::receive: unknown party");
   SAP_REQUIRE(!inboxes_[party].empty(), "SimulatedNetwork::receive: empty inbox");
   const std::size_t idx = inboxes_[party].front();
   inboxes_[party].pop_front();
   const Message& msg = trace_[idx];
   return {msg.from, msg.kind, msg.envelope.open(link_key(msg.from, msg.to))};
-}
-
-std::map<std::pair<PartyId, PartyId>, std::size_t> SimulatedNetwork::link_bytes() const {
-  std::map<std::pair<PartyId, PartyId>, std::size_t> bytes;
-  for (const Message& msg : trace_) bytes[{msg.from, msg.to}] += msg.wire_bytes;
-  return bytes;
-}
-
-std::size_t SimulatedNetwork::count_received(PartyId party, PayloadKind kind) const {
-  std::size_t count = 0;
-  for (const Message& msg : trace_) count += (msg.to == party && msg.kind == kind);
-  return count;
 }
 
 }  // namespace sap::proto

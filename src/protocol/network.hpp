@@ -1,5 +1,5 @@
 // In-process simulated network with per-link encryption and full metadata
-// tracing.
+// tracing — the synchronous Transport backend.
 //
 // Substitution note (DESIGN.md §2): the paper assumes encrypted channels
 // over a real network; here delivery is synchronous and in-process, but the
@@ -7,66 +7,57 @@
 // party can only open envelopes addressed to it, and the trace records
 // (from, to, kind, bytes) so tests and benches can audit exactly what each
 // role observed and what the protocol costs.
+//
+// Party tasks submitted through run_parties() execute sequentially in index
+// order (the Transport base policy); for a concurrent backend over the same
+// protocol code see ThreadedLocalTransport.
 #pragma once
 
 #include <deque>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "protocol/message.hpp"
-#include "rng/rng.hpp"
+#include "protocol/transport.hpp"
 
 namespace sap::proto {
 
-class SimulatedNetwork {
+class SimulatedNetwork final : public Transport {
  public:
   /// `session_secret` seeds per-link key derivation (models the out-of-band
   /// key exchange the paper assumes).
   explicit SimulatedNetwork(std::uint64_t session_secret);
 
   /// Register a party; returns its id (dense, starting at 0).
-  PartyId add_party();
+  PartyId add_party() override;
 
   /// Failure injection: drop (silently discard) messages matching the
   /// predicate. Dropped messages still appear in the trace (flagged) but are
   /// never delivered — models lossy links / crashed parties so tests can
   /// verify the protocol detects incomplete exchanges instead of mining a
   /// partial pool.
-  using DropFilter = std::function<bool(PartyId from, PartyId to, PayloadKind kind)>;
-  void set_drop_filter(DropFilter filter);
+  void set_drop_filter(DropFilter filter) override;
 
   /// Number of messages dropped so far.
-  [[nodiscard]] std::size_t dropped_count() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t dropped_count() const override { return dropped_; }
 
-  [[nodiscard]] std::size_t party_count() const noexcept { return inboxes_.size(); }
+  [[nodiscard]] std::size_t party_count() const override { return inboxes_.size(); }
 
   /// Encrypt `payload` for the (from, to) link and enqueue it.
-  void send(PartyId from, PartyId to, PayloadKind kind, std::span<const double> payload);
+  void send(PartyId from, PartyId to, PayloadKind kind,
+            std::span<const double> payload) override;
 
   /// True when `party` has pending messages.
-  [[nodiscard]] bool has_mail(PartyId party) const;
+  [[nodiscard]] bool has_mail(PartyId party) const override;
 
   /// Pop the oldest message addressed to `party` and decrypt it.
   /// Throws sap::Error when the inbox is empty.
-  struct Delivery {
-    PartyId from;
-    PayloadKind kind;
-    std::vector<double> payload;
-  };
-  Delivery receive(PartyId party);
+  Delivery receive(PartyId party) override;
 
   /// Complete metadata trace (ciphertext retained, no plaintext).
-  [[nodiscard]] const std::vector<Message>& trace() const noexcept { return trace_; }
+  [[nodiscard]] const std::vector<Message>& trace() const override { return trace_; }
 
   /// Total ciphertext bytes sent so far.
-  [[nodiscard]] std::size_t total_bytes() const noexcept { return total_bytes_; }
-
-  /// Bytes per (from, to) link — the protocol-cost experiments read this.
-  [[nodiscard]] std::map<std::pair<PartyId, PartyId>, std::size_t> link_bytes() const;
-
-  /// Messages of `kind` received by `party` (metadata audit for tests).
-  [[nodiscard]] std::size_t count_received(PartyId party, PayloadKind kind) const;
+  [[nodiscard]] std::size_t total_bytes() const override { return total_bytes_; }
 
  private:
   [[nodiscard]] std::uint64_t link_key(PartyId from, PartyId to) const;

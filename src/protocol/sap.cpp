@@ -1,348 +1,34 @@
 #include "protocol/sap.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/error.hpp"
-#include "common/logging.hpp"
 
 namespace sap::proto {
-namespace {
-
-/// Joint column subsample of an (original, transformed) pair so the privacy
-/// metric compares the same records on both sides.
-void joint_subsample(const linalg::Matrix& x, const linalg::Matrix& y,
-                     std::size_t max_records, rng::Engine& eng, linalg::Matrix& x_out,
-                     linalg::Matrix& y_out) {
-  if (x.cols() <= max_records) {
-    x_out = x;
-    y_out = y;
-    return;
-  }
-  const auto idx = eng.sample_without_replacement(x.cols(), max_records);
-  x_out = linalg::Matrix(x.rows(), max_records);
-  y_out = linalg::Matrix(y.rows(), max_records);
-  for (std::size_t j = 0; j < max_records; ++j) {
-    const linalg::Vector xc = x.col(idx[j]);
-    const linalg::Vector yc = y.col(idx[j]);
-    x_out.set_col(j, xc);
-    y_out.set_col(j, yc);
-  }
-}
-
-}  // namespace
-
-SapOptions SapOptions::fast() {
-  SapOptions o;
-  o.optimizer.candidates = 4;
-  o.optimizer.refine_steps = 2;
-  o.optimizer.max_eval_records = 80;
-  o.optimizer.attacks.ica = false;  // naive + known-input: cheap and sufficient for tests
-  o.optimizer.attacks.known_inputs = 3;
-  o.bound_runs = 1;
-  return o;
-}
 
 SapProtocol::SapProtocol(std::vector<data::Dataset> provider_data, SapOptions opts)
     : provider_data_(std::move(provider_data)), opts_(opts) {
-  SAP_REQUIRE(provider_data_.size() >= 3,
-              "SapProtocol: need at least 3 providers (2 non-coordinator peers)");
-  const std::size_t d = provider_data_.front().dims();
-  for (const auto& ds : provider_data_) {
-    SAP_REQUIRE(ds.dims() == d, "SapProtocol: providers disagree on dimensionality");
-    SAP_REQUIRE(ds.size() >= 8, "SapProtocol: provider dataset too small (need >= 8 records)");
-  }
-  SAP_REQUIRE(opts_.bound_runs >= 1, "SapProtocol: bound_runs must be >= 1");
-  SAP_REQUIRE(opts_.noise_sigma >= 0.0, "SapProtocol: noise_sigma must be non-negative");
-}
-
-const SimulatedNetwork& SapProtocol::network() const {
-  SAP_REQUIRE(net_.has_value(), "SapProtocol::network: call run() first");
-  return *net_;
+  opts_.transport = TransportKind::kSimulated;
+  // Fail fast on contract violations without paying for a session (which
+  // would copy every shard); run() builds the session lazily.
+  SapSession::validate(provider_data_, opts_);
 }
 
 void SapProtocol::inject_faults(SimulatedNetwork::DropFilter filter) {
   fault_filter_ = std::move(filter);
 }
 
+const SimulatedNetwork& SapProtocol::network() const {
+  SAP_REQUIRE(session_ != nullptr, "SapProtocol::network: call run() first");
+  const auto* net = dynamic_cast<const SimulatedNetwork*>(&session_->transport());
+  SAP_REQUIRE(net != nullptr, "SapProtocol::network: transport is not a SimulatedNetwork");
+  return *net;
+}
+
 SapResult SapProtocol::run(const MinerJob& job) {
-  const std::size_t k = provider_data_.size();
-  const std::size_t d = provider_data_.front().dims();
-  rng::Engine master(opts_.seed);
-
-  net_.emplace(master());
-  if (fault_filter_) net_->set_drop_filter(fault_filter_);
-  std::vector<PartyId> provider_id(k);
-  for (std::size_t i = 0; i < k; ++i) provider_id[i] = net_->add_party();
-  const PartyId coordinator = provider_id[k - 1];
-  const PartyId miner = net_->add_party();
-
-  // ---------------- provider-local state (each entry is private to that
-  // provider; the simulation keeps them in one vector but nothing below
-  // reads across parties except through the network).
-  struct ProviderState {
-    linalg::Matrix x;  // d x N original (normalized) data
-    std::vector<int> labels;
-    perturb::GeometricPerturbation g;
-    double rho = 0.0;
-    double bound = 0.0;
-    linalg::Matrix y;  // perturbed data actually shipped
-    perturb::GeometricPerturbation target;  // G_t as received
-    perturb::SpaceAdaptor adaptor;
-    std::uint64_t nonce = 0;
-    PartyId send_to = 0;
-    rng::Engine eng{0};
-  };
-  std::vector<ProviderState> ps(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    ps[i].x = provider_data_[i].features_T();
-    ps[i].labels = provider_data_[i].labels();
-    ps[i].eng = master.spawn();
-  }
-
-  // ---------------- step 1: local perturbation optimization
-  for (std::size_t i = 0; i < k; ++i) {
-    auto& p = ps[i];
-    auto opt_opts = opts_.optimizer;
-    opt_opts.noise_sigma = opts_.noise_sigma;  // common noise component
-    if (opts_.optimize_local) {
-      opt::OptimizationResult first = opt::optimize_perturbation(p.x, opt_opts, p.eng);
-      p.g = first.best;
-      p.rho = first.best_rho;
-      p.bound = first.best_rho;
-      for (std::size_t r = 1; r < opts_.bound_runs; ++r) {
-        const auto extra = opt::optimize_perturbation(p.x, opt_opts, p.eng);
-        p.bound = std::max(p.bound, extra.best_rho);
-      }
-    } else {
-      p.g = perturb::GeometricPerturbation::random(d, opts_.noise_sigma, p.eng);
-      p.rho = opt::evaluate_perturbation(p.x, p.g, opt_opts.attacks,
-                                         opt_opts.max_eval_records, p.eng);
-      p.bound = p.rho;
-      for (std::size_t r = 1; r < opts_.bound_runs; ++r) {
-        const auto probe = perturb::GeometricPerturbation::random(d, opts_.noise_sigma, p.eng);
-        p.bound = std::max(p.bound, opt::evaluate_perturbation(p.x, probe, opt_opts.attacks,
-                                                               opt_opts.max_eval_records,
-                                                               p.eng));
-      }
-    }
-    p.nonce = ps[i].eng() >> 32;  // 32-bit nonce, exactly representable as double
-  }
-
-  // ---------------- step 2: coordinator selects the noise-free target space
-  rng::Engine coord_eng = master.spawn();
-  const auto g_t = perturb::GeometricPerturbation::random(d, /*noise_sigma=*/0.0, coord_eng);
-  const auto target_wire = encode_target_space(g_t.rotation(), g_t.translation());
-  for (std::size_t i = 0; i + 1 < k; ++i)
-    net_->send(coordinator, provider_id[i], PayloadKind::kTargetSpace, target_wire);
-  ps[k - 1].target = g_t;  // the coordinator knows its own choice
-
-  // ---------------- step 3: permutation with coordinator redirect
-  const auto tau = coord_eng.permutation(k);
-  const std::size_t redirect = coord_eng.uniform_index(k - 1);
-  std::vector<PartyId> receiver_of_source(k);
-  for (std::size_t pos = 0; pos < k; ++pos) {
-    const std::size_t source = tau[pos];
-    const std::size_t receiver = (pos == k - 1) ? redirect : pos;
-    receiver_of_source[source] = provider_id[receiver];
-  }
-  for (std::size_t i = 0; i + 1 < k; ++i)
-    net_->send(coordinator, provider_id[i], PayloadKind::kRoutingNotice,
-               encode_routing(receiver_of_source[i]));
-  ps[k - 1].send_to = receiver_of_source[k - 1];
-
-  // providers drain target-space + routing notices; a provider that did not
-  // receive BOTH must abort the round (a dropped setup message would
-  // otherwise silently misroute its data).
-  for (std::size_t i = 0; i + 1 < k; ++i) {
-    bool got_target = false;
-    bool got_routing = false;
-    while (net_->has_mail(provider_id[i])) {
-      const auto msg = net_->receive(provider_id[i]);
-      switch (msg.kind) {
-        case PayloadKind::kTargetSpace: {
-          const auto ts = decode_target_space(msg.payload);
-          ps[i].target = perturb::GeometricPerturbation(ts.r, ts.t, 0.0);
-          got_target = true;
-          break;
-        }
-        case PayloadKind::kRoutingNotice:
-          ps[i].send_to = decode_routing(msg.payload);
-          got_routing = true;
-          break;
-        default:
-          SAP_FAIL("SapProtocol: unexpected message kind in setup phase");
-      }
-    }
-    SAP_REQUIRE(got_target && got_routing,
-                "SapProtocol: provider missed setup messages (lossy network?) — aborting");
-  }
-
-  // ---------------- step 4: perturb and exchange
-  // tau may map a provider to itself; in that case the dataset simply stays
-  // put (no wire message) and the provider forwards its own perturbed data —
-  // the miner cannot distinguish this case, so pi_i = 1/(k-1) still holds.
-  std::vector<std::vector<std::vector<double>>> self_held(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    auto& p = ps[i];
-    p.y = p.g.apply(p.x, p.eng);
-    std::vector<double> wire;
-    wire.push_back(static_cast<double>(p.nonce));
-    const auto body = encode_dataset(p.y, p.labels);
-    wire.insert(wire.end(), body.begin(), body.end());
-    if (p.send_to == provider_id[i]) {
-      self_held[i].push_back(std::move(wire));
-    } else {
-      net_->send(provider_id[i], p.send_to, PayloadKind::kPerturbedData, wire);
-    }
-  }
-  // peers forward everything they received (or held) to the miner
-  for (std::size_t i = 0; i + 1 < k; ++i) {
-    for (const auto& wire : self_held[i])
-      net_->send(provider_id[i], miner, PayloadKind::kForwardedData, wire);
-    while (net_->has_mail(provider_id[i])) {
-      const auto msg = net_->receive(provider_id[i]);
-      SAP_REQUIRE(msg.kind == PayloadKind::kPerturbedData,
-                  "SapProtocol: unexpected message kind in exchange phase");
-      net_->send(provider_id[i], miner, PayloadKind::kForwardedData, msg.payload);
-    }
-  }
-  SAP_REQUIRE(self_held[k - 1].empty(),
-              "SapProtocol invariant violated: coordinator assigned as receiver");
-  SAP_REQUIRE(!net_->has_mail(coordinator),
-              "SapProtocol invariant violated: coordinator received a dataset");
-
-  // ---------------- step 5: adaptors to the coordinator, aligned to miner
-  for (std::size_t i = 0; i < k; ++i) {
-    auto& p = ps[i];
-    p.adaptor = perturb::SpaceAdaptor::between(p.g, p.target);
-    if (provider_id[i] != coordinator) {
-      std::vector<double> wire;
-      wire.push_back(static_cast<double>(p.nonce));
-      const auto body = p.adaptor.serialize();
-      wire.insert(wire.end(), body.begin(), body.end());
-      net_->send(provider_id[i], coordinator, PayloadKind::kSpaceAdaptor, wire);
-    }
-  }
-  // coordinator collects (nonce, adaptor) pairs — its own included — and
-  // ships the sequence to the miner. It never learns more than it already
-  // knows (it generated tau), and the miner learns nothing about sources.
-  {
-    std::vector<std::vector<double>> entries;
-    while (net_->has_mail(coordinator)) {
-      const auto msg = net_->receive(coordinator);
-      SAP_REQUIRE(msg.kind == PayloadKind::kSpaceAdaptor,
-                  "SapProtocol: coordinator expected only adaptors");
-      entries.push_back(msg.payload);
-    }
-    std::vector<double> own;
-    own.push_back(static_cast<double>(ps[k - 1].nonce));
-    const auto body = ps[k - 1].adaptor.serialize();
-    own.insert(own.end(), body.begin(), body.end());
-    entries.push_back(std::move(own));
-    // Shuffle so the wire order itself carries no information about
-    // provider identity.
-    for (std::size_t i = entries.size(); i > 1; --i)
-      std::swap(entries[i - 1], entries[coord_eng.uniform_index(i)]);
-    for (const auto& e : entries)
-      net_->send(coordinator, miner, PayloadKind::kAdaptorSequence, e);
-  }
-
-  // ---------------- step 6: the miner unifies and mines
-  struct MinerDataset {
-    std::uint64_t nonce;
-    PartyId forwarder;
-    DecodedDataset data;
-  };
-  std::vector<MinerDataset> received;
-  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> adaptors;
-  while (net_->has_mail(miner)) {
-    const auto msg = net_->receive(miner);
-    const std::span<const double> payload(msg.payload);
-    SAP_REQUIRE(!payload.empty(), "SapProtocol: empty payload at miner");
-    const auto nonce = static_cast<std::uint64_t>(payload[0]);
-    if (msg.kind == PayloadKind::kForwardedData) {
-      received.push_back({nonce, msg.from, decode_dataset(payload.subspan(1))});
-    } else if (msg.kind == PayloadKind::kAdaptorSequence) {
-      adaptors.emplace_back(nonce, perturb::SpaceAdaptor::deserialize(payload.subspan(1)));
-    } else {
-      SAP_FAIL("SapProtocol: unexpected message kind at miner");
-    }
-  }
-  SAP_REQUIRE(received.size() == k && adaptors.size() == k,
-              "SapProtocol: miner did not receive k datasets and k adaptors");
-
-  linalg::Matrix unified_features;  // d x N_total, built incrementally
-  std::vector<int> unified_labels;
-  for (const auto& rec : received) {
-    const auto it = std::find_if(adaptors.begin(), adaptors.end(),
-                                 [&](const auto& a) { return a.first == rec.nonce; });
-    SAP_REQUIRE(it != adaptors.end(), "SapProtocol: no adaptor for received dataset");
-    linalg::Matrix in_target = it->second.apply(rec.data.features);
-    unified_features = unified_features.empty()
-                           ? std::move(in_target)
-                           : linalg::Matrix::hcat(unified_features, in_target);
-    unified_labels.insert(unified_labels.end(), rec.data.labels.begin(),
-                          rec.data.labels.end());
-  }
-
-  SapResult result;
-  result.unified = data::Dataset("sap-unified", unified_features.transpose(),
-                                 std::move(unified_labels));
-  result.target_space = g_t;
-
-  if (job) {
-    const std::vector<double> report = job(result.unified);
-    for (std::size_t i = 0; i < k; ++i)
-      net_->send(miner, provider_id[i], PayloadKind::kModelReport, report);
-    for (std::size_t i = 0; i < k; ++i)
-      while (net_->has_mail(provider_id[i])) (void)net_->receive(provider_id[i]);
-  }
-
-  // ---------------- accounting (party-side knowledge only: each provider
-  // knows X_i, G_i, G_t and can score its own exposure).
-  const double pi = 1.0 / static_cast<double>(k - 1);
-  const privacy::AttackSuite suite(opts_.optimizer.attacks);
-  for (std::size_t i = 0; i < k; ++i) {
-    auto& p = ps[i];
-    PartyReport report;
-    report.id = provider_id[i];
-    report.local_rho = p.rho;
-    report.bound = std::max(p.bound, p.rho);
-    report.identifiability = pi;
-
-    if (opts_.compute_satisfaction && p.rho > 0.0) {
-      const linalg::Matrix y_in_target = p.adaptor.apply(p.y);
-      linalg::Matrix x_s, y_s;
-      joint_subsample(p.x, y_in_target, opts_.optimizer.max_eval_records, p.eng, x_s, y_s);
-      report.unified_rho = suite.evaluate(x_s, y_s, p.eng).rho;
-      report.satisfaction = std::min(report.unified_rho / p.rho, report.bound / p.rho);
-    } else {
-      report.unified_rho = p.rho;
-      report.satisfaction = 1.0;
-    }
-
-    RiskInputs in{.rho = std::min(report.local_rho, report.bound),
-                  .bound = report.bound,
-                  .satisfaction = report.satisfaction,
-                  .identifiability = pi};
-    report.risk_breach = risk_of_privacy_breach(in);
-    report.risk_sap = sap_risk(in, k);
-    result.parties.push_back(report);
-  }
-
-  result.messages = net_->trace().size();
-  result.total_bytes = net_->total_bytes();
-  result.audit_receiver_of.resize(k);
-  result.audit_forwarder_of.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    result.audit_receiver_of[i] = receiver_of_source[i];
-    const auto it = std::find_if(received.begin(), received.end(),
-                                 [&](const auto& r) { return r.nonce == ps[i].nonce; });
-    SAP_REQUIRE(it != received.end(), "SapProtocol: audit lost a dataset");
-    result.audit_forwarder_of[i] = it->forwarder;
-  }
-  return result;
+  // Fresh session per run: historical SapProtocol::run() semantics (a new
+  // network and trace each call).
+  session_ = std::make_unique<SapSession>(provider_data_, opts_);
+  if (fault_filter_) session_->inject_faults(fault_filter_);
+  return session_->run(job);
 }
 
 }  // namespace sap::proto

@@ -1,131 +1,47 @@
-// Space Adaptation Protocol (paper §3) — end-to-end orchestration.
+// SapProtocol — single-shot compatibility wrapper over SapSession.
 //
-// Roles (all simulated in-process over SimulatedNetwork, which enforces and
-// records the information flow):
-//   * k data providers DP_0 .. DP_{k-1}; DP_{k-1} doubles as the
-//     *coordinator* (the paper's DP_k),
-//   * one mining service provider (SP / "the miner").
+// COMPATIBILITY SHIM, kept for one release: new code should construct a
+// SapSession (session.hpp) directly — it exposes the protocol phases, the
+// pluggable Transport backend, and re-runnable named mining jobs. This
+// wrapper preserves the original one-call surface (construct → run() →
+// network()) for callers that have not migrated yet; it always runs over
+// the synchronous SimulatedNetwork backend.
 //
-// Steps:
-//   1. every provider locally optimizes its perturbation G_i : (R_i, t_i)
-//      with the common noise level sigma (randomized optimizer of [2]);
-//   2. the coordinator selects a random *noise-free* target space
-//      G_t : (R_t, t_t) and distributes it to the providers (encrypted);
-//   3. the coordinator samples a permutation tau of the k providers and
-//      redirects its own slot to a random non-coordinator provider j —
-//      the coordinator must never receive data because it later holds the
-//      space adaptors, which would let it undo any perturbation it saw;
-//   4. providers perturb (Y_i = R_i X_i + Psi_i + Delta_i) and send Y_i to
-//      their assigned peer; peers forward everything to the miner —
-//      from the miner's view each dataset now comes from any of the k-1
-//      forwarders, so source identifiability drops to 1/(k-1);
-//   5. providers send their space adaptor A_it = <R_it, Psi_it> to the
-//      coordinator, which aligns adaptors with forwarders via tau and ships
-//      the aligned sequence to the miner;
-//   6. the miner applies each adaptor to the matching dataset, obtaining
-//      every record in the unified target space (noise inherited from the
-//      source spaces), pools them, runs the mining job, and reports back.
-//
-// The run() result carries the miner's unified dataset, per-party privacy
-// accounting (rho_i, b_i, satisfaction s_i, identifiability pi_i, risk
-// eq. (1) and eq. (2)) and cost statistics from the network trace.
+// Each run() executes a fresh session (fresh transport, fresh trace), which
+// matches the historical semantics of the monolithic SapProtocol::run().
 #pragma once
 
-#include <functional>
-#include <optional>
-#include <vector>
-
-#include "data/dataset.hpp"
-#include "optimize/optimizer.hpp"
-#include "perturb/geometric.hpp"
-#include "perturb/space_adaptor.hpp"
 #include "protocol/network.hpp"
-#include "protocol/risk.hpp"
+#include "protocol/session.hpp"
 
 namespace sap::proto {
 
-struct SapOptions {
-  /// Common noise level Delta shared by all parties (paper §3).
-  double noise_sigma = 0.1;
-  /// Locally optimize G_i (paper default). false → random G_i, the
-  /// baseline of Figure 2.
-  bool optimize_local = true;
-  /// Randomized-optimizer configuration (also supplies the attack suite
-  /// used for rho / satisfaction accounting).
-  opt::OptimizerOptions optimizer{};
-  /// Extra optimization runs per party used to estimate the bound b_i
-  /// (>= 1; the paper estimates b empirically as a max over runs).
-  std::size_t bound_runs = 2;
-  /// Evaluate satisfaction s_i = rho^G_i / rho_i (costs one attack-suite
-  /// evaluation per party; disable for pure cost benches).
-  bool compute_satisfaction = true;
-  /// Master seed: a run is bit-for-bit reproducible given options + data.
-  std::uint64_t seed = 0x5A9;
-
-  /// Cheap preset for unit tests (few candidates, no refinement).
-  static SapOptions fast();
-};
-
-/// Per-provider accounting, all in the paper's notation.
-struct PartyReport {
-  PartyId id = 0;
-  double local_rho = 0.0;        ///< rho_i
-  double bound = 0.0;            ///< b-hat_i
-  double unified_rho = 0.0;      ///< rho^G_i (privacy in the target space)
-  double satisfaction = 0.0;     ///< s_i = rho^G_i / rho_i (capped at b_i/rho_i)
-  double identifiability = 0.0;  ///< pi_i = 1/(k-1)
-  double risk_breach = 0.0;      ///< eq. (1), miner's view
-  double risk_sap = 0.0;         ///< eq. (2), overall
-};
-
-struct SapResult {
-  /// Miner's pooled dataset in the unified target space (N x d rows).
-  data::Dataset unified;
-  /// Target space parameters (provider-side knowledge; needed to transform
-  /// test data into the mining space — never shipped to the miner).
-  perturb::GeometricPerturbation target_space;
-  std::vector<PartyReport> parties;
-
-  // ---- cost statistics (from the network trace)
-  std::size_t messages = 0;
-  std::size_t total_bytes = 0;
-
-  // ---- audit-only ground truth (invisible to the simulated miner; used by
-  //      tests to verify the anonymity mechanics)
-  std::vector<PartyId> audit_receiver_of;   ///< provider i's data went to this peer
-  std::vector<PartyId> audit_forwarder_of;  ///< and reached the miner via this peer
-};
-
-/// Optional mining job executed at the miner on the unified dataset; the
-/// returned doubles are broadcast back to providers as kModelReport.
-using MinerJob = std::function<std::vector<double>(const data::Dataset&)>;
-
 class SapProtocol {
  public:
-  /// One dataset per provider (>= 3 providers: with fewer than two
-  /// non-coordinator providers the exchange cannot anonymize anything).
-  /// All datasets must share dimensionality and be pre-normalized.
+  /// One dataset per provider (>= 3 providers; same contract as SapSession).
   SapProtocol(std::vector<data::Dataset> provider_data, SapOptions opts);
 
-  /// Execute the protocol; `job` may be empty.
+  /// Execute the full protocol; `job` may be empty.
   SapResult run(const MinerJob& job = {});
 
   /// Failure injection for tests/benches: messages matching the filter are
-  /// dropped by the network during the next run(). The protocol must detect
-  /// the incomplete exchange and throw sap::Error rather than mine a partial
-  /// pool (DESIGN.md §4 invariant 3).
+  /// dropped during the next run(). The protocol must detect the incomplete
+  /// exchange and throw sap::Error rather than mine a partial pool
+  /// (DESIGN.md §4 invariant 3).
   void inject_faults(SimulatedNetwork::DropFilter filter);
 
-  /// Network trace of the last run (empty before run()); tests audit this.
+  /// Network trace of the last run (throws before the first run()).
   [[nodiscard]] const SimulatedNetwork& network() const;
 
-  [[nodiscard]] std::size_t provider_count() const noexcept { return provider_data_.size(); }
+  [[nodiscard]] std::size_t provider_count() const noexcept {
+    return provider_data_.size();
+  }
 
  private:
   std::vector<data::Dataset> provider_data_;
   SapOptions opts_;
-  SimulatedNetwork::DropFilter fault_filter_;
-  std::optional<SimulatedNetwork> net_;
+  Transport::DropFilter fault_filter_;
+  std::unique_ptr<SapSession> session_;
 };
 
 }  // namespace sap::proto

@@ -1,0 +1,510 @@
+#include "protocol/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "privacy/attacks.hpp"
+#include "protocol/jobs.hpp"
+
+namespace sap::proto {
+namespace {
+
+/// Joint column subsample of an (original, transformed) pair so the privacy
+/// metric compares the same records on both sides.
+void joint_subsample(const linalg::Matrix& x, const linalg::Matrix& y,
+                     std::size_t max_records, rng::Engine& eng, linalg::Matrix& x_out,
+                     linalg::Matrix& y_out) {
+  if (x.cols() <= max_records) {
+    x_out = x;
+    y_out = y;
+    return;
+  }
+  const auto idx = eng.sample_without_replacement(x.cols(), max_records);
+  x_out = linalg::Matrix(x.rows(), max_records);
+  y_out = linalg::Matrix(y.rows(), max_records);
+  for (std::size_t j = 0; j < max_records; ++j) {
+    const linalg::Vector xc = x.col(idx[j]);
+    const linalg::Vector yc = y.col(idx[j]);
+    x_out.set_col(j, xc);
+    y_out.set_col(j, yc);
+  }
+}
+
+}  // namespace
+
+SapOptions SapOptions::fast() {
+  SapOptions o;
+  o.optimizer.candidates = 4;
+  o.optimizer.refine_steps = 2;
+  o.optimizer.max_eval_records = 80;
+  o.optimizer.attacks.ica = false;  // naive + known-input: cheap and sufficient for tests
+  o.optimizer.attacks.known_inputs = 3;
+  o.bound_runs = 1;
+  return o;
+}
+
+std::string to_string(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kLocalOptimize: return "local-optimize";
+    case SessionPhase::kTargetDistribution: return "target-distribution";
+    case SessionPhase::kPermutationExchange: return "permutation-exchange";
+    case SessionPhase::kPerturbAndForward: return "perturb-and-forward";
+    case SessionPhase::kAdaptorAlignment: return "adaptor-alignment";
+    case SessionPhase::kMine: return "mine";
+  }
+  return "unknown";
+}
+
+SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts)
+    : SapSession(std::move(provider_data), opts, TransportFactory{}) {}
+
+void SapSession::validate(const std::vector<data::Dataset>& provider_data,
+                          const SapOptions& opts) {
+  SAP_REQUIRE(provider_data.size() >= 3,
+              "SapSession: need at least 3 providers (2 non-coordinator peers)");
+  const std::size_t d = provider_data.front().dims();
+  for (const auto& ds : provider_data) {
+    SAP_REQUIRE(ds.dims() == d, "SapSession: providers disagree on dimensionality");
+    SAP_REQUIRE(ds.size() >= 8, "SapSession: provider dataset too small (need >= 8 records)");
+  }
+  SAP_REQUIRE(opts.bound_runs >= 1, "SapSession: bound_runs must be >= 1");
+  SAP_REQUIRE(opts.noise_sigma >= 0.0, "SapSession: noise_sigma must be non-negative");
+}
+
+SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts,
+                       TransportFactory transport_factory)
+    : opts_(opts), master_(opts.seed) {
+  validate(provider_data, opts_);
+  dims_ = provider_data.front().dims();
+
+  const std::size_t k = provider_data.size();
+  const std::uint64_t session_secret = master_();
+  transport_ = transport_factory ? transport_factory(session_secret)
+                                 : make_transport(opts_.transport, session_secret);
+  SAP_REQUIRE(transport_ != nullptr, "SapSession: transport factory returned null");
+
+  provider_id_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) provider_id_[i] = transport_->add_party();
+  coordinator_ = provider_id_[k - 1];
+  miner_ = transport_->add_party();
+
+  ps_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    ps_[i].x = provider_data[i].features_T();
+    ps_[i].labels = provider_data[i].labels();
+    ps_[i].eng = master_.spawn();
+  }
+  coord_eng_ = master_.spawn();
+
+  jobs_ = builtin_miner_jobs();
+}
+
+void SapSession::inject_faults(Transport::DropFilter filter) {
+  transport_->set_drop_filter(std::move(filter));
+}
+
+void SapSession::advance() {
+  SAP_REQUIRE(!failed_,
+              "SapSession: a phase failed; the partially-executed exchange cannot be "
+              "resumed — construct a new session");
+  if (phase_ == SessionPhase::kMine) return;
+  const SessionPhase executing = phase_;
+  Stopwatch sw;
+  try {
+    run_phase(executing);
+  } catch (...) {
+    failed_ = true;
+    throw;
+  }
+  phase_log_.push_back({executing, sw.millis(), transport_->trace().size(),
+                        transport_->total_bytes()});
+}
+
+void SapSession::run_phase(SessionPhase executing) {
+  switch (executing) {
+    case SessionPhase::kLocalOptimize:
+      run_local_optimize();
+      phase_ = SessionPhase::kTargetDistribution;
+      break;
+    case SessionPhase::kTargetDistribution:
+      run_target_distribution();
+      phase_ = SessionPhase::kPermutationExchange;
+      break;
+    case SessionPhase::kPermutationExchange:
+      run_permutation_exchange();
+      phase_ = SessionPhase::kPerturbAndForward;
+      break;
+    case SessionPhase::kPerturbAndForward:
+      run_perturb_and_forward();
+      phase_ = SessionPhase::kAdaptorAlignment;
+      break;
+    case SessionPhase::kAdaptorAlignment:
+      run_adaptor_alignment();
+      run_unify_and_account();
+      phase_ = SessionPhase::kMine;
+      break;
+    case SessionPhase::kMine:
+      break;
+  }
+}
+
+void SapSession::run_until(SessionPhase target) {
+  while (static_cast<int>(phase_) < static_cast<int>(target)) advance();
+}
+
+SapResult SapSession::run(const MinerJob& job) { return mine(job); }
+
+// ---------------- phase 1: local perturbation optimization ---------------
+
+void SapSession::run_local_optimize() {
+  const std::size_t k = ps_.size();
+  std::vector<std::function<void()>> tasks(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    tasks[i] = [this, i] {
+      auto& p = ps_[i];
+      auto opt_opts = opts_.optimizer;
+      opt_opts.noise_sigma = opts_.noise_sigma;  // common noise component
+      if (opts_.optimize_local) {
+        opt::OptimizationResult first = opt::optimize_perturbation(p.x, opt_opts, p.eng);
+        p.g = first.best;
+        p.rho = first.best_rho;
+        p.bound = first.best_rho;
+        for (std::size_t r = 1; r < opts_.bound_runs; ++r) {
+          const auto extra = opt::optimize_perturbation(p.x, opt_opts, p.eng);
+          p.bound = std::max(p.bound, extra.best_rho);
+        }
+      } else {
+        p.g = perturb::GeometricPerturbation::random(dims_, opts_.noise_sigma, p.eng);
+        p.rho = opt::evaluate_perturbation(p.x, p.g, opt_opts.attacks,
+                                           opt_opts.max_eval_records, p.eng);
+        p.bound = p.rho;
+        for (std::size_t r = 1; r < opts_.bound_runs; ++r) {
+          const auto probe =
+              perturb::GeometricPerturbation::random(dims_, opts_.noise_sigma, p.eng);
+          p.bound = std::max(p.bound, opt::evaluate_perturbation(p.x, probe, opt_opts.attacks,
+                                                                 opt_opts.max_eval_records,
+                                                                 p.eng));
+        }
+      }
+      p.nonce = p.eng() >> 32;  // 32-bit nonce, exactly representable as double
+    };
+  }
+  transport_->run_parties(std::move(tasks));
+}
+
+// ---------------- phase 2: coordinator selects the noise-free target ------
+
+void SapSession::run_target_distribution() {
+  const std::size_t k = ps_.size();
+  g_t_ = perturb::GeometricPerturbation::random(dims_, /*noise_sigma=*/0.0, coord_eng_);
+  const auto target_wire = encode_target_space(g_t_.rotation(), g_t_.translation());
+  for (std::size_t i = 0; i + 1 < k; ++i)
+    transport_->send(coordinator_, provider_id_[i], PayloadKind::kTargetSpace, target_wire);
+  ps_[k - 1].target = g_t_;  // the coordinator knows its own choice
+}
+
+// ---------------- phase 3: permutation with coordinator redirect ----------
+
+void SapSession::run_permutation_exchange() {
+  const std::size_t k = ps_.size();
+  const auto tau = coord_eng_.permutation(k);
+  const std::size_t redirect = coord_eng_.uniform_index(k - 1);
+  receiver_of_source_.assign(k, 0);
+  for (std::size_t pos = 0; pos < k; ++pos) {
+    const std::size_t source = tau[pos];
+    const std::size_t receiver = (pos == k - 1) ? redirect : pos;
+    receiver_of_source_[source] = provider_id_[receiver];
+  }
+  // Per-provider inbound wire counts (self-assignments stay local; see the
+  // exchange phase). provider_id_ values are dense 0..k-1 by construction.
+  std::vector<std::uint32_t> inbound(k, 0);
+  for (std::size_t source = 0; source < k; ++source) {
+    if (receiver_of_source_[source] != provider_id_[source])
+      ++inbound[receiver_of_source_[source]];
+  }
+  for (std::size_t i = 0; i + 1 < k; ++i)
+    transport_->send(coordinator_, provider_id_[i], PayloadKind::kRoutingNotice,
+                     encode_routing(receiver_of_source_[i], inbound[i]));
+  ps_[k - 1].send_to = receiver_of_source_[k - 1];
+  ps_[k - 1].inbound = inbound[k - 1];  // 0 by construction (coordinator redirect)
+
+  // Providers drain target-space + routing notices; a provider that did not
+  // receive BOTH must abort the round (a dropped setup message would
+  // otherwise silently misroute its data).
+  std::vector<std::function<void()>> tasks(k - 1);
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    tasks[i] = [this, i] {
+      bool got_target = false;
+      bool got_routing = false;
+      while (transport_->has_mail(provider_id_[i])) {
+        const auto msg = transport_->receive(provider_id_[i]);
+        switch (msg.kind) {
+          case PayloadKind::kTargetSpace: {
+            const auto ts = decode_target_space(msg.payload);
+            ps_[i].target = perturb::GeometricPerturbation(ts.r, ts.t, 0.0);
+            got_target = true;
+            break;
+          }
+          case PayloadKind::kRoutingNotice: {
+            const auto notice = decode_routing(msg.payload);
+            ps_[i].send_to = notice.receiver;
+            ps_[i].inbound = notice.inbound;
+            got_routing = true;
+            break;
+          }
+          default:
+            SAP_FAIL("SapSession: unexpected message kind in setup phase");
+        }
+      }
+      SAP_REQUIRE(got_target && got_routing,
+                  "SapSession: provider missed setup messages (lossy network?) — aborting");
+    };
+  }
+  transport_->run_parties(std::move(tasks));
+}
+
+// ---------------- phase 4: perturb and exchange ---------------------------
+
+void SapSession::run_perturb_and_forward() {
+  const std::size_t k = ps_.size();
+  // tau may map a provider to itself; in that case the dataset simply stays
+  // put (no wire message) and the provider forwards its own perturbed data —
+  // the miner cannot distinguish this case, so pi_i = 1/(k-1) still holds.
+  self_held_.assign(k, {});
+  std::vector<std::function<void()>> perturb_tasks(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    perturb_tasks[i] = [this, i] {
+      auto& p = ps_[i];
+      p.y = p.g.apply(p.x, p.eng);
+      std::vector<double> wire;
+      wire.push_back(static_cast<double>(p.nonce));
+      const auto body = encode_dataset(p.y, p.labels);
+      wire.insert(wire.end(), body.begin(), body.end());
+      if (p.send_to == provider_id_[i]) {
+        self_held_[i].push_back(std::move(wire));
+      } else {
+        transport_->send(provider_id_[i], p.send_to, PayloadKind::kPerturbedData, wire);
+      }
+    };
+  }
+  transport_->run_parties(std::move(perturb_tasks));
+
+  // Peers forward everything they received (or held) to the miner. Each
+  // provider knows exactly how many peer datasets to expect from its routing
+  // notice, so a dropped exchange message is detected here.
+  std::vector<std::function<void()>> forward_tasks(k - 1);
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    forward_tasks[i] = [this, i] {
+      for (const auto& wire : self_held_[i])
+        transport_->send(provider_id_[i], miner_, PayloadKind::kForwardedData, wire);
+      for (std::uint32_t n = 0; n < ps_[i].inbound; ++n) {
+        SAP_REQUIRE(transport_->has_mail(provider_id_[i]),
+                    "SapSession: missing perturbed dataset (dropped message?)");
+        const auto msg = transport_->receive(provider_id_[i]);
+        SAP_REQUIRE(msg.kind == PayloadKind::kPerturbedData,
+                    "SapSession: unexpected message kind in exchange phase");
+        transport_->send(provider_id_[i], miner_, PayloadKind::kForwardedData, msg.payload);
+      }
+    };
+  }
+  transport_->run_parties(std::move(forward_tasks));
+
+  SAP_REQUIRE(self_held_[k - 1].empty(),
+              "SapSession invariant violated: coordinator assigned as receiver");
+  SAP_REQUIRE(!transport_->has_mail(coordinator_),
+              "SapSession invariant violated: coordinator received a dataset");
+}
+
+// ---------------- phase 5: adaptors to the coordinator, aligned to miner --
+
+void SapSession::run_adaptor_alignment() {
+  const std::size_t k = ps_.size();
+  std::vector<std::function<void()>> adaptor_tasks(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    adaptor_tasks[i] = [this, i] {
+      auto& p = ps_[i];
+      p.adaptor = perturb::SpaceAdaptor::between(p.g, p.target);
+      if (provider_id_[i] != coordinator_) {
+        std::vector<double> wire;
+        wire.push_back(static_cast<double>(p.nonce));
+        const auto body = p.adaptor.serialize();
+        wire.insert(wire.end(), body.begin(), body.end());
+        transport_->send(provider_id_[i], coordinator_, PayloadKind::kSpaceAdaptor, wire);
+      }
+    };
+  }
+  transport_->run_parties(std::move(adaptor_tasks));
+
+  // Coordinator collects (nonce, adaptor) pairs — its own included — and
+  // ships the sequence to the miner. It never learns more than it already
+  // knows (it generated tau), and the miner learns nothing about sources.
+  std::vector<std::vector<double>> entries;
+  while (transport_->has_mail(coordinator_)) {
+    const auto msg = transport_->receive(coordinator_);
+    SAP_REQUIRE(msg.kind == PayloadKind::kSpaceAdaptor,
+                "SapSession: coordinator expected only adaptors");
+    entries.push_back(msg.payload);
+  }
+  SAP_REQUIRE(entries.size() == k - 1,
+              "SapSession: coordinator missing space adaptors (dropped message?)");
+  std::vector<double> own;
+  own.push_back(static_cast<double>(ps_[k - 1].nonce));
+  const auto body = ps_[k - 1].adaptor.serialize();
+  own.insert(own.end(), body.begin(), body.end());
+  entries.push_back(std::move(own));
+  // Shuffle so the wire order itself carries no information about provider
+  // identity.
+  for (std::size_t i = entries.size(); i > 1; --i)
+    std::swap(entries[i - 1], entries[coord_eng_.uniform_index(i)]);
+  for (const auto& e : entries)
+    transport_->send(coordinator_, miner_, PayloadKind::kAdaptorSequence, e);
+}
+
+// ---------------- phase 6 (entry): the miner unifies; accounting ----------
+
+void SapSession::run_unify_and_account() {
+  const std::size_t k = ps_.size();
+
+  struct MinerDataset {
+    std::uint64_t nonce;
+    PartyId forwarder;
+    DecodedDataset data;
+  };
+  std::vector<MinerDataset> received;
+  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> adaptors;
+  while (transport_->has_mail(miner_)) {
+    const auto msg = transport_->receive(miner_);
+    const std::span<const double> payload(msg.payload);
+    SAP_REQUIRE(!payload.empty(), "SapSession: empty payload at miner");
+    const auto nonce = static_cast<std::uint64_t>(payload[0]);
+    if (msg.kind == PayloadKind::kForwardedData) {
+      received.push_back({nonce, msg.from, decode_dataset(payload.subspan(1))});
+    } else if (msg.kind == PayloadKind::kAdaptorSequence) {
+      adaptors.emplace_back(nonce, perturb::SpaceAdaptor::deserialize(payload.subspan(1)));
+    } else {
+      SAP_FAIL("SapSession: unexpected message kind at miner");
+    }
+  }
+  SAP_REQUIRE(received.size() == k && adaptors.size() == k,
+              "SapSession: miner did not receive k datasets and k adaptors");
+
+  // Canonical pooling order: sort by nonce so the unified dataset is
+  // bit-identical across transport backends (concurrent delivery reorders
+  // arrivals). Nonces are per-run random values and carry no source
+  // information the adaptor matching does not already use.
+  std::sort(received.begin(), received.end(),
+            [](const MinerDataset& a, const MinerDataset& b) { return a.nonce < b.nonce; });
+
+  linalg::Matrix unified_features;  // d x N_total, built incrementally
+  std::vector<int> unified_labels;
+  for (const auto& rec : received) {
+    const auto it = std::find_if(adaptors.begin(), adaptors.end(),
+                                 [&](const auto& a) { return a.first == rec.nonce; });
+    SAP_REQUIRE(it != adaptors.end(), "SapSession: no adaptor for received dataset");
+    linalg::Matrix in_target = it->second.apply(rec.data.features);
+    unified_features = unified_features.empty()
+                           ? std::move(in_target)
+                           : linalg::Matrix::hcat(unified_features, in_target);
+    unified_labels.insert(unified_labels.end(), rec.data.labels.begin(),
+                          rec.data.labels.end());
+  }
+  unified_ = data::Dataset("sap-unified", unified_features.transpose(),
+                           std::move(unified_labels));
+
+  audit_receiver_of_ = receiver_of_source_;
+  audit_forwarder_of_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto it = std::find_if(received.begin(), received.end(),
+                                 [&](const auto& r) { return r.nonce == ps_[i].nonce; });
+    SAP_REQUIRE(it != received.end(), "SapSession: audit lost a dataset");
+    audit_forwarder_of_[i] = it->forwarder;
+  }
+
+  // Accounting (party-side knowledge only: each provider knows X_i, G_i,
+  // G_t and can score its own exposure). The satisfaction evaluation is the
+  // expensive part, so each party's accounting is one run_parties task.
+  const double pi = 1.0 / static_cast<double>(k - 1);
+  reports_.assign(k, PartyReport{});
+  std::vector<std::function<void()>> accounting_tasks(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    accounting_tasks[i] = [this, i, pi, k] {
+      auto& p = ps_[i];
+      PartyReport report;
+      report.id = provider_id_[i];
+      report.local_rho = p.rho;
+      report.bound = std::max(p.bound, p.rho);
+      report.identifiability = pi;
+
+      if (opts_.compute_satisfaction && p.rho > 0.0) {
+        const privacy::AttackSuite suite(opts_.optimizer.attacks);
+        const linalg::Matrix y_in_target = p.adaptor.apply(p.y);
+        linalg::Matrix x_s, y_s;
+        joint_subsample(p.x, y_in_target, opts_.optimizer.max_eval_records, p.eng, x_s, y_s);
+        report.unified_rho = suite.evaluate(x_s, y_s, p.eng).rho;
+        report.satisfaction = std::min(report.unified_rho / p.rho, report.bound / p.rho);
+      } else {
+        report.unified_rho = p.rho;
+        report.satisfaction = 1.0;
+      }
+
+      RiskInputs in{.rho = std::min(report.local_rho, report.bound),
+                    .bound = report.bound,
+                    .satisfaction = report.satisfaction,
+                    .identifiability = pi};
+      report.risk_breach = risk_of_privacy_breach(in);
+      report.risk_sap = sap_risk(in, k);
+      reports_[i] = report;
+    };
+  }
+  transport_->run_parties(std::move(accounting_tasks));
+}
+
+// ---------------- mining (re-runnable) ------------------------------------
+
+SapResult SapSession::mine(const MinerJob& job) {
+  run_until(SessionPhase::kMine);
+
+  SapResult result;
+  result.unified = unified_;
+  result.target_space = g_t_;
+  result.parties = reports_;
+  result.audit_receiver_of = audit_receiver_of_;
+  result.audit_forwarder_of = audit_forwarder_of_;
+
+  if (job) {
+    const std::vector<double> report = job(result.unified);
+    for (const PartyId id : provider_id_)
+      transport_->send(miner_, id, PayloadKind::kModelReport, report);
+    // Providers drain their report (best effort: a dropped report degrades
+    // service but must not corrupt the protocol result).
+    for (const PartyId id : provider_id_)
+      while (transport_->has_mail(id)) (void)transport_->receive(id);
+  }
+
+  result.messages = transport_->trace().size();
+  result.total_bytes = transport_->total_bytes();
+  return result;
+}
+
+SapResult SapSession::mine_named(const std::string& job_name) {
+  const auto it = jobs_.find(job_name);
+  SAP_REQUIRE(it != jobs_.end(), "SapSession: unknown miner job '" + job_name + "'");
+  return mine(it->second);
+}
+
+void SapSession::register_job(std::string name, MinerJob job) {
+  SAP_REQUIRE(!name.empty(), "SapSession::register_job: empty job name");
+  SAP_REQUIRE(job != nullptr, "SapSession::register_job: null job");
+  jobs_[std::move(name)] = std::move(job);
+}
+
+std::vector<std::string> SapSession::job_names() const {
+  std::vector<std::string> names;
+  names.reserve(jobs_.size());
+  for (const auto& [name, job] : jobs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sap::proto

@@ -1,0 +1,267 @@
+// SapSession — the Space Adaptation Protocol (paper §3) as a phase-explicit
+// state machine over a pluggable Transport backend.
+//
+// Roles (all in-process over the chosen Transport, which enforces and
+// records the information flow):
+//   * k data providers DP_0 .. DP_{k-1}; DP_{k-1} doubles as the
+//     *coordinator* (the paper's DP_k),
+//   * one mining service provider (SP / "the miner").
+//
+// Phases (each individually observable via phase() / phase_log(), each a
+// run_parties() batch so the threaded backend parallelizes per-party work):
+//
+//   LocalOptimize        every provider locally optimizes its perturbation
+//                        G_i : (R_i, t_i) with the common noise level sigma;
+//   TargetDistribution   the coordinator selects a random *noise-free*
+//                        target space G_t and distributes it (encrypted);
+//   PermutationExchange  the coordinator samples a permutation tau and
+//                        redirects its own slot to a random non-coordinator
+//                        provider — the coordinator must never receive data
+//                        because it later holds the space adaptors, which
+//                        would let it undo any perturbation it saw;
+//   PerturbAndForward    providers perturb (Y_i = R_i X_i + Psi_i + Delta_i)
+//                        and send Y_i to their assigned peer; peers forward
+//                        everything to the miner — source identifiability
+//                        drops to 1/(k-1);
+//   AdaptorAlignment     providers send their space adaptor A_it to the
+//                        coordinator, which aligns adaptors with forwarders
+//                        via tau and ships the aligned sequence to the miner;
+//   Mine                 the miner applies each adaptor to the matching
+//                        dataset, pools every record in the unified target
+//                        space, and serves mining jobs.
+//
+// Mine is a *serving* state, not a single shot: once the exchange has run,
+// any number of (optionally named) MinerJobs can be executed against the
+// pooled unified space without redoing the exchange — each mine() call
+// returns a fresh SapResult and broadcasts the job's model report.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "optimize/optimizer.hpp"
+#include "perturb/geometric.hpp"
+#include "perturb/space_adaptor.hpp"
+#include "protocol/risk.hpp"
+#include "protocol/transport.hpp"
+
+namespace sap::proto {
+
+struct SapOptions {
+  /// Common noise level Delta shared by all parties (paper §3).
+  double noise_sigma = 0.1;
+  /// Locally optimize G_i (paper default). false → random G_i, the
+  /// baseline of Figure 2.
+  bool optimize_local = true;
+  /// Randomized-optimizer configuration (also supplies the attack suite
+  /// used for rho / satisfaction accounting).
+  opt::OptimizerOptions optimizer{};
+  /// Extra optimization runs per party used to estimate the bound b_i
+  /// (>= 1; the paper estimates b empirically as a max over runs).
+  std::size_t bound_runs = 2;
+  /// Evaluate satisfaction s_i = rho^G_i / rho_i (costs one attack-suite
+  /// evaluation per party; disable for pure cost benches).
+  bool compute_satisfaction = true;
+  /// Master seed: a run is bit-for-bit reproducible given options + data,
+  /// regardless of the transport backend (the miner pools shards in a
+  /// canonical order, so even concurrent delivery yields identical output).
+  std::uint64_t seed = 0x5A9;
+  /// Messaging + party-execution backend.
+  TransportKind transport = TransportKind::kSimulated;
+
+  /// Cheap preset for unit tests (few candidates, no refinement).
+  static SapOptions fast();
+};
+
+/// Per-provider accounting, all in the paper's notation.
+struct PartyReport {
+  PartyId id = 0;
+  double local_rho = 0.0;        ///< rho_i
+  double bound = 0.0;            ///< b-hat_i
+  double unified_rho = 0.0;      ///< rho^G_i (privacy in the target space)
+  double satisfaction = 0.0;     ///< s_i = rho^G_i / rho_i (capped at b_i/rho_i)
+  double identifiability = 0.0;  ///< pi_i = 1/(k-1)
+  double risk_breach = 0.0;      ///< eq. (1), miner's view
+  double risk_sap = 0.0;         ///< eq. (2), overall
+};
+
+struct SapResult {
+  /// Miner's pooled dataset in the unified target space (N x d rows).
+  data::Dataset unified;
+  /// Target space parameters (provider-side knowledge; needed to transform
+  /// test data into the mining space — never shipped to the miner).
+  perturb::GeometricPerturbation target_space;
+  std::vector<PartyReport> parties;
+
+  // ---- cost statistics (from the transport trace)
+  std::size_t messages = 0;
+  std::size_t total_bytes = 0;
+
+  // ---- audit-only ground truth (invisible to the simulated miner; used by
+  //      tests to verify the anonymity mechanics)
+  std::vector<PartyId> audit_receiver_of;   ///< provider i's data went to this peer
+  std::vector<PartyId> audit_forwarder_of;  ///< and reached the miner via this peer
+};
+
+/// Mining job executed at the miner on the unified dataset; the returned
+/// doubles are broadcast back to providers as kModelReport.
+using MinerJob = std::function<std::vector<double>(const data::Dataset&)>;
+
+/// Protocol phases in execution order. kMine is terminal: the session stays
+/// there serving mining jobs against the pooled unified space.
+enum class SessionPhase : std::uint8_t {
+  kLocalOptimize = 0,
+  kTargetDistribution = 1,
+  kPermutationExchange = 2,
+  kPerturbAndForward = 3,
+  kAdaptorAlignment = 4,
+  kMine = 5,
+};
+
+/// Printable phase name for logs and tests.
+std::string to_string(SessionPhase phase);
+
+class SapSession {
+ public:
+  /// Custom backend hook (real-network transports plug in here); receives
+  /// the session secret that seeds per-link key derivation.
+  using TransportFactory = std::function<std::unique_ptr<Transport>(std::uint64_t)>;
+
+  /// One dataset per provider (>= 3 providers: with fewer than two
+  /// non-coordinator providers the exchange cannot anonymize anything).
+  /// All datasets must share dimensionality and be pre-normalized.
+  /// The backend is chosen by `opts.transport`.
+  SapSession(std::vector<data::Dataset> provider_data, SapOptions opts);
+
+  /// Same, but with an explicit transport factory overriding opts.transport.
+  SapSession(std::vector<data::Dataset> provider_data, SapOptions opts,
+             TransportFactory transport_factory);
+
+  SapSession(const SapSession&) = delete;
+  SapSession& operator=(const SapSession&) = delete;
+
+  // ---- phase stepping --------------------------------------------------
+
+  /// Contract checks shared with the compatibility wrapper: >= 3 providers,
+  /// equal dimensionality, >= 8 records each, valid options. Throws
+  /// sap::Error on violation.
+  static void validate(const std::vector<data::Dataset>& provider_data,
+                       const SapOptions& opts);
+
+  /// The next phase advance() would execute; kMine once the exchange is
+  /// complete and the unified pool is available.
+  [[nodiscard]] SessionPhase phase() const noexcept { return phase_; }
+
+  /// True once a phase has thrown: partially-executed exchange state cannot
+  /// be resumed, so every later advance()/mine() refuses to run. Construct
+  /// a fresh session to retry.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// Execute the current phase and move to the next. No-op at kMine.
+  /// If the phase throws, the session is poisoned (see failed()).
+  void advance();
+
+  /// advance() until phase() == target.
+  void run_until(SessionPhase target);
+
+  /// Convenience single-shot: run every phase, then mine(job).
+  SapResult run(const MinerJob& job = {});
+
+  // ---- mining (re-runnable against the pooled unified space) -----------
+
+  /// Run `job` (may be empty) at the miner on the unified pool; broadcasts
+  /// the model report to every provider. Implicitly completes outstanding
+  /// phases. Callable any number of times without redoing the exchange.
+  SapResult mine(const MinerJob& job = {});
+
+  /// Run a job from the session's named registry (seeded with the built-in
+  /// jobs; see jobs.hpp). Throws sap::Error for unknown names.
+  SapResult mine_named(const std::string& job_name);
+
+  /// Add (or replace) a named job in this session's registry.
+  void register_job(std::string name, MinerJob job);
+
+  /// Names in the session registry, sorted.
+  [[nodiscard]] std::vector<std::string> job_names() const;
+
+  // ---- observability ---------------------------------------------------
+
+  /// Per-executed-phase timing and cumulative transport cost.
+  struct PhaseStats {
+    SessionPhase phase = SessionPhase::kLocalOptimize;
+    double millis = 0.0;
+    std::size_t messages = 0;     ///< cumulative trace size after the phase
+    std::size_t total_bytes = 0;  ///< cumulative ciphertext bytes after the phase
+  };
+  [[nodiscard]] const std::vector<PhaseStats>& phase_log() const noexcept {
+    return phase_log_;
+  }
+
+  /// The transport carrying this session (trace, cost and drop accounting).
+  [[nodiscard]] const Transport& transport() const noexcept { return *transport_; }
+
+  /// Failure injection for tests/benches: messages matching the filter are
+  /// dropped by the transport. The protocol must detect the incomplete
+  /// exchange and throw sap::Error rather than mine a partial pool
+  /// (DESIGN.md §4 invariant 3).
+  void inject_faults(Transport::DropFilter filter);
+
+  [[nodiscard]] std::size_t provider_count() const noexcept { return ps_.size(); }
+
+ private:
+  /// Simulation container for one provider's private state; nothing outside
+  /// the owning party's task reads an entry except through the transport.
+  struct ProviderState {
+    linalg::Matrix x;  // d x N original (normalized) data
+    std::vector<int> labels;
+    perturb::GeometricPerturbation g;
+    double rho = 0.0;
+    double bound = 0.0;
+    linalg::Matrix y;  // perturbed data actually shipped
+    perturb::GeometricPerturbation target;  // G_t as received
+    perturb::SpaceAdaptor adaptor;
+    std::uint64_t nonce = 0;
+    PartyId send_to = 0;
+    std::uint32_t inbound = 0;  // peer datasets to expect (from routing notice)
+    rng::Engine eng{0};
+  };
+
+  void run_phase(SessionPhase executing);
+  void run_local_optimize();
+  void run_target_distribution();
+  void run_permutation_exchange();
+  void run_perturb_and_forward();
+  void run_adaptor_alignment();
+  void run_unify_and_account();
+
+  std::size_t dims_ = 0;
+  SapOptions opts_;
+  rng::Engine master_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<PartyId> provider_id_;
+  PartyId coordinator_ = 0;
+  PartyId miner_ = 0;
+  std::vector<ProviderState> ps_;
+  rng::Engine coord_eng_{0};
+
+  SessionPhase phase_ = SessionPhase::kLocalOptimize;
+  bool failed_ = false;
+  std::vector<PhaseStats> phase_log_;
+
+  perturb::GeometricPerturbation g_t_;
+  std::vector<PartyId> receiver_of_source_;
+  std::vector<std::vector<std::vector<double>>> self_held_;
+
+  data::Dataset unified_;
+  std::vector<PartyReport> reports_;
+  std::vector<PartyId> audit_receiver_of_;
+  std::vector<PartyId> audit_forwarder_of_;
+
+  std::map<std::string, MinerJob> jobs_;
+};
+
+}  // namespace sap::proto

@@ -1,0 +1,171 @@
+#include "protocol/threaded_transport.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace sap::proto {
+namespace {
+
+/// True on threads spawned by run_parties(); starvation detection only
+/// applies to workers (a non-worker caller with an empty inbox and no busy
+/// workers fails immediately, like the synchronous backend).
+thread_local bool tl_is_worker = false;
+
+}  // namespace
+
+ThreadedLocalTransport::ThreadedLocalTransport(std::uint64_t session_secret)
+    : session_secret_(session_secret) {}
+
+std::uint64_t ThreadedLocalTransport::link_key(PartyId from, PartyId to) const noexcept {
+  return detail::derive_link_key(session_secret_, from, to);
+}
+
+PartyId ThreadedLocalTransport::add_party() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  inboxes_.emplace_back();
+  return static_cast<PartyId>(inboxes_.size() - 1);
+}
+
+std::size_t ThreadedLocalTransport::party_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return inboxes_.size();
+}
+
+void ThreadedLocalTransport::set_drop_filter(DropFilter filter) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  drop_filter_ = std::move(filter);
+}
+
+std::size_t ThreadedLocalTransport::dropped_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+const std::vector<Message>& ThreadedLocalTransport::trace() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+std::size_t ThreadedLocalTransport::total_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+void ThreadedLocalTransport::send(PartyId from, PartyId to, PayloadKind kind,
+                                  std::span<const double> payload) {
+  // Encrypt outside the lock: the envelope only depends on the link key.
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.kind = kind;
+  msg.envelope = EncryptedEnvelope(payload, link_key(from, to));
+  msg.wire_bytes = msg.envelope.size_doubles() * sizeof(double);
+  // Evaluate the user-supplied drop filter outside the lock too: a filter
+  // that calls back into a value accessor (dropped_count(), total_bytes())
+  // must not deadlock on this backend when it works on the synchronous one.
+  // (trace() remains off limits mid-batch — it returns a reference that
+  // concurrent sends reallocate; see the Transport contract.)
+  DropFilter filter;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SAP_REQUIRE(from < inboxes_.size() && to < inboxes_.size(),
+                "ThreadedLocalTransport::send: unknown party");
+    SAP_REQUIRE(from != to, "ThreadedLocalTransport::send: self-send is not a protocol step");
+    filter = drop_filter_;
+  }
+  const bool dropped = filter && filter(from, to, kind);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total_bytes_ += msg.wire_bytes;
+    trace_.push_back(std::move(msg));
+    if (dropped) {
+      ++dropped_;
+    } else {
+      inboxes_[to].push_back(trace_.size() - 1);
+    }
+  }
+  cv_.notify_all();
+}
+
+bool ThreadedLocalTransport::has_mail(PartyId party) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SAP_REQUIRE(party < inboxes_.size(), "ThreadedLocalTransport::has_mail: unknown party");
+  return !inboxes_[party].empty();
+}
+
+Transport::Delivery ThreadedLocalTransport::receive(PartyId party) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  SAP_REQUIRE(party < inboxes_.size(), "ThreadedLocalTransport::receive: unknown party");
+  for (;;) {
+    if (!inboxes_[party].empty()) {
+      const std::size_t idx = inboxes_[party].front();
+      inboxes_[party].pop_front();
+      const Message& msg = trace_[idx];
+      // Decrypt under the lock: trace_ may reallocate under concurrent
+      // sends, so the reference must not be used after unlocking.
+      return {msg.from, msg.kind, msg.envelope.open(link_key(msg.from, msg.to))};
+    }
+    if (!tl_is_worker) {
+      // Non-worker callers cannot be counted toward starvation; they may
+      // only wait while workers that could still send are running.
+      SAP_REQUIRE(busy_workers_ > 0, "ThreadedLocalTransport::receive: empty inbox");
+      cv_.wait(lock);
+      continue;
+    }
+    ++blocked_workers_;
+    if (blocked_workers_ >= busy_workers_) {
+      // Every running worker is blocked in receive() and this inbox is
+      // empty: no message can ever arrive. Wake the others so they reach
+      // the same conclusion for their own inboxes.
+      --blocked_workers_;
+      cv_.notify_all();
+      SAP_FAIL(
+          "ThreadedLocalTransport::receive: starved — no pending or in-flight "
+          "mail for this party (dropped message?)");
+    }
+    cv_.wait(lock);
+    --blocked_workers_;
+  }
+}
+
+void ThreadedLocalTransport::run_parties(std::vector<std::function<void()>> tasks) {
+  std::size_t live = 0;
+  for (const auto& task : tasks) live += (task != nullptr);
+  if (live == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SAP_REQUIRE(busy_workers_ == 0,
+                "ThreadedLocalTransport::run_parties: batch already running");
+    busy_workers_ = live;
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(live);
+  for (auto& task : tasks) {
+    if (!task) continue;
+    workers.emplace_back([this, &error_mutex, &first_error, work = std::move(task)] {
+      tl_is_worker = true;
+      try {
+        work();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --busy_workers_;
+      }
+      // A finished worker can no longer send: blocked peers must re-check
+      // their starvation condition.
+      cv_.notify_all();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sap::proto

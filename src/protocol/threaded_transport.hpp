@@ -1,0 +1,68 @@
+// Concurrent in-process transport: mutex+condvar inboxes, one worker thread
+// per party task.
+//
+// run_parties() spawns one worker per (non-null) task; sends from any worker
+// are safe, and receive() blocks on a condition variable until mail arrives
+// — so tasks inside one batch may exchange messages with each other, unlike
+// the synchronous backend where a receiver's mail must already be enqueued.
+//
+// Starvation detection replaces wall-clock timeouts: receive() gives up and
+// throws sap::Error exactly when the inbox is empty AND every worker still
+// running is itself blocked in receive() — at that point no message can ever
+// arrive (a dropped message, or a protocol bug routing mail to the wrong
+// party). This keeps fault-injection tests deterministic and instant under
+// both backends.
+//
+// The trace and all counters are protected by one mutex; accessors that
+// return references (trace()) must only be called while no batch is running,
+// as the Transport contract states.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "protocol/transport.hpp"
+
+namespace sap::proto {
+
+class ThreadedLocalTransport final : public Transport {
+ public:
+  /// `session_secret` seeds per-link key derivation (same derivation as
+  /// SimulatedNetwork: identical secret → identical ciphertext bytes).
+  explicit ThreadedLocalTransport(std::uint64_t session_secret);
+
+  PartyId add_party() override;
+  [[nodiscard]] std::size_t party_count() const override;
+  void send(PartyId from, PartyId to, PayloadKind kind,
+            std::span<const double> payload) override;
+  [[nodiscard]] bool has_mail(PartyId party) const override;
+  Delivery receive(PartyId party) override;
+  void set_drop_filter(DropFilter filter) override;
+  [[nodiscard]] std::size_t dropped_count() const override;
+  [[nodiscard]] const std::vector<Message>& trace() const override;
+  [[nodiscard]] std::size_t total_bytes() const override;
+
+  /// One worker thread per non-null task; rethrows the first task exception
+  /// after all workers have joined.
+  void run_parties(std::vector<std::function<void()>> tasks) override;
+
+  [[nodiscard]] bool concurrent() const noexcept override { return true; }
+
+ private:
+  [[nodiscard]] std::uint64_t link_key(PartyId from, PartyId to) const noexcept;
+
+  std::uint64_t session_secret_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::size_t>> inboxes_;  // indices into trace_
+  std::vector<Message> trace_;
+  std::size_t total_bytes_ = 0;
+  DropFilter drop_filter_;
+  std::size_t dropped_ = 0;
+  std::size_t busy_workers_ = 0;     ///< workers currently executing a task
+  std::size_t blocked_workers_ = 0;  ///< of those, how many wait in receive()
+};
+
+}  // namespace sap::proto

@@ -50,7 +50,11 @@
 
 #include "protocol/adversary.hpp"
 #include "protocol/baseline.hpp"
+#include "protocol/jobs.hpp"
 #include "protocol/message.hpp"
 #include "protocol/network.hpp"
 #include "protocol/risk.hpp"
 #include "protocol/sap.hpp"
+#include "protocol/session.hpp"
+#include "protocol/threaded_transport.hpp"
+#include "protocol/transport.hpp"

@@ -95,10 +95,10 @@ TEST(Knn, InvalidUsagesThrow) {
   EXPECT_THROW(sap::ml::Knn(0), sap::Error);
   sap::ml::Knn knn(3);
   const std::vector<double> probe{0.0, 0.0};
-  EXPECT_THROW(knn.predict(probe), sap::Error);  // before fit
+  EXPECT_THROW((void)knn.predict(probe), sap::Error);  // before fit
   knn.fit(blobs(10, 7));
   const std::vector<double> wrong_dims{0.0, 0.0, 0.0};
-  EXPECT_THROW(knn.predict(wrong_dims), sap::Error);
+  EXPECT_THROW((void)knn.predict(wrong_dims), sap::Error);
 }
 
 TEST(Knn, MulticlassOnSyntheticWine) {
@@ -378,7 +378,7 @@ TEST(NaiveBayes, InvalidUsagesThrow) {
   EXPECT_THROW(sap::ml::GaussianNaiveBayes(-1.0), sap::Error);
   sap::ml::GaussianNaiveBayes nb;
   const std::vector<double> probe{0.0, 0.0};
-  EXPECT_THROW(nb.predict(probe), sap::Error);
+  EXPECT_THROW((void)nb.predict(probe), sap::Error);
 }
 
 // ------------------------------------------------------------ invariance

@@ -89,7 +89,7 @@ TEST(Fuzz, TargetSpaceCodecNeverCrashes) {
 }
 
 TEST(Fuzz, RoutingCodecNeverCrashes) {
-  const auto wire = proto::encode_routing(3);
+  const auto wire = proto::encode_routing(3, 1);
   fuzz_decoder(wire, [](const std::vector<double>& w) { (void)proto::decode_routing(w); },
                200, 17);
 }
@@ -115,6 +115,41 @@ TEST(Fuzz, PerturbationCodecNeverCrashes) {
                  (void)sap::perturb::GeometricPerturbation::deserialize(w);
                },
                400, 23);
+}
+
+TEST(Fuzz, SpaceAdaptorSerializationRoundTrips) {
+  // The adaptor codec is protocol wire format (kSpaceAdaptor /
+  // kAdaptorSequence payloads): a faithful round-trip is a correctness
+  // requirement of the Transport seam, not just a convenience.
+  Engine eng(31);
+  const auto g_i = sap::perturb::GeometricPerturbation::random(5, 0.2, eng);
+  const auto g_t = sap::perturb::GeometricPerturbation::random(5, 0.0, eng);
+  const auto adaptor = sap::perturb::SpaceAdaptor::between(g_i, g_t);
+  const auto back = sap::perturb::SpaceAdaptor::deserialize(adaptor.serialize());
+  EXPECT_TRUE(back.rotation().approx_equal(adaptor.rotation(), 0.0));
+  EXPECT_EQ(back.translation(), adaptor.translation());
+  EXPECT_EQ(back.dims(), adaptor.dims());
+}
+
+TEST(Fuzz, TruncatedAdaptorWireRejected) {
+  // Every strict prefix (and short extension) of a valid adaptor payload
+  // must be rejected — a half-delivered adaptor must never unify data.
+  Engine eng(32);
+  const auto g_i = sap::perturb::GeometricPerturbation::random(4, 0.1, eng);
+  const auto g_t = sap::perturb::GeometricPerturbation::random(4, 0.0, eng);
+  const auto wire = sap::perturb::SpaceAdaptor::between(g_i, g_t).serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const std::vector<double> truncated(wire.begin(),
+                                        wire.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)sap::perturb::SpaceAdaptor::deserialize(truncated), sap::Error)
+        << "len=" << len;
+  }
+  for (std::size_t extra = 1; extra <= 3; ++extra) {
+    auto extended = wire;
+    extended.insert(extended.end(), extra, 0.0);
+    EXPECT_THROW((void)sap::perturb::SpaceAdaptor::deserialize(extended), sap::Error)
+        << "extra=" << extra;
+  }
 }
 
 TEST(Fuzz, PerturbationSerializationRoundTrips) {

@@ -10,7 +10,7 @@
 #include "data/normalize.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
-#include "protocol/sap.hpp"
+#include "protocol/session.hpp"
 
 namespace {
 
@@ -42,9 +42,9 @@ Pipeline run_pipeline(const std::string& name, std::size_t k, std::uint64_t seed
 
   auto opts = proto::SapOptions::fast();
   opts.seed = seed;
-  proto::SapProtocol protocol(std::move(parts), opts);
+  proto::SapSession session(std::move(parts), opts);
 
-  Pipeline out{split.train, split.test, protocol.run()};
+  Pipeline out{split.train, split.test, session.run()};
   return out;
 }
 
@@ -127,8 +127,8 @@ TEST(Integration, UnifiedSpacePreservesPairwiseDistancesUpToNoise) {
     auto opts = proto::SapOptions::fast();
     opts.noise_sigma = 0.0;
     opts.seed = 45;
-    proto::SapProtocol protocol(std::move(parts), opts);
-    const auto result = protocol.run();
+    proto::SapSession session(std::move(parts), opts);
+    const auto result = session.run();
     const Dataset train_t = to_target_space(split.train, result.target_space);
     const double d_orig = mean_pairwise(train_t);
     const double d_unified = mean_pairwise(result.unified);
@@ -161,7 +161,9 @@ TEST(Integration, SapRiskBelowNaiveSinglePartyExposure) {
                               .satisfaction = p.satisfaction,
                               .identifiability = 1.0};
     const double naive_risk = proto::risk_of_privacy_breach(exposed);
-    if (naive_risk > 0.0) EXPECT_LT(p.risk_breach, naive_risk);
+    if (naive_risk > 0.0) {
+      EXPECT_LT(p.risk_breach, naive_risk);
+    }
   }
 }
 
@@ -180,8 +182,8 @@ TEST(Integration, MoreNoiseLowersUtilityRaisesPrivacy) {
     auto opts = proto::SapOptions::fast();
     opts.noise_sigma = sigma;
     opts.seed = 63;
-    proto::SapProtocol protocol(std::move(parts), opts);
-    const auto result = protocol.run();
+    proto::SapSession session(std::move(parts), opts);
+    const auto result = session.run();
     sap::ml::Knn knn(5);
     knn.fit(result.unified);
     const Dataset test_t = to_target_space(split.test, result.target_space);
@@ -210,11 +212,11 @@ TEST(Integration, OptimizedLocalPerturbationBeatsRandomOnAverage) {
   auto opts = proto::SapOptions::fast();
   opts.seed = 72;
   opts.optimize_local = true;
-  proto::SapProtocol optimized(std::move(parts_a), opts);
+  proto::SapSession optimized(std::move(parts_a), opts);
   const auto res_opt = optimized.run();
 
   opts.optimize_local = false;
-  proto::SapProtocol random(std::move(parts_b), opts);
+  proto::SapSession random(std::move(parts_b), opts);
   const auto res_rand = random.run();
 
   double rho_opt = 0.0, rho_rand = 0.0;

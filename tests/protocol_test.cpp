@@ -1,8 +1,14 @@
-// Tests for sap::proto: message codecs, encrypted simulated network, risk
-// formulas, and the SAP protocol's information-flow invariants (DESIGN.md §4).
+// Tests for sap::proto: message codecs, the Transport seam (encrypted
+// SimulatedNetwork + concurrent ThreadedLocalTransport), risk formulas, and
+// the SapSession phase machine's information-flow invariants (DESIGN.md §4).
+//
+// Every end-to-end SAP test is parameterized over both transport backends:
+// the protocol must behave identically — same invariants, same failures,
+// and (thanks to canonical pooling) bit-identical unified output.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <set>
@@ -18,6 +24,8 @@
 #include "protocol/network.hpp"
 #include "protocol/risk.hpp"
 #include "protocol/sap.hpp"
+#include "protocol/session.hpp"
+#include "protocol/threaded_transport.hpp"
 
 namespace {
 
@@ -37,6 +45,10 @@ std::vector<Dataset> provider_split(const std::string& dataset, std::size_t k,
   Engine eng(seed ^ 0xBEEF);
   sap::data::PartitionOptions opts;
   return sap::data::partition(normalized, k, opts, eng);
+}
+
+std::string transport_label(const ::testing::TestParamInfo<proto::TransportKind>& info) {
+  return info.param == proto::TransportKind::kSimulated ? "Simulated" : "ThreadedLocal";
 }
 
 // ------------------------------------------------------------ envelopes
@@ -93,8 +105,11 @@ TEST(Codec, TargetSpaceRoundTrip) {
 }
 
 TEST(Codec, RoutingRoundTrip) {
-  EXPECT_EQ(proto::decode_routing(proto::encode_routing(7)), 7u);
-  EXPECT_THROW(proto::decode_routing(std::vector<double>{1.0, 2.0}), sap::Error);
+  const auto notice = proto::decode_routing(proto::encode_routing(7, 2));
+  EXPECT_EQ(notice.receiver, 7u);
+  EXPECT_EQ(notice.inbound, 2u);
+  EXPECT_THROW(proto::decode_routing(std::vector<double>{1.0}), sap::Error);
+  EXPECT_THROW(proto::decode_routing(std::vector<double>{1.0, 2.0, 3.0}), sap::Error);
 }
 
 TEST(Codec, PayloadKindNamesAreDistinct) {
@@ -107,59 +122,121 @@ TEST(Codec, PayloadKindNamesAreDistinct) {
   EXPECT_EQ(names.size(), 7u);
 }
 
-// ------------------------------------------------------------ network
+// ------------------------------------------------------------ transports
 
-TEST(Network, DeliversInOrder) {
-  proto::SimulatedNetwork net(1);
-  const auto a = net.add_party();
-  const auto b = net.add_party();
-  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
-  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{2.0});
-  ASSERT_TRUE(net.has_mail(b));
-  EXPECT_DOUBLE_EQ(net.receive(b).payload[0], 1.0);
-  EXPECT_DOUBLE_EQ(net.receive(b).payload[0], 2.0);
-  EXPECT_FALSE(net.has_mail(b));
+/// Backend-conformance tests running against both implementations.
+class TransportConformance : public ::testing::TestWithParam<proto::TransportKind> {
+ protected:
+  static std::unique_ptr<proto::Transport> make(std::uint64_t secret) {
+    return proto::make_transport(GetParam(), secret);
+  }
+};
+
+TEST_P(TransportConformance, DeliversInOrder) {
+  auto net = make(1);
+  const auto a = net->add_party();
+  const auto b = net->add_party();
+  net->send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
+  net->send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{2.0});
+  ASSERT_TRUE(net->has_mail(b));
+  EXPECT_DOUBLE_EQ(net->receive(b).payload[0], 1.0);
+  EXPECT_DOUBLE_EQ(net->receive(b).payload[0], 2.0);
+  EXPECT_FALSE(net->has_mail(b));
 }
 
-TEST(Network, SelfSendRejected) {
-  proto::SimulatedNetwork net(1);
-  const auto a = net.add_party();
-  EXPECT_THROW(net.send(a, a, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0}),
+TEST_P(TransportConformance, SelfSendRejected) {
+  auto net = make(1);
+  const auto a = net->add_party();
+  EXPECT_THROW(net->send(a, a, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0}),
                sap::Error);
 }
 
-TEST(Network, EmptyInboxThrows) {
-  proto::SimulatedNetwork net(1);
-  const auto a = net.add_party();
-  (void)net.add_party();
-  EXPECT_THROW(net.receive(a), sap::Error);
+TEST_P(TransportConformance, EmptyInboxThrows) {
+  auto net = make(1);
+  const auto a = net->add_party();
+  (void)net->add_party();
+  EXPECT_THROW(net->receive(a), sap::Error);
 }
 
-TEST(Network, TraceRecordsMetadataAndBytes) {
-  proto::SimulatedNetwork net(99);
-  const auto a = net.add_party();
-  const auto b = net.add_party();
+TEST_P(TransportConformance, TraceRecordsMetadataAndBytes) {
+  auto net = make(99);
+  const auto a = net->add_party();
+  const auto b = net->add_party();
   const std::vector<double> payload(10, 1.0);
-  net.send(a, b, proto::PayloadKind::kPerturbedData, payload);
-  ASSERT_EQ(net.trace().size(), 1u);
-  EXPECT_EQ(net.trace()[0].from, a);
-  EXPECT_EQ(net.trace()[0].to, b);
-  EXPECT_EQ(net.trace()[0].wire_bytes, 80u);
-  EXPECT_EQ(net.total_bytes(), 80u);
-  EXPECT_EQ(net.count_received(b, proto::PayloadKind::kPerturbedData), 1u);
-  EXPECT_EQ(net.count_received(a, proto::PayloadKind::kPerturbedData), 0u);
+  net->send(a, b, proto::PayloadKind::kPerturbedData, payload);
+  ASSERT_EQ(net->trace().size(), 1u);
+  EXPECT_EQ(net->trace()[0].from, a);
+  EXPECT_EQ(net->trace()[0].to, b);
+  EXPECT_EQ(net->trace()[0].wire_bytes, 80u);
+  EXPECT_EQ(net->total_bytes(), 80u);
+  EXPECT_EQ(net->count_received(b, proto::PayloadKind::kPerturbedData), 1u);
+  EXPECT_EQ(net->count_received(a, proto::PayloadKind::kPerturbedData), 0u);
 }
 
-TEST(Network, LinkBytesAggregatesPerDirectedPair) {
-  proto::SimulatedNetwork net(5);
-  const auto a = net.add_party();
-  const auto b = net.add_party();
-  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
-  net.send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0, 2.0});
-  net.send(b, a, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
-  const auto bytes = net.link_bytes();
+TEST_P(TransportConformance, LinkBytesAggregatesPerDirectedPair) {
+  auto net = make(5);
+  const auto a = net->add_party();
+  const auto b = net->add_party();
+  net->send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
+  net->send(a, b, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0, 2.0});
+  net->send(b, a, proto::PayloadKind::kRoutingNotice, std::vector<double>{1.0});
+  const auto bytes = net->link_bytes();
   EXPECT_EQ(bytes.at({a, b}), 24u);
   EXPECT_EQ(bytes.at({b, a}), 8u);
+}
+
+TEST_P(TransportConformance, IdenticalSecretYieldsIdenticalCiphertext) {
+  // The threaded backend must be a drop-in replacement down to the wire
+  // bytes: same secret + same sends → same ciphertext in the trace.
+  auto sim = proto::make_transport(proto::TransportKind::kSimulated, 77);
+  auto other = make(77);
+  for (auto* net : {sim.get(), other.get()}) {
+    const auto a = net->add_party();
+    const auto b = net->add_party();
+    net->send(a, b, proto::PayloadKind::kPerturbedData, std::vector<double>{1.5, -2.5});
+  }
+  ASSERT_EQ(sim->trace().size(), other->trace().size());
+  const auto sim_cipher = sim->trace()[0].envelope.ciphertext();
+  const auto other_cipher = other->trace()[0].envelope.ciphertext();
+  ASSERT_EQ(sim_cipher.size(), other_cipher.size());
+  for (std::size_t i = 0; i < sim_cipher.size(); ++i)
+    EXPECT_EQ(sim_cipher[i], other_cipher[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(proto::TransportKind::kSimulated,
+                                           proto::TransportKind::kThreadedLocal),
+                         transport_label);
+
+TEST(ThreadedTransport, WorkersExchangeWithinOneBatch) {
+  // Unlike the synchronous backend, a worker may receive a message that
+  // another worker sends *during* the same batch: receive() blocks on the
+  // condvar until mail arrives.
+  proto::ThreadedLocalTransport net(3);
+  const auto a = net.add_party();
+  const auto b = net.add_party();
+  std::atomic<double> got{0.0};
+  net.run_parties({[&] { net.send(a, b, proto::PayloadKind::kRoutingNotice,
+                                  std::vector<double>{42.0}); },
+                   [&] { got = net.receive(b).payload[0]; }});
+  EXPECT_DOUBLE_EQ(got.load(), 42.0);
+}
+
+TEST(ThreadedTransport, StarvationDetectedInsteadOfDeadlock) {
+  // Two workers both wait for mail that can never arrive: the transport
+  // must detect quiescence and throw rather than hang.
+  proto::ThreadedLocalTransport net(4);
+  const auto a = net.add_party();
+  const auto b = net.add_party();
+  EXPECT_THROW(net.run_parties({[&] { (void)net.receive(a); },
+                                [&] { (void)net.receive(b); }}),
+               sap::Error);
+}
+
+TEST(ThreadedTransport, TaskExceptionPropagates) {
+  proto::ThreadedLocalTransport net(5);
+  (void)net.add_party();
+  EXPECT_THROW(net.run_parties({[] { SAP_FAIL("task failure"); }}), sap::Error);
 }
 
 // ------------------------------------------------------------ risk formulas
@@ -252,46 +329,45 @@ TEST(MinParties, InvalidArgsThrow) {
   EXPECT_THROW(proto::min_parties(0.9, 1.1, C::kResidualTolerance), sap::Error);
 }
 
-// ------------------------------------------------------------ SAP protocol
+// ------------------------------------------------------------ SAP session
 
-class SapRun : public ::testing::Test {
+/// End-to-end SAP runs parameterized over the transport backend.
+class SapRun : public ::testing::TestWithParam<proto::TransportKind> {
  protected:
-  static proto::SapResult run(std::size_t k, std::uint64_t seed,
-                              proto::SapProtocol** out_protocol = nullptr) {
-    static std::vector<std::unique_ptr<proto::SapProtocol>> keep_alive;
+  static proto::SapOptions fast_opts(std::uint64_t seed, proto::TransportKind transport) {
     auto opts = proto::SapOptions::fast();
     opts.seed = seed;
-    auto protocol =
-        std::make_unique<proto::SapProtocol>(provider_split("Iris", k, seed), opts);
-    auto result = protocol->run();
-    if (out_protocol) *out_protocol = protocol.get();
-    keep_alive.push_back(std::move(protocol));
-    return result;
+    opts.transport = transport;
+    return opts;
+  }
+
+  std::unique_ptr<proto::SapSession> make_session(std::size_t k, std::uint64_t seed) const {
+    return std::make_unique<proto::SapSession>(provider_split("Iris", k, seed),
+                                               fast_opts(seed, GetParam()));
   }
 };
 
-TEST_F(SapRun, UnifiedDatasetPoolsAllRecords) {
-  const auto result = run(4, 1);
+TEST_P(SapRun, UnifiedDatasetPoolsAllRecords) {
+  auto session = make_session(4, 1);
+  const auto result = session->run();
   EXPECT_EQ(result.unified.size(), 150u);  // Iris row count
   EXPECT_EQ(result.unified.dims(), 4u);
   EXPECT_EQ(result.unified.classes().size(), 3u);
 }
 
-TEST_F(SapRun, CoordinatorNeverReceivesData) {
-  proto::SapProtocol* protocol = nullptr;
-  const auto result = run(5, 2, &protocol);
-  (void)result;
-  const auto& net = protocol->network();
+TEST_P(SapRun, CoordinatorNeverReceivesData) {
+  auto session = make_session(5, 2);
+  (void)session->run();
+  const auto& net = session->transport();
   const proto::PartyId coordinator = 4;  // k-1 with k=5
   EXPECT_EQ(net.count_received(coordinator, proto::PayloadKind::kPerturbedData), 0u);
   EXPECT_EQ(net.count_received(coordinator, proto::PayloadKind::kForwardedData), 0u);
 }
 
-TEST_F(SapRun, MinerReceivesExactlyKDatasetsAndKAdaptors) {
-  proto::SapProtocol* protocol = nullptr;
-  const auto result = run(5, 3, &protocol);
-  (void)result;
-  const auto& net = protocol->network();
+TEST_P(SapRun, MinerReceivesExactlyKDatasetsAndKAdaptors) {
+  auto session = make_session(5, 3);
+  (void)session->run();
+  const auto& net = session->transport();
   const proto::PartyId miner = 5;
   EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kForwardedData), 5u);
   EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kAdaptorSequence), 5u);
@@ -300,8 +376,9 @@ TEST_F(SapRun, MinerReceivesExactlyKDatasetsAndKAdaptors) {
   EXPECT_EQ(net.count_received(miner, proto::PayloadKind::kTargetSpace), 0u);
 }
 
-TEST_F(SapRun, EveryProviderDatasetReachesMinerViaSomePeer) {
-  const auto result = run(6, 4);
+TEST_P(SapRun, EveryProviderDatasetReachesMinerViaSomePeer) {
+  auto session = make_session(6, 4);
+  const auto result = session->run();
   ASSERT_EQ(result.audit_forwarder_of.size(), 6u);
   const proto::PartyId coordinator = 5;
   for (std::size_t i = 0; i < 6; ++i) {
@@ -311,8 +388,9 @@ TEST_F(SapRun, EveryProviderDatasetReachesMinerViaSomePeer) {
   }
 }
 
-TEST_F(SapRun, PartyReportsAreComplete) {
-  const auto result = run(4, 5);
+TEST_P(SapRun, PartyReportsAreComplete) {
+  auto session = make_session(4, 5);
+  const auto result = session->run();
   ASSERT_EQ(result.parties.size(), 4u);
   for (const auto& p : result.parties) {
     EXPECT_GT(p.local_rho, 0.0);
@@ -326,9 +404,9 @@ TEST_F(SapRun, PartyReportsAreComplete) {
   }
 }
 
-TEST_F(SapRun, DeterministicForSameSeed) {
-  const auto a = run(4, 42);
-  const auto b = run(4, 42);
+TEST_P(SapRun, DeterministicForSameSeed) {
+  const auto a = make_session(4, 42)->run();
+  const auto b = make_session(4, 42)->run();
   EXPECT_TRUE(a.unified.features().approx_equal(b.unified.features(), 0.0));
   EXPECT_EQ(a.total_bytes, b.total_bytes);
   ASSERT_EQ(a.parties.size(), b.parties.size());
@@ -336,20 +414,18 @@ TEST_F(SapRun, DeterministicForSameSeed) {
     EXPECT_DOUBLE_EQ(a.parties[i].local_rho, b.parties[i].local_rho);
 }
 
-TEST_F(SapRun, DifferentSeedsShuffleAssignments) {
-  const auto a = run(6, 1);
-  const auto b = run(6, 99);
+TEST_P(SapRun, DifferentSeedsShuffleAssignments) {
+  const auto a = make_session(6, 1)->run();
+  const auto b = make_session(6, 99)->run();
   // Forwarder assignments should differ for at least one provider across
   // two independent runs (probability of full coincidence is negligible).
   EXPECT_NE(a.audit_forwarder_of, b.audit_forwarder_of);
 }
 
-TEST_F(SapRun, MinerJobRunsAndReportsBroadcast) {
-  auto opts = proto::SapOptions::fast();
-  opts.seed = 7;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 7), opts);
+TEST_P(SapRun, MinerJobRunsAndReportsBroadcast) {
+  auto session = make_session(4, 7);
   bool job_ran = false;
-  const auto result = protocol.run([&](const Dataset& unified) {
+  const auto result = session->run([&](const Dataset& unified) {
     job_ran = true;
     return std::vector<double>{static_cast<double>(unified.size())};
   });
@@ -358,39 +434,136 @@ TEST_F(SapRun, MinerJobRunsAndReportsBroadcast) {
   // One model report per provider.
   std::size_t reports = 0;
   for (proto::PartyId p = 0; p < 4; ++p)
-    reports += protocol.network().count_received(p, proto::PayloadKind::kModelReport);
+    reports += session->transport().count_received(p, proto::PayloadKind::kModelReport);
   EXPECT_EQ(reports, 4u);
 }
 
-TEST_F(SapRun, FewerThanThreeProvidersRejected) {
-  auto opts = proto::SapOptions::fast();
-  EXPECT_THROW(proto::SapProtocol(provider_split("Iris", 2, 1), opts), sap::Error);
+TEST_P(SapRun, FewerThanThreeProvidersRejected) {
+  EXPECT_THROW(proto::SapSession(provider_split("Iris", 2, 1), fast_opts(1, GetParam())),
+               sap::Error);
 }
 
-TEST_F(SapRun, MismatchedDimensionsRejected) {
+TEST_P(SapRun, MismatchedDimensionsRejected) {
   auto parts = provider_split("Iris", 3, 1);
   // Corrupt one provider with a different dimensionality.
   parts[1] = Dataset("bad", Matrix(20, 3, 0.5), std::vector<int>(20, 0));
-  EXPECT_THROW(proto::SapProtocol(std::move(parts), proto::SapOptions::fast()), sap::Error);
+  EXPECT_THROW(proto::SapSession(std::move(parts), fast_opts(1, GetParam())), sap::Error);
 }
 
+// ------------------------------------------------------------ phase machine
+
+TEST_P(SapRun, PhasesAdvanceInDeclaredOrder) {
+  auto session = make_session(4, 11);
+  using P = proto::SessionPhase;
+  const std::vector<P> expected{P::kLocalOptimize, P::kTargetDistribution,
+                                P::kPermutationExchange, P::kPerturbAndForward,
+                                P::kAdaptorAlignment, P::kMine};
+  for (std::size_t i = 0; i + 1 < expected.size(); ++i) {
+    EXPECT_EQ(session->phase(), expected[i]);
+    session->advance();
+  }
+  EXPECT_EQ(session->phase(), P::kMine);
+  // Terminal: advancing past kMine is a no-op.
+  session->advance();
+  EXPECT_EQ(session->phase(), P::kMine);
+  // The log records every executed phase, in order, with cost snapshots.
+  ASSERT_EQ(session->phase_log().size(), expected.size() - 1);
+  for (std::size_t i = 0; i + 1 < expected.size(); ++i)
+    EXPECT_EQ(session->phase_log()[i].phase, expected[i]);
+  EXPECT_GT(session->phase_log().back().messages, 0u);
+}
+
+TEST_P(SapRun, PhasesAreIndividuallyObservable) {
+  auto session = make_session(4, 12);
+  session->run_until(proto::SessionPhase::kPermutationExchange);
+  // After target distribution, only control-plane traffic exists.
+  const auto& net = session->transport();
+  EXPECT_EQ(net.count_received(4, proto::PayloadKind::kForwardedData), 0u);
+  EXPECT_GT(net.count_received(0, proto::PayloadKind::kTargetSpace), 0u);
+  session->run_until(proto::SessionPhase::kMine);
+  EXPECT_EQ(net.count_received(4, proto::PayloadKind::kForwardedData), 4u);
+}
+
+TEST_P(SapRun, MultipleJobsWithoutRedoingExchange) {
+  auto session = make_session(4, 13);
+  session->run_until(proto::SessionPhase::kMine);
+  const std::size_t exchange_messages = session->transport().trace().size();
+
+  const auto r1 = session->mine_named("record-count");
+  const auto r2 = session->mine_named("class-histogram");
+  // Identical pool both times, no exchange traffic re-paid: each named job
+  // adds exactly k model-report broadcasts.
+  EXPECT_TRUE(r1.unified.features().approx_equal(r2.unified.features(), 0.0));
+  EXPECT_EQ(r1.messages, exchange_messages + 4);
+  EXPECT_EQ(r2.messages, exchange_messages + 8);
+}
+
+TEST_P(SapRun, CustomRegisteredJobIsServed) {
+  auto session = make_session(4, 14);
+  bool ran = false;
+  session->register_job("my-job", [&](const Dataset& unified) {
+    ran = true;
+    return std::vector<double>{static_cast<double>(unified.dims())};
+  });
+  const auto names = session->job_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "my-job"), names.end());
+  (void)session->mine_named("my-job");
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(SapRun, UnknownNamedJobRejected) {
+  auto session = make_session(4, 15);
+  EXPECT_THROW(session->mine_named("no-such-job"), sap::Error);
+}
+
+TEST(SapCrossBackend, UnifiedPoolIsBitIdenticalAcrossTransports) {
+  // The canonical pooling order makes the protocol output independent of
+  // message arrival order: same seed → identical unified data, bytes and
+  // accounting under the synchronous and the concurrent backend.
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 1234;
+  opts.transport = proto::TransportKind::kSimulated;
+  proto::SapSession sim(provider_split("Wine", 5, 9), opts);
+  opts.transport = proto::TransportKind::kThreadedLocal;
+  proto::SapSession threaded(provider_split("Wine", 5, 9), opts);
+
+  const auto a = sim.run();
+  const auto b = threaded.run();
+  EXPECT_TRUE(a.unified.features().approx_equal(b.unified.features(), 0.0));
+  EXPECT_EQ(a.unified.labels(), b.unified.labels());
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.messages, b.messages);
+  ASSERT_EQ(a.parties.size(), b.parties.size());
+  for (std::size_t i = 0; i < a.parties.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.parties[i].local_rho, b.parties[i].local_rho);
+    EXPECT_DOUBLE_EQ(a.parties[i].satisfaction, b.parties[i].satisfaction);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SapRun,
+                         ::testing::Values(proto::TransportKind::kSimulated,
+                                           proto::TransportKind::kThreadedLocal),
+                         transport_label);
+
 // Parameterized end-to-end sweep: the §3 information-flow invariants must
-// hold for every (dataset, party count) combination, not just Iris/k=4.
+// hold for every (dataset, party count, transport) combination.
 class SapInvariantSweep
-    : public ::testing::TestWithParam<std::tuple<const char*, std::size_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, std::size_t, proto::TransportKind>> {};
 
 TEST_P(SapInvariantSweep, InformationFlowInvariantsHold) {
-  const auto [dataset, k] = GetParam();
+  const auto [dataset, k, transport] = GetParam();
   auto opts = proto::SapOptions::fast();
   opts.seed = 0xABC0 + k;
   opts.compute_satisfaction = false;
+  opts.transport = transport;
   auto shards = provider_split(dataset, k, 7 * k + 1);
   std::size_t total_records = 0;
   for (const auto& s : shards) total_records += s.size();
 
-  proto::SapProtocol protocol(std::move(shards), opts);
-  const auto result = protocol.run();
-  const auto& net = protocol.network();
+  proto::SapSession session(std::move(shards), opts);
+  const auto result = session.run();
+  const auto& net = session.transport();
   const auto coordinator = static_cast<proto::PartyId>(k - 1);
   const auto miner = static_cast<proto::PartyId>(k);
 
@@ -415,10 +588,15 @@ TEST_P(SapInvariantSweep, InformationFlowInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(
     DatasetsAndParties, SapInvariantSweep,
     ::testing::Combine(::testing::Values("Iris", "Wine", "Diabetes", "Votes"),
-                       ::testing::Values(std::size_t{3}, std::size_t{5}, std::size_t{8})),
+                       ::testing::Values(std::size_t{3}, std::size_t{5}, std::size_t{8}),
+                       ::testing::Values(proto::TransportKind::kSimulated,
+                                         proto::TransportKind::kThreadedLocal)),
     [](const auto& info) {
       return std::string(std::get<0>(info.param)) + "_k" +
-             std::to_string(std::get<1>(info.param));
+             std::to_string(std::get<1>(info.param)) + "_" +
+             (std::get<2>(info.param) == proto::TransportKind::kSimulated
+                  ? "Simulated"
+                  : "ThreadedLocal");
     });
 
 TEST(SapIdentifiability, ForwarderChoiceIsNearUniformOverRuns) {
@@ -432,8 +610,8 @@ TEST(SapIdentifiability, ForwarderChoiceIsNearUniformOverRuns) {
     auto opts = proto::SapOptions::fast();
     opts.seed = 1000 + static_cast<std::uint64_t>(r);
     opts.compute_satisfaction = false;  // keep the Monte-Carlo cheap
-    proto::SapProtocol protocol(provider_split("Iris", k, 77), opts);
-    const auto result = protocol.run();
+    proto::SapSession session(provider_split("Iris", k, 77), opts);
+    const auto result = session.run();
     ++counts[result.audit_forwarder_of[0]];
   }
   ASSERT_LE(counts.size(), k - 1);
@@ -441,6 +619,43 @@ TEST(SapIdentifiability, ForwarderChoiceIsNearUniformOverRuns) {
     EXPECT_LT(forwarder, k - 1);
     EXPECT_NEAR(static_cast<double>(count) / runs, 1.0 / (k - 1), 0.18);
   }
+}
+
+// ------------------------------------------------------------ compat wrapper
+
+TEST(SapProtocolCompat, WrapperStillRunsTheFullProtocol) {
+  // SapProtocol is the one-release migration shim over SapSession; this is
+  // deliberately the only remaining caller. It must still deliver the full
+  // single-shot behavior: run → result + inspectable SimulatedNetwork.
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 7;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 7), opts);
+  EXPECT_EQ(protocol.provider_count(), 4u);
+  bool job_ran = false;
+  const auto result = protocol.run([&](const Dataset& unified) {
+    job_ran = true;
+    return std::vector<double>{static_cast<double>(unified.size())};
+  });
+  EXPECT_TRUE(job_ran);
+  EXPECT_EQ(result.unified.size(), 150u);
+  EXPECT_EQ(protocol.network().count_received(4, proto::PayloadKind::kForwardedData), 4u);
+
+  // Matches a fresh SapSession bit for bit (the wrapper adds no semantics).
+  proto::SapSession session(provider_split("Iris", 4, 7), opts);
+  const auto direct = session.run();
+  EXPECT_TRUE(result.unified.features().approx_equal(direct.unified.features(), 0.0));
+}
+
+TEST(SapProtocolCompat, FaultInjectionStillDetected) {
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 8;
+  opts.compute_satisfaction = false;
+  proto::SapProtocol protocol(provider_split("Iris", 4, 8), opts);
+  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+    return kind == proto::PayloadKind::kSpaceAdaptor;
+  });
+  EXPECT_THROW(protocol.run(), sap::Error);
+  EXPECT_GE(protocol.network().dropped_count(), 1u);
 }
 
 // ------------------------------------------------------------ direct baseline
@@ -461,9 +676,9 @@ TEST(DirectBaseline, RiskStrictlyAboveSapForSameParties) {
   opts.seed = 202;
   auto shards_a = provider_split("Iris", 5, 202);
   auto shards_b = shards_a;
-  proto::SapProtocol sap_protocol(std::move(shards_a), opts);
+  proto::SapSession sap_session(std::move(shards_a), opts);
   proto::DirectSubmissionProtocol direct_protocol(std::move(shards_b), opts);
-  const auto sap_result = sap_protocol.run();
+  const auto sap_result = sap_session.run();
   const auto direct_result = direct_protocol.run();
 
   double sap_risk_sum = 0.0, direct_risk_sum = 0.0;
@@ -479,9 +694,9 @@ TEST(DirectBaseline, CheaperOnTheWireThanSap) {
   opts.compute_satisfaction = false;
   auto shards_a = provider_split("Iris", 4, 203);
   auto shards_b = shards_a;
-  proto::SapProtocol sap_protocol(std::move(shards_a), opts);
+  proto::SapSession sap_session(std::move(shards_a), opts);
   proto::DirectSubmissionProtocol direct_protocol(std::move(shards_b), opts);
-  const auto sap_result = sap_protocol.run();
+  const auto sap_result = sap_session.run();
   const auto direct_result = direct_protocol.run();
   EXPECT_LT(direct_result.total_bytes, sap_result.total_bytes);
 }
@@ -515,77 +730,95 @@ TEST(DirectBaseline, MinerJobRuns) {
 
 // ------------------------------------------------------------ failure injection
 
-TEST(SapFaults, DroppedDataMessageIsDetected) {
-  auto opts = proto::SapOptions::fast();
-  opts.seed = 91;
-  opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 91), opts);
-  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
-    static bool dropped = false;
-    if (!dropped && kind == proto::PayloadKind::kPerturbedData) {
-      dropped = true;
-      return true;
-    }
-    return false;
+class SapFaults : public ::testing::TestWithParam<proto::TransportKind> {
+ protected:
+  std::unique_ptr<proto::SapSession> make_session(std::size_t k, std::uint64_t seed) const {
+    auto opts = proto::SapOptions::fast();
+    opts.seed = seed;
+    opts.compute_satisfaction = false;
+    opts.transport = GetParam();
+    return std::make_unique<proto::SapSession>(provider_split("Iris", k, seed), opts);
+  }
+};
+
+TEST_P(SapFaults, DroppedDataMessageIsDetected) {
+  auto session = make_session(4, 91);
+  // Drop the first perturbed-data message. The filter must be thread-safe
+  // under the concurrent backend, hence the atomic flag.
+  auto dropped = std::make_shared<std::atomic<bool>>(false);
+  session->inject_faults([dropped](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+    if (kind != proto::PayloadKind::kPerturbedData) return false;
+    return !dropped->exchange(true);
   });
-  EXPECT_THROW(protocol.run(), sap::Error);
-  EXPECT_GE(protocol.network().dropped_count(), 1u);
+  EXPECT_THROW(session->run(), sap::Error);
+  EXPECT_GE(session->transport().dropped_count(), 1u);
 }
 
-TEST(SapFaults, DroppedRoutingNoticeAbortsBeforeExchange) {
-  auto opts = proto::SapOptions::fast();
-  opts.seed = 92;
-  opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 92), opts);
-  protocol.inject_faults([](proto::PartyId, proto::PartyId to, proto::PayloadKind kind) {
+TEST_P(SapFaults, DroppedRoutingNoticeAbortsBeforeExchange) {
+  auto session = make_session(4, 92);
+  session->inject_faults([](proto::PartyId, proto::PartyId to, proto::PayloadKind kind) {
     return kind == proto::PayloadKind::kRoutingNotice && to == 0;
   });
   try {
-    protocol.run();
+    session->run();
     FAIL() << "protocol must abort on missing setup messages";
   } catch (const sap::Error& e) {
     EXPECT_NE(std::string(e.what()).find("setup"), std::string::npos);
   }
   // Crucially: no provider dataset may have reached the miner before the
   // abort (nothing is mined from a half-configured round).
-  EXPECT_EQ(protocol.network().count_received(4, proto::PayloadKind::kForwardedData), 0u);
+  EXPECT_EQ(session->transport().count_received(4, proto::PayloadKind::kForwardedData), 0u);
 }
 
-TEST(SapFaults, DroppedAdaptorIsDetected) {
-  auto opts = proto::SapOptions::fast();
-  opts.seed = 93;
-  opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 5, 93), opts);
-  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+TEST_P(SapFaults, DroppedAdaptorIsDetected) {
+  auto session = make_session(5, 93);
+  session->inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
     return kind == proto::PayloadKind::kSpaceAdaptor;
   });
-  EXPECT_THROW(protocol.run(), sap::Error);
+  EXPECT_THROW(session->run(), sap::Error);
 }
 
-TEST(SapFaults, DroppedModelReportIsBenign) {
+TEST_P(SapFaults, DroppedModelReportIsBenign) {
   // Losing the final broadcast degrades service but must not corrupt the
   // protocol result itself.
-  auto opts = proto::SapOptions::fast();
-  opts.seed = 94;
-  opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 94), opts);
-  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+  auto session = make_session(4, 94);
+  session->inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
     return kind == proto::PayloadKind::kModelReport;
   });
-  const auto result = protocol.run(
+  const auto result = session->run(
       [](const Dataset& unified) { return std::vector<double>{double(unified.size())}; });
   EXPECT_EQ(result.unified.size(), 150u);
-  EXPECT_EQ(protocol.network().dropped_count(), 4u);
+  EXPECT_EQ(session->transport().dropped_count(), 4u);
 }
 
-TEST(SapFaults, NoFaultsMeansNoDrops) {
-  auto opts = proto::SapOptions::fast();
-  opts.seed = 95;
-  opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 95), opts);
-  (void)protocol.run();
-  EXPECT_EQ(protocol.network().dropped_count(), 0u);
+TEST_P(SapFaults, FailedSessionIsPoisonedAgainstResumption) {
+  // A throw mid-exchange leaves partially-mutated state (queued mail,
+  // advanced engines); re-running the session must be refused outright
+  // rather than mining a corrupted pool.
+  auto session = make_session(4, 96);
+  session->inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+    return kind == proto::PayloadKind::kSpaceAdaptor;
+  });
+  EXPECT_THROW(session->run(), sap::Error);
+  EXPECT_TRUE(session->failed());
+  try {
+    session->run();
+    FAIL() << "poisoned session must refuse to resume";
+  } catch (const sap::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("new session"), std::string::npos);
+  }
 }
+
+TEST_P(SapFaults, NoFaultsMeansNoDrops) {
+  auto session = make_session(4, 95);
+  (void)session->run();
+  EXPECT_EQ(session->transport().dropped_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SapFaults,
+                         ::testing::Values(proto::TransportKind::kSimulated,
+                                           proto::TransportKind::kThreadedLocal),
+                         transport_label);
 
 // ------------------------------------------------------------ source linking
 
@@ -663,8 +896,8 @@ TEST(SapCost, BytesScaleWithDataNotWithGossip) {
   // small factor of 2x the raw data volume (each record crosses two hops).
   auto opts = proto::SapOptions::fast();
   opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 9), opts);
-  const auto result = protocol.run();
+  proto::SapSession session(provider_split("Iris", 4, 9), opts);
+  const auto result = session.run();
   const std::size_t raw_bytes = 150 * 4 * sizeof(double);
   EXPECT_GT(result.total_bytes, 2 * raw_bytes);       // two data hops
   EXPECT_LT(result.total_bytes, 2 * raw_bytes * 3);   // plus bounded overhead

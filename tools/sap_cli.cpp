@@ -2,20 +2,30 @@
 //
 // Subcommands:
 //   datasets                                  list the built-in synthetic suite
+//   jobs                                      list the named miner jobs
 //   generate <name> <out.csv> [seed]          write a synthetic dataset as CSV
 //   perturb <in.csv> <out.csv> [sigma] [seed] normalize + optimized perturbation
 //   attack <orig.csv> <pert.csv> [known_m]    run the attack suite, print report
 //   protocol <name> [parties] [sigma] [seed]  full SAP run + KNN utility check
+//            [--job <name>] [--transport sim|threaded] [--phases]
 //   minparties <s0> <opt_rate>                Figure-4 calculator
+//
+// Every numeric argument is validated; bad flags or malformed values exit
+// with status 2 after printing usage to stderr. `--help` (or `-h`, or the
+// `help` subcommand) prints usage to stdout and exits 0.
 //
 // Examples:
 //   sap_cli generate Diabetes /tmp/diab.csv 7
 //   sap_cli perturb /tmp/diab.csv /tmp/diab_pert.csv 0.1
 //   sap_cli attack /tmp/diab_norm.csv /tmp/diab_pert.csv 4
-//   sap_cli protocol Diabetes 6 0.1
+//   sap_cli protocol Diabetes 6 0.1 1 --job svm-train-accuracy --transport threaded
 //   sap_cli minparties 0.95 0.9
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,25 +35,51 @@ namespace {
 
 using namespace sap;
 
-int usage() {
-  std::fputs(
-      "usage:\n"
-      "  sap_cli datasets\n"
-      "  sap_cli generate <name> <out.csv> [seed]\n"
-      "  sap_cli perturb <in.csv> <out.csv> [sigma=0.1] [seed=1]\n"
-      "  sap_cli attack <original.csv> <perturbed.csv> [known_m=4]\n"
-      "  sap_cli protocol <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
-      "  sap_cli minparties <s0> <opt_rate>\n",
-      stderr);
+const char* kUsage =
+    "usage:\n"
+    "  sap_cli datasets\n"
+    "  sap_cli jobs\n"
+    "  sap_cli generate <name> <out.csv> [seed=1]\n"
+    "  sap_cli perturb <in.csv> <out.csv> [sigma=0.1] [seed=1]\n"
+    "  sap_cli attack <original.csv> <perturbed.csv> [known_m=4]\n"
+    "  sap_cli protocol <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
+    "          [--job <name>] [--transport sim|threaded] [--phases]\n"
+    "  sap_cli minparties <s0> <opt_rate>\n"
+    "  sap_cli --help\n"
+    "\n"
+    "flags for `protocol`:\n"
+    "  --job <name>        run a named miner job on the unified pool\n"
+    "                      (see `sap_cli jobs`; repeatable)\n"
+    "  --transport <kind>  messaging backend: `sim` (synchronous, default)\n"
+    "                      or `threaded` (one worker per party)\n"
+    "  --phases            print per-phase timing and wire cost\n";
+
+int usage_error(const char* message = nullptr) {
+  if (message) std::fprintf(stderr, "error: %s\n", message);
+  std::fputs(kUsage, stderr);
   return 2;
 }
 
-double arg_double(int argc, char** argv, int index, double fallback) {
-  return (argc > index) ? std::atof(argv[index]) : fallback;
+int usage_ok() {
+  std::fputs(kUsage, stdout);
+  return 0;
 }
 
-std::uint64_t arg_u64(int argc, char** argv, int index, std::uint64_t fallback) {
-  return (argc > index) ? static_cast<std::uint64_t>(std::atoll(argv[index])) : fallback;
+/// Strict double parse; exits via return false on garbage ("1x", "", "nan").
+bool parse_double(const char* text, double& out) {
+  if (!text || !*text) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(text, &end);
+  return errno == 0 && end && *end == '\0' && std::isfinite(out);
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  if (!text || !*text || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(text, &end, 10);
+  return errno == 0 && end && *end == '\0';
 }
 
 int cmd_datasets() {
@@ -55,18 +91,30 @@ int cmd_datasets() {
   return 0;
 }
 
+int cmd_jobs() {
+  std::printf("named miner jobs (run with `sap_cli protocol ... --job <name>`):\n");
+  for (const auto& [name, job] : proto::builtin_miner_jobs())
+    std::printf("  %s\n", name.c_str());
+  return 0;
+}
+
 int cmd_generate(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const auto ds = data::make_uci(argv[2], arg_u64(argc, argv, 4, 1));
+  if (argc < 4 || argc > 5) return usage_error("generate takes 2-3 arguments");
+  std::uint64_t seed = 1;
+  if (argc == 5 && !parse_u64(argv[4], seed)) return usage_error("bad seed");
+  const auto ds = data::make_uci(argv[2], seed);
   data::save_csv(ds, argv[3]);
   std::printf("wrote %zu records x %zu dims to %s\n", ds.size(), ds.dims(), argv[3]);
   return 0;
 }
 
 int cmd_perturb(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const double sigma = arg_double(argc, argv, 4, 0.1);
-  const std::uint64_t seed = arg_u64(argc, argv, 5, 1);
+  if (argc < 4 || argc > 6) return usage_error("perturb takes 2-4 arguments");
+  double sigma = 0.1;
+  std::uint64_t seed = 1;
+  if (argc > 4 && !parse_double(argv[4], sigma)) return usage_error("bad sigma");
+  if (argc > 5 && !parse_u64(argv[5], seed)) return usage_error("bad seed");
+  if (sigma < 0.0) return usage_error("sigma must be non-negative");
 
   const data::Dataset raw = data::load_csv(argv[2], "input");
   data::MinMaxNormalizer norm;
@@ -91,15 +139,16 @@ int cmd_perturb(int argc, char** argv) {
 }
 
 int cmd_attack(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const auto known = static_cast<std::size_t>(arg_u64(argc, argv, 4, 4));
+  if (argc < 4 || argc > 5) return usage_error("attack takes 2-3 arguments");
+  std::uint64_t known = 4;
+  if (argc == 5 && !parse_u64(argv[4], known)) return usage_error("bad known_m");
   const data::Dataset original = data::load_csv(argv[2], "original");
   const data::Dataset perturbed = data::load_csv(argv[3], "perturbed");
   SAP_REQUIRE(original.size() == perturbed.size() && original.dims() == perturbed.dims(),
               "attack: datasets must have identical shape");
 
   privacy::AttackSuite suite({.naive = true, .ica = true, .spectral = true,
-                              .known_inputs = known});
+                              .known_inputs = static_cast<std::size_t>(known)});
   rng::Engine eng(99);
   const auto report = suite.evaluate(original.features_T(), perturbed.features_T(), eng);
 
@@ -113,12 +162,49 @@ int cmd_attack(int argc, char** argv) {
 }
 
 int cmd_protocol(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const auto parties = static_cast<std::size_t>(arg_u64(argc, argv, 3, 5));
-  const double sigma = arg_double(argc, argv, 4, 0.1);
-  const std::uint64_t seed = arg_u64(argc, argv, 5, 1);
+  // Positionals first, then flags (flags may also interleave).
+  std::vector<const char*> positional;
+  std::vector<std::string> job_names;
+  proto::TransportKind transport = proto::TransportKind::kSimulated;
+  bool show_phases = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--job") {
+      if (++i >= argc) return usage_error("--job needs a value");
+      job_names.emplace_back(argv[i]);
+    } else if (arg == "--transport") {
+      if (++i >= argc) return usage_error("--transport needs a value");
+      const std::string kind = argv[i];
+      if (kind == "sim" || kind == "simulated") {
+        transport = proto::TransportKind::kSimulated;
+      } else if (kind == "threaded" || kind == "threaded-local") {
+        transport = proto::TransportKind::kThreadedLocal;
+      } else {
+        return usage_error("unknown transport (use `sim` or `threaded`)");
+      }
+    } else if (arg == "--phases") {
+      show_phases = true;
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      return usage_error(("unknown flag " + arg).c_str());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 4)
+    return usage_error("protocol takes 1-4 positional arguments");
 
-  const data::Dataset raw = data::make_uci(argv[2], seed);
+  std::uint64_t parties = 5, seed = 1;
+  double sigma = 0.1;
+  if (positional.size() > 1 && !parse_u64(positional[1], parties))
+    return usage_error("bad party count");
+  if (positional.size() > 2 && !parse_double(positional[2], sigma))
+    return usage_error("bad sigma");
+  if (positional.size() > 3 && !parse_u64(positional[3], seed))
+    return usage_error("bad seed");
+  if (parties < 3) return usage_error("protocol needs at least 3 parties");
+  if (sigma < 0.0) return usage_error("sigma must be non-negative");
+
+  const data::Dataset raw = data::make_uci(positional[0], seed);
   data::MinMaxNormalizer norm;
   norm.fit(raw.features());
   const data::Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
@@ -130,11 +216,23 @@ int cmd_protocol(int argc, char** argv) {
   proto::SapOptions opts;
   opts.noise_sigma = sigma;
   opts.seed = seed;
+  opts.transport = transport;
   opts.optimizer.candidates = 8;
   opts.optimizer.refine_steps = 4;
   opts.optimizer.attacks = {.naive = true, .ica = true, .known_inputs = 4};
-  proto::SapProtocol protocol(std::move(shards), opts);
-  const auto result = protocol.run();
+  proto::SapSession session(std::move(shards), opts);
+
+  // Validate job names against the registry BEFORE paying for the exchange.
+  for (const auto& name : job_names) {
+    const auto known = session.job_names();
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "error: unknown miner job '%s' (see `sap_cli jobs`)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  const auto result = session.run();
 
   Table table({"provider", "rho_i", "b_i", "s_i", "pi_i", "risk eq(1)", "risk eq(2)"});
   for (const auto& p : result.parties)
@@ -142,6 +240,22 @@ int cmd_protocol(int argc, char** argv) {
                    Table::num(p.satisfaction), Table::num(p.identifiability),
                    Table::num(p.risk_breach), Table::num(p.risk_sap)});
   std::fputs(table.str().c_str(), stdout);
+
+  if (show_phases) {
+    std::printf("\nphases (transport=%s):\n", proto::to_string(transport).c_str());
+    for (const auto& stats : session.phase_log())
+      std::printf("  %-20s %8.1f ms  %4zu msgs  %8.1f KiB\n",
+                  proto::to_string(stats.phase).c_str(), stats.millis, stats.messages,
+                  static_cast<double>(stats.total_bytes) / 1024.0);
+  }
+
+  // Named jobs re-mine the pooled unified space without redoing the exchange.
+  for (const auto& name : job_names) {
+    const auto job_result = session.mine_named(name);
+    (void)job_result;
+    std::printf("job %-22s report broadcast to %llu providers\n", name.c_str(),
+                static_cast<unsigned long long>(parties));
+  }
 
   ml::Knn knn(5);
   knn.fit(result.unified);
@@ -160,9 +274,10 @@ int cmd_protocol(int argc, char** argv) {
 }
 
 int cmd_minparties(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const double s0 = std::atof(argv[2]);
-  const double rate = std::atof(argv[3]);
+  if (argc != 4) return usage_error("minparties takes exactly 2 arguments");
+  double s0 = 0.0, rate = 0.0;
+  if (!parse_double(argv[2], s0)) return usage_error("bad s0");
+  if (!parse_double(argv[3], rate)) return usage_error("bad opt_rate");
   const auto primary =
       proto::min_parties(s0, rate, proto::MinPartiesCriterion::kResidualTolerance, 10000);
   const auto alt = proto::min_parties(s0, rate, proto::MinPartiesCriterion::kNoExtraRisk, 10000);
@@ -175,10 +290,12 @@ int cmd_minparties(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) return usage_error();
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage_ok();
   try {
     if (cmd == "datasets") return cmd_datasets();
+    if (cmd == "jobs") return cmd_jobs();
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "perturb") return cmd_perturb(argc, argv);
     if (cmd == "attack") return cmd_attack(argc, argv);
@@ -188,5 +305,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
+  return usage_error(("unknown subcommand '" + cmd + "'").c_str());
 }
