@@ -1,0 +1,160 @@
+// Mining-serving throughput: cached parameterized serving vs per-request
+// retraining, across engine thread counts.
+//
+// The bench builds one unified pool (no protocol cost — the engine serves
+// standalone, exactly as it does inside a session's Mine state), then pushes
+// a fixed request load through the MiningEngine in three configurations:
+//
+//   retrain-8t    cache off, 8 threads  — PR 1's effective behavior: every
+//                 request re-trains its model from scratch;
+//   cached-8t     cache on,  8 threads  — the train-once/query-many split;
+//   cached-serial cache on,  0 threads  — the serial reference execution.
+//
+// It reports requests/sec and p50/p99 per-request latency, verifies the
+// determinism invariant (threaded reports bit-identical to serial), and
+// asserts the acceptance bar: cached serving >= 5x retraining at 8 threads.
+// Output: aligned table on stdout + BENCH_throughput_mining.json.
+//
+// Usage: throughput_mining [--quick] [--requests N] [--dataset name]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "protocol/mining_engine.hpp"
+
+namespace {
+
+using sap::Stopwatch;
+using sap::Table;
+namespace proto = sap::proto;
+
+/// The serving load: parameterized trainable requests over a handful of
+/// distinct hyperparameter sets (so the cache holds several live models),
+/// mixed with cheap structural requests — a plausible query mix for one
+/// exchange serving many analysts.
+std::vector<proto::MiningRequest> make_load(std::size_t count) {
+  const std::vector<proto::MiningRequest> variants = {
+      {"svm-train-accuracy", {{"c", 1.0}, {"eval-records", 64.0}}},
+      {"svm-train-accuracy", {{"c", 8.0}, {"eval-records", 64.0}}},
+      {"perceptron-train-accuracy", {{"epochs", 40.0}, {"eval-records", 64.0}}},
+      {"knn-train-accuracy", {{"k", 3.0}, {"eval-records", 64.0}}},
+      {"knn-train-accuracy", {{"k", 7.0}, {"eval-records", 64.0}}},
+      {"nb-train-accuracy", {{"eval-records", 64.0}}},
+      {"record-count", {}},
+      {"class-histogram", {}},
+  };
+  std::vector<proto::MiningRequest> load;
+  load.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) load.push_back(variants[i % variants.size()]);
+  return load;
+}
+
+struct RunStats {
+  double wall_ms = 0.0;
+  double req_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t fits = 0;
+  std::size_t hits = 0;
+  std::vector<proto::MiningResponse> responses;
+};
+
+RunStats serve(const sap::data::Dataset& pool, const std::vector<proto::MiningRequest>& load,
+               std::size_t threads, bool cache) {
+  proto::MiningEngine engine({.threads = threads, .cache_models = cache});
+  engine.set_pool(pool);
+  Stopwatch sw;
+  RunStats stats;
+  stats.responses = engine.run_batch(load);
+  stats.wall_ms = sw.millis();
+  stats.req_per_sec = 1000.0 * static_cast<double>(load.size()) / stats.wall_ms;
+
+  std::vector<double> lat;
+  lat.reserve(stats.responses.size());
+  for (const auto& r : stats.responses) lat.push_back(r.millis);
+  std::sort(lat.begin(), lat.end());
+  const auto pct = [&](double p) {
+    return lat[static_cast<std::size_t>(p * static_cast<double>(lat.size() - 1))];
+  };
+  stats.p50_ms = pct(0.50);
+  stats.p99_ms = pct(0.99);
+  const auto cache_stats = engine.cache_stats();
+  stats.fits = cache_stats.fits;
+  stats.hits = cache_stats.hits;
+  return stats;
+}
+
+bool reports_identical(const std::vector<proto::MiningResponse>& a,
+                       const std::vector<proto::MiningResponse>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].values != b[i].values) return false;  // bit-exact comparison
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 512;
+  std::string dataset = "Diabetes";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      requests = 96;
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      if (requests == 0) {
+        std::fprintf(stderr, "error: --requests needs a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--dataset") == 0 && i + 1 < argc) {
+      dataset = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: throughput_mining [--quick] [--requests N] [--dataset name]\n");
+      return 2;
+    }
+  }
+
+  const auto pool = sap::bench::normalized_uci(dataset, /*seed=*/17);
+  const auto load = make_load(requests);
+  std::printf("pool: %s (%zu records x %zu dims), %zu requests\n\n", pool.name().c_str(),
+              pool.size(), pool.dims(), load.size());
+
+  const RunStats retrain = serve(pool, load, /*threads=*/8, /*cache=*/false);
+  const RunStats cached = serve(pool, load, /*threads=*/8, /*cache=*/true);
+  const RunStats serial = serve(pool, load, /*threads=*/0, /*cache=*/true);
+
+  Table table({"mode", "threads", "requests", "wall ms", "req/s", "p50 ms", "p99 ms",
+               "fits", "cache hits"});
+  const auto add = [&](const char* mode, std::size_t threads, const RunStats& s) {
+    table.add_row({mode, std::to_string(threads), std::to_string(requests),
+                   Table::num(s.wall_ms, 1), Table::num(s.req_per_sec, 1),
+                   Table::num(s.p50_ms, 3), Table::num(s.p99_ms, 3),
+                   std::to_string(s.fits), std::to_string(s.hits)});
+  };
+  add("retrain-8t", 8, retrain);
+  add("cached-8t", 8, cached);
+  add("cached-serial", 0, serial);
+  sap::bench::emit_table("throughput_mining", table);
+
+  const double speedup = cached.req_per_sec / retrain.req_per_sec;
+  std::printf("\ncached/retrain speedup at 8 threads: %.1fx\n", speedup);
+
+  // Determinism invariant: the threaded batch's reports are bit-identical
+  // to the serial reference.
+  if (!reports_identical(cached.responses, serial.responses)) {
+    std::fprintf(stderr, "FAIL: threaded reports differ from serial reference\n");
+    return 1;
+  }
+  std::printf("determinism: threaded reports bit-identical to serial (ok)\n");
+
+  if (speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: cached serving speedup %.1fx below the 5x bar\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -6,12 +6,15 @@
 
 namespace sap::ml {
 
-double accuracy(const Classifier& model, const data::Dataset& test) {
+double accuracy(const Classifier& model, const data::Dataset& test,
+                std::size_t max_records) {
   SAP_REQUIRE(test.size() > 0, "accuracy: empty test set");
+  const std::size_t n =
+      max_records == 0 ? test.size() : std::min(max_records, test.size());
   std::size_t hits = 0;
-  for (std::size_t i = 0; i < test.size(); ++i)
+  for (std::size_t i = 0; i < n; ++i)
     hits += (model.predict(test.record(i)) == test.label(i));
-  return static_cast<double>(hits) / static_cast<double>(test.size());
+  return static_cast<double>(hits) / static_cast<double>(n);
 }
 
 Confusion confusion_matrix(const Classifier& model, const data::Dataset& test) {

@@ -6,6 +6,21 @@
 // models; both depend on the data only through pairwise distances, which
 // rotation + translation preserve exactly and noise perturbs mildly — that
 // is the geometric-invariance property the whole approach rests on.
+//
+// Interface contract: train once, serve concurrently. The interface is split
+// into a mutating training path and a const serving path:
+//
+//   * fit() is the only mutating operation. It must not run concurrently
+//     with anything else on the same instance.
+//   * predict() is const and must be safe to call from any number of
+//     threads at once on a fitted model, with no external synchronization.
+//     Implementations therefore keep NO mutable or static scratch state in
+//     the serving path (query-local buffers only) — this is what lets the
+//     MiningEngine share one immutable fitted model across its whole
+//     worker pool.
+//   * fit() must also be deterministic: same training data + options ⇒ a
+//     model whose predictions are bit-identical (any training randomness is
+//     seeded through the classifier's options, never global state).
 #pragma once
 
 #include <memory>
@@ -21,17 +36,23 @@ class Classifier {
  public:
   virtual ~Classifier() = default;
 
-  /// Train on a labeled dataset (N x d rows = records).
+  /// Train on a labeled dataset (N x d rows = records). Mutating: must not
+  /// overlap with any other call on this instance.
   virtual void fit(const data::Dataset& train) = 0;
 
   /// Predict the label of one record (must match training dimensionality).
+  /// Const and thread-safe on a fitted model (see the interface contract).
   [[nodiscard]] virtual int predict(std::span<const double> record) const = 0;
 
   [[nodiscard]] virtual bool trained() const = 0;
 };
 
-/// Fraction of test records classified correctly, in [0, 1].
-double accuracy(const Classifier& model, const data::Dataset& test);
+/// Fraction of test records classified correctly, in [0, 1]. With
+/// `max_records` > 0 only the first min(max_records, N) records are scored —
+/// a deterministic prefix, so the result is a pure function of (model, test,
+/// max_records); the MiningEngine's bounded serving path relies on that.
+double accuracy(const Classifier& model, const data::Dataset& test,
+                std::size_t max_records = 0);
 
 /// Confusion counts: entry (i, j) = records of classes()[i] predicted as
 /// classes()[j], with the class list returned alongside.

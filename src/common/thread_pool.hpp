@@ -1,0 +1,125 @@
+// Fixed-size worker pool executing indexed batches.
+//
+// The pool's one primitive is run_indexed(count, body): execute body(0) ..
+// body(count-1), each exactly once, and return when all have finished. This
+// shape — rather than a fire-and-forget task queue — is what the MiningEngine
+// needs for deterministic batch serving: every result slot is addressed by
+// its index, so the output of a batch is independent of which worker ran
+// which index and in what order. Workers claim indices from a shared cursor
+// under the pool mutex (no per-task allocation, no queue churn).
+//
+// Exception contract (mirrors Transport::run_parties): the first exception
+// thrown by any body is captured and rethrown on the calling thread after
+// the whole batch has drained — a throwing index never abandons in-flight
+// work, so the caller can reason about the batch as all-or-error.
+//
+// A pool constructed with zero threads runs batches inline on the calling
+// thread; callers use this as the serial reference execution that threaded
+// runs must match bit for bit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sap {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 = inline serial execution (no workers).
+  explicit ThreadPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lk(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Execute body(0) .. body(count-1), each exactly once, across the workers
+  /// (inline when the pool has none); returns after every index has
+  /// completed. Rethrows the first body exception once the batch is drained.
+  /// One batch runs at a time; concurrent callers are serialized.
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    if (workers_.empty()) {
+      std::exception_ptr error;
+      for (std::size_t i = 0; i < count; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          if (!error) error = std::current_exception();
+        }
+      }
+      if (error) std::rethrow_exception(error);
+      return;
+    }
+    std::scoped_lock batch_guard(batch_mutex_);
+    Batch batch;
+    batch.count = count;
+    batch.body = &body;
+    {
+      std::scoped_lock lk(mutex_);
+      batch_ = &batch;
+    }
+    work_cv_.notify_all();
+    std::unique_lock lk(mutex_);
+    done_cv_.wait(lk, [&] { return batch.completed == batch.count; });
+    batch_ = nullptr;
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+ private:
+  struct Batch {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t next = 0;       ///< next unclaimed index
+    std::size_t completed = 0;  ///< indices fully executed
+    std::exception_ptr error;   ///< first exception raised by any index
+  };
+
+  void worker_loop() {
+    std::unique_lock lk(mutex_);
+    for (;;) {
+      work_cv_.wait(lk, [&] { return stop_ || (batch_ != nullptr && batch_->next < batch_->count); });
+      if (stop_) return;
+      Batch* batch = batch_;
+      const std::size_t index = batch->next++;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        (*batch->body)(index);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      if (err && !batch->error) batch->error = err;
+      if (++batch->completed == batch->count) done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex batch_mutex_;  ///< serializes run_indexed callers
+  std::mutex mutex_;        ///< protects batch_/stop_ and Batch state
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace sap

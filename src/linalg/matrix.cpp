@@ -127,8 +127,10 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows_; ++i) {
     double* crow = c.data_.data() + i * c.cols_;
     for (std::size_t k = 0; k < a.cols_; ++k) {
+      // No zero-skip: inputs here are dense (rotations, data), so the branch
+      // almost never fires and its misprediction costs more than the FMA row
+      // it would save (micro_linalg confirms).
       const double aik = a.data_[i * a.cols_ + k];
-      if (aik == 0.0) continue;
       const double* brow = b.data_.data() + k * b.cols_;
       for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
     }

@@ -13,7 +13,6 @@
 #include <vector>
 
 #include "data/dataset.hpp"
-#include "protocol/sap.hpp"
 
 namespace sap::proto {
 

@@ -1,45 +1,209 @@
 #include "protocol/jobs.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
 #include "classify/knn.hpp"
 #include "classify/naive_bayes.hpp"
+#include "classify/perceptron.hpp"
 #include "classify/svm.hpp"
+#include "common/error.hpp"
 
 namespace sap::proto {
+namespace {
 
-const std::map<std::string, MinerJob>& builtin_miner_jobs() {
-  static const std::map<std::string, MinerJob> registry = {
-      {"record-count",
-       [](const data::Dataset& unified) {
-         return std::vector<double>{static_cast<double>(unified.size())};
-       }},
-      {"class-histogram",
-       [](const data::Dataset& unified) {
-         const auto counts = unified.class_counts();
-         std::vector<double> report;
-         report.reserve(counts.size());
-         for (const auto count : counts) report.push_back(static_cast<double>(count));
-         return report;
-       }},
-      {"knn-train-accuracy",
-       [](const data::Dataset& unified) {
-         ml::Knn knn(5);
-         knn.fit(unified);
-         return std::vector<double>{ml::accuracy(knn, unified)};
-       }},
-      {"svm-train-accuracy",
-       [](const data::Dataset& unified) {
-         ml::Svm svm;
-         svm.fit(unified);
-         return std::vector<double>{ml::accuracy(svm, unified)};
-       }},
-      {"nb-train-accuracy",
-       [](const data::Dataset& unified) {
-         ml::GaussianNaiveBayes nb;
-         nb.fit(unified);
-         return std::vector<double>{ml::accuracy(nb, unified)};
-       }},
+double param(const JobParams& resolved, const std::string& name) {
+  const auto it = resolved.find(name);
+  SAP_REQUIRE(it != resolved.end(), "JobSpec: missing resolved parameter '" + name + "'");
+  return it->second;
+}
+
+/// Shared serving function for every trainable accuracy job: score the
+/// fitted model on the pool prefix selected by eval-records (0 = all). The
+/// prefix is a deterministic subset, so a request's report is a pure
+/// function of (pool, params) — required for cacheable serving.
+std::vector<double> serve_accuracy(const ml::Classifier& model, const data::Dataset& pool,
+                                   const JobParams& resolved) {
+  const auto limit = static_cast<std::size_t>(param(resolved, "eval-records"));
+  return {ml::accuracy(model, pool, limit)};
+}
+
+const ParamSpec kEvalRecords{"eval-records", 0.0, 0.0, 1e9, /*serve_only=*/true};
+
+}  // namespace
+
+JobParams JobSpec::resolve_params(const JobParams& request) const {
+  JobParams resolved;
+  for (const auto& spec : params) resolved[spec.name] = spec.def;
+  for (const auto& [name, value] : request) {
+    const auto it = std::find_if(params.begin(), params.end(),
+                                 [&](const ParamSpec& p) { return p.name == name; });
+    SAP_REQUIRE(it != params.end(),
+                "JobSpec '" + this->name + "': unknown parameter '" + name + "'");
+    SAP_REQUIRE(std::isfinite(value) && value >= it->min_value && value <= it->max_value,
+                "JobSpec '" + this->name + "': parameter '" + name + "' out of range");
+    resolved[name] = value;
+  }
+  return resolved;
+}
+
+std::string JobSpec::canonical_params(const JobParams& resolved) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, value] : resolved) {  // std::map: already name-sorted
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += name;
+    out += '=';
+    out += buf;
+    out += ';';
+  }
+  return out;
+}
+
+std::string JobSpec::model_key_params(const JobParams& resolved) const {
+  JobParams model_relevant;
+  for (const auto& [name, value] : resolved) {
+    const auto it = std::find_if(params.begin(), params.end(),
+                                 [&](const ParamSpec& p) { return p.name == name; });
+    if (it == params.end() || !it->serve_only) model_relevant.emplace(name, value);
+  }
+  return canonical_params(model_relevant);
+}
+
+void JobRegistry::register_job(JobSpec spec) {
+  SAP_REQUIRE(!spec.name.empty(), "JobRegistry: empty job name");
+  SAP_REQUIRE(static_cast<bool>(spec.run) != spec.trainable(),
+              "JobRegistry '" + spec.name +
+                  "': exactly one of run or make_model must be set");
+  SAP_REQUIRE(!spec.trainable() || static_cast<bool>(spec.serve),
+              "JobRegistry '" + spec.name + "': trainable job needs a serve function");
+  for (std::size_t i = 0; i < spec.params.size(); ++i) {
+    const auto& p = spec.params[i];
+    SAP_REQUIRE(!p.name.empty(), "JobRegistry '" + spec.name + "': empty parameter name");
+    SAP_REQUIRE(p.min_value <= p.def && p.def <= p.max_value,
+                "JobRegistry '" + spec.name + "': default for '" + p.name +
+                    "' outside its declared range");
+    for (std::size_t j = i + 1; j < spec.params.size(); ++j)
+      SAP_REQUIRE(spec.params[j].name != p.name,
+                  "JobRegistry '" + spec.name + "': duplicate parameter '" + p.name + "'");
+  }
+  specs_[spec.name] = std::move(spec);  // replaces an existing spec
+}
+
+void JobRegistry::register_job(std::string name, MinerJob job) {
+  SAP_REQUIRE(job != nullptr, "JobRegistry: null job");
+  JobSpec spec;
+  spec.name = std::move(name);
+  spec.summary = "ad-hoc closure job";
+  spec.run = [job = std::move(job)](const data::Dataset& pool, const JobParams&) {
+    return job(pool);
   };
-  return registry;
+  register_job(std::move(spec));
+}
+
+bool JobRegistry::contains(const std::string& name) const {
+  return specs_.find(name) != specs_.end();
+}
+
+const JobSpec& JobRegistry::find(const std::string& name) const {
+  const auto it = specs_.find(name);
+  SAP_REQUIRE(it != specs_.end(), "JobRegistry: unknown miner job '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> JobRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) out.push_back(name);
+  return out;
+}
+
+JobRegistry JobRegistry::builtins() {
+  JobRegistry reg;
+
+  {
+    JobSpec spec;
+    spec.name = "record-count";
+    spec.summary = "pool size {N}";
+    spec.run = [](const data::Dataset& pool, const JobParams&) {
+      return std::vector<double>{static_cast<double>(pool.size())};
+    };
+    reg.register_job(std::move(spec));
+  }
+
+  {
+    JobSpec spec;
+    spec.name = "class-histogram";
+    spec.summary = "per-class record counts";
+    spec.run = [](const data::Dataset& pool, const JobParams&) {
+      const auto counts = pool.class_counts();
+      std::vector<double> report;
+      report.reserve(counts.size());
+      for (const auto count : counts) report.push_back(static_cast<double>(count));
+      return report;
+    };
+    reg.register_job(std::move(spec));
+  }
+
+  {
+    JobSpec spec;
+    spec.name = "knn-train-accuracy";
+    spec.summary = "k-NN accuracy on the pool";
+    spec.params = {{"k", 5.0, 1.0, 256.0}, kEvalRecords};
+    spec.make_model = [](const JobParams& p) -> std::unique_ptr<ml::Classifier> {
+      return std::make_unique<ml::Knn>(static_cast<std::size_t>(param(p, "k")));
+    };
+    spec.serve = serve_accuracy;
+    reg.register_job(std::move(spec));
+  }
+
+  {
+    JobSpec spec;
+    spec.name = "svm-train-accuracy";
+    spec.summary = "SMO-trained RBF SVM accuracy on the pool";
+    spec.params = {{"c", 4.0, 1e-3, 1e3},
+                   {"gamma", 0.0, 0.0, 1e3},  // 0 = scale heuristic
+                   kEvalRecords};
+    spec.make_model = [](const JobParams& p) -> std::unique_ptr<ml::Classifier> {
+      ml::SvmOptions opts;
+      opts.c = param(p, "c");
+      opts.gamma = param(p, "gamma");
+      return std::make_unique<ml::Svm>(opts);
+    };
+    spec.serve = serve_accuracy;
+    reg.register_job(std::move(spec));
+  }
+
+  {
+    JobSpec spec;
+    spec.name = "nb-train-accuracy";
+    spec.summary = "Gaussian Naive Bayes accuracy on the pool";
+    spec.params = {{"var-smoothing", 1e-9, 0.0, 1.0}, kEvalRecords};
+    spec.make_model = [](const JobParams& p) -> std::unique_ptr<ml::Classifier> {
+      return std::make_unique<ml::GaussianNaiveBayes>(param(p, "var-smoothing"));
+    };
+    spec.serve = serve_accuracy;
+    reg.register_job(std::move(spec));
+  }
+
+  {
+    JobSpec spec;
+    spec.name = "perceptron-train-accuracy";
+    spec.summary = "averaged perceptron accuracy on the pool";
+    spec.params = {{"epochs", 30.0, 1.0, 1e4}, {"learning-rate", 0.5, 1e-6, 10.0},
+                   kEvalRecords};
+    spec.make_model = [](const JobParams& p) -> std::unique_ptr<ml::Classifier> {
+      ml::PerceptronOptions opts;
+      opts.epochs = static_cast<std::size_t>(param(p, "epochs"));
+      opts.learning_rate = param(p, "learning-rate");
+      return std::make_unique<ml::Perceptron>(opts);
+    };
+    spec.serve = serve_accuracy;
+    reg.register_job(std::move(spec));
+  }
+
+  return reg;
 }
 
 }  // namespace sap::proto

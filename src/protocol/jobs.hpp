@@ -1,29 +1,134 @@
-// Named MinerJob registry.
+// Mining job specifications and the named-job registry.
 //
-// A MinerJob is what the mining service provider executes on the unified
-// pool once the exchange is complete (SapSession phase kMine). Naming jobs
-// lets callers — sap_cli's --job flag, benches, repeated mine_named() calls
-// on one session — pick a workload without hand-writing the closure, and
-// lets one exchange serve many jobs (the protocol cost is paid once).
+// A mining job is what the mining service provider executes on the unified
+// pool once the exchange is complete. PR 1 modeled a job as a bare closure
+// (`MinerJob`); that admits no per-request parameters and gives the engine
+// nothing to cache by. A JobSpec instead declares:
 //
-// The built-in registry covers the paper's mining workloads (KNN / SVM
-// training accuracy on the unified space) plus cheap structural jobs; every
-// SapSession starts with a copy and can register_job() its own.
+//   * a parameter schema (names, defaults, valid ranges) — every request
+//     merges its JobParams over the defaults and is validated against the
+//     schema, so "k=5 by default" and "k=5 explicitly" are the same request
+//     (and hit the same cache entry);
+//   * whether the job is *trainable* (builds a Classifier on the pool, then
+//     serves from the fitted model's const predict() path) or *structural*
+//     (computes straight off the pool). The split is what the MiningEngine's
+//     model cache keys on: trainable jobs fit once per (job, params,
+//     pool-epoch) and serve unlimited requests from the shared immutable
+//     model.
+//
+// The built-in registry covers the paper's mining workloads (KNN / SVM /
+// Naive Bayes / perceptron accuracy on the unified space) plus cheap
+// structural jobs; every SapSession's engine starts with a copy and can
+// register its own.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "protocol/session.hpp"
+#include "classify/classifier.hpp"
+#include "data/dataset.hpp"
 
 namespace sap::proto {
 
-/// The built-in named jobs:
-///   "record-count"       → {N}
-///   "class-histogram"    → {count of class 0, count of class 1, ...}
-///   "knn-train-accuracy" → {training accuracy of a 5-NN on the pool}
-///   "svm-train-accuracy" → {training accuracy of the SMO-trained SVM}
-///   "nb-train-accuracy"  → {training accuracy of Gaussian Naive Bayes}
-const std::map<std::string, MinerJob>& builtin_miner_jobs();
+/// Legacy closure form of a mining job: executed at the miner on the unified
+/// dataset, the returned doubles are broadcast back to providers as
+/// kModelReport. Still accepted everywhere a quick ad-hoc job is handier
+/// than a full JobSpec (SapSession::mine(), register_job()).
+using MinerJob = std::function<std::vector<double>(const data::Dataset&)>;
+
+/// Per-request job parameters, merged over the spec's declared defaults.
+using JobParams = std::map<std::string, double>;
+
+/// One declared parameter: its default and the closed range of valid values.
+/// serve_only marks parameters that shape the *report* but not the fitted
+/// model (e.g. an evaluation limit) — they are excluded from the engine's
+/// model-cache key, so requests differing only in serve-only params share
+/// one fitted model.
+struct ParamSpec {
+  std::string name;
+  double def = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  bool serve_only = false;
+};
+
+/// A named mining workload. Exactly one of the two execution paths is set:
+///   * structural: `run(pool, params)` computes the report directly;
+///   * trainable:  `make_model(params)` builds an untrained Classifier, the
+///     engine fits it on the pool (cacheable), and `serve(model, pool,
+///     params)` produces the report from the fitted model's const,
+///     thread-safe predict() path.
+struct JobSpec {
+  std::string name;
+  std::string summary;
+  std::vector<ParamSpec> params;
+
+  /// Structural path (mutually exclusive with make_model/serve).
+  std::function<std::vector<double>(const data::Dataset& pool, const JobParams&)> run;
+
+  /// Trainable path: model factory + const serving function.
+  std::function<std::unique_ptr<ml::Classifier>(const JobParams&)> make_model;
+  std::function<std::vector<double>(const ml::Classifier& model, const data::Dataset& pool,
+                                    const JobParams&)>
+      serve;
+
+  [[nodiscard]] bool trainable() const noexcept { return static_cast<bool>(make_model); }
+
+  /// Merge `request` over the declared defaults; throws sap::Error on an
+  /// undeclared name or an out-of-range value.
+  [[nodiscard]] JobParams resolve_params(const JobParams& request) const;
+
+  /// Canonical "name=value;..." encoding of resolved params (sorted by name,
+  /// max-precision values).
+  [[nodiscard]] static std::string canonical_params(const JobParams& resolved);
+
+  /// canonical_params restricted to the params the fitted model depends on
+  /// (serve-only params skipped) — the params component of the engine's
+  /// model-cache key.
+  [[nodiscard]] std::string model_key_params(const JobParams& resolved) const;
+};
+
+/// Named JobSpec collection. Not internally synchronized: registration must
+/// not race with lookups (the MiningEngine serves lookups concurrently but
+/// treats its registry as frozen while a batch is in flight).
+class JobRegistry {
+ public:
+  /// Add `spec`, replacing any existing spec with the same name. Throws
+  /// sap::Error on an empty name, neither-or-both execution paths, or a
+  /// malformed parameter schema (duplicate names, default outside range).
+  void register_job(JobSpec spec);
+
+  /// Wrap a legacy closure as a structural, parameterless JobSpec.
+  void register_job(std::string name, MinerJob job);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Lookup; throws sap::Error for unknown names.
+  [[nodiscard]] const JobSpec& find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+  /// Registry seeded with the built-in jobs:
+  ///   structural
+  ///     "record-count"             → {N}
+  ///     "class-histogram"          → {count of class 0, count of class 1, ...}
+  ///   trainable (all take eval-records: 0 = score the whole pool, else
+  ///   score the first eval-records records — the train-once/query-many
+  ///   serving path)
+  ///     "knn-train-accuracy"        (k)
+  ///     "svm-train-accuracy"        (c, gamma)
+  ///     "nb-train-accuracy"         (var-smoothing)
+  ///     "perceptron-train-accuracy" (epochs, learning-rate)
+  [[nodiscard]] static JobRegistry builtins();
+
+ private:
+  std::map<std::string, JobSpec> specs_;
+};
 
 }  // namespace sap::proto

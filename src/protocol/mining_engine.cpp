@@ -1,0 +1,130 @@
+#include "protocol/mining_engine.hpp"
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace sap::proto {
+
+MiningEngine::MiningEngine(MiningEngineOptions opts, JobRegistry registry)
+    : opts_(opts), registry_(std::move(registry)), pool_threads_(opts.threads) {}
+
+void MiningEngine::set_pool(data::Dataset pool) {
+  pool_ = std::move(pool);
+  ++pool_epoch_;
+  // Cache keys embed the epoch, so stale entries could never be *served*;
+  // dropping them here just releases the dead models' memory.
+  std::scoped_lock lk(cache_mutex_);
+  cache_.clear();
+}
+
+const data::Dataset& MiningEngine::pool() const {
+  SAP_REQUIRE(has_pool(), "MiningEngine: no pool installed (set_pool first)");
+  return pool_;
+}
+
+std::shared_ptr<const ml::Classifier> MiningEngine::model_for(const JobSpec& spec,
+                                                              const JobParams& resolved,
+                                                              bool& cached) {
+  cached = false;
+  if (!opts_.cache_models) {
+    auto model = spec.make_model(resolved);
+    model->fit(pool_);
+    fits_.fetch_add(1, std::memory_order_relaxed);
+    return model;
+  }
+
+  std::string key = spec.name;
+  key += '\0';
+  key += spec.model_key_params(resolved);  // serve-only params share a model
+  key += '\0';
+  key += std::to_string(pool_epoch_);
+
+  std::promise<std::shared_ptr<const ml::Classifier>> promise;
+  ModelFuture future;
+  bool fitter = false;
+  {
+    std::scoped_lock lk(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      future = it->second;
+      // A completed entry is a genuine cache hit; an in-flight one means a
+      // peer worker is fitting this exact key right now and we share its
+      // result — counted as a hit too (no second fit happens).
+      cached = true;
+    } else {
+      future = ModelFuture(promise.get_future());
+      cache_.emplace(key, future);
+      fitter = true;
+    }
+  }
+
+  if (fitter) {
+    try {
+      auto model = spec.make_model(resolved);
+      model->fit(pool_);
+      fits_.fetch_add(1, std::memory_order_relaxed);
+      promise.set_value(std::shared_ptr<const ml::Classifier>(std::move(model)));
+    } catch (...) {
+      // Waiting peers see the exception; drop the poisoned entry so a later
+      // request retries instead of replaying a stale error forever.
+      promise.set_exception(std::current_exception());
+      std::scoped_lock lk(cache_mutex_);
+      cache_.erase(key);
+    }
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future.get();  // rethrows a fit failure
+}
+
+MiningResponse MiningEngine::run(const MiningRequest& request) {
+  Stopwatch sw;
+  MiningResponse response;
+  if (request.job.empty()) {  // the no-op request
+    response.millis = sw.millis();
+    return response;
+  }
+  const JobSpec& spec = registry_.find(request.job);
+  SAP_REQUIRE(has_pool(), "MiningEngine: no pool installed (set_pool first)");
+  const JobParams resolved = spec.resolve_params(request.params);
+
+  if (spec.trainable()) {
+    const auto model = model_for(spec, resolved, response.model_cached);
+    response.values = spec.serve(*model, pool_, resolved);
+  } else {
+    response.values = spec.run(pool_, resolved);
+  }
+  response.millis = sw.millis();
+  return response;
+}
+
+std::vector<MiningResponse> MiningEngine::run_batch(
+    const std::vector<MiningRequest>& requests) {
+  // Validate every request up front (name AND params — resolve_params is
+  // cheap and pure): a malformed batch must fail before any request
+  // executes, and before any model is fitted.
+  for (const auto& request : requests)
+    if (!request.job.empty())
+      (void)registry_.find(request.job).resolve_params(request.params);
+
+  std::vector<MiningResponse> responses(requests.size());
+  pool_threads_.run_indexed(requests.size(),
+                            [&](std::size_t i) { responses[i] = run(requests[i]); });
+  return responses;
+}
+
+std::vector<double> MiningEngine::run_adhoc(const MinerJob& job) {
+  if (!job) return {};
+  return job(pool());
+}
+
+MiningCacheStats MiningEngine::cache_stats() const {
+  MiningCacheStats stats;
+  stats.fits = fits_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  std::scoped_lock lk(cache_mutex_);
+  stats.entries = cache_.size();
+  return stats;
+}
+
+}  // namespace sap::proto

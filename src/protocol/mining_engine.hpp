@@ -1,0 +1,151 @@
+// MiningEngine — concurrent, cached, parameterized job serving over the
+// unified pool.
+//
+// PR 1 made Mine a "serving state" in name only: every mine() call ran
+// serially on the caller's thread and re-trained its model from scratch.
+// The engine turns the Mine state into an actual service:
+//
+//   * requests — MiningRequest{job, params} — execute against an immutable
+//     pooled dataset, singly (run), as a batch fanned out over an internal
+//     ThreadPool (run_batch), or concurrently from any number of caller
+//     threads (run is thread-safe);
+//   * trainable jobs fit once per (job, model-relevant canonical params,
+//     pool-epoch) — serve-only params like eval-records never force a refit
+//     — and every later request with the same key serves from the shared
+//     immutable fitted model's const predict() path: train once, query many;
+//   * the pool carries an epoch counter: set_pool() bumps it and drops every
+//     cached model, so a model fitted on an old pool can never serve a new
+//     one (cache keys embed the epoch).
+//
+// Determinism invariant (tested under TSAN like the threaded transport): a
+// batch's reports (MiningResponse::values) are bit-identical to the same
+// requests run serially, regardless of thread count — only the diagnostics
+// (model_cached, millis) may reflect scheduling. This holds because (a) response slots are
+// addressed by request index, (b) every job report is a pure function of
+// (pool, resolved params) — see the Classifier fit-determinism contract —
+// and (c) concurrent fits of the same key are collapsed onto one
+// shared_future, and even a duplicated fit would produce an identical model.
+//
+// Thread-safety: run()/run_batch() may be called concurrently with each
+// other. set_pool() and registry mutation must not overlap with in-flight
+// requests (the engine serves a frozen registry + pool).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "protocol/jobs.hpp"
+
+namespace sap::proto {
+
+struct MiningEngineOptions {
+  /// Worker threads for run_batch(); 0 = execute batches inline on the
+  /// calling thread (the serial reference execution).
+  std::size_t threads = 0;
+  /// Cache fitted models per (job, params, pool-epoch). Disabling forces
+  /// per-request retraining (the throughput bench's comparison baseline).
+  bool cache_models = true;
+};
+
+/// One serving request: a registered job name plus per-request parameters
+/// (merged over the spec's declared defaults). An empty job name is the
+/// no-op request: it resolves to an empty report without touching the pool.
+struct MiningRequest {
+  std::string job;
+  JobParams params;
+};
+
+/// One serving response. Values are the job's report; `model_cached` is true
+/// when a trainable job served from an already-fitted model.
+struct MiningResponse {
+  std::vector<double> values;
+  bool model_cached = false;
+  double millis = 0.0;  ///< wall-clock service time of this request
+};
+
+/// Cache accounting (cumulative across the engine's lifetime).
+struct MiningCacheStats {
+  std::size_t fits = 0;     ///< models actually trained
+  std::size_t hits = 0;     ///< requests served from a cached model
+  std::size_t entries = 0;  ///< live cache entries (current epoch only)
+};
+
+class MiningEngine {
+ public:
+  explicit MiningEngine(MiningEngineOptions opts = {},
+                        JobRegistry registry = JobRegistry::builtins());
+
+  MiningEngine(const MiningEngine&) = delete;
+  MiningEngine& operator=(const MiningEngine&) = delete;
+
+  // ---- pool lifecycle --------------------------------------------------
+
+  /// Install (or replace) the pooled dataset. Bumps the pool epoch and
+  /// invalidates every cached model. Must not overlap in-flight requests.
+  void set_pool(data::Dataset pool);
+
+  [[nodiscard]] bool has_pool() const noexcept { return pool_epoch_ != 0; }
+  [[nodiscard]] const data::Dataset& pool() const;
+  /// 0 until the first set_pool(); then increments with every set_pool().
+  [[nodiscard]] std::uint64_t pool_epoch() const noexcept { return pool_epoch_; }
+
+  // ---- job registry ----------------------------------------------------
+
+  /// Mutable registry access (register jobs before serving; registration
+  /// must not race with in-flight requests).
+  [[nodiscard]] JobRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const JobRegistry& registry() const noexcept { return registry_; }
+
+  // ---- serving ---------------------------------------------------------
+
+  /// Serve one request. Thread-safe against concurrent run() calls. Throws
+  /// sap::Error for an unknown job name, invalid params, or a missing pool.
+  MiningResponse run(const MiningRequest& request);
+
+  /// Serve a batch across the worker pool (inline when threads == 0).
+  /// Response i always answers request i. Every job name is validated
+  /// before anything executes, so a malformed batch fails without side
+  /// effects; a request that throws mid-batch poisons the batch after all
+  /// in-flight requests drain (first error wins).
+  std::vector<MiningResponse> run_batch(const std::vector<MiningRequest>& requests);
+
+  /// Serve a legacy closure job (SapSession::mine() compat). Not cacheable —
+  /// the closure is opaque. A null job yields an empty report.
+  std::vector<double> run_adhoc(const MinerJob& job);
+
+  // ---- observability ---------------------------------------------------
+
+  [[nodiscard]] MiningCacheStats cache_stats() const;
+  [[nodiscard]] std::size_t threads() const noexcept { return pool_threads_.thread_count(); }
+
+ private:
+  using ModelFuture = std::shared_future<std::shared_ptr<const ml::Classifier>>;
+
+  /// Fitted model for (spec, resolved params) at the current epoch — from
+  /// cache when enabled, freshly trained otherwise. Sets `cached` to true
+  /// when the model came from an already-completed cache entry.
+  std::shared_ptr<const ml::Classifier> model_for(const JobSpec& spec,
+                                                  const JobParams& resolved, bool& cached);
+
+  MiningEngineOptions opts_;
+  JobRegistry registry_;
+  ThreadPool pool_threads_;
+
+  data::Dataset pool_;
+  std::uint64_t pool_epoch_ = 0;
+
+  mutable std::mutex cache_mutex_;
+  std::map<std::string, ModelFuture> cache_;  ///< key: job '\0' model-params '\0' epoch
+  std::atomic<std::size_t> fits_{0};
+  std::atomic<std::size_t> hits_{0};
+};
+
+}  // namespace sap::proto

@@ -6,7 +6,6 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "privacy/attacks.hpp"
-#include "protocol/jobs.hpp"
 
 namespace sap::proto {
 namespace {
@@ -75,7 +74,9 @@ void SapSession::validate(const std::vector<data::Dataset>& provider_data,
 
 SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts,
                        TransportFactory transport_factory)
-    : opts_(opts), master_(opts.seed) {
+    : opts_(opts),
+      master_(opts.seed),
+      engine_({.threads = opts.mining_threads, .cache_models = opts.cache_models}) {
   validate(provider_data, opts_);
   dims_ = provider_data.front().dims();
 
@@ -97,8 +98,6 @@ SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts
     ps_[i].eng = master_.spawn();
   }
   coord_eng_ = master_.spawn();
-
-  jobs_ = builtin_miner_jobs();
 }
 
 void SapSession::inject_faults(Transport::DropFilter filter) {
@@ -410,8 +409,8 @@ void SapSession::run_unify_and_account() {
     unified_labels.insert(unified_labels.end(), rec.data.labels.begin(),
                           rec.data.labels.end());
   }
-  unified_ = data::Dataset("sap-unified", unified_features.transpose(),
-                           std::move(unified_labels));
+  engine_.set_pool(data::Dataset("sap-unified", unified_features.transpose(),
+                                 std::move(unified_labels)));
 
   audit_receiver_of_ = receiver_of_source_;
   audit_forwarder_of_.resize(k);
@@ -461,20 +460,17 @@ void SapSession::run_unify_and_account() {
   transport_->run_parties(std::move(accounting_tasks));
 }
 
-// ---------------- mining (re-runnable) ------------------------------------
+// ---------------- mining (served by the engine) ---------------------------
 
-SapResult SapSession::mine(const MinerJob& job) {
-  run_until(SessionPhase::kMine);
-
+SapResult SapSession::finish_mine(const std::vector<double>& report, bool broadcast) {
   SapResult result;
-  result.unified = unified_;
+  result.unified = engine_.pool();
   result.target_space = g_t_;
   result.parties = reports_;
   result.audit_receiver_of = audit_receiver_of_;
   result.audit_forwarder_of = audit_forwarder_of_;
 
-  if (job) {
-    const std::vector<double> report = job(result.unified);
+  if (broadcast) {
     for (const PartyId id : provider_id_)
       transport_->send(miner_, id, PayloadKind::kModelReport, report);
     // Providers drain their report (best effort: a dropped report degrades
@@ -488,23 +484,32 @@ SapResult SapSession::mine(const MinerJob& job) {
   return result;
 }
 
-SapResult SapSession::mine_named(const std::string& job_name) {
-  const auto it = jobs_.find(job_name);
-  SAP_REQUIRE(it != jobs_.end(), "SapSession: unknown miner job '" + job_name + "'");
-  return mine(it->second);
+SapResult SapSession::mine(const MinerJob& job) {
+  run_until(SessionPhase::kMine);
+  if (!job) return finish_mine({}, /*broadcast=*/false);
+  return finish_mine(engine_.run_adhoc(job), /*broadcast=*/true);
+}
+
+SapResult SapSession::mine_named(const std::string& job_name, const JobParams& params) {
+  // Fail fast: reject an unknown name or invalid params BEFORE paying for
+  // any outstanding exchange phases.
+  (void)engine_.registry().find(job_name).resolve_params(params);
+  run_until(SessionPhase::kMine);
+  const auto response = engine_.run({job_name, params});
+  return finish_mine(response.values, /*broadcast=*/true);
 }
 
 void SapSession::register_job(std::string name, MinerJob job) {
   SAP_REQUIRE(!name.empty(), "SapSession::register_job: empty job name");
   SAP_REQUIRE(job != nullptr, "SapSession::register_job: null job");
-  jobs_[std::move(name)] = std::move(job);
+  engine_.registry().register_job(std::move(name), std::move(job));
 }
 
-std::vector<std::string> SapSession::job_names() const {
-  std::vector<std::string> names;
-  names.reserve(jobs_.size());
-  for (const auto& [name, job] : jobs_) names.push_back(name);
-  return names;
+std::vector<std::string> SapSession::job_names() const { return engine_.registry().names(); }
+
+MiningEngine& SapSession::engine() {
+  run_until(SessionPhase::kMine);
+  return engine_;
 }
 
 }  // namespace sap::proto

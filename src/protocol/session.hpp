@@ -31,13 +31,15 @@
 //                        space, and serves mining jobs.
 //
 // Mine is a *serving* state, not a single shot: once the exchange has run,
-// any number of (optionally named) MinerJobs can be executed against the
-// pooled unified space without redoing the exchange — each mine() call
-// returns a fresh SapResult and broadcasts the job's model report.
+// the session's MiningEngine (mining_engine.hpp) serves any number of
+// parameterized mining requests against the pooled unified space without
+// redoing the exchange — concurrently, with fitted models cached per (job,
+// params, pool-epoch). mine()/mine_named() are thin single-request wrappers
+// that additionally broadcast the job's model report to every provider;
+// engine() exposes the batched serving surface directly (no broadcasts).
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +48,7 @@
 #include "optimize/optimizer.hpp"
 #include "perturb/geometric.hpp"
 #include "perturb/space_adaptor.hpp"
+#include "protocol/mining_engine.hpp"
 #include "protocol/risk.hpp"
 #include "protocol/transport.hpp"
 
@@ -72,6 +75,11 @@ struct SapOptions {
   std::uint64_t seed = 0x5A9;
   /// Messaging + party-execution backend.
   TransportKind transport = TransportKind::kSimulated;
+  /// Worker threads for the session's MiningEngine (0 = serve batches
+  /// inline; the engine's reports are thread-count-invariant either way).
+  std::size_t mining_threads = 0;
+  /// Cache fitted models in the engine (per job, params and pool-epoch).
+  bool cache_models = true;
 
   /// Cheap preset for unit tests (few candidates, no refinement).
   static SapOptions fast();
@@ -106,10 +114,6 @@ struct SapResult {
   std::vector<PartyId> audit_receiver_of;   ///< provider i's data went to this peer
   std::vector<PartyId> audit_forwarder_of;  ///< and reached the miner via this peer
 };
-
-/// Mining job executed at the miner on the unified dataset; the returned
-/// doubles are broadcast back to providers as kModelReport.
-using MinerJob = std::function<std::vector<double>(const data::Dataset&)>;
 
 /// Protocol phases in execution order. kMine is terminal: the session stays
 /// there serving mining jobs against the pooled unified space.
@@ -171,22 +175,28 @@ class SapSession {
   /// Convenience single-shot: run every phase, then mine(job).
   SapResult run(const MinerJob& job = {});
 
-  // ---- mining (re-runnable against the pooled unified space) -----------
+  // ---- mining (served by the engine over the pooled unified space) ------
 
   /// Run `job` (may be empty) at the miner on the unified pool; broadcasts
   /// the model report to every provider. Implicitly completes outstanding
   /// phases. Callable any number of times without redoing the exchange.
   SapResult mine(const MinerJob& job = {});
 
-  /// Run a job from the session's named registry (seeded with the built-in
-  /// jobs; see jobs.hpp). Throws sap::Error for unknown names.
-  SapResult mine_named(const std::string& job_name);
+  /// Serve one request from the engine's job registry (seeded with the
+  /// built-in jobs; see jobs.hpp), optionally parameterized, and broadcast
+  /// its report. Throws sap::Error for unknown names or invalid params.
+  SapResult mine_named(const std::string& job_name, const JobParams& params = {});
 
-  /// Add (or replace) a named job in this session's registry.
+  /// Add (or replace) a named closure job in the engine's registry.
   void register_job(std::string name, MinerJob job);
 
-  /// Names in the session registry, sorted.
+  /// Names in the engine's registry, sorted.
   [[nodiscard]] std::vector<std::string> job_names() const;
+
+  /// Direct access to the mining engine (batched, concurrent, cached
+  /// serving — no per-request broadcasts). Implicitly completes outstanding
+  /// phases so the pool is installed. See mining_engine.hpp.
+  [[nodiscard]] MiningEngine& engine();
 
   // ---- observability ---------------------------------------------------
 
@@ -238,6 +248,10 @@ class SapSession {
   void run_adaptor_alignment();
   void run_unify_and_account();
 
+  /// Shared mine()/mine_named() tail: assemble the SapResult, broadcast
+  /// `report` (unless empty) as kModelReport, snapshot transport costs.
+  SapResult finish_mine(const std::vector<double>& report, bool broadcast);
+
   std::size_t dims_ = 0;
   SapOptions opts_;
   rng::Engine master_;
@@ -256,12 +270,12 @@ class SapSession {
   std::vector<PartyId> receiver_of_source_;
   std::vector<std::vector<std::vector<double>>> self_held_;
 
-  data::Dataset unified_;
   std::vector<PartyReport> reports_;
   std::vector<PartyId> audit_receiver_of_;
   std::vector<PartyId> audit_forwarder_of_;
 
-  std::map<std::string, MinerJob> jobs_;
+  /// Serves the Mine state; owns the unified pool once the exchange is done.
+  MiningEngine engine_;
 };
 
 }  // namespace sap::proto

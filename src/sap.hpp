@@ -48,13 +48,15 @@
 #include "classify/perceptron.hpp"
 #include "classify/svm.hpp"
 
+#include "common/thread_pool.hpp"
+
 #include "protocol/adversary.hpp"
 #include "protocol/baseline.hpp"
 #include "protocol/jobs.hpp"
 #include "protocol/message.hpp"
+#include "protocol/mining_engine.hpp"
 #include "protocol/network.hpp"
 #include "protocol/risk.hpp"
-#include "protocol/sap.hpp"
 #include "protocol/session.hpp"
 #include "protocol/threaded_transport.hpp"
 #include "protocol/transport.hpp"

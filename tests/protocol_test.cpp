@@ -23,7 +23,6 @@
 #include "protocol/message.hpp"
 #include "protocol/network.hpp"
 #include "protocol/risk.hpp"
-#include "protocol/sap.hpp"
 #include "protocol/session.hpp"
 #include "protocol/threaded_transport.hpp"
 
@@ -621,41 +620,43 @@ TEST(SapIdentifiability, ForwarderChoiceIsNearUniformOverRuns) {
   }
 }
 
-// ------------------------------------------------------------ compat wrapper
+// ------------------------------------------------------------ single-shot use
+//
+// Ported from the removed SapProtocol compat wrapper's tests: the one-call
+// construct → run() → inspect-the-network workflow the wrapper preserved
+// must stay expressible directly on SapSession.
 
-TEST(SapProtocolCompat, WrapperStillRunsTheFullProtocol) {
-  // SapProtocol is the one-release migration shim over SapSession; this is
-  // deliberately the only remaining caller. It must still deliver the full
-  // single-shot behavior: run → result + inspectable SimulatedNetwork.
+TEST(SapSingleShot, OneCallRunServesJobAndNetworkIsInspectable) {
   auto opts = proto::SapOptions::fast();
   opts.seed = 7;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 7), opts);
-  EXPECT_EQ(protocol.provider_count(), 4u);
+  proto::SapSession session(provider_split("Iris", 4, 7), opts);
+  EXPECT_EQ(session.provider_count(), 4u);
   bool job_ran = false;
-  const auto result = protocol.run([&](const Dataset& unified) {
+  const auto result = session.run([&](const Dataset& unified) {
     job_ran = true;
     return std::vector<double>{static_cast<double>(unified.size())};
   });
   EXPECT_TRUE(job_ran);
   EXPECT_EQ(result.unified.size(), 150u);
-  EXPECT_EQ(protocol.network().count_received(4, proto::PayloadKind::kForwardedData), 4u);
+  EXPECT_EQ(session.transport().count_received(4, proto::PayloadKind::kForwardedData), 4u);
 
-  // Matches a fresh SapSession bit for bit (the wrapper adds no semantics).
-  proto::SapSession session(provider_split("Iris", 4, 7), opts);
-  const auto direct = session.run();
+  // A second session over the same inputs reproduces the pool bit for bit
+  // (the historical wrapper's fresh-run-per-call semantics).
+  proto::SapSession again(provider_split("Iris", 4, 7), opts);
+  const auto direct = again.run();
   EXPECT_TRUE(result.unified.features().approx_equal(direct.unified.features(), 0.0));
 }
 
-TEST(SapProtocolCompat, FaultInjectionStillDetected) {
+TEST(SapSingleShot, FaultInjectionStillDetected) {
   auto opts = proto::SapOptions::fast();
   opts.seed = 8;
   opts.compute_satisfaction = false;
-  proto::SapProtocol protocol(provider_split("Iris", 4, 8), opts);
-  protocol.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
+  proto::SapSession session(provider_split("Iris", 4, 8), opts);
+  session.inject_faults([](proto::PartyId, proto::PartyId, proto::PayloadKind kind) {
     return kind == proto::PayloadKind::kSpaceAdaptor;
   });
-  EXPECT_THROW(protocol.run(), sap::Error);
-  EXPECT_GE(protocol.network().dropped_count(), 1u);
+  EXPECT_THROW(session.run(), sap::Error);
+  EXPECT_GE(session.transport().dropped_count(), 1u);
 }
 
 // ------------------------------------------------------------ direct baseline

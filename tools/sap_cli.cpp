@@ -8,6 +8,10 @@
 //   attack <orig.csv> <pert.csv> [known_m]    run the attack suite, print report
 //   protocol <name> [parties] [sigma] [seed]  full SAP run + KNN utility check
 //            [--job <name>] [--transport sim|threaded] [--phases]
+//   serve <name> [parties] [sigma] [seed]     run the exchange, then serve a
+//            [--requests N] [--threads K]     mining request load from the
+//            [--job name[:k=v,...]]           session's MiningEngine and
+//            [--no-cache] [--transport ...]   report req/s + p50/p99 latency
 //   minparties <s0> <opt_rate>                Figure-4 calculator
 //
 // Every numeric argument is validated; bad flags or malformed values exit
@@ -44,6 +48,9 @@ const char* kUsage =
     "  sap_cli attack <original.csv> <perturbed.csv> [known_m=4]\n"
     "  sap_cli protocol <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          [--job <name>] [--transport sim|threaded] [--phases]\n"
+    "  sap_cli serve <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
+    "          [--requests N=256] [--threads K=4] [--job name[:k=v,...]]\n"
+    "          [--no-cache] [--transport sim|threaded]\n"
     "  sap_cli minparties <s0> <opt_rate>\n"
     "  sap_cli --help\n"
     "\n"
@@ -52,7 +59,16 @@ const char* kUsage =
     "                      (see `sap_cli jobs`; repeatable)\n"
     "  --transport <kind>  messaging backend: `sim` (synchronous, default)\n"
     "                      or `threaded` (one worker per party)\n"
-    "  --phases            print per-phase timing and wire cost\n";
+    "  --phases            print per-phase timing and wire cost\n"
+    "\n"
+    "flags for `serve`:\n"
+    "  --requests <n>      total mining requests to serve (round-robin over\n"
+    "                      the --job list)\n"
+    "  --threads <k>       MiningEngine worker threads (0 = serve inline)\n"
+    "  --job <spec>        job name with optional params, e.g.\n"
+    "                      knn-train-accuracy:k=3,eval-records=64 (repeatable;\n"
+    "                      default: every built-in trainable job)\n"
+    "  --no-cache          retrain per request instead of serving cached models\n";
 
 int usage_error(const char* message = nullptr) {
   if (message) std::fprintf(stderr, "error: %s\n", message);
@@ -92,9 +108,19 @@ int cmd_datasets() {
 }
 
 int cmd_jobs() {
-  std::printf("named miner jobs (run with `sap_cli protocol ... --job <name>`):\n");
-  for (const auto& [name, job] : proto::builtin_miner_jobs())
-    std::printf("  %s\n", name.c_str());
+  const auto registry = proto::JobRegistry::builtins();
+  Table table({"job", "kind", "params (name=default)", "summary"});
+  for (const auto& name : registry.names()) {
+    const auto& spec = registry.find(name);
+    std::string params;
+    for (const auto& p : spec.params) {
+      if (!params.empty()) params += ", ";
+      params += p.name + "=" + Table::num(p.def, 4);
+    }
+    table.add_row({name, spec.trainable() ? "trainable" : "structural", params,
+                   spec.summary});
+  }
+  std::fputs(table.str().c_str(), stdout);
   return 0;
 }
 
@@ -273,6 +299,158 @@ int cmd_protocol(int argc, char** argv) {
   return 0;
 }
 
+/// Parse "name[:k=v[,k=v...]]" into a MiningRequest; false on malformed text.
+bool parse_job_spec(const std::string& text, proto::MiningRequest& out) {
+  const auto colon = text.find(':');
+  out.job = text.substr(0, colon);
+  out.params.clear();
+  if (out.job.empty()) return false;
+  if (colon == std::string::npos) return true;
+  std::string rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string pair = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    double value = 0.0;
+    if (!parse_double(pair.substr(eq + 1).c_str(), value)) return false;
+    out.params[pair.substr(0, eq)] = value;
+  }
+  return true;
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::vector<const char*> positional;
+  std::vector<proto::MiningRequest> job_templates;
+  proto::TransportKind transport = proto::TransportKind::kSimulated;
+  std::uint64_t requests = 256, threads = 4;
+  bool cache = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--job") {
+      if (++i >= argc) return usage_error("--job needs a value");
+      proto::MiningRequest req;
+      if (!parse_job_spec(argv[i], req))
+        return usage_error("bad job spec (use name[:k=v,...])");
+      job_templates.push_back(std::move(req));
+    } else if (arg == "--requests") {
+      if (++i >= argc || !parse_u64(argv[i], requests) || requests == 0)
+        return usage_error("--requests needs a positive count");
+    } else if (arg == "--threads") {
+      if (++i >= argc || !parse_u64(argv[i], threads) || threads > 256)
+        return usage_error("--threads needs a count in [0, 256]");
+    } else if (arg == "--no-cache") {
+      cache = false;
+    } else if (arg == "--transport") {
+      if (++i >= argc) return usage_error("--transport needs a value");
+      const std::string kind = argv[i];
+      if (kind == "sim" || kind == "simulated") {
+        transport = proto::TransportKind::kSimulated;
+      } else if (kind == "threaded" || kind == "threaded-local") {
+        transport = proto::TransportKind::kThreadedLocal;
+      } else {
+        return usage_error("unknown transport (use `sim` or `threaded`)");
+      }
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      return usage_error(("unknown flag " + arg).c_str());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 4)
+    return usage_error("serve takes 1-4 positional arguments");
+
+  std::uint64_t parties = 5, seed = 1;
+  double sigma = 0.1;
+  if (positional.size() > 1 && !parse_u64(positional[1], parties))
+    return usage_error("bad party count");
+  if (positional.size() > 2 && !parse_double(positional[2], sigma))
+    return usage_error("bad sigma");
+  if (positional.size() > 3 && !parse_u64(positional[3], seed))
+    return usage_error("bad seed");
+  if (parties < 3) return usage_error("serve needs at least 3 parties");
+  if (sigma < 0.0) return usage_error("sigma must be non-negative");
+
+  const data::Dataset raw = data::make_uci(positional[0], seed);
+  data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const data::Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
+  rng::Engine eng(seed ^ 0xC11);
+  data::PartitionOptions popts;
+  auto shards = data::partition(pool, parties, popts, eng);
+
+  proto::SapOptions opts;
+  opts.noise_sigma = sigma;
+  opts.seed = seed;
+  opts.transport = transport;
+  opts.mining_threads = threads;
+  opts.cache_models = cache;
+  opts.compute_satisfaction = false;
+  opts.optimizer.candidates = 6;
+  opts.optimizer.refine_steps = 3;
+  opts.optimizer.attacks = {.naive = true, .known_inputs = 4};
+  proto::SapSession session(std::move(shards), opts);
+
+  // Validate names AND params against the registry BEFORE paying for the
+  // exchange (bad values exit 2, like every other argument error).
+  const auto builtins = proto::JobRegistry::builtins();
+  if (job_templates.empty()) {
+    // Default load: every built-in trainable job at its declared defaults.
+    for (const auto& name : builtins.names())
+      if (builtins.find(name).trainable()) job_templates.push_back({name, {}});
+  }
+  for (const auto& req : job_templates) {
+    if (!builtins.contains(req.job)) {
+      std::fprintf(stderr, "error: unknown miner job '%s' (see `sap_cli jobs`)\n",
+                   req.job.c_str());
+      return 2;
+    }
+    try {
+      (void)builtins.find(req.job).resolve_params(req.params);
+    } catch (const sap::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  Stopwatch exchange_sw;
+  auto& engine = session.engine();  // runs the exchange
+  const double exchange_ms = exchange_sw.millis();
+
+  std::vector<proto::MiningRequest> load;
+  load.reserve(requests);
+  for (std::uint64_t i = 0; i < requests; ++i)
+    load.push_back(job_templates[i % job_templates.size()]);
+
+  Stopwatch serve_sw;
+  const auto responses = engine.run_batch(load);
+  const double serve_ms = serve_sw.millis();
+
+  std::vector<double> latencies;
+  latencies.reserve(responses.size());
+  for (const auto& r : responses) latencies.push_back(r.millis);
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  const auto stats = engine.cache_stats();
+
+  std::printf("exchange: %.1f ms (%s transport, %llu parties)\n", exchange_ms,
+              proto::to_string(transport).c_str(),
+              static_cast<unsigned long long>(parties));
+  Table table({"requests", "threads", "cache", "wall ms", "req/s", "p50 ms", "p99 ms",
+               "fits", "cache hits"});
+  table.add_row({std::to_string(requests), std::to_string(threads),
+                 cache ? "on" : "off", Table::num(serve_ms, 1),
+                 Table::num(1000.0 * static_cast<double>(requests) / serve_ms, 1),
+                 Table::num(pct(0.50), 3), Table::num(pct(0.99), 3),
+                 std::to_string(stats.fits), std::to_string(stats.hits)});
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}
+
 int cmd_minparties(int argc, char** argv) {
   if (argc != 4) return usage_error("minparties takes exactly 2 arguments");
   double s0 = 0.0, rate = 0.0;
@@ -300,6 +478,7 @@ int main(int argc, char** argv) {
     if (cmd == "perturb") return cmd_perturb(argc, argv);
     if (cmd == "attack") return cmd_attack(argc, argv);
     if (cmd == "protocol") return cmd_protocol(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "minparties") return cmd_minparties(argc, argv);
   } catch (const sap::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
