@@ -6,6 +6,10 @@
 
 namespace sap::ml {
 
+std::unique_ptr<Classifier> Classifier::partial_fit(const data::Dataset&) const {
+  SAP_FAIL("Classifier::partial_fit: this model does not support incremental refit");
+}
+
 double accuracy(const Classifier& model, const data::Dataset& test,
                 std::size_t max_records) {
   SAP_REQUIRE(test.size() > 0, "accuracy: empty test set");

@@ -21,6 +21,16 @@
 //   * fit() must also be deterministic: same training data + options ⇒ a
 //     model whose predictions are bit-identical (any training randomness is
 //     seeded through the classifier's options, never global state).
+//   * partial_fit() is the streaming extension point: it is const (the
+//     fitted model stays shared and immutable) and returns a NEW classifier
+//     equivalent to refitting on (everything this model saw) ⧺ batch.
+//     Implementations that opt in (supports_partial_fit() == true) must meet
+//     the incremental-refit contract of DESIGN.md §6: Knn's result is
+//     prediction-exact versus a full refit; GaussianNaiveBayes accumulates
+//     sufficient statistics in record order, so its incremental model is
+//     bit-identical to a full refit on the concatenation. Models that cannot
+//     extend (SVM, perceptron) keep the default 'unsupported' and the
+//     MiningEngine falls back to a full refit.
 #pragma once
 
 #include <memory>
@@ -45,6 +55,17 @@ class Classifier {
   [[nodiscard]] virtual int predict(std::span<const double> record) const = 0;
 
   [[nodiscard]] virtual bool trained() const = 0;
+
+  /// True when partial_fit() is implemented (see the interface contract).
+  [[nodiscard]] virtual bool supports_partial_fit() const { return false; }
+
+  /// Extend a fitted model with `batch`: returns a new classifier equivalent
+  /// to refitting on the concatenation of all previously-fitted records
+  /// followed by `batch`. Const and safe to call concurrently with predict()
+  /// on this instance. The base implementation throws sap::Error; only
+  /// classifiers reporting supports_partial_fit() override it.
+  [[nodiscard]] virtual std::unique_ptr<Classifier> partial_fit(
+      const data::Dataset& batch) const;
 };
 
 /// Fraction of test records classified correctly, in [0, 1]. With

@@ -20,10 +20,41 @@ bool neighbor_less(const KdTree::Neighbor& a, const KdTree::Neighbor& b) {
 
 KdTree::KdTree(linalg::Matrix points) : points_(std::move(points)) {
   SAP_REQUIRE(points_.rows() > 0 && points_.cols() > 0, "KdTree: empty point set");
+  rebuild();
+}
+
+KdTree::KdTree(const KdTree& base, const linalg::Matrix& more)
+    : order_(base.order_), nodes_(base.nodes_), root_(base.root_), tail_(base.tail_) {
+  SAP_REQUIRE(more.rows() == 0 || more.cols() == base.dims(),
+              "KdTree: dimension mismatch");
+  points_ = linalg::Matrix::vcat(base.points_, more);
+  for (std::size_t i = 0; i < more.rows(); ++i) tail_.push_back(base.points_.rows() + i);
+  maybe_rebuild();
+}
+
+void KdTree::rebuild() {
   order_.resize(points_.rows());
   for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  nodes_.clear();
   nodes_.reserve(2 * points_.rows() / kLeafSize + 4);
   root_ = build(0, points_.rows(), 0);
+  tail_.clear();
+}
+
+void KdTree::insert(const linalg::Matrix& more) {
+  if (more.rows() == 0) return;
+  SAP_REQUIRE(more.cols() == dims(), "KdTree::insert: dimension mismatch");
+  const std::size_t first_new = points_.rows();
+  points_ = linalg::Matrix::vcat(points_, more);
+  for (std::size_t i = 0; i < more.rows(); ++i) tail_.push_back(first_new + i);
+  maybe_rebuild();
+}
+
+void KdTree::maybe_rebuild() {
+  // Amortization: once the brute tail outgrows half the indexed prefix, pay
+  // one full rebuild and return queries to pure branch-and-bound.
+  const std::size_t indexed = points_.rows() - tail_.size();
+  if (tail_.size() * 2 > indexed) rebuild();
 }
 
 int KdTree::build(std::size_t begin, std::size_t end, std::size_t depth) {
@@ -77,30 +108,31 @@ int KdTree::build(std::size_t begin, std::size_t end, std::size_t depth) {
   return self;
 }
 
+void KdTree::consider(std::size_t row, std::span<const double> query, std::size_t k,
+                      std::vector<Neighbor>& heap) const {
+  auto point = points_.row(row);
+  double dist_sq = 0.0;
+  for (std::size_t f = 0; f < point.size(); ++f) {
+    const double diff = point[f] - query[f];
+    dist_sq += diff * diff;
+  }
+  const Neighbor candidate{row, dist_sq};
+  if (heap.size() < k) {
+    heap.push_back(candidate);
+    std::push_heap(heap.begin(), heap.end(), neighbor_less);
+  } else if (neighbor_less(candidate, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), neighbor_less);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), neighbor_less);
+  }
+}
+
 void KdTree::search(int node_index, std::span<const double> query, std::size_t k,
                     std::vector<Neighbor>& heap) const {
   const Node& node = nodes_[static_cast<std::size_t>(node_index)];
 
-  auto consider = [&](std::size_t row) {
-    auto point = points_.row(row);
-    double dist_sq = 0.0;
-    for (std::size_t f = 0; f < point.size(); ++f) {
-      const double diff = point[f] - query[f];
-      dist_sq += diff * diff;
-    }
-    const Neighbor candidate{row, dist_sq};
-    if (heap.size() < k) {
-      heap.push_back(candidate);
-      std::push_heap(heap.begin(), heap.end(), neighbor_less);
-    } else if (neighbor_less(candidate, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), neighbor_less);
-      heap.back() = candidate;
-      std::push_heap(heap.begin(), heap.end(), neighbor_less);
-    }
-  };
-
   if (node.left < 0) {  // leaf
-    for (std::size_t i = node.begin; i < node.end; ++i) consider(order_[i]);
+    for (std::size_t i = node.begin; i < node.end; ++i) consider(order_[i], query, k, heap);
     return;
   }
 
@@ -123,6 +155,7 @@ std::vector<KdTree::Neighbor> KdTree::nearest(std::span<const double> query,
   std::vector<Neighbor> heap;
   heap.reserve(k);
   search(root_, query, k, heap);
+  for (const std::size_t row : tail_) consider(row, query, k, heap);
   std::sort_heap(heap.begin(), heap.end(), neighbor_less);
   return heap;
 }

@@ -5,6 +5,14 @@
 // deterministic (distance, index) tie-break — the property tests in
 // classify_test assert bit-for-bit agreement, which is what lets Knn switch
 // between backends freely.
+//
+// Streaming ingest: insert() appends points without a full rebuild. New
+// points live in a brute-scanned *tail* that every query merges with the
+// tree search through the same bounded heap (exactness is preserved: the
+// tail scan uses the identical (distance, index) tie-break). When the tail
+// outgrows half the indexed prefix the whole structure is rebuilt once —
+// amortized O(log N) structure cost per inserted point, and queries never
+// degrade past 1.5x the point count.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +28,11 @@ class KdTree {
   /// Build over an N x d point matrix (rows = points; copied in).
   explicit KdTree(linalg::Matrix points);
 
+  /// Extension copy: `base`'s structure over (base points ⧺ more) with
+  /// `more` joining the brute tail — one point-matrix copy instead of
+  /// copy-then-insert. Equivalent to copying base and calling insert(more).
+  KdTree(const KdTree& base, const linalg::Matrix& more);
+
   [[nodiscard]] std::size_t size() const noexcept { return points_.rows(); }
   [[nodiscard]] std::size_t dims() const noexcept { return points_.cols(); }
 
@@ -33,6 +46,17 @@ class KdTree {
   [[nodiscard]] std::vector<Neighbor> nearest(std::span<const double> query,
                                               std::size_t k) const;
 
+  /// Append `more` (rows = points, dims must match) to the point set. The
+  /// new rows receive indices size()..size()+more.rows()-1 and join the
+  /// brute-scanned tail; the tree is rebuilt over everything once the tail
+  /// exceeds half the indexed prefix. Query results after insert() are
+  /// exactly those of a tree freshly built over the concatenated points.
+  void insert(const linalg::Matrix& more);
+
+  /// Points currently answered by the brute-scanned tail (observability for
+  /// tests and the rebuild heuristic).
+  [[nodiscard]] std::size_t tail_size() const noexcept { return tail_.size(); }
+
  private:
   struct Node {
     std::size_t begin = 0;   ///< range into order_
@@ -44,15 +68,20 @@ class KdTree {
   };
 
   int build(std::size_t begin, std::size_t end, std::size_t depth);
+  void rebuild();
+  void maybe_rebuild();
+  void consider(std::size_t row, std::span<const double> query, std::size_t k,
+                std::vector<Neighbor>& heap) const;
   void search(int node, std::span<const double> query, std::size_t k,
               std::vector<Neighbor>& heap) const;
 
   static constexpr std::size_t kLeafSize = 16;
 
   linalg::Matrix points_;
-  std::vector<std::size_t> order_;  ///< permutation of row indices
+  std::vector<std::size_t> order_;  ///< permutation of the indexed row prefix
   std::vector<Node> nodes_;
   int root_ = -1;
+  std::vector<std::size_t> tail_;   ///< rows appended since the last (re)build
 };
 
 }  // namespace sap::ml

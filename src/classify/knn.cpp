@@ -25,6 +25,29 @@ void Knn::fit(const data::Dataset& train) {
   tree_ = want_tree ? std::make_unique<KdTree>(train_.features()) : nullptr;
 }
 
+std::unique_ptr<Classifier> Knn::partial_fit(const data::Dataset& batch) const {
+  SAP_REQUIRE(trained(), "Knn::partial_fit before fit");
+  SAP_REQUIRE(batch.size() >= 1, "Knn::partial_fit: empty batch");
+  SAP_REQUIRE(batch.dims() == train_.dims(), "Knn::partial_fit: dimension mismatch");
+  auto extended = std::make_unique<Knn>(k_, backend_);
+  extended->train_ = data::Dataset::concat(train_, batch);
+  const bool want_tree =
+      backend_ == KnnBackend::kKdTree ||
+      (backend_ == KnnBackend::kAuto && extended->train_.size() >= kAutoTreeThreshold);
+  if (want_tree) {
+    if (tree_) {
+      // Reuse the existing structure via the extension copy: one point
+      // matrix copy, batch joins the brute tail (queries stay exact; see
+      // kdtree.hpp).
+      extended->tree_ = std::make_unique<KdTree>(*tree_, batch.features());
+    } else {
+      // The append crossed the auto threshold: first (and only) full build.
+      extended->tree_ = std::make_unique<KdTree>(extended->train_.features());
+    }
+  }
+  return extended;
+}
+
 int Knn::predict(std::span<const double> record) const {
   SAP_REQUIRE(trained(), "Knn::predict before fit");
   SAP_REQUIRE(record.size() == train_.dims(), "Knn::predict: dimension mismatch");

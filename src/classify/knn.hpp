@@ -28,6 +28,14 @@ class Knn final : public Classifier {
   [[nodiscard]] int predict(std::span<const double> record) const override;
   [[nodiscard]] bool trained() const override { return train_.size() > 0; }
 
+  [[nodiscard]] bool supports_partial_fit() const override { return true; }
+  /// Incremental extension: appends `batch` to the training set, reusing the
+  /// existing kd-tree via bulk insert instead of a full rebuild (the tree's
+  /// exact-search guarantee makes the result prediction-identical to a full
+  /// refit on the concatenated data).
+  [[nodiscard]] std::unique_ptr<Classifier> partial_fit(
+      const data::Dataset& batch) const override;
+
   [[nodiscard]] std::size_t k() const noexcept { return k_; }
   [[nodiscard]] bool using_kdtree() const noexcept { return tree_ != nullptr; }
 

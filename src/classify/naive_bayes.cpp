@@ -13,59 +13,79 @@ GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing)
   SAP_REQUIRE(var_smoothing >= 0.0, "GaussianNaiveBayes: smoothing must be non-negative");
 }
 
-void GaussianNaiveBayes::fit(const data::Dataset& train) {
-  SAP_REQUIRE(train.size() >= 2, "GaussianNaiveBayes::fit: need at least two records");
-  classes_ = train.classes();
-  SAP_REQUIRE(classes_.size() >= 2, "GaussianNaiveBayes::fit: need at least two classes");
-  const std::size_t d = train.dims();
-  const std::size_t c = classes_.size();
-
-  means_ = linalg::Matrix(c, d, 0.0);
-  variances_ = linalg::Matrix(c, d, 0.0);
-  log_priors_.assign(c, 0.0);
-  std::vector<std::size_t> counts(c, 0);
-
-  auto class_index = [&](int label) {
-    for (std::size_t i = 0; i < c; ++i)
-      if (classes_[i] == label) return i;
-    SAP_FAIL("GaussianNaiveBayes: label vanished between classes() and fit");
-  };
-
-  for (std::size_t r = 0; r < train.size(); ++r) {
-    const std::size_t ci = class_index(train.label(r));
-    ++counts[ci];
-    auto rec = train.record(r);
-    auto mrow = means_.row(ci);
-    for (std::size_t f = 0; f < d; ++f) mrow[f] += rec[f];
-  }
-  for (std::size_t ci = 0; ci < c; ++ci) {
-    SAP_REQUIRE(counts[ci] > 0, "GaussianNaiveBayes: empty class");
-    auto mrow = means_.row(ci);
-    for (auto& v : mrow) v /= static_cast<double>(counts[ci]);
-    log_priors_[ci] = std::log(static_cast<double>(counts[ci]) /
-                               static_cast<double>(train.size()));
-  }
-  for (std::size_t r = 0; r < train.size(); ++r) {
-    const std::size_t ci = class_index(train.label(r));
-    auto rec = train.record(r);
-    auto mrow = means_.row(ci);
-    auto vrow = variances_.row(ci);
-    for (std::size_t f = 0; f < d; ++f) {
-      const double diff = rec[f] - mrow[f];
-      vrow[f] += diff * diff;
+void GaussianNaiveBayes::accumulate(const data::Dataset& records) {
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    auto& stats = stats_[records.label(r)];
+    auto rec = records.record(r);
+    if (stats.sum.empty()) {
+      stats.shift.assign(rec.begin(), rec.end());
+      stats.sum.assign(dims_, 0.0);
+      stats.sumsq.assign(dims_, 0.0);
+    }
+    ++stats.count;
+    for (std::size_t f = 0; f < dims_; ++f) {
+      const double centered = rec[f] - stats.shift[f];
+      stats.sum[f] += centered;
+      stats.sumsq[f] += centered * centered;
     }
   }
-  // Global smoothing term: keeps degenerate (constant) features usable.
+  total_ += records.size();
+}
+
+void GaussianNaiveBayes::finalize() {
+  const std::size_t c = stats_.size();
+  classes_.clear();
+  classes_.reserve(c);
+  log_priors_.assign(c, 0.0);
+  means_ = linalg::Matrix(c, dims_, 0.0);
+  variances_ = linalg::Matrix(c, dims_, 0.0);
+
   double max_var = 0.0;
-  for (std::size_t ci = 0; ci < c; ++ci) {
+  std::size_t ci = 0;
+  for (const auto& [label, stats] : stats_) {  // std::map: ascending labels
+    SAP_REQUIRE(stats.count > 0, "GaussianNaiveBayes: empty class");
+    classes_.push_back(label);
+    log_priors_[ci] =
+        std::log(static_cast<double>(stats.count) / static_cast<double>(total_));
+    const auto n = static_cast<double>(stats.count);
+    auto mrow = means_.row(ci);
     auto vrow = variances_.row(ci);
-    for (std::size_t f = 0; f < d; ++f) {
-      vrow[f] /= static_cast<double>(counts[ci]);
+    for (std::size_t f = 0; f < dims_; ++f) {
+      // Shifted moments (see ClassStats): variance is shift-invariant and
+      // the centered values are spread-scale, so the clamp only absorbs
+      // roundoff on truly (near-)constant features — the smoothing term
+      // below restores a usable variance there.
+      const double centered_mean = stats.sum[f] / n;
+      mrow[f] = stats.shift[f] + centered_mean;
+      vrow[f] = std::max(stats.sumsq[f] / n - centered_mean * centered_mean, 0.0);
       max_var = std::max(max_var, vrow[f]);
     }
+    ++ci;
   }
   const double eps = std::max(var_smoothing_ * max_var, 1e-12);
   for (auto& v : variances_.data()) v += eps;
+}
+
+void GaussianNaiveBayes::fit(const data::Dataset& train) {
+  SAP_REQUIRE(train.size() >= 2, "GaussianNaiveBayes::fit: need at least two records");
+  dims_ = train.dims();
+  total_ = 0;
+  stats_.clear();
+  accumulate(train);
+  SAP_REQUIRE(stats_.size() >= 2, "GaussianNaiveBayes::fit: need at least two classes");
+  finalize();
+}
+
+std::unique_ptr<Classifier> GaussianNaiveBayes::partial_fit(
+    const data::Dataset& batch) const {
+  SAP_REQUIRE(trained(), "GaussianNaiveBayes::partial_fit before fit");
+  SAP_REQUIRE(batch.size() >= 1, "GaussianNaiveBayes::partial_fit: empty batch");
+  SAP_REQUIRE(batch.dims() == dims_,
+              "GaussianNaiveBayes::partial_fit: dimension mismatch");
+  auto extended = std::make_unique<GaussianNaiveBayes>(*this);
+  extended->accumulate(batch);
+  extended->finalize();
+  return extended;
 }
 
 int GaussianNaiveBayes::predict(std::span<const double> record) const {

@@ -14,7 +14,12 @@ std::vector<std::string> split_line(const std::string& line) {
   std::vector<std::string> cells;
   std::string cell;
   std::istringstream ss(line);
-  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  while (std::getline(ss, cell, ',')) {
+    // CRLF files leave a '\r' on the final cell of every line; strip it so
+    // Windows-written CSVs parse identically to Unix ones.
+    if (!cell.empty() && cell.back() == '\r') cell.pop_back();
+    cells.push_back(cell);
+  }
   return cells;
 }
 
@@ -23,6 +28,8 @@ bool parse_double(const std::string& s, double& out) {
   const char* end = begin + s.size();
   while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
   auto [ptr, ec] = std::from_chars(begin, end, out);
+  // Trailing blanks ("1.0 ", "1.0\t") are padding, not malformed numbers.
+  while (ptr < end && (*ptr == ' ' || *ptr == '\t')) ++ptr;
   return ec == std::errc{} && ptr == end;
 }
 
@@ -51,6 +58,7 @@ Dataset load_csv(const std::string& path, const std::string& name) {
   std::size_t dims = 0;
   bool first = true;
   while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF ending
     if (line.empty()) continue;
     const auto cells = split_line(line);
     SAP_REQUIRE(cells.size() >= 2, "load_csv: row needs at least one feature and a label");

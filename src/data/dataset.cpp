@@ -51,6 +51,23 @@ Dataset Dataset::concat(const Dataset& a, const Dataset& b) {
   return {a.name_, std::move(f), std::move(l)};
 }
 
+void Dataset::append(const Dataset& more) {
+  SAP_REQUIRE(dims() == more.dims() || size() == 0, "Dataset::append: dimensionality mismatch");
+  features_ = size() == 0 ? more.features_ : linalg::Matrix::vcat(features_, more.features_);
+  labels_.insert(labels_.end(), more.labels_.begin(), more.labels_.end());
+}
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  SAP_REQUIRE(begin <= end && end <= size(), "Dataset::slice: range out of bounds");
+  linalg::Matrix f(end - begin, dims());
+  std::vector<int> l(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    f.set_row(i - begin, features_.row(i));
+    l[i - begin] = labels_[i];
+  }
+  return {name_, std::move(f), std::move(l)};
+}
+
 void Dataset::shuffle(rng::Engine& eng) {
   const auto perm = eng.permutation(size());
   linalg::Matrix f(size(), dims());

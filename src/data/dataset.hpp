@@ -48,6 +48,15 @@ class Dataset {
   /// Concatenate two datasets with identical dimensionality.
   [[nodiscard]] static Dataset concat(const Dataset& a, const Dataset& b);
 
+  /// Append `more`'s records in place (identical dimensionality required;
+  /// the name is kept). Record order is preserved: this dataset's records
+  /// first, then `more`'s in their original order — the streaming-ingest
+  /// path relies on appends being order-deterministic.
+  void append(const Dataset& more);
+
+  /// Row range [begin, end) as a new dataset (copies).
+  [[nodiscard]] Dataset slice(std::size_t begin, std::size_t end) const;
+
   /// Randomly permute records in place.
   void shuffle(rng::Engine& eng);
 

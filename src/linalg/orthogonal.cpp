@@ -40,6 +40,20 @@ double orthogonality_defect(const Matrix& q) {
   return defect;
 }
 
+Matrix re_orthonormalize(const Matrix& q) {
+  SAP_REQUIRE(q.rows() == q.cols() && q.rows() > 0,
+              "re_orthonormalize: matrix must be square");
+  Qr f = qr_decompose(q);
+  // Sign correction keeps the result a perturbation of the input rather than
+  // an arbitrary column-sign flip of it: for near-orthogonal q, R's diagonal
+  // is close to ±1 and q ≈ Q diag(sign(diag(R))).
+  for (std::size_t j = 0; j < q.cols(); ++j) {
+    const double sign = (f.r(j, j) >= 0.0) ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < q.rows(); ++i) f.q(i, j) *= sign;
+  }
+  return std::move(f.q);
+}
+
 Matrix procrustes_rotation(const Matrix& src, const Matrix& dst) {
   SAP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
               "procrustes_rotation: shape mismatch");

@@ -22,6 +22,14 @@ Matrix random_rotation(std::size_t d, rng::Engine& eng);
 /// Orthogonality defect ||Q^T Q - I||_max; 0 for exactly orthogonal Q.
 double orthogonality_defect(const Matrix& q);
 
+/// Snap a slightly-drifted orthogonal matrix back onto O(d): the Q factor of
+/// a Householder QR with Stewart's column sign correction, which for a
+/// near-orthogonal input is a small perturbation of the input itself
+/// (R ≈ I up to signs). Long products of orthogonal matrices accumulate
+/// floating-point defect linearly; SpaceAdaptor composition chains use this
+/// to stay inside the constructor's orthogonality gate.
+Matrix re_orthonormalize(const Matrix& q);
+
 /// Orthogonal Procrustes: the orthogonal R minimizing ||R * src - dst||_F,
 /// where src and dst are d x m matrices whose COLUMNS are corresponding
 /// points. Solution: with M = dst * src^T = U S V^T, R = U V^T.

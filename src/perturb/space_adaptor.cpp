@@ -40,6 +40,12 @@ SpaceAdaptor SpaceAdaptor::after(const SpaceAdaptor& other) const {
   SAP_REQUIRE(dims() == other.dims(), "SpaceAdaptor::after: dimension mismatch");
   // this(other(Y)) = R1 (R2 Y + psi2) + psi1 = (R1 R2) Y + (R1 psi2 + psi1).
   linalg::Matrix r = r_ * other.r_;
+  // Products of orthogonal matrices drift off O(d) linearly in chain length;
+  // a long composition chain (the Contribute path reuses adaptors across
+  // many batches) would eventually trip the constructor's 1e-7 gate. Snap
+  // back once the defect crosses half the gate so chains of any length stay
+  // comfortably inside it.
+  if (linalg::orthogonality_defect(r) > 0.5e-7) r = linalg::re_orthonormalize(r);
   linalg::Vector psi = r_.matvec(other.psi_);
   for (std::size_t i = 0; i < psi.size(); ++i) psi[i] += psi_[i];
   return {std::move(r), std::move(psi)};

@@ -40,7 +40,10 @@ class SpaceAdaptor {
   [[nodiscard]] linalg::Matrix apply(const linalg::Matrix& y) const;
 
   /// Compose adaptors: (this ∘ other)(Y) == this->apply(other.apply(Y)).
-  /// Adapting i->t then t->u equals adapting i->u directly.
+  /// Adapting i->t then t->u equals adapting i->u directly. The rotation
+  /// product is re-orthonormalized (QR snap-back) whenever floating-point
+  /// drift exceeds half the constructor's orthogonality gate, so arbitrarily
+  /// long composition chains never throw.
   [[nodiscard]] SpaceAdaptor after(const SpaceAdaptor& other) const;
 
   /// Flat serialization: [d, R row-major..., psi...] — the protocol's wire

@@ -12,9 +12,11 @@
 //   * whether the job is *trainable* (builds a Classifier on the pool, then
 //     serves from the fitted model's const predict() path) or *structural*
 //     (computes straight off the pool). The split is what the MiningEngine's
-//     model cache keys on: trainable jobs fit once per (job, params,
-//     pool-epoch) and serve unlimited requests from the shared immutable
-//     model.
+//     model cache keys on: trainable jobs fit once per (job, params) at the
+//     pool epoch first requested, serve unlimited requests from the shared
+//     immutable model, and — when the live pool grows via append_records —
+//     are extended incrementally through Classifier::partial_fit where the
+//     model supports it (see mining_engine.hpp).
 //
 // The built-in registry covers the paper's mining workloads (KNN / SVM /
 // Naive Bayes / perceptron accuracy on the unified space) plus cheap

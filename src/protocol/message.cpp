@@ -37,6 +37,7 @@ std::string to_string(PayloadKind kind) {
     case PayloadKind::kSpaceAdaptor: return "space-adaptor";
     case PayloadKind::kAdaptorSequence: return "adaptor-sequence";
     case PayloadKind::kModelReport: return "model-report";
+    case PayloadKind::kContribution: return "contribution";
   }
   return "unknown";
 }
@@ -115,6 +116,32 @@ DecodedTargetSpace decode_target_space(std::span<const double> wire) {
   out.r = linalg::Matrix(d, d);
   for (std::size_t i = 0; i < d * d; ++i) out.r.data()[i] = wire[1 + i];
   out.t.assign(wire.begin() + static_cast<std::ptrdiff_t>(1 + d * d), wire.end());
+  return out;
+}
+
+std::vector<double> encode_contribution(std::uint64_t nonce,
+                                        const linalg::Matrix& features_dxm,
+                                        std::span<const int> labels) {
+  // Nonces are 32-bit by construction (session.cpp), hence exactly
+  // representable as doubles; reject anything that would round on the wire.
+  SAP_REQUIRE(nonce < (1ULL << 53), "encode_contribution: nonce not double-exact");
+  std::vector<double> wire;
+  wire.push_back(static_cast<double>(nonce));
+  const auto body = encode_dataset(features_dxm, labels);
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+DecodedContribution decode_contribution(std::span<const double> wire) {
+  SAP_REQUIRE(!wire.empty(), "decode_contribution: empty payload");
+  // Mirror the encode-side bound: the cast below is UB for values >= 2^64,
+  // and wire payloads are adversarial input until proven otherwise.
+  SAP_REQUIRE(std::isfinite(wire[0]) && wire[0] >= 0.0 && wire[0] < 9007199254740992.0 &&
+                  wire[0] == std::floor(wire[0]),
+              "decode_contribution: malformed nonce");
+  DecodedContribution out;
+  out.nonce = static_cast<std::uint64_t>(wire[0]);
+  out.data = decode_dataset(wire.subspan(1));
   return out;
 }
 

@@ -30,6 +30,7 @@ enum class PayloadKind : std::uint8_t {
   kSpaceAdaptor = 5,     ///< provider -> coordinator: A_it
   kAdaptorSequence = 6,  ///< coordinator -> miner: adaptors aligned to forwarders
   kModelReport = 7,      ///< miner -> providers: trained model summary
+  kContribution = 8,     ///< party -> miner: post-exchange perturbed batch
 };
 
 /// Printable name for traces and tests.
@@ -86,6 +87,21 @@ struct DecodedTargetSpace {
   linalg::Vector t;
 };
 DecodedTargetSpace decode_target_space(std::span<const double> wire);
+
+/// Contribution: [nonce, d, m, features column-major..., labels...] — an
+/// incremental batch of m records in the contributor's perturbed space,
+/// submitted to the miner after the exchange (Contribute phase). The nonce
+/// is the contributor's protocol-level identity: it binds the batch to the
+/// space adaptor negotiated in the initial exchange, so the miner can unify
+/// the records without learning anything new about the source.
+std::vector<double> encode_contribution(std::uint64_t nonce,
+                                        const linalg::Matrix& features_dxm,
+                                        std::span<const int> labels);
+struct DecodedContribution {
+  std::uint64_t nonce = 0;
+  DecodedDataset data;
+};
+DecodedContribution decode_contribution(std::span<const double> wire);
 
 /// Routing notice: [receiver id, inbound count]. The coordinator tells each
 /// provider where to send its perturbed data AND how many peer datasets it

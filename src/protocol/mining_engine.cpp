@@ -9,26 +9,88 @@ MiningEngine::MiningEngine(MiningEngineOptions opts, JobRegistry registry)
     : opts_(opts), registry_(std::move(registry)), pool_threads_(opts.threads) {}
 
 void MiningEngine::set_pool(data::Dataset pool) {
-  pool_ = std::move(pool);
-  ++pool_epoch_;
-  // Cache keys embed the epoch, so stale entries could never be *served*;
-  // dropping them here just releases the dead models' memory.
+  std::scoped_lock ingest(ingest_mutex_);
+  auto snapshot = std::make_shared<const data::Dataset>(std::move(pool));
+  {
+    std::scoped_lock lk(pool_mutex_);
+    pool_ = std::move(snapshot);
+    ++pool_epoch_;
+    // New generation: only the new epoch's size is known lineage, so a model
+    // fitted on any replaced pool can never seed an incremental refit.
+    epoch_rows_.clear();
+    epoch_rows_[pool_epoch_] = pool_->size();
+  }
+  // Dropping the cache releases dead models' memory; correctness never
+  // depends on it (a stale entry fails the lineage check and is refitted).
   std::scoped_lock lk(cache_mutex_);
   cache_.clear();
 }
 
+std::uint64_t MiningEngine::append_records(const data::Dataset& batch) {
+  SAP_REQUIRE(batch.size() > 0, "MiningEngine::append_records: empty batch");
+  std::scoped_lock ingest(ingest_mutex_);
+  PoolView view = pool_view();
+  SAP_REQUIRE(view.data != nullptr,
+              "MiningEngine::append_records: no pool installed (set_pool first)");
+  SAP_REQUIRE(batch.dims() == view.data->dims(),
+              "MiningEngine::append_records: dimension mismatch");
+  // Build the grown pool outside pool_mutex_ (appends are serialized by
+  // ingest_mutex_, so `view` cannot go stale) — serving only blocks for the
+  // pointer swap, not for the O(N) copy.
+  auto grown = std::make_shared<data::Dataset>(*view.data);
+  grown->append(batch);
+  std::scoped_lock lk(pool_mutex_);
+  pool_ = std::move(grown);
+  ++pool_epoch_;
+  epoch_rows_[pool_epoch_] = pool_->size();
+  // Bound the lineage history on long-running streams: a cache entry more
+  // than kEpochHistory appends behind just loses its incremental seed and
+  // refits in full (rows_at_epoch fails), so pruning never affects
+  // correctness.
+  constexpr std::size_t kEpochHistory = 64;
+  while (epoch_rows_.size() > kEpochHistory) epoch_rows_.erase(epoch_rows_.begin());
+  return pool_epoch_;
+}
+
+bool MiningEngine::has_pool() const {
+  std::scoped_lock lk(pool_mutex_);
+  return pool_ != nullptr;
+}
+
 const data::Dataset& MiningEngine::pool() const {
-  SAP_REQUIRE(has_pool(), "MiningEngine: no pool installed (set_pool first)");
-  return pool_;
+  std::scoped_lock lk(pool_mutex_);
+  SAP_REQUIRE(pool_ != nullptr, "MiningEngine: no pool installed (set_pool first)");
+  return *pool_;
+}
+
+MiningEngine::PoolView MiningEngine::pool_view() const {
+  std::scoped_lock lk(pool_mutex_);
+  return {pool_, pool_epoch_};
+}
+
+std::uint64_t MiningEngine::pool_epoch() const {
+  std::scoped_lock lk(pool_mutex_);
+  return pool_epoch_;
+}
+
+bool MiningEngine::rows_at_epoch(std::uint64_t epoch, std::size_t& rows) const {
+  std::scoped_lock lk(pool_mutex_);
+  const auto it = epoch_rows_.find(epoch);
+  if (it == epoch_rows_.end()) return false;
+  rows = it->second;
+  return true;
 }
 
 std::shared_ptr<const ml::Classifier> MiningEngine::model_for(const JobSpec& spec,
                                                               const JobParams& resolved,
-                                                              bool& cached) {
+                                                              const PoolView& view,
+                                                              bool& cached,
+                                                              bool& incremental) {
   cached = false;
+  incremental = false;
   if (!opts_.cache_models) {
     auto model = spec.make_model(resolved);
-    model->fit(pool_);
+    model->fit(*view.data);
     fits_.fetch_add(1, std::memory_order_relaxed);
     return model;
   }
@@ -36,40 +98,78 @@ std::shared_ptr<const ml::Classifier> MiningEngine::model_for(const JobSpec& spe
   std::string key = spec.name;
   key += '\0';
   key += spec.model_key_params(resolved);  // serve-only params share a model
-  key += '\0';
-  key += std::to_string(pool_epoch_);
 
   std::promise<std::shared_ptr<const ml::Classifier>> promise;
   ModelFuture future;
+  ModelFuture base;
+  std::uint64_t base_epoch = 0;
   bool fitter = false;
+  bool have_base = false;
   {
     std::scoped_lock lk(cache_mutex_);
     const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      future = it->second;
-      // A completed entry is a genuine cache hit; an in-flight one means a
-      // peer worker is fitting this exact key right now and we share its
-      // result — counted as a hit too (no second fit happens).
+    if (it != cache_.end() && it->second.epoch == view.epoch) {
+      // Current-epoch entry: a completed one is a genuine cache hit; an
+      // in-flight one means a peer worker is fitting this exact key right
+      // now and we share its result — counted as a hit too.
+      future = it->second.future;
       cached = true;
+    } else if (it != cache_.end() && it->second.epoch > view.epoch) {
+      // The slot already answers a NEWER pool (this request started before
+      // an append landed). Bounded staleness: serve this request's own
+      // epoch with a one-off fit, and never regress the cache.
+      fitter = false;
     } else {
+      if (it != cache_.end()) {
+        base = it->second.future;  // older epoch's model: incremental seed
+        base_epoch = it->second.epoch;
+        have_base = true;
+      }
       future = ModelFuture(promise.get_future());
-      cache_.emplace(key, future);
+      cache_[key] = {view.epoch, future};
       fitter = true;
     }
   }
 
+  if (!cached && !fitter) {  // the stale-request one-off path
+    auto model = spec.make_model(resolved);
+    model->fit(*view.data);
+    fits_.fetch_add(1, std::memory_order_relaxed);
+    return model;
+  }
+
   if (fitter) {
     try {
-      auto model = spec.make_model(resolved);
-      model->fit(pool_);
-      fits_.fetch_add(1, std::memory_order_relaxed);
-      promise.set_value(std::shared_ptr<const ml::Classifier>(std::move(model)));
+      std::shared_ptr<const ml::Classifier> model;
+      std::size_t base_rows = 0;
+      if (have_base && rows_at_epoch(base_epoch, base_rows)) {
+        std::shared_ptr<const ml::Classifier> seed;
+        try {
+          seed = base.get();
+        } catch (...) {
+          seed = nullptr;  // the base fit failed; fall through to a full fit
+        }
+        if (seed && seed->supports_partial_fit() && base_rows < view.data->size()) {
+          model = seed->partial_fit(view.data->slice(base_rows, view.data->size()));
+          incremental = true;
+          incremental_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!model) {
+        auto fresh = spec.make_model(resolved);
+        fresh->fit(*view.data);
+        fits_.fetch_add(1, std::memory_order_relaxed);
+        model = std::move(fresh);
+      }
+      promise.set_value(std::move(model));
     } catch (...) {
-      // Waiting peers see the exception; drop the poisoned entry so a later
-      // request retries instead of replaying a stale error forever.
+      // Waiting peers see the exception; drop the poisoned entry (only if it
+      // is still ours) so a later request retries instead of replaying a
+      // stale error forever.
       promise.set_exception(std::current_exception());
       std::scoped_lock lk(cache_mutex_);
-      cache_.erase(key);
+      const auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.epoch == view.epoch) cache_.erase(it);
     }
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -85,14 +185,19 @@ MiningResponse MiningEngine::run(const MiningRequest& request) {
     return response;
   }
   const JobSpec& spec = registry_.find(request.job);
-  SAP_REQUIRE(has_pool(), "MiningEngine: no pool installed (set_pool first)");
+  const PoolView view = pool_view();
+  SAP_REQUIRE(view.data != nullptr, "MiningEngine: no pool installed (set_pool first)");
+  response.pool_epoch = view.epoch;
   const JobParams resolved = spec.resolve_params(request.params);
 
   if (spec.trainable()) {
-    const auto model = model_for(spec, resolved, response.model_cached);
-    response.values = spec.serve(*model, pool_, resolved);
+    Stopwatch fit_sw;
+    const auto model =
+        model_for(spec, resolved, view, response.model_cached, response.model_incremental);
+    response.fit_millis = fit_sw.millis();
+    response.values = spec.serve(*model, *view.data, resolved);
   } else {
-    response.values = spec.run(pool_, resolved);
+    response.values = spec.run(*view.data, resolved);
   }
   response.millis = sw.millis();
   return response;
@@ -115,12 +220,15 @@ std::vector<MiningResponse> MiningEngine::run_batch(
 
 std::vector<double> MiningEngine::run_adhoc(const MinerJob& job) {
   if (!job) return {};
-  return job(pool());
+  const PoolView view = pool_view();
+  SAP_REQUIRE(view.data != nullptr, "MiningEngine: no pool installed (set_pool first)");
+  return job(*view.data);
 }
 
 MiningCacheStats MiningEngine::cache_stats() const {
   MiningCacheStats stats;
   stats.fits = fits_.load(std::memory_order_relaxed);
+  stats.incremental = incremental_.load(std::memory_order_relaxed);
   stats.hits = hits_.load(std::memory_order_relaxed);
   std::scoped_lock lk(cache_mutex_);
   stats.entries = cache_.size();

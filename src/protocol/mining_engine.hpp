@@ -1,34 +1,45 @@
-// MiningEngine — concurrent, cached, parameterized job serving over the
+// MiningEngine — concurrent, cached, parameterized job serving over a LIVE
 // unified pool.
 //
-// PR 1 made Mine a "serving state" in name only: every mine() call ran
-// serially on the caller's thread and re-trained its model from scratch.
-// The engine turns the Mine state into an actual service:
+// PR 2 turned the Mine state into a service over a frozen snapshot; this
+// engine serves a pool that keeps growing while it serves:
 //
 //   * requests — MiningRequest{job, params} — execute against an immutable
-//     pooled dataset, singly (run), as a batch fanned out over an internal
+//     pool *snapshot*, singly (run), as a batch fanned out over an internal
 //     ThreadPool (run_batch), or concurrently from any number of caller
 //     threads (run is thread-safe);
-//   * trainable jobs fit once per (job, model-relevant canonical params,
-//     pool-epoch) — serve-only params like eval-records never force a refit
-//     — and every later request with the same key serves from the shared
-//     immutable fitted model's const predict() path: train once, query many;
-//   * the pool carries an epoch counter: set_pool() bumps it and drops every
-//     cached model, so a model fitted on an old pool can never serve a new
-//     one (cache keys embed the epoch).
+//   * the pool is epoch-scoped: set_pool() installs a fresh pool (epoch
+//     generation reset, every cached model dropped), while append_records()
+//     — the streaming-ingest path behind the protocol's Contribute phase —
+//     extends the pool in place, bumps the epoch, and KEEPS still-valid
+//     work: in-flight requests finish against the snapshot/epoch they
+//     started on (bounded staleness, never a torn pool), and cached models
+//     from earlier epochs seed incremental refits;
+//   * trainable jobs fit once per (job, model-relevant canonical params) at
+//     the epoch they are first requested. When the pool has grown since a
+//     model was fitted, the engine refits INCREMENTALLY where the model
+//     supports it (Classifier::partial_fit — NaiveBayes, Knn) by extending
+//     the cached model with exactly the appended rows; SVM/perceptron fall
+//     back to a full refit. Either way the replacement is installed under
+//     the new epoch before it resolves, so concurrent requests collapse
+//     onto one (re)fit.
 //
 // Determinism invariant (tested under TSAN like the threaded transport): a
 // batch's reports (MiningResponse::values) are bit-identical to the same
 // requests run serially, regardless of thread count — only the diagnostics
-// (model_cached, millis) may reflect scheduling. This holds because (a) response slots are
-// addressed by request index, (b) every job report is a pure function of
-// (pool, resolved params) — see the Classifier fit-determinism contract —
-// and (c) concurrent fits of the same key are collapsed onto one
-// shared_future, and even a duplicated fit would produce an identical model.
+// (model_cached, model_incremental, millis) may reflect scheduling. This
+// holds because (a) response slots are addressed by request index, (b) every
+// job report is a pure function of (pool snapshot, resolved params) — and
+// the incremental-refit contract (DESIGN.md §6) makes a partial_fit-extended
+// model equivalent to the full refit it replaces — and (c) concurrent fits
+// of the same key are collapsed onto one shared_future. Pool mutations are
+// epoch-ordered: the pool content at epoch e is a pure function of the
+// set_pool/append_records call sequence, independent of thread count or
+// transport backend.
 //
 // Thread-safety: run()/run_batch() may be called concurrently with each
-// other. set_pool() and registry mutation must not overlap with in-flight
-// requests (the engine serves a frozen registry + pool).
+// other AND with append_records()/set_pool() (requests serve the snapshot
+// they started with). Registry mutation must still not overlap serving.
 #pragma once
 
 #include <atomic>
@@ -50,8 +61,9 @@ struct MiningEngineOptions {
   /// Worker threads for run_batch(); 0 = execute batches inline on the
   /// calling thread (the serial reference execution).
   std::size_t threads = 0;
-  /// Cache fitted models per (job, params, pool-epoch). Disabling forces
-  /// per-request retraining (the throughput bench's comparison baseline).
+  /// Cache fitted models per (job, params) with epoch-aware incremental
+  /// refit. Disabling forces per-request retraining (the throughput bench's
+  /// comparison baseline).
   bool cache_models = true;
 };
 
@@ -64,18 +76,26 @@ struct MiningRequest {
 };
 
 /// One serving response. Values are the job's report; `model_cached` is true
-/// when a trainable job served from an already-fitted model.
+/// when a trainable job served from an already-fitted model,
+/// `model_incremental` when this request's fit extended an earlier epoch's
+/// model via partial_fit instead of retraining from scratch.
 struct MiningResponse {
   std::vector<double> values;
   bool model_cached = false;
-  double millis = 0.0;  ///< wall-clock service time of this request
+  bool model_incremental = false;
+  std::uint64_t pool_epoch = 0;  ///< epoch this request was served against
+  double millis = 0.0;           ///< wall-clock service time of this request
+  double fit_millis = 0.0;       ///< of which: acquiring the fitted model
+                                 ///< (≈0 on a cache hit; the full vs
+                                 ///< incremental refit cost otherwise)
 };
 
 /// Cache accounting (cumulative across the engine's lifetime).
 struct MiningCacheStats {
-  std::size_t fits = 0;     ///< models actually trained
-  std::size_t hits = 0;     ///< requests served from a cached model
-  std::size_t entries = 0;  ///< live cache entries (current epoch only)
+  std::size_t fits = 0;         ///< models trained from scratch
+  std::size_t incremental = 0;  ///< models extended via partial_fit
+  std::size_t hits = 0;         ///< requests served from a cached model
+  std::size_t entries = 0;      ///< live cache entries
 };
 
 class MiningEngine {
@@ -88,14 +108,34 @@ class MiningEngine {
 
   // ---- pool lifecycle --------------------------------------------------
 
-  /// Install (or replace) the pooled dataset. Bumps the pool epoch and
-  /// invalidates every cached model. Must not overlap in-flight requests.
+  /// Install (or replace) the pooled dataset. Starts a new epoch generation:
+  /// bumps the pool epoch, drops every cached model, and severs incremental
+  /// lineage (a model fitted on a replaced pool can never be extended).
+  /// Safe to call concurrently with serving; in-flight requests finish
+  /// against the snapshot they started on.
   void set_pool(data::Dataset pool);
 
-  [[nodiscard]] bool has_pool() const noexcept { return pool_epoch_ != 0; }
+  /// Streaming ingest: append `batch` (dims must match) to the live pool.
+  /// Bumps the epoch WITHOUT dropping cached models — later requests extend
+  /// them incrementally where supported. Appends are serialized and
+  /// epoch-ordered: pool content at any epoch is a pure function of the
+  /// mutation call sequence. Safe to call concurrently with serving
+  /// (in-flight requests keep their snapshot). Returns the new epoch.
+  std::uint64_t append_records(const data::Dataset& batch);
+
+  [[nodiscard]] bool has_pool() const;
+  /// Reference to the current pool. Valid only while no concurrent pool
+  /// mutation can run; concurrent callers must use pool_view() instead.
   [[nodiscard]] const data::Dataset& pool() const;
-  /// 0 until the first set_pool(); then increments with every set_pool().
-  [[nodiscard]] std::uint64_t pool_epoch() const noexcept { return pool_epoch_; }
+  /// Atomic (snapshot, epoch) pair — the view one request serves against.
+  struct PoolView {
+    std::shared_ptr<const data::Dataset> data;
+    std::uint64_t epoch = 0;
+  };
+  [[nodiscard]] PoolView pool_view() const;
+  /// 0 until the first set_pool(); then increments with every set_pool()
+  /// and every append_records().
+  [[nodiscard]] std::uint64_t pool_epoch() const;
 
   // ---- job registry ----------------------------------------------------
 
@@ -106,8 +146,9 @@ class MiningEngine {
 
   // ---- serving ---------------------------------------------------------
 
-  /// Serve one request. Thread-safe against concurrent run() calls. Throws
-  /// sap::Error for an unknown job name, invalid params, or a missing pool.
+  /// Serve one request against the pool snapshot current at entry. Thread-
+  /// safe against concurrent run()/append_records() calls. Throws sap::Error
+  /// for an unknown job name, invalid params, or a missing pool.
   MiningResponse run(const MiningRequest& request);
 
   /// Serve a batch across the worker pool (inline when threads == 0).
@@ -129,22 +170,42 @@ class MiningEngine {
  private:
   using ModelFuture = std::shared_future<std::shared_ptr<const ml::Classifier>>;
 
-  /// Fitted model for (spec, resolved params) at the current epoch — from
-  /// cache when enabled, freshly trained otherwise. Sets `cached` to true
-  /// when the model came from an already-completed cache entry.
+  /// One cached fitted model: the epoch it answers plus the (possibly still
+  /// in-flight) fit. Keys are (job '\0' model-params); append_records leaves
+  /// entries in place so a later epoch's fit can extend them.
+  struct CacheEntry {
+    std::uint64_t epoch = 0;
+    ModelFuture future;
+  };
+
+  /// Fitted model for (spec, resolved params) serving `view` — from cache
+  /// when current, extended incrementally from an earlier epoch's model when
+  /// possible, freshly trained otherwise.
   std::shared_ptr<const ml::Classifier> model_for(const JobSpec& spec,
-                                                  const JobParams& resolved, bool& cached);
+                                                  const JobParams& resolved,
+                                                  const PoolView& view, bool& cached,
+                                                  bool& incremental);
+
+  /// Row count the pool had at `epoch`, if `epoch` belongs to the current
+  /// set_pool generation (false otherwise — lineage severed).
+  [[nodiscard]] bool rows_at_epoch(std::uint64_t epoch, std::size_t& rows) const;
 
   MiningEngineOptions opts_;
   JobRegistry registry_;
   ThreadPool pool_threads_;
 
-  data::Dataset pool_;
+  mutable std::mutex pool_mutex_;  ///< guards pool_, pool_epoch_, epoch_rows_
+  std::mutex ingest_mutex_;        ///< serializes set_pool/append_records
+  std::shared_ptr<const data::Dataset> pool_;
   std::uint64_t pool_epoch_ = 0;
+  /// Pool size per epoch of the current generation (cleared by set_pool) —
+  /// what lets an incremental refit slice out exactly the appended rows.
+  std::map<std::uint64_t, std::size_t> epoch_rows_;
 
   mutable std::mutex cache_mutex_;
-  std::map<std::string, ModelFuture> cache_;  ///< key: job '\0' model-params '\0' epoch
+  std::map<std::string, CacheEntry> cache_;  ///< key: job '\0' model-params
   std::atomic<std::size_t> fits_{0};
+  std::atomic<std::size_t> incremental_{0};
   std::atomic<std::size_t> hits_{0};
 };
 

@@ -372,7 +372,8 @@ void SapSession::run_unify_and_account() {
     DecodedDataset data;
   };
   std::vector<MinerDataset> received;
-  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> adaptors;
+  miner_adaptors_.clear();  // kept beyond this phase: the Contribute path
+                            // reuses the negotiated adaptors per nonce
   while (transport_->has_mail(miner_)) {
     const auto msg = transport_->receive(miner_);
     const std::span<const double> payload(msg.payload);
@@ -381,12 +382,13 @@ void SapSession::run_unify_and_account() {
     if (msg.kind == PayloadKind::kForwardedData) {
       received.push_back({nonce, msg.from, decode_dataset(payload.subspan(1))});
     } else if (msg.kind == PayloadKind::kAdaptorSequence) {
-      adaptors.emplace_back(nonce, perturb::SpaceAdaptor::deserialize(payload.subspan(1)));
+      miner_adaptors_.emplace_back(nonce,
+                                   perturb::SpaceAdaptor::deserialize(payload.subspan(1)));
     } else {
       SAP_FAIL("SapSession: unexpected message kind at miner");
     }
   }
-  SAP_REQUIRE(received.size() == k && adaptors.size() == k,
+  SAP_REQUIRE(received.size() == k && miner_adaptors_.size() == k,
               "SapSession: miner did not receive k datasets and k adaptors");
 
   // Canonical pooling order: sort by nonce so the unified dataset is
@@ -399,9 +401,9 @@ void SapSession::run_unify_and_account() {
   linalg::Matrix unified_features;  // d x N_total, built incrementally
   std::vector<int> unified_labels;
   for (const auto& rec : received) {
-    const auto it = std::find_if(adaptors.begin(), adaptors.end(),
+    const auto it = std::find_if(miner_adaptors_.begin(), miner_adaptors_.end(),
                                  [&](const auto& a) { return a.first == rec.nonce; });
-    SAP_REQUIRE(it != adaptors.end(), "SapSession: no adaptor for received dataset");
+    SAP_REQUIRE(it != miner_adaptors_.end(), "SapSession: no adaptor for received dataset");
     linalg::Matrix in_target = it->second.apply(rec.data.features);
     unified_features = unified_features.empty()
                            ? std::move(in_target)
@@ -510,6 +512,69 @@ std::vector<std::string> SapSession::job_names() const { return engine_.registry
 MiningEngine& SapSession::engine() {
   run_until(SessionPhase::kMine);
   return engine_;
+}
+
+std::uint64_t SapSession::provider_nonce(std::size_t provider_index) const {
+  SAP_REQUIRE(provider_index < ps_.size(), "SapSession::provider_nonce: unknown provider");
+  return ps_[provider_index].nonce;
+}
+
+// ---------------- Contribute phase (streaming ingest) ---------------------
+
+SapSession::ContributionReceipt SapSession::contribute(std::size_t provider_index,
+                                                       const data::Dataset& batch) {
+  SAP_REQUIRE(provider_index < ps_.size(), "SapSession::contribute: unknown provider");
+  SAP_REQUIRE(batch.size() >= 1, "SapSession::contribute: empty batch");
+  SAP_REQUIRE(batch.dims() == dims_, "SapSession::contribute: dimension mismatch");
+  run_until(SessionPhase::kMine);
+  auto& p = ps_[provider_index];
+  // Same perturbation, fresh noise: the batch leaves the provider exactly as
+  // the initial shard did (Y = G_i(X)), drawn from the provider's own
+  // deterministic stream so runs are reproducible across backends.
+  const linalg::Matrix y = p.g.apply(batch.features_T(), p.eng);
+  return contribute_raw(provider_index, p.nonce, y, batch.labels());
+}
+
+SapSession::ContributionReceipt SapSession::contribute_raw(std::size_t via_provider,
+                                                           std::uint64_t nonce,
+                                                           const linalg::Matrix& y_dxm,
+                                                           std::span<const int> labels) {
+  SAP_REQUIRE(via_provider < ps_.size(), "SapSession::contribute_raw: unknown provider");
+  run_until(SessionPhase::kMine);
+  const auto wire = encode_contribution(nonce, y_dxm, labels);
+
+  // One run_parties batch: the contributor sends, the miner ingests. On the
+  // synchronous backend the send lands before the miner's receive; on the
+  // threaded backend the miner blocks until the message arrives — and if it
+  // was dropped, starvation detection (all workers blocked or done) turns
+  // "mail that will never come" into an immediate sap::Error, exactly like
+  // the exchange phases. Ingest failures of any kind leave the pool
+  // untouched, so the session keeps serving the previous epoch.
+  ContributionReceipt receipt;
+  std::vector<std::function<void()>> tasks(2);
+  tasks[0] = [this, via_provider, &wire] {
+    transport_->send(provider_id_[via_provider], miner_, PayloadKind::kContribution, wire);
+  };
+  tasks[1] = [this, &receipt] {
+    const auto msg = transport_->receive(miner_);
+    SAP_REQUIRE(msg.kind == PayloadKind::kContribution,
+                "SapSession: miner expected a contribution");
+    const auto contribution = decode_contribution(msg.payload);
+    const auto it =
+        std::find_if(miner_adaptors_.begin(), miner_adaptors_.end(),
+                     [&](const auto& a) { return a.first == contribution.nonce; });
+    SAP_REQUIRE(it != miner_adaptors_.end(),
+                "SapSession: contribution from unknown party (no adaptor for nonce)");
+    SAP_REQUIRE(contribution.data.features.rows() == dims_,
+                "SapSession: contribution dimension mismatch");
+    const linalg::Matrix in_target = it->second.apply(contribution.data.features);
+    const data::Dataset appended("sap-unified", in_target.transpose(),
+                                 contribution.data.labels);
+    receipt.pool_epoch = engine_.append_records(appended);
+    receipt.pool_records = engine_.pool_view().data->size();
+  };
+  transport_->run_parties(std::move(tasks));
+  return receipt;
 }
 
 }  // namespace sap::proto

@@ -34,9 +34,23 @@
 // the session's MiningEngine (mining_engine.hpp) serves any number of
 // parameterized mining requests against the pooled unified space without
 // redoing the exchange — concurrently, with fitted models cached per (job,
-// params, pool-epoch). mine()/mine_named() are thin single-request wrappers
-// that additionally broadcast the job's model report to every provider;
-// engine() exposes the batched serving surface directly (no broadcasts).
+// params) and extended incrementally across pool epochs. mine()/mine_named()
+// are thin single-request wrappers that additionally broadcast the job's
+// model report to every provider; engine() exposes the batched serving
+// surface directly (no broadcasts).
+//
+// Contribute (the streaming extension, DESIGN.md §6): after the exchange,
+// any provider can keep submitting perturbed record batches — contribute()
+// perturbs with the provider's already-optimized G_i and ships a
+// kContribution message to the miner, which maps the batch into the unified
+// space by REUSING the space adaptor negotiated in the initial exchange (no
+// re-run of LocalOptimize/Exchange, no new information to the miner beyond
+// pool growth) and appends it to the engine's epoch-scoped live pool.
+// Serving stays available during ingest: in-flight mining requests finish
+// against the pool epoch they started on, and cached models refit
+// incrementally where the classifier supports partial_fit. A rejected
+// contribution (unknown nonce, dimension mismatch, dropped message) throws
+// but leaves the pool untouched and the session serviceable.
 #pragma once
 
 #include <functional>
@@ -198,6 +212,34 @@ class SapSession {
   /// phases so the pool is installed. See mining_engine.hpp.
   [[nodiscard]] MiningEngine& engine();
 
+  // ---- Contribute phase (streaming ingest into the live pool) ----------
+
+  /// What the miner acknowledges after accepting a contribution.
+  struct ContributionReceipt {
+    std::uint64_t pool_epoch = 0;   ///< engine pool epoch after the append
+    std::size_t pool_records = 0;   ///< unified pool size after the append
+  };
+
+  /// Provider `provider_index` contributes `batch` (records in its own
+  /// original normalized space, N x d rows like every Dataset): the provider
+  /// perturbs it with its negotiated G_i (fresh noise), ships it to the
+  /// miner as kContribution, and the miner unifies it with the adaptor from
+  /// the initial exchange and appends it to the live pool. Implicitly
+  /// completes outstanding phases. Throws sap::Error on a malformed or
+  /// undeliverable contribution — the pool is left untouched and the
+  /// session keeps serving. Contribute calls must not overlap each other
+  /// (engine requests may run concurrently; see MiningEngine).
+  ContributionReceipt contribute(std::size_t provider_index, const data::Dataset& batch);
+
+  /// Wire-level variant: submit an already-perturbed d x m batch under an
+  /// explicit nonce via provider `via_provider`'s link. This is the actual
+  /// deployment surface (contributions are identified by nonce, not by
+  /// link) and the fault-modeling hook: an unknown nonce models a party
+  /// outside the exchange and is rejected by the miner.
+  ContributionReceipt contribute_raw(std::size_t via_provider, std::uint64_t nonce,
+                                     const linalg::Matrix& y_dxm,
+                                     std::span<const int> labels);
+
   // ---- observability ---------------------------------------------------
 
   /// Per-executed-phase timing and cumulative transport cost.
@@ -221,6 +263,11 @@ class SapSession {
   void inject_faults(Transport::DropFilter filter);
 
   [[nodiscard]] std::size_t provider_count() const noexcept { return ps_.size(); }
+
+  /// Audit-only: provider i's exchange nonce (its protocol-level identity
+  /// for contributions). Tests use this to forge wire-accurate Contribute
+  /// traffic; a real deployment's party holds only its own nonce.
+  [[nodiscard]] std::uint64_t provider_nonce(std::size_t provider_index) const;
 
  private:
   /// Simulation container for one provider's private state; nothing outside
@@ -269,6 +316,10 @@ class SapSession {
   perturb::GeometricPerturbation g_t_;
   std::vector<PartyId> receiver_of_source_;
   std::vector<std::vector<std::vector<double>>> self_held_;
+  /// Miner-side state retained for the Contribute phase: the adaptor
+  /// negotiated per contributor nonce (the miner's only knowledge of a
+  /// source, exactly as in the initial exchange).
+  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> miner_adaptors_;
 
   std::vector<PartyReport> reports_;
   std::vector<PartyId> audit_receiver_of_;

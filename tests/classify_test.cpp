@@ -223,6 +223,160 @@ TEST(Knn, AutoBackendSwitchesOnSize) {
   EXPECT_TRUE(large.using_kdtree());
 }
 
+// ------------------------------------------------ incremental refit (partial_fit)
+
+Dataset normalized(const Dataset& ds) {
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(ds.features());
+  return {ds.name(), norm.transform(ds.features()), ds.labels()};
+}
+
+TEST(KdTree, InsertMatchesFreshBuildExactly) {
+  Engine eng(4242);
+  Matrix all(520, 4);
+  for (auto& v : all.data()) v = std::round(eng.uniform(0.0, 6.0)) / 2.0;  // force ties
+  Matrix head(400, 4);
+  Matrix tail(120, 4);
+  for (std::size_t i = 0; i < 400; ++i) head.set_row(i, all.row(i));
+  for (std::size_t i = 0; i < 120; ++i) tail.set_row(i, all.row(400 + i));
+
+  sap::ml::KdTree grown(head);
+  grown.insert(tail);
+  const sap::ml::KdTree fresh(all);
+  ASSERT_EQ(grown.size(), fresh.size());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> q(4);
+    for (auto& v : q) v = std::round(eng.uniform(0.0, 6.0)) / 2.0;
+    const std::size_t k = 1 + eng.uniform_index(10);
+    const auto a = grown.nearest(q, k);
+    const auto b = fresh.nearest(q, k);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index) << "rank " << i;
+      EXPECT_DOUBLE_EQ(a[i].distance_sq, b[i].distance_sq) << "rank " << i;
+    }
+  }
+}
+
+TEST(KdTree, InsertRebuildsOnceTheTailOutgrowsThePrefix) {
+  Engine eng(4243);
+  Matrix head(64, 3);
+  for (auto& v : head.data()) v = eng.uniform();
+  sap::ml::KdTree tree(head);
+  EXPECT_EQ(tree.tail_size(), 0u);
+  Matrix small(8, 3);
+  for (auto& v : small.data()) v = eng.uniform();
+  tree.insert(small);
+  EXPECT_EQ(tree.tail_size(), 8u);  // below the rebuild threshold
+  Matrix big(64, 3);
+  for (auto& v : big.data()) v = eng.uniform();
+  tree.insert(big);
+  EXPECT_EQ(tree.tail_size(), 0u);  // tail > prefix/2 → rebuilt
+  EXPECT_EQ(tree.size(), 136u);
+  EXPECT_THROW(tree.insert(Matrix(1, 2, 0.0)), sap::Error);
+}
+
+TEST(Knn, PartialFitIsPredictionIdenticalToFullRefit) {
+  // The incremental-refit contract (DESIGN.md §6): Knn's partial_fit result
+  // must predict exactly like a full refit on the concatenated data — for
+  // the kd-tree backend, the brute backend, and an auto-threshold crossing.
+  const Dataset ds = normalized(sap::data::make_uci("Wine", 50));
+  const Dataset head = ds.slice(0, 130);
+  const Dataset tail = ds.slice(130, ds.size());
+
+  for (const auto backend : {sap::ml::KnnBackend::kAuto, sap::ml::KnnBackend::kBruteForce,
+                             sap::ml::KnnBackend::kKdTree}) {
+    sap::ml::Knn base(5, backend);
+    base.fit(head);
+    const auto extended = base.partial_fit(tail);
+    sap::ml::Knn full(5, backend);
+    full.fit(ds);
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      ASSERT_EQ(extended->predict(ds.record(i)), full.predict(ds.record(i)))
+          << "backend " << static_cast<int>(backend) << " record " << i;
+    // And chained appends (adaptor for many small contributions).
+    const auto twice = base.partial_fit(ds.slice(130, 140))->partial_fit(ds.slice(140, ds.size()));
+    for (std::size_t i = 0; i < ds.size(); ++i)
+      ASSERT_EQ(twice->predict(ds.record(i)), full.predict(ds.record(i)));
+  }
+}
+
+TEST(Knn, PartialFitCrossesTheAutoTreeThreshold) {
+  const Dataset big = blobs(200, 77);  // 400 records
+  const Dataset head = big.slice(0, 200);
+  const Dataset tail = big.slice(200, 400);
+  sap::ml::Knn base(3);  // kAuto: 200 records → brute force
+  base.fit(head);
+  EXPECT_FALSE(base.using_kdtree());
+  const auto extended = base.partial_fit(tail);
+  const auto* knn = dynamic_cast<const sap::ml::Knn*>(extended.get());
+  ASSERT_NE(knn, nullptr);
+  EXPECT_TRUE(knn->using_kdtree());  // 400 records → tree built once
+  sap::ml::Knn full(3);
+  full.fit(big);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    ASSERT_EQ(knn->predict(big.record(i)), full.predict(big.record(i)));
+}
+
+TEST(NaiveBayes, PartialFitIsBitIdenticalToFullRefit) {
+  // Stronger than the 1e-12 contract bar: the sufficient-statistics
+  // accumulation performs the same per-class addition sequence either way,
+  // so the incremental model is bit-identical to the full refit.
+  const Dataset ds = normalized(sap::data::make_uci("Iris", 51));
+  const Dataset head = ds.slice(0, 90);
+  const Dataset tail = ds.slice(90, ds.size());
+
+  sap::ml::GaussianNaiveBayes base(1e-9);
+  base.fit(head);
+  const auto extended = base.partial_fit(tail);
+  sap::ml::GaussianNaiveBayes full(1e-9);
+  full.fit(ds);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    ASSERT_EQ(extended->predict(ds.record(i)), full.predict(ds.record(i))) << i;
+  EXPECT_EQ(sap::ml::accuracy(*extended, ds), sap::ml::accuracy(full, ds));
+}
+
+TEST(NaiveBayes, PartialFitAdmitsANewClass) {
+  const Dataset ds = blobs(40, 52);  // classes {0, 1}
+  Matrix extra(10, 2);
+  std::vector<int> extra_labels(10, 2);  // a third class appears mid-stream
+  Engine eng(53);
+  for (std::size_t i = 0; i < 10; ++i) {
+    extra(i, 0) = eng.normal(0.0, 0.3);
+    extra(i, 1) = eng.normal(5.0, 0.3);
+  }
+  const Dataset late("late", extra, extra_labels);
+
+  sap::ml::GaussianNaiveBayes base;
+  base.fit(ds);
+  const auto extended = base.partial_fit(late);
+  sap::ml::GaussianNaiveBayes full;
+  full.fit(sap::data::Dataset::concat(ds, late));
+  for (std::size_t i = 0; i < late.size(); ++i) {
+    EXPECT_EQ(extended->predict(late.record(i)), 2) << i;
+    EXPECT_EQ(extended->predict(late.record(i)), full.predict(late.record(i)));
+  }
+}
+
+TEST(Classifier, PartialFitUnsupportedModelsThrowAndReportIt) {
+  const Dataset ds = blobs(30, 54);
+  sap::ml::Svm svm;
+  svm.fit(ds);
+  EXPECT_FALSE(svm.supports_partial_fit());
+  EXPECT_THROW((void)svm.partial_fit(ds), sap::Error);
+  sap::ml::Perceptron perceptron;
+  perceptron.fit(ds);
+  EXPECT_FALSE(perceptron.supports_partial_fit());
+  EXPECT_THROW((void)perceptron.partial_fit(ds), sap::Error);
+  sap::ml::Knn knn;
+  EXPECT_TRUE(knn.supports_partial_fit());
+  EXPECT_THROW((void)knn.partial_fit(ds), sap::Error);  // before fit
+  sap::ml::GaussianNaiveBayes nb;
+  EXPECT_TRUE(nb.supports_partial_fit());
+  EXPECT_THROW((void)nb.partial_fit(ds), sap::Error);  // before fit
+}
+
 // ------------------------------------------------------------ SVM
 
 TEST(Svm, SeparatesBlobs) {

@@ -317,6 +317,77 @@ TEST(Csv, RoundTripPreservesData) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, CrlfAndTrailingBlanksAccepted) {
+  // A Windows-written CSV: CRLF line endings, padding blanks inside cells,
+  // and a blank CRLF-only line. Every cell must parse exactly as its Unix
+  // counterpart would.
+  const std::string path = "/tmp/sap_csv_crlf.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("f0,f1,label\r\n", f);
+    std::fputs("1.5 ,\t2.25,0\r\n", f);
+    std::fputs("\r\n", f);
+    std::fputs("-0.5,4.0 ,1\r\n", f);
+    std::fclose(f);
+  }
+  const Dataset ds = sap::data::load_csv(path, "crlf");
+  ASSERT_EQ(ds.size(), 2u);
+  ASSERT_EQ(ds.dims(), 2u);
+  EXPECT_DOUBLE_EQ(ds.features()(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ds.features()(0, 1), 2.25);
+  EXPECT_DOUBLE_EQ(ds.features()(1, 0), -0.5);
+  EXPECT_DOUBLE_EQ(ds.features()(1, 1), 4.0);
+  EXPECT_EQ(ds.labels(), (std::vector<int>{0, 1}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, CrlfRoundTripMatchesUnixRoundTrip) {
+  // save_csv writes Unix endings; rewriting the same bytes with CRLF
+  // endings must load back to the identical dataset.
+  const Dataset ds = sap::data::make_uci("Iris", 11);
+  const std::string unix_path = "/tmp/sap_csv_unix.csv";
+  const std::string crlf_path = "/tmp/sap_csv_crlf_rt.csv";
+  sap::data::save_csv(ds, unix_path);
+  {
+    std::FILE* in = std::fopen(unix_path.c_str(), "rb");
+    std::FILE* out = std::fopen(crlf_path.c_str(), "wb");
+    ASSERT_NE(in, nullptr);
+    ASSERT_NE(out, nullptr);
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+      if (c == '\n') std::fputc('\r', out);
+      std::fputc(c, out);
+    }
+    std::fclose(in);
+    std::fclose(out);
+  }
+  const Dataset from_unix = sap::data::load_csv(unix_path, "unix");
+  const Dataset from_crlf = sap::data::load_csv(crlf_path, "crlf");
+  ASSERT_EQ(from_crlf.size(), from_unix.size());
+  EXPECT_TRUE(from_crlf.features().approx_equal(from_unix.features(), 0.0));
+  EXPECT_EQ(from_crlf.labels(), from_unix.labels());
+  std::remove(unix_path.c_str());
+  std::remove(crlf_path.c_str());
+}
+
+TEST(DatasetOps, AppendAndSlice) {
+  const Dataset ds = sap::data::make_uci("Iris", 12);
+  Dataset head = ds.slice(0, 100);
+  const Dataset tail = ds.slice(100, 150);
+  EXPECT_EQ(head.size(), 100u);
+  EXPECT_EQ(tail.size(), 50u);
+  head.append(tail);
+  ASSERT_EQ(head.size(), ds.size());
+  EXPECT_TRUE(head.features().approx_equal(ds.features(), 0.0));
+  EXPECT_EQ(head.labels(), ds.labels());
+  EXPECT_THROW((void)ds.slice(100, 50), sap::Error);
+  EXPECT_THROW((void)ds.slice(0, 151), sap::Error);
+  Dataset two = ds.slice(0, 2);
+  const Dataset other("w", sap::linalg::Matrix(1, 3, 0.0), {0});
+  EXPECT_THROW(two.append(other), sap::Error);
+}
+
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW(sap::data::load_csv("/tmp/definitely_missing_sap.csv", "x"), sap::Error);
 }

@@ -304,6 +304,172 @@ TEST(MiningEngineTest, HammeredFromEightThreadsMatchesSerialReference) {
   EXPECT_EQ(stats.hits + stats.fits, kThreads * /*trainable requests*/ 18u);
 }
 
+// ------------------------------------------------------------ live pool (append)
+
+TEST(LivePoolTest, AppendRecordsBumpsEpochAndKeepsCachedWork) {
+  auto engine_ptr = make_engine(0);
+  auto& engine = *engine_ptr;
+  const Dataset pool = normalized_pool("Iris", 42);
+  EXPECT_EQ(engine.pool_epoch(), 1u);
+
+  const auto before = engine.run({"nb-train-accuracy", {}});
+  EXPECT_FALSE(before.model_cached);
+  EXPECT_EQ(before.pool_epoch, 1u);
+  EXPECT_EQ(engine.cache_stats().fits, 1u);
+
+  const auto epoch = engine.append_records(pool.slice(0, 20));
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(engine.pool_epoch(), 2u);
+  EXPECT_EQ(engine.pool_view().data->size(), 170u);
+  // The cached entry survives the append (unlike set_pool) and seeds an
+  // incremental refit.
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+
+  const auto after = engine.run({"nb-train-accuracy", {}});
+  EXPECT_EQ(after.pool_epoch, 2u);
+  EXPECT_TRUE(after.model_incremental);
+  EXPECT_FALSE(after.model_cached);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.fits, 1u);         // never retrained from scratch
+  EXPECT_EQ(stats.incremental, 1u);  // extended instead
+
+  const auto again = engine.run({"nb-train-accuracy", {}});
+  EXPECT_TRUE(again.model_cached);  // the refit model now serves epoch 2
+  EXPECT_EQ(again.values, after.values);
+}
+
+TEST(LivePoolTest, IncrementalRefitMatchesFullRetrainReports) {
+  // Incremental-refit contract through the engine: for NaiveBayes and Knn
+  // the post-append report must equal the full-retrain report bit for bit.
+  const Dataset pool = normalized_pool("Wine", 9);
+  const Dataset base = pool.slice(0, 120);
+  const Dataset batch = pool.slice(120, pool.size());
+  for (const auto* job : {"nb-train-accuracy", "knn-train-accuracy"}) {
+    proto::MiningEngine incremental{proto::MiningEngineOptions{}};
+    incremental.set_pool(base);
+    (void)incremental.run({job, {}});  // warm: full fit on the base pool
+    incremental.append_records(batch);
+    const auto fast = incremental.run({job, {}});
+    EXPECT_TRUE(fast.model_incremental) << job;
+
+    proto::MiningEngine fresh{proto::MiningEngineOptions{}};
+    fresh.set_pool(base);
+    fresh.append_records(batch);
+    const auto slow = fresh.run({job, {}});
+    EXPECT_FALSE(slow.model_incremental) << job;
+    EXPECT_EQ(fast.values, slow.values) << job;
+  }
+}
+
+TEST(LivePoolTest, ModelsWithoutPartialFitFallBackToFullRefit) {
+  auto engine_ptr = make_engine(0);
+  auto& engine = *engine_ptr;
+  (void)engine.run({"svm-train-accuracy", {}});
+  engine.append_records(normalized_pool("Iris", 42).slice(0, 10));
+  const auto response = engine.run({"svm-train-accuracy", {}});
+  EXPECT_FALSE(response.model_incremental);
+  EXPECT_FALSE(response.model_cached);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.fits, 2u);  // full refit on the grown pool
+  EXPECT_EQ(stats.incremental, 0u);
+}
+
+TEST(LivePoolTest, SetPoolSeversIncrementalLineage) {
+  auto engine_ptr = make_engine(0);
+  auto& engine = *engine_ptr;
+  (void)engine.run({"nb-train-accuracy", {}});
+  engine.set_pool(normalized_pool("Wine", 7));
+  const auto response = engine.run({"nb-train-accuracy", {}});
+  EXPECT_FALSE(response.model_incremental);  // replaced pool: full fit
+  EXPECT_EQ(engine.cache_stats().fits, 2u);
+}
+
+TEST(LivePoolTest, AppendValidations) {
+  proto::MiningEngine engine;
+  const Dataset pool = normalized_pool("Iris", 42);
+  EXPECT_THROW(engine.append_records(pool.slice(0, 10)), sap::Error);  // no pool yet
+  engine.set_pool(pool);
+  EXPECT_THROW(engine.append_records(pool.slice(0, 0)), sap::Error);  // empty batch
+  EXPECT_THROW(engine.append_records(normalized_pool("Wine", 7).slice(0, 5)),
+               sap::Error);  // 13 dims vs 4
+  EXPECT_EQ(engine.pool_epoch(), 1u);  // nothing mutated
+}
+
+TEST(LivePoolTest, SnapshotsOutliveAppends) {
+  auto engine_ptr = make_engine(0);
+  auto& engine = *engine_ptr;
+  const auto old_view = engine.pool_view();
+  EXPECT_EQ(old_view.data->size(), 150u);
+  engine.append_records(normalized_pool("Iris", 42).slice(0, 30));
+  // The pre-append snapshot still answers with the old pool (bounded
+  // staleness: a request that grabbed it finishes against epoch 1).
+  EXPECT_EQ(old_view.data->size(), 150u);
+  EXPECT_EQ(old_view.epoch, 1u);
+  EXPECT_EQ(engine.pool_view().data->size(), 180u);
+}
+
+TEST(LivePoolTest, BatchReportsBitIdenticalAcrossThreadCountsWithInterleavedAppends) {
+  const Dataset pool = normalized_pool("Iris", 42);
+  const auto requests = mixed_requests(40);
+  const auto scenario = [&](std::size_t threads) {
+    proto::MiningEngine engine({.threads = threads});
+    engine.set_pool(pool.slice(0, 100));
+    std::vector<proto::MiningResponse> all;
+    for (const std::size_t step : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+      if (step > 0) engine.append_records(pool.slice(75 + 25 * step, 100 + 25 * step));
+      auto part = engine.run_batch(requests);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    return all;
+  };
+  const auto reference = scenario(0);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto got = scenario(threads);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].values, reference[i].values) << "response " << i;
+      EXPECT_EQ(got[i].pool_epoch, reference[i].pool_epoch) << "response " << i;
+    }
+  }
+}
+
+TEST(LivePoolTest, ServingStaysAvailableDuringConcurrentIngest) {
+  // The TSAN-relevant hammer: one ingest thread keeps appending while four
+  // caller threads serve. Every response must be well-formed and land on a
+  // real epoch; afterwards the quiesced engine must agree with a fresh
+  // engine fitted on the final pool (NB's incremental chain is bit-exact).
+  const Dataset pool = normalized_pool("Iris", 42);
+  auto engine_ptr = std::make_unique<proto::MiningEngine>(proto::MiningEngineOptions{});
+  auto& engine = *engine_ptr;
+  engine.set_pool(pool.slice(0, 60));
+
+  std::thread ingester([&] {
+    for (std::size_t b = 0; b < 9; ++b)
+      engine.append_records(pool.slice(60 + 10 * b, 70 + 10 * b));
+  });
+  std::vector<std::thread> servers;
+  std::atomic<std::size_t> served{0};
+  for (int t = 0; t < 4; ++t)
+    servers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        const auto r = engine.run({"nb-train-accuracy", {}});
+        ASSERT_EQ(r.values.size(), 1u);
+        ASSERT_GE(r.pool_epoch, 1u);
+        ASSERT_LE(r.pool_epoch, 10u);
+        served.fetch_add(1);
+      }
+    });
+  ingester.join();
+  for (auto& s : servers) s.join();
+  EXPECT_EQ(served.load(), 100u);
+
+  const auto settled = engine.run({"nb-train-accuracy", {}});
+  EXPECT_EQ(settled.pool_epoch, 10u);
+  proto::MiningEngine fresh{proto::MiningEngineOptions{}};
+  fresh.set_pool(pool);
+  EXPECT_EQ(settled.values, fresh.run({"nb-train-accuracy", {}}).values);
+}
+
 // ------------------------------------------------------------ session wiring
 
 proto::SapOptions fast_session_opts(std::uint64_t seed) {

@@ -94,6 +94,32 @@ TEST(Fuzz, RoutingCodecNeverCrashes) {
                200, 17);
 }
 
+TEST(Fuzz, ContributionCodecNeverCrashes) {
+  Engine eng(9);
+  Matrix f = Matrix::generate(4, 6, [&] { return eng.normal(); });
+  const std::vector<int> labels{0, 1, 2, 0, 1, 2};
+  const auto wire = proto::encode_contribution(0xABCDu, f, labels);
+  fuzz_decoder(wire,
+               [](const std::vector<double>& w) { (void)proto::decode_contribution(w); },
+               400, 29);
+}
+
+TEST(Fuzz, ContributionCodecRoundTrips) {
+  Engine eng(10);
+  Matrix f = Matrix::generate(3, 5, [&] { return eng.normal(); });
+  const std::vector<int> labels{1, 0, 1, 0, 1};
+  const auto back = proto::decode_contribution(proto::encode_contribution(77, f, labels));
+  EXPECT_EQ(back.nonce, 77u);
+  EXPECT_TRUE(back.data.features.approx_equal(f, 0.0));
+  EXPECT_EQ(back.data.labels, labels);
+  // Malformed nonces (negative, fractional, non-finite) are rejected.
+  EXPECT_THROW((void)proto::decode_contribution(std::vector<double>{-1.0, 1.0, 1.0, 0.5, 0.0}),
+               sap::Error);
+  EXPECT_THROW((void)proto::decode_contribution(std::vector<double>{0.5, 1.0, 1.0, 0.5, 0.0}),
+               sap::Error);
+  EXPECT_THROW((void)proto::decode_contribution(std::vector<double>{}), sap::Error);
+}
+
 TEST(Fuzz, SpaceAdaptorCodecNeverCrashes) {
   Engine eng(3);
   const auto g_i = sap::perturb::GeometricPerturbation::random(4, 0.1, eng);

@@ -187,6 +187,67 @@ TEST(Adaptor, CompositionMatchesDirectAdaptor) {
     EXPECT_NEAR(composed.translation()[i], ac.translation()[i], 1e-9);
 }
 
+TEST(Adaptor, FiveHundredCompositionChainStaysOrthogonal) {
+  // The Contribute path reuses adaptors across arbitrarily many batches, so
+  // long after() chains must never drift past the constructor's 1e-7
+  // orthogonality gate (every after() result passes through it — surviving
+  // the chain IS the drift guarantee). d=34 matches the paper's widest
+  // dataset (Ionosphere).
+  Engine eng(77);
+  constexpr std::size_t kDims = 34;
+  auto prev = GeometricPerturbation::random(kDims, 0.0, eng);
+  const auto first = prev;
+  auto next = GeometricPerturbation::random(kDims, 0.0, eng);
+  SpaceAdaptor chain = SpaceAdaptor::between(prev, next);
+  prev = next;
+  for (int step = 1; step < 500; ++step) {
+    next = GeometricPerturbation::random(kDims, 0.0, eng);
+    chain = SpaceAdaptor::between(prev, next).after(chain);
+    prev = next;
+  }
+  EXPECT_LT(sap::linalg::orthogonality_defect(chain.rotation()), 1e-7);
+
+  // The chain still agrees with the direct first->last adaptor (tolerance
+  // covers 500 accumulated matrix products).
+  const SpaceAdaptor direct = SpaceAdaptor::between(first, prev);
+  const Matrix y = random_data(kDims, 16, eng);
+  EXPECT_TRUE(chain.apply(y).approx_equal(direct.apply(y), 1e-6));
+}
+
+TEST(Adaptor, CompositionSnapsDriftBackBelowHalfTheGate) {
+  // Inject a drift just UNDER the constructor gate (so the adaptor is
+  // legal) but over the 0.5e-7 re-orthonormalization trigger: one after()
+  // must snap the product back to numerically-exact orthogonality instead
+  // of letting the next composition push it over the gate.
+  Engine eng(78);
+  const std::size_t d = 8;
+  Matrix r = sap::linalg::random_orthogonal(d, eng);
+  // Nudge one entry until the defect sits between the snap trigger (0.5e-7)
+  // and the constructor gate (1e-7); the defect grows ~linearly in the
+  // nudge, so the 1e-8 steps cannot overshoot the gate.
+  while (sap::linalg::orthogonality_defect(r) < 0.6e-7) r(0, 1) += 1e-8;
+  ASSERT_GT(sap::linalg::orthogonality_defect(r), 0.5e-7);
+  ASSERT_LT(sap::linalg::orthogonality_defect(r), 1e-7);
+  const SpaceAdaptor drifted(r, Vector(d, 0.0));
+  const SpaceAdaptor identity(Matrix::identity(d), Vector(d, 0.0));
+  const SpaceAdaptor snapped = drifted.after(identity);
+  EXPECT_LT(sap::linalg::orthogonality_defect(snapped.rotation()), 1e-12);
+  // The snap is a correction, not a replacement: the rotation barely moves.
+  EXPECT_TRUE(snapped.rotation().approx_equal(drifted.rotation(), 1e-6));
+}
+
+TEST(Adaptor, ReOrthonormalizeRestoresOrthogonality) {
+  Engine eng(79);
+  const std::size_t d = 12;
+  const Matrix q = sap::linalg::random_orthogonal(d, eng);
+  Matrix drifted = q;
+  for (std::size_t i = 0; i < d; ++i)
+    for (std::size_t j = 0; j < d; ++j) drifted(i, j) += 1e-6 * eng.normal();
+  const Matrix snapped = sap::linalg::re_orthonormalize(drifted);
+  EXPECT_LT(sap::linalg::orthogonality_defect(snapped), 1e-12);
+  EXPECT_TRUE(snapped.approx_equal(q, 1e-4));  // stays near the original
+}
+
 TEST(Adaptor, DimensionMismatchThrows) {
   Engine eng(11);
   const auto g3 = GeometricPerturbation::random(3, 0.0, eng);

@@ -12,6 +12,14 @@
 //            [--requests N] [--threads K]     mining request load from the
 //            [--job name[:k=v,...]]           session's MiningEngine and
 //            [--no-cache] [--transport ...]   report req/s + p50/p99 latency
+//            [--ingest-every N]               (optionally streaming new
+//            [--ingest-records M]             batches into the live pool
+//                                            between request chunks)
+//   contribute <name> [parties] [sigma] [seed] run the exchange, then stream
+//            [--batches N] [--batch-records M] held-back record batches into
+//            [--job name[:k=v,...]]            the live pool via the
+//            [--transport ...]                 Contribute phase, re-serving
+//                                             the job after every append
 //   minparties <s0> <opt_rate>                Figure-4 calculator
 //
 // Every numeric argument is validated; bad flags or malformed values exit
@@ -51,6 +59,10 @@ const char* kUsage =
     "  sap_cli serve <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          [--requests N=256] [--threads K=4] [--job name[:k=v,...]]\n"
     "          [--no-cache] [--transport sim|threaded]\n"
+    "          [--ingest-every N=0] [--ingest-records M=32]\n"
+    "  sap_cli contribute <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
+    "          [--batches N=4] [--batch-records M=16] [--job name[:k=v,...]]\n"
+    "          [--transport sim|threaded]\n"
     "  sap_cli minparties <s0> <opt_rate>\n"
     "  sap_cli --help\n"
     "\n"
@@ -68,7 +80,17 @@ const char* kUsage =
     "  --job <spec>        job name with optional params, e.g.\n"
     "                      knn-train-accuracy:k=3,eval-records=64 (repeatable;\n"
     "                      default: every built-in trainable job)\n"
-    "  --no-cache          retrain per request instead of serving cached models\n";
+    "  --no-cache          retrain per request instead of serving cached models\n"
+    "  --ingest-every <n>  after every n requests, stream a held-back record\n"
+    "                      batch into the live pool through the Contribute\n"
+    "                      phase (0 = serve a frozen pool, the default)\n"
+    "  --ingest-records <m> records per streamed batch (with --ingest-every)\n"
+    "\n"
+    "flags for `contribute`:\n"
+    "  --batches <n>       number of held-back batches to stream\n"
+    "  --batch-records <m> records per streamed batch\n"
+    "  --job <spec>        job re-served after every append (default\n"
+    "                      nb-train-accuracy, which refits incrementally)\n";
 
 int usage_error(const char* message = nullptr) {
   if (message) std::fprintf(stderr, "error: %s\n", message);
@@ -96,6 +118,19 @@ bool parse_u64(const char* text, std::uint64_t& out) {
   errno = 0;
   out = std::strtoull(text, &end, 10);
   return errno == 0 && end && *end == '\0';
+}
+
+/// Shared --transport value parser; false on an unknown kind.
+bool parse_transport(const char* text, proto::TransportKind& out) {
+  const std::string kind = text ? text : "";
+  if (kind == "sim" || kind == "simulated") {
+    out = proto::TransportKind::kSimulated;
+  } else if (kind == "threaded" || kind == "threaded-local") {
+    out = proto::TransportKind::kThreadedLocal;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 int cmd_datasets() {
@@ -200,14 +235,8 @@ int cmd_protocol(int argc, char** argv) {
       job_names.emplace_back(argv[i]);
     } else if (arg == "--transport") {
       if (++i >= argc) return usage_error("--transport needs a value");
-      const std::string kind = argv[i];
-      if (kind == "sim" || kind == "simulated") {
-        transport = proto::TransportKind::kSimulated;
-      } else if (kind == "threaded" || kind == "threaded-local") {
-        transport = proto::TransportKind::kThreadedLocal;
-      } else {
+      if (!parse_transport(argv[i], transport))
         return usage_error("unknown transport (use `sim` or `threaded`)");
-      }
     } else if (arg == "--phases") {
       show_phases = true;
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
@@ -325,6 +354,7 @@ int cmd_serve(int argc, char** argv) {
   std::vector<proto::MiningRequest> job_templates;
   proto::TransportKind transport = proto::TransportKind::kSimulated;
   std::uint64_t requests = 256, threads = 4;
+  std::uint64_t ingest_every = 0, ingest_records = 32;
   bool cache = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -340,18 +370,18 @@ int cmd_serve(int argc, char** argv) {
     } else if (arg == "--threads") {
       if (++i >= argc || !parse_u64(argv[i], threads) || threads > 256)
         return usage_error("--threads needs a count in [0, 256]");
+    } else if (arg == "--ingest-every") {
+      if (++i >= argc || !parse_u64(argv[i], ingest_every))
+        return usage_error("--ingest-every needs a count");
+    } else if (arg == "--ingest-records") {
+      if (++i >= argc || !parse_u64(argv[i], ingest_records) || ingest_records == 0)
+        return usage_error("--ingest-records needs a positive count");
     } else if (arg == "--no-cache") {
       cache = false;
     } else if (arg == "--transport") {
       if (++i >= argc) return usage_error("--transport needs a value");
-      const std::string kind = argv[i];
-      if (kind == "sim" || kind == "simulated") {
-        transport = proto::TransportKind::kSimulated;
-      } else if (kind == "threaded" || kind == "threaded-local") {
-        transport = proto::TransportKind::kThreadedLocal;
-      } else {
+      if (!parse_transport(argv[i], transport))
         return usage_error("unknown transport (use `sim` or `threaded`)");
-      }
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       return usage_error(("unknown flag " + arg).c_str());
     } else {
@@ -375,8 +405,16 @@ int cmd_serve(int argc, char** argv) {
   const data::Dataset raw = data::make_uci(positional[0], seed);
   data::MinMaxNormalizer norm;
   norm.fit(raw.features());
-  const data::Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
+  data::Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
   rng::Engine eng(seed ^ 0xC11);
+  // With streaming ingest enabled, 30% of the records are held back and
+  // arrive later through the Contribute phase instead of the exchange.
+  data::Dataset stream;
+  if (ingest_every > 0) {
+    auto held = data::train_test_split(pool, 0.7, eng);
+    pool = std::move(held.train);
+    stream = std::move(held.test);
+  }
   data::PartitionOptions popts;
   auto shards = data::partition(pool, parties, popts, eng);
 
@@ -424,7 +462,30 @@ int cmd_serve(int argc, char** argv) {
     load.push_back(job_templates[i % job_templates.size()]);
 
   Stopwatch serve_sw;
-  const auto responses = engine.run_batch(load);
+  std::vector<proto::MiningResponse> responses;
+  std::size_t ingests = 0, stream_pos = 0;
+  if (ingest_every == 0) {
+    responses = engine.run_batch(load);
+  } else {
+    // Serve in chunks; between chunks, stream the next held-back batch into
+    // the live pool (round-robin over providers). Requests in the following
+    // chunk see the grown pool; cached models refit incrementally.
+    for (std::size_t pos = 0; pos < load.size(); pos += ingest_every) {
+      const auto count = std::min<std::size_t>(ingest_every, load.size() - pos);
+      const std::vector<proto::MiningRequest> chunk(
+          load.begin() + static_cast<std::ptrdiff_t>(pos),
+          load.begin() + static_cast<std::ptrdiff_t>(pos + count));
+      auto part = engine.run_batch(chunk);
+      responses.insert(responses.end(), part.begin(), part.end());
+      if (stream_pos < stream.size() && pos + count < load.size()) {
+        const auto take =
+            std::min<std::size_t>(ingest_records, stream.size() - stream_pos);
+        session.contribute(ingests % parties, stream.slice(stream_pos, stream_pos + take));
+        stream_pos += take;
+        ++ingests;
+      }
+    }
+  }
   const double serve_ms = serve_sw.millis();
 
   std::vector<double> latencies;
@@ -441,13 +502,139 @@ int cmd_serve(int argc, char** argv) {
               proto::to_string(transport).c_str(),
               static_cast<unsigned long long>(parties));
   Table table({"requests", "threads", "cache", "wall ms", "req/s", "p50 ms", "p99 ms",
-               "fits", "cache hits"});
+               "fits", "incr", "cache hits"});
   table.add_row({std::to_string(requests), std::to_string(threads),
                  cache ? "on" : "off", Table::num(serve_ms, 1),
                  Table::num(1000.0 * static_cast<double>(requests) / serve_ms, 1),
                  Table::num(pct(0.50), 3), Table::num(pct(0.99), 3),
-                 std::to_string(stats.fits), std::to_string(stats.hits)});
+                 std::to_string(stats.fits), std::to_string(stats.incremental),
+                 std::to_string(stats.hits)});
   std::fputs(table.str().c_str(), stdout);
+  if (ingest_every > 0)
+    std::printf("ingest: %zu batches (%zu records) streamed; pool %zu records at epoch %llu\n",
+                ingests, stream_pos, engine.pool_view().data->size(),
+                static_cast<unsigned long long>(engine.pool_epoch()));
+  return 0;
+}
+
+int cmd_contribute(int argc, char** argv) {
+  std::vector<const char*> positional;
+  proto::MiningRequest job{"nb-train-accuracy", {}};
+  proto::TransportKind transport = proto::TransportKind::kSimulated;
+  std::uint64_t batches = 4, batch_records = 16;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--job") {
+      if (++i >= argc) return usage_error("--job needs a value");
+      if (!parse_job_spec(argv[i], job))
+        return usage_error("bad job spec (use name[:k=v,...])");
+    } else if (arg == "--batches") {
+      if (++i >= argc || !parse_u64(argv[i], batches) || batches == 0)
+        return usage_error("--batches needs a positive count");
+    } else if (arg == "--batch-records") {
+      if (++i >= argc || !parse_u64(argv[i], batch_records) || batch_records == 0)
+        return usage_error("--batch-records needs a positive count");
+    } else if (arg == "--transport") {
+      if (++i >= argc) return usage_error("--transport needs a value");
+      if (!parse_transport(argv[i], transport))
+        return usage_error("unknown transport (use `sim` or `threaded`)");
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      return usage_error(("unknown flag " + arg).c_str());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 4)
+    return usage_error("contribute takes 1-4 positional arguments");
+
+  std::uint64_t parties = 5, seed = 1;
+  double sigma = 0.1;
+  if (positional.size() > 1 && !parse_u64(positional[1], parties))
+    return usage_error("bad party count");
+  if (positional.size() > 2 && !parse_double(positional[2], sigma))
+    return usage_error("bad sigma");
+  if (positional.size() > 3 && !parse_u64(positional[3], seed))
+    return usage_error("bad seed");
+  if (parties < 3) return usage_error("contribute needs at least 3 parties");
+  if (sigma < 0.0) return usage_error("sigma must be non-negative");
+
+  const auto builtins = proto::JobRegistry::builtins();
+  if (!builtins.contains(job.job)) {
+    std::fprintf(stderr, "error: unknown miner job '%s' (see `sap_cli jobs`)\n",
+                 job.job.c_str());
+    return 2;
+  }
+  try {
+    (void)builtins.find(job.job).resolve_params(job.params);
+  } catch (const sap::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const data::Dataset raw = data::make_uci(positional[0], seed);
+  data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  data::Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
+  rng::Engine eng(seed ^ 0xC0B);
+  pool.shuffle(eng);
+  const std::size_t held = batches * batch_records;
+  if (pool.size() < held + parties * 8) {
+    std::fprintf(stderr,
+                 "error: dataset too small for %llu batches of %llu records "
+                 "plus %llu providers\n",
+                 static_cast<unsigned long long>(batches),
+                 static_cast<unsigned long long>(batch_records),
+                 static_cast<unsigned long long>(parties));
+    return 2;
+  }
+  const data::Dataset stream = pool.slice(pool.size() - held, pool.size());
+  const data::Dataset initial = pool.slice(0, pool.size() - held);
+  data::PartitionOptions popts;
+  auto shards = data::partition(initial, parties, popts, eng);
+
+  proto::SapOptions opts;
+  opts.noise_sigma = sigma;
+  opts.seed = seed;
+  opts.transport = transport;
+  opts.compute_satisfaction = false;
+  opts.optimizer.candidates = 6;
+  opts.optimizer.refine_steps = 3;
+  opts.optimizer.attacks = {.naive = true, .known_inputs = 4};
+  proto::SapSession session(std::move(shards), opts);
+
+  Stopwatch exchange_sw;
+  auto& engine = session.engine();  // runs the exchange
+  std::printf("exchange: %.1f ms (%s transport, %llu parties); pool %zu records\n",
+              exchange_sw.millis(), proto::to_string(transport).c_str(),
+              static_cast<unsigned long long>(parties), engine.pool_view().data->size());
+
+  Table table({"batch", "provider", "records", "pool", "epoch", "refit", "report",
+               "serve ms"});
+  const auto initial_response = engine.run(job);
+  table.add_row({"-", "-", "-", std::to_string(engine.pool_view().data->size()),
+                 std::to_string(initial_response.pool_epoch), "full",
+                 Table::num(initial_response.values.empty() ? 0.0
+                                                            : initial_response.values[0]),
+                 Table::num(initial_response.millis, 3)});
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::size_t provider = b % parties;
+    const auto batch =
+        stream.slice(b * batch_records, (b + 1) * batch_records);
+    const auto receipt = session.contribute(provider, batch);
+    const auto response = engine.run(job);
+    table.add_row({std::to_string(b), std::to_string(provider),
+                   std::to_string(batch.size()), std::to_string(receipt.pool_records),
+                   std::to_string(receipt.pool_epoch),
+                   response.model_incremental ? "incremental"
+                   : response.model_cached    ? "cached"
+                                              : "full",
+                   Table::num(response.values.empty() ? 0.0 : response.values[0]),
+                   Table::num(response.millis, 3)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  const auto stats = engine.cache_stats();
+  std::printf("fits: %zu full, %zu incremental, %zu cache hits\n", stats.fits,
+              stats.incremental, stats.hits);
   return 0;
 }
 
@@ -479,6 +666,7 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(argc, argv);
     if (cmd == "protocol") return cmd_protocol(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "contribute") return cmd_contribute(argc, argv);
     if (cmd == "minparties") return cmd_minparties(argc, argv);
   } catch (const sap::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
