@@ -8,8 +8,10 @@
 
 #include <cctype>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -130,17 +132,40 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Run metadata stamped into every BENCH_*.json so the perf trajectory is
+/// comparable across PRs: when was it measured, with how many workers, over
+/// which transport. Benches that exercise a specific backend set
+/// `transport` explicitly; the default marks plain in-process execution.
+struct BenchMeta {
+  std::string transport = "in-process";
+  std::size_t threads = std::thread::hardware_concurrency();
+};
+
+/// ISO-8601 UTC timestamp ("2026-07-26T12:34:56Z").
+inline std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
 /// Write `table` as BENCH_<name>.json in the working directory:
-///   {"bench": <name>, "columns": [...], "rows": [{column: value, ...}, ...]}
+///   {"bench": <name>, "meta": {...}, "columns": [...],
+///    "rows": [{column: value, ...}, ...]}
 /// Numeric cells become JSON numbers, everything else strings.
-inline void write_bench_json(const std::string& name, const Table& table) {
+inline void write_bench_json(const std::string& name, const Table& table,
+                             const BenchMeta& meta = {}) {
   const std::string path = "BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n  \"columns\": [";
+  out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n  \"meta\": {\"utc\": \""
+      << json_escape(utc_timestamp()) << "\", \"threads\": " << meta.threads
+      << ", \"transport\": \"" << json_escape(meta.transport) << "\"},\n  \"columns\": [";
   const auto& header = table.header();
   for (std::size_t c = 0; c < header.size(); ++c)
     out << (c ? ", " : "") << '"' << json_escape(header[c]) << '"';
@@ -163,9 +188,10 @@ inline void write_bench_json(const std::string& name, const Table& table) {
 }
 
 /// Print the table to stdout AND write BENCH_<name>.json beside it.
-inline void emit_table(const std::string& name, const Table& table) {
+inline void emit_table(const std::string& name, const Table& table,
+                       const BenchMeta& meta = {}) {
   std::fputs(table.str().c_str(), stdout);
-  write_bench_json(name, table);
+  write_bench_json(name, table, meta);
 }
 
 }  // namespace sap::bench

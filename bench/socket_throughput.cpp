@@ -1,0 +1,197 @@
+// socket_throughput — what does crossing a real process boundary cost?
+//
+// Runs the same serving workloads two ways and emits
+// BENCH_socket_throughput.json:
+//
+//   * in-process: SapSession over the simulated transport; mining requests
+//     go straight into the MiningEngine, contributions through
+//     session.contribute();
+//   * loopback-tcp: a MinerDaemon (hub + miner) with k PartyClient drivers
+//     over 127.0.0.1 — every request and contribution is a full wire round
+//     trip (frame encode, TCP, route, decode, serve, respond).
+//
+// Measured: cached mining-request throughput (req/s, one requester) and
+// contribution-ingest rate (records/s, one contributor). The determinism
+// bar is enforced by exit code: the TCP-served job reports must be
+// BIT-IDENTICAL to in-process serving at the same pool epoch — if sockets
+// change results, the bench fails, not just slows.
+//
+//   socket_throughput [--quick] [--requests N] [--batches B]
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "net/remote.hpp"
+
+namespace {
+
+using sap::Stopwatch;
+using sap::Table;
+using sap::data::Dataset;
+namespace net = sap::net;
+namespace proto = sap::proto;
+
+struct Workload {
+  std::vector<Dataset> shards;
+  std::vector<Dataset> batches;
+};
+
+Workload make_workload(std::size_t parties, std::size_t batch_count,
+                       std::size_t batch_records, std::uint64_t seed) {
+  const Dataset base = sap::bench::normalized_uci("Diabetes", seed);
+  sap::rng::Engine eng(seed ^ 0x50C4);
+  Workload w;
+  const std::size_t held = batch_count * batch_records;
+  sap::data::PartitionOptions popts;
+  w.shards = sap::data::partition(base.slice(0, base.size() - held), parties, popts, eng);
+  for (std::size_t b = 0; b < batch_count; ++b)
+    w.batches.push_back(base.slice(base.size() - held + b * batch_records,
+                                   base.size() - held + (b + 1) * batch_records));
+  return w;
+}
+
+proto::SapOptions bench_opts(std::uint64_t seed) {
+  auto opts = sap::bench::bench_sap_options();
+  opts.seed = seed;
+  return opts;
+}
+
+struct Rates {
+  double req_per_sec = 0.0;
+  double ingest_records_per_sec = 0.0;
+  std::vector<std::vector<double>> reports;  // request report per pool epoch step
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 512, batch_count = 16, batch_records = 16;
+  const std::size_t parties = 4;
+  const std::uint64_t seed = 20260726;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      requests = 128;
+      batch_count = 8;
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--batches") == 0 && i + 1 < argc) {
+      batch_count = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: socket_throughput [--quick] [--requests N] [--batches B]\n");
+      return 2;
+    }
+  }
+  if (requests == 0 || batch_count == 0) {
+    std::fprintf(stderr, "error: need positive --requests/--batches\n");
+    return 2;
+  }
+  const proto::MiningRequest request{"nb-train-accuracy", {}};
+
+  // ---- in-process reference --------------------------------------------
+  Rates local;
+  {
+    const auto w = make_workload(parties, batch_count, batch_records, seed);
+    proto::SapSession session(w.shards, bench_opts(seed));
+    auto& engine = session.engine();
+    (void)engine.run(request);  // warm the model cache
+
+    Stopwatch serve_sw;
+    for (std::size_t r = 0; r < requests; ++r) (void)engine.run(request);
+    local.req_per_sec = static_cast<double>(requests) / serve_sw.seconds();
+
+    // One contributor (party 0) streams every batch, re-serving the job
+    // after each append — the exact loop the TCP side runs, so the reports
+    // must be bit-identical epoch for epoch.
+    Stopwatch ingest_sw;
+    for (std::size_t b = 0; b < w.batches.size(); ++b) {
+      (void)session.contribute(0, w.batches[b]);
+      local.reports.push_back(engine.run(request).values);
+    }
+    const double ingest_s = ingest_sw.seconds();
+    local.ingest_records_per_sec =
+        static_cast<double>(batch_count * batch_records) / ingest_s;
+  }
+
+  // ---- loopback TCP (daemon + party drivers, real sockets) -------------
+  Rates tcp;
+  {
+    const auto w = make_workload(parties, batch_count, batch_records, seed);
+    net::MinerDaemonOptions daemon_opts;
+    daemon_opts.listen = {"127.0.0.1", 0};
+    daemon_opts.parties = parties;
+    daemon_opts.seed = seed;
+    net::MinerDaemon daemon(daemon_opts);
+    const auto addr = daemon.local_addr();
+    auto daemon_future = std::async(std::launch::async, [&] { return daemon.run(); });
+
+    std::vector<std::unique_ptr<net::PartyClient>> clients(parties);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < parties; ++i) {
+      threads.emplace_back([&, i] {
+        net::PartyClientOptions popts;
+        popts.connect = addr;
+        popts.index = i;
+        popts.parties = parties;
+        popts.sap = bench_opts(seed);
+        clients[i] = std::make_unique<net::PartyClient>(w.shards[i], popts);
+        (void)clients[i]->run_exchange();
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    auto& requester = *clients[0];
+    (void)requester.mine_named(request.job);  // warm the daemon's cache
+
+    Stopwatch serve_sw;
+    for (std::size_t r = 0; r < requests; ++r) (void)requester.mine_named(request.job);
+    tcp.req_per_sec = static_cast<double>(requests) / serve_sw.seconds();
+
+    // One contributor streams every batch (receipt-acknowledged round
+    // trips), re-serving the job after each append — mirrors the local loop
+    // and pins each report to a known pool epoch for the determinism check.
+    Stopwatch ingest_sw;
+    for (std::size_t b = 0; b < w.batches.size(); ++b) {
+      (void)requester.contribute(w.batches[b]);
+      tcp.reports.push_back(requester.mine_named(request.job).values);
+    }
+    const double ingest_s = ingest_sw.seconds();
+    tcp.ingest_records_per_sec =
+        static_cast<double>(batch_count * batch_records) / ingest_s;
+
+    for (auto& c : clients) c->finish();
+    (void)daemon_future.get();
+  }
+
+  Table table({"transport", "requests", "req/s", "batches", "records", "ingest rec/s"});
+  const auto add = [&](const char* transport, const Rates& r) {
+    table.add_row({transport, std::to_string(requests), Table::num(r.req_per_sec, 1),
+                   std::to_string(batch_count),
+                   std::to_string(batch_count * batch_records),
+                   Table::num(r.ingest_records_per_sec, 1)});
+  };
+  add("in-process", local);
+  add("loopback-tcp", tcp);
+  sap::bench::emit_table("socket_throughput", table,
+                         {.transport = "simulated vs loopback-tcp", .threads = parties});
+  std::printf("\nloopback-tcp costs %.1fx on requests, %.1fx on ingest\n",
+              local.req_per_sec / tcp.req_per_sec,
+              local.ingest_records_per_sec / tcp.ingest_records_per_sec);
+
+  // Determinism bar: both ingest loops append the same batches through the
+  // same party, so the pools agree epoch for epoch — the TCP-served reports
+  // must match in-process serving bit for bit.
+  bool identical = local.reports.size() == tcp.reports.size();
+  for (std::size_t b = 0; identical && b < local.reports.size(); ++b) {
+    if (local.reports[b] != tcp.reports[b]) {
+      identical = false;
+      std::fprintf(stderr, "FAIL: TCP report differs from in-process at batch %zu\n", b);
+    }
+  }
+  if (!identical) return 1;
+  std::printf("TCP-served reports bit-identical to in-process serving: yes\n");
+  return 0;
+}

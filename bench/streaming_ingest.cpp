@@ -205,7 +205,8 @@ int main(int argc, char** argv) {
   std::printf("pool: %zu records (+%zu batches x %zu records)\n\n", rows, batches,
               batch_records);
   TimingOutcome timing = run_timing(rows, batches, batch_records);
-  sap::bench::emit_table("streaming_ingest", timing.table);
+  sap::bench::emit_table("streaming_ingest", timing.table,
+                         {.transport = "simulated+threaded-local", .threads = 8});
 
   const double nb_speedup = median(timing.nb_speedups);
   const double knn_speedup = median(timing.knn_speedups);

@@ -139,7 +139,8 @@ int main(int argc, char** argv) {
   add("retrain-8t", 8, retrain);
   add("cached-8t", 8, cached);
   add("cached-serial", 0, serial);
-  sap::bench::emit_table("throughput_mining", table);
+  sap::bench::emit_table("throughput_mining", table,
+                         {.transport = "simulated", .threads = 8});
 
   const double speedup = cached.req_per_sec / retrain.req_per_sec;
   std::printf("\ncached/retrain speedup at 8 threads: %.1fx\n", speedup);

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/orthogonal.hpp"
 
@@ -162,6 +164,28 @@ Dataset make_uci(const std::string& name, std::uint64_t seed) {
   for (const auto& spec : uci_suite())
     if (spec.name == name) return make_synthetic(spec, seed);
   SAP_FAIL("make_uci: unknown dataset '" + name + "'");
+}
+
+StreamWorkload make_stream_workload(const std::string& uci_name, std::size_t parties,
+                                    std::size_t batches, std::size_t batch_records,
+                                    std::uint64_t seed) {
+  const Dataset raw = make_uci(uci_name, seed);
+  MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
+  rng::Engine eng(seed ^ 0xC0B);
+  pool.shuffle(eng);
+  const std::size_t held = batches * batch_records;
+  SAP_REQUIRE(pool.size() >= held + parties * 8,
+              "make_stream_workload: dataset too small for " + std::to_string(batches) +
+                  " batches of " + std::to_string(batch_records) + " records plus " +
+                  std::to_string(parties) + " providers");
+  StreamWorkload workload;
+  // batches == 0 is a valid exchange-only workload: no held-back stream.
+  if (held > 0) workload.stream = pool.slice(pool.size() - held, pool.size());
+  PartitionOptions popts;
+  workload.shards = partition(pool.slice(0, pool.size() - held), parties, popts, eng);
+  return workload;
 }
 
 }  // namespace sap::data

@@ -53,4 +53,22 @@ const std::vector<SyntheticSpec>& uci_suite();
 /// Throws sap::Error for unknown names.
 Dataset make_uci(const std::string& name, std::uint64_t seed);
 
+/// The deterministic streaming-workload prep shared by sap_cli's
+/// `contribute`/`party` subcommands and their tests: normalized UCI
+/// dataset, shuffled under seed^0xC0B, the LAST batches*batch_records
+/// records held back as the contribution stream (batch b =
+/// stream.slice(b*m, (b+1)*m)), the rest partitioned into `parties`
+/// shards. Every process that calls this with the same arguments derives
+/// bit-identical shards and stream — the cross-process topology's
+/// bit-identity guarantee depends on there being exactly ONE copy of this
+/// sequence. Throws sap::Error when the dataset is too small for the
+/// requested batches/parties.
+struct StreamWorkload {
+  std::vector<Dataset> shards;
+  Dataset stream;
+};
+StreamWorkload make_stream_workload(const std::string& uci_name, std::size_t parties,
+                                    std::size_t batches, std::size_t batch_records,
+                                    std::uint64_t seed);
+
 }  // namespace sap::data

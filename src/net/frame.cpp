@@ -1,0 +1,171 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace sap::net {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kBye);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  SAP_REQUIRE(known_type(static_cast<std::uint8_t>(frame.type)),
+              "encode_frame: unknown frame type");
+  // The length prefix is 32-bit: reject instead of silently truncating into
+  // a frame the peer would drop as a checksum mismatch.
+  SAP_REQUIRE(frame.body.size() <= 0xFFFFFFFFu, "encode_frame: body exceeds u32 length");
+  const std::size_t start = out.size();
+  out.reserve(start + kFrameHeaderBytes + frame.body.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(frame.version);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  out.push_back(frame.payload_kind);
+  out.push_back(0);  // reserved
+  put_u32(out, frame.from);
+  put_u32(out, frame.to);
+  put_u32(out, static_cast<std::uint32_t>(frame.body.size()));
+  // CRC over the header-so-far + body; the crc field itself is excluded.
+  std::uint32_t crc = crc32(out.data() + start, 20);
+  crc = crc32(frame.body.data(), frame.body.size(), crc);
+  put_u32(out, crc);
+  out.insert(out.end(), frame.body.begin(), frame.body.end());
+}
+
+void FrameReader::reset() {
+  buf_.clear();
+  buf_.shrink_to_fit();
+  pos_ = 0;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  // Compact lazily so long streams do not grow the buffer unboundedly.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10) && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool FrameReader::next(Frame& out) {
+  if (buffered() < kFrameHeaderBytes) return false;
+  const std::uint8_t* h = buf_.data() + pos_;
+  SAP_REQUIRE(get_u32(h) == kFrameMagic, "FrameReader: bad magic (not a SAP frame)");
+  SAP_REQUIRE(h[4] == kFrameVersion,
+              "FrameReader: unsupported frame version " + std::to_string(h[4]));
+  SAP_REQUIRE(known_type(h[5]), "FrameReader: unknown frame type");
+  SAP_REQUIRE(h[7] == 0, "FrameReader: nonzero reserved byte");
+  const std::size_t body_len = get_u32(h + 16);
+  SAP_REQUIRE(body_len <= max_body_, "FrameReader: frame body exceeds the size cap");
+  if (buffered() < kFrameHeaderBytes + body_len) return false;
+  const std::uint8_t* body = h + kFrameHeaderBytes;
+  std::uint32_t crc = crc32(h, 20);
+  crc = crc32(body, body_len, crc);
+  SAP_REQUIRE(crc == get_u32(h + 20), "FrameReader: frame checksum mismatch");
+
+  out.version = h[4];
+  out.type = static_cast<FrameType>(h[5]);
+  out.payload_kind = h[6];
+  out.from = get_u32(h + 8);
+  out.to = get_u32(h + 12);
+  out.body.assign(body, body + body_len);
+  pos_ += kFrameHeaderBytes + body_len;
+  return true;
+}
+
+std::vector<std::uint8_t> envelope_body(const proto::EncryptedEnvelope& env) {
+  std::vector<std::uint8_t> body;
+  body.reserve(8 + env.ciphertext().size() * 8);
+  put_u64(body, env.checksum());
+  for (const std::uint64_t word : env.ciphertext()) put_u64(body, word);
+  return body;
+}
+
+proto::EncryptedEnvelope body_envelope(const std::vector<std::uint8_t>& body) {
+  SAP_REQUIRE(body.size() >= 8 && body.size() % 8 == 0,
+              "body_envelope: malformed envelope body");
+  const std::uint64_t checksum = get_u64(body.data());
+  std::vector<std::uint64_t> cipher(body.size() / 8 - 1);
+  for (std::size_t i = 0; i < cipher.size(); ++i)
+    cipher[i] = get_u64(body.data() + 8 + 8 * i);
+  return proto::EncryptedEnvelope::from_raw(std::move(cipher), checksum);
+}
+
+std::vector<std::uint8_t> u32_body(std::uint32_t value) {
+  std::vector<std::uint8_t> body;
+  put_u32(body, value);
+  return body;
+}
+
+std::uint32_t body_u32(const std::vector<std::uint8_t>& body) {
+  SAP_REQUIRE(body.size() == 4, "body_u32: malformed control body");
+  return get_u32(body.data());
+}
+
+std::vector<std::uint8_t> text_body(const std::string& text) {
+  std::vector<std::uint8_t> body;
+  for (std::size_t i = 0; i < text.size() && i < 256; ++i) {
+    const char c = text[i];
+    body.push_back((c >= 32 && c <= 126) ? static_cast<std::uint8_t>(c) : '?');
+  }
+  return body;
+}
+
+std::string body_text(const std::vector<std::uint8_t>& body) {
+  std::string text;
+  for (std::size_t i = 0; i < body.size() && i < 256; ++i) {
+    const char c = static_cast<char>(body[i]);
+    text.push_back((c >= 32 && c <= 126) ? c : '?');
+  }
+  return text;
+}
+
+}  // namespace sap::net

@@ -1,0 +1,114 @@
+// sap::net wire format — length-prefixed, versioned, checksummed frames.
+//
+// A frame is the byte-level unit every sap::net connection exchanges:
+//
+//   offset  size  field
+//   0       4     magic 0x53415046 ("SAPF", little-endian on the wire)
+//   4       1     version (kFrameVersion; anything else is rejected)
+//   5       1     frame type (FrameType)
+//   6       1     payload kind (proto::PayloadKind for kData, 0 otherwise)
+//   7       1     reserved, must be 0
+//   8       4     from party id
+//   12      4     to party id
+//   16      4     body length in bytes (bounded by the reader's max)
+//   20      4     CRC-32 over header bytes [0, 20) + the body
+//   24      ...   body
+//
+// kData bodies carry an EncryptedEnvelope byte-exactly: the 8-byte
+// integrity word followed by the ciphertext words (little-endian u64s) —
+// the relay/hub routes ciphertext it cannot open, exactly like the
+// in-process transports' metadata trace. Control frames (Hello/Welcome/
+// Error/Bye) use small fixed bodies described at their helpers.
+//
+// Decoding treats every byte as adversarial: bad magic, unknown version or
+// type, oversized length, truncated body, or a checksum mismatch all raise
+// sap::Error without reading out of bounds (fuzzed in tests/fuzz_test.cpp
+// under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocol/message.hpp"
+
+namespace sap::net {
+
+constexpr std::uint32_t kFrameMagic = 0x53415046u;  // "SAPF"
+constexpr std::uint8_t kFrameVersion = 1;
+constexpr std::size_t kFrameHeaderBytes = 24;
+/// Default body cap (64 MiB) — large enough for any realistic shard, small
+/// enough that a hostile length prefix cannot balloon memory.
+constexpr std::size_t kDefaultMaxBody = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,    ///< client -> hub: claim a party id (body: u32 desired id)
+  kWelcome = 2,  ///< hub -> client: id granted (body: u32 granted id)
+  kData = 3,     ///< routed protocol message (body: envelope bytes)
+  kError = 4,    ///< hub -> client: refusal (body: ASCII message)
+  kBye = 5,      ///< polite shutdown (empty body)
+};
+
+/// Hello body value asking the hub to assign the next free id.
+constexpr std::uint32_t kClaimAnyParty = 0xFFFFFFFFu;
+
+struct Frame {
+  std::uint8_t version = kFrameVersion;
+  FrameType type = FrameType::kData;
+  std::uint8_t payload_kind = 0;  ///< proto::PayloadKind for kData
+  proto::PartyId from = 0;
+  proto::PartyId to = 0;
+  std::vector<std::uint8_t> body;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) — the frame checksum.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+/// Serialize `frame` onto the end of `out`.
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+/// Incremental frame decoder over a byte stream. feed() buffers; next()
+/// yields complete frames in order and throws sap::Error the moment the
+/// stream is provably malformed (the connection must then be dropped — a
+/// framing error is not recoverable mid-stream).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_body = kDefaultMaxBody) : max_body_(max_body) {}
+
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// Decode the next complete frame into `out`; false when more bytes are
+  /// needed. Throws sap::Error on malformed input.
+  bool next(Frame& out);
+
+  /// Drop all buffered bytes and release their memory (a hub clearing out
+  /// a dead connection's half-received frame).
+  void reset();
+
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::size_t max_body_;
+};
+
+// ---- body codecs ---------------------------------------------------------
+
+/// Envelope -> kData body bytes (integrity word + ciphertext words, LE).
+[[nodiscard]] std::vector<std::uint8_t> envelope_body(const proto::EncryptedEnvelope& env);
+
+/// kData body bytes -> envelope; throws sap::Error unless the size is a
+/// positive multiple of 8 covering the integrity word.
+[[nodiscard]] proto::EncryptedEnvelope body_envelope(const std::vector<std::uint8_t>& body);
+
+/// u32 control bodies (Hello desired id / Welcome granted id).
+[[nodiscard]] std::vector<std::uint8_t> u32_body(std::uint32_t value);
+[[nodiscard]] std::uint32_t body_u32(const std::vector<std::uint8_t>& body);
+
+/// kError bodies (printable ASCII, truncated to 256 bytes).
+[[nodiscard]] std::vector<std::uint8_t> text_body(const std::string& text);
+[[nodiscard]] std::string body_text(const std::vector<std::uint8_t>& body);
+
+}  // namespace sap::net

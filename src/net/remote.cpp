@@ -1,0 +1,402 @@
+#include "net/remote.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sap::net {
+
+std::uint64_t dataset_digest(const data::Dataset& ds) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t word) {
+    h ^= word;
+    h *= 0x100000001B3ULL;
+  };
+  mix(ds.size());
+  mix(ds.dims());
+  for (const double v : ds.features().data()) mix(std::bit_cast<std::uint64_t>(v));
+  for (const int label : ds.labels()) mix(static_cast<std::uint64_t>(label));
+  return h;
+}
+
+std::uint64_t dataset_multiset_digest(const data::Dataset& ds) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const double v : ds.record(i)) {
+      h ^= std::bit_cast<std::uint64_t>(v);
+      h *= 0x100000001B3ULL;
+    }
+    h ^= static_cast<std::uint64_t>(ds.label(i));
+    h *= 0x100000001B3ULL;
+    acc += h;  // commutative combine
+  }
+  return acc;
+}
+
+proto::SapOptions serving_session_options(double noise_sigma, std::uint64_t seed) {
+  proto::SapOptions opts;
+  opts.noise_sigma = noise_sigma;
+  opts.seed = seed;
+  opts.compute_satisfaction = false;
+  opts.optimizer.candidates = 6;
+  opts.optimizer.refine_steps = 3;
+  opts.optimizer.attacks = {.naive = true, .known_inputs = 4};
+  return opts;
+}
+
+// ---- MinerDaemon ---------------------------------------------------------
+
+MinerDaemon::MinerDaemon(MinerDaemonOptions opts)
+    : opts_(std::move(opts)),
+      engine_({.threads = opts_.mining_threads, .cache_models = opts_.cache_models}) {
+  SAP_REQUIRE(opts_.parties >= 3, "MinerDaemon: need at least 3 parties");
+  const auto seeds = proto::logic::derive_session_seeds(opts_.seed, opts_.parties);
+  hub_ = TcpTransport::listen(opts_.listen, seeds.session_secret, opts_.tcp);
+  miner_id_ = hub_->claim_party(static_cast<std::uint32_t>(opts_.parties));
+}
+
+void MinerDaemon::note(const std::string& line) const {
+  if (opts_.log) opts_.log(line);
+}
+
+MinerDaemon::Summary MinerDaemon::run() {
+  const std::size_t k = opts_.parties;
+  Summary summary;
+
+  // ---- exchange: collect k forwarded shards + k aligned adaptors --------
+  // There are no global phase barriers across processes: a fast party's
+  // contribution or mining request can arrive while slower shards are still
+  // in flight, so serving traffic is parked and replayed after the pool is
+  // installed.
+  // Shards and adaptors are keyed by nonce, and the exchange completes
+  // when k nonces have BOTH — a duplicate or an unmatched surplus entry
+  // (a re-sent shard, a confused or hostile client) is rejected or simply
+  // never pairs up, instead of corrupting the completion count.
+  std::map<std::uint64_t, proto::logic::MinerShard> shards;
+  std::map<std::uint64_t, perturb::SpaceAdaptor> adaptors;
+  std::vector<proto::Transport::Delivery> parked;
+  const auto matched = [&] {
+    std::size_t n = 0;
+    for (const auto& [nonce, shard] : shards) n += adaptors.count(nonce);
+    return n;
+  };
+  // ONE absolute deadline for the whole exchange phase: junk traffic must
+  // not keep resetting the window, or a missing party would never surface
+  // while any other client is chatty.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.tcp.receive_timeout_ms);
+  while (matched() < k) {
+    // Per-message containment even here: a hostile or corrupt message
+    // (wrong link key, malformed nonce, unexpected kind) is logged and
+    // skipped — only the phase deadline aborts the exchange, so one bad
+    // client cannot take the daemon down for the k honest parties.
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    SAP_REQUIRE(remaining.count() > 0,
+                "MinerDaemon: exchange timed out waiting for shards/adaptors "
+                "(missing party?)");
+    proto::Transport::Delivery msg;
+    bool got = false;
+    try {
+      got = hub_->try_receive(miner_id_, msg, static_cast<int>(remaining.count()));
+    } catch (const Error& e) {
+      note(std::string("rejected message during the exchange: ") + e.what());
+      continue;
+    }
+    if (!got) continue;  // loop re-checks the deadline
+    if (msg.kind == proto::PayloadKind::kContribution ||
+        msg.kind == proto::PayloadKind::kMiningRequest) {
+      parked.push_back(std::move(msg));  // a fast party got ahead — serve later
+      continue;
+    }
+    try {
+      const std::span<const double> payload(msg.payload);
+      SAP_REQUIRE(!payload.empty(), "empty payload during the exchange");
+      // Wire payloads are adversarial input: the cast below is UB for
+      // non-finite, negative, or >= 2^64 values (the daemon is the new
+      // cross-process trust boundary — validate like decode_contribution).
+      SAP_REQUIRE(std::isfinite(payload[0]) && payload[0] >= 0.0 &&
+                      payload[0] < 9007199254740992.0 &&
+                      payload[0] == std::floor(payload[0]),
+                  "malformed nonce during the exchange");
+      const auto nonce = static_cast<std::uint64_t>(payload[0]);
+      if (msg.kind == proto::PayloadKind::kForwardedData) {
+        SAP_REQUIRE(
+            shards
+                .emplace(nonce, proto::logic::MinerShard{
+                                    nonce, msg.from, proto::decode_dataset(payload.subspan(1))})
+                .second,
+            "duplicate shard for a nonce");
+      } else if (msg.kind == proto::PayloadKind::kAdaptorSequence) {
+        SAP_REQUIRE(
+            adaptors.emplace(nonce, perturb::SpaceAdaptor::deserialize(payload.subspan(1)))
+                .second,
+            "duplicate adaptor for a nonce");
+      } else {
+        SAP_FAIL("unexpected " + to_string(msg.kind) + " during the exchange");
+      }
+    } catch (const Error& e) {
+      note(std::string("rejected message during the exchange: ") + e.what());
+    }
+  }
+  // Unify exactly the k matched pairs; unmatched surplus (noise that never
+  // paired up) is discarded with a note.
+  std::vector<proto::logic::MinerShard> matched_shards;
+  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> matched_adaptors;
+  for (auto& [nonce, shard] : shards) {
+    const auto it = adaptors.find(nonce);
+    if (it == adaptors.end()) continue;
+    matched_shards.push_back(std::move(shard));
+    matched_adaptors.emplace_back(nonce, std::move(it->second));
+  }
+  if (matched_shards.size() < shards.size() || matched_adaptors.size() < adaptors.size())
+    note("discarded " + std::to_string(shards.size() - matched_shards.size()) +
+         " unmatched shard(s) and " +
+         std::to_string(adaptors.size() - matched_adaptors.size()) +
+         " unmatched adaptor(s)");
+  auto unified =
+      proto::logic::unify_pool(std::move(matched_shards), std::move(matched_adaptors), k);
+  adaptors_ = std::move(unified.adaptors);
+  dims_ = unified.pool.dims();
+  summary.pool_records = unified.pool.size();
+  engine_.set_pool(std::move(unified.pool));
+  note("pool installed: " + std::to_string(summary.pool_records) + " records, digest " +
+       std::to_string(dataset_digest(*engine_.pool_view().data)));
+
+  // ---- serve until every party has said goodbye -------------------------
+  std::size_t parked_pos = 0;
+  while (parked_pos < parked.size() || hub_->live_connections() > 0 ||
+         hub_->has_mail(miner_id_)) {
+    proto::Transport::Delivery msg;
+    if (parked_pos < parked.size()) {
+      msg = std::move(parked[parked_pos++]);
+    } else {
+      // try_receive decrypts — a corrupt envelope (wrong link key, flipped
+      // ciphertext) throws HERE and must be contained per-message too.
+      try {
+        if (!hub_->try_receive(miner_id_, msg, /*timeout_ms=*/50)) continue;
+      } catch (const Error& e) {
+        note(std::string("rejected message: ") + e.what());
+        continue;
+      }
+    }
+    try {
+      switch (msg.kind) {
+        case proto::PayloadKind::kContribution: {
+          try {
+            const auto contribution = proto::decode_contribution(msg.payload);
+            const auto it =
+                std::find_if(adaptors_.begin(), adaptors_.end(), [&](const auto& a) {
+                  return a.first == contribution.nonce;
+                });
+            SAP_REQUIRE(it != adaptors_.end(),
+                        "MinerDaemon: contribution from unknown party (no adaptor for "
+                        "nonce)");
+            const auto batch =
+                proto::logic::adapt_contribution(contribution, it->second, dims_);
+            const auto epoch = engine_.append_records(batch);
+            const auto records = engine_.pool_view().data->size();
+            hub_->send(miner_id_, msg.from, proto::PayloadKind::kContributionAck,
+                       proto::encode_receipt(epoch, records));
+            ++summary.contributions;
+            note("contribution accepted: pool " + std::to_string(records) +
+                 " records at epoch " + std::to_string(epoch));
+          } catch (const Error& e) {
+            // Negative receipt (epoch 0): the contributor learns of the
+            // rejection immediately instead of stalling out its deadline.
+            note(std::string("rejected contribution: ") + e.what());
+            hub_->send(miner_id_, msg.from, proto::PayloadKind::kContributionAck,
+                       proto::encode_receipt(/*pool_epoch=*/0, /*pool_records=*/0));
+          }
+          break;
+        }
+        case proto::PayloadKind::kMiningRequest: {
+          const auto request = proto::decode_mining_request(msg.payload);
+          proto::WireMiningResponse wire;
+          try {
+            const auto response = engine_.run({request.job, request.params});
+            wire.pool_epoch = response.pool_epoch;
+            wire.model_cached = response.model_cached;
+            wire.model_incremental = response.model_incremental;
+            wire.values = response.values;
+          } catch (const Error&) {
+            wire.pool_epoch = engine_.pool_epoch();  // empty values = refused
+          }
+          hub_->send(miner_id_, msg.from, proto::PayloadKind::kMiningResponse,
+                     proto::encode_mining_response(wire));
+          ++summary.requests_served;
+          break;
+        }
+        default:
+          break;  // late exchange traffic / reports: nothing to do
+      }
+    } catch (const Error& e) {
+      // One malformed message must not take the daemon down.
+      note(std::string("rejected message: ") + e.what());
+    }
+  }
+
+  const auto view = engine_.pool_view();
+  summary.pool_records = view.data->size();
+  summary.pool_epoch = view.epoch;
+  summary.pool_digest = dataset_digest(*view.data);
+  return summary;
+}
+
+// ---- PartyClient ---------------------------------------------------------
+
+PartyClient::PartyClient(data::Dataset shard, PartyClientOptions opts)
+    : opts_(std::move(opts)), shard_(std::move(shard)) {
+  k_ = opts_.parties;
+  SAP_REQUIRE(k_ >= 3, "PartyClient: need at least 3 parties");
+  SAP_REQUIRE(opts_.index < k_, "PartyClient: party index out of range");
+  SAP_REQUIRE(shard_.size() >= 8, "PartyClient: shard too small (need >= 8 records)");
+  dims_ = shard_.dims();
+  x_ = shard_.features_T();
+  coordinator_ = static_cast<proto::PartyId>(k_ - 1);
+  miner_ = static_cast<proto::PartyId>(k_);
+
+  auto seeds = proto::logic::derive_session_seeds(opts_.sap.seed, k_);
+  eng_ = seeds.provider_eng[opts_.index];
+  coord_eng_ = seeds.coordinator_eng;
+  transport_ = TcpTransport::connect(opts_.connect, seeds.session_secret, opts_.tcp);
+  id_ = transport_->claim_party(static_cast<std::uint32_t>(opts_.index));
+  SAP_REQUIRE(id_ == opts_.index, "PartyClient: hub assigned an unexpected party id");
+}
+
+proto::Transport::Delivery PartyClient::expect(
+    std::initializer_list<proto::PayloadKind> kinds) {
+  const auto wanted = [&](proto::PayloadKind kind) {
+    return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
+  };
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (wanted(it->kind)) {
+      auto msg = std::move(*it);
+      stash_.erase(it);
+      return msg;
+    }
+  }
+  for (;;) {
+    auto msg = transport_->receive(id_);
+    if (wanted(msg.kind)) return msg;
+    // Out-of-phase but legitimate traffic (no cross-process barriers): park
+    // it for the phase that wants it.
+    stash_.push_back(std::move(msg));
+    SAP_REQUIRE(stash_.size() <= 1024, "PartyClient: runaway message stash");
+  }
+}
+
+proto::PartyReport PartyClient::run_exchange() {
+  SAP_REQUIRE(!exchange_done_, "PartyClient: exchange already ran");
+
+  // ---- LocalOptimize ----------------------------------------------------
+  local_ = proto::logic::optimize_local(x_, dims_, opts_.sap, eng_);
+
+  // ---- TargetDistribution + PermutationExchange -------------------------
+  proto::PartyId send_to = 0;
+  std::uint32_t inbound = 0;
+  if (id_ == coordinator_) {
+    target_ = proto::logic::make_target_space(dims_, coord_eng_);
+    const auto target_wire =
+        proto::encode_target_space(target_.rotation(), target_.translation());
+    for (std::size_t j = 0; j + 1 < k_; ++j)
+      transport_->send(id_, static_cast<proto::PartyId>(j), proto::PayloadKind::kTargetSpace,
+                       target_wire);
+    const auto plan = proto::logic::make_exchange_plan(k_, coord_eng_);
+    for (std::size_t j = 0; j + 1 < k_; ++j)
+      transport_->send(id_, static_cast<proto::PartyId>(j),
+                       proto::PayloadKind::kRoutingNotice,
+                       proto::encode_routing(
+                           static_cast<proto::PartyId>(plan.receiver_of_source[j]),
+                           plan.inbound[j]));
+    send_to = static_cast<proto::PartyId>(plan.receiver_of_source[k_ - 1]);
+    inbound = plan.inbound[k_ - 1];  // 0 by construction (coordinator redirect)
+  } else {
+    bool got_target = false;
+    bool got_routing = false;
+    while (!(got_target && got_routing)) {
+      const auto msg = expect({proto::PayloadKind::kTargetSpace,
+                               proto::PayloadKind::kRoutingNotice});
+      if (msg.kind == proto::PayloadKind::kTargetSpace) {
+        const auto ts = proto::decode_target_space(msg.payload);
+        target_ = perturb::GeometricPerturbation(ts.r, ts.t, 0.0);
+        got_target = true;
+      } else {
+        const auto notice = proto::decode_routing(msg.payload);
+        send_to = notice.receiver;
+        inbound = notice.inbound;
+        got_routing = true;
+      }
+    }
+  }
+
+  // ---- PerturbAndForward ------------------------------------------------
+  const linalg::Matrix y = local_.g.apply(x_, eng_);
+  const auto data_wire =
+      proto::logic::tagged_wire(local_.nonce, proto::encode_dataset(y, shard_.labels()));
+  const bool self_held = send_to == id_;
+  if (!self_held)
+    transport_->send(id_, send_to, proto::PayloadKind::kPerturbedData, data_wire);
+  if (self_held)
+    transport_->send(id_, miner_, proto::PayloadKind::kForwardedData, data_wire);
+  for (std::uint32_t n = 0; n < inbound; ++n) {
+    const auto msg = expect({proto::PayloadKind::kPerturbedData});
+    transport_->send(id_, miner_, proto::PayloadKind::kForwardedData, msg.payload);
+  }
+
+  // ---- AdaptorAlignment -------------------------------------------------
+  adaptor_ = perturb::SpaceAdaptor::between(local_.g, target_);
+  if (id_ != coordinator_) {
+    transport_->send(id_, coordinator_, proto::PayloadKind::kSpaceAdaptor,
+                     proto::logic::tagged_wire(local_.nonce, adaptor_.serialize()));
+  } else {
+    std::vector<std::vector<double>> entries;
+    for (std::size_t j = 0; j + 1 < k_; ++j)
+      entries.push_back(expect({proto::PayloadKind::kSpaceAdaptor}).payload);
+    entries.push_back(proto::logic::tagged_wire(local_.nonce, adaptor_.serialize()));
+    proto::logic::shuffle_entries(entries, coord_eng_);
+    for (const auto& e : entries)
+      transport_->send(id_, miner_, proto::PayloadKind::kAdaptorSequence, e);
+  }
+
+  // ---- accounting (party-side knowledge only) ---------------------------
+  const auto report = proto::logic::account_party(x_, y, adaptor_, id_, local_.rho,
+                                                  local_.bound, k_, opts_.sap, eng_);
+  exchange_done_ = true;
+  return report;
+}
+
+proto::SapSession::ContributionReceipt PartyClient::contribute(const data::Dataset& batch) {
+  SAP_REQUIRE(exchange_done_, "PartyClient::contribute: run the exchange first");
+  SAP_REQUIRE(batch.size() >= 1, "PartyClient::contribute: empty batch");
+  SAP_REQUIRE(batch.dims() == dims_, "PartyClient::contribute: dimension mismatch");
+  const linalg::Matrix y = local_.g.apply(batch.features_T(), eng_);
+  transport_->send(id_, miner_, proto::PayloadKind::kContribution,
+                   proto::encode_contribution(local_.nonce, y, batch.labels()));
+  const auto ack = expect({proto::PayloadKind::kContributionAck});
+  const auto receipt = proto::decode_receipt(ack.payload);
+  // Epoch 0 is the negative receipt (an accepted append is always >= 2:
+  // set_pool is epoch 1). Fail with the real diagnosis, not a timeout.
+  SAP_REQUIRE(receipt.pool_epoch != 0,
+              "PartyClient::contribute: the miner rejected this contribution");
+  return {receipt.pool_epoch, receipt.pool_records};
+}
+
+proto::WireMiningResponse PartyClient::mine_named(const std::string& job,
+                                                  const proto::JobParams& params) {
+  SAP_REQUIRE(exchange_done_, "PartyClient::mine_named: run the exchange first");
+  transport_->send(id_, miner_, proto::PayloadKind::kMiningRequest,
+                   proto::encode_mining_request(job, params));
+  const auto msg = expect({proto::PayloadKind::kMiningResponse});
+  return proto::decode_mining_response(msg.payload);
+}
+
+void PartyClient::finish() {
+  if (transport_) transport_->send_bye();
+}
+
+}  // namespace sap::net

@@ -1,0 +1,170 @@
+// Cross-process deployment of the Space Adaptation Protocol: one miner
+// daemon (hub) + k party client processes.
+//
+// This is the first topology where the paper's parties are genuinely
+// distributed: each provider process holds only its own shard, the miner
+// process never sees anything but link-encrypted frames, adaptors, and
+// perturbed data — and the pooled result is bit-identical to the same
+// logical session run in-process, because both sides execute the shared
+// sap::proto::logic functions with engines derived from the same master
+// seed (protocol/party_logic.hpp).
+//
+// Wiring convention (both sides must agree, normally via identical CLI
+// arguments): party ids are providers 0..k-1 (k-1 doubles as the
+// coordinator) and the miner claims id k on the hub. All parties derive the
+// session secret from the shared seed, standing in for the out-of-band key
+// exchange the paper assumes — see DESIGN.md §7 for the threat model of
+// this choice over real sockets.
+//
+// After the exchange the daemon keeps serving:
+//   * kContribution  -> adapted + appended to the live pool, answered with
+//                       a kContributionAck receipt;
+//   * kMiningRequest -> served by the MiningEngine (cached/incremental
+//                       exactly like in-process), answered with
+//                       kMiningResponse (empty values = request refused).
+// The daemon exits when every party connection has closed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/tcp_transport.hpp"
+#include "protocol/mining_engine.hpp"
+#include "protocol/party_logic.hpp"
+
+namespace sap::net {
+
+/// Order-sensitive FNV-1a digest of a dataset (feature bit patterns +
+/// labels) — how two processes compare pools without shipping them.
+[[nodiscard]] std::uint64_t dataset_digest(const data::Dataset& ds);
+
+/// Order-INsensitive digest: per-record FNV-1a hashes combined
+/// commutatively. Equal multisets of records => equal digests, whatever the
+/// append order — the comparison for concurrently contributed pools.
+[[nodiscard]] std::uint64_t dataset_multiset_digest(const data::Dataset& ds);
+
+/// The SapOptions preset sap_cli's serving subcommands (`serve`,
+/// `contribute`, `party`) and their tests share. Every process of one
+/// logical cross-process session must run identical options — keeping the
+/// one copy here is part of the bit-identity guarantee between the
+/// daemon/party topology and its in-process reference.
+[[nodiscard]] proto::SapOptions serving_session_options(double noise_sigma,
+                                                        std::uint64_t seed);
+
+// ---- miner daemon --------------------------------------------------------
+
+struct MinerDaemonOptions {
+  SocketAddr listen{"127.0.0.1", 0};
+  std::size_t parties = 0;    ///< k (>= 3); must match the party processes
+  std::uint64_t seed = 0x5A9; ///< must match the party processes' seed
+  std::size_t mining_threads = 0;
+  bool cache_models = true;
+  TcpOptions tcp{};
+  /// Optional progress sink (the CLI prints these lines).
+  std::function<void(const std::string&)> log;
+};
+
+class MinerDaemon {
+ public:
+  /// Binds the listen address and claims the miner id; run() does the rest.
+  explicit MinerDaemon(MinerDaemonOptions opts);
+
+  /// The bound address (ephemeral ports resolved) — print this so parties
+  /// know where to connect.
+  [[nodiscard]] SocketAddr local_addr() const { return hub_->local_addr(); }
+
+  struct Summary {
+    std::size_t pool_records = 0;
+    std::uint64_t pool_epoch = 0;
+    std::uint64_t pool_digest = 0;
+    std::size_t contributions = 0;
+    std::size_t requests_served = 0;
+  };
+
+  /// Serve one full session: collect the exchange, install the pool, serve
+  /// contributions + mining requests, return when every party disconnected.
+  /// Throws sap::Error if the exchange cannot complete (missing party,
+  /// malformed shard, deadline).
+  Summary run();
+
+  /// The serving engine (valid pool only after run() installed it).
+  [[nodiscard]] proto::MiningEngine& engine() noexcept { return engine_; }
+
+ private:
+  void note(const std::string& line) const;
+
+  MinerDaemonOptions opts_;
+  std::unique_ptr<TcpTransport> hub_;
+  proto::PartyId miner_id_ = 0;
+  std::size_t dims_ = 0;
+  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> adaptors_;
+  proto::MiningEngine engine_;
+};
+
+// ---- party client --------------------------------------------------------
+
+struct PartyClientOptions {
+  SocketAddr connect;
+  std::size_t index = 0;    ///< provider index; parties-1 = the coordinator
+  std::size_t parties = 0;  ///< k (>= 3)
+  /// Protocol options; seed/noise/optimizer settings must match every other
+  /// party for the run to be the same logical session.
+  proto::SapOptions sap{};
+  TcpOptions tcp{};
+};
+
+class PartyClient {
+ public:
+  /// Connects and claims the party id; `shard` is this provider's private
+  /// data (N x d rows, pre-normalized like every Dataset in the protocol).
+  PartyClient(data::Dataset shard, PartyClientOptions opts);
+
+  /// Execute this party's side of the exchange (LocalOptimize through
+  /// AdaptorAlignment, plus the coordinator duties when index == k-1).
+  /// Returns this party's accounting report.
+  proto::PartyReport run_exchange();
+
+  /// Post-exchange streaming: perturb `batch` (records in this party's
+  /// original space) with the negotiated G_i and ship it to the miner.
+  /// Blocks for the receipt; throws sap::Error when the miner rejects or
+  /// the deadline expires.
+  proto::SapSession::ContributionReceipt contribute(const data::Dataset& batch);
+
+  /// Serve a named job remotely on the miner's pool. Empty response values
+  /// mean the daemon refused the request (unknown job / bad params).
+  proto::WireMiningResponse mine_named(const std::string& job,
+                                       const proto::JobParams& params = {});
+
+  /// Polite goodbye (the daemon exits once every party said it). Safe to
+  /// call multiple times; the destructor also sends it.
+  void finish();
+
+  /// This party's protocol nonce (valid after run_exchange()).
+  [[nodiscard]] std::uint64_t nonce() const noexcept { return local_.nonce; }
+
+ private:
+  /// Next delivery of one of `kinds`, stashing out-of-phase messages (a
+  /// fast peer's data can arrive before the coordinator's setup lines —
+  /// there are no global phase barriers across processes).
+  proto::Transport::Delivery expect(std::initializer_list<proto::PayloadKind> kinds);
+
+  PartyClientOptions opts_;
+  data::Dataset shard_;
+  linalg::Matrix x_;  // d x N
+  std::size_t dims_ = 0;
+  std::size_t k_ = 0;
+  proto::PartyId id_ = 0;
+  proto::PartyId coordinator_ = 0;
+  proto::PartyId miner_ = 0;
+  std::unique_ptr<TcpTransport> transport_;
+  rng::Engine eng_{0};
+  rng::Engine coord_eng_{0};
+  proto::logic::LocalPerturbation local_;
+  perturb::GeometricPerturbation target_;
+  perturb::SpaceAdaptor adaptor_;
+  std::deque<proto::Transport::Delivery> stash_;
+  bool exchange_done_ = false;
+};
+
+}  // namespace sap::net

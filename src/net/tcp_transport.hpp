@@ -1,0 +1,253 @@
+// TcpTransport — the proto::Transport backend over real sockets.
+//
+// Topology: hub-and-spoke. One process runs a *hub* (TcpTransport::listen),
+// every other process runs a *client* (TcpTransport::connect). A party id
+// is hosted by exactly one transport; clients claim ids from the hub via a
+// Hello/Welcome handshake, and every protocol message travels as a kData
+// frame (net/frame.hpp) carrying the link-encrypted envelope. The hub
+// routes frames between connections by destination id — it can open only
+// envelopes addressed to parties it hosts itself, so a relay observes
+// exactly what the in-process transports' metadata trace records:
+// ciphertext + (from, to, kind).
+//
+// Two deployment shapes fall out of one implementation:
+//
+//   * relay mode — a single client hosts every party (SapSession with
+//     TransportKind::kTcp): the session runs unmodified, every message
+//     makes a genuine round trip through the hub process over TCP, and the
+//     results stay bit-identical to the in-process backends;
+//   * distributed mode — each process hosts its own party subset (the
+//     net::MinerDaemon hosts the miner on the hub, each net::PartyClient
+//     hosts one provider) and only ciphertext crosses machine boundaries.
+//
+// Liveness: sockets have no starvation analysis, so every wait is
+// deadline-bound (TcpOptions): connect, the claim handshake, receive(), and
+// stalled writes all fail with sap::Error when their deadline expires.
+//
+// has_mail()/send ordering: when the destination party is hosted by the
+// *sending* transport (relay mode), send() blocks until the frame has
+// completed its hub round trip into the local inbox. That keeps the
+// Transport contract — has_mail() is meaningful between run_parties()
+// batches — without the protocol layer knowing frames ever left the
+// process. Sends to remote parties return once the frame is written; TCP
+// ordering keeps per-link FIFO delivery.
+//
+// Threading: one background I/O thread per transport (the hub's runs
+// accept+route, a client's demultiplexes its socket into per-party
+// inboxes). send()/receive()/has_mail() are safe from any thread;
+// trace() follows the base-class contract (call only while no batch runs).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "protocol/session.hpp"
+#include "protocol/transport.hpp"
+
+namespace sap::net {
+
+struct TcpOptions {
+  int connect_timeout_ms = 5000;  ///< TCP connect + claim handshake deadline
+  int receive_timeout_ms = 30000; ///< receive() / relay round-trip deadline
+  int write_timeout_ms = 5000;    ///< per-stall deadline for socket writes
+  std::size_t max_frame_body = kDefaultMaxBody;
+};
+
+class TcpTransport final : public proto::Transport {
+ public:
+  /// Hub role: bind `addr` (port 0 = ephemeral; see local_addr()) and start
+  /// routing. `session_secret` seeds per-link key derivation exactly like
+  /// the in-process backends.
+  static std::unique_ptr<TcpTransport> listen(const SocketAddr& addr,
+                                              std::uint64_t session_secret,
+                                              TcpOptions opts = {});
+
+  /// Client role: connect to a hub.
+  static std::unique_ptr<TcpTransport> connect(const SocketAddr& addr,
+                                               std::uint64_t session_secret,
+                                               TcpOptions opts = {});
+
+  ~TcpTransport() override;
+
+  // ---- proto::Transport ------------------------------------------------
+
+  /// Claim the next free party id from the hub (blocking handshake on a
+  /// client). Dense ids under a fresh hub with one client — which is the
+  /// relay deployment SapSession uses.
+  proto::PartyId add_party() override;
+
+  /// Parties hosted by THIS transport (not the cluster-wide count).
+  [[nodiscard]] std::size_t party_count() const override;
+
+  void send(proto::PartyId from, proto::PartyId to, proto::PayloadKind kind,
+            std::span<const double> payload) override;
+
+  /// Meaningful between batches for locally-addressed traffic (see the
+  /// send-ordering note above); remote senders' frames are only visible
+  /// once delivered.
+  [[nodiscard]] bool has_mail(proto::PartyId party) const override;
+
+  /// Blocks until mail arrives for `party` or the receive deadline expires
+  /// (sap::Error). Throws immediately when the connection is gone.
+  Delivery receive(proto::PartyId party) override;
+
+  void set_drop_filter(DropFilter filter) override;
+  [[nodiscard]] std::size_t dropped_count() const override;
+  [[nodiscard]] const std::vector<proto::Message>& trace() const override;
+  [[nodiscard]] std::size_t total_bytes() const override;
+
+  // run_parties(): base sequential policy — the send-ordering guarantee
+  // above makes every SapSession batch structure safe without workers.
+
+  // ---- net-specific surface --------------------------------------------
+
+  /// Claim a specific party id (distributed role drivers; kClaimAnyParty =
+  /// auto-assign). Throws sap::Error if the id is already claimed.
+  proto::PartyId claim_party(std::uint32_t desired);
+
+  /// Non-throwing receive with an explicit deadline; false on timeout.
+  bool try_receive(proto::PartyId party, Delivery& out, int timeout_ms);
+
+  /// Hub: the bound address (ephemeral port resolved). Client: the hub
+  /// address it connected to.
+  [[nodiscard]] SocketAddr local_addr() const;
+
+  /// Hub: currently open client connections.
+  [[nodiscard]] std::size_t live_connections() const;
+
+  /// Hub: client connections ever accepted.
+  [[nodiscard]] std::size_t total_connections() const;
+
+  /// Client: polite shutdown — sends kBye and stops accepting new mail.
+  void send_bye();
+
+  [[nodiscard]] bool is_hub() const noexcept { return role_ == Role::kHub; }
+
+ private:
+  enum class Role : std::uint8_t { kHub, kClient };
+  struct Conn;
+
+  TcpTransport(Role role, std::uint64_t session_secret, TcpOptions opts);
+
+  [[nodiscard]] std::uint64_t link_key(proto::PartyId from, proto::PartyId to) const noexcept;
+
+  // Record the send in the trace; returns false when the drop filter ate it.
+  bool record_send(proto::PartyId from, proto::PartyId to, proto::PayloadKind kind,
+                   proto::EncryptedEnvelope envelope);
+
+  /// The one copy of claim semantics shared by local (claim_party) and
+  /// remote (kHello) claims: id resolution, conflict check, route
+  /// registration, parked-frame extraction. conn_mutex_ held.
+  struct ClaimOutcome {
+    std::uint32_t id = 0;
+    bool conflict = false;
+    std::vector<Frame> parked;
+  };
+  ClaimOutcome register_claim_locked(std::uint32_t desired, std::size_t owner);
+
+  // Hub internals. Lock order (outermost first): a Conn's write_mutex →
+  // conn_mutex_ → mutex_. The hub NEVER blocks on a peer's socket: frames
+  // ENQUEUE onto the destination's bounded outbound queue (write_mutex)
+  // and the io loop drains it as POLLOUT allows — a slow client can delay
+  // only frames addressed to it, and one that stops draining is
+  // disconnected once its queue makes no progress for write_timeout_ms.
+  // A dead conn's fd is closed only by the io thread (or the destructor)
+  // under that conn's write_mutex, so no thread ever writes a recycled
+  // descriptor.
+  void io_loop_hub();
+  void io_loop_client();
+  void hub_handle_frame(std::size_t conn_index, Frame frame);  // no locks held
+  void hub_dispatch(Frame frame);                              // no locks held
+  void hub_write(std::size_t conn_index, const Frame& frame);  // no locks held
+  bool enqueue_frame_locked(Conn& conn, const Frame& frame);   // write_mutex held
+  bool flush_outq_locked(Conn& conn);                          // write_mutex held
+  void mark_conn_closed(Conn* conn);                           // no locks held
+  void client_handle_frame(Frame frame);
+  void deliver_local(const Frame& frame);
+  void deliver_locked(const Frame& frame);  // mutex_ held
+  void fail_all(const std::string& why);
+
+  const Role role_;
+  const std::uint64_t session_secret_;
+  const TcpOptions opts_;
+
+  // ---- shared mailbox state (mutex_/cv_) -------------------------------
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::vector<proto::PartyId> local_ids_;
+  std::map<proto::PartyId, std::deque<proto::Message>> inbox_;
+  std::vector<proto::Message> trace_;
+  std::size_t total_bytes_ = 0;
+  DropFilter drop_filter_;
+  std::size_t dropped_ = 0;
+  /// Relay round-trip accounting: frames sent/delivered per directed link
+  /// whose destination is locally hosted.
+  std::map<std::pair<proto::PartyId, proto::PartyId>, std::size_t> link_sent_;
+  std::map<std::pair<proto::PartyId, proto::PartyId>, std::size_t> link_delivered_;
+  std::optional<std::uint32_t> welcome_;  ///< granted id of the pending claim
+  std::string error_;                     ///< sticky failure (kError / EOF)
+  bool closed_ = false;
+  bool bye_sent_ = false;
+
+  // ---- hub connection state --------------------------------------------
+  // conn_mutex_ guards conns_ membership, route_, pending_ and the
+  // counters; each Conn's write_mutex serializes writes and fd close;
+  // `open` is atomic so writers can bail without conn_mutex_. Entries are
+  // never erased, so Conn pointers stay stable for the transport lifetime.
+  struct Conn {
+    TcpSocket sock;
+    FrameReader reader;  ///< io thread only
+    std::unique_ptr<std::mutex> write_mutex = std::make_unique<std::mutex>();
+    std::atomic<bool> open{true};
+    std::vector<proto::PartyId> parties;
+    /// Outbound queue (write_mutex): encoded frames waiting for POLLOUT;
+    /// bounded — overflow marks the conn dead instead of growing.
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t outq_head = 0;  ///< bytes of outq.front() already written
+    std::atomic<std::size_t> outq_bytes{0};       ///< lock-free pending peek
+    std::atomic<std::uint64_t> flushed_total{0};  ///< drain-progress detector
+    // Stall accounting, io thread only:
+    std::uint64_t io_prev_flushed = 0;
+    std::chrono::steady_clock::time_point io_stall_start{};
+    bool io_stalled = false;
+    Conn(TcpSocket s, std::size_t max_body) : sock(std::move(s)), reader(max_body) {}
+  };
+  mutable std::mutex conn_mutex_;
+  TcpListener listener_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  /// party id -> conn index, or kLocalHost for parties hosted here.
+  static constexpr std::size_t kLocalHost = static_cast<std::size_t>(-1);
+  std::map<proto::PartyId, std::size_t> route_;
+  std::map<proto::PartyId, std::vector<Frame>> pending_;  ///< frames for unclaimed ids
+  std::size_t pending_bytes_ = 0;  ///< body bytes across all of pending_
+  std::uint32_t next_auto_id_ = 0;
+  std::size_t live_conns_ = 0;
+  std::size_t total_conns_ = 0;
+
+  // ---- client connection state -----------------------------------------
+  TcpSocket socket_;
+  std::mutex write_mutex_;
+  SocketAddr peer_addr_;
+
+  std::thread io_thread_;
+  std::atomic<bool> stop_{false};
+};
+
+/// SapSession transport factory for TransportKind::kTcp: every session
+/// message relays through the hub at `addr` over real TCP while the session
+/// itself runs unmodified (results bit-identical to the in-process
+/// backends).
+[[nodiscard]] proto::SapSession::TransportFactory tcp_transport_factory(
+    const SocketAddr& addr, TcpOptions opts = {});
+
+}  // namespace sap::net

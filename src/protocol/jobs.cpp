@@ -206,4 +206,60 @@ JobRegistry JobRegistry::builtins() {
   return reg;
 }
 
+std::string schema_json(const JobRegistry& registry) {
+  // Max round-trip precision, plain JSON-number syntax (%.17g may print an
+  // exponent, which is still valid JSON). JSON has no inf/nan, so
+  // non-finite bounds (register_job accepts e.g. +inf as "no upper bound")
+  // serialize as null.
+  const auto num = [](double v) -> std::string {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    std::string s(buf);
+    if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+    return s;
+  };
+  // register_job accepts arbitrary names/summaries, so escape — an
+  // unescaped quote in a registered spec must not break the orchestration
+  // surface this exists for.
+  const auto str = [](const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+        out += buf;
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+    return out;
+  };
+  std::string out = "{\"jobs\": [\n";
+  bool first_job = true;
+  for (const auto& name : registry.names()) {
+    const auto& spec = registry.find(name);
+    if (!first_job) out += ",\n";
+    first_job = false;
+    out += "  {\"name\": " + str(spec.name) + ", \"kind\": \"";
+    out += spec.trainable() ? "trainable" : "structural";
+    out += "\", \"summary\": " + str(spec.summary) + ", \"params\": [";
+    bool first_param = true;
+    for (const auto& p : spec.params) {
+      if (!first_param) out += ", ";
+      first_param = false;
+      out += "{\"name\": " + str(p.name) + ", \"default\": " + num(p.def) +
+             ", \"min\": " + num(p.min_value) + ", \"max\": " + num(p.max_value) +
+             ", \"serve_only\": " + (p.serve_only ? "true" : "false") + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 }  // namespace sap::proto

@@ -133,4 +133,13 @@ class JobRegistry {
   std::map<std::string, JobSpec> specs_;
 };
 
+/// Machine-readable job/param schema (sap_cli `jobs --json`, orchestration
+/// over the miner daemon):
+///   {"jobs": [{"name": ..., "kind": "trainable"|"structural",
+///              "summary": ..., "params": [{"name": ..., "default": ...,
+///              "min": ..., "max": ..., "serve_only": bool}, ...]}, ...]}
+/// Jobs are listed in name order; numbers print with max round-trip
+/// precision.
+[[nodiscard]] std::string schema_json(const JobRegistry& registry);
+
 }  // namespace sap::proto

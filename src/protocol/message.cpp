@@ -26,6 +26,37 @@ int checked_label(double v) {
   return static_cast<int>(v);
 }
 
+constexpr std::size_t kMaxWireString = 128;
+constexpr std::size_t kMaxWireParams = 64;
+
+void encode_string(std::vector<double>& wire, const std::string& text, const char* what) {
+  SAP_REQUIRE(!text.empty() && text.size() <= kMaxWireString,
+              std::string("encode: bad length for ") + what);
+  for (const char c : text)
+    SAP_REQUIRE(c >= 32 && c <= 126, std::string("encode: non-printable char in ") + what);
+  wire.push_back(static_cast<double>(text.size()));
+  for (const char c : text) wire.push_back(static_cast<double>(c));
+}
+
+/// Decode a length-prefixed printable-ASCII string starting at wire[pos];
+/// advances pos past it. Throws on truncation or hostile code points.
+std::string decode_string(std::span<const double> wire, std::size_t& pos, const char* what) {
+  SAP_REQUIRE(pos < wire.size(), std::string("decode: truncated ") + what);
+  const std::size_t len = checked_count(wire[pos], what);
+  SAP_REQUIRE(len >= 1 && len <= kMaxWireString && pos + 1 + len <= wire.size(),
+              std::string("decode: malformed ") + what);
+  ++pos;
+  std::string text;
+  text.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const double v = wire[pos++];
+    SAP_REQUIRE(v == std::floor(v) && v >= 32.0 && v <= 126.0,
+                std::string("decode: hostile char in ") + what);
+    text.push_back(static_cast<char>(v));
+  }
+  return text;
+}
+
 }  // namespace
 
 std::string to_string(PayloadKind kind) {
@@ -38,8 +69,19 @@ std::string to_string(PayloadKind kind) {
     case PayloadKind::kAdaptorSequence: return "adaptor-sequence";
     case PayloadKind::kModelReport: return "model-report";
     case PayloadKind::kContribution: return "contribution";
+    case PayloadKind::kContributionAck: return "contribution-ack";
+    case PayloadKind::kMiningRequest: return "mining-request";
+    case PayloadKind::kMiningResponse: return "mining-response";
   }
   return "unknown";
+}
+
+EncryptedEnvelope EncryptedEnvelope::from_raw(std::vector<std::uint64_t> cipher,
+                                              std::uint64_t checksum) {
+  EncryptedEnvelope env;
+  env.cipher_ = std::move(cipher);
+  env.checksum_ = checksum;
+  return env;
 }
 
 EncryptedEnvelope::EncryptedEnvelope(std::span<const double> plain, std::uint64_t key) {
@@ -155,6 +197,83 @@ RoutingNotice decode_routing(std::span<const double> wire) {
   notice.receiver = static_cast<PartyId>(checked_count(wire[0], "party id"));
   notice.inbound = static_cast<std::uint32_t>(checked_count(wire[1], "inbound count"));
   return notice;
+}
+
+std::vector<double> encode_mining_request(const std::string& job,
+                                          const std::map<std::string, double>& params) {
+  SAP_REQUIRE(params.size() <= kMaxWireParams, "encode_mining_request: too many params");
+  std::vector<double> wire;
+  encode_string(wire, job, "job name");
+  wire.push_back(static_cast<double>(params.size()));
+  for (const auto& [key, value] : params) {
+    encode_string(wire, key, "param name");
+    SAP_REQUIRE(std::isfinite(value), "encode_mining_request: non-finite param value");
+    wire.push_back(value);
+  }
+  return wire;
+}
+
+DecodedMiningRequest decode_mining_request(std::span<const double> wire) {
+  DecodedMiningRequest out;
+  std::size_t pos = 0;
+  out.job = decode_string(wire, pos, "job name");
+  SAP_REQUIRE(pos < wire.size(), "decode_mining_request: truncated payload");
+  const std::size_t count = checked_count(wire[pos++], "param count");
+  SAP_REQUIRE(count <= kMaxWireParams, "decode_mining_request: too many params");
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string key = decode_string(wire, pos, "param name");
+    SAP_REQUIRE(pos < wire.size(), "decode_mining_request: truncated payload");
+    const double value = wire[pos++];
+    SAP_REQUIRE(std::isfinite(value), "decode_mining_request: non-finite param value");
+    SAP_REQUIRE(out.params.emplace(std::move(key), value).second,
+                "decode_mining_request: duplicate param");
+  }
+  SAP_REQUIRE(pos == wire.size(), "decode_mining_request: trailing garbage");
+  return out;
+}
+
+std::vector<double> encode_mining_response(const WireMiningResponse& response) {
+  // Mirror the decoder's checked_count bound (< 1e9) — an encoder that
+  // accepts what every well-behaved peer rejects is a wire-contract bug.
+  SAP_REQUIRE(response.pool_epoch < 1000000000ULL,
+              "encode_mining_response: epoch out of wire range");
+  std::vector<double> wire;
+  wire.reserve(4 + response.values.size());
+  wire.push_back(static_cast<double>(response.pool_epoch));
+  wire.push_back(response.model_cached ? 1.0 : 0.0);
+  wire.push_back(response.model_incremental ? 1.0 : 0.0);
+  wire.push_back(static_cast<double>(response.values.size()));
+  wire.insert(wire.end(), response.values.begin(), response.values.end());
+  return wire;
+}
+
+WireMiningResponse decode_mining_response(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() >= 4, "decode_mining_response: truncated payload");
+  WireMiningResponse out;
+  out.pool_epoch = static_cast<std::uint64_t>(checked_count(wire[0], "pool epoch"));
+  SAP_REQUIRE(wire[1] == 0.0 || wire[1] == 1.0, "decode_mining_response: malformed flag");
+  SAP_REQUIRE(wire[2] == 0.0 || wire[2] == 1.0, "decode_mining_response: malformed flag");
+  out.model_cached = wire[1] == 1.0;
+  out.model_incremental = wire[2] == 1.0;
+  const std::size_t count = checked_count(wire[3], "value count");
+  SAP_REQUIRE(wire.size() == 4 + count, "decode_mining_response: malformed payload");
+  out.values.assign(wire.begin() + 4, wire.end());
+  return out;
+}
+
+std::vector<double> encode_receipt(std::uint64_t pool_epoch, std::size_t pool_records) {
+  // Mirror the decoder's checked_count bound (< 1e9), as above.
+  SAP_REQUIRE(pool_epoch < 1000000000ULL, "encode_receipt: epoch out of wire range");
+  SAP_REQUIRE(pool_records < 1000000000ULL, "encode_receipt: record count out of wire range");
+  return {static_cast<double>(pool_epoch), static_cast<double>(pool_records)};
+}
+
+DecodedReceipt decode_receipt(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() == 2, "decode_receipt: malformed payload");
+  DecodedReceipt out;
+  out.pool_epoch = static_cast<std::uint64_t>(checked_count(wire[0], "pool epoch"));
+  out.pool_records = checked_count(wire[1], "record count");
+  return out;
 }
 
 }  // namespace sap::proto

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,9 @@ enum class PayloadKind : std::uint8_t {
   kAdaptorSequence = 6,  ///< coordinator -> miner: adaptors aligned to forwarders
   kModelReport = 7,      ///< miner -> providers: trained model summary
   kContribution = 8,     ///< party -> miner: post-exchange perturbed batch
+  kContributionAck = 9,  ///< miner -> party: receipt for an accepted batch
+  kMiningRequest = 10,   ///< party -> miner: named job + params to serve
+  kMiningResponse = 11,  ///< miner -> party: the served job report
 };
 
 /// Printable name for traces and tests.
@@ -52,6 +56,17 @@ class EncryptedEnvelope {
 
   [[nodiscard]] std::size_t size_doubles() const noexcept { return cipher_.size(); }
   [[nodiscard]] std::span<const std::uint64_t> ciphertext() const noexcept { return cipher_; }
+
+  /// Integrity word carried beside the ciphertext. Exposed (with from_raw)
+  /// so wire transports can serialize an envelope byte-exactly; it reveals
+  /// nothing beyond what a wire observer already sees.
+  [[nodiscard]] std::uint64_t checksum() const noexcept { return checksum_; }
+
+  /// Rebuild an envelope from its wire parts (net::Frame decoding). The
+  /// result is exactly the envelope whose ciphertext()/checksum() produced
+  /// the parts; open() still enforces the integrity check.
+  [[nodiscard]] static EncryptedEnvelope from_raw(std::vector<std::uint64_t> cipher,
+                                                  std::uint64_t checksum);
 
  private:
   std::vector<std::uint64_t> cipher_;
@@ -113,5 +128,43 @@ struct RoutingNotice {
   std::uint32_t inbound = 0;  ///< how many peer datasets to receive & forward
 };
 RoutingNotice decode_routing(std::span<const double> wire);
+
+// ---- cross-process serving payloads -----------------------------------
+// These kinds only flow in the distributed (miner daemon / party client)
+// topology; the in-process SapSession exchange never emits them. Strings
+// travel one printable ASCII code point per double (decoders reject
+// anything outside [32, 126] or over the declared length caps — wire
+// payloads are adversarial input).
+
+/// Mining request: [name_len, name..., param_count, (key_len, key...,
+/// value)...]. Name/key caps: 128 chars; at most 64 params.
+std::vector<double> encode_mining_request(const std::string& job,
+                                          const std::map<std::string, double>& params);
+struct DecodedMiningRequest {
+  std::string job;
+  std::map<std::string, double> params;
+};
+DecodedMiningRequest decode_mining_request(std::span<const double> wire);
+
+/// Mining response: [pool_epoch, cached, incremental, value_count,
+/// values...]. Values are the job's report, forwarded verbatim.
+struct WireMiningResponse {
+  std::uint64_t pool_epoch = 0;
+  bool model_cached = false;
+  bool model_incremental = false;
+  std::vector<double> values;
+};
+std::vector<double> encode_mining_response(const WireMiningResponse& response);
+WireMiningResponse decode_mining_response(std::span<const double> wire);
+
+/// Contribution receipt: [pool_epoch, pool_records] — the miner's ack for
+/// a streamed batch. pool_epoch 0 is the NEGATIVE receipt (rejected batch;
+/// an accepted append is always epoch >= 2 since set_pool is epoch 1).
+std::vector<double> encode_receipt(std::uint64_t pool_epoch, std::size_t pool_records);
+struct DecodedReceipt {
+  std::uint64_t pool_epoch = 0;
+  std::size_t pool_records = 0;
+};
+DecodedReceipt decode_receipt(std::span<const double> wire);
 
 }  // namespace sap::proto

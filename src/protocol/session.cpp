@@ -5,33 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
-#include "privacy/attacks.hpp"
+#include "protocol/party_logic.hpp"
 
 namespace sap::proto {
-namespace {
-
-/// Joint column subsample of an (original, transformed) pair so the privacy
-/// metric compares the same records on both sides.
-void joint_subsample(const linalg::Matrix& x, const linalg::Matrix& y,
-                     std::size_t max_records, rng::Engine& eng, linalg::Matrix& x_out,
-                     linalg::Matrix& y_out) {
-  if (x.cols() <= max_records) {
-    x_out = x;
-    y_out = y;
-    return;
-  }
-  const auto idx = eng.sample_without_replacement(x.cols(), max_records);
-  x_out = linalg::Matrix(x.rows(), max_records);
-  y_out = linalg::Matrix(y.rows(), max_records);
-  for (std::size_t j = 0; j < max_records; ++j) {
-    const linalg::Vector xc = x.col(idx[j]);
-    const linalg::Vector yc = y.col(idx[j]);
-    x_out.set_col(j, xc);
-    y_out.set_col(j, yc);
-  }
-}
-
-}  // namespace
 
 SapOptions SapOptions::fast() {
   SapOptions o;
@@ -75,15 +51,17 @@ void SapSession::validate(const std::vector<data::Dataset>& provider_data,
 SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts,
                        TransportFactory transport_factory)
     : opts_(opts),
-      master_(opts.seed),
       engine_({.threads = opts.mining_threads, .cache_models = opts.cache_models}) {
   validate(provider_data, opts_);
   dims_ = provider_data.front().dims();
 
   const std::size_t k = provider_data.size();
-  const std::uint64_t session_secret = master_();
-  transport_ = transport_factory ? transport_factory(session_secret)
-                                 : make_transport(opts_.transport, session_secret);
+  auto seeds = logic::derive_session_seeds(opts_.seed, k);
+  SAP_REQUIRE(opts_.transport != TransportKind::kTcp || transport_factory,
+              "SapSession: the tcp transport needs an address — pass "
+              "net::tcp_transport_factory(...) as the transport factory");
+  transport_ = transport_factory ? transport_factory(seeds.session_secret)
+                                 : make_transport(opts_.transport, seeds.session_secret);
   SAP_REQUIRE(transport_ != nullptr, "SapSession: transport factory returned null");
 
   provider_id_.resize(k);
@@ -95,9 +73,9 @@ SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts
   for (std::size_t i = 0; i < k; ++i) {
     ps_[i].x = provider_data[i].features_T();
     ps_[i].labels = provider_data[i].labels();
-    ps_[i].eng = master_.spawn();
+    ps_[i].eng = seeds.provider_eng[i];
   }
-  coord_eng_ = master_.spawn();
+  coord_eng_ = seeds.coordinator_eng;
 }
 
 void SapSession::inject_faults(Transport::DropFilter filter) {
@@ -163,31 +141,11 @@ void SapSession::run_local_optimize() {
   for (std::size_t i = 0; i < k; ++i) {
     tasks[i] = [this, i] {
       auto& p = ps_[i];
-      auto opt_opts = opts_.optimizer;
-      opt_opts.noise_sigma = opts_.noise_sigma;  // common noise component
-      if (opts_.optimize_local) {
-        opt::OptimizationResult first = opt::optimize_perturbation(p.x, opt_opts, p.eng);
-        p.g = first.best;
-        p.rho = first.best_rho;
-        p.bound = first.best_rho;
-        for (std::size_t r = 1; r < opts_.bound_runs; ++r) {
-          const auto extra = opt::optimize_perturbation(p.x, opt_opts, p.eng);
-          p.bound = std::max(p.bound, extra.best_rho);
-        }
-      } else {
-        p.g = perturb::GeometricPerturbation::random(dims_, opts_.noise_sigma, p.eng);
-        p.rho = opt::evaluate_perturbation(p.x, p.g, opt_opts.attacks,
-                                           opt_opts.max_eval_records, p.eng);
-        p.bound = p.rho;
-        for (std::size_t r = 1; r < opts_.bound_runs; ++r) {
-          const auto probe =
-              perturb::GeometricPerturbation::random(dims_, opts_.noise_sigma, p.eng);
-          p.bound = std::max(p.bound, opt::evaluate_perturbation(p.x, probe, opt_opts.attacks,
-                                                                 opt_opts.max_eval_records,
-                                                                 p.eng));
-        }
-      }
-      p.nonce = p.eng() >> 32;  // 32-bit nonce, exactly representable as double
+      auto local = logic::optimize_local(p.x, dims_, opts_, p.eng);
+      p.g = std::move(local.g);
+      p.rho = local.rho;
+      p.bound = local.bound;
+      p.nonce = local.nonce;
     };
   }
   transport_->run_parties(std::move(tasks));
@@ -197,7 +155,7 @@ void SapSession::run_local_optimize() {
 
 void SapSession::run_target_distribution() {
   const std::size_t k = ps_.size();
-  g_t_ = perturb::GeometricPerturbation::random(dims_, /*noise_sigma=*/0.0, coord_eng_);
+  g_t_ = logic::make_target_space(dims_, coord_eng_);
   const auto target_wire = encode_target_space(g_t_.rotation(), g_t_.translation());
   for (std::size_t i = 0; i + 1 < k; ++i)
     transport_->send(coordinator_, provider_id_[i], PayloadKind::kTargetSpace, target_wire);
@@ -208,26 +166,18 @@ void SapSession::run_target_distribution() {
 
 void SapSession::run_permutation_exchange() {
   const std::size_t k = ps_.size();
-  const auto tau = coord_eng_.permutation(k);
-  const std::size_t redirect = coord_eng_.uniform_index(k - 1);
+  // provider_id_ values are dense 0..k-1 by construction, so the plan's
+  // provider indices map straight onto party ids. Self-assignments stay
+  // local; see the exchange phase.
+  const auto plan = logic::make_exchange_plan(k, coord_eng_);
   receiver_of_source_.assign(k, 0);
-  for (std::size_t pos = 0; pos < k; ++pos) {
-    const std::size_t source = tau[pos];
-    const std::size_t receiver = (pos == k - 1) ? redirect : pos;
-    receiver_of_source_[source] = provider_id_[receiver];
-  }
-  // Per-provider inbound wire counts (self-assignments stay local; see the
-  // exchange phase). provider_id_ values are dense 0..k-1 by construction.
-  std::vector<std::uint32_t> inbound(k, 0);
-  for (std::size_t source = 0; source < k; ++source) {
-    if (receiver_of_source_[source] != provider_id_[source])
-      ++inbound[receiver_of_source_[source]];
-  }
+  for (std::size_t source = 0; source < k; ++source)
+    receiver_of_source_[source] = provider_id_[plan.receiver_of_source[source]];
   for (std::size_t i = 0; i + 1 < k; ++i)
     transport_->send(coordinator_, provider_id_[i], PayloadKind::kRoutingNotice,
-                     encode_routing(receiver_of_source_[i], inbound[i]));
+                     encode_routing(receiver_of_source_[i], plan.inbound[i]));
   ps_[k - 1].send_to = receiver_of_source_[k - 1];
-  ps_[k - 1].inbound = inbound[k - 1];  // 0 by construction (coordinator redirect)
+  ps_[k - 1].inbound = plan.inbound[k - 1];  // 0 by construction (coordinator redirect)
 
   // Providers drain target-space + routing notices; a provider that did not
   // receive BOTH must abort the round (a dropped setup message would
@@ -277,10 +227,7 @@ void SapSession::run_perturb_and_forward() {
     perturb_tasks[i] = [this, i] {
       auto& p = ps_[i];
       p.y = p.g.apply(p.x, p.eng);
-      std::vector<double> wire;
-      wire.push_back(static_cast<double>(p.nonce));
-      const auto body = encode_dataset(p.y, p.labels);
-      wire.insert(wire.end(), body.begin(), body.end());
+      auto wire = logic::tagged_wire(p.nonce, encode_dataset(p.y, p.labels));
       if (p.send_to == provider_id_[i]) {
         self_held_[i].push_back(std::move(wire));
       } else {
@@ -326,11 +273,8 @@ void SapSession::run_adaptor_alignment() {
       auto& p = ps_[i];
       p.adaptor = perturb::SpaceAdaptor::between(p.g, p.target);
       if (provider_id_[i] != coordinator_) {
-        std::vector<double> wire;
-        wire.push_back(static_cast<double>(p.nonce));
-        const auto body = p.adaptor.serialize();
-        wire.insert(wire.end(), body.begin(), body.end());
-        transport_->send(provider_id_[i], coordinator_, PayloadKind::kSpaceAdaptor, wire);
+        transport_->send(provider_id_[i], coordinator_, PayloadKind::kSpaceAdaptor,
+                         logic::tagged_wire(p.nonce, p.adaptor.serialize()));
       }
     };
   }
@@ -348,15 +292,10 @@ void SapSession::run_adaptor_alignment() {
   }
   SAP_REQUIRE(entries.size() == k - 1,
               "SapSession: coordinator missing space adaptors (dropped message?)");
-  std::vector<double> own;
-  own.push_back(static_cast<double>(ps_[k - 1].nonce));
-  const auto body = ps_[k - 1].adaptor.serialize();
-  own.insert(own.end(), body.begin(), body.end());
-  entries.push_back(std::move(own));
+  entries.push_back(logic::tagged_wire(ps_[k - 1].nonce, ps_[k - 1].adaptor.serialize()));
   // Shuffle so the wire order itself carries no information about provider
   // identity.
-  for (std::size_t i = entries.size(); i > 1; --i)
-    std::swap(entries[i - 1], entries[coord_eng_.uniform_index(i)]);
+  logic::shuffle_entries(entries, coord_eng_);
   for (const auto& e : entries)
     transport_->send(coordinator_, miner_, PayloadKind::kAdaptorSequence, e);
 }
@@ -366,14 +305,8 @@ void SapSession::run_adaptor_alignment() {
 void SapSession::run_unify_and_account() {
   const std::size_t k = ps_.size();
 
-  struct MinerDataset {
-    std::uint64_t nonce;
-    PartyId forwarder;
-    DecodedDataset data;
-  };
-  std::vector<MinerDataset> received;
-  miner_adaptors_.clear();  // kept beyond this phase: the Contribute path
-                            // reuses the negotiated adaptors per nonce
+  std::vector<logic::MinerShard> received;
+  std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> adaptors;
   while (transport_->has_mail(miner_)) {
     const auto msg = transport_->receive(miner_);
     const std::span<const double> payload(msg.payload);
@@ -382,81 +315,37 @@ void SapSession::run_unify_and_account() {
     if (msg.kind == PayloadKind::kForwardedData) {
       received.push_back({nonce, msg.from, decode_dataset(payload.subspan(1))});
     } else if (msg.kind == PayloadKind::kAdaptorSequence) {
-      miner_adaptors_.emplace_back(nonce,
-                                   perturb::SpaceAdaptor::deserialize(payload.subspan(1)));
+      adaptors.emplace_back(nonce, perturb::SpaceAdaptor::deserialize(payload.subspan(1)));
     } else {
       SAP_FAIL("SapSession: unexpected message kind at miner");
     }
   }
-  SAP_REQUIRE(received.size() == k && miner_adaptors_.size() == k,
-              "SapSession: miner did not receive k datasets and k adaptors");
-
-  // Canonical pooling order: sort by nonce so the unified dataset is
-  // bit-identical across transport backends (concurrent delivery reorders
-  // arrivals). Nonces are per-run random values and carry no source
-  // information the adaptor matching does not already use.
-  std::sort(received.begin(), received.end(),
-            [](const MinerDataset& a, const MinerDataset& b) { return a.nonce < b.nonce; });
-
-  linalg::Matrix unified_features;  // d x N_total, built incrementally
-  std::vector<int> unified_labels;
-  for (const auto& rec : received) {
-    const auto it = std::find_if(miner_adaptors_.begin(), miner_adaptors_.end(),
-                                 [&](const auto& a) { return a.first == rec.nonce; });
-    SAP_REQUIRE(it != miner_adaptors_.end(), "SapSession: no adaptor for received dataset");
-    linalg::Matrix in_target = it->second.apply(rec.data.features);
-    unified_features = unified_features.empty()
-                           ? std::move(in_target)
-                           : linalg::Matrix::hcat(unified_features, in_target);
-    unified_labels.insert(unified_labels.end(), rec.data.labels.begin(),
-                          rec.data.labels.end());
-  }
-  engine_.set_pool(data::Dataset("sap-unified", unified_features.transpose(),
-                                 std::move(unified_labels)));
+  auto unified = logic::unify_pool(std::move(received), std::move(adaptors), k);
+  // miner_adaptors_ kept beyond this phase: the Contribute path reuses the
+  // negotiated adaptors per nonce.
+  miner_adaptors_ = std::move(unified.adaptors);
+  engine_.set_pool(std::move(unified.pool));
 
   audit_receiver_of_ = receiver_of_source_;
   audit_forwarder_of_.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
-    const auto it = std::find_if(received.begin(), received.end(),
-                                 [&](const auto& r) { return r.nonce == ps_[i].nonce; });
-    SAP_REQUIRE(it != received.end(), "SapSession: audit lost a dataset");
-    audit_forwarder_of_[i] = it->forwarder;
+    const auto it = std::find_if(unified.forwarder_of_nonce.begin(),
+                                 unified.forwarder_of_nonce.end(),
+                                 [&](const auto& f) { return f.first == ps_[i].nonce; });
+    SAP_REQUIRE(it != unified.forwarder_of_nonce.end(), "SapSession: audit lost a dataset");
+    audit_forwarder_of_[i] = it->second;
   }
 
   // Accounting (party-side knowledge only: each provider knows X_i, G_i,
   // G_t and can score its own exposure). The satisfaction evaluation is the
   // expensive part, so each party's accounting is one run_parties task.
-  const double pi = 1.0 / static_cast<double>(k - 1);
   reports_.assign(k, PartyReport{});
   std::vector<std::function<void()>> accounting_tasks(k);
   for (std::size_t i = 0; i < k; ++i) {
-    accounting_tasks[i] = [this, i, pi, k] {
+    accounting_tasks[i] = [this, i, k] {
       auto& p = ps_[i];
-      PartyReport report;
-      report.id = provider_id_[i];
-      report.local_rho = p.rho;
-      report.bound = std::max(p.bound, p.rho);
-      report.identifiability = pi;
-
-      if (opts_.compute_satisfaction && p.rho > 0.0) {
-        const privacy::AttackSuite suite(opts_.optimizer.attacks);
-        const linalg::Matrix y_in_target = p.adaptor.apply(p.y);
-        linalg::Matrix x_s, y_s;
-        joint_subsample(p.x, y_in_target, opts_.optimizer.max_eval_records, p.eng, x_s, y_s);
-        report.unified_rho = suite.evaluate(x_s, y_s, p.eng).rho;
-        report.satisfaction = std::min(report.unified_rho / p.rho, report.bound / p.rho);
-      } else {
-        report.unified_rho = p.rho;
-        report.satisfaction = 1.0;
-      }
-
-      RiskInputs in{.rho = std::min(report.local_rho, report.bound),
-                    .bound = report.bound,
-                    .satisfaction = report.satisfaction,
-                    .identifiability = pi};
-      report.risk_breach = risk_of_privacy_breach(in);
-      report.risk_sap = sap_risk(in, k);
-      reports_[i] = report;
+      reports_[i] = logic::account_party(p.x, p.y, p.adaptor, provider_id_[i], p.rho,
+                                         p.bound, k, opts_, p.eng);
     };
   }
   transport_->run_parties(std::move(accounting_tasks));
@@ -565,11 +454,7 @@ SapSession::ContributionReceipt SapSession::contribute_raw(std::size_t via_provi
                      [&](const auto& a) { return a.first == contribution.nonce; });
     SAP_REQUIRE(it != miner_adaptors_.end(),
                 "SapSession: contribution from unknown party (no adaptor for nonce)");
-    SAP_REQUIRE(contribution.data.features.rows() == dims_,
-                "SapSession: contribution dimension mismatch");
-    const linalg::Matrix in_target = it->second.apply(contribution.data.features);
-    const data::Dataset appended("sap-unified", in_target.transpose(),
-                                 contribution.data.labels);
+    const data::Dataset appended = logic::adapt_contribution(contribution, it->second, dims_);
     receipt.pool_epoch = engine_.append_records(appended);
     receipt.pool_records = engine_.pool_view().data->size();
   };

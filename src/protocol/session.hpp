@@ -301,7 +301,6 @@ class SapSession {
 
   std::size_t dims_ = 0;
   SapOptions opts_;
-  rng::Engine master_;
   std::unique_ptr<Transport> transport_;
   std::vector<PartyId> provider_id_;
   PartyId coordinator_ = 0;

@@ -12,6 +12,7 @@
 //   sap::opt      — randomized perturbation optimizer, optimality rate
 //   sap::ml       — KNN, SVM(RBF)/SMO, perceptron, Gaussian Naive Bayes
 //   sap::proto    — the Space Adaptation Protocol, risk model, adversaries
+//   sap::net      — TCP wire frames, transport, miner daemon / party client
 #pragma once
 
 #include "common/error.hpp"
@@ -56,7 +57,13 @@
 #include "protocol/message.hpp"
 #include "protocol/mining_engine.hpp"
 #include "protocol/network.hpp"
+#include "protocol/party_logic.hpp"
 #include "protocol/risk.hpp"
 #include "protocol/session.hpp"
 #include "protocol/threaded_transport.hpp"
 #include "protocol/transport.hpp"
+
+#include "net/frame.hpp"
+#include "net/remote.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_transport.hpp"

@@ -3,12 +3,14 @@
 // crash, hang, or silently accept garbage that violates its invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/error.hpp"
+#include "net/frame.hpp"
 #include "perturb/geometric.hpp"
 #include "perturb/space_adaptor.hpp"
 #include "protocol/message.hpp"
@@ -216,6 +218,151 @@ TEST(Fuzz, EnvelopeTamperDetected) {
     EXPECT_THROW((void)env.open(wrong_key), sap::Error);
     (void)cipher;
   }
+}
+
+TEST(Fuzz, MiningRequestCodecNeverCrashes) {
+  const auto wire = proto::encode_mining_request(
+      "nb-train-accuracy", {{"var-smoothing", 1e-9}, {"eval-records", 64.0}});
+  fuzz_decoder(wire,
+               [](const std::vector<double>& w) { (void)proto::decode_mining_request(w); },
+               600, 37);
+  // Round trip.
+  const auto back = proto::decode_mining_request(wire);
+  EXPECT_EQ(back.job, "nb-train-accuracy");
+  EXPECT_EQ(back.params.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.params.at("eval-records"), 64.0);
+  // Hostile strings: non-printable code points and absurd lengths.
+  EXPECT_THROW((void)proto::decode_mining_request(std::vector<double>{2.0, 7.0, 7.0, 0.0}),
+               sap::Error);
+  EXPECT_THROW((void)proto::decode_mining_request(std::vector<double>{1e9, 65.0, 0.0}),
+               sap::Error);
+  EXPECT_THROW((void)proto::decode_mining_request(std::vector<double>{}), sap::Error);
+}
+
+TEST(Fuzz, MiningResponseCodecNeverCrashes) {
+  proto::WireMiningResponse resp;
+  resp.pool_epoch = 3;
+  resp.model_cached = true;
+  resp.values = {0.25, 0.75, -1.0};
+  const auto wire = proto::encode_mining_response(resp);
+  fuzz_decoder(wire,
+               [](const std::vector<double>& w) { (void)proto::decode_mining_response(w); },
+               400, 41);
+  const auto back = proto::decode_mining_response(wire);
+  EXPECT_EQ(back.pool_epoch, 3u);
+  EXPECT_TRUE(back.model_cached);
+  EXPECT_FALSE(back.model_incremental);
+  EXPECT_EQ(back.values, resp.values);
+  // A flag that is not exactly 0/1 is hostile.
+  EXPECT_THROW((void)proto::decode_mining_response(std::vector<double>{1.0, 0.5, 0.0, 0.0}),
+               sap::Error);
+}
+
+TEST(Fuzz, ReceiptCodecNeverCrashes) {
+  const auto wire = proto::encode_receipt(5, 1234);
+  fuzz_decoder(wire, [](const std::vector<double>& w) { (void)proto::decode_receipt(w); },
+               200, 43);
+  const auto back = proto::decode_receipt(wire);
+  EXPECT_EQ(back.pool_epoch, 5u);
+  EXPECT_EQ(back.pool_records, 1234u);
+}
+
+// ---- byte-level wire frames (net/frame.hpp) ------------------------------
+
+/// One random byte-level mutation: truncate, extend, or corrupt a byte.
+std::vector<std::uint8_t> mutate_bytes(std::vector<std::uint8_t> bytes, Engine& eng) {
+  switch (eng.uniform_index(3)) {
+    case 0:  // truncate
+      if (!bytes.empty()) bytes.resize(eng.uniform_index(bytes.size()));
+      break;
+    case 1:  // extend with junk
+      for (std::size_t i = 0, n = 1 + eng.uniform_index(16); i < n; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(eng.uniform_index(256)));
+      break;
+    default:  // corrupt one byte (hits magic/version/type/length/crc/body)
+      if (!bytes.empty())
+        bytes[eng.uniform_index(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + eng.uniform_index(255));
+  }
+  return bytes;
+}
+
+TEST(Fuzz, FrameReaderNeverCrashes) {
+  // Valid two-frame stream as the seed input.
+  Engine eng(47);
+  sap::net::Frame data;
+  data.type = sap::net::FrameType::kData;
+  data.payload_kind = static_cast<std::uint8_t>(proto::PayloadKind::kContribution);
+  data.from = 1;
+  data.to = 4;
+  const std::vector<double> payload{1.0, 2.5, -3.75};
+  data.body = sap::net::envelope_body(proto::EncryptedEnvelope(payload, 0x5EED));
+  sap::net::Frame hello;
+  hello.type = sap::net::FrameType::kHello;
+  hello.body = sap::net::u32_body(2);
+  std::vector<std::uint8_t> valid;
+  sap::net::encode_frame(data, valid);
+  sap::net::encode_frame(hello, valid);
+
+  for (int round = 0; round < 1000; ++round) {
+    auto bytes = valid;
+    const auto mutations = 1 + eng.uniform_index(4);
+    for (std::size_t m = 0; m < mutations; ++m) bytes = mutate_bytes(std::move(bytes), eng);
+    // Feed in random chunk sizes: decoding must be identical to one-shot.
+    sap::net::FrameReader reader;
+    sap::net::Frame out;
+    std::size_t pos = 0;
+    try {
+      while (pos < bytes.size()) {
+        const auto chunk = std::min<std::size_t>(1 + eng.uniform_index(64),
+                                                 bytes.size() - pos);
+        reader.feed(bytes.data() + pos, chunk);
+        pos += chunk;
+        while (reader.next(out)) {
+          // A surviving kData frame must still carry a well-formed envelope
+          // OR be rejected — never crash.
+          if (out.type == sap::net::FrameType::kData) {
+            try {
+              (void)sap::net::body_envelope(out.body).open(0x5EED);
+            } catch (const sap::Error&) {
+            }
+          }
+        }
+      }
+    } catch (const sap::Error&) {
+      // Rejecting the stream is fine — anything but a crash/UB.
+    }
+  }
+}
+
+TEST(Fuzz, FrameRejectsWrongVersionAndOversizedLength) {
+  sap::net::Frame frame;
+  frame.type = sap::net::FrameType::kBye;
+  std::vector<std::uint8_t> bytes;
+  sap::net::encode_frame(frame, bytes);
+
+  // Every version except the current one is rejected.
+  for (int v = 0; v < 256; ++v) {
+    if (v == sap::net::kFrameVersion) continue;
+    auto mutated = bytes;
+    mutated[4] = static_cast<std::uint8_t>(v);
+    sap::net::FrameReader reader;
+    reader.feed(mutated.data(), mutated.size());
+    sap::net::Frame out;
+    EXPECT_THROW((void)reader.next(out), sap::Error) << "version " << v;
+  }
+
+  // A length prefix beyond the cap is rejected BEFORE the body arrives —
+  // a hostile peer cannot make the reader allocate unbounded memory.
+  auto oversized = bytes;
+  oversized[16] = 0xFF;
+  oversized[17] = 0xFF;
+  oversized[18] = 0xFF;
+  oversized[19] = 0xFF;
+  sap::net::FrameReader small_cap(/*max_body=*/1024);
+  small_cap.feed(oversized.data(), sap::net::kFrameHeaderBytes);
+  sap::net::Frame out;
+  EXPECT_THROW((void)small_cap.next(out), sap::Error);
 }
 
 TEST(Fuzz, DecoderAcceptsOnlyExactSizes) {

@@ -50,7 +50,7 @@ using namespace sap;
 const char* kUsage =
     "usage:\n"
     "  sap_cli datasets\n"
-    "  sap_cli jobs\n"
+    "  sap_cli jobs [--json]\n"
     "  sap_cli generate <name> <out.csv> [seed=1]\n"
     "  sap_cli perturb <in.csv> <out.csv> [sigma=0.1] [seed=1]\n"
     "  sap_cli attack <original.csv> <perturbed.csv> [known_m=4]\n"
@@ -60,6 +60,13 @@ const char* kUsage =
     "          [--requests N=256] [--threads K=4] [--job name[:k=v,...]]\n"
     "          [--no-cache] [--transport sim|threaded]\n"
     "          [--ingest-every N=0] [--ingest-records M=32]\n"
+    "  sap_cli serve --listen HOST:PORT --parties K [--seed S=1]\n"
+    "          [--threads K=0] [--no-cache] [--deadline-ms N=30000]\n"
+    "          (miner daemon: port 0 = ephemeral, the bound port is printed)\n"
+    "  sap_cli party <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
+    "          --connect HOST:PORT --index I [--batches N=4]\n"
+    "          [--batch-records M=16] [--job name[:k=v,...]]\n"
+    "          [--deadline-ms N=30000]\n"
     "  sap_cli contribute <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          [--batches N=4] [--batch-records M=16] [--job name[:k=v,...]]\n"
     "          [--transport sim|threaded]\n"
@@ -90,7 +97,22 @@ const char* kUsage =
     "  --batches <n>       number of held-back batches to stream\n"
     "  --batch-records <m> records per streamed batch\n"
     "  --job <spec>        job re-served after every append (default\n"
-    "                      nb-train-accuracy, which refits incrementally)\n";
+    "                      nb-train-accuracy, which refits incrementally)\n"
+    "\n"
+    "cross-process mode (see README for the two-terminal walkthrough):\n"
+    "  `serve --listen` runs the miner daemon: it binds HOST:PORT, waits for\n"
+    "  --parties party processes, pools the exchange, then serves streamed\n"
+    "  contributions and mining requests until every party disconnects.\n"
+    "  `party` runs one provider: every party process must use the SAME\n"
+    "  dataset/parties/sigma/seed arguments (they define the logical\n"
+    "  session; the seed also stands in for the out-of-band key exchange)\n"
+    "  and a DISTINCT --index 0..K-1 (K-1 doubles as the coordinator).\n"
+    "  Each party streams the held-back batches b with b mod K == --index\n"
+    "  and re-serves --job (repeatable) over the wire after its last\n"
+    "  batch. The exchange pool is bit-identical to `--transport sim`;\n"
+    "  concurrently streamed batches land in scheduling-dependent order, so\n"
+    "  compare the daemon's `multiset` digest (order-insensitive) — with a\n"
+    "  single contributing party the ordered digest matches too.\n";
 
 int usage_error(const char* message = nullptr) {
   if (message) std::fprintf(stderr, "error: %s\n", message);
@@ -142,8 +164,21 @@ int cmd_datasets() {
   return 0;
 }
 
-int cmd_jobs() {
+int cmd_jobs(int argc, char** argv) {
   const auto registry = proto::JobRegistry::builtins();
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      return usage_error(("unknown flag " + arg + " for jobs").c_str());
+    }
+  }
+  if (json) {
+    std::fputs(proto::schema_json(registry).c_str(), stdout);
+    return 0;
+  }
   Table table({"job", "kind", "params (name=default)", "summary"});
   for (const auto& name : registry.names()) {
     const auto& spec = registry.find(name);
@@ -349,7 +384,226 @@ bool parse_job_spec(const std::string& text, proto::MiningRequest& out) {
   return true;
 }
 
+/// Validate each request's job name AND params against the builtin registry
+/// (what the engine and the miner daemon serve) BEFORE paying for any
+/// exchange; prints the error and returns false on the first invalid one.
+bool validate_job_requests(const std::vector<proto::MiningRequest>& requests) {
+  const auto builtins = proto::JobRegistry::builtins();
+  for (const auto& req : requests) {
+    if (!builtins.contains(req.job)) {
+      std::fprintf(stderr, "error: unknown miner job '%s' (see `sap_cli jobs`)\n",
+                   req.job.c_str());
+      return false;
+    }
+    try {
+      (void)builtins.find(req.job).resolve_params(req.params);
+    } catch (const sap::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Miner daemon: bind, pool the exchange from remote parties, serve
+/// contributions + mining requests until every party disconnects.
+int cmd_serve_daemon(int argc, char** argv) {
+  std::string listen_text;
+  std::uint64_t parties = 0, seed = 1, threads = 0, deadline_ms = 30000;
+  bool cache = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen") {
+      if (++i >= argc) return usage_error("--listen needs HOST:PORT");
+      listen_text = argv[i];
+    } else if (arg == "--parties") {
+      if (++i >= argc || !parse_u64(argv[i], parties))
+        return usage_error("--parties needs a count");
+    } else if (arg == "--seed") {
+      if (++i >= argc || !parse_u64(argv[i], seed)) return usage_error("bad seed");
+    } else if (arg == "--threads") {
+      if (++i >= argc || !parse_u64(argv[i], threads) || threads > 256)
+        return usage_error("--threads needs a count in [0, 256]");
+    } else if (arg == "--deadline-ms") {
+      if (++i >= argc || !parse_u64(argv[i], deadline_ms) || deadline_ms == 0 ||
+          deadline_ms > 3600000)
+        return usage_error("--deadline-ms needs a timeout in (0, 3600000]");
+    } else if (arg == "--no-cache") {
+      cache = false;
+    } else {
+      return usage_error(("unknown argument " + arg + " in daemon mode").c_str());
+    }
+  }
+  if (parties < 3) return usage_error("daemon mode needs --parties >= 3");
+
+  net::MinerDaemonOptions opts;
+  try {
+    opts.listen = net::SocketAddr::parse(listen_text);
+  } catch (const sap::Error&) {
+    return usage_error("--listen needs HOST:PORT (IPv4 or localhost)");
+  }
+  opts.parties = parties;
+  opts.seed = seed;
+  opts.mining_threads = threads;
+  opts.cache_models = cache;
+  opts.tcp.receive_timeout_ms = static_cast<int>(deadline_ms);
+  opts.log = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  };
+  net::MinerDaemon daemon(opts);
+  // Parties (and scripts driving them) parse this line for the bound port.
+  std::printf("listening on %s (%llu parties, seed %llu)\n",
+              daemon.local_addr().to_string().c_str(),
+              static_cast<unsigned long long>(parties),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+
+  const auto summary = daemon.run();
+  const auto stats = daemon.engine().cache_stats();
+  std::printf("served: %zu records at epoch %llu, digest %llu, multiset %llu\n",
+              summary.pool_records, static_cast<unsigned long long>(summary.pool_epoch),
+              static_cast<unsigned long long>(summary.pool_digest),
+              static_cast<unsigned long long>(
+                  net::dataset_multiset_digest(*daemon.engine().pool_view().data)));
+  std::printf("contributions: %zu, requests: %zu, fits: %zu full, %zu incremental, "
+              "%zu cache hits\n",
+              summary.contributions, summary.requests_served, stats.fits, stats.incremental,
+              stats.hits);
+  return 0;
+}
+
+/// One provider process: exchange + streamed contributions + wire jobs.
+int cmd_party(int argc, char** argv) {
+  std::vector<const char*> positional;
+  std::vector<proto::MiningRequest> job_requests;
+  std::string connect_text;
+  std::uint64_t index = 0, batches = 4, batch_records = 16, deadline_ms = 30000;
+  bool have_index = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect") {
+      if (++i >= argc) return usage_error("--connect needs HOST:PORT");
+      connect_text = argv[i];
+    } else if (arg == "--index") {
+      if (++i >= argc || !parse_u64(argv[i], index)) return usage_error("bad --index");
+      have_index = true;
+    } else if (arg == "--batches") {
+      if (++i >= argc || !parse_u64(argv[i], batches))
+        return usage_error("--batches needs a count");
+    } else if (arg == "--batch-records") {
+      if (++i >= argc || !parse_u64(argv[i], batch_records) || batch_records == 0)
+        return usage_error("--batch-records needs a positive count");
+    } else if (arg == "--deadline-ms") {
+      if (++i >= argc || !parse_u64(argv[i], deadline_ms) || deadline_ms == 0 ||
+          deadline_ms > 3600000)
+        return usage_error("--deadline-ms needs a timeout in (0, 3600000]");
+    } else if (arg == "--job") {
+      if (++i >= argc) return usage_error("--job needs a value");
+      proto::MiningRequest req;
+      if (!parse_job_spec(argv[i], req))
+        return usage_error("bad job spec (use name[:k=v,...])");
+      job_requests.push_back(std::move(req));
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      return usage_error(("unknown flag " + arg).c_str());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 4)
+    return usage_error("party takes 1-4 positional arguments");
+  if (connect_text.empty()) return usage_error("party needs --connect HOST:PORT");
+  if (!have_index) return usage_error("party needs --index");
+
+  std::uint64_t parties = 5, seed = 1;
+  double sigma = 0.1;
+  if (positional.size() > 1 && !parse_u64(positional[1], parties))
+    return usage_error("bad party count");
+  if (positional.size() > 2 && !parse_double(positional[2], sigma))
+    return usage_error("bad sigma");
+  if (positional.size() > 3 && !parse_u64(positional[3], seed))
+    return usage_error("bad seed");
+  if (parties < 3) return usage_error("party needs at least 3 parties");
+  if (index >= parties) return usage_error("--index must be < parties");
+  if (sigma < 0.0) return usage_error("sigma must be non-negative");
+
+  // A typo must exit 2 up front, not "refused" after the protocol work.
+  if (!validate_job_requests(job_requests)) return 2;
+
+  // Data prep replicated by EVERY party process (and by `contribute`, which
+  // is the same logical session in one process): each derives the full
+  // partition deterministically and keeps only its own shard.
+  data::StreamWorkload workload;
+  try {
+    workload = data::make_stream_workload(positional[0], parties, batches, batch_records,
+                                          seed);
+  } catch (const sap::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const data::Dataset& stream = workload.stream;
+
+  net::PartyClientOptions opts;
+  try {
+    opts.connect = net::SocketAddr::parse(connect_text);
+  } catch (const sap::Error&) {
+    return usage_error("--connect needs HOST:PORT (IPv4 or localhost)");
+  }
+  opts.index = index;
+  opts.parties = parties;
+  opts.sap = net::serving_session_options(sigma, seed);
+  opts.tcp.receive_timeout_ms = static_cast<int>(deadline_ms);
+
+  net::PartyClient party(workload.shards[index], opts);
+  std::printf("party %llu: connected to %s\n", static_cast<unsigned long long>(index),
+              opts.connect.to_string().c_str());
+  std::fflush(stdout);
+  const auto report = party.run_exchange();
+  std::printf("party %llu: exchange done (rho_i=%.4f, b_i=%.4f, pi_i=%.4f)\n",
+              static_cast<unsigned long long>(index), report.local_rho, report.bound,
+              report.identifiability);
+  std::fflush(stdout);
+
+  // Stream this party's share of the held-back batches, in global order.
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    if (b % parties != index) continue;
+    const auto batch = stream.slice(b * batch_records, (b + 1) * batch_records);
+    const auto receipt = party.contribute(batch);
+    std::printf("party %llu: batch %llu accepted: pool %zu records at epoch %llu\n",
+                static_cast<unsigned long long>(index), static_cast<unsigned long long>(b),
+                receipt.pool_records, static_cast<unsigned long long>(receipt.pool_epoch));
+    std::fflush(stdout);
+  }
+
+  bool any_refused = false;
+  for (const auto& req : job_requests) {
+    const auto response = party.mine_named(req.job, req.params);
+    any_refused = any_refused || response.values.empty();
+    std::string values;
+    for (const double v : response.values) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%s%.6f", values.empty() ? "" : " ", v);
+      values += buf;
+    }
+    std::printf("party %llu: job %s -> [%s] (epoch %llu%s)\n",
+                static_cast<unsigned long long>(index), req.job.c_str(), values.c_str(),
+                static_cast<unsigned long long>(response.pool_epoch),
+                response.values.empty() ? ", refused" : "");
+    std::fflush(stdout);
+  }
+
+  party.finish();
+  std::printf("party %llu: done\n", static_cast<unsigned long long>(index));
+  // A daemon-refused job is a failed request: exit nonzero so scripts
+  // driving the two-terminal walkthrough cannot mistake it for success.
+  return any_refused ? 1 : 0;
+}
+
 int cmd_serve(int argc, char** argv) {
+  // `--listen` switches serve into the cross-process miner daemon.
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--listen") return cmd_serve_daemon(argc, argv);
+  }
   std::vector<const char*> positional;
   std::vector<proto::MiningRequest> job_templates;
   proto::TransportKind transport = proto::TransportKind::kSimulated;
@@ -418,39 +672,20 @@ int cmd_serve(int argc, char** argv) {
   data::PartitionOptions popts;
   auto shards = data::partition(pool, parties, popts, eng);
 
-  proto::SapOptions opts;
-  opts.noise_sigma = sigma;
-  opts.seed = seed;
+  auto opts = net::serving_session_options(sigma, seed);
   opts.transport = transport;
   opts.mining_threads = threads;
   opts.cache_models = cache;
-  opts.compute_satisfaction = false;
-  opts.optimizer.candidates = 6;
-  opts.optimizer.refine_steps = 3;
-  opts.optimizer.attacks = {.naive = true, .known_inputs = 4};
   proto::SapSession session(std::move(shards), opts);
 
-  // Validate names AND params against the registry BEFORE paying for the
-  // exchange (bad values exit 2, like every other argument error).
-  const auto builtins = proto::JobRegistry::builtins();
   if (job_templates.empty()) {
     // Default load: every built-in trainable job at its declared defaults.
+    const auto builtins = proto::JobRegistry::builtins();
     for (const auto& name : builtins.names())
       if (builtins.find(name).trainable()) job_templates.push_back({name, {}});
   }
-  for (const auto& req : job_templates) {
-    if (!builtins.contains(req.job)) {
-      std::fprintf(stderr, "error: unknown miner job '%s' (see `sap_cli jobs`)\n",
-                   req.job.c_str());
-      return 2;
-    }
-    try {
-      (void)builtins.find(req.job).resolve_params(req.params);
-    } catch (const sap::Error& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 2;
-    }
-  }
+  // Bad names/values exit 2, like every other argument error.
+  if (!validate_job_requests(job_templates)) return 2;
 
   Stopwatch exchange_sw;
   auto& engine = session.engine();  // runs the exchange
@@ -558,49 +793,23 @@ int cmd_contribute(int argc, char** argv) {
   if (parties < 3) return usage_error("contribute needs at least 3 parties");
   if (sigma < 0.0) return usage_error("sigma must be non-negative");
 
-  const auto builtins = proto::JobRegistry::builtins();
-  if (!builtins.contains(job.job)) {
-    std::fprintf(stderr, "error: unknown miner job '%s' (see `sap_cli jobs`)\n",
-                 job.job.c_str());
-    return 2;
-  }
+  if (!validate_job_requests({job})) return 2;
+
+  // Same prep as `party`: bit-identity between the in-process and the
+  // cross-process topology rests on this being the SAME code path.
+  data::StreamWorkload workload;
   try {
-    (void)builtins.find(job.job).resolve_params(job.params);
+    workload = data::make_stream_workload(positional[0], parties, batches, batch_records,
+                                          seed);
   } catch (const sap::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+  const data::Dataset& stream = workload.stream;
 
-  const data::Dataset raw = data::make_uci(positional[0], seed);
-  data::MinMaxNormalizer norm;
-  norm.fit(raw.features());
-  data::Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
-  rng::Engine eng(seed ^ 0xC0B);
-  pool.shuffle(eng);
-  const std::size_t held = batches * batch_records;
-  if (pool.size() < held + parties * 8) {
-    std::fprintf(stderr,
-                 "error: dataset too small for %llu batches of %llu records "
-                 "plus %llu providers\n",
-                 static_cast<unsigned long long>(batches),
-                 static_cast<unsigned long long>(batch_records),
-                 static_cast<unsigned long long>(parties));
-    return 2;
-  }
-  const data::Dataset stream = pool.slice(pool.size() - held, pool.size());
-  const data::Dataset initial = pool.slice(0, pool.size() - held);
-  data::PartitionOptions popts;
-  auto shards = data::partition(initial, parties, popts, eng);
-
-  proto::SapOptions opts;
-  opts.noise_sigma = sigma;
-  opts.seed = seed;
+  auto opts = net::serving_session_options(sigma, seed);
   opts.transport = transport;
-  opts.compute_satisfaction = false;
-  opts.optimizer.candidates = 6;
-  opts.optimizer.refine_steps = 3;
-  opts.optimizer.attacks = {.naive = true, .known_inputs = 4};
-  proto::SapSession session(std::move(shards), opts);
+  proto::SapSession session(std::move(workload.shards), opts);
 
   Stopwatch exchange_sw;
   auto& engine = session.engine();  // runs the exchange
@@ -660,12 +869,13 @@ int main(int argc, char** argv) {
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage_ok();
   try {
     if (cmd == "datasets") return cmd_datasets();
-    if (cmd == "jobs") return cmd_jobs();
+    if (cmd == "jobs") return cmd_jobs(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "perturb") return cmd_perturb(argc, argv);
     if (cmd == "attack") return cmd_attack(argc, argv);
     if (cmd == "protocol") return cmd_protocol(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "party") return cmd_party(argc, argv);
     if (cmd == "contribute") return cmd_contribute(argc, argv);
     if (cmd == "minparties") return cmd_minparties(argc, argv);
   } catch (const sap::Error& e) {
