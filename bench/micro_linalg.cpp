@@ -45,6 +45,59 @@ void BM_MatMulRectangularPerturbShape(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulRectangularPerturbShape)->Arg(8)->Arg(16)->Arg(34);
 
+// Blocked gemm() vs the naive reference at the tracked shapes (64x64,
+// 128x128, the d=34 perturb shape): the per-PR record of the kernel's edge.
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 11);
+  const Matrix b = random_matrix(n, n, 12);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    sap::linalg::gemm(1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128);
+
+void BM_GemmNaiveReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(n, n, 11);
+  const Matrix b = random_matrix(n, n, 12);
+  for (auto _ : state) {
+    Matrix c = sap::linalg::matmul_naive(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_GemmNaiveReference)->Arg(64)->Arg(128);
+
+void BM_GemmBlockedPerturbShape(benchmark::State& state) {
+  // Fused apply shape: d x d rotation, d x N data, epilogue translation,
+  // output buffer reused across iterations (the optimizer's hot loop).
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix r = random_matrix(d, d, 13);
+  const Matrix x = random_matrix(d, 1000, 14);
+  sap::linalg::Vector t(d, 0.25);
+  Matrix y(d, 1000);
+  for (auto _ : state) {
+    sap::linalg::gemm(1.0, r, x, 0.0, y, t);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_GemmBlockedPerturbShape)->Arg(8)->Arg(16)->Arg(34);
+
+void BM_MatMulAbt(benchmark::State& state) {
+  // A * B^T without the transpose — the candidate-pool correlation kernel.
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix(d, 160, 15);
+  const Matrix b = random_matrix(d, 160, 16);
+  Matrix c(d, d);
+  for (auto _ : state) {
+    sap::linalg::matmul_abt_into(a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_MatMulAbt)->Arg(8)->Arg(16)->Arg(34);
+
 void BM_QrDecompose(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Matrix a = random_matrix(n, n, 5);

@@ -251,19 +251,28 @@ Svd svd(const Matrix& a, double tol, int max_sweeps) {
   }
 
   // One-sided Jacobi: orthogonalize the columns of W = A by plane rotations
-  // applied on the right; accumulate them into V.
-  Matrix w = a;
-  Matrix v = Matrix::identity(n);
+  // applied on the right; accumulate them into V. The iteration runs on the
+  // TRANSPOSED storage (each column of W / V is a contiguous row of wt / vt)
+  // so the O(n^2) column sweeps stream cache lines instead of striding, and
+  // the inner loops run on raw pointers instead of bounds-checked element
+  // access. The arithmetic — expressions, accumulation order, tolerance
+  // checks — is exactly the classic column-layout loop, so the factors are
+  // bit-identical to it; only the traversal changed.
+  Matrix wt = a.transpose();  // n x m: row j = column j of W
+  Matrix vt(n, n);            // row j = column j of V
+  for (std::size_t j = 0; j < n; ++j) vt(j, j) = 1.0;
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     bool rotated = false;
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
+        double* wp = wt.row(p).data();
+        double* wq = wt.row(q).data();
         double alpha = 0.0, beta = 0.0, gamma = 0.0;
         for (std::size_t i = 0; i < m; ++i) {
-          alpha += w(i, p) * w(i, p);
-          beta += w(i, q) * w(i, q);
-          gamma += w(i, p) * w(i, q);
+          alpha += wp[i] * wp[i];
+          beta += wq[i] * wq[i];
+          gamma += wp[i] * wq[i];
         }
         if (std::abs(gamma) <= tol * std::sqrt(alpha * beta) || gamma == 0.0) continue;
         rotated = true;
@@ -273,16 +282,18 @@ Svd svd(const Matrix& a, double tol, int max_sweeps) {
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
         for (std::size_t i = 0; i < m; ++i) {
-          const double wip = w(i, p);
-          const double wiq = w(i, q);
-          w(i, p) = c * wip - s * wiq;
-          w(i, q) = s * wip + c * wiq;
+          const double wip = wp[i];
+          const double wiq = wq[i];
+          wp[i] = c * wip - s * wiq;
+          wq[i] = s * wip + c * wiq;
         }
+        double* vp = vt.row(p).data();
+        double* vq = vt.row(q).data();
         for (std::size_t i = 0; i < n; ++i) {
-          const double vip = v(i, p);
-          const double viq = v(i, q);
-          v(i, p) = c * vip - s * viq;
-          v(i, q) = s * vip + c * viq;
+          const double vip = vp[i];
+          const double viq = vq[i];
+          vp[i] = c * vip - s * viq;
+          vq[i] = s * vip + c * viq;
         }
       }
     }
@@ -292,61 +303,57 @@ Svd svd(const Matrix& a, double tol, int max_sweeps) {
   // Singular values are the column norms of W; U's columns are W normalized.
   Svd out;
   out.s.resize(n);
-  out.u = Matrix(m, n);
-  out.v = std::move(v);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   Vector norms(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const Vector column = w.col(j);
-    norms[j] = norm2(column);
-  }
+  for (std::size_t j = 0; j < n; ++j) norms[j] = norm2(wt.row(j));
   std::sort(order.begin(), order.end(),
             [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
 
+  // ut rows are U's columns; built sorted, normalized in place.
+  Matrix ut(n, m);
   Matrix vsorted(n, n);
-  std::vector<std::size_t> null_cols;
+  std::vector<std::size_t> null_rows;
   for (std::size_t j = 0; j < n; ++j) {
     const std::size_t src = order[j];
     out.s[j] = norms[src];
-    Vector ucol = w.col(src);
+    auto dst = ut.row(j);
     if (norms[src] > 1e-300) {
-      for (auto& x : ucol) x /= norms[src];
+      const auto wrow = wt.row(src);
+      for (std::size_t i = 0; i < m; ++i) dst[i] = wrow[i] / norms[src];
     } else {
       // Null direction (rank-deficient input): completed below.
-      std::fill(ucol.begin(), ucol.end(), 0.0);
-      null_cols.push_back(j);
+      null_rows.push_back(j);
     }
-    out.u.set_col(j, ucol);
-    const Vector vcol = out.v.col(src);
-    vsorted.set_col(j, vcol);
+    vsorted.set_row(j, vt.row(src));
   }
-  out.v = std::move(vsorted);
+  out.v = vsorted.transpose();
 
   // Complete null-space columns of U so its columns are always orthonormal
   // (A = U S V^T is unchanged: the completed columns multiply zero singular
   // values). Gram–Schmidt against the existing columns starting from
   // canonical basis vectors; a usable one always exists since rank < m.
-  for (const std::size_t j : null_cols) {
+  for (const std::size_t j : null_rows) {
     bool placed = false;
     for (std::size_t e = 0; e < m && !placed; ++e) {
       Vector v(m, 0.0);
       v[e] = 1.0;
       for (std::size_t c = 0; c < n; ++c) {
         if (c == j) continue;
-        const Vector uc = out.u.col(c);
+        const auto uc = ut.row(c);
         const double proj = dot(uc, v);
         for (std::size_t i = 0; i < m; ++i) v[i] -= proj * uc[i];
       }
       const double residual = norm2(v);
       if (residual > 1e-6) {
         for (auto& x : v) x /= residual;
-        out.u.set_col(j, v);
+        ut.set_row(j, v);
         placed = true;
       }
     }
     SAP_REQUIRE(placed, "svd: failed to complete null-space basis");
   }
+  out.u = ut.transpose();
   return out;
 }
 

@@ -123,19 +123,157 @@ Matrix& Matrix::operator*=(double s) noexcept {
 Matrix operator*(const Matrix& a, const Matrix& b) {
   SAP_REQUIRE(a.cols_ == b.rows_, "Matrix::*: inner dimension mismatch");
   Matrix c(a.rows_, b.cols_);
-  // ikj loop order: the inner loop streams rows of both b and c.
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    double* crow = c.data_.data() + i * c.cols_;
-    for (std::size_t k = 0; k < a.cols_; ++k) {
-      // No zero-skip: inputs here are dense (rotations, data), so the branch
-      // almost never fires and its misprediction costs more than the FMA row
-      // it would save (micro_linalg confirms).
-      const double aik = a.data_[i * a.cols_ + k];
-      const double* brow = b.data_.data() + k * b.cols_;
-      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+  gemm(1.0, a, b, 0.0, c);
+  return c;
+}
+
+Matrix matmul_naive(const Matrix& a, const Matrix& b) {
+  SAP_REQUIRE(a.cols() == b.rows(), "matmul_naive: inner dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order: the inner loop streams rows of both b and c. No
+  // zero-skip: inputs here are dense (rotations, data), so the branch almost
+  // never fires and its misprediction costs more than the FMA row it would
+  // save (micro_linalg confirms).
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.data().data() + i * c.cols();
+    const double* arow = a.data().data() + i * a.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      const double* brow = b.data().data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
     }
   }
   return c;
+}
+
+namespace {
+
+// Blocking parameters. The panel kernel jams kMr rows of C through one
+// streamed pass over a KC-row panel of B, so B is re-read from cache m/kMr
+// times instead of m times; KC keeps the panel L1/L2-resident. The inner j
+// loop has exactly the naive loop's shape (independent streaming updates),
+// which every vectorizer handles, and each C element still accumulates as a
+// single left-to-right chain over ascending k — the blocked product is
+// bit-identical to matmul_naive.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kKc = 256;
+
+/// MR-row x full-width panel update: C[i0..i0+MR) += alpha * A_panel * B_panel,
+/// with `bias` (when non-null) added once after the final k of the last panel.
+template <std::size_t MR>
+void panel_kernel(std::size_t n, std::size_t kc, double alpha, const double* a,
+                  std::size_t lda, const double* b, double* c, const double* bias) {
+  for (std::size_t k = 0; k < kc; ++k) {
+    const double* brow = b + k * n;
+    double av[MR];
+    for (std::size_t ii = 0; ii < MR; ++ii) av[ii] = alpha * a[ii * lda + k];
+    for (std::size_t j = 0; j < n; ++j) {
+      const double bj = brow[j];
+      for (std::size_t ii = 0; ii < MR; ++ii) c[ii * n + j] += av[ii] * bj;
+    }
+  }
+  if (bias != nullptr)
+    for (std::size_t ii = 0; ii < MR; ++ii)
+      for (std::size_t j = 0; j < n; ++j) c[ii * n + j] += bias[ii];
+}
+
+}  // namespace
+
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c,
+          std::span<const double> row_bias) {
+  SAP_REQUIRE(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+  SAP_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+              "gemm: C must be pre-shaped to A.rows() x B.cols()");
+  SAP_REQUIRE(row_bias.empty() || row_bias.size() == a.rows(),
+              "gemm: row_bias must have A.rows() entries");
+  // C is zeroed/scaled before A and B are streamed, so aliasing would read
+  // clobbered inputs silently.
+  SAP_REQUIRE(&c != &a && &c != &b, "gemm: C must not alias A or B");
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+
+  if (beta == 0.0) {
+    std::fill(c.data().begin(), c.data().end(), 0.0);
+  } else if (beta != 1.0) {
+    for (auto& v : c.data()) v *= beta;
+  }
+  if (kk == 0 || m == 0 || n == 0) {
+    if (!row_bias.empty())
+      for (std::size_t i = 0; i < m; ++i)
+        for (auto& v : c.row(i)) v += row_bias[i];
+    return;
+  }
+
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = c.data().data();
+
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKc) {
+    const std::size_t kc = std::min(kKc, kk - k0);
+    const bool last_panel = (k0 + kc == kk);
+    const double* bpanel = pb + k0 * n;
+    for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+      const std::size_t mr = std::min(kMr, m - i0);
+      const double* atile = pa + i0 * kk + k0;
+      double* ctile = pc + i0 * n;
+      const double* bias =
+          (last_panel && !row_bias.empty()) ? row_bias.data() + i0 : nullptr;
+      switch (mr) {
+        case 4: panel_kernel<4>(n, kc, alpha, atile, kk, bpanel, ctile, bias); break;
+        case 3: panel_kernel<3>(n, kc, alpha, atile, kk, bpanel, ctile, bias); break;
+        case 2: panel_kernel<2>(n, kc, alpha, atile, kk, bpanel, ctile, bias); break;
+        default: panel_kernel<1>(n, kc, alpha, atile, kk, bpanel, ctile, bias); break;
+      }
+    }
+  }
+}
+
+void matmul_abt_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  SAP_REQUIRE(a.cols() == b.cols(), "matmul_abt: inner dimension mismatch");
+  SAP_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
+              "matmul_abt: C must be pre-shaped to A.rows() x B.rows()");
+  const std::size_t m = a.rows();
+  const std::size_t k = b.rows();
+  const std::size_t n = a.cols();
+  // 4 x 4 row-pair tiling: 16 independent ascending accumulation chains give
+  // the ILP a single latency-bound dot() chain cannot; each chain is still
+  // the plain left-to-right dot product, so elements match dot() bit-wise.
+  constexpr std::size_t kTile = 4;
+  for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
+    const std::size_t mt = std::min(kTile, m - i0);
+    for (std::size_t j0 = 0; j0 < k; j0 += kTile) {
+      const std::size_t nt = std::min(kTile, k - j0);
+      double acc[kTile][kTile] = {};
+      for (std::size_t t = 0; t < n; ++t)
+        for (std::size_t ii = 0; ii < mt; ++ii) {
+          const double av = a.data()[(i0 + ii) * n + t];
+          for (std::size_t jj = 0; jj < nt; ++jj)
+            acc[ii][jj] += av * b.data()[(j0 + jj) * n + t];
+        }
+      for (std::size_t ii = 0; ii < mt; ++ii)
+        for (std::size_t jj = 0; jj < nt; ++jj) c(i0 + ii, j0 + jj) = acc[ii][jj];
+    }
+  }
+}
+
+Matrix matmul_abt(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  matmul_abt_into(a, b, c);
+  return c;
+}
+
+Matrix gather_cols(const Matrix& x, std::span<const std::size_t> idx) {
+  SAP_REQUIRE(!idx.empty(), "gather_cols: empty index set");
+  for (const std::size_t j : idx)
+    SAP_REQUIRE(j < x.cols(), "gather_cols: index out of range");
+  Matrix out(x.rows(), idx.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto src = x.row(r);
+    auto dst = out.row(r);
+    for (std::size_t j = 0; j < idx.size(); ++j) dst[j] = src[idx[j]];
+  }
+  return out;
 }
 
 Vector Matrix::matvec(std::span<const double> x) const {

@@ -90,7 +90,8 @@ class Matrix {
   friend Matrix operator*(Matrix a, double s) { return a *= s; }
   friend Matrix operator*(double s, Matrix a) { return a *= s; }
 
-  /// Matrix product (naive triple loop with ikj order for cache-friendliness).
+  /// Matrix product. Routed through the blocked gemm() kernel; bit-identical
+  /// to matmul_naive (see gemm() for the exactness argument).
   friend Matrix operator*(const Matrix& a, const Matrix& b);
 
   /// Matrix-vector product; x.size() must equal cols().
@@ -115,6 +116,40 @@ class Matrix {
   std::size_t cols_ = 0;
   std::vector<double> data_;
 };
+
+// ---- Dense kernels -------------------------------------------------------
+//
+// The blocked GEMM is the library's one hot-loop kernel: perturbation
+// application, space-adaptor algebra, Procrustes and ICA all reduce to it.
+// Exactness contract: every output element is accumulated as a single
+// left-to-right chain over ascending k, exactly like the naive ikj loop —
+// cache blocking only interleaves loads/stores between panels, it never
+// reassociates a chain — so gemm(1, A, B, 0, C) is bit-identical to
+// matmul_naive(A, B). Tests enforce this on ragged shapes.
+
+/// C = alpha * A * B + beta * C, blocked (register micro-kernel over
+/// cache-sized k panels). C must be pre-shaped to A.rows() x B.cols() and
+/// must not alias A or B (checked). When `row_bias` is non-empty (size
+/// A.rows()), bias[i] is added to every element of row i in the epilogue of
+/// the last k panel — the fusion hook for the perturbation translation
+/// term. beta == 0 overwrites C (NaN-safe).
+void gemm(double alpha, const Matrix& a, const Matrix& b, double beta, Matrix& c,
+          std::span<const double> row_bias = {});
+
+/// Reference product (the naive ikj triple loop). Kept as the exactness
+/// baseline for gemm and for the pre-PR comparisons in bench/local_optimize.
+[[nodiscard]] Matrix matmul_naive(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without forming the transpose: C(i,j) = dot(A.row(i),
+/// B.row(j)) with the same ascending single-chain accumulation as dot(),
+/// so each element is bit-identical to the explicit dot product. A is
+/// m x n, B is k x n, C is m x k (pre-shaped by the caller).
+void matmul_abt_into(const Matrix& a, const Matrix& b, Matrix& c);
+[[nodiscard]] Matrix matmul_abt(const Matrix& a, const Matrix& b);
+
+/// Column gather: out(:, j) = x(:, idx[j]). One strided pass per row —
+/// no per-column Vector temporaries (the subsampling hot path).
+[[nodiscard]] Matrix gather_cols(const Matrix& x, std::span<const std::size_t> idx);
 
 // ---- Free vector helpers (std::vector<double> based) ----
 

@@ -58,9 +58,45 @@ Matrix procrustes_rotation(const Matrix& src, const Matrix& dst) {
   SAP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
               "procrustes_rotation: shape mismatch");
   SAP_REQUIRE(src.cols() >= 1, "procrustes_rotation: need at least one point");
-  const Matrix m = dst * src.transpose();
-  const Svd f = svd(m);
-  return f.u * f.v.transpose();
+  const std::size_t d = src.rows();
+  const std::size_t m = src.cols();
+
+  if (m >= d) {
+    const Matrix cross = dst * src.transpose();
+    const Svd f = svd(cross);
+    return f.u * f.v.transpose();
+  }
+
+  // Fewer correspondence points than dimensions (the known-input attack's
+  // common case): M = dst src^T has rank <= m, so running the d x d Jacobi
+  // SVD wastes almost all of its sweeps on the null space. QR-reduce both
+  // point sets instead — M = Qy (Ry Rx^T) Qx^T — and decompose only the
+  // m x m core. Any orthonormal completion of the null space is an optimal
+  // Procrustes solution (zero singular values contribute nothing to the
+  // trace objective); the trailing columns of the two full Q factors are
+  // exactly such a completion, so pair them up.
+  const Qr qx = qr_decompose(src);
+  const Qr qy = qr_decompose(dst);
+  Matrix core(m, m);
+  // core = Ry_top * Rx_top^T; both tops are m x m upper triangular.
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      const std::size_t k0 = std::max(i, j);  // triangular: terms below are zero
+      for (std::size_t k = k0; k < m; ++k) acc += qy.r(i, k) * qx.r(j, k);
+      core(i, j) = acc;
+    }
+  const Svd f = svd(core);
+
+  // R = [Qy_thin Us | Qy_rest] * [Qx_thin Vs | Qx_rest]^T.
+  const Matrix u_rot = qy.q.block(0, 0, d, m) * f.u;
+  const Matrix v_rot = qx.q.block(0, 0, d, m) * f.v;
+  Matrix r = matmul_abt(u_rot, v_rot);
+  if (d > m) {
+    const Matrix rest = matmul_abt(qy.q.block(0, m, d, d - m), qx.q.block(0, m, d, d - m));
+    r += rest;
+  }
+  return r;
 }
 
 Matrix givens(std::size_t d, std::size_t p, std::size_t q, double angle) {

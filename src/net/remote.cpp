@@ -37,13 +37,15 @@ std::uint64_t dataset_multiset_digest(const data::Dataset& ds) {
   return acc;
 }
 
-proto::SapOptions serving_session_options(double noise_sigma, std::uint64_t seed) {
+proto::SapOptions serving_session_options(double noise_sigma, std::uint64_t seed,
+                                          std::size_t optimize_threads) {
   proto::SapOptions opts;
   opts.noise_sigma = noise_sigma;
   opts.seed = seed;
   opts.compute_satisfaction = false;
   opts.optimizer.candidates = 6;
   opts.optimizer.refine_steps = 3;
+  opts.optimizer.threads = optimize_threads;
   opts.optimizer.attacks = {.naive = true, .known_inputs = 4};
   return opts;
 }

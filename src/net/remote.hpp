@@ -48,9 +48,12 @@ namespace sap::net {
 /// `contribute`, `party`) and their tests share. Every process of one
 /// logical cross-process session must run identical options — keeping the
 /// one copy here is part of the bit-identity guarantee between the
-/// daemon/party topology and its in-process reference.
+/// daemon/party topology and its in-process reference. `optimize_threads`
+/// is the one exception: LocalOptimize results are thread-count-invariant
+/// (optimizer.hpp), so each process may pick its own worker count.
 [[nodiscard]] proto::SapOptions serving_session_options(double noise_sigma,
-                                                        std::uint64_t seed);
+                                                        std::uint64_t seed,
+                                                        std::size_t optimize_threads = 0);
 
 // ---- miner daemon --------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "optimize/optimizer.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.hpp"
 #include "linalg/orthogonal.hpp"
@@ -13,18 +14,17 @@ linalg::Matrix subsample_records(const linalg::Matrix& x, std::size_t max_record
                                  rng::Engine& eng) {
   if (x.cols() <= max_records) return x;
   const auto idx = eng.sample_without_replacement(x.cols(), max_records);
-  linalg::Matrix out(x.rows(), max_records);
-  for (std::size_t j = 0; j < max_records; ++j) {
-    const linalg::Vector col = x.col(idx[j]);
-    out.set_col(j, col);
-  }
-  return out;
+  return linalg::gather_cols(x, idx);
 }
 
+/// One candidate evaluation. Everything mutable (`scratch`, `y_buf`, `eng`)
+/// is slot-private in the parallel phases, so the score depends only on the
+/// slot's own engine stream.
 double score(const linalg::Matrix& x_eval, const perturb::GeometricPerturbation& g,
-             const privacy::AttackSuite& suite, rng::Engine& eng) {
-  const linalg::Matrix y = g.apply(x_eval, eng);
-  return suite.evaluate(x_eval, y, eng).rho;
+             const privacy::AttackSuite& suite, privacy::AttackSuite::Scratch& scratch,
+             linalg::Matrix& y_buf, rng::Engine& eng) {
+  g.apply_into(x_eval, y_buf, eng);
+  return suite.evaluate(x_eval, y_buf, eng, scratch).rho;
 }
 
 }  // namespace
@@ -36,11 +36,20 @@ double evaluate_perturbation(const linalg::Matrix& x,
   SAP_REQUIRE(x.rows() == g.dims(), "evaluate_perturbation: dimension mismatch");
   const privacy::AttackSuite suite(attacks);
   const linalg::Matrix x_eval = subsample_records(x, max_eval_records, eng);
-  return score(x_eval, g, suite, eng);
+  auto scratch = suite.make_scratch(x_eval);
+  linalg::Matrix y_buf;
+  return score(x_eval, g, suite, scratch, y_buf, eng);
 }
 
 OptimizationResult optimize_perturbation(const linalg::Matrix& x,
                                          const OptimizerOptions& opts, rng::Engine& eng) {
+  ThreadPool pool(opts.threads);
+  return optimize_perturbation(x, opts, eng, pool);
+}
+
+OptimizationResult optimize_perturbation(const linalg::Matrix& x,
+                                         const OptimizerOptions& opts, rng::Engine& eng,
+                                         ThreadPool& pool) {
   SAP_REQUIRE(opts.candidates >= 1, "optimize_perturbation: need at least one candidate");
   SAP_REQUIRE(x.rows() >= 2 && x.cols() >= 8,
               "optimize_perturbation: dataset too small (need d >= 2, N >= 8)");
@@ -48,38 +57,69 @@ OptimizationResult optimize_perturbation(const linalg::Matrix& x,
   const privacy::AttackSuite suite(opts.attacks);
   const linalg::Matrix x_eval = subsample_records(x, opts.max_eval_records, eng);
   const std::size_t d = x.rows();
+  const std::size_t nc = opts.candidates;
 
   OptimizationResult result;
-  result.candidate_rhos.reserve(opts.candidates);
 
-  // --- random search phase
-  for (std::size_t c = 0; c < opts.candidates; ++c) {
-    auto g = perturb::GeometricPerturbation::random(d, opts.noise_sigma, eng);
-    const double rho = score(x_eval, g, suite, eng);
-    ++result.evaluations;
-    result.candidate_rhos.push_back(rho);
-    if (rho > result.best_rho || c == 0) {
-      result.best_rho = rho;
-      result.best = std::move(g);
-    }
-  }
+  // --- random search phase. RNG material is derived serially BEFORE the
+  // parallel region: one spawned child engine per candidate, in candidate
+  // order. A worker then samples AND scores candidate c exclusively from
+  // slot engine c, so neither the thread count nor the scheduling order can
+  // reach the numbers (see the determinism contract in the header).
+  std::vector<rng::Engine> slot_eng;
+  slot_eng.reserve(nc);
+  for (std::size_t c = 0; c < nc; ++c) slot_eng.push_back(eng.spawn());
 
-  // --- Givens hill climbing on the winner
+  const privacy::AttackSuite::Scratch proto_scratch = suite.make_scratch(x_eval);
+  std::vector<privacy::AttackSuite::Scratch> scratch(nc, proto_scratch);
+  std::vector<linalg::Matrix> y_buf(nc);
+  std::vector<perturb::GeometricPerturbation> cand(nc);
+  result.candidate_rhos.assign(nc, 0.0);
+  pool.run_indexed(nc, [&](std::size_t c) {
+    cand[c] = perturb::GeometricPerturbation::random(d, opts.noise_sigma, slot_eng[c]);
+    result.candidate_rhos[c] =
+        score(x_eval, cand[c], suite, scratch[c], y_buf[c], slot_eng[c]);
+  });
+  result.evaluations += nc;
+
+  // Serial reduction; ties keep the earliest candidate.
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < nc; ++c)
+    if (result.candidate_rhos[c] > result.candidate_rhos[best]) best = c;
+  result.best = std::move(cand[best]);
+  result.best_rho = result.candidate_rhos[best];
+
+  // --- Givens hill climbing on the winner: each step probes the +theta and
+  // -theta rotations of one random plane as a parallel pair (engines again
+  // spawned serially, + first). The better probe wins the step — on an exact
+  // tie, +theta, keeping the accept decision scheduling-independent.
   double angle = opts.refine_angle;
+  std::array<privacy::AttackSuite::Scratch, 2> probe_scratch{proto_scratch, proto_scratch};
+  std::array<linalg::Matrix, 2> probe_y;
+  std::array<perturb::GeometricPerturbation, 2> probe;
+  std::array<rng::Engine, 2> probe_eng{rng::Engine{0}, rng::Engine{0}};
+  std::array<double, 2> probe_rho{};
   for (std::size_t step = 0; step < opts.refine_steps; ++step) {
     if (d < 2) break;
     const std::size_t p = eng.uniform_index(d);
     std::size_t q = eng.uniform_index(d - 1);
     if (q >= p) ++q;
-    const double theta = (eng.bernoulli(0.5) ? 1.0 : -1.0) * angle;
+    probe_eng[0] = eng.spawn();
+    probe_eng[1] = eng.spawn();
 
-    perturb::GeometricPerturbation trial = result.best;
-    trial.precompose_rotation(linalg::givens(d, p, q, theta));
-    const double rho = score(x_eval, trial, suite, eng);
-    ++result.evaluations;
-    if (rho > result.best_rho) {
-      result.best_rho = rho;
-      result.best = std::move(trial);
+    pool.run_indexed(2, [&](std::size_t s) {
+      const double theta = (s == 0 ? 1.0 : -1.0) * angle;
+      probe[s] = result.best;
+      probe[s].precompose_rotation(linalg::givens(d, p, q, theta));
+      probe_rho[s] =
+          score(x_eval, probe[s], suite, probe_scratch[s], probe_y[s], probe_eng[s]);
+    });
+    result.evaluations += 2;
+
+    const std::size_t win = (probe_rho[0] >= probe_rho[1]) ? 0 : 1;
+    if (probe_rho[win] > result.best_rho) {
+      result.best_rho = probe_rho[win];
+      result.best = std::move(probe[win]);
     } else {
       angle *= 0.7;  // cool down when the step fails
     }
@@ -94,8 +134,9 @@ OptimalityEstimate estimate_optimality_rate(const linalg::Matrix& x,
   OptimalityEstimate est;
   est.run_rhos.reserve(runs);
   double total = 0.0;
+  ThreadPool pool(opts.threads);  // one pool across all runs
   for (std::size_t r = 0; r < runs; ++r) {
-    const OptimizationResult res = optimize_perturbation(x, opts, eng);
+    const OptimizationResult res = optimize_perturbation(x, opts, eng, pool);
     est.run_rhos.push_back(res.best_rho);
     total += res.best_rho;
     est.bound = std::max(est.bound, res.best_rho);

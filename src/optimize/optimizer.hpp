@@ -10,8 +10,19 @@
 //   b-hat  = max rho over n optimization runs  (upper bound estimate),
 //   rho-bar = mean optimized rho over runs,
 //   optimality rate O = rho-bar / b-hat        (Figure 3's y-axis).
+//
+// Determinism contract (DESIGN.md §8): candidate search is embarrassingly
+// parallel, and the implementation keeps it bit-reproducible by deriving one
+// child engine per candidate SERIALLY from the caller's engine before any
+// parallel work starts (the same master->spawn() discipline
+// proto::logic::derive_session_seeds uses for parties). Workers write into
+// index-addressed result slots and the winner is reduced serially, so the
+// result is a pure function of (data, options, engine) — identical for 0, 2
+// or 8 optimizer threads, and therefore identical across every transport
+// backend that runs LocalOptimize.
 #pragma once
 
+#include "common/thread_pool.hpp"
 #include "linalg/matrix.hpp"
 #include "perturb/geometric.hpp"
 #include "privacy/evaluator.hpp"
@@ -23,15 +34,18 @@ struct OptimizerOptions {
   /// Random candidate perturbations sampled per optimization run.
   std::size_t candidates = 12;
   /// Givens-plane hill-climbing steps applied to the winning candidate
-  /// (0 disables refinement).
+  /// (0 disables refinement). Each step probes the +theta/-theta pair.
   std::size_t refine_steps = 8;
-  /// Magnitude of refinement rotations (radians, halved on failure).
+  /// Magnitude of refinement rotations (radians, cooled on failure).
   double refine_angle = 0.35;
   /// Noise level sigma of the sampled perturbations.
   double noise_sigma = 0.1;
   /// Privacy evaluation subsamples at most this many records (the metric
   /// converges with a few hundred; keeps 100-round experiments tractable).
   std::size_t max_eval_records = 160;
+  /// Worker threads scoring candidates and refinement probes (0 = inline
+  /// serial execution). Results are bit-identical for any value.
+  std::size_t threads = 0;
   /// Adversaries used to score candidates.
   privacy::AttackSuiteOptions attacks{.naive = true, .ica = true, .known_inputs = 4};
 };
@@ -42,13 +56,20 @@ struct OptimizationResult {
   /// rho of every *random* candidate (before refinement) — the "random
   /// perturbations" distribution of Figure 2.
   linalg::Vector candidate_rhos;
-  /// Evaluations spent (candidates + refinement probes).
+  /// Evaluations spent (candidates + 2 refinement probes per step).
   std::size_t evaluations = 0;
 };
 
 /// One optimization run on a d x N dataset (paper layout, column = record).
+/// Spins up a private ThreadPool sized by opts.threads.
 OptimizationResult optimize_perturbation(const linalg::Matrix& x,
                                          const OptimizerOptions& opts, rng::Engine& eng);
+
+/// Same, scoring on a caller-owned pool (reused across bound runs /
+/// optimality-rate repeats; opts.threads is ignored in favor of the pool).
+OptimizationResult optimize_perturbation(const linalg::Matrix& x,
+                                         const OptimizerOptions& opts, rng::Engine& eng,
+                                         ThreadPool& pool);
 
 /// Score a specific perturbation on a dataset: applies it (fresh noise from
 /// `eng`), evaluates the attack suite, returns rho. Exposed for benches and

@@ -40,21 +40,32 @@ linalg::Matrix translation_matrix(const linalg::Vector& t, std::size_t n) {
 
 linalg::Matrix GeometricPerturbation::apply(const linalg::Matrix& x,
                                             rng::Engine& noise_eng) const {
-  linalg::Matrix y = apply_noiseless(x);
-  if (sigma_ > 0.0) {
-    for (auto& v : y.data()) v += noise_eng.normal(0.0, sigma_);
-  }
+  linalg::Matrix y;
+  apply_into(x, y, noise_eng);
   return y;
 }
 
 linalg::Matrix GeometricPerturbation::apply_noiseless(const linalg::Matrix& x) const {
-  SAP_REQUIRE(x.rows() == dims(), "GeometricPerturbation::apply: X must be d x N");
-  linalg::Matrix y = r_ * x;
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    auto row = y.row(i);
-    for (auto& v : row) v += t_[i];
-  }
+  linalg::Matrix y;
+  apply_noiseless_into(x, y);
   return y;
+}
+
+void GeometricPerturbation::apply_into(const linalg::Matrix& x, linalg::Matrix& y,
+                                       rng::Engine& noise_eng) const {
+  apply_noiseless_into(x, y);
+  if (sigma_ > 0.0) {
+    for (auto& v : y.data()) v += noise_eng.normal(0.0, sigma_);
+  }
+}
+
+void GeometricPerturbation::apply_noiseless_into(const linalg::Matrix& x,
+                                                 linalg::Matrix& y) const {
+  SAP_REQUIRE(x.rows() == dims(), "GeometricPerturbation::apply: X must be d x N");
+  if (y.rows() != dims() || y.cols() != x.cols()) y = linalg::Matrix(dims(), x.cols());
+  // One fused pass: R X accumulated by the blocked kernel, t added in its
+  // epilogue (bit-identical to the naive product plus a translation pass).
+  linalg::gemm(1.0, r_, x, 0.0, y, t_);
 }
 
 linalg::Matrix GeometricPerturbation::invert(const linalg::Matrix& y) const {

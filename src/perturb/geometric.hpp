@@ -45,6 +45,16 @@ class GeometricPerturbation {
   /// space G_t of the protocol, which the paper defines noise-free.
   [[nodiscard]] linalg::Matrix apply_noiseless(const linalg::Matrix& x) const;
 
+  /// No-temporary variants for hot loops (the optimizer scores hundreds of
+  /// candidate applications per run): write Y into a caller-owned buffer,
+  /// reshaping it only when the shape changed. The translation Psi rides the
+  /// GEMM epilogue instead of a second pass over Y; the Gaussian noise is
+  /// added in one canonical row-major sweep — its element order IS the RNG
+  /// stream contract, so apply_into(x, y, eng) is bit-identical to
+  /// apply_noiseless(x) followed by a row-major noise pass.
+  void apply_into(const linalg::Matrix& x, linalg::Matrix& y, rng::Engine& noise_eng) const;
+  void apply_noiseless_into(const linalg::Matrix& x, linalg::Matrix& y) const;
+
   /// Exact inverse of the noiseless map: X = R^-1 (Y - Psi).
   /// (With noise, this recovers X + R^-1 Delta.)
   [[nodiscard]] linalg::Matrix invert(const linalg::Matrix& y) const;

@@ -14,15 +14,19 @@ Reconstruction NaiveEstimationAttack::reconstruct(const AttackContext& ctx,
   SAP_REQUIRE(ctx.perturbed != nullptr, "naive attack: missing perturbed data");
   // The candidate pool is simply the perturbed dimensions themselves; the
   // evaluator performs the attacker-favorable per-column alignment and
-  // moment rescaling.
-  return {Reconstruction::Kind::kCandidatePool, *ctx.perturbed};
+  // moment rescaling. Viewed, not copied — this runs once per optimizer
+  // candidate evaluation.
+  Reconstruction rec;
+  rec.kind = Reconstruction::Kind::kCandidatePool;
+  rec.view = ctx.perturbed;
+  return rec;
 }
 
 Reconstruction IcaReconstructionAttack::reconstruct(const AttackContext& ctx,
                                                     rng::Engine& eng) const {
   SAP_REQUIRE(ctx.perturbed != nullptr, "ica attack: missing perturbed data");
-  const FastIcaResult ica = fast_ica(*ctx.perturbed, opts_, eng);
-  return {Reconstruction::Kind::kCandidatePool, ica.sources};
+  FastIcaResult ica = fast_ica(*ctx.perturbed, opts_, eng);
+  return {Reconstruction::Kind::kCandidatePool, std::move(ica.sources)};
 }
 
 Reconstruction KnownInputAttack::reconstruct(const AttackContext& ctx,
@@ -35,13 +39,9 @@ Reconstruction KnownInputAttack::reconstruct(const AttackContext& ctx,
   SAP_REQUIRE(ctx.known_originals.rows() == d && ctx.known_originals.cols() == m,
               "known-input attack: known_originals must be d x m");
 
-  // Gather the perturbed images of the known records.
-  linalg::Matrix y_known(d, m);
-  for (std::size_t j = 0; j < m; ++j) {
-    SAP_REQUIRE(ctx.known_indices[j] < y.cols(), "known-input attack: index out of range");
-    const linalg::Vector col = y.col(ctx.known_indices[j]);
-    y_known.set_col(j, col);
-  }
+  // Gather the perturbed images of the known records (strided row pass, no
+  // per-column temporaries; gather_cols bounds-checks the indices).
+  const linalg::Matrix y_known = linalg::gather_cols(y, ctx.known_indices);
 
   // Center both point sets; Procrustes gives the orthogonal part, the
   // centroid difference gives the translation.

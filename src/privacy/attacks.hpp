@@ -45,11 +45,18 @@ struct AttackContext {
 
 /// Result of one attack: either a fully aligned d x N estimate of X, or a
 /// pool of candidate components (k x N) that the evaluator aligns
-/// attacker-favorably.
+/// attacker-favorably. An attack whose estimate IS an input matrix (the
+/// naive attack reads the perturbed data directly) returns a non-owning
+/// `view` instead of copying d x N doubles per evaluation; the view must
+/// outlive the Reconstruction (it points into the AttackContext).
 struct Reconstruction {
   enum class Kind { kAligned, kCandidatePool };
   Kind kind = Kind::kCandidatePool;
-  linalg::Matrix estimate;
+  linalg::Matrix estimate;                   ///< owned storage (empty when viewed)
+  const linalg::Matrix* view = nullptr;      ///< non-owning alternative
+  [[nodiscard]] const linalg::Matrix& get() const noexcept {
+    return view != nullptr ? *view : estimate;
+  }
 };
 
 /// Interface for adversarial reconstruction procedures.

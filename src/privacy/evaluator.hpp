@@ -53,6 +53,25 @@ class AttackSuite {
  public:
   explicit AttackSuite(AttackSuiteOptions opts = {});
 
+  /// Reusable evaluation state for one fixed `original` matrix. The
+  /// optimizer scores every candidate against the same evaluation
+  /// subsample, so the original's row stats, its centered copy and the
+  /// correlation buffers are computed/allocated once per run instead of
+  /// once per score() call. Copyable: parallel candidate slots each hold
+  /// their own copy (evaluate() mutates only the buffer members).
+  struct Scratch {
+    // Fixed per-original precomputation (read-only during evaluate).
+    linalg::Vector means;     ///< row_means(original)
+    linalg::Vector stddevs;   ///< row_stddev(original)
+    linalg::Matrix centered;  ///< original minus row means
+    linalg::Vector sumsq;     ///< per-row sum of squared deviations
+    // Buffers overwritten by each evaluate() call.
+    linalg::Matrix cand_centered;
+    linalg::Matrix corr;
+    linalg::Vector cand_sumsq;
+  };
+  [[nodiscard]] Scratch make_scratch(const linalg::Matrix& original) const;
+
   /// Evaluate rho for the pair (original, perturbed), both d x N.
   /// Known-input pairs are drawn uniformly from the records with `eng`.
   /// ICA failures are recorded (failed=true) and excluded from rho; if every
@@ -60,6 +79,13 @@ class AttackSuite {
   [[nodiscard]] PrivacyReport evaluate(const linalg::Matrix& original,
                                        const linalg::Matrix& perturbed,
                                        rng::Engine& eng) const;
+
+  /// Hot-loop variant: `scratch` must come from make_scratch(original).
+  /// Bit-identical to the scratch-free overload (the hoisted quantities are
+  /// the same values the per-call path computes).
+  [[nodiscard]] PrivacyReport evaluate(const linalg::Matrix& original,
+                                       const linalg::Matrix& perturbed,
+                                       rng::Engine& eng, Scratch& scratch) const;
 
   [[nodiscard]] const AttackSuiteOptions& options() const noexcept { return opts_; }
 

@@ -11,12 +11,19 @@ namespace sap::privacy {
 
 linalg::Vector column_privacy(const linalg::Matrix& original,
                               const linalg::Matrix& reconstruction) {
+  return column_privacy(original, reconstruction, linalg::row_stddev(original));
+}
+
+linalg::Vector column_privacy(const linalg::Matrix& original,
+                              const linalg::Matrix& reconstruction,
+                              const linalg::Vector& sd_orig) {
   SAP_REQUIRE(original.rows() == reconstruction.rows() &&
                   original.cols() == reconstruction.cols(),
               "column_privacy: shape mismatch");
   SAP_REQUIRE(original.cols() >= 2, "column_privacy: need at least two records");
+  SAP_REQUIRE(sd_orig.size() == original.rows(),
+              "column_privacy: sd_orig must have one entry per dimension");
 
-  const linalg::Vector sd_orig = linalg::row_stddev(original);
   linalg::Matrix diff = original;
   diff -= reconstruction;
   const linalg::Vector sd_diff = linalg::row_stddev(diff);

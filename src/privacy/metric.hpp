@@ -23,6 +23,14 @@ namespace sap::privacy {
 linalg::Vector column_privacy(const linalg::Matrix& original,
                               const linalg::Matrix& reconstruction);
 
+/// Same, with std(X_j) precomputed by the caller (must equal
+/// row_stddev(original)). The attack-suite evaluator scores hundreds of
+/// reconstructions of one fixed original per optimizer run; hoisting the
+/// original's row stats out of the loop is the point of this overload.
+linalg::Vector column_privacy(const linalg::Matrix& original,
+                              const linalg::Matrix& reconstruction,
+                              const linalg::Vector& sd_orig);
+
 /// rho = min_j p_j.
 double min_privacy_guarantee(const linalg::Matrix& original,
                              const linalg::Matrix& reconstruction);

@@ -60,13 +60,16 @@ SapResult DirectSubmissionProtocol::run(const MinerJob& job) {
       auto opt_opts = opts_.optimizer;
       opt_opts.noise_sigma = opts_.noise_sigma;
       if (opts_.optimize_local) {
-        const auto first = opt::optimize_perturbation(p.x, opt_opts, p.eng);
+        // One scoring pool for the main run and every bound run, as in
+        // party_logic::optimize_local (results are thread-count-invariant).
+        ThreadPool pool(opt_opts.threads);
+        const auto first = opt::optimize_perturbation(p.x, opt_opts, p.eng, pool);
         p.g = first.best;
         p.rho = first.best_rho;
         p.bound = first.best_rho;
         for (std::size_t r = 1; r < opts_.bound_runs; ++r)
-          p.bound =
-              std::max(p.bound, opt::optimize_perturbation(p.x, opt_opts, p.eng).best_rho);
+          p.bound = std::max(
+              p.bound, opt::optimize_perturbation(p.x, opt_opts, p.eng, pool).best_rho);
       } else {
         p.g = perturb::GeometricPerturbation::random(d, opts_.noise_sigma, p.eng);
         p.rho = opt::evaluate_perturbation(p.x, p.g, opt_opts.attacks,

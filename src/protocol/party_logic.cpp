@@ -50,12 +50,16 @@ LocalPerturbation optimize_local(const linalg::Matrix& x_dxn, std::size_t dims,
   auto opt_opts = opts.optimizer;
   opt_opts.noise_sigma = opts.noise_sigma;  // common noise component
   if (opts.optimize_local) {
-    opt::OptimizationResult first = opt::optimize_perturbation(x_dxn, opt_opts, eng);
+    // One scoring pool shared by the main run and every bound run (results
+    // are thread-count-invariant, so opt_opts.threads is purely a speed
+    // knob here — see optimizer.hpp's determinism contract).
+    ThreadPool pool(opt_opts.threads);
+    opt::OptimizationResult first = opt::optimize_perturbation(x_dxn, opt_opts, eng, pool);
     out.g = first.best;
     out.rho = first.best_rho;
     out.bound = first.best_rho;
     for (std::size_t r = 1; r < opts.bound_runs; ++r) {
-      const auto extra = opt::optimize_perturbation(x_dxn, opt_opts, eng);
+      const auto extra = opt::optimize_perturbation(x_dxn, opt_opts, eng, pool);
       out.bound = std::max(out.bound, extra.best_rho);
     }
   } else {

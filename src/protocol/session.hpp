@@ -75,7 +75,9 @@ struct SapOptions {
   /// baseline of Figure 2.
   bool optimize_local = true;
   /// Randomized-optimizer configuration (also supplies the attack suite
-  /// used for rho / satisfaction accounting).
+  /// used for rho / satisfaction accounting). `optimizer.threads` sizes the
+  /// per-party LocalOptimize scoring pool; results are bit-identical for
+  /// any thread count (optimizer.hpp), so it is purely a latency knob.
   opt::OptimizerOptions optimizer{};
   /// Extra optimization runs per party used to estimate the bound b_i
   /// (>= 1; the paper estimates b empirically as a max over runs).

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "linalg/decompose.hpp"
@@ -525,6 +526,111 @@ TEST(Stats, KurtosisGaussianNearZeroUniformNegative) {
   for (auto& v : unif) v = eng.uniform(-1.0, 1.0);
   EXPECT_NEAR(sap::linalg::excess_kurtosis(gauss), 0.0, 0.1);
   EXPECT_NEAR(sap::linalg::excess_kurtosis(unif), -1.2, 0.1);
+}
+
+// ------------------------------------------------------------ Blocked GEMM
+
+// The blocked kernel's exactness contract: bit-identical to the naive ikj
+// reference on every shape, because each output element accumulates as one
+// left-to-right chain over ascending k in both.
+class BlockedGemmExactness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(BlockedGemmExactness, BitIdenticalToNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Engine eng(m * 1000 + k * 100 + n);
+  const Matrix a = random_matrix(m, k, eng);
+  const Matrix b = random_matrix(k, n, eng);
+  const Matrix ref = sap::linalg::matmul_naive(a, b);
+  const Matrix blocked = a * b;  // operator* routes through gemm()
+  EXPECT_TRUE(blocked == ref);   // exact, not approx
+  Matrix c(m, n, 123.0);         // beta = 0 must overwrite stale contents
+  sap::linalg::gemm(1.0, a, b, 0.0, c);
+  EXPECT_TRUE(c == ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RaggedShapes, BlockedGemmExactness,
+    ::testing::Values(std::make_tuple(1, 1, 1),    // degenerate
+                      std::make_tuple(1, 7, 1),    // 1 x k x 1
+                      std::make_tuple(1, 9, 6),    // single row
+                      std::make_tuple(9, 5, 1),    // single column
+                      std::make_tuple(3, 3, 3),    // below one row tile
+                      std::make_tuple(5, 7, 3),    // odd everything
+                      std::make_tuple(7, 300, 11), // k crosses the panel size
+                      std::make_tuple(34, 34, 160),// the d=34 perturb shape
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(33, 17, 41)));
+
+TEST(BlockedGemm, AlphaBetaAccumulate) {
+  Engine eng(21);
+  const Matrix a = random_matrix(6, 9, eng);
+  const Matrix b = random_matrix(9, 13, eng);
+  Matrix c = random_matrix(6, 13, eng);
+  // Reference with the same chain structure: scale C by beta, then
+  // accumulate (alpha * a_ik) * b_kj over ascending k.
+  Matrix ref = c;
+  for (auto& v : ref.data()) v *= 0.5;
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t k = 0; k < 9; ++k) {
+      const double av = 2.25 * a(i, k);
+      for (std::size_t j = 0; j < 13; ++j) ref(i, j) += av * b(k, j);
+    }
+  sap::linalg::gemm(2.25, a, b, 0.5, c);
+  EXPECT_TRUE(c == ref);
+}
+
+TEST(BlockedGemm, RowBiasEpilogueMatchesSeparatePass) {
+  Engine eng(22);
+  const Matrix a = random_matrix(7, 31, eng);
+  const Matrix b = random_matrix(31, 19, eng);
+  Vector t(7);
+  for (auto& v : t) v = eng.normal();
+  Matrix ref = sap::linalg::matmul_naive(a, b);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (auto& v : ref.row(i)) v += t[i];
+  Matrix c(7, 19);
+  sap::linalg::gemm(1.0, a, b, 0.0, c, t);
+  EXPECT_TRUE(c == ref);
+}
+
+TEST(BlockedGemm, ShapeMismatchThrows) {
+  const Matrix a(3, 4), b(5, 2);
+  Matrix c(3, 2);
+  EXPECT_THROW(sap::linalg::gemm(1.0, a, b, 0.0, c), sap::Error);
+  const Matrix b2(4, 2);
+  Matrix bad_c(2, 2);
+  EXPECT_THROW(sap::linalg::gemm(1.0, a, b2, 0.0, bad_c), sap::Error);
+  Matrix good_c(3, 2);
+  Vector bad_bias(2);
+  EXPECT_THROW(sap::linalg::gemm(1.0, a, b2, 0.0, good_c, bad_bias), sap::Error);
+}
+
+TEST(MatMulAbt, BitIdenticalToRowDots) {
+  Engine eng(23);
+  const Matrix a = random_matrix(9, 47, eng);
+  const Matrix b = random_matrix(6, 47, eng);
+  const Matrix c = sap::linalg::matmul_abt(a, b);
+  ASSERT_EQ(c.rows(), 9u);
+  ASSERT_EQ(c.cols(), 6u);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_EQ(c(i, j), sap::linalg::dot(a.row(i), b.row(j)));
+}
+
+TEST(GatherCols, MatchesPerColumnCopy) {
+  Engine eng(24);
+  const Matrix x = random_matrix(5, 12, eng);
+  const std::vector<std::size_t> idx{7, 0, 7, 11, 3};
+  const Matrix out = sap::linalg::gather_cols(x, idx);
+  ASSERT_EQ(out.rows(), 5u);
+  ASSERT_EQ(out.cols(), idx.size());
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    const Vector expected = x.col(idx[j]);
+    for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(out(r, j), expected[r]);
+  }
+  const std::vector<std::size_t> bad{12};
+  EXPECT_THROW((void)sap::linalg::gather_cols(x, bad), sap::Error);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "data/normalize.hpp"
 #include "data/synthetic.hpp"
+#include "golden.hpp"
 #include "linalg/orthogonal.hpp"
 #include "optimize/optimizer.hpp"
 #include "rng/rng.hpp"
@@ -87,6 +88,70 @@ TEST(Optimizer, DeterministicGivenSeed) {
   const auto b = sap::opt::optimize_perturbation(x, cheap_options(), eng_b);
   EXPECT_DOUBLE_EQ(a.best_rho, b.best_rho);
   EXPECT_TRUE(a.best.rotation().approx_equal(b.best.rotation(), 0.0));
+}
+
+TEST(Optimizer, MatchesPinnedGolden) {
+  // The deterministic-baseline pins (tests/golden.hpp): a silent change to
+  // the seed-derivation scheme re-keys every deployment and must fail here.
+  const Matrix x = normalized_paper_layout("Wine", 5);
+  Engine eng(99);
+  const auto res = sap::opt::optimize_perturbation(x, cheap_options(), eng);
+  EXPECT_NEAR(res.best_rho, sap::testing::kGoldenWineBestRho,
+              sap::testing::kGoldenTolerance);
+
+  const Matrix iris = normalized_paper_layout("Iris", 7);
+  Engine eng2(17);
+  const auto res2 = sap::opt::optimize_perturbation(iris, cheap_options(), eng2);
+  EXPECT_NEAR(res2.best_rho, sap::testing::kGoldenIrisBestRho,
+              sap::testing::kGoldenTolerance);
+}
+
+TEST(Optimizer, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract (optimizer.hpp): candidate engines are derived
+  // serially before the parallel region and results land in index-addressed
+  // slots, so 0, 2 and 8 worker threads must agree bit for bit.
+  const Matrix x = normalized_paper_layout("Diabetes", 12);
+  auto opts = cheap_options();
+  sap::opt::OptimizationResult reference;
+  for (const std::size_t threads : {0, 2, 8}) {
+    opts.threads = threads;
+    Engine eng(777);
+    const auto res = sap::opt::optimize_perturbation(x, opts, eng);
+    if (threads == 0) {
+      reference = res;
+      continue;
+    }
+    EXPECT_EQ(res.best_rho, reference.best_rho) << threads << " threads";
+    EXPECT_TRUE(res.best.rotation() == reference.best.rotation()) << threads;
+    EXPECT_TRUE(res.best.translation() == reference.best.translation()) << threads;
+    ASSERT_EQ(res.candidate_rhos.size(), reference.candidate_rhos.size());
+    for (std::size_t c = 0; c < res.candidate_rhos.size(); ++c)
+      EXPECT_EQ(res.candidate_rhos[c], reference.candidate_rhos[c]) << "candidate " << c;
+    EXPECT_EQ(res.evaluations, reference.evaluations);
+  }
+}
+
+TEST(Optimizer, CallerOwnedPoolMatchesPrivatePool) {
+  const Matrix x = normalized_paper_layout("Iris", 13);
+  auto opts = cheap_options();
+  opts.threads = 3;
+  Engine eng_a(31), eng_b(31);
+  const auto a = sap::opt::optimize_perturbation(x, opts, eng_a);
+  sap::ThreadPool pool(2);  // deliberately different size: results invariant
+  const auto b = sap::opt::optimize_perturbation(x, opts, eng_b, pool);
+  EXPECT_EQ(a.best_rho, b.best_rho);
+  EXPECT_TRUE(a.best.rotation() == b.best.rotation());
+}
+
+TEST(Optimizer, RefinementProbesCountTwoPerStep) {
+  const Matrix x = normalized_paper_layout("Iris", 14);
+  auto opts = cheap_options();
+  opts.candidates = 4;
+  opts.refine_steps = 5;
+  Engine eng(3);
+  const auto res = sap::opt::optimize_perturbation(x, opts, eng);
+  // Each refinement step scores the +theta and -theta probes.
+  EXPECT_EQ(res.evaluations, 4u + 2u * 5u);
 }
 
 TEST(Optimizer, TinyDatasetRejected) {

@@ -23,6 +23,51 @@ Matrix random_data(std::size_t d, std::size_t n, Engine& eng) {
   return Matrix::generate(d, n, [&] { return eng.uniform(); });
 }
 
+TEST(Geometric, FusedApplyBitIdenticalToNoiselessPlusNoisePass) {
+  // The fusion contract (geometric.hpp): apply_into == apply_noiseless then
+  // one row-major noise sweep, bit for bit — the noise draw order is the
+  // RNG stream contract, the translation rides the GEMM epilogue.
+  Engine eng(40);
+  const auto g = GeometricPerturbation::random(34, 0.2, eng);
+  const Matrix x = random_data(34, 57, eng);
+
+  Engine noise_a(7), noise_b(7);
+  Matrix fused;
+  g.apply_into(x, fused, noise_a);
+
+  Matrix ref = g.apply_noiseless(x);
+  for (auto& v : ref.data()) v += noise_b.normal(0.0, g.noise_sigma());
+
+  EXPECT_TRUE(fused == ref);
+  // And apply() is the same map (fresh engine at the same state).
+  Engine noise_c(7);
+  EXPECT_TRUE(g.apply(x, noise_c) == ref);
+}
+
+TEST(Geometric, FusedNoiselessApplyMatchesNaiveKernelPlusTranslation) {
+  Engine eng(41);
+  const auto g = GeometricPerturbation::random(9, 0.0, eng);
+  const Matrix x = random_data(9, 23, eng);
+  Matrix ref = sap::linalg::matmul_naive(g.rotation(), x);
+  for (std::size_t i = 0; i < ref.rows(); ++i)
+    for (auto& v : ref.row(i)) v += g.translation()[i];
+  EXPECT_TRUE(g.apply_noiseless(x) == ref);
+}
+
+TEST(Geometric, ApplyIntoReshapesStaleBuffer) {
+  Engine eng(42);
+  const auto g = GeometricPerturbation::random(4, 0.0, eng);
+  Matrix y(2, 3, 99.0);  // wrong shape AND stale contents
+  Engine noise(1);
+  g.apply_into(random_data(4, 6, eng), y, noise);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 6u);
+  const Matrix x2 = random_data(4, 6, eng);
+  Matrix y2 = y;  // reuse a right-shaped buffer: must fully overwrite
+  g.apply_into(x2, y2, noise);
+  EXPECT_TRUE(y2 == g.apply_noiseless(x2));
+}
+
 TEST(Geometric, RandomPerturbationHasValidParameters) {
   Engine eng(1);
   const auto g = GeometricPerturbation::random(5, 0.1, eng);

@@ -432,4 +432,60 @@ TEST(AttackSuite, OptimizableGapExistsBetweenRotations) {
   EXPECT_GT(hi - lo, 0.05);
 }
 
+TEST(AttackSuite, ScratchReuseBitIdenticalToPerCallEvaluate) {
+  // The hoisted-scratch overload must be a pure speedup: same RNG draws,
+  // same numbers — across repeated reuse of one scratch.
+  Engine eng(77);
+  const sap::data::Dataset ds = sap::data::make_uci("Wine", 3);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(ds.features());
+  const Matrix x = norm.transform(ds.features()).transpose();
+  sap::privacy::AttackSuite suite({.naive = true, .ica = false, .known_inputs = 4});
+
+  Engine eng_a(5), eng_b(5);
+  auto scratch = suite.make_scratch(x);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto g = GeometricPerturbation::random(x.rows(), 0.1, eng);
+    Engine noise(200 + trial);
+    const Matrix y = g.apply(x, noise);
+    const auto plain = suite.evaluate(x, y, eng_a);
+    const auto reused = suite.evaluate(x, y, eng_b, scratch);
+    ASSERT_EQ(plain.attacks.size(), reused.attacks.size());
+    EXPECT_EQ(plain.rho, reused.rho);  // bit-identical
+    for (std::size_t a = 0; a < plain.attacks.size(); ++a) {
+      EXPECT_EQ(plain.attacks[a].rho, reused.attacks[a].rho);
+      EXPECT_EQ(plain.attacks[a].per_column, reused.attacks[a].per_column);
+    }
+  }
+}
+
+TEST(AttackSuite, FastCandidatePoolBitIdenticalToPearsonReference) {
+  // The evaluator's GEMM-factored candidate-pool path vs the public
+  // pearson-loop reference, exercised through the naive attack's outcome.
+  Engine eng(78);
+  const sap::data::Dataset ds = sap::data::make_uci("Diabetes", 4);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(ds.features());
+  const Matrix x = norm.transform(ds.features()).transpose();
+  const auto g = GeometricPerturbation::random(x.rows(), 0.15, eng);
+  Engine noise(9);
+  const Matrix y = g.apply(x, noise);
+
+  sap::privacy::AttackSuite suite({.naive = true, .ica = false, .known_inputs = 0});
+  const auto report = suite.evaluate(x, y, eng);
+  ASSERT_EQ(report.attacks.size(), 1u);
+  const auto reference = sap::privacy::candidate_pool_privacy(x, y);
+  EXPECT_EQ(report.attacks[0].per_column, reference);  // bit-identical
+}
+
+TEST(AttackSuite, MismatchedScratchThrows) {
+  Engine eng(79);
+  const Matrix x = uniform_sources(4, 40, eng);
+  const Matrix y = uniform_sources(4, 40, eng);
+  sap::privacy::AttackSuite suite({.naive = true, .ica = false, .known_inputs = 0});
+  const Matrix other = uniform_sources(5, 40, eng);
+  auto scratch = suite.make_scratch(other);
+  EXPECT_THROW((void)suite.evaluate(x, y, eng, scratch), sap::Error);
+}
+
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "data/normalize.hpp"
+#include "golden.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
 #include "linalg/orthogonal.hpp"
@@ -536,6 +537,50 @@ TEST(SapCrossBackend, UnifiedPoolIsBitIdenticalAcrossTransports) {
   for (std::size_t i = 0; i < a.parties.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.parties[i].local_rho, b.parties[i].local_rho);
     EXPECT_DOUBLE_EQ(a.parties[i].satisfaction, b.parties[i].satisfaction);
+  }
+}
+
+TEST(SapGolden, MatchesPinnedDeterministicBaseline) {
+  // tests/golden.hpp is the one home of the pinned baseline values; see the
+  // header for the re-pinning policy.
+  auto opts = proto::SapOptions::fast();
+  opts.seed = 4242;
+  proto::SapSession session(provider_split("Iris", 3, 4242), opts);
+  const auto result = session.run();
+  ASSERT_EQ(result.parties.size(), 3u);
+  EXPECT_NEAR(result.parties[0].local_rho, sap::testing::kGoldenSessionParty0Rho,
+              sap::testing::kGoldenTolerance);
+}
+
+TEST(SapCrossBackend, OptimizerThreadsNeverChangeTheResult) {
+  // LocalOptimize's scoring pool (SapOptions::optimizer.threads) is a pure
+  // latency knob: the per-candidate seed derivation makes every thread
+  // count — mixed freely with either transport — produce bit-identical
+  // pools and accounting (optimizer.hpp determinism contract).
+  sap::proto::SapResult reference;
+  bool have_reference = false;
+  for (const auto& [transport, threads] :
+       {std::pair<proto::TransportKind, std::size_t>{proto::TransportKind::kSimulated, 0},
+        {proto::TransportKind::kSimulated, 8},
+        {proto::TransportKind::kThreadedLocal, 2}}) {
+    auto opts = proto::SapOptions::fast();
+    opts.seed = 4242;
+    opts.transport = transport;
+    opts.optimizer.threads = threads;
+    proto::SapSession session(provider_split("Iris", 3, 4242), opts);
+    const auto result = session.run();
+    if (!have_reference) {
+      reference = result;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_TRUE(result.unified.features().approx_equal(reference.unified.features(), 0.0));
+    ASSERT_EQ(result.parties.size(), reference.parties.size());
+    for (std::size_t i = 0; i < result.parties.size(); ++i) {
+      EXPECT_EQ(result.parties[i].local_rho, reference.parties[i].local_rho);
+      EXPECT_EQ(result.parties[i].bound, reference.parties[i].bound);
+      EXPECT_EQ(result.parties[i].satisfaction, reference.parties[i].satisfaction);
+    }
   }
 }
 

@@ -53,23 +53,26 @@ const char* kUsage =
     "  sap_cli jobs [--json]\n"
     "  sap_cli generate <name> <out.csv> [seed=1]\n"
     "  sap_cli perturb <in.csv> <out.csv> [sigma=0.1] [seed=1]\n"
+    "          [--optimize-threads K=0]\n"
     "  sap_cli attack <original.csv> <perturbed.csv> [known_m=4]\n"
     "  sap_cli protocol <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          [--job <name>] [--transport sim|threaded] [--phases]\n"
+    "          [--optimize-threads K=0]\n"
     "  sap_cli serve <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          [--requests N=256] [--threads K=4] [--job name[:k=v,...]]\n"
     "          [--no-cache] [--transport sim|threaded]\n"
     "          [--ingest-every N=0] [--ingest-records M=32]\n"
+    "          [--optimize-threads K=0]\n"
     "  sap_cli serve --listen HOST:PORT --parties K [--seed S=1]\n"
     "          [--threads K=0] [--no-cache] [--deadline-ms N=30000]\n"
     "          (miner daemon: port 0 = ephemeral, the bound port is printed)\n"
     "  sap_cli party <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          --connect HOST:PORT --index I [--batches N=4]\n"
     "          [--batch-records M=16] [--job name[:k=v,...]]\n"
-    "          [--deadline-ms N=30000]\n"
+    "          [--deadline-ms N=30000] [--optimize-threads K=0]\n"
     "  sap_cli contribute <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          [--batches N=4] [--batch-records M=16] [--job name[:k=v,...]]\n"
-    "          [--transport sim|threaded]\n"
+    "          [--transport sim|threaded] [--optimize-threads K=0]\n"
     "  sap_cli minparties <s0> <opt_rate>\n"
     "  sap_cli --help\n"
     "\n"
@@ -79,6 +82,11 @@ const char* kUsage =
     "  --transport <kind>  messaging backend: `sim` (synchronous, default)\n"
     "                      or `threaded` (one worker per party)\n"
     "  --phases            print per-phase timing and wire cost\n"
+    "\n"
+    "shared flag (perturb / protocol / serve / party / contribute):\n"
+    "  --optimize-threads <k>  worker threads for each party's LocalOptimize\n"
+    "                      candidate search (0 = serial). Pure speed knob:\n"
+    "                      results are bit-identical for any thread count.\n"
     "\n"
     "flags for `serve`:\n"
     "  --requests <n>      total mining requests to serve (round-robin over\n"
@@ -204,15 +212,41 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+/// Shared `--optimize-threads K` handler: returns true when argv[i] was this
+/// flag (advancing i past the value), false otherwise; `err` is set on a
+/// malformed value.
+bool take_optimize_threads(int argc, char** argv, int& i, std::uint64_t& out, bool& err) {
+  if (std::string(argv[i]) != "--optimize-threads") return false;
+  err = (++i >= argc || !parse_u64(argv[i], out) || out > 256);
+  return true;
+}
+
 int cmd_perturb(int argc, char** argv) {
-  if (argc < 4 || argc > 6) return usage_error("perturb takes 2-4 arguments");
+  std::vector<const char*> positional;
+  std::uint64_t optimize_threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    bool bad = false;
+    if (take_optimize_threads(argc, argv, i, optimize_threads, bad)) {
+      if (bad) return usage_error("--optimize-threads needs a count in [0, 256]");
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
+      return usage_error(("unknown flag " + std::string(argv[i])).c_str());
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 4)
+    return usage_error("perturb takes 2-4 positional arguments");
   double sigma = 0.1;
   std::uint64_t seed = 1;
-  if (argc > 4 && !parse_double(argv[4], sigma)) return usage_error("bad sigma");
-  if (argc > 5 && !parse_u64(argv[5], seed)) return usage_error("bad seed");
+  if (positional.size() > 2 && !parse_double(positional[2], sigma))
+    return usage_error("bad sigma");
+  if (positional.size() > 3 && !parse_u64(positional[3], seed))
+    return usage_error("bad seed");
   if (sigma < 0.0) return usage_error("sigma must be non-negative");
+  const char* in_path = positional[0];
+  const char* out_path = positional[1];
 
-  const data::Dataset raw = data::load_csv(argv[2], "input");
+  const data::Dataset raw = data::load_csv(in_path, "input");
   data::MinMaxNormalizer norm;
   norm.fit(raw.features());
   const data::Dataset ds(raw.name(), norm.transform(raw.features()), raw.labels());
@@ -221,16 +255,17 @@ int cmd_perturb(int argc, char** argv) {
   opts.candidates = 12;
   opts.refine_steps = 6;
   opts.noise_sigma = sigma;
+  opts.threads = optimize_threads;
   opts.attacks = {.naive = true, .ica = true, .known_inputs = 4};
   rng::Engine eng(seed);
   const auto result = opt::optimize_perturbation(ds.features_T(), opts, eng);
 
   const data::Dataset out(ds.name(), result.best.apply(ds.features_T(), eng).transpose(),
                           ds.labels());
-  data::save_csv(out, argv[3]);
+  data::save_csv(out, out_path);
   std::printf("optimized perturbation: rho = %.3f (sigma = %.2f, %zu evaluations)\n",
               result.best_rho, sigma, result.evaluations);
-  std::printf("wrote perturbed dataset to %s\n", argv[3]);
+  std::printf("wrote perturbed dataset to %s\n", out_path);
   return 0;
 }
 
@@ -262,10 +297,14 @@ int cmd_protocol(int argc, char** argv) {
   std::vector<const char*> positional;
   std::vector<std::string> job_names;
   proto::TransportKind transport = proto::TransportKind::kSimulated;
+  std::uint64_t optimize_threads = 0;
   bool show_phases = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--job") {
+    bool bad = false;
+    if (take_optimize_threads(argc, argv, i, optimize_threads, bad)) {
+      if (bad) return usage_error("--optimize-threads needs a count in [0, 256]");
+    } else if (arg == "--job") {
       if (++i >= argc) return usage_error("--job needs a value");
       job_names.emplace_back(argv[i]);
     } else if (arg == "--transport") {
@@ -309,6 +348,7 @@ int cmd_protocol(int argc, char** argv) {
   opts.transport = transport;
   opts.optimizer.candidates = 8;
   opts.optimizer.refine_steps = 4;
+  opts.optimizer.threads = optimize_threads;
   opts.optimizer.attacks = {.naive = true, .ica = true, .known_inputs = 4};
   proto::SapSession session(std::move(shards), opts);
 
@@ -479,9 +519,15 @@ int cmd_party(int argc, char** argv) {
   std::vector<proto::MiningRequest> job_requests;
   std::string connect_text;
   std::uint64_t index = 0, batches = 4, batch_records = 16, deadline_ms = 30000;
+  std::uint64_t optimize_threads = 0;
   bool have_index = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool bad_ot = false;
+    if (take_optimize_threads(argc, argv, i, optimize_threads, bad_ot)) {
+      if (bad_ot) return usage_error("--optimize-threads needs a count in [0, 256]");
+      continue;
+    }
     if (arg == "--connect") {
       if (++i >= argc) return usage_error("--connect needs HOST:PORT");
       connect_text = argv[i];
@@ -551,7 +597,7 @@ int cmd_party(int argc, char** argv) {
   }
   opts.index = index;
   opts.parties = parties;
-  opts.sap = net::serving_session_options(sigma, seed);
+  opts.sap = net::serving_session_options(sigma, seed, optimize_threads);
   opts.tcp.receive_timeout_ms = static_cast<int>(deadline_ms);
 
   net::PartyClient party(workload.shards[index], opts);
@@ -609,9 +655,15 @@ int cmd_serve(int argc, char** argv) {
   proto::TransportKind transport = proto::TransportKind::kSimulated;
   std::uint64_t requests = 256, threads = 4;
   std::uint64_t ingest_every = 0, ingest_records = 32;
+  std::uint64_t optimize_threads = 0;
   bool cache = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool bad_ot = false;
+    if (take_optimize_threads(argc, argv, i, optimize_threads, bad_ot)) {
+      if (bad_ot) return usage_error("--optimize-threads needs a count in [0, 256]");
+      continue;
+    }
     if (arg == "--job") {
       if (++i >= argc) return usage_error("--job needs a value");
       proto::MiningRequest req;
@@ -672,7 +724,7 @@ int cmd_serve(int argc, char** argv) {
   data::PartitionOptions popts;
   auto shards = data::partition(pool, parties, popts, eng);
 
-  auto opts = net::serving_session_options(sigma, seed);
+  auto opts = net::serving_session_options(sigma, seed, optimize_threads);
   opts.transport = transport;
   opts.mining_threads = threads;
   opts.cache_models = cache;
@@ -757,8 +809,14 @@ int cmd_contribute(int argc, char** argv) {
   proto::MiningRequest job{"nb-train-accuracy", {}};
   proto::TransportKind transport = proto::TransportKind::kSimulated;
   std::uint64_t batches = 4, batch_records = 16;
+  std::uint64_t optimize_threads = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    bool bad_ot = false;
+    if (take_optimize_threads(argc, argv, i, optimize_threads, bad_ot)) {
+      if (bad_ot) return usage_error("--optimize-threads needs a count in [0, 256]");
+      continue;
+    }
     if (arg == "--job") {
       if (++i >= argc) return usage_error("--job needs a value");
       if (!parse_job_spec(argv[i], job))
@@ -807,7 +865,7 @@ int cmd_contribute(int argc, char** argv) {
   }
   const data::Dataset& stream = workload.stream;
 
-  auto opts = net::serving_session_options(sigma, seed);
+  auto opts = net::serving_session_options(sigma, seed, optimize_threads);
   opts.transport = transport;
   proto::SapSession session(std::move(workload.shards), opts);
 
