@@ -1,0 +1,112 @@
+// Annotated locking primitives — the only mutex vocabulary in the tree.
+//
+// libstdc++'s std::mutex carries no capability attribute, so Clang's
+// -Wthread-safety analysis cannot see through it. sap::Mutex wraps it as an
+// annotated CAPABILITY type, sap::MutexLock is the one RAII guard (a
+// SCOPED_CAPABILITY, relockable so condition-variable hand-off loops stay
+// analyzable), and sap::CondVar pairs std::condition_variable with
+// MutexLock. Everything outside src/common/ must use these three types:
+// sap-lint rule R4 rejects raw std::mutex / std::condition_variable members
+// elsewhere, and rejects bare .lock()/.unlock() on any declared mutex.
+//
+// Predicate waits are written as explicit while-loops at the call site
+// (`while (!ready_) cv_.wait(lk);`) rather than lambda predicates: the
+// analysis checks a lambda body as a capability-free function, so a
+// predicate lambda reading SAP_GUARDED_BY state would warn even though the
+// wait contract holds the lock — the loop form keeps the guarded reads in
+// the scope the analysis can verify.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace sap {
+
+class CondVar;
+
+/// Exclusive mutex, annotated as a Clang thread-safety capability. Lock it
+/// through MutexLock; the public lock()/unlock() exist for the annotation
+/// vocabulary (and std::scoped_lock compatibility in generic code), not for
+/// bare call sites — sap-lint R4 enforces that.
+class SAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SAP_ACQUIRE() {
+    // sap-lint: allow(raii-locking) -- the RAII wrapper itself is the one
+    // place that touches the raw mutex; every other site goes through it.
+    m_.lock();
+  }
+  void unlock() SAP_RELEASE() {
+    // sap-lint: allow(raii-locking) -- see lock() above.
+    m_.unlock();
+  }
+  bool try_lock() SAP_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII guard over sap::Mutex. Constructed locked; unlock()/lock() support
+/// the condition-variable hand-off pattern (worker loops that release the
+/// lock around the work item) under the analysis — Clang tracks the scoped
+/// capability through the explicit re-acquisitions.
+class SAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) SAP_ACQUIRE(m) : lk_(m.m_) {}
+  ~MutexLock() SAP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release early (before the scope ends).
+  void unlock() SAP_RELEASE() { lk_.unlock(); }
+  /// Re-acquire after an explicit unlock().
+  void lock() SAP_ACQUIRE() { lk_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable bound to MutexLock. wait()/wait_until() atomically
+/// release and re-acquire the guard's mutex; from the analysis' point of
+/// view the capability is held across the call, which matches the caller's
+/// contract (locked on entry, locked on return).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Block until notified (or spuriously woken — callers loop on their
+  /// predicate, see the header comment).
+  void wait(MutexLock& lk) { cv_.wait(lk.lk_); }
+
+  /// Deadline-bounded wait: false exactly when `deadline` passed without a
+  /// notification (the caller's loop then gives up); true on wake-up —
+  /// genuine or spurious — so callers re-check their predicate either way.
+  bool wait_until(MutexLock& lk, std::chrono::steady_clock::time_point deadline) {
+    return cv_.wait_until(lk.lk_, deadline) == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// The deadline for a wait loop bounded by `timeout_ms` from now.
+[[nodiscard]] inline std::chrono::steady_clock::time_point deadline_after_ms(
+    int timeout_ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+}  // namespace sap

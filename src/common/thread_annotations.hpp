@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis attribute macros (DESIGN.md §9).
+//
+// These expand to Clang's `-Wthread-safety` capability attributes when the
+// translation unit is compiled with Clang, and to nothing everywhere else —
+// GCC builds see plain C++, the Clang CI job sees the full static analysis.
+// The vocabulary follows the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); sap::Mutex /
+// sap::MutexLock / sap::CondVar in common/mutex.hpp are the annotated
+// primitives every mutex-bearing class in the tree is written against.
+//
+// Usage conventions in this codebase:
+//   * data members protected by a mutex carry SAP_GUARDED_BY(that_mutex_);
+//   * private helpers that assume a lock is already held carry
+//     SAP_REQUIRES(that_mutex_) and end in `_locked` by naming convention;
+//   * functions that must NOT be called with a lock held (they acquire it
+//     themselves, or they block) carry SAP_EXCLUDES(that_mutex_);
+//   * RAII guards are the only way locks are taken — sap-lint rule R4
+//     rejects bare .lock()/.unlock() on any declared mutex.
+#pragma once
+
+#if defined(__clang__)
+#define SAP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SAP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable) type, e.g. a mutex.
+#define SAP_CAPABILITY(x) SAP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SAP_SCOPED_CAPABILITY SAP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define SAP_GUARDED_BY(x) SAP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define SAP_PT_GUARDED_BY(x) SAP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares lock-ordering edges (checked by -Wthread-safety-beta).
+#define SAP_ACQUIRED_BEFORE(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define SAP_ACQUIRED_AFTER(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Caller must already hold the capability (exclusively / shared).
+#define SAP_REQUIRES(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define SAP_REQUIRES_SHARED(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define SAP_ACQUIRE(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SAP_ACQUIRE_SHARED(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define SAP_RELEASE(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define SAP_RELEASE_SHARED(...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `b`.
+#define SAP_TRY_ACQUIRE(b, ...) \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it, or blocks
+/// in a way that would deadlock under it).
+#define SAP_EXCLUDES(...) SAP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SAP_RETURN_CAPABILITY(x) SAP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: body is intentionally outside the analysis. Every use must
+/// carry a comment explaining why the analysis cannot express the pattern.
+#define SAP_NO_THREAD_SAFETY_ANALYSIS \
+  SAP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -16,15 +16,20 @@
 // A pool constructed with zero threads runs batches inline on the calling
 // thread; callers use this as the serial reference execution that threaded
 // runs must match bit for bit.
+//
+// Locking discipline is annotated for Clang's -Wthread-safety (DESIGN.md
+// §9): batch_/stop_ are SAP_GUARDED_BY(mutex_); the Batch the pointer leads
+// to is protected by the same mutex by convention (the analysis tracks the
+// pointer, the comment tracks the pointee).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace sap {
 
@@ -42,7 +47,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::scoped_lock lk(mutex_);
+      MutexLock lk(mutex_);
       stop_ = true;
     }
     work_cv_.notify_all();
@@ -55,7 +60,8 @@ class ThreadPool {
   /// (inline when the pool has none); returns after every index has
   /// completed. Rethrows the first body exception once the batch is drained.
   /// One batch runs at a time; concurrent callers are serialized.
-  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& body) {
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& body)
+      SAP_EXCLUDES(batch_mutex_, mutex_) {
     if (count == 0) return;
     if (workers_.empty()) {
       std::exception_ptr error;
@@ -69,22 +75,24 @@ class ThreadPool {
       if (error) std::rethrow_exception(error);
       return;
     }
-    std::scoped_lock batch_guard(batch_mutex_);
+    MutexLock batch_guard(batch_mutex_);
     Batch batch;
     batch.count = count;
     batch.body = &body;
     {
-      std::scoped_lock lk(mutex_);
+      MutexLock lk(mutex_);
       batch_ = &batch;
     }
     work_cv_.notify_all();
-    std::unique_lock lk(mutex_);
-    done_cv_.wait(lk, [&] { return batch.completed == batch.count; });
+    MutexLock lk(mutex_);
+    while (batch.completed != batch.count) done_cv_.wait(lk);
     batch_ = nullptr;
     if (batch.error) std::rethrow_exception(batch.error);
   }
 
  private:
+  /// Batch state is written by workers and the caller under mutex_ (the
+  /// batch_ pointer is the guarded hand-off; fields inherit its protection).
   struct Batch {
     std::size_t count = 0;
     const std::function<void(std::size_t)>* body = nullptr;
@@ -93,10 +101,11 @@ class ThreadPool {
     std::exception_ptr error;   ///< first exception raised by any index
   };
 
-  void worker_loop() {
-    std::unique_lock lk(mutex_);
+  void worker_loop() SAP_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
     for (;;) {
-      work_cv_.wait(lk, [&] { return stop_ || (batch_ != nullptr && batch_->next < batch_->count); });
+      while (!stop_ && !(batch_ != nullptr && batch_->next < batch_->count))
+        work_cv_.wait(lk);
       if (stop_) return;
       Batch* batch = batch_;
       const std::size_t index = batch->next++;
@@ -114,12 +123,12 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex batch_mutex_;  ///< serializes run_indexed callers
-  std::mutex mutex_;        ///< protects batch_/stop_ and Batch state
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  Batch* batch_ = nullptr;
-  bool stop_ = false;
+  Mutex batch_mutex_ SAP_ACQUIRED_BEFORE(mutex_);  ///< serializes run_indexed callers
+  Mutex mutex_;                                    ///< protects batch_/stop_ and Batch state
+  CondVar work_cv_;
+  CondVar done_cv_;
+  Batch* batch_ SAP_GUARDED_BY(mutex_) = nullptr;
+  bool stop_ SAP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sap

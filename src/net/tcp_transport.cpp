@@ -103,13 +103,13 @@ TcpTransport::ClaimOutcome TcpTransport::register_claim_locked(std::uint32_t des
 
 proto::PartyId TcpTransport::claim_party(std::uint32_t desired) {
   if (role_ == Role::kHub) {
-    std::lock_guard conn_lock(conn_mutex_);
+    MutexLock conn_lock(conn_mutex_);
     const auto claim = register_claim_locked(desired, kLocalHost);
     SAP_REQUIRE(!claim.conflict,
                 "TcpTransport: party id " + std::to_string(claim.id) + " already claimed");
     const std::uint32_t id = claim.id;
     const std::vector<Frame>& parked = claim.parked;
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     local_ids_.push_back(id);
     inbox_.try_emplace(id);
     for (const Frame& f : parked) {
@@ -129,7 +129,7 @@ proto::PartyId TcpTransport::claim_party(std::uint32_t desired) {
   // Client: Hello/Welcome handshake. Claims are serialized by the protocol
   // structure (parties register before any exchange traffic).
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     SAP_REQUIRE(!closed_ && error_.empty(), "TcpTransport: connection is down");
     welcome_.reset();
   }
@@ -138,14 +138,16 @@ proto::PartyId TcpTransport::claim_party(std::uint32_t desired) {
   hello.body = u32_body(desired);
   const auto bytes = frame_bytes(hello);
   {
-    std::lock_guard wlock(write_mutex_);
+    MutexLock wlock(write_mutex_);
     socket_.write_all(bytes.data(), bytes.size(), opts_.write_timeout_ms);
   }
-  std::unique_lock lock(mutex_);
-  const bool ok = cv_.wait_for(lock, std::chrono::milliseconds(opts_.connect_timeout_ms),
-                               [&] { return welcome_.has_value() || closed_ || !error_.empty(); });
+  MutexLock lock(mutex_);
+  const auto deadline = deadline_after_ms(opts_.connect_timeout_ms);
+  bool awake = true;
+  while (awake && !welcome_.has_value() && !closed_ && error_.empty())
+    awake = cv_.wait_until(lock, deadline);
   SAP_REQUIRE(error_.empty(), "TcpTransport: hub refused claim: " + error_);
-  SAP_REQUIRE(ok && welcome_.has_value() && !closed_,
+  SAP_REQUIRE(welcome_.has_value() && !closed_,
               "TcpTransport: claim handshake timed out or connection closed");
   const proto::PartyId id = *welcome_;
   welcome_.reset();
@@ -155,7 +157,7 @@ proto::PartyId TcpTransport::claim_party(std::uint32_t desired) {
 }
 
 std::size_t TcpTransport::party_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return local_ids_.size();
 }
 
@@ -163,7 +165,7 @@ std::size_t TcpTransport::party_count() const {
 
 bool TcpTransport::record_send(proto::PartyId from, proto::PartyId to,
                                proto::PayloadKind kind, proto::EncryptedEnvelope envelope) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   proto::Message msg;
   msg.from = from;
   msg.to = to;
@@ -209,23 +211,23 @@ void TcpTransport::send(proto::PartyId from, proto::PartyId to, proto::PayloadKi
   bool to_local = false;
   std::size_t target = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     to_local = inbox_.count(to) > 0;
     if (to_local) target = ++link_sent_[{from, to}];
   }
   const auto bytes = frame_bytes(frame);
   {
-    std::lock_guard wlock(write_mutex_);
+    MutexLock wlock(write_mutex_);
     socket_.write_all(bytes.data(), bytes.size(), opts_.write_timeout_ms);
   }
   if (to_local) {
-    std::unique_lock lock(mutex_);
-    const bool ok =
-        cv_.wait_for(lock, std::chrono::milliseconds(opts_.receive_timeout_ms),
-                     [&] { return link_delivered_[{from, to}] >= target || closed_ ||
-                                  !error_.empty(); });
+    MutexLock lock(mutex_);
+    const auto deadline = deadline_after_ms(opts_.receive_timeout_ms);
+    bool awake = true;
+    while (awake && link_delivered_[{from, to}] < target && !closed_ && error_.empty())
+      awake = cv_.wait_until(lock, deadline);
     SAP_REQUIRE(error_.empty(), "TcpTransport::send: " + error_);
-    SAP_REQUIRE(ok && (link_delivered_[{from, to}] >= target),
+    SAP_REQUIRE((link_delivered_[{from, to}] >= target),
                 "TcpTransport::send: relay round trip timed out (hub gone?)");
   }
 }
@@ -233,7 +235,7 @@ void TcpTransport::send(proto::PartyId from, proto::PartyId to, proto::PayloadKi
 // ---- receive path --------------------------------------------------------
 
 bool TcpTransport::has_mail(proto::PartyId party) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = inbox_.find(party);
   SAP_REQUIRE(it != inbox_.end(), "TcpTransport::has_mail: party not hosted here");
   return !it->second.empty();
@@ -249,12 +251,14 @@ proto::Transport::Delivery TcpTransport::receive(proto::PartyId party) {
 }
 
 bool TcpTransport::try_receive(proto::PartyId party, Delivery& out, int timeout_ms) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = inbox_.find(party);
   SAP_REQUIRE(it != inbox_.end(), "TcpTransport::receive: party not hosted here");
   auto& box = it->second;
-  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-               [&] { return !box.empty() || closed_ || !error_.empty(); });
+  const auto deadline = deadline_after_ms(timeout_ms);
+  bool awake = true;
+  while (awake && box.empty() && !closed_ && error_.empty())
+    awake = cv_.wait_until(lock, deadline);
   if (box.empty()) {
     SAP_REQUIRE(error_.empty(), "TcpTransport::receive: " + error_);
     SAP_REQUIRE(!closed_, "TcpTransport::receive: connection closed by peer");
@@ -270,22 +274,25 @@ bool TcpTransport::try_receive(proto::PartyId party, Delivery& out, int timeout_
 // ---- misc accessors ------------------------------------------------------
 
 void TcpTransport::set_drop_filter(DropFilter filter) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   drop_filter_ = std::move(filter);
 }
 
 std::size_t TcpTransport::dropped_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 const std::vector<proto::Message>& TcpTransport::trace() const {
-  // Base-class contract: only while no batch is executing.
+  // Base-class contract: callers may only look while no batch is executing.
+  // The (uncontended) lock makes the guarded read well-formed for the
+  // analysis; the returned reference is covered by the same contract.
+  MutexLock lock(mutex_);
   return trace_;
 }
 
 std::size_t TcpTransport::total_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return total_bytes_;
 }
 
@@ -295,26 +302,26 @@ SocketAddr TcpTransport::local_addr() const {
 }
 
 std::size_t TcpTransport::live_connections() const {
-  std::lock_guard lock(conn_mutex_);
+  MutexLock lock(conn_mutex_);
   return live_conns_;
 }
 
 std::size_t TcpTransport::total_connections() const {
-  std::lock_guard lock(conn_mutex_);
+  MutexLock lock(conn_mutex_);
   return total_conns_;
 }
 
 void TcpTransport::send_bye() {
   if (role_ != Role::kClient || !socket_.valid()) return;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_ || bye_sent_) return;
     bye_sent_ = true;
   }
   Frame bye;
   bye.type = FrameType::kBye;
   const auto bytes = frame_bytes(bye);
-  std::lock_guard wlock(write_mutex_);
+  MutexLock wlock(write_mutex_);
   socket_.write_all(bytes.data(), bytes.size(), opts_.write_timeout_ms);
 }
 
@@ -334,13 +341,13 @@ void TcpTransport::deliver_locked(const Frame& frame) {
 }
 
 void TcpTransport::deliver_local(const Frame& frame) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   deliver_locked(frame);
   cv_.notify_all();
 }
 
 void TcpTransport::fail_all(const std::string& why) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (error_.empty()) error_ = why;
   cv_.notify_all();
 }
@@ -350,7 +357,7 @@ void TcpTransport::fail_all(const std::string& why) {
 void TcpTransport::client_handle_frame(Frame frame) {
   switch (frame.type) {
     case FrameType::kWelcome: {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       welcome_ = body_u32(frame.body);
       // The hub flushes frames parked for this id right behind the Welcome;
       // the inbox must exist BEFORE this thread processes them, not when
@@ -366,7 +373,7 @@ void TcpTransport::client_handle_frame(Frame frame) {
       deliver_local(frame);
       break;
     case FrameType::kBye: {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
       cv_.notify_all();
       break;
@@ -395,7 +402,7 @@ void TcpTransport::io_loop_client() {
       return;
     }
     if (closed) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
       cv_.notify_all();
       return;
@@ -439,7 +446,7 @@ bool TcpTransport::flush_outq_locked(Conn& conn) {
 void TcpTransport::mark_conn_closed(Conn* conn) {
   if (!conn->open.exchange(false)) return;  // exactly-once: bye/EOF/write-error race
   {
-    std::lock_guard conn_lock(conn_mutex_);
+    MutexLock conn_lock(conn_mutex_);
     --live_conns_;
   }
   cv_.notify_all();
@@ -451,12 +458,12 @@ void TcpTransport::mark_conn_closed(Conn* conn) {
 void TcpTransport::hub_write(std::size_t conn_index, const Frame& frame) {
   Conn* conn;
   {
-    std::lock_guard conn_lock(conn_mutex_);
+    MutexLock conn_lock(conn_mutex_);
     conn = conns_[conn_index].get();
   }
   bool ok;
   {
-    std::lock_guard wlock(*conn->write_mutex);
+    MutexLock wlock(conn->write_mutex);
     // Enqueue plus an opportunistic nonblocking drain: the common case
     // goes straight to the socket, a full kernel buffer leaves the rest
     // for the io loop's POLLOUT pass — never a blocking wait.
@@ -464,7 +471,7 @@ void TcpTransport::hub_write(std::size_t conn_index, const Frame& frame) {
   }
   if (!ok) {
     mark_conn_closed(conn);
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     ++dropped_;
   }
 }
@@ -473,7 +480,7 @@ void TcpTransport::hub_dispatch(Frame frame) {
   std::size_t dest = kLocalHost;
   bool to_local = false;
   {
-    std::lock_guard conn_lock(conn_mutex_);
+    MutexLock conn_lock(conn_mutex_);
     const auto it = route_.find(frame.to);
     if (it == route_.end()) {
       // Unclaimed destination: park (count- AND byte-bounded) until the
@@ -484,7 +491,7 @@ void TcpTransport::hub_dispatch(Frame frame) {
         pending_bytes_ += frame.body.size();
         parked.push_back(std::move(frame));
       } else {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         ++dropped_;
       }
       return;
@@ -502,7 +509,7 @@ void TcpTransport::hub_dispatch(Frame frame) {
 void TcpTransport::hub_handle_frame(std::size_t conn_index, Frame frame) {
   Conn* conn;
   {
-    std::lock_guard conn_lock(conn_mutex_);
+    MutexLock conn_lock(conn_mutex_);
     conn = conns_[conn_index].get();
   }
   switch (frame.type) {
@@ -512,10 +519,10 @@ void TcpTransport::hub_handle_frame(std::size_t conn_index, Frame frame) {
       // (pre-registration, flushed here) or blocks on the write_mutex
       // (post-registration) — either way nothing reaches the client
       // before its Welcome.
-      std::lock_guard wlock(*conn->write_mutex);
+      MutexLock wlock(conn->write_mutex);
       ClaimOutcome claim;
       {
-        std::lock_guard conn_lock(conn_mutex_);
+        MutexLock conn_lock(conn_mutex_);
         claim = register_claim_locked(body_u32(frame.body), conn_index);
         if (!claim.conflict) conn->parties.push_back(claim.id);
       }
@@ -540,7 +547,7 @@ void TcpTransport::hub_handle_frame(std::size_t conn_index, Frame frame) {
       // Anti-spoof: the claimed sender must be hosted by this connection.
       bool spoofed;
       {
-        std::lock_guard conn_lock(conn_mutex_);
+        MutexLock conn_lock(conn_mutex_);
         const auto owner = route_.find(frame.from);
         spoofed = owner == route_.end() || owner->second != conn_index;
       }
@@ -578,7 +585,7 @@ void TcpTransport::io_loop_hub() {
     std::vector<std::pair<std::size_t, Conn*>> polled;
     std::vector<Conn*> dead;
     {
-      std::lock_guard conn_lock(conn_mutex_);
+      MutexLock conn_lock(conn_mutex_);
       pfds.push_back({listener_.fd(), POLLIN, 0});
       for (std::size_t i = 0; i < conns_.size(); ++i) {
         Conn* conn = conns_[i].get();
@@ -597,7 +604,7 @@ void TcpTransport::io_loop_hub() {
     // half-received frame, so connection churn cannot accumulate memory
     // (only the tiny Conn shells are retained).
     for (Conn* conn : dead) {
-      std::lock_guard wlock(*conn->write_mutex);
+      MutexLock wlock(conn->write_mutex);
       conn->sock.close();
       conn->outq.clear();
       conn->outq_bytes.store(0);
@@ -608,7 +615,7 @@ void TcpTransport::io_loop_hub() {
 
     // New connections.
     if (pfds[0].revents & POLLIN) {
-      std::lock_guard conn_lock(conn_mutex_);
+      MutexLock conn_lock(conn_mutex_);
       for (;;) {
         TcpSocket sock = listener_.accept(0);
         if (!sock.valid()) break;
@@ -648,7 +655,7 @@ void TcpTransport::io_loop_hub() {
       // forever).
       if (conn->outq_bytes.load() > 0) {
         if (pfds[p].revents & POLLOUT) {
-          std::lock_guard wlock(*conn->write_mutex);
+          MutexLock wlock(conn->write_mutex);
           if (!flush_outq_locked(*conn)) {
             mark_conn_closed(conn);
             continue;

@@ -40,15 +40,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "protocol/session.hpp"
@@ -153,7 +152,8 @@ class TcpTransport final : public proto::Transport {
     bool conflict = false;
     std::vector<Frame> parked;
   };
-  ClaimOutcome register_claim_locked(std::uint32_t desired, std::size_t owner);
+  ClaimOutcome register_claim_locked(std::uint32_t desired, std::size_t owner)
+      SAP_REQUIRES(conn_mutex_);
 
   // Hub internals. Lock order (outermost first): a Conn's write_mutex →
   // conn_mutex_ → mutex_. The hub NEVER blocks on a peer's socket: frames
@@ -166,54 +166,66 @@ class TcpTransport final : public proto::Transport {
   // descriptor.
   void io_loop_hub();
   void io_loop_client();
-  void hub_handle_frame(std::size_t conn_index, Frame frame);  // no locks held
-  void hub_dispatch(Frame frame);                              // no locks held
-  void hub_write(std::size_t conn_index, const Frame& frame);  // no locks held
-  bool enqueue_frame_locked(Conn& conn, const Frame& frame);   // write_mutex held
-  bool flush_outq_locked(Conn& conn);                          // write_mutex held
-  void mark_conn_closed(Conn* conn);                           // no locks held
-  void client_handle_frame(Frame frame);
-  void deliver_local(const Frame& frame);
-  void deliver_locked(const Frame& frame);  // mutex_ held
-  void fail_all(const std::string& why);
+  // no locks held on entry:
+  void hub_handle_frame(std::size_t conn_index, Frame frame)
+      SAP_EXCLUDES(conn_mutex_, mutex_);
+  void hub_dispatch(Frame frame) SAP_EXCLUDES(conn_mutex_, mutex_);
+  void hub_write(std::size_t conn_index, const Frame& frame)
+      SAP_EXCLUDES(conn_mutex_, mutex_);
+  // caller holds conn.write_mutex:
+  bool enqueue_frame_locked(Conn& conn, const Frame& frame)
+      SAP_REQUIRES(conn.write_mutex);
+  bool flush_outq_locked(Conn& conn) SAP_REQUIRES(conn.write_mutex);
+  void mark_conn_closed(Conn* conn) SAP_EXCLUDES(conn_mutex_, mutex_);
+  void client_handle_frame(Frame frame) SAP_EXCLUDES(mutex_);
+  void deliver_local(const Frame& frame) SAP_EXCLUDES(mutex_);
+  void deliver_locked(const Frame& frame) SAP_REQUIRES(mutex_);
+  void fail_all(const std::string& why) SAP_EXCLUDES(mutex_);
 
   const Role role_;
   const std::uint64_t session_secret_;
   const TcpOptions opts_;
 
   // ---- shared mailbox state (mutex_/cv_) -------------------------------
-  mutable std::mutex mutex_;
-  mutable std::condition_variable cv_;
-  std::vector<proto::PartyId> local_ids_;
-  std::map<proto::PartyId, std::deque<proto::Message>> inbox_;
-  std::vector<proto::Message> trace_;
-  std::size_t total_bytes_ = 0;
-  DropFilter drop_filter_;
-  std::size_t dropped_ = 0;
+  mutable Mutex mutex_;
+  mutable CondVar cv_;
+  std::vector<proto::PartyId> local_ids_ SAP_GUARDED_BY(mutex_);
+  std::map<proto::PartyId, std::deque<proto::Message>> inbox_ SAP_GUARDED_BY(mutex_);
+  std::vector<proto::Message> trace_ SAP_GUARDED_BY(mutex_);
+  std::size_t total_bytes_ SAP_GUARDED_BY(mutex_) = 0;
+  DropFilter drop_filter_ SAP_GUARDED_BY(mutex_);
+  std::size_t dropped_ SAP_GUARDED_BY(mutex_) = 0;
   /// Relay round-trip accounting: frames sent/delivered per directed link
   /// whose destination is locally hosted.
-  std::map<std::pair<proto::PartyId, proto::PartyId>, std::size_t> link_sent_;
-  std::map<std::pair<proto::PartyId, proto::PartyId>, std::size_t> link_delivered_;
-  std::optional<std::uint32_t> welcome_;  ///< granted id of the pending claim
-  std::string error_;                     ///< sticky failure (kError / EOF)
-  bool closed_ = false;
-  bool bye_sent_ = false;
+  std::map<std::pair<proto::PartyId, proto::PartyId>, std::size_t> link_sent_
+      SAP_GUARDED_BY(mutex_);
+  std::map<std::pair<proto::PartyId, proto::PartyId>, std::size_t> link_delivered_
+      SAP_GUARDED_BY(mutex_);
+  /// Granted id of the pending claim.
+  std::optional<std::uint32_t> welcome_ SAP_GUARDED_BY(mutex_);
+  /// Sticky failure (kError / EOF).
+  std::string error_ SAP_GUARDED_BY(mutex_);
+  bool closed_ SAP_GUARDED_BY(mutex_) = false;
+  bool bye_sent_ SAP_GUARDED_BY(mutex_) = false;
 
   // ---- hub connection state --------------------------------------------
   // conn_mutex_ guards conns_ membership, route_, pending_ and the
   // counters; each Conn's write_mutex serializes writes and fd close;
   // `open` is atomic so writers can bail without conn_mutex_. Entries are
   // never erased, so Conn pointers stay stable for the transport lifetime.
+  // Lock order (outermost first, annotated via SAP_ACQUIRED_BEFORE below):
+  // a Conn's write_mutex → conn_mutex_ → mutex_.
   struct Conn {
-    TcpSocket sock;
-    FrameReader reader;  ///< io thread only
-    std::unique_ptr<std::mutex> write_mutex = std::make_unique<std::mutex>();
+    TcpSocket sock;          ///< reads: io thread; writes/close: write_mutex
+    FrameReader reader;      ///< io thread only
+    Mutex write_mutex;       ///< serializes socket writes and the fd close
     std::atomic<bool> open{true};
-    std::vector<proto::PartyId> parties;
-    /// Outbound queue (write_mutex): encoded frames waiting for POLLOUT;
-    /// bounded — overflow marks the conn dead instead of growing.
-    std::deque<std::vector<std::uint8_t>> outq;
-    std::size_t outq_head = 0;  ///< bytes of outq.front() already written
+    std::vector<proto::PartyId> parties;  ///< conn_mutex_ (hub bookkeeping)
+    /// Outbound queue: encoded frames waiting for POLLOUT; bounded —
+    /// overflow marks the conn dead instead of growing.
+    std::deque<std::vector<std::uint8_t>> outq SAP_GUARDED_BY(write_mutex);
+    /// Bytes of outq.front() already written.
+    std::size_t outq_head SAP_GUARDED_BY(write_mutex) = 0;
     std::atomic<std::size_t> outq_bytes{0};       ///< lock-free pending peek
     std::atomic<std::uint64_t> flushed_total{0};  ///< drain-progress detector
     // Stall accounting, io thread only:
@@ -222,21 +234,23 @@ class TcpTransport final : public proto::Transport {
     bool io_stalled = false;
     Conn(TcpSocket s, std::size_t max_body) : sock(std::move(s)), reader(max_body) {}
   };
-  mutable std::mutex conn_mutex_;
+  mutable Mutex conn_mutex_ SAP_ACQUIRED_BEFORE(mutex_);
   TcpListener listener_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Conn>> conns_ SAP_GUARDED_BY(conn_mutex_);
   /// party id -> conn index, or kLocalHost for parties hosted here.
   static constexpr std::size_t kLocalHost = static_cast<std::size_t>(-1);
-  std::map<proto::PartyId, std::size_t> route_;
-  std::map<proto::PartyId, std::vector<Frame>> pending_;  ///< frames for unclaimed ids
-  std::size_t pending_bytes_ = 0;  ///< body bytes across all of pending_
-  std::uint32_t next_auto_id_ = 0;
-  std::size_t live_conns_ = 0;
-  std::size_t total_conns_ = 0;
+  std::map<proto::PartyId, std::size_t> route_ SAP_GUARDED_BY(conn_mutex_);
+  /// Frames for unclaimed ids.
+  std::map<proto::PartyId, std::vector<Frame>> pending_ SAP_GUARDED_BY(conn_mutex_);
+  /// Body bytes across all of pending_.
+  std::size_t pending_bytes_ SAP_GUARDED_BY(conn_mutex_) = 0;
+  std::uint32_t next_auto_id_ SAP_GUARDED_BY(conn_mutex_) = 0;
+  std::size_t live_conns_ SAP_GUARDED_BY(conn_mutex_) = 0;
+  std::size_t total_conns_ SAP_GUARDED_BY(conn_mutex_) = 0;
 
   // ---- client connection state -----------------------------------------
   TcpSocket socket_;
-  std::mutex write_mutex_;
+  Mutex write_mutex_ SAP_ACQUIRED_BEFORE(mutex_);
   SocketAddr peer_addr_;
 
   std::thread io_thread_;

@@ -9,10 +9,10 @@ MiningEngine::MiningEngine(MiningEngineOptions opts, JobRegistry registry)
     : opts_(opts), registry_(std::move(registry)), pool_threads_(opts.threads) {}
 
 void MiningEngine::set_pool(data::Dataset pool) {
-  std::scoped_lock ingest(ingest_mutex_);
+  MutexLock ingest(ingest_mutex_);
   auto snapshot = std::make_shared<const data::Dataset>(std::move(pool));
   {
-    std::scoped_lock lk(pool_mutex_);
+    MutexLock lk(pool_mutex_);
     pool_ = std::move(snapshot);
     ++pool_epoch_;
     // New generation: only the new epoch's size is known lineage, so a model
@@ -22,13 +22,13 @@ void MiningEngine::set_pool(data::Dataset pool) {
   }
   // Dropping the cache releases dead models' memory; correctness never
   // depends on it (a stale entry fails the lineage check and is refitted).
-  std::scoped_lock lk(cache_mutex_);
+  MutexLock lk(cache_mutex_);
   cache_.clear();
 }
 
 std::uint64_t MiningEngine::append_records(const data::Dataset& batch) {
   SAP_REQUIRE(batch.size() > 0, "MiningEngine::append_records: empty batch");
-  std::scoped_lock ingest(ingest_mutex_);
+  MutexLock ingest(ingest_mutex_);
   PoolView view = pool_view();
   SAP_REQUIRE(view.data != nullptr,
               "MiningEngine::append_records: no pool installed (set_pool first)");
@@ -39,7 +39,7 @@ std::uint64_t MiningEngine::append_records(const data::Dataset& batch) {
   // pointer swap, not for the O(N) copy.
   auto grown = std::make_shared<data::Dataset>(*view.data);
   grown->append(batch);
-  std::scoped_lock lk(pool_mutex_);
+  MutexLock lk(pool_mutex_);
   pool_ = std::move(grown);
   ++pool_epoch_;
   epoch_rows_[pool_epoch_] = pool_->size();
@@ -53,28 +53,28 @@ std::uint64_t MiningEngine::append_records(const data::Dataset& batch) {
 }
 
 bool MiningEngine::has_pool() const {
-  std::scoped_lock lk(pool_mutex_);
+  MutexLock lk(pool_mutex_);
   return pool_ != nullptr;
 }
 
 const data::Dataset& MiningEngine::pool() const {
-  std::scoped_lock lk(pool_mutex_);
+  MutexLock lk(pool_mutex_);
   SAP_REQUIRE(pool_ != nullptr, "MiningEngine: no pool installed (set_pool first)");
   return *pool_;
 }
 
 MiningEngine::PoolView MiningEngine::pool_view() const {
-  std::scoped_lock lk(pool_mutex_);
+  MutexLock lk(pool_mutex_);
   return {pool_, pool_epoch_};
 }
 
 std::uint64_t MiningEngine::pool_epoch() const {
-  std::scoped_lock lk(pool_mutex_);
+  MutexLock lk(pool_mutex_);
   return pool_epoch_;
 }
 
 bool MiningEngine::rows_at_epoch(std::uint64_t epoch, std::size_t& rows) const {
-  std::scoped_lock lk(pool_mutex_);
+  MutexLock lk(pool_mutex_);
   const auto it = epoch_rows_.find(epoch);
   if (it == epoch_rows_.end()) return false;
   rows = it->second;
@@ -106,7 +106,7 @@ std::shared_ptr<const ml::Classifier> MiningEngine::model_for(const JobSpec& spe
   bool fitter = false;
   bool have_base = false;
   {
-    std::scoped_lock lk(cache_mutex_);
+    MutexLock lk(cache_mutex_);
     const auto it = cache_.find(key);
     if (it != cache_.end() && it->second.epoch == view.epoch) {
       // Current-epoch entry: a completed one is a genuine cache hit; an
@@ -167,7 +167,7 @@ std::shared_ptr<const ml::Classifier> MiningEngine::model_for(const JobSpec& spe
       // is still ours) so a later request retries instead of replaying a
       // stale error forever.
       promise.set_exception(std::current_exception());
-      std::scoped_lock lk(cache_mutex_);
+      MutexLock lk(cache_mutex_);
       const auto it = cache_.find(key);
       if (it != cache_.end() && it->second.epoch == view.epoch) cache_.erase(it);
     }
@@ -230,7 +230,7 @@ MiningCacheStats MiningEngine::cache_stats() const {
   stats.fits = fits_.load(std::memory_order_relaxed);
   stats.incremental = incremental_.load(std::memory_order_relaxed);
   stats.hits = hits_.load(std::memory_order_relaxed);
-  std::scoped_lock lk(cache_mutex_);
+  MutexLock lk(cache_mutex_);
   stats.entries = cache_.size();
   return stats;
 }

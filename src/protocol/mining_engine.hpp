@@ -47,10 +47,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "data/dataset.hpp"
 #include "protocol/jobs.hpp"
@@ -194,16 +194,20 @@ class MiningEngine {
   JobRegistry registry_;
   ThreadPool pool_threads_;
 
-  mutable std::mutex pool_mutex_;  ///< guards pool_, pool_epoch_, epoch_rows_
-  std::mutex ingest_mutex_;        ///< serializes set_pool/append_records
-  std::shared_ptr<const data::Dataset> pool_;
-  std::uint64_t pool_epoch_ = 0;
+  mutable Mutex pool_mutex_;  ///< guards pool_, pool_epoch_, epoch_rows_
+  /// Serializes set_pool/append_records; held around (never inside)
+  /// pool_mutex_ so mutators can build the grown pool outside the lock
+  /// serving contends on.
+  Mutex ingest_mutex_ SAP_ACQUIRED_BEFORE(pool_mutex_);
+  std::shared_ptr<const data::Dataset> pool_ SAP_GUARDED_BY(pool_mutex_);
+  std::uint64_t pool_epoch_ SAP_GUARDED_BY(pool_mutex_) = 0;
   /// Pool size per epoch of the current generation (cleared by set_pool) —
   /// what lets an incremental refit slice out exactly the appended rows.
-  std::map<std::uint64_t, std::size_t> epoch_rows_;
+  std::map<std::uint64_t, std::size_t> epoch_rows_ SAP_GUARDED_BY(pool_mutex_);
 
-  mutable std::mutex cache_mutex_;
-  std::map<std::string, CacheEntry> cache_;  ///< key: job '\0' model-params
+  mutable Mutex cache_mutex_;
+  /// key: job '\0' model-params
+  std::map<std::string, CacheEntry> cache_ SAP_GUARDED_BY(cache_mutex_);
   std::atomic<std::size_t> fits_{0};
   std::atomic<std::size_t> incremental_{0};
   std::atomic<std::size_t> hits_{0};

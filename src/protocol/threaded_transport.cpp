@@ -23,33 +23,33 @@ std::uint64_t ThreadedLocalTransport::link_key(PartyId from, PartyId to) const n
 }
 
 PartyId ThreadedLocalTransport::add_party() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   inboxes_.emplace_back();
   return static_cast<PartyId>(inboxes_.size() - 1);
 }
 
 std::size_t ThreadedLocalTransport::party_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return inboxes_.size();
 }
 
 void ThreadedLocalTransport::set_drop_filter(DropFilter filter) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   drop_filter_ = std::move(filter);
 }
 
 std::size_t ThreadedLocalTransport::dropped_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return dropped_;
 }
 
 const std::vector<Message>& ThreadedLocalTransport::trace() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return trace_;
 }
 
 std::size_t ThreadedLocalTransport::total_bytes() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_bytes_;
 }
 
@@ -69,7 +69,7 @@ void ThreadedLocalTransport::send(PartyId from, PartyId to, PayloadKind kind,
   // concurrent sends reallocate; see the Transport contract.)
   DropFilter filter;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     SAP_REQUIRE(from < inboxes_.size() && to < inboxes_.size(),
                 "ThreadedLocalTransport::send: unknown party");
     SAP_REQUIRE(from != to, "ThreadedLocalTransport::send: self-send is not a protocol step");
@@ -77,7 +77,7 @@ void ThreadedLocalTransport::send(PartyId from, PartyId to, PayloadKind kind,
   }
   const bool dropped = filter && filter(from, to, kind);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     total_bytes_ += msg.wire_bytes;
     trace_.push_back(std::move(msg));
     if (dropped) {
@@ -90,13 +90,13 @@ void ThreadedLocalTransport::send(PartyId from, PartyId to, PayloadKind kind,
 }
 
 bool ThreadedLocalTransport::has_mail(PartyId party) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   SAP_REQUIRE(party < inboxes_.size(), "ThreadedLocalTransport::has_mail: unknown party");
   return !inboxes_[party].empty();
 }
 
 Transport::Delivery ThreadedLocalTransport::receive(PartyId party) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SAP_REQUIRE(party < inboxes_.size(), "ThreadedLocalTransport::receive: unknown party");
   for (;;) {
     if (!inboxes_[party].empty()) {
@@ -135,13 +135,13 @@ void ThreadedLocalTransport::run_parties(std::vector<std::function<void()>> task
   for (const auto& task : tasks) live += (task != nullptr);
   if (live == 0) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     SAP_REQUIRE(busy_workers_ == 0,
                 "ThreadedLocalTransport::run_parties: batch already running");
     busy_workers_ = live;
   }
 
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
   std::vector<std::thread> workers;
   workers.reserve(live);
@@ -152,11 +152,11 @@ void ThreadedLocalTransport::run_parties(std::vector<std::function<void()>> task
       try {
         work();
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         --busy_workers_;
       }
       // A finished worker can no longer send: blocked peers must re-check

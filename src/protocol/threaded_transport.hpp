@@ -18,11 +18,10 @@
 // as the Transport contract states.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "protocol/transport.hpp"
 
 namespace sap::proto {
@@ -54,15 +53,18 @@ class ThreadedLocalTransport final : public Transport {
   [[nodiscard]] std::uint64_t link_key(PartyId from, PartyId to) const noexcept;
 
   std::uint64_t session_secret_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::deque<std::size_t>> inboxes_;  // indices into trace_
-  std::vector<Message> trace_;
-  std::size_t total_bytes_ = 0;
-  DropFilter drop_filter_;
-  std::size_t dropped_ = 0;
-  std::size_t busy_workers_ = 0;     ///< workers currently executing a task
-  std::size_t blocked_workers_ = 0;  ///< of those, how many wait in receive()
+  mutable Mutex mutex_;
+  CondVar cv_;
+  /// Per-party mailboxes: indices into trace_.
+  std::vector<std::deque<std::size_t>> inboxes_ SAP_GUARDED_BY(mutex_);
+  std::vector<Message> trace_ SAP_GUARDED_BY(mutex_);
+  std::size_t total_bytes_ SAP_GUARDED_BY(mutex_) = 0;
+  DropFilter drop_filter_ SAP_GUARDED_BY(mutex_);
+  std::size_t dropped_ SAP_GUARDED_BY(mutex_) = 0;
+  /// Workers currently executing a task.
+  std::size_t busy_workers_ SAP_GUARDED_BY(mutex_) = 0;
+  /// Of those, how many wait in receive().
+  std::size_t blocked_workers_ SAP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sap::proto

@@ -1,8 +1,14 @@
-// Unit tests for sap::common (error handling, logging, table rendering).
+// Unit tests for sap::common (error handling, logging, table rendering, and
+// the annotated locking primitives).
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 #include "common/stopwatch.hpp"
 #include "common/table.hpp"
 
@@ -89,6 +95,110 @@ TEST(Table, NumFormatsFixedPrecision) {
   EXPECT_EQ(sap::Table::num(1.23456, 2), "1.23");
   EXPECT_EQ(sap::Table::num(-0.5, 3), "-0.500");
   EXPECT_EQ(sap::Table::num(2.0, 0), "2");
+}
+
+// ---- annotated locking primitives (common/mutex.hpp) ---------------------
+//
+// Regression coverage for the std::mutex → sap::Mutex conversion: the
+// wrappers must preserve exclusion, the unlock()/lock() hand-off cycle the
+// worker loops rely on, and wait_until's timeout contract (false exactly on
+// deadline expiry) that the TCP handshake/receive deadline loops depend on.
+
+TEST(Mutex, ExcludesConcurrentIncrements) {
+  sap::Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        sap::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(Mutex, TryLockReportsContention) {
+  sap::Mutex mu;
+  {
+    sap::MutexLock lock(mu);
+    EXPECT_FALSE(mu.try_lock());  // held by `lock`
+  }
+  ASSERT_TRUE(mu.try_lock());  // free again after the guard released
+  mu.unlock();                 // sap-lint: allow(raii-locking) -- releasing the try_lock taken one line up to probe availability
+}
+
+TEST(MutexLock, UnlockRelockCycleKeepsExclusion) {
+  // The worker-loop hand-off pattern: release around the work item, then
+  // re-acquire. After lock() the guard must hold exclusion again.
+  sap::Mutex mu;
+  sap::MutexLock lock(mu);
+  lock.unlock();
+  {
+    sap::MutexLock other(mu);  // acquirable while released
+  }
+  lock.lock();
+  EXPECT_FALSE(mu.try_lock());  // re-held: others are excluded again
+}
+
+TEST(CondVar, WaitWakesOnNotify) {
+  sap::Mutex mu;
+  sap::CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    sap::MutexLock lock(mu);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    sap::MutexLock lock(mu);
+    while (!ready) cv.wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVar, WaitUntilReturnsFalseOnExpiry) {
+  sap::Mutex mu;
+  sap::CondVar cv;
+  sap::MutexLock lock(mu);
+  const auto deadline = sap::deadline_after_ms(20);
+  bool awake = true;
+  // Nobody notifies: the loop must terminate via the false return, exactly
+  // the give-up path of the transport deadline loops.
+  while (awake) awake = cv.wait_until(lock, deadline);
+  EXPECT_FALSE(awake);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(CondVar, WaitUntilDeliversBeforeDeadline) {
+  sap::Mutex mu;
+  sap::CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    sap::MutexLock lock(mu);
+    ready = true;
+    cv.notify_all();
+  });
+  bool timed_out = false;
+  {
+    sap::MutexLock lock(mu);
+    const auto deadline = sap::deadline_after_ms(60000);  // far future
+    bool awake = true;
+    while (awake && !ready) awake = cv.wait_until(lock, deadline);
+    timed_out = !awake;
+    EXPECT_TRUE(ready);
+  }
+  EXPECT_FALSE(timed_out);
+  producer.join();
+}
+
+TEST(Deadline, IsInTheFutureByTheRequestedAmount) {
+  const auto before = std::chrono::steady_clock::now();
+  const auto dl = sap::deadline_after_ms(1000);
+  EXPECT_GE(dl - before, std::chrono::milliseconds(999));
 }
 
 }  // namespace

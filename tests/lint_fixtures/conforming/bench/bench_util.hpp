@@ -1,0 +1,10 @@
+// Fixture: R5 scope check — bench_util.* is the single sanctioned emitter of
+// BENCH_*.json files. Lint input only.
+#pragma once
+#include <fstream>
+#include <string>
+
+inline void write_json(const std::string& path, const std::string& body) {
+  std::ofstream out(path);  // allowed here: THE emitter every bench routes through
+  out << body;
+}

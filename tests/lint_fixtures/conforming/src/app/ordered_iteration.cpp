@@ -1,0 +1,23 @@
+// Fixture: R2-conforming use of an unordered container outside protocol/net —
+// point lookups are fine; iteration happens over a sorted snapshot. Lint
+// input only.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double lookup(const std::unordered_map<std::string, double>& scores,
+              const std::string& key) {
+  const auto it = scores.find(key);  // point lookup: order never observed
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string> sorted_keys(
+    const std::unordered_map<std::string, double>& scores) {
+  std::vector<std::string> keys;
+  keys.reserve(scores.size());
+  for (auto it = scores.begin(); it != scores.end(); ++it) keys.push_back(it->first);
+  std::sort(keys.begin(), keys.end());
+  for (const auto& key : keys) (void)key;  // iterating the SORTED snapshot
+  return keys;
+}

@@ -1,0 +1,20 @@
+// Fixture: R4-conforming locking — sap::Mutex held via RAII MutexLock; no
+// bare lock()/unlock(), no raw std::mutex. Lint input only (does not
+// include the real header so the fixture stays self-contained).
+namespace sap {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+};
+}  // namespace sap
+
+struct Counter {
+  sap::Mutex mu;
+  int value = 0;
+
+  void bump() {
+    sap::MutexLock lock(mu);
+    ++value;
+  }
+};

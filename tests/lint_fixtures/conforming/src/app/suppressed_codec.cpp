@@ -1,0 +1,12 @@
+// Fixture: reasoned suppressions waive a finding — trailing form and
+// line-above form both. Lint input only.
+#include <cstring>
+
+void copy_trailing(char* dst, const char* src) {
+  std::memcpy(dst, src, 4);  // sap-lint: allow(R3) -- fixture: kernel-packed header, no typed accessor exists
+}
+
+void copy_line_above(char* dst, const char* src) {
+  // sap-lint: allow(codec-safety) -- fixture: slug-named waiver, covers the next code line
+  std::memcpy(dst, src, 4);
+}

@@ -1,0 +1,10 @@
+// Fixture: R3 scope check — src/net/frame.* is the codec boundary where byte
+// reinterpretation is legitimate. Lint input only.
+#include <cstdint>
+#include <cstring>
+
+std::uint64_t load_u64(const unsigned char* bytes) {
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes, sizeof(value));  // allowed here: codec boundary
+  return value;
+}

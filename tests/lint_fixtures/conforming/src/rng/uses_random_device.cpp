@@ -1,0 +1,8 @@
+// Fixture: R1 scope check — src/rng/ may wrap entropy sources; the rest of
+// the tree must go through it. Lint input only.
+#include <random>
+
+unsigned hardware_entropy() {
+  std::random_device rd;  // allowed here: this IS the rng subsystem
+  return rd();
+}

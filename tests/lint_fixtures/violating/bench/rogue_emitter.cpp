@@ -1,0 +1,8 @@
+// Fixture: R5/bench-hygiene — a bench writing its own results file instead of
+// going through bench_util. Lint input only.
+#include <fstream>
+
+void emit(double millis) {
+  std::ofstream out("BENCH_rogue.json");  // line 6: R5
+  out << "{\"millis\": " << millis << "}\n";
+}

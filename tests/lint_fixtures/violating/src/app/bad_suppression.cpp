@@ -1,0 +1,13 @@
+// Fixture: suppression hygiene. An allow() with no written reason is its own
+// diagnostic AND waives nothing; an unknown rule name is flagged too. Lint
+// input only.
+#include <cstring>
+
+void copy_unjustified(char* dst, const char* src) {
+  // sap-lint: allow(R3)
+  std::memcpy(dst, src, 4);  // line 8: R3 still fires (waiver was invalid)
+}
+
+void copy_unknown_rule(char* dst, const char* src) {
+  std::memcpy(dst, src, 4);  // sap-lint: allow(no-such-rule) -- typo'd rule
+}

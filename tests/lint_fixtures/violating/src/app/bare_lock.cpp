@@ -1,0 +1,13 @@
+// Fixture: both R4/raii-locking sub-checks. Lint input only.
+#include <mutex>
+
+struct Counter {
+  std::mutex mu;  // line 5: R4 (raw std::mutex outside src/common/)
+  int value = 0;
+
+  void bump() {
+    mu.lock();    // line 9: R4 (bare lock on a declared mutex)
+    ++value;
+    mu.unlock();  // line 11: R4 (bare unlock)
+  }
+};

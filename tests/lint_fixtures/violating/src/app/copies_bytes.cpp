@@ -1,0 +1,10 @@
+// Fixture: R3/codec-safety outside the codec boundary. Lint input only.
+#include <cstdint>
+#include <cstring>
+
+double peek(const unsigned char* bytes) {
+  double value = 0.0;
+  std::memcpy(&value, bytes, sizeof(value));               // line 7: R3
+  const auto* words = reinterpret_cast<const std::uint32_t*>(bytes);  // line 8: R3
+  return value + static_cast<double>(words[0]);
+}

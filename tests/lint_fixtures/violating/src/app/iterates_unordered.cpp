@@ -1,0 +1,11 @@
+// Fixture: R2/determinism outside protocol/net — range-for over a container
+// this file declared unordered. Lint input only.
+#include <string>
+#include <unordered_set>
+
+std::string join() {
+  std::unordered_set<std::string> names = {"a", "b", "c"};
+  std::string out;
+  for (const auto& name : names) out += name;  // line 9: R2
+  return out;
+}

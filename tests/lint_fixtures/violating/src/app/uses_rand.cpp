@@ -1,0 +1,12 @@
+// Fixture: every R1/rng-discipline trigger. NOT compiled — lint input only.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;                                  // line 7: R1
+  std::srand(42);                                         // line 8: R1
+  std::mt19937 eng(rd());                                 // line 9: R1
+  eng.seed(std::chrono::steady_clock::now().time_since_epoch().count());  // line 10: R1
+  return std::rand() + static_cast<int>(eng());           // line 11: R1
+}

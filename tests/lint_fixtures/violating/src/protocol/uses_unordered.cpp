@@ -1,0 +1,9 @@
+// Fixture: R2/determinism inside a digest-adjacent subsystem. Lint input only.
+#include <string>
+#include <unordered_map>
+
+double tally(const std::unordered_map<std::string, double>& scores) {  // line 5: R2
+  double sum = 0.0;
+  for (const auto& [name, score] : scores) sum += score;
+  return sum;
+}
