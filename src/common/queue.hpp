@@ -1,0 +1,129 @@
+// Annotated cross-thread queues — the hand-off primitives of the reactor
+// (net/reactor.hpp) and any future producer/consumer pipeline.
+//
+// Two shapes, both built strictly from sap::Mutex/MutexLock/CondVar so the
+// Clang -Wthread-safety job verifies every access (DESIGN.md §9):
+//
+//   * WorkQueue<T>  — bounded, blocking MPMC queue. Producers block while
+//     full (backpressure) or use try_push() to shed load; consumers block
+//     while empty. close() drains: pop() keeps returning queued items and
+//     only then reports exhaustion, so no accepted work is lost on
+//     shutdown.
+//   * DrainQueue<T> — minimally locked multi-producer inbox for a single
+//     consumer that owns everything else about its thread (an event loop).
+//     Producers append under the mutex in O(1); the consumer swaps the
+//     whole batch out in O(1), so the critical section never scales with
+//     the batch and the consumer processes items entirely lock-free.
+//
+// Neither queue allocates under the lock beyond vector/deque growth, and
+// neither hands out references into the protected storage.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.hpp"
+
+namespace sap {
+
+/// Bounded blocking MPMC queue (see the header comment).
+template <typename T>
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueue, blocking while the queue is full. False when closed (the item
+  /// is dropped — producers treat that as shutdown).
+  bool push(T item) SAP_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    while (!closed_ && items_.size() >= capacity_) room_cv_.wait(lk);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Nonblocking enqueue: false when full or closed. `item` is untouched on
+  /// failure so the caller can shed it explicitly (overload response).
+  bool try_push(T& item) SAP_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, blocking while empty. False only when the queue is closed AND
+  /// fully drained.
+  bool pop(T& out) SAP_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    while (!closed_ && items_.empty()) item_cv_.wait(lk);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    room_cv_.notify_one();
+    return true;
+  }
+
+  /// Close the queue: producers fail fast, consumers drain then stop.
+  void close() SAP_EXCLUDES(mutex_) {
+    {
+      MutexLock lk(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    room_cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const SAP_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  CondVar item_cv_;
+  CondVar room_cv_;
+  std::deque<T> items_ SAP_GUARDED_BY(mutex_);
+  bool closed_ SAP_GUARDED_BY(mutex_) = false;
+};
+
+/// Minimally locked multi-producer / single-consumer batch inbox (see the
+/// header comment). The consumer is responsible for its own wake-up channel
+/// (the reactor pairs each DrainQueue with an eventfd).
+template <typename T>
+class DrainQueue {
+ public:
+  DrainQueue() = default;
+  DrainQueue(const DrainQueue&) = delete;
+  DrainQueue& operator=(const DrainQueue&) = delete;
+
+  /// Append one item. Returns true when the queue WAS empty — the producer
+  /// then signals the consumer once per batch instead of once per item.
+  bool push(T item) SAP_EXCLUDES(mutex_) {
+    MutexLock lk(mutex_);
+    const bool was_empty = items_.empty();
+    items_.push_back(std::move(item));
+    return was_empty;
+  }
+
+  /// Take the whole pending batch in O(1) (vector swap under the lock).
+  [[nodiscard]] std::vector<T> drain() SAP_EXCLUDES(mutex_) {
+    std::vector<T> out;
+    MutexLock lk(mutex_);
+    out.swap(items_);
+    return out;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<T> items_ SAP_GUARDED_BY(mutex_);
+};
+
+}  // namespace sap

@@ -95,7 +95,7 @@ void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
   buf_.insert(buf_.end(), data, data + len);
 }
 
-bool FrameReader::next(Frame& out) {
+bool FrameReader::next_view(FrameView& out) {
   if (buffered() < kFrameHeaderBytes) return false;
   const std::uint8_t* h = buf_.data() + pos_;
   SAP_REQUIRE(get_u32(h) == kFrameMagic, "FrameReader: bad magic (not a SAP frame)");
@@ -116,8 +116,20 @@ bool FrameReader::next(Frame& out) {
   out.payload_kind = h[6];
   out.from = get_u32(h + 8);
   out.to = get_u32(h + 12);
-  out.body.assign(body, body + body_len);
+  out.body = {body, body_len};
   pos_ += kFrameHeaderBytes + body_len;
+  return true;
+}
+
+bool FrameReader::next(Frame& out) {
+  FrameView view;
+  if (!next_view(view)) return false;
+  out.version = view.version;
+  out.type = view.type;
+  out.payload_kind = view.payload_kind;
+  out.from = view.from;
+  out.to = view.to;
+  out.body.assign(view.body.begin(), view.body.end());
   return true;
 }
 
@@ -129,7 +141,7 @@ std::vector<std::uint8_t> envelope_body(const proto::EncryptedEnvelope& env) {
   return body;
 }
 
-proto::EncryptedEnvelope body_envelope(const std::vector<std::uint8_t>& body) {
+proto::EncryptedEnvelope body_envelope(std::span<const std::uint8_t> body) {
   SAP_REQUIRE(body.size() >= 8 && body.size() % 8 == 0,
               "body_envelope: malformed envelope body");
   const std::uint64_t checksum = get_u64(body.data());
@@ -145,7 +157,7 @@ std::vector<std::uint8_t> u32_body(std::uint32_t value) {
   return body;
 }
 
-std::uint32_t body_u32(const std::vector<std::uint8_t>& body) {
+std::uint32_t body_u32(std::span<const std::uint8_t> body) {
   SAP_REQUIRE(body.size() == 4, "body_u32: malformed control body");
   return get_u32(body.data());
 }
@@ -159,7 +171,7 @@ std::vector<std::uint8_t> text_body(const std::string& text) {
   return body;
 }
 
-std::string body_text(const std::vector<std::uint8_t>& body) {
+std::string body_text(std::span<const std::uint8_t> body) {
   std::string text;
   for (std::size_t i = 0; i < body.size() && i < 256; ++i) {
     const char c = static_cast<char>(body[i]);

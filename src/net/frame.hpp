@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,19 @@ struct Frame {
   std::vector<std::uint8_t> body;
 };
 
+/// Zero-copy decode result: `body` points into the reader's buffer and is
+/// valid only until the next feed()/reset() call. Hot paths (the reactor's
+/// read loop, the bench driver) parse with this and copy only the frames
+/// they must hand to another thread.
+struct FrameView {
+  std::uint8_t version = kFrameVersion;
+  FrameType type = FrameType::kData;
+  std::uint8_t payload_kind = 0;
+  proto::PartyId from = 0;
+  proto::PartyId to = 0;
+  std::span<const std::uint8_t> body;
+};
+
 /// CRC-32 (IEEE 802.3, reflected) — the frame checksum.
 [[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
                                   std::uint32_t seed = 0);
@@ -82,11 +96,22 @@ class FrameReader {
   /// needed. Throws sap::Error on malformed input.
   bool next(Frame& out);
 
+  /// Zero-copy variant: `out.body` aliases the internal buffer and stays
+  /// valid only until the next feed()/reset(). Same validation and
+  /// exception contract as next().
+  bool next_view(FrameView& out);
+
   /// Drop all buffered bytes and release their memory (a hub clearing out
   /// a dead connection's half-received frame).
   void reset();
 
   [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+  /// Bytes of internal buffer currently reserved. Long-lived connections
+  /// must see this stabilize (the lazy compaction in feed() reuses the
+  /// allocation instead of growing it per frame) — asserted over 10k
+  /// sequential frames in socket_test.
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.capacity(); }
 
  private:
   std::vector<std::uint8_t> buf_;
@@ -100,15 +125,16 @@ class FrameReader {
 [[nodiscard]] std::vector<std::uint8_t> envelope_body(const proto::EncryptedEnvelope& env);
 
 /// kData body bytes -> envelope; throws sap::Error unless the size is a
-/// positive multiple of 8 covering the integrity word.
-[[nodiscard]] proto::EncryptedEnvelope body_envelope(const std::vector<std::uint8_t>& body);
+/// positive multiple of 8 covering the integrity word. Accepts spans so a
+/// FrameView body decodes without an intermediate copy.
+[[nodiscard]] proto::EncryptedEnvelope body_envelope(std::span<const std::uint8_t> body);
 
 /// u32 control bodies (Hello desired id / Welcome granted id).
 [[nodiscard]] std::vector<std::uint8_t> u32_body(std::uint32_t value);
-[[nodiscard]] std::uint32_t body_u32(const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::uint32_t body_u32(std::span<const std::uint8_t> body);
 
 /// kError bodies (printable ASCII, truncated to 256 bytes).
 [[nodiscard]] std::vector<std::uint8_t> text_body(const std::string& text);
-[[nodiscard]] std::string body_text(const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::string body_text(std::span<const std::uint8_t> body);
 
 }  // namespace sap::net

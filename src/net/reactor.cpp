@@ -1,0 +1,533 @@
+#include "net/reactor.hpp"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace sap::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// epoll user-data tag reserved for the wake eventfd; connections use
+/// (generation << 32) | slot, and slots never reach 2^32.
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+constexpr std::size_t kWheelBuckets = 64;
+/// Max frames gathered into one writev (IOV_MAX is >= 1024 everywhere; 64
+/// already amortizes the syscall without big stack iovec arrays).
+constexpr int kMaxIov = 64;
+constexpr std::size_t kReadChunk = 64u << 10;
+
+}  // namespace
+
+/// Pre-encoded response bytes riding back to the owning loop. Posted even
+/// when empty: the completion is what decrements the connection's in-flight
+/// count (and un-spares it from idle eviction).
+struct Reactor::Completion {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
+  std::size_t frames = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// One connection. Owned exclusively by its loop thread; compute refers to
+/// it only through {slot, gen} tickets.
+struct Reactor::Conn {
+  explicit Conn(std::size_t max_body) : reader(max_body) {}
+
+  TcpSocket sock;
+  FrameReader reader;
+  std::uint32_t gen = 0;
+  std::uint32_t id = 0;
+  bool hello_done = false;
+  bool closing = false;      ///< kBye received: flush, then close
+  std::size_t inflight = 0;  ///< requests currently in compute
+  std::deque<std::vector<std::uint8_t>> outq;
+  std::size_t outq_head = 0;   ///< bytes of outq.front() already written
+  std::size_t outq_bytes = 0;  ///< total queued bytes (bounded)
+  /// Last completed inbound frame or accepted outbound byte — the signal
+  /// the timer wheel evicts on. A half-sent header or a drip-fed body
+  /// never advances it, which is exactly the slow-loris definition.
+  Clock::time_point last_progress;
+};
+
+/// One sharded event loop. Everything below the "loop-thread-owned" line is
+/// touched only by loop_main's thread — the cross-thread surface is the two
+/// internally-locked DrainQueues, the eventfd, and the stats atomic.
+struct Reactor::Loop {
+  std::size_t index = 0;
+  int epfd = -1;
+  int wakefd = -1;
+  int tick_ms = 100;
+
+  DrainQueue<TcpSocket> fresh;   ///< acceptor -> loop (new connections)
+  DrainQueue<Completion> done;   ///< compute -> loop (responses)
+  std::atomic<std::size_t> assigned{0};
+
+  // ---- loop-thread-owned ----
+  std::vector<std::unique_ptr<Conn>> slots;
+  std::vector<std::uint32_t> free_slots;
+  std::uint32_t gen_counter = 0;
+  struct WheelEntry {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+  std::array<std::vector<WheelEntry>, kWheelBuckets> wheel;
+  std::uint64_t tick = 0;
+
+  std::thread thread;
+
+  ~Loop() {
+    if (epfd >= 0) ::close(epfd);
+    if (wakefd >= 0) ::close(wakefd);
+  }
+};
+
+Reactor::Reactor(ReactorOptions opts, Handler handler)
+    : opts_(std::move(opts)),
+      handler_(std::move(handler)),
+      next_client_id_(opts_.first_client_id),
+      work_q_(opts_.compute_queue_cap) {
+  SAP_REQUIRE(handler_ != nullptr, "Reactor: null handler");
+  SAP_REQUIRE(opts_.loops >= 1, "Reactor: need at least one event loop");
+  SAP_REQUIRE(opts_.idle_timeout_ms > 0, "Reactor: idle timeout must be positive");
+  listener_ = TcpListener::listen(opts_.listen);
+  listener_addr_ = listener_.local_addr();
+
+  for (std::size_t i = 0; i < opts_.loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loop->tick_ms = std::clamp(opts_.idle_timeout_ms / 16, 5, 1000);
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    SAP_REQUIRE(loop->epfd >= 0, "Reactor: epoll_create1 failed");
+    loop->wakefd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    SAP_REQUIRE(loop->wakefd >= 0, "Reactor: eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = kWakeTag;
+    SAP_REQUIRE(::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakefd, &ev) == 0,
+                "Reactor: cannot register the wake fd");
+    loops_.push_back(std::move(loop));
+  }
+
+  // Threads last: everything they touch exists by now.
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    loops_[i]->thread = std::thread([this, i] { loop_main(i); });
+  // Compute runs ON a sap::ThreadPool: one long-lived run_indexed batch
+  // whose bodies drain the work queue until close() — the pool's barrier
+  // becomes the compute-side join. Zero threads = one inline lane on the
+  // launcher thread.
+  const std::size_t lanes = std::max<std::size_t>(1, opts_.compute_threads);
+  compute_pool_ = std::make_unique<ThreadPool>(opts_.compute_threads);
+  compute_launcher_ = std::thread([this, lanes] {
+    compute_pool_->run_indexed(lanes, [this](std::size_t) { compute_main(); });
+  });
+  acceptor_ = std::thread([this] { acceptor_main(); });
+}
+
+Reactor::~Reactor() { stop(); }
+
+void Reactor::stop() {
+  if (stopped_.exchange(true)) return;
+  stop_.store(true, std::memory_order_release);
+  // Order matters: close the work queue first so compute lanes drain and
+  // post their last completions, THEN stop the loops (which apply or drop
+  // them), then the acceptor (its poll tick notices stop_ within 100ms).
+  work_q_.close();
+  if (compute_launcher_.joinable()) compute_launcher_.join();
+  for (auto& loop : loops_) wake(*loop);
+  for (auto& loop : loops_)
+    if (loop->thread.joinable()) loop->thread.join();
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+Reactor::Stats Reactor::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.refused = refused_.load(std::memory_order_relaxed);
+  s.live = live_.load(std::memory_order_relaxed);
+  s.evicted_idle = evicted_idle_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = responses_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  for (const auto& loop : loops_)
+    s.loop_conns.push_back(loop->assigned.load(std::memory_order_relaxed));
+  return s;
+}
+
+void Reactor::wake(Loop& loop) {
+  const std::uint64_t one = 1;
+  // EAGAIN (counter saturated) already guarantees a pending wake; short
+  // writes cannot happen on an eventfd.
+  (void)!::write(loop.wakefd, &one, sizeof one);
+}
+
+// ---- acceptor ------------------------------------------------------------
+
+void Reactor::acceptor_main() {
+  std::size_t next_loop = 0;
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (!poll_fd(listener_.fd(), POLLIN, 100)) continue;
+      // Drain the kernel queue to EAGAIN: a connection storm must not sit
+      // in the backlog for one-accept-per-poll-tick.
+      for (;;) {
+        TcpSocket sock = listener_.accept(0);
+        if (!sock.valid()) break;
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (live_.load(std::memory_order_relaxed) >= opts_.max_connections) {
+          refused_.fetch_add(1, std::memory_order_relaxed);
+          continue;  // dropped: the socket closes on scope exit
+        }
+        live_.fetch_add(1, std::memory_order_relaxed);
+        Loop& loop = *loops_[next_loop];
+        next_loop = (next_loop + 1) % loops_.size();
+        if (loop.fresh.push(std::move(sock))) wake(loop);
+      }
+    }
+  } catch (const Error&) {
+    // Listener failure: stop accepting; existing connections keep serving.
+  }
+}
+
+// ---- event loop ----------------------------------------------------------
+
+Reactor::Conn* Reactor::conn_at(Loop& loop, std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= loop.slots.size()) return nullptr;
+  Conn* conn = loop.slots[slot].get();
+  return (conn != nullptr && conn->gen == gen) ? conn : nullptr;
+}
+
+void Reactor::loop_main(std::size_t loop_index) {
+  Loop& loop = *loops_[loop_index];
+  const auto tick = std::chrono::milliseconds(loop.tick_ms);
+  auto next_tick = Clock::now() + tick;
+  std::vector<epoll_event> events(512);
+  std::vector<std::uint8_t> rbuf(kReadChunk);
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    auto timeout = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       next_tick - Clock::now())
+                       .count();
+    const int wait_ms = static_cast<int>(std::clamp<decltype(timeout)>(
+        timeout, 0, loop.tick_ms));
+    const int n = ::epoll_wait(loop.epfd, events.data(),
+                               static_cast<int>(events.size()), wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure: this shard shuts down
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        (void)!::read(loop.wakefd, &drained, sizeof drained);
+        adopt_fresh(loop);
+        apply_completions(loop);
+        continue;
+      }
+      const auto slot = static_cast<std::uint32_t>(tag & 0xFFFFFFFFu);
+      const auto gen = static_cast<std::uint32_t>(tag >> 32);
+      if (conn_at(loop, slot, gen) == nullptr) continue;  // stale event
+      const std::uint32_t ev = events[i].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        evict(loop, slot, /*idle=*/false);
+        continue;
+      }
+      if ((ev & EPOLLOUT) != 0) flush_conn(loop, slot);
+      if (conn_at(loop, slot, gen) == nullptr) continue;  // flush evicted it
+      if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0) handle_readable(loop, slot, rbuf);
+    }
+    while (Clock::now() >= next_tick) {
+      process_tick(loop);
+      next_tick += tick;
+    }
+  }
+
+  for (std::uint32_t slot = 0; slot < loop.slots.size(); ++slot)
+    if (loop.slots[slot] != nullptr) evict(loop, slot, /*idle=*/false);
+}
+
+void Reactor::adopt_fresh(Loop& loop) {
+  for (auto& sock : loop.fresh.drain()) {
+    std::uint32_t slot = 0;
+    if (!loop.free_slots.empty()) {
+      slot = loop.free_slots.back();
+      loop.free_slots.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(loop.slots.size());
+      loop.slots.emplace_back();
+    }
+    auto conn = std::make_unique<Conn>(opts_.max_frame_body);
+    conn->sock = std::move(sock);
+    conn->gen = ++loop.gen_counter;
+    conn->last_progress = Clock::now();
+    epoll_event ev{};
+    // Edge-triggered both ways; registration reports an initial edge for
+    // data that raced in before the ADD, so nothing is missed.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.u64 = (static_cast<std::uint64_t>(conn->gen) << 32) | slot;
+    if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->sock.fd(), &ev) != 0) {
+      loop.free_slots.push_back(slot);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::uint64_t idle_ticks = std::min<std::uint64_t>(
+        kWheelBuckets - 1,
+        static_cast<std::uint64_t>(opts_.idle_timeout_ms) /
+                static_cast<std::uint64_t>(loop.tick_ms) +
+            1);
+    loop.wheel[(loop.tick + idle_ticks) % kWheelBuckets].push_back({slot, conn->gen});
+    loop.slots[slot] = std::move(conn);
+    loop.assigned.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Reactor::apply_completions(Loop& loop) {
+  for (auto& comp : loop.done.drain()) {
+    Conn* conn = conn_at(loop, comp.slot, comp.gen);
+    if (conn == nullptr) continue;  // connection died while computing
+    conn->inflight -= 1;
+    responses_.fetch_add(comp.frames, std::memory_order_relaxed);
+    if (!comp.bytes.empty()) {
+      enqueue_bytes(loop, comp.slot, std::move(comp.bytes));
+      conn = conn_at(loop, comp.slot, comp.gen);  // enqueue may evict
+      if (conn == nullptr) continue;
+    }
+    if (conn->closing && conn->outq.empty() && conn->inflight == 0)
+      evict(loop, comp.slot, /*idle=*/false);
+  }
+}
+
+void Reactor::handle_readable(Loop& loop, std::uint32_t slot,
+                              std::vector<std::uint8_t>& rbuf) {
+  Conn* conn = loop.slots[slot].get();
+  const std::uint32_t gen = conn->gen;
+  for (;;) {
+    bool closed = false;
+    std::size_t got = 0;
+    try {
+      got = conn->sock.read_some(rbuf.data(), rbuf.size(), 0, closed);
+    } catch (const Error&) {
+      evict(loop, slot, /*idle=*/false);
+      return;
+    }
+    if (got == 0) {
+      if (closed) evict(loop, slot, /*idle=*/false);
+      return;  // EAGAIN: drained (edge-triggered contract satisfied)
+    }
+    conn->reader.feed(rbuf.data(), got);
+    try {
+      Frame frame;
+      while (conn->reader.next(frame)) {
+        conn->last_progress = Clock::now();
+        on_frame(loop, slot, std::move(frame));
+        if (conn_at(loop, slot, gen) == nullptr) return;  // frame evicted it
+      }
+    } catch (const Error&) {
+      // Malformed stream (bad magic, checksum, oversized body, bad control
+      // payload): unrecoverable mid-stream, drop the connection.
+      evict(loop, slot, /*idle=*/false);
+      return;
+    }
+  }
+}
+
+void Reactor::on_frame(Loop& loop, std::uint32_t slot, Frame&& frame) {
+  Conn& conn = *loop.slots[slot];
+  switch (frame.type) {
+    case FrameType::kHello: {
+      // Claims are always auto-assigned: the front door serves an open
+      // client population, not the k fixed protocol parties. The body must
+      // still parse (body_u32 throws -> caller evicts).
+      (void)body_u32(frame.body);
+      if (conn.hello_done) {
+        SAP_FAIL("Reactor: duplicate Hello on one connection");
+      }
+      conn.id = next_client_id_.fetch_add(1, std::memory_order_relaxed);
+      conn.hello_done = true;
+      Frame welcome;
+      welcome.type = FrameType::kWelcome;
+      welcome.body = u32_body(conn.id);
+      std::vector<std::uint8_t> bytes;
+      encode_frame(welcome, bytes);
+      enqueue_bytes(loop, slot, std::move(bytes));
+      break;
+    }
+    case FrameType::kData: {
+      if (!conn.hello_done || frame.from != conn.id) {
+        // Anti-spoof parity with the hub: answer kError, keep the
+        // connection (the framing layer is still intact).
+        Frame err;
+        err.type = FrameType::kError;
+        err.to = conn.id;
+        err.body = text_body(conn.hello_done
+                                 ? "data frame from an id this connection does not own"
+                                 : "data frame before Hello");
+        std::vector<std::uint8_t> bytes;
+        encode_frame(err, bytes);
+        enqueue_bytes(loop, slot, std::move(bytes));
+        break;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      conn.inflight += 1;
+      Work work;
+      work.loop = static_cast<std::uint32_t>(loop.index);
+      work.slot = slot;
+      work.gen = conn.gen;
+      work.frame = std::move(frame);
+      if (!work_q_.try_push(work)) {
+        // Compute is saturated: shed instead of blocking the whole shard
+        // (one stalled loop would starve every connection it owns).
+        conn.inflight -= 1;
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        Frame err;
+        err.type = FrameType::kError;
+        err.to = conn.id;
+        err.body = text_body("server overloaded: request shed");
+        std::vector<std::uint8_t> bytes;
+        encode_frame(err, bytes);
+        enqueue_bytes(loop, slot, std::move(bytes));
+      }
+      break;
+    }
+    case FrameType::kBye: {
+      conn.closing = true;
+      if (conn.outq.empty() && conn.inflight == 0) evict(loop, slot, /*idle=*/false);
+      break;
+    }
+    case FrameType::kWelcome:
+    case FrameType::kError:
+      break;  // hub-only frames from a client: nothing to serve, ignore
+  }
+}
+
+void Reactor::enqueue_bytes(Loop& loop, std::uint32_t slot,
+                            std::vector<std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  Conn& conn = *loop.slots[slot];
+  if (conn.outq_bytes + bytes.size() > opts_.max_outq_bytes) {
+    // The peer requests faster than it reads: same stall policy as the
+    // hub's bounded outq — drop the connection, not the process.
+    evict(loop, slot, /*idle=*/false);
+    return;
+  }
+  conn.outq_bytes += bytes.size();
+  conn.outq.push_back(std::move(bytes));
+  flush_conn(loop, slot);
+}
+
+void Reactor::flush_conn(Loop& loop, std::uint32_t slot) {
+  Conn& conn = *loop.slots[slot];
+  try {
+    while (!conn.outq.empty()) {
+      // Gather up to kMaxIov queued frames into one writev: under load many
+      // responses ride one syscall instead of one write() each.
+      std::array<struct iovec, kMaxIov> iov;
+      int iovcnt = 0;
+      std::size_t head = conn.outq_head;
+      for (auto it = conn.outq.begin(); it != conn.outq.end() && iovcnt < kMaxIov;
+           ++it) {
+        iov[static_cast<std::size_t>(iovcnt)].iov_base = it->data() + head;
+        iov[static_cast<std::size_t>(iovcnt)].iov_len = it->size() - head;
+        head = 0;
+        ++iovcnt;
+      }
+      const std::size_t wrote = conn.sock.writev_some(iov.data(), iovcnt);
+      if (wrote == 0) return;  // kernel buffer full: the EPOLLOUT edge resumes
+      conn.outq_bytes -= wrote;
+      conn.last_progress = Clock::now();
+      std::size_t left = wrote;
+      while (left > 0) {
+        const std::size_t avail = conn.outq.front().size() - conn.outq_head;
+        if (left >= avail) {
+          left -= avail;
+          conn.outq.pop_front();
+          conn.outq_head = 0;
+        } else {
+          conn.outq_head += left;
+          left = 0;
+        }
+      }
+    }
+    if (conn.closing && conn.inflight == 0) evict(loop, slot, /*idle=*/false);
+  } catch (const Error&) {
+    evict(loop, slot, /*idle=*/false);
+  }
+}
+
+void Reactor::evict(Loop& loop, std::uint32_t slot, bool idle) {
+  if (slot >= loop.slots.size() || loop.slots[slot] == nullptr) return;
+  // Closing the fd deregisters it from epoll; wheel entries and in-flight
+  // completions for this slot die on their generation check.
+  loop.slots[slot].reset();
+  loop.free_slots.push_back(slot);
+  live_.fetch_sub(1, std::memory_order_relaxed);
+  if (idle) evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Reactor::process_tick(Loop& loop) {
+  loop.tick += 1;
+  auto& bucket = loop.wheel[loop.tick % kWheelBuckets];
+  if (bucket.empty()) return;
+  std::vector<Loop::WheelEntry> entries;
+  entries.swap(bucket);
+  const auto now = Clock::now();
+  const auto idle = std::chrono::milliseconds(opts_.idle_timeout_ms);
+  for (const auto& entry : entries) {
+    Conn* conn = conn_at(loop, entry.slot, entry.gen);
+    if (conn == nullptr) continue;  // already gone: stale wheel entry
+    const auto deadline = conn->last_progress + idle;
+    // Connections with work in compute are spared: a long mining job is
+    // not a dead peer. They re-arm and get re-checked next round.
+    if (now >= deadline && conn->inflight == 0) {
+      evict(loop, entry.slot, /*idle=*/true);
+      continue;
+    }
+    std::uint64_t ahead = 1;
+    if (deadline > now) {
+      const auto left_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - now)
+                               .count();
+      ahead = static_cast<std::uint64_t>(left_ms) /
+                  static_cast<std::uint64_t>(loop.tick_ms) +
+              1;
+    }
+    if (ahead >= kWheelBuckets) ahead = kWheelBuckets - 1;
+    loop.wheel[(loop.tick + ahead) % kWheelBuckets].push_back(entry);
+  }
+}
+
+// ---- compute lanes -------------------------------------------------------
+
+void Reactor::compute_main() {
+  Work work;
+  while (work_q_.pop(work)) {
+    Completion comp;
+    comp.slot = work.slot;
+    comp.gen = work.gen;
+    std::vector<Frame> out;
+    try {
+      out = handler_(work.frame);
+    } catch (...) {
+      // Handler contract says "don't throw"; contain anyway — one bad
+      // request must not kill a compute lane.
+    }
+    comp.frames = out.size();
+    for (const Frame& frame : out) encode_frame(frame, comp.bytes);
+    Loop& loop = *loops_[work.loop];
+    if (loop.done.push(std::move(comp))) wake(loop);
+  }
+}
+
+}  // namespace sap::net

@@ -57,12 +57,121 @@ MinerDaemon::MinerDaemon(MinerDaemonOptions opts)
       engine_({.threads = opts_.mining_threads, .cache_models = opts_.cache_models}) {
   SAP_REQUIRE(opts_.parties >= 3, "MinerDaemon: need at least 3 parties");
   const auto seeds = proto::logic::derive_session_seeds(opts_.seed, opts_.parties);
-  hub_ = TcpTransport::listen(opts_.listen, seeds.session_secret, opts_.tcp);
+  secret_ = seeds.session_secret;
+  hub_ = TcpTransport::listen(opts_.listen, secret_, opts_.tcp);
   miner_id_ = hub_->claim_party(static_cast<std::uint32_t>(opts_.parties));
+  if (opts_.reactor_loops > 0) {
+    ReactorOptions ropts;
+    ropts.listen = opts_.reactor_listen;
+    ropts.loops = opts_.reactor_loops;
+    ropts.compute_threads = opts_.reactor_compute_threads;
+    ropts.idle_timeout_ms = opts_.reactor_idle_timeout_ms;
+    ropts.max_frame_body = opts_.tcp.max_frame_body;
+    // The front door binds (and accepts) immediately so its address can be
+    // advertised next to the hub's; serve_frame refuses every request until
+    // the exchange installs the pool (serving_ flips in run()).
+    reactor_ = std::make_unique<Reactor>(
+        ropts, [this](const Frame& frame) { return serve_frame(frame); });
+  }
+}
+
+SocketAddr MinerDaemon::reactor_addr() const {
+  SAP_REQUIRE(reactor_ != nullptr, "MinerDaemon: reactor front door is disabled");
+  return reactor_->local_addr();
 }
 
 void MinerDaemon::note(const std::string& line) const {
-  if (opts_.log) opts_.log(line);
+  if (!opts_.log) return;
+  MutexLock lk(log_mutex_);
+  opts_.log(line);
+}
+
+bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double> payload,
+                                proto::PayloadKind& out_kind,
+                                std::vector<double>& out_wire) {
+  switch (kind) {
+    case proto::PayloadKind::kContribution: {
+      out_kind = proto::PayloadKind::kContributionAck;
+      try {
+        const auto contribution = proto::decode_contribution(payload);
+        const auto it =
+            std::find_if(adaptors_.begin(), adaptors_.end(), [&](const auto& a) {
+              return a.first == contribution.nonce;
+            });
+        SAP_REQUIRE(it != adaptors_.end(),
+                    "MinerDaemon: contribution from unknown party (no adaptor for "
+                    "nonce)");
+        const auto batch = proto::logic::adapt_contribution(contribution, it->second, dims_);
+        const auto epoch = engine_.append_records(batch);
+        const auto records = engine_.pool_view().data->size();
+        out_wire = proto::encode_receipt(epoch, records);
+        contributions_.fetch_add(1, std::memory_order_relaxed);
+        note("contribution accepted: pool " + std::to_string(records) +
+             " records at epoch " + std::to_string(epoch));
+      } catch (const Error& e) {
+        // Negative receipt (epoch 0): the contributor learns of the
+        // rejection immediately instead of stalling out its deadline.
+        note(std::string("rejected contribution: ") + e.what());
+        out_wire = proto::encode_receipt(/*pool_epoch=*/0, /*pool_records=*/0);
+      }
+      return true;
+    }
+    case proto::PayloadKind::kMiningRequest: {
+      out_kind = proto::PayloadKind::kMiningResponse;
+      const auto request = proto::decode_mining_request(payload);
+      proto::WireMiningResponse wire;
+      try {
+        const auto response = engine_.run({request.job, request.params});
+        wire.pool_epoch = response.pool_epoch;
+        wire.model_cached = response.model_cached;
+        wire.model_incremental = response.model_incremental;
+        wire.values = response.values;
+      } catch (const Error&) {
+        wire.pool_epoch = engine_.pool_epoch();  // empty values = refused
+      }
+      out_wire = proto::encode_mining_response(wire);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    default:
+      return false;  // late exchange traffic / reports: nothing to serve
+  }
+}
+
+std::vector<Frame> MinerDaemon::serve_frame(const Frame& frame) {
+  std::vector<Frame> out;
+  try {
+    SAP_REQUIRE(serving_.load(std::memory_order_acquire),
+                "MinerDaemon: not serving yet (exchange in progress)");
+    const auto payload =
+        body_envelope(frame.body)
+            .open(proto::detail::derive_link_key(secret_, frame.from, miner_id_));
+    proto::PayloadKind out_kind{};
+    std::vector<double> out_wire;
+    SAP_REQUIRE(serve_payload(static_cast<proto::PayloadKind>(frame.payload_kind),
+                              payload, out_kind, out_wire),
+                "MinerDaemon: the front door serves only contributions and mining "
+                "requests");
+    Frame resp;
+    resp.type = FrameType::kData;
+    resp.payload_kind = static_cast<std::uint8_t>(out_kind);
+    resp.from = miner_id_;
+    resp.to = frame.from;
+    resp.body = envelope_body(proto::EncryptedEnvelope(
+        out_wire, proto::detail::derive_link_key(secret_, miner_id_, frame.from)));
+    out.push_back(std::move(resp));
+  } catch (const Error& e) {
+    // Per-request containment, same policy as the hub loop — answer kError
+    // so the client fails fast instead of timing out.
+    note(std::string("reactor rejected request: ") + e.what());
+    Frame err;
+    err.type = FrameType::kError;
+    err.from = miner_id_;
+    err.to = frame.from;
+    err.body = text_body(e.what());
+    out.push_back(std::move(err));
+  }
+  return out;
 }
 
 MinerDaemon::Summary MinerDaemon::run() {
@@ -168,6 +277,9 @@ MinerDaemon::Summary MinerDaemon::run() {
   engine_.set_pool(std::move(unified.pool));
   note("pool installed: " + std::to_string(summary.pool_records) + " records, digest " +
        std::to_string(dataset_digest(*engine_.pool_view().data)));
+  // adaptors_/dims_/engine_ pool are frozen now — the reactor compute lanes
+  // may start dispatching the moment this store is visible.
+  serving_.store(true, std::memory_order_release);
 
   // ---- serve until every party has said goodbye -------------------------
   std::size_t parked_pos = 0;
@@ -187,66 +299,131 @@ MinerDaemon::Summary MinerDaemon::run() {
       }
     }
     try {
-      switch (msg.kind) {
-        case proto::PayloadKind::kContribution: {
-          try {
-            const auto contribution = proto::decode_contribution(msg.payload);
-            const auto it =
-                std::find_if(adaptors_.begin(), adaptors_.end(), [&](const auto& a) {
-                  return a.first == contribution.nonce;
-                });
-            SAP_REQUIRE(it != adaptors_.end(),
-                        "MinerDaemon: contribution from unknown party (no adaptor for "
-                        "nonce)");
-            const auto batch =
-                proto::logic::adapt_contribution(contribution, it->second, dims_);
-            const auto epoch = engine_.append_records(batch);
-            const auto records = engine_.pool_view().data->size();
-            hub_->send(miner_id_, msg.from, proto::PayloadKind::kContributionAck,
-                       proto::encode_receipt(epoch, records));
-            ++summary.contributions;
-            note("contribution accepted: pool " + std::to_string(records) +
-                 " records at epoch " + std::to_string(epoch));
-          } catch (const Error& e) {
-            // Negative receipt (epoch 0): the contributor learns of the
-            // rejection immediately instead of stalling out its deadline.
-            note(std::string("rejected contribution: ") + e.what());
-            hub_->send(miner_id_, msg.from, proto::PayloadKind::kContributionAck,
-                       proto::encode_receipt(/*pool_epoch=*/0, /*pool_records=*/0));
-          }
-          break;
-        }
-        case proto::PayloadKind::kMiningRequest: {
-          const auto request = proto::decode_mining_request(msg.payload);
-          proto::WireMiningResponse wire;
-          try {
-            const auto response = engine_.run({request.job, request.params});
-            wire.pool_epoch = response.pool_epoch;
-            wire.model_cached = response.model_cached;
-            wire.model_incremental = response.model_incremental;
-            wire.values = response.values;
-          } catch (const Error&) {
-            wire.pool_epoch = engine_.pool_epoch();  // empty values = refused
-          }
-          hub_->send(miner_id_, msg.from, proto::PayloadKind::kMiningResponse,
-                     proto::encode_mining_response(wire));
-          ++summary.requests_served;
-          break;
-        }
-        default:
-          break;  // late exchange traffic / reports: nothing to do
-      }
+      proto::PayloadKind out_kind{};
+      std::vector<double> out_wire;
+      if (serve_payload(msg.kind, msg.payload, out_kind, out_wire))
+        hub_->send(miner_id_, msg.from, out_kind, out_wire);
     } catch (const Error& e) {
       // One malformed message must not take the daemon down.
       note(std::string("rejected message: ") + e.what());
     }
   }
 
+  // The parties are gone: close the front door too (joins its threads), so
+  // the counters below are final and destruction order never matters.
+  if (reactor_) reactor_->stop();
+
   const auto view = engine_.pool_view();
   summary.pool_records = view.data->size();
   summary.pool_epoch = view.epoch;
   summary.pool_digest = dataset_digest(*view.data);
+  summary.contributions = contributions_.load(std::memory_order_relaxed);
+  summary.requests_served = requests_served_.load(std::memory_order_relaxed);
   return summary;
+}
+
+// ---- ServeClient ---------------------------------------------------------
+
+ServeClient::ServeClient(const SocketAddr& addr, std::uint64_t seed, std::size_t parties,
+                         Options opts)
+    : sock_(TcpSocket::connect(addr, opts.timeout_ms)),
+      reader_(opts.max_frame_body),
+      opts_(opts) {
+  SAP_REQUIRE(parties >= 3, "ServeClient: need at least 3 parties");
+  secret_ = proto::logic::derive_session_seeds(seed, parties).session_secret;
+  miner_ = static_cast<proto::PartyId>(parties);
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.body = u32_body(kClaimAnyParty);
+  std::vector<std::uint8_t> bytes;
+  encode_frame(hello, bytes);
+  sock_.write_all(bytes.data(), bytes.size(), opts_.timeout_ms);
+
+  const Frame welcome = read_frame();
+  if (welcome.type == FrameType::kError)
+    SAP_FAIL("ServeClient: endpoint refused the claim: " + body_text(welcome.body));
+  SAP_REQUIRE(welcome.type == FrameType::kWelcome,
+              "ServeClient: expected kWelcome during the handshake");
+  id_ = body_u32(welcome.body);
+}
+
+Frame ServeClient::read_frame() {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.timeout_ms);
+  Frame frame;
+  std::vector<std::uint8_t> chunk(16u << 10);
+  while (!reader_.next(frame)) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    SAP_REQUIRE(remaining.count() > 0, "ServeClient: timed out waiting for a reply");
+    bool closed = false;
+    const std::size_t got =
+        sock_.read_some(chunk.data(), chunk.size(), static_cast<int>(remaining.count()),
+                        closed);
+    SAP_REQUIRE(!closed || got > 0, "ServeClient: endpoint closed the connection");
+    if (got > 0) reader_.feed(chunk.data(), got);
+  }
+  return frame;
+}
+
+std::vector<double> ServeClient::transact(proto::PayloadKind kind,
+                                          std::span<const double> payload,
+                                          proto::PayloadKind expect_kind) {
+  Frame req;
+  req.type = FrameType::kData;
+  req.payload_kind = static_cast<std::uint8_t>(kind);
+  req.from = id_;
+  req.to = miner_;
+  req.body = envelope_body(proto::EncryptedEnvelope(
+      payload, proto::detail::derive_link_key(secret_, id_, miner_)));
+  std::vector<std::uint8_t> bytes;
+  encode_frame(req, bytes);
+  sock_.write_all(bytes.data(), bytes.size(), opts_.timeout_ms);
+
+  for (;;) {
+    const Frame resp = read_frame();
+    if (resp.type == FrameType::kError)
+      SAP_FAIL("ServeClient: request refused: " + body_text(resp.body));
+    if (resp.type != FrameType::kData) continue;  // stray control traffic
+    SAP_REQUIRE(resp.payload_kind == static_cast<std::uint8_t>(expect_kind),
+                "ServeClient: unexpected reply payload kind");
+    return body_envelope(resp.body)
+        .open(proto::detail::derive_link_key(secret_, miner_, id_));
+  }
+}
+
+proto::WireMiningResponse ServeClient::mine_named(const std::string& job,
+                                                  const proto::JobParams& params) {
+  const auto wire = transact(proto::PayloadKind::kMiningRequest,
+                             proto::encode_mining_request(job, params),
+                             proto::PayloadKind::kMiningResponse);
+  return proto::decode_mining_response(wire);
+}
+
+proto::DecodedReceipt ServeClient::contribute_wire(const std::vector<double>& wire) {
+  const auto ack = transact(proto::PayloadKind::kContribution, wire,
+                            proto::PayloadKind::kContributionAck);
+  const auto receipt = proto::decode_receipt(ack);
+  SAP_REQUIRE(receipt.pool_epoch != 0,
+              "ServeClient::contribute_wire: the miner rejected this contribution");
+  return receipt;
+}
+
+void ServeClient::bye() {
+  if (said_bye_) return;
+  said_bye_ = true;
+  Frame frame;
+  frame.type = FrameType::kBye;
+  frame.from = id_;
+  frame.to = miner_;
+  std::vector<std::uint8_t> bytes;
+  encode_frame(frame, bytes);
+  try {
+    sock_.write_all(bytes.data(), bytes.size(), opts_.timeout_ms);
+  } catch (const Error&) {
+    // Peer already gone — goodbye is best-effort by definition.
+  }
 }
 
 // ---- PartyClient ---------------------------------------------------------

@@ -23,12 +23,26 @@
 //                       exactly like in-process), answered with
 //                       kMiningResponse (empty values = request refused).
 // The daemon exits when every party connection has closed.
+//
+// Serving traffic has two front doors sharing ONE dispatch path
+// (serve_payload), so their responses are bit-identical by construction:
+//   * the hub itself (the k exchange connections double as serving links —
+//     unchanged legacy behavior), and
+//   * an optional epoll reactor (net/reactor.hpp, reactor_loops > 0) for
+//     the open client population beyond the k parties — tens of thousands
+//     of concurrent contribution/mining connections. The reactor endpoint
+//     is a second listen address (reactor_addr()) speaking the same wire
+//     protocol; it refuses traffic until the exchange installed the pool,
+//     and it never participates in the exchange itself (DESIGN.md §10).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "common/mutex.hpp"
+#include "net/reactor.hpp"
 #include "net/tcp_transport.hpp"
 #include "protocol/mining_engine.hpp"
 #include "protocol/party_logic.hpp"
@@ -66,6 +80,12 @@ struct MinerDaemonOptions {
   TcpOptions tcp{};
   /// Optional progress sink (the CLI prints these lines).
   std::function<void(const std::string&)> log;
+  /// Reactor front door: 0 disables it (hub-only legacy serving); N > 0
+  /// binds reactor_listen with N sharded event loops (see reactor_addr()).
+  std::size_t reactor_loops = 0;
+  std::size_t reactor_compute_threads = 2;
+  SocketAddr reactor_listen{"127.0.0.1", 0};
+  int reactor_idle_timeout_ms = 60'000;
 };
 
 class MinerDaemon {
@@ -77,18 +97,26 @@ class MinerDaemon {
   /// know where to connect.
   [[nodiscard]] SocketAddr local_addr() const { return hub_->local_addr(); }
 
+  /// The reactor front door address (only with reactor_loops > 0).
+  [[nodiscard]] SocketAddr reactor_addr() const;
+
+  /// The live reactor (nullptr when reactor_loops == 0) — stats for the
+  /// CLI summary and the connection-scaling bench.
+  [[nodiscard]] const Reactor* reactor() const noexcept { return reactor_.get(); }
+
   struct Summary {
     std::size_t pool_records = 0;
     std::uint64_t pool_epoch = 0;
     std::uint64_t pool_digest = 0;
-    std::size_t contributions = 0;
-    std::size_t requests_served = 0;
+    std::size_t contributions = 0;     ///< both front doors combined
+    std::size_t requests_served = 0;   ///< both front doors combined
   };
 
   /// Serve one full session: collect the exchange, install the pool, serve
   /// contributions + mining requests, return when every party disconnected.
   /// Throws sap::Error if the exchange cannot complete (missing party,
-  /// malformed shard, deadline).
+  /// malformed shard, deadline). The reactor (if any) serves concurrently
+  /// from pool installation until return.
   Summary run();
 
   /// The serving engine (valid pool only after run() installed it).
@@ -97,12 +125,86 @@ class MinerDaemon {
  private:
   void note(const std::string& line) const;
 
+  /// The ONE serving dispatch both front doors call — the reason hub-served
+  /// and reactor-served responses are bit-identical. Returns false for
+  /// non-serving kinds (late exchange traffic, reports). Contribution
+  /// failures answer inside (negative receipt); a malformed mining request
+  /// throws for the caller's per-message containment. Thread-safe: the
+  /// engine locks internally, adaptors_/dims_ are frozen before serving_.
+  bool serve_payload(proto::PayloadKind kind, std::span<const double> payload,
+                     proto::PayloadKind& out_kind, std::vector<double>& out_wire);
+
+  /// Reactor handler: decrypt, dispatch through serve_payload, encrypt the
+  /// response. Runs on reactor compute lanes.
+  std::vector<Frame> serve_frame(const Frame& frame);
+
   MinerDaemonOptions opts_;
   std::unique_ptr<TcpTransport> hub_;
   proto::PartyId miner_id_ = 0;
+  std::uint64_t secret_ = 0;
   std::size_t dims_ = 0;
   std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> adaptors_;
   proto::MiningEngine engine_;
+  std::atomic<bool> serving_{false};  ///< pool installed; reactor may serve
+  std::atomic<std::size_t> contributions_{0};
+  std::atomic<std::size_t> requests_served_{0};
+  mutable Mutex log_mutex_;  ///< note() is called from compute lanes too
+  /// Last member: destroyed (and its threads joined) before anything the
+  /// serve_frame handler touches.
+  std::unique_ptr<Reactor> reactor_;
+};
+
+// ---- serving client ------------------------------------------------------
+
+/// Minimal synchronous client for the SERVING traffic only (contributions +
+/// mining requests) — no exchange duties, no io thread, one socket and an
+/// incremental FrameReader. Works identically against both front doors
+/// (legacy hub or reactor) because they speak the same wire protocol; the
+/// bench drives both with it and compares served values bit-for-bit.
+class ServeClient {
+ public:
+  struct Options {
+    int timeout_ms = 10'000;  ///< connect/handshake/response deadline
+    std::size_t max_frame_body = kDefaultMaxBody;
+  };
+
+  /// Connect to a serving endpoint and claim an auto-assigned id. `seed`
+  /// and `parties` must match the daemon (they derive the session secret
+  /// and the miner id, standing in for out-of-band keys like every other
+  /// client in this tree).
+  ServeClient(const SocketAddr& addr, std::uint64_t seed, std::size_t parties,
+              Options opts);
+  ServeClient(const SocketAddr& addr, std::uint64_t seed, std::size_t parties)
+      : ServeClient(addr, seed, parties, Options{}) {}
+
+  [[nodiscard]] proto::PartyId id() const noexcept { return id_; }
+
+  /// Serve a named job on the miner's pool. Empty values = refused.
+  proto::WireMiningResponse mine_named(const std::string& job,
+                                       const proto::JobParams& params = {});
+
+  /// Ship a pre-encoded kContribution payload (encode_contribution wire —
+  /// the caller owns perturbing into its negotiated space). Throws on a
+  /// negative receipt (epoch 0).
+  proto::DecodedReceipt contribute_wire(const std::vector<double>& wire);
+
+  /// Polite goodbye; safe to call repeatedly.
+  void bye();
+
+ private:
+  /// Send `payload` as `kind`, await a kData reply of `expect_kind`
+  /// (kError frames raise sap::Error with the daemon's message).
+  std::vector<double> transact(proto::PayloadKind kind, std::span<const double> payload,
+                               proto::PayloadKind expect_kind);
+  Frame read_frame();
+
+  TcpSocket sock_;
+  FrameReader reader_;
+  Options opts_;
+  std::uint64_t secret_ = 0;
+  proto::PartyId id_ = 0;
+  proto::PartyId miner_ = 0;
+  bool said_bye_ = false;
 };
 
 // ---- party client --------------------------------------------------------

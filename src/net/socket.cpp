@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -21,6 +22,10 @@ void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   SAP_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
               "socket: cannot switch fd to nonblocking");
+  // CLOEXEC everywhere: processes this one spawns (cli_test daemons, the
+  // bench's driver children) must not inherit live connections — an
+  // inherited server fd would keep a "closed" connection half-alive.
+  (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
 }
 
 void set_nodelay(int fd) {
@@ -161,6 +166,22 @@ std::size_t TcpSocket::write_some(const void* data, std::size_t len) {
   }
 }
 
+std::size_t TcpSocket::writev_some(const struct iovec* iov, int iovcnt) {
+  SAP_REQUIRE(valid(), "TcpSocket::writev_some: closed socket");
+  // sendmsg rather than writev for MSG_NOSIGNAL: a peer that closed mid-queue
+  // must surface as sap::Error, not SIGPIPE.
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    const ssize_t rc = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (rc >= 0) return static_cast<std::size_t>(rc);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    SAP_FAIL(std::string("TcpSocket::writev_some: connection lost: ") + std::strerror(errno));
+  }
+}
+
 std::size_t TcpSocket::read_some(void* data, std::size_t len, int timeout_ms, bool& closed) {
   SAP_REQUIRE(valid(), "TcpSocket::read_some: closed socket");
   closed = false;
@@ -214,7 +235,8 @@ TcpListener TcpListener::listen(const SocketAddr& addr, int backlog) {
   (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   SAP_REQUIRE(::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
               "TcpListener: cannot bind " + addr.to_string() + ": " + std::strerror(errno));
-  SAP_REQUIRE(::listen(fd, backlog) == 0, "TcpListener: listen failed");
+  SAP_REQUIRE(::listen(fd, backlog > 0 ? backlog : SOMAXCONN) == 0,
+              "TcpListener: listen failed");
   return listener;
 }
 
@@ -232,9 +254,9 @@ SocketAddr TcpListener::local_addr() const {
 
 TcpSocket TcpListener::accept(int timeout_ms) {
   SAP_REQUIRE(valid(), "TcpListener::accept: closed listener");
-  if (!poll_fd(fd_, POLLIN, timeout_ms)) return {};
+  if (timeout_ms > 0 && !poll_fd(fd_, POLLIN, timeout_ms)) return {};
   const int fd = ::accept(fd_, nullptr, nullptr);
-  if (fd < 0) return {};  // raced with another accept or transient error
+  if (fd < 0) return {};  // kernel queue empty (EAGAIN), raced, or transient
   return TcpSocket(fd);
 }
 

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 
+struct iovec;  // <sys/uio.h>; forward-declared so this header stays light
+
 namespace sap::net {
 
 /// "HOST:PORT" endpoint. Host is an IPv4 dotted quad or "localhost"; port 0
@@ -69,6 +71,12 @@ class TcpSocket {
   /// connection. Never waits — the hub's io loop drains queues with this.
   std::size_t write_some(const void* data, std::size_t len);
 
+  /// Nonblocking gathered write: one syscall over `iovcnt` buffers (many
+  /// queued frames per syscall — the reactor's batched flush). Returns
+  /// bytes written (0 when the kernel buffer is full); throws sap::Error on
+  /// a closed/reset connection. Never waits.
+  std::size_t writev_some(const struct iovec* iov, int iovcnt);
+
   void close() noexcept;
 
  private:
@@ -85,14 +93,18 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Bind + listen (SO_REUSEADDR); throws sap::Error on failure.
-  static TcpListener listen(const SocketAddr& addr, int backlog = 16);
+  /// Bind + listen (SO_REUSEADDR). `backlog <= 0` means SOMAXCONN — a
+  /// connection storm queues in the kernel instead of getting RSTs while
+  /// the acceptor drains. Throws sap::Error on failure.
+  static TcpListener listen(const SocketAddr& addr, int backlog = 0);
 
   /// The bound address with port 0 resolved to the kernel-assigned port.
   [[nodiscard]] SocketAddr local_addr() const;
 
   /// Accept one connection, waiting at most `timeout_ms`; the returned
-  /// socket is invalid (valid() == false) on timeout.
+  /// socket is invalid (valid() == false) on timeout. `timeout_ms == 0`
+  /// never polls: one nonblocking accept() syscall, invalid when the
+  /// kernel queue is empty — acceptor loops drain with this until EAGAIN.
   TcpSocket accept(int timeout_ms);
 
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }

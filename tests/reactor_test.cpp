@@ -1,0 +1,486 @@
+// Reactor front-door tests — the epoll serving path (net/reactor.hpp):
+//
+//   * protocol surface: Hello/Welcome claims, echo round trips, pipelined
+//     requests answered in order through the writev-batched flush;
+//   * sharding: accepted connections dealt round-robin across loops, every
+//     shard serving;
+//   * eviction: slow-loris half-frames and silent connections die on the
+//     timer wheel, framing garbage dies immediately, kBye flushes first;
+//   * churn: a thousand short-lived connections accepted, served, and
+//     reclaimed (run under TSAN in CI — the cross-thread surface is small
+//     and this leans on it);
+//   * daemon integration: MinerDaemon's reactor endpoint serves mining
+//     requests and contributions BIT-IDENTICAL to the legacy hub path and
+//     to direct in-process MiningEngine calls;
+//   * FrameReader hygiene: buffer capacity stays flat across 10k frames.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+
+#include "common/error.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "net/frame.hpp"
+#include "net/reactor.hpp"
+#include "net/remote.hpp"
+#include "net/socket.hpp"
+#include "protocol/party_logic.hpp"
+
+namespace {
+
+using sap::data::Dataset;
+using sap::rng::Engine;
+namespace net = sap::net;
+namespace proto = sap::proto;
+using Clock = std::chrono::steady_clock;
+
+// ---- raw-socket client helpers -------------------------------------------
+
+void send_frame(net::TcpSocket& sock, const net::Frame& frame) {
+  std::vector<std::uint8_t> bytes;
+  net::encode_frame(frame, bytes);
+  sock.write_all(bytes.data(), bytes.size(), 5000);
+}
+
+net::Frame read_frame(net::TcpSocket& sock, net::FrameReader& reader,
+                      int timeout_ms = 10000) {
+  net::Frame frame;
+  std::vector<std::uint8_t> buf(16u << 10);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!reader.next(frame)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    SAP_REQUIRE(left.count() > 0, "test client: timed out waiting for a frame");
+    bool closed = false;
+    const std::size_t got =
+        sock.read_some(buf.data(), buf.size(), static_cast<int>(left.count()), closed);
+    SAP_REQUIRE(got > 0 || !closed, "test client: peer closed the connection");
+    if (got > 0) reader.feed(buf.data(), got);
+  }
+  return frame;
+}
+
+std::uint32_t say_hello(net::TcpSocket& sock, net::FrameReader& reader) {
+  net::Frame hello;
+  hello.type = net::FrameType::kHello;
+  hello.body = net::u32_body(net::kClaimAnyParty);
+  send_frame(sock, hello);
+  const auto welcome = read_frame(sock, reader);
+  SAP_REQUIRE(welcome.type == net::FrameType::kWelcome,
+              "test client: expected kWelcome");
+  return net::body_u32(welcome.body);
+}
+
+/// True when the peer closes within `timeout_ms` (no data expected).
+bool wait_for_eof(net::TcpSocket& sock, int timeout_ms) {
+  std::uint8_t buf[512];
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    bool closed = false;
+    try {
+      (void)sock.read_some(buf, sizeof buf, 50, closed);
+    } catch (const sap::Error&) {
+      return true;  // reset counts as closed
+    }
+    if (closed) return true;
+  }
+  return false;
+}
+
+/// Echo handler: every request comes straight back with from/to swapped.
+net::Reactor::Handler echo_handler() {
+  return [](const net::Frame& in) {
+    net::Frame out = in;
+    out.from = in.to;
+    out.to = in.from;
+    return std::vector<net::Frame>{out};
+  };
+}
+
+bool stats_settle(const net::Reactor& reactor,
+                  const std::function<bool(const net::Reactor::Stats&)>& done,
+                  int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    if (done(reactor.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return done(reactor.stats());
+}
+
+// ---- protocol surface ----------------------------------------------------
+
+TEST(Reactor, EchoRoundTripAndLoopFairness) {
+  net::ReactorOptions opts;
+  opts.loops = 4;
+  opts.compute_threads = 2;
+  net::Reactor reactor(opts, echo_handler());
+  const auto addr = reactor.local_addr();
+
+  constexpr std::size_t kClients = 8;
+  std::vector<net::TcpSocket> socks;
+  std::vector<net::FrameReader> readers(kClients);
+  std::set<std::uint32_t> ids;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    socks.push_back(net::TcpSocket::connect(addr, 5000));
+    const auto id = say_hello(socks[c], readers[c]);
+    EXPECT_GE(id, opts.first_client_id);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), kClients);  // ids never collide
+
+  // Every connection is served, whatever loop owns it.
+  for (std::size_t c = 0; c < kClients; ++c) {
+    net::Frame req;
+    req.type = net::FrameType::kData;
+    req.payload_kind = 42;
+    req.from = *std::next(ids.begin(), static_cast<std::ptrdiff_t>(c));
+    req.to = 0;
+    req.body = net::u32_body(static_cast<std::uint32_t>(c * 1000));
+    send_frame(socks[c], req);
+    const auto resp = read_frame(socks[c], readers[c]);
+    ASSERT_EQ(resp.type, net::FrameType::kData);
+    EXPECT_EQ(resp.payload_kind, 42);
+    EXPECT_EQ(net::body_u32(resp.body), c * 1000);
+  }
+
+  // The acceptor deals strictly round-robin: 8 connections over 4 loops
+  // land exactly 2 per shard.
+  const auto stats = reactor.stats();
+  EXPECT_EQ(stats.accepted, kClients);
+  EXPECT_EQ(stats.live, kClients);
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.responses, kClients);
+  ASSERT_EQ(stats.loop_conns.size(), 4u);
+  for (const auto per_loop : stats.loop_conns) EXPECT_EQ(per_loop, 2u);
+}
+
+TEST(Reactor, PipelinedRequestsAnswerInOrder) {
+  net::ReactorOptions opts;
+  opts.loops = 1;
+  opts.compute_threads = 1;  // one lane: completion order == request order
+  net::Reactor reactor(opts, echo_handler());
+
+  auto sock = net::TcpSocket::connect(reactor.local_addr(), 5000);
+  net::FrameReader reader;
+  const auto id = say_hello(sock, reader);
+
+  // 100 requests in ONE write: the loop decodes them in a burst and the
+  // responses ride back through the writev-batched flush.
+  constexpr std::uint32_t kRequests = 100;
+  std::vector<std::uint8_t> burst;
+  for (std::uint32_t seq = 0; seq < kRequests; ++seq) {
+    net::Frame req;
+    req.type = net::FrameType::kData;
+    req.from = id;
+    req.to = 0;
+    req.body = net::u32_body(seq);
+    net::encode_frame(req, burst);
+  }
+  sock.write_all(burst.data(), burst.size(), 5000);
+
+  for (std::uint32_t seq = 0; seq < kRequests; ++seq) {
+    const auto resp = read_frame(sock, reader);
+    ASSERT_EQ(resp.type, net::FrameType::kData);
+    EXPECT_EQ(net::body_u32(resp.body), seq) << "response out of order";
+  }
+  EXPECT_EQ(reactor.stats().responses, kRequests);
+}
+
+TEST(Reactor, DataBeforeHelloGetsErrorButKeepsConnection) {
+  net::ReactorOptions opts;
+  opts.loops = 1;
+  net::Reactor reactor(opts, echo_handler());
+
+  auto sock = net::TcpSocket::connect(reactor.local_addr(), 5000);
+  net::FrameReader reader;
+  net::Frame req;
+  req.type = net::FrameType::kData;
+  req.from = 7;
+  req.body = net::u32_body(1);
+  send_frame(sock, req);
+  const auto err = read_frame(sock, reader);
+  EXPECT_EQ(err.type, net::FrameType::kError);
+
+  // Framing is intact, so the claim still works afterwards.
+  const auto id = say_hello(sock, reader);
+  EXPECT_GE(id, opts.first_client_id);
+  EXPECT_EQ(reactor.stats().requests, 0u);  // never reached compute
+}
+
+// ---- eviction ------------------------------------------------------------
+
+TEST(Reactor, SlowLorisAndSilentConnectionsAreEvicted) {
+  net::ReactorOptions opts;
+  opts.loops = 2;
+  opts.idle_timeout_ms = 150;
+  net::Reactor reactor(opts, echo_handler());
+  const auto addr = reactor.local_addr();
+
+  // Silent: connects and never sends a byte.
+  auto silent = net::TcpSocket::connect(addr, 5000);
+  // Slow loris: a valid claim, then half a frame header, then nothing —
+  // bytes that never complete a frame are not progress.
+  auto loris = net::TcpSocket::connect(addr, 5000);
+  net::FrameReader loris_reader;
+  (void)say_hello(loris, loris_reader);
+  std::vector<std::uint8_t> half;
+  net::Frame probe;
+  probe.type = net::FrameType::kData;
+  net::encode_frame(probe, half);
+  half.resize(8);  // magic + version + type + kind + reserved, no length/crc
+  loris.write_all(half.data(), half.size(), 5000);
+
+  EXPECT_TRUE(wait_for_eof(silent, 5000)) << "silent connection never evicted";
+  EXPECT_TRUE(wait_for_eof(loris, 5000)) << "slow-loris connection never evicted";
+  EXPECT_TRUE(stats_settle(
+      reactor, [](const net::Reactor::Stats& s) { return s.evicted_idle >= 2; }, 2000));
+  EXPECT_TRUE(stats_settle(
+      reactor, [](const net::Reactor::Stats& s) { return s.live == 0; }, 2000));
+}
+
+TEST(Reactor, FramingGarbageDropsTheConnectionImmediately) {
+  net::ReactorOptions opts;
+  opts.loops = 1;
+  opts.idle_timeout_ms = 60'000;  // eviction must NOT come from the wheel
+  net::Reactor reactor(opts, echo_handler());
+
+  auto sock = net::TcpSocket::connect(reactor.local_addr(), 5000);
+  std::vector<std::uint8_t> garbage(64, 0xA5);  // wrong magic
+  sock.write_all(garbage.data(), garbage.size(), 5000);
+  EXPECT_TRUE(wait_for_eof(sock, 5000));
+}
+
+TEST(Reactor, ByeFlushesPendingResponsesThenCloses) {
+  net::ReactorOptions opts;
+  opts.loops = 1;
+  opts.compute_threads = 1;
+  net::Reactor reactor(opts, echo_handler());
+
+  auto sock = net::TcpSocket::connect(reactor.local_addr(), 5000);
+  net::FrameReader reader;
+  const auto id = say_hello(sock, reader);
+
+  // Request and goodbye in one burst: the response must still arrive
+  // (closing waits for in-flight compute + queued bytes), then EOF.
+  std::vector<std::uint8_t> burst;
+  net::Frame req;
+  req.type = net::FrameType::kData;
+  req.from = id;
+  req.body = net::u32_body(99);
+  net::encode_frame(req, burst);
+  net::Frame bye;
+  bye.type = net::FrameType::kBye;
+  bye.from = id;
+  net::encode_frame(bye, burst);
+  sock.write_all(burst.data(), burst.size(), 5000);
+
+  const auto resp = read_frame(sock, reader);
+  EXPECT_EQ(net::body_u32(resp.body), 99u);
+  EXPECT_TRUE(wait_for_eof(sock, 5000));
+  EXPECT_TRUE(stats_settle(
+      reactor, [](const net::Reactor::Stats& s) { return s.live == 0; }, 2000));
+}
+
+// ---- churn ---------------------------------------------------------------
+
+TEST(Reactor, ThousandConnectionChurnIsServedAndReclaimed) {
+  net::ReactorOptions opts;
+  opts.loops = 2;
+  opts.compute_threads = 2;
+  net::Reactor reactor(opts, echo_handler());
+  const auto addr = reactor.local_addr();
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 250;
+  std::atomic<std::size_t> served{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        auto sock = net::TcpSocket::connect(addr, 5000);
+        net::FrameReader reader;
+        const auto id = say_hello(sock, reader);
+        net::Frame req;
+        req.type = net::FrameType::kData;
+        req.from = id;
+        req.body = net::u32_body(static_cast<std::uint32_t>(t * kPerThread + i));
+        send_frame(sock, req);
+        const auto resp = read_frame(sock, reader);
+        if (resp.type == net::FrameType::kData &&
+            net::body_u32(resp.body) == t * kPerThread + i)
+          served.fetch_add(1, std::memory_order_relaxed);
+        // Plain close (no Bye): the loop sees EOF and reclaims the slot.
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(served.load(), kThreads * kPerThread);
+  const auto stats = reactor.stats();
+  EXPECT_EQ(stats.accepted, kThreads * kPerThread);
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.responses, kThreads * kPerThread);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_TRUE(stats_settle(
+      reactor, [](const net::Reactor::Stats& s) { return s.live == 0; }, 10'000))
+      << "closed connections were not reclaimed";
+}
+
+// ---- daemon integration: both front doors bit-identical ------------------
+
+TEST(ReactorDaemon, FrontDoorsServeBitIdenticalValues) {
+  const std::size_t k = 3;
+  const std::uint64_t seed = 4242;
+
+  // Normalized Iris, sharded for the exchange + one held-back batch.
+  const Dataset raw = sap::data::make_uci("Iris", seed);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  const Dataset pool(raw.name(), norm.transform(raw.features()), raw.labels());
+  Engine shard_eng(seed ^ 0xBEEF);
+  sap::data::PartitionOptions popts;
+  const auto shards = sap::data::partition(pool.slice(0, 100), k, popts, shard_eng);
+  const Dataset batch = pool.slice(100, 120);
+
+  auto sap_opts = proto::SapOptions::fast();
+  sap_opts.seed = seed;
+  sap_opts.compute_satisfaction = false;
+
+  net::MinerDaemonOptions daemon_opts;
+  daemon_opts.listen = {"127.0.0.1", 0};
+  daemon_opts.parties = k;
+  daemon_opts.seed = seed;
+  daemon_opts.reactor_loops = 2;
+  daemon_opts.reactor_compute_threads = 2;
+  net::MinerDaemon daemon(daemon_opts);
+  const auto hub_addr = daemon.local_addr();
+  const auto door_addr = daemon.reactor_addr();
+  auto daemon_future = std::async(std::launch::async, [&] { return daemon.run(); });
+
+  // k parties exchange; party 0 stays connected, mines via the HUB at both
+  // epochs, and holds the daemon open while the main thread works the
+  // reactor door.
+  std::promise<void> hub_ready;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  proto::WireMiningResponse hub_epoch1, hub_epoch2;
+  std::vector<std::thread> parties;
+  for (std::size_t i = 0; i < k; ++i) {
+    parties.emplace_back([&, i] {
+      net::PartyClientOptions party_opts;
+      party_opts.connect = hub_addr;
+      party_opts.index = i;
+      party_opts.parties = k;
+      party_opts.sap = sap_opts;
+      net::PartyClient party(shards[i], party_opts);
+      (void)party.run_exchange();
+      if (i == 0) {
+        hub_epoch1 = party.mine_named("nb-train-accuracy");
+        hub_ready.set_value();
+        released.wait();
+        hub_epoch2 = party.mine_named("nb-train-accuracy");
+      }
+      party.finish();
+    });
+  }
+  hub_ready.get_future().wait();
+
+  // Epoch 1 (the freshly unified pool): reactor door == hub == engine.
+  const auto direct_epoch1 = daemon.engine().run({"nb-train-accuracy", {}});
+  net::ServeClient door(door_addr, seed, k);
+  EXPECT_GE(door.id(), net::ReactorOptions{}.first_client_id);
+  const auto door_epoch1 = door.mine_named("nb-train-accuracy");
+  EXPECT_EQ(door_epoch1.pool_epoch, 1u);
+  EXPECT_EQ(door_epoch1.values, hub_epoch1.values);
+  EXPECT_EQ(door_epoch1.values, direct_epoch1.values);
+  EXPECT_EQ(hub_epoch1.pool_epoch, 1u);
+
+  // An unknown job is refused (empty values), not an error/disconnect.
+  EXPECT_TRUE(door.mine_named("no-such-job").values.empty());
+
+  // Contribute THROUGH THE REACTOR: replicate party 0's side of the math
+  // (same derived engine, same LocalOptimize, perturb with its G_0) so the
+  // wire is valid for the adaptor the exchange installed.
+  const auto seeds = proto::logic::derive_session_seeds(seed, k);
+  Engine party_eng = seeds.provider_eng[0];
+  const auto x0 = shards[0].features_T();
+  const auto local =
+      proto::logic::optimize_local(x0, shards[0].dims(), sap_opts, party_eng);
+  const auto y = local.g.apply(batch.features_T(), party_eng);
+  const auto receipt =
+      door.contribute_wire(proto::encode_contribution(local.nonce, y, batch.labels()));
+  EXPECT_EQ(receipt.pool_epoch, 2u);
+  EXPECT_EQ(receipt.pool_records, 100u + batch.size());
+
+  // Epoch 2 (after the reactor-door contribution): all three again.
+  const auto direct_epoch2 = daemon.engine().run({"nb-train-accuracy", {}});
+  const auto door_epoch2 = door.mine_named("nb-train-accuracy");
+  EXPECT_EQ(door_epoch2.pool_epoch, 2u);
+  EXPECT_EQ(door_epoch2.values, direct_epoch2.values);
+  door.bye();
+
+  release.set_value();
+  for (auto& t : parties) t.join();
+  EXPECT_EQ(hub_epoch2.pool_epoch, 2u);
+  EXPECT_EQ(hub_epoch2.values, door_epoch2.values);
+
+  const auto summary = daemon_future.get();
+  EXPECT_EQ(summary.pool_epoch, 2u);
+  EXPECT_EQ(summary.pool_records, 100u + batch.size());
+  EXPECT_EQ(summary.contributions, 1u);        // the reactor-door one
+  EXPECT_EQ(summary.requests_served, 5u);      // 2 hub + 3 door (one refused)
+  ASSERT_NE(daemon.reactor(), nullptr);
+  const auto stats = daemon.reactor()->stats();
+  EXPECT_EQ(stats.requests, 4u);  // mine, refused mine, contribute, mine
+  EXPECT_EQ(stats.live, 0u);      // stop() closed everything
+}
+
+// ---- FrameReader buffer hygiene ------------------------------------------
+
+TEST(FrameReaderHygiene, CapacityStaysFlatAcrossTenThousandFrames) {
+  net::Frame frame;
+  frame.type = net::FrameType::kData;
+  frame.from = 1;
+  frame.to = 2;
+  frame.body.assign(2048, 0x5C);
+  std::vector<std::uint8_t> wire;
+  net::encode_frame(frame, wire);
+
+  // Feed a long stream in fixed 777-byte slices so frame boundaries fall
+  // mid-chunk — the worst case for a naive always-growing buffer.
+  net::FrameReader reader;
+  std::vector<std::uint8_t> staging;
+  constexpr std::size_t kChunk = 777;
+  constexpr std::size_t kFrames = 10'000;
+  std::size_t decoded = 0;
+  std::size_t settled_capacity = 0;
+  for (std::size_t f = 0; f < kFrames; ++f) {
+    staging.insert(staging.end(), wire.begin(), wire.end());
+    while (staging.size() >= kChunk) {
+      reader.feed(staging.data(), kChunk);
+      staging.erase(staging.begin(), staging.begin() + kChunk);
+      net::Frame out;
+      while (reader.next(out)) {
+        ++decoded;
+        EXPECT_EQ(out.body.size(), frame.body.size());
+      }
+    }
+    if (f == 1000) settled_capacity = reader.capacity();
+    if (f > 1000) {
+      ASSERT_EQ(reader.capacity(), settled_capacity) << "buffer grew at frame " << f;
+    }
+  }
+  reader.feed(staging.data(), staging.size());
+  net::Frame out;
+  while (reader.next(out)) ++decoded;
+  EXPECT_EQ(decoded, kFrames);
+  EXPECT_LE(settled_capacity, (128u << 10) + 4096u);  // compaction bound holds
+}
+
+}  // namespace

@@ -65,7 +65,11 @@ const char* kUsage =
     "          [--optimize-threads K=0]\n"
     "  sap_cli serve --listen HOST:PORT --parties K [--seed S=1]\n"
     "          [--threads K=0] [--no-cache] [--deadline-ms N=30000]\n"
-    "          (miner daemon: port 0 = ephemeral, the bound port is printed)\n"
+    "          [--reactor-loops N=0] [--reactor-listen HOST:PORT]\n"
+    "          (miner daemon: port 0 = ephemeral, the bound port is printed;\n"
+    "           --reactor-loops > 0 opens the epoll serving front door on\n"
+    "           --reactor-listen with N sharded event loops — C10k serving\n"
+    "           for clients beyond the K exchange parties, DESIGN.md \xc2\xa7""10)\n"
     "  sap_cli party <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          --connect HOST:PORT --index I [--batches N=4]\n"
     "          [--batch-records M=16] [--job name[:k=v,...]]\n"
@@ -449,13 +453,21 @@ bool validate_job_requests(const std::vector<proto::MiningRequest>& requests) {
 /// contributions + mining requests until every party disconnects.
 int cmd_serve_daemon(int argc, char** argv) {
   std::string listen_text;
+  std::string reactor_listen_text = "127.0.0.1:0";
   std::uint64_t parties = 0, seed = 1, threads = 0, deadline_ms = 30000;
+  std::uint64_t reactor_loops = 0;
   bool cache = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--listen") {
       if (++i >= argc) return usage_error("--listen needs HOST:PORT");
       listen_text = argv[i];
+    } else if (arg == "--reactor-loops") {
+      if (++i >= argc || !parse_u64(argv[i], reactor_loops) || reactor_loops > 64)
+        return usage_error("--reactor-loops needs a count in [0, 64]");
+    } else if (arg == "--reactor-listen") {
+      if (++i >= argc) return usage_error("--reactor-listen needs HOST:PORT");
+      reactor_listen_text = argv[i];
     } else if (arg == "--parties") {
       if (++i >= argc || !parse_u64(argv[i], parties))
         return usage_error("--parties needs a count");
@@ -487,6 +499,12 @@ int cmd_serve_daemon(int argc, char** argv) {
   opts.mining_threads = threads;
   opts.cache_models = cache;
   opts.tcp.receive_timeout_ms = static_cast<int>(deadline_ms);
+  opts.reactor_loops = reactor_loops;
+  try {
+    opts.reactor_listen = net::SocketAddr::parse(reactor_listen_text);
+  } catch (const sap::Error&) {
+    return usage_error("--reactor-listen needs HOST:PORT (IPv4 or localhost)");
+  }
   opts.log = [](const std::string& line) {
     std::printf("%s\n", line.c_str());
     std::fflush(stdout);
@@ -497,6 +515,13 @@ int cmd_serve_daemon(int argc, char** argv) {
               daemon.local_addr().to_string().c_str(),
               static_cast<unsigned long long>(parties),
               static_cast<unsigned long long>(seed));
+  // Serving clients parse this one — it must come AFTER the hub line so
+  // scripts reading only the first line keep working.
+  if (reactor_loops > 0) {
+    std::printf("reactor listening on %s (%llu loops)\n",
+                daemon.reactor_addr().to_string().c_str(),
+                static_cast<unsigned long long>(reactor_loops));
+  }
   std::fflush(stdout);
 
   const auto summary = daemon.run();
@@ -510,6 +535,12 @@ int cmd_serve_daemon(int argc, char** argv) {
               "%zu cache hits\n",
               summary.contributions, summary.requests_served, stats.fits, stats.incremental,
               stats.hits);
+  if (const auto* reactor = daemon.reactor()) {
+    const auto rs = reactor->stats();
+    std::printf("reactor: %zu accepted, %zu requests, %zu responses, "
+                "%zu evicted idle, %zu shed\n",
+                rs.accepted, rs.requests, rs.responses, rs.evicted_idle, rs.shed);
+  }
   return 0;
 }
 
