@@ -139,6 +139,12 @@ inline std::string json_escape(const std::string& s) {
 struct BenchMeta {
   std::string transport = "in-process";
   std::size_t threads = std::thread::hardware_concurrency();
+  /// Cluster topology (PR 8): pool shard count and owners per shard. The
+  /// defaults mark a single unsharded miner — only the cluster benches set
+  /// them, but every BENCH_*.json carries the fields so the perf
+  /// trajectory stays comparable across topologies.
+  std::size_t shards = 1;
+  std::size_t replicas = 1;
 };
 
 /// ISO-8601 UTC timestamp ("2026-07-26T12:34:56Z").
@@ -165,7 +171,9 @@ inline void write_bench_json(const std::string& name, const Table& table,
   }
   out << "{\n  \"bench\": \"" << json_escape(name) << "\",\n  \"meta\": {\"utc\": \""
       << json_escape(utc_timestamp()) << "\", \"threads\": " << meta.threads
-      << ", \"transport\": \"" << json_escape(meta.transport) << "\"},\n  \"columns\": [";
+      << ", \"transport\": \"" << json_escape(meta.transport)
+      << "\", \"shards\": " << meta.shards << ", \"replicas\": " << meta.replicas
+      << "},\n  \"columns\": [";
   const auto& header = table.header();
   for (std::size_t c = 0; c < header.size(); ++c)
     out << (c ? ", " : "") << '"' << json_escape(header[c]) << '"';

@@ -81,8 +81,16 @@ TimingOutcome run_timing(std::size_t rows, std::size_t batches,
       {"knn-train-accuracy", {{"k", 5.0}, {"eval-records", 64.0}}},
   };
 
-  proto::MiningEngine incremental({.threads = 0, .cache_models = true});
-  proto::MiningEngine retrain({.threads = 0, .cache_models = false});
+  proto::MiningEngine incremental({.threads = 0,
+                                   .cache_models = true,
+                                   .shards = 1,
+                                   .layout = proto::ShardLayout::kHashMod,
+                                   .owned = {}});
+  proto::MiningEngine retrain({.threads = 0,
+                               .cache_models = false,
+                               .shards = 1,
+                               .layout = proto::ShardLayout::kHashMod,
+                               .owned = {}});
   incremental.set_pool(base);
   retrain.set_pool(base);
   // Warm the incremental engine's cache: the first fit is necessarily full.

@@ -65,7 +65,11 @@ struct RunStats {
 
 RunStats serve(const sap::data::Dataset& pool, const std::vector<proto::MiningRequest>& load,
                std::size_t threads, bool cache) {
-  proto::MiningEngine engine({.threads = threads, .cache_models = cache});
+  proto::MiningEngine engine({.threads = threads,
+                              .cache_models = cache,
+                              .shards = 1,
+                              .layout = proto::ShardLayout::kHashMod,
+                              .owned = {}});
   engine.set_pool(pool);
   Stopwatch sw;
   RunStats stats;

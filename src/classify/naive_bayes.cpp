@@ -88,6 +88,59 @@ std::unique_ptr<Classifier> GaussianNaiveBayes::partial_fit(
   return extended;
 }
 
+std::vector<NbClassStats> GaussianNaiveBayes::collect_stats(const data::Dataset& records) {
+  SAP_REQUIRE(records.size() >= 1, "GaussianNaiveBayes::collect_stats: empty segment");
+  // Reuse the exact accumulate() loop so the chains are the same FP op
+  // sequence fit() performs — the merge's bit-identity rests on this.
+  GaussianNaiveBayes acc;
+  acc.dims_ = records.dims();
+  acc.accumulate(records);
+  std::vector<NbClassStats> out;
+  out.reserve(acc.stats_.size());
+  for (const auto& [label, stats] : acc.stats_)  // std::map: ascending labels
+    out.push_back({label, stats.count, stats.shift, stats.sum, stats.sumsq});
+  return out;
+}
+
+GaussianNaiveBayes GaussianNaiveBayes::merge_stats(
+    const std::vector<std::vector<NbClassStats>>& segments, std::size_t dims,
+    double var_smoothing) {
+  GaussianNaiveBayes merged(var_smoothing);
+  merged.dims_ = dims;
+  for (const auto& segment : segments) {
+    for (const auto& cls : segment) {
+      SAP_REQUIRE(cls.count > 0 && cls.shift.size() == dims && cls.sum.size() == dims &&
+                      cls.sumsq.size() == dims,
+                  "GaussianNaiveBayes::merge_stats: malformed segment statistics");
+      auto& base = merged.stats_[cls.label];
+      if (base.sum.empty()) {
+        // First segment holding this class: adopt the chain verbatim.
+        base.count = cls.count;
+        base.shift = cls.shift;
+        base.sum = cls.sum;
+        base.sumsq = cls.sumsq;
+      } else {
+        // Rebase the segment's shifted moments onto the adopted shift, then
+        // fold with one addition per feature — deterministic in the segment
+        // order the caller fixed.
+        base.count += cls.count;
+        const auto n = static_cast<double>(cls.count);
+        for (std::size_t f = 0; f < dims; ++f) {
+          const double delta = cls.shift[f] - base.shift[f];
+          base.sum[f] += cls.sum[f] + n * delta;
+          base.sumsq[f] += cls.sumsq[f] + 2.0 * delta * cls.sum[f] + n * delta * delta;
+        }
+      }
+      merged.total_ += cls.count;
+    }
+  }
+  SAP_REQUIRE(merged.total_ >= 2, "GaussianNaiveBayes::merge_stats: need at least two records");
+  SAP_REQUIRE(merged.stats_.size() >= 2,
+              "GaussianNaiveBayes::merge_stats: need at least two classes");
+  merged.finalize();
+  return merged;
+}
+
 int GaussianNaiveBayes::predict(std::span<const double> record) const {
   SAP_REQUIRE(trained(), "GaussianNaiveBayes::predict before fit");
   SAP_REQUIRE(record.size() == means_.cols(), "GaussianNaiveBayes::predict: dimension mismatch");

@@ -20,6 +20,18 @@
 
 namespace sap::ml {
 
+/// Per-class sufficient statistics of one pool segment, exported so a
+/// sharded deployment can merge NB partials exactly (jobs.hpp
+/// merge_partials; DESIGN.md §11). The fields mirror ClassStats below:
+/// `sum`/`sumsq` are chains of (x - shift) accumulated in record order.
+struct NbClassStats {
+  int label = 0;
+  std::size_t count = 0;
+  std::vector<double> shift;
+  std::vector<double> sum;
+  std::vector<double> sumsq;
+};
+
 class GaussianNaiveBayes final : public Classifier {
  public:
   /// var_smoothing: fraction of the largest feature variance added to every
@@ -36,6 +48,28 @@ class GaussianNaiveBayes final : public Classifier {
   /// batch are admitted.
   [[nodiscard]] std::unique_ptr<Classifier> partial_fit(
       const data::Dataset& batch) const override;
+
+  // ---- sufficient-statistics merge (sharded serving) ---------------------
+
+  /// Accumulate the per-class chains over `records` exactly as fit() would
+  /// (same floating-point operation sequence per class), WITHOUT fit()'s
+  /// trainability requirements — a pool segment may hold a single class or
+  /// a single record. Classes come back in ascending label order.
+  [[nodiscard]] static std::vector<NbClassStats> collect_stats(
+      const data::Dataset& records);
+
+  /// Build a fitted model by folding per-segment statistics in the GIVEN
+  /// order (callers pass canonical nonce order). The first segment holding
+  /// a class adopts its chain verbatim; each later segment is rebased onto
+  /// the adopted shift (Σ(x−s1) = Σ(x−s2) + n·(s2−s1), and the matching
+  /// second-moment identity) and added with one deterministic fold step.
+  /// A single segment therefore reproduces fit() on the same records BIT
+  /// FOR BIT, and any multi-segment fold is a pure function of the segment
+  /// sequence — independent of which shard computed which segment. Throws
+  /// sap::Error unless the fold covers >= 2 records in >= 2 classes.
+  [[nodiscard]] static GaussianNaiveBayes merge_stats(
+      const std::vector<std::vector<NbClassStats>>& segments, std::size_t dims,
+      double var_smoothing);
 
  private:
   /// Per-class running sufficient statistics, accumulated in record order.

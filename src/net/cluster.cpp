@@ -1,0 +1,337 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "protocol/mining_engine.hpp"
+
+namespace sap::net {
+
+// ---- ShardRouter ---------------------------------------------------------
+
+ShardRouter::ShardRouter(ShardRouterOptions opts)
+    : opts_(std::move(opts)), registry_(proto::JobRegistry::builtins()) {
+  SAP_REQUIRE(!opts_.miners.empty(), "ShardRouter: need at least one miner");
+  SAP_REQUIRE(opts_.parties >= 3, "ShardRouter: need at least 3 parties");
+  if (opts_.shards == 0) opts_.shards = opts_.miners.size();
+  SAP_REQUIRE(opts_.replicas >= 1 && opts_.replicas <= opts_.miners.size(),
+              "ShardRouter: replicas must be in [1, miner count]");
+  clients_.resize(opts_.miners.size());
+  floors_.assign(opts_.shards, 0);
+}
+
+std::vector<std::size_t> ShardRouter::owners(std::size_t shard) const {
+  SAP_REQUIRE(shard < opts_.shards, "ShardRouter: shard id out of range");
+  const std::size_t m = opts_.miners.size();
+  std::vector<std::size_t> out;
+  out.reserve(opts_.replicas);
+  for (std::size_t j = 0; j < opts_.replicas; ++j) out.push_back((shard + j) % m);
+  return out;
+}
+
+ServeClient& ShardRouter::client_for(std::size_t miner) {
+  if (!clients_[miner])
+    clients_[miner] = std::make_unique<ServeClient>(opts_.miners[miner], opts_.seed,
+                                                    opts_.parties, opts_.client);
+  return *clients_[miner];
+}
+
+proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wire) {
+  // The nonce is word 0 of every kContribution payload — validate like the
+  // daemon's exchange loop does (wire payloads are adversarial input).
+  SAP_REQUIRE(!wire.empty(), "ShardRouter: empty contribution payload");
+  SAP_REQUIRE(std::isfinite(wire[0]) && wire[0] >= 0.0 &&
+                  wire[0] < 9007199254740992.0 && wire[0] == std::floor(wire[0]),
+              "ShardRouter: malformed contribution nonce");
+  const auto nonce = static_cast<std::uint64_t>(wire[0]);
+  const auto shard = proto::shard_of_nonce(nonce, opts_.shards, opts_.layout);
+
+  // Every owner ingests the batch (that is what makes a replica a valid
+  // read target after the primary dies); the first live owner's receipt is
+  // the client's, and the floor rises to the HIGHEST acked epoch so a
+  // stale replica can never serve a pre-append view later.
+  bool have_receipt = false;
+  proto::DecodedReceipt receipt;
+  std::uint64_t top = floors_[shard];
+  std::string last_error = "no owner attempted";
+  for (const auto m : owners(shard)) {
+    try {
+      const auto ack = client_for(m).contribute_wire(wire);
+      top = std::max(top, ack.pool_epoch);
+      if (!have_receipt) {
+        receipt = ack;
+        have_receipt = true;
+      }
+    } catch (const ServeError& e) {
+      if (e.code() == proto::ServeErrorCode::kBadRequest) throw;  // definitive
+      ++failovers_;
+      last_error = e.what();
+    } catch (const Error& e) {
+      // Negative receipts are definitive (the batch itself is bad — every
+      // owner would reject it identically); transport failures are not.
+      if (std::string(e.what()).find("rejected this contribution") != std::string::npos)
+        throw;
+      clients_[m].reset();  // dead connection — reconnect on next use
+      ++failovers_;
+      last_error = e.what();
+    }
+  }
+  if (!have_receipt)
+    throw ServeError(proto::ServeErrorCode::kUnavailable,
+                     "no live owner for shard " + std::to_string(shard) + ": " +
+                         last_error);
+  floors_[shard] = top;
+  return receipt;
+}
+
+proto::DecodedPartialResponse ShardRouter::scatter_partial(
+    std::size_t shard, const std::string& job, const proto::JobParams& params,
+    const data::Dataset& queries) {
+  std::string last_error = "no owner attempted";
+  for (const auto m : owners(shard)) {
+    try {
+      auto resp = client_for(m).mine_partial(shard, job, params, queries);
+      if (resp.shard_epoch < floors_[shard]) {
+        // Stale replica: it missed an append another owner acked.
+        ++failovers_;
+        last_error = "stale shard epoch " + std::to_string(resp.shard_epoch) +
+                     " < floor " + std::to_string(floors_[shard]);
+        continue;
+      }
+      floors_[shard] = std::max(floors_[shard], resp.shard_epoch);
+      return resp;
+    } catch (const ServeError& e) {
+      if (e.code() == proto::ServeErrorCode::kBadRequest) throw;
+      ++failovers_;
+      last_error = e.what();
+    } catch (const Error& e) {
+      clients_[m].reset();
+      ++failovers_;
+      last_error = e.what();
+    }
+  }
+  throw ServeError(proto::ServeErrorCode::kUnavailable,
+                   "no live owner for shard " + std::to_string(shard) + ": " +
+                       last_error);
+}
+
+proto::DecodedPoolSlice ShardRouter::scatter_slice(std::size_t shard,
+                                                   std::size_t max_records) {
+  std::string last_error = "no owner attempted";
+  for (const auto m : owners(shard)) {
+    try {
+      auto resp = client_for(m).pool_slice(shard, max_records);
+      if (resp.shard_epoch < floors_[shard]) {
+        ++failovers_;
+        last_error = "stale shard epoch " + std::to_string(resp.shard_epoch) +
+                     " < floor " + std::to_string(floors_[shard]);
+        continue;
+      }
+      floors_[shard] = std::max(floors_[shard], resp.shard_epoch);
+      return resp;
+    } catch (const ServeError& e) {
+      if (e.code() == proto::ServeErrorCode::kBadRequest) throw;
+      ++failovers_;
+      last_error = e.what();
+    } catch (const Error& e) {
+      clients_[m].reset();
+      ++failovers_;
+      last_error = e.what();
+    }
+  }
+  throw ServeError(proto::ServeErrorCode::kUnavailable,
+                   "no live owner for shard " + std::to_string(shard) + ": " +
+                       last_error);
+}
+
+ShardRouter::Gathered ShardRouter::gather(std::size_t limit) {
+  struct Row {
+    proto::PoolKey key;
+    std::size_t slice_idx;
+    std::size_t row_idx;
+  };
+  std::vector<proto::DecodedPoolSlice> slices;
+  slices.reserve(opts_.shards);
+  Gathered out;
+  out.watermark = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t g = 0; g < opts_.shards; ++g) {
+    slices.push_back(scatter_slice(g, limit));
+    out.watermark = std::min(out.watermark, slices.back().shard_epoch);
+  }
+  if (out.watermark == std::numeric_limits<std::uint64_t>::max()) out.watermark = 0;
+
+  std::vector<Row> rows;
+  std::size_t dims = 0;
+  for (std::size_t s = 0; s < slices.size(); ++s) {
+    const auto& slice = slices[s];
+    if (slice.rows.size() == 0) continue;
+    if (dims == 0) dims = slice.rows.dims();
+    SAP_REQUIRE(slice.rows.dims() == dims,
+                "ShardRouter: shard dimensionality mismatch in gather");
+    for (std::size_t i = 0; i < slice.rows.size(); ++i)
+      rows.push_back({slice.keys[i], s, i});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  const std::size_t n = limit == 0 ? rows.size() : std::min(limit, rows.size());
+  linalg::Matrix features(n, dims, 0.0);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto rec = slices[rows[i].slice_idx].rows.record(rows[i].row_idx);
+    auto dst = features.row(i);
+    std::copy(rec.begin(), rec.end(), dst.begin());
+    labels[i] = slices[rows[i].slice_idx].rows.label(rows[i].row_idx);
+  }
+  out.pool = data::Dataset("gathered", std::move(features), std::move(labels));
+  return out;
+}
+
+proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
+                                                  const proto::JobParams& params) {
+  if (!registry_.contains(job))
+    throw ServeError(proto::ServeErrorCode::kBadRequest, "unknown job: " + job);
+  const auto& spec = registry_.find(job);
+  proto::JobParams resolved;
+  try {
+    resolved = spec.resolve_params(params);
+  } catch (const Error& e) {
+    throw ServeError(proto::ServeErrorCode::kBadRequest, e.what());
+  }
+
+  proto::WireMiningResponse response;
+  if (spec.mergeable()) {
+    // Exact merge: identical to MiningEngine::run_sharded, with the shard
+    // views replaced by live miners — queries are the canonical eval
+    // prefix, partials one blob per shard, the merge router-side.
+    data::Dataset queries;
+    if (spec.trainable()) {
+      std::size_t limit = 0;
+      const auto it = resolved.find("eval-records");
+      if (it != resolved.end()) limit = static_cast<std::size_t>(it->second);
+      auto gathered = gather(limit);
+      SAP_REQUIRE(gathered.pool.size() > 0, "ShardRouter: empty pool across shards");
+      queries = std::move(gathered.pool);
+    }
+    std::vector<std::vector<double>> partials;
+    partials.reserve(opts_.shards);
+    std::uint64_t watermark = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t g = 0; g < opts_.shards; ++g) {
+      auto partial = scatter_partial(g, job, params, queries);
+      watermark = std::min(watermark, partial.shard_epoch);
+      partials.push_back(std::move(partial.blob));
+    }
+    response.pool_epoch =
+        watermark == std::numeric_limits<std::uint64_t>::max() ? 0 : watermark;
+    response.values = spec.merge_partials(partials, queries, resolved);
+    return response;
+  }
+
+  if (spec.merge_fallback == proto::MergeFallback::kRoute) {
+    // Route the whole request to shard 0's owners — exact only when that
+    // miner owns every shard (its engine serves over its owned set).
+    std::string last_error = "no owner attempted";
+    for (const auto m : owners(0)) {
+      try {
+        return client_for(m).mine_named(job, params);
+      } catch (const ServeError& e) {
+        if (e.code() == proto::ServeErrorCode::kBadRequest) throw;
+        ++failovers_;
+        last_error = e.what();
+      } catch (const Error& e) {
+        clients_[m].reset();
+        ++failovers_;
+        last_error = e.what();
+      }
+    }
+    throw ServeError(proto::ServeErrorCode::kUnavailable,
+                     "no live owner for routed job: " + last_error);
+  }
+
+  // MergeFallback::kGather — reassemble the canonical pool and execute flat
+  // (a fresh single-shard engine run; no caching — the rows just crossed
+  // the wire and the next request may see a different epoch).
+  auto gathered = gather(0);
+  SAP_REQUIRE(gathered.pool.size() > 0, "ShardRouter: empty pool across shards");
+  proto::MiningEngine local({.threads = 0,
+                             .cache_models = false,
+                             .shards = 1,
+                             .layout = proto::ShardLayout::kHashMod,
+                             .owned = {}});
+  local.set_pool(std::move(gathered.pool));
+  const auto served = local.run({job, params});
+  response.pool_epoch = gathered.watermark;
+  response.values = served.values;
+  return response;
+}
+
+// ---- RouterDaemon --------------------------------------------------------
+
+RouterDaemon::RouterDaemon(RouterDaemonOptions opts)
+    : opts_(std::move(opts)), router_(opts_.router) {
+  const auto seeds =
+      proto::logic::derive_session_seeds(opts_.router.seed, opts_.router.parties);
+  secret_ = seeds.session_secret;
+  my_id_ = static_cast<proto::PartyId>(opts_.router.parties);
+  reactor_ = std::make_unique<Reactor>(
+      opts_.reactor, [this](const Frame& frame) { return handle(frame); });
+}
+
+std::vector<Frame> RouterDaemon::handle(const Frame& frame) {
+  std::vector<Frame> out;
+  proto::PayloadKind out_kind{};
+  std::vector<double> out_wire;
+  try {
+    const auto payload =
+        body_envelope(frame.body)
+            .open(proto::detail::derive_link_key(secret_, frame.from, my_id_));
+    const auto kind = static_cast<proto::PayloadKind>(frame.payload_kind);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      switch (kind) {
+        case proto::PayloadKind::kContribution: {
+          MutexLock lk(mutex_);
+          const auto receipt = router_.contribute_wire(payload);
+          out_kind = proto::PayloadKind::kContributionAck;
+          out_wire = proto::encode_receipt(receipt.pool_epoch, receipt.pool_records);
+          break;
+        }
+        case proto::PayloadKind::kMiningRequest: {
+          const auto request = proto::decode_mining_request(std::span(payload));
+          MutexLock lk(mutex_);
+          const auto response = router_.mine_named(request.job, request.params);
+          out_kind = proto::PayloadKind::kMiningResponse;
+          out_wire = proto::encode_mining_response(response);
+          break;
+        }
+        default:
+          SAP_FAIL("RouterDaemon: the router serves only contributions and "
+                   "mining requests");
+      }
+    } catch (const ServeError& e) {
+      // Forward the typed code verbatim — the client's failover logic (if
+      // it has one above the router) must see what the cluster saw.
+      out_kind = proto::PayloadKind::kServeError;
+      out_wire = proto::encode_serve_error(e.code(), e.what());
+    }
+    Frame resp;
+    resp.type = FrameType::kData;
+    resp.payload_kind = static_cast<std::uint8_t>(out_kind);
+    resp.from = my_id_;
+    resp.to = frame.from;
+    resp.body = envelope_body(proto::EncryptedEnvelope(
+        out_wire, proto::detail::derive_link_key(secret_, my_id_, frame.from)));
+    out.push_back(std::move(resp));
+  } catch (const Error& e) {
+    Frame err;
+    err.type = FrameType::kError;
+    err.from = my_id_;
+    err.to = frame.from;
+    err.body = text_body(e.what());
+    out.push_back(std::move(err));
+  }
+  return out;
+}
+
+}  // namespace sap::net

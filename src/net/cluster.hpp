@@ -1,0 +1,170 @@
+// Sharded multi-miner cluster: the scatter-gather coordinator (DESIGN.md
+// §11).
+//
+// A cluster is M miner daemons, each running the SAME logical exchange with
+// the k parties (same seed => bit-identical unified segments) but installing
+// only the shards it OWNS (MinerDaemonOptions::owned_shards). The
+// ShardRouter sits in front of them and presents the single-miner serving
+// surface:
+//
+//   * kContribution  -> hash-routed by shard_of_nonce() to every owner of
+//     the nonce's shard (primary + replicas), so replicas stay current and
+//     can serve reads when the primary dies;
+//   * kMiningRequest -> for jobs with an exact-merge contract
+//     (JobSpec::partial / merge_partials): scatter one kPartialRequest per
+//     shard across live owners, merge router-side — the merged report is
+//     bit-identical to a single miner holding the whole pool, whatever the
+//     shard count or layout. Jobs without a contract fall back per their
+//     JobSpec: kGather reassembles the canonical pool from kPoolSliceRequest
+//     slices and executes locally; kRoute forwards the whole request to one
+//     miner.
+//
+// Consistency: the router tracks a per-shard EPOCH FLOOR — the highest
+// shard epoch any owner acknowledged (contribution receipts and served
+// partials both advance it). A replica answering below the floor is stale
+// (it missed an append the primary acked) and is skipped, so failover never
+// serves a report the client could distinguish from the primary's. The
+// cluster-wide watermark of a merged response is the minimum shard epoch
+// that contributed — the same quantity MiningEngine::pool_epoch() reports
+// for an in-process ShardSet.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "net/reactor.hpp"
+#include "net/remote.hpp"
+#include "protocol/jobs.hpp"
+#include "protocol/message.hpp"
+
+namespace sap::net {
+
+struct ShardRouterOptions {
+  /// Serving endpoints (miner reactor doors or hubs), one per miner.
+  std::vector<SocketAddr> miners;
+  /// Total shards in the nonce-hash space; 0 = one per miner.
+  std::size_t shards = 0;
+  /// Owners per shard: primary + (replicas - 1) read/write replicas.
+  /// Owner j of shard g is miners[(g + j) % M]. Must be <= miner count.
+  std::size_t replicas = 1;
+  proto::ShardLayout layout = proto::ShardLayout::kHashMod;
+  std::uint64_t seed = 0x5A9;   ///< must match the miners' session seed
+  std::size_t parties = 0;      ///< k (>= 3); must match the miners
+  ServeClient::Options client{};
+};
+
+/// Scatter-gather coordinator over a set of sharded miner daemons. NOT
+/// internally synchronized — callers (RouterDaemon, the bench driver)
+/// serialize access. Connections are lazy and re-established after a
+/// transport failure, which is what lets a killed-and-gone miner be routed
+/// around instead of poisoning the router.
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions opts);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return opts_.shards; }
+  [[nodiscard]] std::size_t miners() const noexcept { return opts_.miners.size(); }
+
+  /// Owner miner indices for a shard, primary first.
+  [[nodiscard]] std::vector<std::size_t> owners(std::size_t shard) const;
+
+  /// Route a pre-encoded kContribution payload to every owner of its
+  /// nonce's shard. Returns the first live owner's receipt and raises the
+  /// shard's epoch floor to the highest acked epoch. Throws ServeError
+  /// {kUnavailable} when no owner is reachable; a definitive rejection
+  /// (negative receipt, kBadRequest) rethrows immediately.
+  proto::DecodedReceipt contribute_wire(const std::vector<double>& wire);
+
+  /// Serve a named job across the cluster (see the file comment for the
+  /// exact-merge / gather / route split). Throws ServeError{kBadRequest}
+  /// for unknown jobs or bad params, ServeError{kUnavailable} when a shard
+  /// has no live owner at or above its epoch floor.
+  proto::WireMiningResponse mine_named(const std::string& job,
+                                       const proto::JobParams& params = {});
+
+  /// Per-shard epoch floors (index = global shard id).
+  [[nodiscard]] const std::vector<std::uint64_t>& epoch_floors() const noexcept {
+    return floors_;
+  }
+  /// Times a request was retried on another owner (dead/stale/unowned).
+  [[nodiscard]] std::size_t failovers() const noexcept { return failovers_; }
+
+ private:
+  /// The lazily-connected client for miner m (connects on first use;
+  /// callers reset the slot after a transport failure).
+  ServeClient& client_for(std::size_t miner);
+
+  /// One shard's partial, trying owners in order (stale-epoch and dead
+  /// owners skipped).
+  proto::DecodedPartialResponse scatter_partial(std::size_t shard,
+                                                const std::string& job,
+                                                const proto::JobParams& params,
+                                                const data::Dataset& queries);
+
+  /// One shard's canonical slice, trying owners in order.
+  proto::DecodedPoolSlice scatter_slice(std::size_t shard, std::size_t max_records);
+
+  struct Gathered {
+    data::Dataset pool;            ///< canonical (nonce, seq) order
+    std::uint64_t watermark = 0;   ///< min shard epoch that contributed
+  };
+  /// Canonical pool across all shards, truncated to `limit` rows (0 = all).
+  /// A shard contributes at most `limit` rows to any global limit-prefix,
+  /// so per-shard truncation loses nothing.
+  Gathered gather(std::size_t limit);
+
+  ShardRouterOptions opts_;
+  proto::JobRegistry registry_;   ///< merge contracts, router-side
+  std::vector<std::unique_ptr<ServeClient>> clients_;  ///< parallel to miners
+  std::vector<std::uint64_t> floors_;                  ///< per-shard epoch floor
+  std::size_t failovers_ = 0;
+};
+
+// ---- router daemon -------------------------------------------------------
+
+struct RouterDaemonOptions {
+  ShardRouterOptions router;
+  ReactorOptions reactor;  ///< the router's own front door
+};
+
+/// The ShardRouter behind a reactor front door, speaking the miner wire
+/// protocol — a ServeClient cannot tell a RouterDaemon from a MinerDaemon
+/// (it claims the same logical miner id and answers the same payload
+/// kinds). Requests are mutex-serialized onto the router.
+class RouterDaemon {
+ public:
+  explicit RouterDaemon(RouterDaemonOptions opts);
+
+  [[nodiscard]] SocketAddr local_addr() const { return reactor_->local_addr(); }
+  void stop() { reactor_->stop(); }
+
+  /// The wrapped router (stats; callers must not race serving traffic —
+  /// which is why this read is intentionally outside the lock analysis:
+  /// it is only valid after stop()).
+  [[nodiscard]] const ShardRouter& router() const noexcept
+      SAP_NO_THREAD_SAFETY_ANALYSIS {
+    return router_;
+  }
+  [[nodiscard]] std::size_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<Frame> handle(const Frame& frame);
+
+  RouterDaemonOptions opts_;
+  std::uint64_t secret_ = 0;
+  proto::PartyId my_id_ = 0;
+  Mutex mutex_;
+  ShardRouter router_ SAP_GUARDED_BY(mutex_);
+  std::atomic<std::size_t> served_{0};
+  /// Last member: joined before the handler's targets go away.
+  std::unique_ptr<Reactor> reactor_;
+};
+
+}  // namespace sap::net

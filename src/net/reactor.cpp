@@ -149,6 +149,11 @@ void Reactor::stop() {
   for (auto& loop : loops_)
     if (loop->thread.joinable()) loop->thread.join();
   if (acceptor_.joinable()) acceptor_.join();
+  // Release the listening socket NOW, not at destruction: a stopped-but-
+  // still-constructed reactor must refuse new connects immediately (clients
+  // probing a downed cluster member need ECONNREFUSED to fail over fast,
+  // not a handshake timeout against the kernel backlog).
+  listener_ = TcpListener{};
 }
 
 Reactor::Stats Reactor::stats() const {

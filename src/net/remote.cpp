@@ -54,7 +54,11 @@ proto::SapOptions serving_session_options(double noise_sigma, std::uint64_t seed
 
 MinerDaemon::MinerDaemon(MinerDaemonOptions opts)
     : opts_(std::move(opts)),
-      engine_({.threads = opts_.mining_threads, .cache_models = opts_.cache_models}) {
+      engine_({.threads = opts_.mining_threads,
+               .cache_models = opts_.cache_models,
+               .shards = opts_.shards,
+               .layout = opts_.shard_layout,
+               .owned = opts_.owned_shards}) {
   SAP_REQUIRE(opts_.parties >= 3, "MinerDaemon: need at least 3 parties");
   const auto seeds = proto::logic::derive_session_seeds(opts_.seed, opts_.parties);
   secret_ = seeds.session_secret;
@@ -86,6 +90,14 @@ void MinerDaemon::note(const std::string& line) const {
   opts_.log(line);
 }
 
+void MinerDaemon::serve_error(proto::ServeErrorCode code, const std::string& message,
+                              proto::PayloadKind& out_kind,
+                              std::vector<double>& out_wire) const {
+  note("refused (" + proto::to_string(code) + "): " + message);
+  out_kind = proto::PayloadKind::kServeError;
+  out_wire = proto::encode_serve_error(code, message);
+}
+
 bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double> payload,
                                 proto::PayloadKind& out_kind,
                                 std::vector<double>& out_wire) {
@@ -94,6 +106,18 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
       out_kind = proto::PayloadKind::kContributionAck;
       try {
         const auto contribution = proto::decode_contribution(payload);
+        // Cluster routing check FIRST: an unowned nonce is a typed refusal
+        // (the router must retry the owner), never a negative receipt (which
+        // means "this batch is bad" — definitively).
+        const auto global = proto::shard_of_nonce(contribution.nonce,
+                                                  engine_.total_shards(),
+                                                  engine_.layout());
+        if (!engine_.owns(global)) {
+          serve_error(proto::ServeErrorCode::kNotOwner,
+                      "shard " + std::to_string(global) + " is not owned here",
+                      out_kind, out_wire);
+          return true;
+        }
         const auto it =
             std::find_if(adaptors_.begin(), adaptors_.end(), [&](const auto& a) {
               return a.first == contribution.nonce;
@@ -102,12 +126,15 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
                     "MinerDaemon: contribution from unknown party (no adaptor for "
                     "nonce)");
         const auto batch = proto::logic::adapt_contribution(contribution, it->second, dims_);
-        const auto epoch = engine_.append_records(batch);
-        const auto records = engine_.pool_view().data->size();
+        const auto epoch = engine_.append_records(contribution.nonce, batch);
+        // The receipt's record count is the OWNING shard's size — for the
+        // classic single-shard daemon that is the whole pool, bit-identical
+        // to the pre-cluster receipts.
+        const auto records = engine_.shard_view(global).snap->rows.size();
         out_wire = proto::encode_receipt(epoch, records);
         contributions_.fetch_add(1, std::memory_order_relaxed);
-        note("contribution accepted: pool " + std::to_string(records) +
-             " records at epoch " + std::to_string(epoch));
+        note("contribution accepted: shard " + std::to_string(global) + " at " +
+             std::to_string(records) + " records, epoch " + std::to_string(epoch));
       } catch (const Error& e) {
         // Negative receipt (epoch 0): the contributor learns of the
         // rejection immediately instead of stalling out its deadline.
@@ -117,20 +144,85 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
       return true;
     }
     case proto::PayloadKind::kMiningRequest: {
-      out_kind = proto::PayloadKind::kMiningResponse;
+      // Refusals count as served requests (they were dispatched and
+      // answered) — the pre-cluster contract, now with typed errors.
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
       const auto request = proto::decode_mining_request(payload);
-      proto::WireMiningResponse wire;
+      // A request naming an absent job (or malformed params) is DEFINITIVE:
+      // kServeError{kBadRequest}, so a router never wastes a failover on it.
+      // The pre-cluster daemon answered an empty kMiningResponse here, which
+      // a client could not tell from a jobless report.
+      if (!request.job.empty() && !engine_.registry().contains(request.job)) {
+        serve_error(proto::ServeErrorCode::kBadRequest, "unknown job: " + request.job,
+                    out_kind, out_wire);
+        return true;
+      }
+      if (!request.job.empty()) {
+        try {
+          (void)engine_.registry().find(request.job).resolve_params(request.params);
+        } catch (const Error& e) {
+          serve_error(proto::ServeErrorCode::kBadRequest, e.what(), out_kind, out_wire);
+          return true;
+        }
+      }
       try {
         const auto response = engine_.run({request.job, request.params});
+        proto::WireMiningResponse wire;
         wire.pool_epoch = response.pool_epoch;
         wire.model_cached = response.model_cached;
         wire.model_incremental = response.model_incremental;
         wire.values = response.values;
-      } catch (const Error&) {
-        wire.pool_epoch = engine_.pool_epoch();  // empty values = refused
+        out_kind = proto::PayloadKind::kMiningResponse;
+        out_wire = proto::encode_mining_response(wire);
+      } catch (const Error& e) {
+        // Job and params validated above — what remains is engine state
+        // (pool not installed yet, shard mid-install): transient.
+        serve_error(proto::ServeErrorCode::kUnavailable, e.what(), out_kind, out_wire);
       }
-      out_wire = proto::encode_mining_response(wire);
+      return true;
+    }
+    case proto::PayloadKind::kPartialRequest: {
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      const auto request = proto::decode_partial_request(payload);
+      if (request.shard >= engine_.total_shards() || !engine_.owns(request.shard)) {
+        serve_error(proto::ServeErrorCode::kNotOwner,
+                    "shard " + std::to_string(request.shard) + " is not owned here",
+                    out_kind, out_wire);
+        return true;
+      }
+      if (!engine_.registry().contains(request.job) ||
+          !engine_.registry().find(request.job).mergeable()) {
+        serve_error(proto::ServeErrorCode::kBadRequest,
+                    "no exact-merge contract for job: " + request.job, out_kind,
+                    out_wire);
+        return true;
+      }
+      try {
+        const auto partial = engine_.run_partial(
+            request.shard, {request.job, request.params}, request.queries);
+        out_kind = proto::PayloadKind::kPartialResponse;
+        out_wire = proto::encode_partial_response(partial.pool_epoch, partial.values);
+      } catch (const Error& e) {
+        serve_error(proto::ServeErrorCode::kUnavailable, e.what(), out_kind, out_wire);
+      }
+      return true;
+    }
+    case proto::PayloadKind::kPoolSliceRequest: {
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      const auto request = proto::decode_pool_slice_request(payload);
+      if (request.shard >= engine_.total_shards() || !engine_.owns(request.shard)) {
+        serve_error(proto::ServeErrorCode::kNotOwner,
+                    "shard " + std::to_string(request.shard) + " is not owned here",
+                    out_kind, out_wire);
+        return true;
+      }
+      try {
+        const auto slice = engine_.shard_slice(request.shard, request.max_records);
+        out_kind = proto::PayloadKind::kPoolSliceResponse;
+        out_wire = proto::encode_pool_slice(slice.epoch, slice.rows, slice.keys);
+      } catch (const Error& e) {
+        serve_error(proto::ServeErrorCode::kUnavailable, e.what(), out_kind, out_wire);
+      }
       return true;
     }
     default:
@@ -150,8 +242,8 @@ std::vector<Frame> MinerDaemon::serve_frame(const Frame& frame) {
     std::vector<double> out_wire;
     SAP_REQUIRE(serve_payload(static_cast<proto::PayloadKind>(frame.payload_kind),
                               payload, out_kind, out_wire),
-                "MinerDaemon: the front door serves only contributions and mining "
-                "requests");
+                "MinerDaemon: the front door serves only contributions, mining "
+                "requests, partials, and pool slices");
     Frame resp;
     resp.type = FrameType::kData;
     resp.payload_kind = static_cast<std::uint8_t>(out_kind);
@@ -258,9 +350,14 @@ MinerDaemon::Summary MinerDaemon::run() {
   // paired up) is discarded with a note.
   std::vector<proto::logic::MinerShard> matched_shards;
   std::vector<std::pair<std::uint64_t, perturb::SpaceAdaptor>> matched_adaptors;
+  // (nonce, record count) per matched shard, ascending nonce — how the
+  // unified pool (concatenated in that same canonical order) is sliced back
+  // into per-nonce segments for the sharded install below.
+  std::vector<std::pair<std::uint64_t, std::size_t>> segment_sizes;
   for (auto& [nonce, shard] : shards) {
     const auto it = adaptors.find(nonce);
     if (it == adaptors.end()) continue;
+    segment_sizes.emplace_back(nonce, shard.data.labels.size());
     matched_shards.push_back(std::move(shard));
     matched_adaptors.emplace_back(nonce, std::move(it->second));
   }
@@ -274,9 +371,40 @@ MinerDaemon::Summary MinerDaemon::run() {
   adaptors_ = std::move(unified.adaptors);
   dims_ = unified.pool.dims();
   summary.pool_records = unified.pool.size();
-  engine_.set_pool(std::move(unified.pool));
-  note("pool installed: " + std::to_string(summary.pool_records) + " records, digest " +
-       std::to_string(dataset_digest(*engine_.pool_view().data)));
+  // Install per-nonce segments, not the flat pool: the (nonce, seq) keys are
+  // what make contributions route to stable shards and exact merges order
+  // canonically. unify_pool concatenates in ascending-nonce order, so the
+  // cumulative slices below are exactly the per-party segments. For a
+  // single-shard daemon the segments land on shard 0 in the same order —
+  // the installed rows are bit-identical to the pre-cluster set_pool path.
+  {
+    std::vector<proto::PoolSegment> segments;
+    segments.reserve(segment_sizes.size());
+    std::size_t at = 0;
+    for (const auto& [nonce, count] : segment_sizes) {
+      segments.push_back({nonce, unified.pool.slice(at, at + count)});
+      at += count;
+    }
+    SAP_REQUIRE(at == unified.pool.size(),
+                "MinerDaemon: segment sizes do not cover the unified pool");
+    engine_.set_pool_segments(std::move(segments));
+  }
+  if (engine_.total_shards() == 1) {
+    note("pool installed: " + std::to_string(summary.pool_records) + " records, digest " +
+         std::to_string(dataset_digest(*engine_.pool_view().data)));
+  } else {
+    std::string line = "pool installed: ";
+    line += std::to_string(summary.pool_records);
+    line += " records across owned shards{";
+    for (const auto g : engine_.owned_shards()) {
+      line += " ";
+      line += std::to_string(g);
+      line += ":";
+      line += std::to_string(engine_.shard_view(g).snap->rows.size());
+    }
+    line += " }";
+    note(line);
+  }
   // adaptors_/dims_/engine_ pool are frozen now — the reactor compute lanes
   // may start dispatching the moment this store is visible.
   serving_.store(true, std::memory_order_release);
@@ -313,10 +441,27 @@ MinerDaemon::Summary MinerDaemon::run() {
   // the counters below are final and destruction order never matters.
   if (reactor_) reactor_->stop();
 
-  const auto view = engine_.pool_view();
-  summary.pool_records = view.data->size();
-  summary.pool_epoch = view.epoch;
-  summary.pool_digest = dataset_digest(*view.data);
+  if (engine_.total_shards() == 1) {
+    const auto view = engine_.pool_view();
+    summary.pool_records = view.data->size();
+    summary.pool_epoch = view.epoch;
+    summary.pool_digest = dataset_digest(*view.data);
+  } else {
+    // Sharded: records sum over owned shards; the epoch is the watermark;
+    // the digest is the commutative multiset combine — per-record hashes
+    // sum, so the value is independent of shard count and layout and equal
+    // to dataset_multiset_digest of the union.
+    std::size_t records = 0;
+    std::uint64_t digest = 0;
+    for (const auto g : engine_.owned_shards()) {
+      const auto view = engine_.shard_view(g);
+      records += view.snap->rows.size();
+      digest += dataset_multiset_digest(view.snap->rows);
+    }
+    summary.pool_records = records;
+    summary.pool_epoch = engine_.pool_epoch();
+    summary.pool_digest = digest;
+  }
   summary.contributions = contributions_.load(std::memory_order_relaxed);
   summary.requests_served = requests_served_.load(std::memory_order_relaxed);
   return summary;
@@ -386,10 +531,17 @@ std::vector<double> ServeClient::transact(proto::PayloadKind kind,
     if (resp.type == FrameType::kError)
       SAP_FAIL("ServeClient: request refused: " + body_text(resp.body));
     if (resp.type != FrameType::kData) continue;  // stray control traffic
-    SAP_REQUIRE(resp.payload_kind == static_cast<std::uint8_t>(expect_kind),
+    const bool typed_error =
+        resp.payload_kind == static_cast<std::uint8_t>(proto::PayloadKind::kServeError);
+    SAP_REQUIRE(typed_error || resp.payload_kind == static_cast<std::uint8_t>(expect_kind),
                 "ServeClient: unexpected reply payload kind");
-    return body_envelope(resp.body)
-        .open(proto::detail::derive_link_key(secret_, miner_, id_));
+    auto plain = body_envelope(resp.body)
+                     .open(proto::detail::derive_link_key(secret_, miner_, id_));
+    if (typed_error) {
+      const auto err = proto::decode_serve_error(plain);
+      throw ServeError(err.code, err.message);
+    }
+    return plain;
   }
 }
 
@@ -399,6 +551,24 @@ proto::WireMiningResponse ServeClient::mine_named(const std::string& job,
                              proto::encode_mining_request(job, params),
                              proto::PayloadKind::kMiningResponse);
   return proto::decode_mining_response(wire);
+}
+
+proto::DecodedPartialResponse ServeClient::mine_partial(std::size_t shard,
+                                                        const std::string& job,
+                                                        const proto::JobParams& params,
+                                                        const data::Dataset& queries) {
+  const auto wire = transact(proto::PayloadKind::kPartialRequest,
+                             proto::encode_partial_request(shard, job, params, queries),
+                             proto::PayloadKind::kPartialResponse);
+  return proto::decode_partial_response(wire);
+}
+
+proto::DecodedPoolSlice ServeClient::pool_slice(std::size_t shard,
+                                                std::size_t max_records) {
+  const auto wire = transact(proto::PayloadKind::kPoolSliceRequest,
+                             proto::encode_pool_slice_request(shard, max_records),
+                             proto::PayloadKind::kPoolSliceResponse);
+  return proto::decode_pool_slice(wire);
 }
 
 proto::DecodedReceipt ServeClient::contribute_wire(const std::vector<double>& wire) {
@@ -556,7 +726,12 @@ proto::SapSession::ContributionReceipt PartyClient::contribute(const data::Datas
   const linalg::Matrix y = local_.g.apply(batch.features_T(), eng_);
   transport_->send(id_, miner_, proto::PayloadKind::kContribution,
                    proto::encode_contribution(local_.nonce, y, batch.labels()));
-  const auto ack = expect({proto::PayloadKind::kContributionAck});
+  const auto ack = expect({proto::PayloadKind::kContributionAck,
+                           proto::PayloadKind::kServeError});
+  if (ack.kind == proto::PayloadKind::kServeError) {
+    const auto err = proto::decode_serve_error(ack.payload);
+    throw ServeError(err.code, err.message);
+  }
   const auto receipt = proto::decode_receipt(ack.payload);
   // Epoch 0 is the negative receipt (an accepted append is always >= 2:
   // set_pool is epoch 1). Fail with the real diagnosis, not a timeout.
@@ -570,7 +745,12 @@ proto::WireMiningResponse PartyClient::mine_named(const std::string& job,
   SAP_REQUIRE(exchange_done_, "PartyClient::mine_named: run the exchange first");
   transport_->send(id_, miner_, proto::PayloadKind::kMiningRequest,
                    proto::encode_mining_request(job, params));
-  const auto msg = expect({proto::PayloadKind::kMiningResponse});
+  const auto msg = expect({proto::PayloadKind::kMiningResponse,
+                           proto::PayloadKind::kServeError});
+  if (msg.kind == proto::PayloadKind::kServeError) {
+    const auto err = proto::decode_serve_error(msg.payload);
+    throw ServeError(err.code, err.message);
+  }
   return proto::decode_mining_response(msg.payload);
 }
 

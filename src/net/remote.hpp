@@ -41,6 +41,7 @@
 #include <functional>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/mutex.hpp"
 #include "net/reactor.hpp"
 #include "net/tcp_transport.hpp"
@@ -48,6 +49,20 @@
 #include "protocol/party_logic.hpp"
 
 namespace sap::net {
+
+/// Raised client-side when a daemon answers kServeError. Carries the typed
+/// code so callers (the shard router above all) can tell a definitive
+/// refusal (kBadRequest — retrying a replica cannot help) from a routing or
+/// availability problem (kNotOwner / kUnavailable — fail over).
+class ServeError : public Error {
+ public:
+  ServeError(proto::ServeErrorCode code, const std::string& message)
+      : Error("serve-error(" + proto::to_string(code) + "): " + message), code_(code) {}
+  [[nodiscard]] proto::ServeErrorCode code() const noexcept { return code_; }
+
+ private:
+  proto::ServeErrorCode code_;
+};
 
 /// Order-sensitive FNV-1a digest of a dataset (feature bit patterns +
 /// labels) — how two processes compare pools without shipping them.
@@ -86,6 +101,13 @@ struct MinerDaemonOptions {
   std::size_t reactor_compute_threads = 2;
   SocketAddr reactor_listen{"127.0.0.1", 0};
   int reactor_idle_timeout_ms = 60'000;
+  /// Cluster membership (PR 8): the pool's total shard count and the global
+  /// shard ids THIS miner owns (empty = own all — the classic single-miner
+  /// daemon). A contribution whose nonce routes to an unowned shard is
+  /// answered with kServeError{kNotOwner} so the router retries the owner.
+  std::size_t shards = 1;
+  std::vector<std::size_t> owned_shards;
+  proto::ShardLayout shard_layout = proto::ShardLayout::kHashMod;
 };
 
 class MinerDaemon {
@@ -134,6 +156,10 @@ class MinerDaemon {
   bool serve_payload(proto::PayloadKind kind, std::span<const double> payload,
                      proto::PayloadKind& out_kind, std::vector<double>& out_wire);
 
+  /// Fill (out_kind, out_wire) with a typed kServeError refusal + log it.
+  void serve_error(proto::ServeErrorCode code, const std::string& message,
+                   proto::PayloadKind& out_kind, std::vector<double>& out_wire) const;
+
   /// Reactor handler: decrypt, dispatch through serve_payload, encrypt the
   /// response. Runs on reactor compute lanes.
   std::vector<Frame> serve_frame(const Frame& frame);
@@ -179,14 +205,26 @@ class ServeClient {
 
   [[nodiscard]] proto::PartyId id() const noexcept { return id_; }
 
-  /// Serve a named job on the miner's pool. Empty values = refused.
+  /// Serve a named job on the miner's pool. A daemon-side refusal raises
+  /// ServeError (typed: bad request vs not-owner vs unavailable).
   proto::WireMiningResponse mine_named(const std::string& job,
                                        const proto::JobParams& params = {});
 
   /// Ship a pre-encoded kContribution payload (encode_contribution wire —
   /// the caller owns perturbing into its negotiated space). Throws on a
-  /// negative receipt (epoch 0).
+  /// negative receipt (epoch 0) or a typed refusal (ServeError — a
+  /// kNotOwner code means "retry the owning miner", see net/cluster.hpp).
   proto::DecodedReceipt contribute_wire(const std::vector<double>& wire);
+
+  /// One shard's exact-merge partial for a named job (cluster scatter
+  /// phase). `queries` is the canonical eval prefix the merge will score.
+  proto::DecodedPartialResponse mine_partial(std::size_t shard, const std::string& job,
+                                             const proto::JobParams& params,
+                                             const data::Dataset& queries);
+
+  /// One shard's rows in canonical (nonce, seq) order (cluster gather
+  /// phase); max_records 0 = all.
+  proto::DecodedPoolSlice pool_slice(std::size_t shard, std::size_t max_records);
 
   /// Polite goodbye; safe to call repeatedly.
   void bye();
@@ -236,8 +274,9 @@ class PartyClient {
   /// the deadline expires.
   proto::SapSession::ContributionReceipt contribute(const data::Dataset& batch);
 
-  /// Serve a named job remotely on the miner's pool. Empty response values
-  /// mean the daemon refused the request (unknown job / bad params).
+  /// Serve a named job remotely on the miner's pool. A daemon-side refusal
+  /// (unknown job / bad params / unavailable shard) raises ServeError with
+  /// the typed code.
   proto::WireMiningResponse mine_named(const std::string& job,
                                        const proto::JobParams& params = {});
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 
 #include "classify/knn.hpp"
 #include "classify/naive_bayes.hpp"
@@ -30,6 +31,310 @@ std::vector<double> serve_accuracy(const ml::Classifier& model, const data::Data
 }
 
 const ParamSpec kEvalRecords{"eval-records", 0.0, 0.0, 1e9, /*serve_only=*/true};
+
+// ---- exact-merge helpers (DESIGN.md §11) ---------------------------------
+// Partial blobs are flat double vectors, exactly like the wire payloads in
+// protocol/message.cpp. They cross the cluster's encrypted links, but a
+// confused or stale miner could still ship a malformed blob — every merge
+// validates shape with SAP_REQUIRE before touching contents.
+
+/// Row indices of a shard's pool in canonical (nonce, seq) order.
+std::vector<std::size_t> canonical_order(std::span<const PoolKey> keys) {
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return keys[a] < keys[b];
+  });
+  return order;
+}
+
+/// Reads doubles off a partial blob with bounds/shape checking.
+class BlobReader {
+ public:
+  explicit BlobReader(std::span<const double> blob) : blob_(blob) {}
+  double next(const char* what) {
+    SAP_REQUIRE(pos_ < blob_.size(), std::string("merge_partials: truncated blob at ") + what);
+    return blob_[pos_++];
+  }
+  std::size_t next_count(const char* what, std::size_t max) {
+    const double v = next(what);
+    SAP_REQUIRE(std::isfinite(v) && v >= 0.0 && v == std::floor(v) &&
+                    v <= static_cast<double>(max),
+                std::string("merge_partials: malformed count for ") + what);
+    return static_cast<std::size_t>(v);
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == blob_.size(); }
+
+ private:
+  std::span<const double> blob_;
+  std::size_t pos_ = 0;
+};
+
+// -- record-count: partials are per-shard counts; the merge is an exact
+//    integer sum (record counts are far below 2^53).
+std::vector<double> count_partial(const data::Dataset& rows, std::span<const PoolKey>,
+                                  const data::Dataset&, const JobParams&) {
+  return {static_cast<double>(rows.size())};
+}
+
+std::vector<double> count_merge(const std::vector<std::vector<double>>& partials,
+                                const data::Dataset&, const JobParams&) {
+  double total = 0.0;
+  for (const auto& blob : partials) {
+    SAP_REQUIRE(blob.size() == 1, "record-count merge: malformed partial");
+    BlobReader r(blob);
+    total += static_cast<double>(r.next_count("record-count", 1ull << 52));
+  }
+  return {total};
+}
+
+// -- class-histogram: partials are (label, count) pairs; the merge sums per
+//    label and reports counts in ascending label order — exactly what
+//    Dataset::class_counts() yields on the concatenated pool.
+std::vector<double> hist_partial(const data::Dataset& rows, std::span<const PoolKey>,
+                                 const data::Dataset&, const JobParams&) {
+  const auto labels = rows.classes();
+  const auto counts = rows.class_counts();
+  std::vector<double> blob;
+  blob.reserve(1 + 2 * labels.size());
+  blob.push_back(static_cast<double>(labels.size()));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    blob.push_back(static_cast<double>(labels[i]));
+    blob.push_back(static_cast<double>(counts[i]));
+  }
+  return blob;
+}
+
+std::vector<double> hist_merge(const std::vector<std::vector<double>>& partials,
+                               const data::Dataset&, const JobParams&) {
+  std::map<int, double> tally;
+  for (const auto& blob : partials) {
+    BlobReader r(blob);
+    const std::size_t classes = r.next_count("class count", 4096);
+    for (std::size_t i = 0; i < classes; ++i) {
+      const double label = r.next("label");
+      SAP_REQUIRE(std::isfinite(label) && label == std::floor(label) &&
+                      std::abs(label) < 2147483648.0,
+                  "class-histogram merge: malformed label");
+      tally[static_cast<int>(label)] +=
+          static_cast<double>(r.next_count("class size", 1ull << 52));
+    }
+    SAP_REQUIRE(r.done(), "class-histogram merge: trailing bytes in partial");
+  }
+  std::vector<double> report;
+  report.reserve(tally.size());
+  for (const auto& [label, count] : tally) report.push_back(count);
+  return report;
+}
+
+// -- nb-train-accuracy: partials carry per-NONCE-segment sufficient
+//    statistics (the segment set is a pure function of the pool, not of the
+//    shard layout); the merge folds segments in canonical nonce order via
+//    GaussianNaiveBayes::merge_stats and scores the queries. Blob layout:
+//    [dims, segments, {nonce, classes, {label, count, shift[d], sum[d],
+//    sumsq[d]}*}*].
+std::vector<double> nb_partial(const data::Dataset& rows, std::span<const PoolKey> keys,
+                               const data::Dataset&, const JobParams&) {
+  SAP_REQUIRE(keys.size() == rows.size(), "nb partial: keys/rows size mismatch");
+  const std::size_t d = rows.dims();
+  const auto order = canonical_order(keys);
+  std::vector<double> blob{static_cast<double>(d), 0.0};
+  std::size_t segments = 0;
+  std::size_t at = 0;
+  while (at < order.size()) {
+    const std::uint64_t nonce = keys[order[at]].nonce;
+    std::vector<std::size_t> segment;
+    while (at < order.size() && keys[order[at]].nonce == nonce) segment.push_back(order[at++]);
+    const auto stats = ml::GaussianNaiveBayes::collect_stats(rows.subset(segment));
+    blob.push_back(static_cast<double>(nonce));
+    blob.push_back(static_cast<double>(stats.size()));
+    for (const auto& cls : stats) {
+      blob.push_back(static_cast<double>(cls.label));
+      blob.push_back(static_cast<double>(cls.count));
+      blob.insert(blob.end(), cls.shift.begin(), cls.shift.end());
+      blob.insert(blob.end(), cls.sum.begin(), cls.sum.end());
+      blob.insert(blob.end(), cls.sumsq.begin(), cls.sumsq.end());
+    }
+    ++segments;
+  }
+  blob[1] = static_cast<double>(segments);
+  return blob;
+}
+
+std::vector<double> nb_merge(const std::vector<std::vector<double>>& partials,
+                             const data::Dataset& queries, const JobParams& resolved) {
+  SAP_REQUIRE(!partials.empty(), "nb merge: no partials");
+  // Decode every (nonce, stats) segment, then refold in canonical nonce
+  // order — each nonce lives on exactly one shard, so the segment sequence
+  // is a pure function of the pool whatever the layout was.
+  std::vector<std::pair<std::uint64_t, std::vector<ml::NbClassStats>>> segments;
+  std::size_t dims = 0;
+  for (const auto& blob : partials) {
+    BlobReader r(blob);
+    const std::size_t d = r.next_count("dims", 1u << 20);
+    const std::size_t nsegs = r.next_count("segments", 1u << 20);
+    if (nsegs > 0) {  // an empty shard's blob carries no dims to reconcile
+      SAP_REQUIRE(d > 0 && (dims == 0 || d == dims), "nb merge: inconsistent dims");
+      dims = d;
+    }
+    for (std::size_t s = 0; s < nsegs; ++s) {
+      const double nonce = r.next("nonce");
+      SAP_REQUIRE(std::isfinite(nonce) && nonce >= 0.0 && nonce == std::floor(nonce) &&
+                      nonce < 9007199254740992.0,
+                  "nb merge: malformed nonce");
+      const std::size_t classes = r.next_count("classes", 4096);
+      std::vector<ml::NbClassStats> stats(classes);
+      for (auto& cls : stats) {
+        const double label = r.next("label");
+        SAP_REQUIRE(std::isfinite(label) && label == std::floor(label) &&
+                        std::abs(label) < 2147483648.0,
+                    "nb merge: malformed label");
+        cls.label = static_cast<int>(label);
+        cls.count = r.next_count("class size", 1ull << 52);
+        cls.shift.resize(dims);
+        cls.sum.resize(dims);
+        cls.sumsq.resize(dims);
+        for (auto& v : cls.shift) v = r.next("shift");
+        for (auto& v : cls.sum) v = r.next("sum");
+        for (auto& v : cls.sumsq) v = r.next("sumsq");
+      }
+      segments.emplace_back(static_cast<std::uint64_t>(nonce), std::move(stats));
+    }
+    SAP_REQUIRE(r.done(), "nb merge: trailing bytes in partial");
+  }
+  SAP_REQUIRE(!segments.empty(), "nb merge: no rows across shards");
+  std::sort(segments.begin(), segments.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < segments.size(); ++i)
+    SAP_REQUIRE(segments[i].first != segments[i - 1].first,
+                "nb merge: duplicate nonce segment across partials");
+  std::vector<std::vector<ml::NbClassStats>> ordered;
+  ordered.reserve(segments.size());
+  for (auto& [nonce, stats] : segments) ordered.push_back(std::move(stats));
+  const auto model =
+      ml::GaussianNaiveBayes::merge_stats(ordered, dims, param(resolved, "var-smoothing"));
+  return {ml::accuracy(model, queries)};
+}
+
+// -- knn-train-accuracy: partials carry, per query, the shard's k nearest
+//    candidates as (dist², nonce, seq, label); the merge re-selects the
+//    global k by the same (distance, canonical index) tie-break Knn uses
+//    and replays its majority vote. Blob layout: [k, queries, {cands,
+//    {dist, nonce, seq, label}*}*].
+std::vector<double> knn_partial(const data::Dataset& rows, std::span<const PoolKey> keys,
+                                const data::Dataset& queries, const JobParams& resolved) {
+  SAP_REQUIRE(keys.size() == rows.size(), "knn partial: keys/rows size mismatch");
+  const auto k = static_cast<std::size_t>(param(resolved, "k"));
+  const std::size_t n = rows.size();
+  const std::size_t local_k = std::min(k, n);
+  std::vector<double> blob{static_cast<double>(k), static_cast<double>(queries.size())};
+  struct Cand {
+    double dist = 0.0;
+    PoolKey key;
+    int label = 0;
+  };
+  std::vector<Cand> cands(n);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto query = queries.record(q);
+    for (std::size_t i = 0; i < n; ++i) {
+      // The exact distance loop Knn's backends evaluate — identical FP op
+      // sequence, so merged selection sees identical doubles.
+      auto row = rows.record(i);
+      double acc = 0.0;
+      for (std::size_t c = 0; c < query.size(); ++c) {
+        const double diff = row[c] - query[c];
+        acc += diff * diff;
+      }
+      cands[i] = {acc, keys[i], rows.label(i)};
+    }
+    const auto closer = [](const Cand& a, const Cand& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.key < b.key;
+    };
+    std::partial_sort(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(local_k),
+                      cands.end(), closer);
+    blob.push_back(static_cast<double>(local_k));
+    for (std::size_t i = 0; i < local_k; ++i) {
+      blob.push_back(cands[i].dist);
+      blob.push_back(static_cast<double>(cands[i].key.nonce));
+      blob.push_back(static_cast<double>(cands[i].key.seq));
+      blob.push_back(static_cast<double>(cands[i].label));
+    }
+  }
+  return blob;
+}
+
+std::vector<double> knn_merge(const std::vector<std::vector<double>>& partials,
+                              const data::Dataset& queries, const JobParams& resolved) {
+  SAP_REQUIRE(!partials.empty(), "knn merge: no partials");
+  SAP_REQUIRE(queries.size() > 0, "knn merge: empty query prefix");
+  const auto k = static_cast<std::size_t>(param(resolved, "k"));
+  struct Cand {
+    double dist = 0.0;
+    PoolKey key;
+    int label = 0;
+  };
+  // Per query, the union of every shard's local candidates.
+  std::vector<std::vector<Cand>> merged(queries.size());
+  for (const auto& blob : partials) {
+    BlobReader r(blob);
+    SAP_REQUIRE(r.next_count("k", 1u << 20) == k, "knn merge: k mismatch across partials");
+    SAP_REQUIRE(r.next_count("queries", 1u << 26) == queries.size(),
+                "knn merge: query count mismatch");
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::size_t cands = r.next_count("candidates", k);
+      for (std::size_t i = 0; i < cands; ++i) {
+        Cand c;
+        c.dist = r.next("distance");
+        SAP_REQUIRE(std::isfinite(c.dist) && c.dist >= 0.0, "knn merge: malformed distance");
+        const double nonce = r.next("nonce");
+        SAP_REQUIRE(std::isfinite(nonce) && nonce >= 0.0 && nonce == std::floor(nonce) &&
+                        nonce < 9007199254740992.0,
+                    "knn merge: malformed nonce");
+        c.key.nonce = static_cast<std::uint64_t>(nonce);
+        c.key.seq = static_cast<std::uint32_t>(r.next_count("seq", 0xFFFFFFFFull));
+        const double label = r.next("label");
+        SAP_REQUIRE(std::isfinite(label) && label == std::floor(label) &&
+                        std::abs(label) < 2147483648.0,
+                    "knn merge: malformed label");
+        c.label = static_cast<int>(label);
+        merged[q].push_back(c);
+      }
+    }
+    SAP_REQUIRE(r.done(), "knn merge: trailing bytes in partial");
+  }
+  std::size_t hits = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto& cands = merged[q];
+    SAP_REQUIRE(!cands.empty(), "knn merge: no candidates for a query");
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.key < b.key;
+    });
+    const std::size_t kk = std::min(k, cands.size());
+    // Replay Knn::predict's vote exactly: tallies accumulate in ascending
+    // (distance, canonical index) order, majority wins, ties break toward
+    // the smaller summed distance.
+    std::map<int, std::pair<std::size_t, double>> votes;
+    for (std::size_t i = 0; i < kk; ++i) {
+      auto& [count, dsum] = votes[cands[i].label];
+      ++count;
+      dsum += cands[i].dist;
+    }
+    int best_label = votes.begin()->first;
+    std::pair<std::size_t, double> best{0, 0.0};
+    for (const auto& [label, tally] : votes) {
+      const bool wins = tally.first > best.first ||
+                        (tally.first == best.first && tally.second < best.second);
+      if (wins) {
+        best = tally;
+        best_label = label;
+      }
+    }
+    hits += (best_label == queries.label(q));
+  }
+  return {static_cast<double>(hits) / static_cast<double>(queries.size())};
+}
 
 }  // namespace
 
@@ -78,6 +383,9 @@ void JobRegistry::register_job(JobSpec spec) {
                   "': exactly one of run or make_model must be set");
   SAP_REQUIRE(!spec.trainable() || static_cast<bool>(spec.serve),
               "JobRegistry '" + spec.name + "': trainable job needs a serve function");
+  SAP_REQUIRE(static_cast<bool>(spec.partial) == static_cast<bool>(spec.merge_partials),
+              "JobRegistry '" + spec.name +
+                  "': partial and merge_partials must be set together");
   for (std::size_t i = 0; i < spec.params.size(); ++i) {
     const auto& p = spec.params[i];
     SAP_REQUIRE(!p.name.empty(), "JobRegistry '" + spec.name + "': empty parameter name");
@@ -129,6 +437,8 @@ JobRegistry JobRegistry::builtins() {
     spec.run = [](const data::Dataset& pool, const JobParams&) {
       return std::vector<double>{static_cast<double>(pool.size())};
     };
+    spec.partial = count_partial;
+    spec.merge_partials = count_merge;
     reg.register_job(std::move(spec));
   }
 
@@ -143,6 +453,8 @@ JobRegistry JobRegistry::builtins() {
       for (const auto count : counts) report.push_back(static_cast<double>(count));
       return report;
     };
+    spec.partial = hist_partial;
+    spec.merge_partials = hist_merge;
     reg.register_job(std::move(spec));
   }
 
@@ -155,6 +467,8 @@ JobRegistry JobRegistry::builtins() {
       return std::make_unique<ml::Knn>(static_cast<std::size_t>(param(p, "k")));
     };
     spec.serve = serve_accuracy;
+    spec.partial = knn_partial;
+    spec.merge_partials = knn_merge;
     reg.register_job(std::move(spec));
   }
 
@@ -172,6 +486,9 @@ JobRegistry JobRegistry::builtins() {
       return std::make_unique<ml::Svm>(opts);
     };
     spec.serve = serve_accuracy;
+    // SMO's working-set selection is a global optimization over all rows —
+    // no exact merge exists, so a sharded serve gathers the canonical pool.
+    spec.merge_fallback = MergeFallback::kGather;
     reg.register_job(std::move(spec));
   }
 
@@ -184,6 +501,8 @@ JobRegistry JobRegistry::builtins() {
       return std::make_unique<ml::GaussianNaiveBayes>(param(p, "var-smoothing"));
     };
     spec.serve = serve_accuracy;
+    spec.partial = nb_partial;
+    spec.merge_partials = nb_merge;
     reg.register_job(std::move(spec));
   }
 
@@ -200,6 +519,9 @@ JobRegistry JobRegistry::builtins() {
       return std::make_unique<ml::Perceptron>(opts);
     };
     spec.serve = serve_accuracy;
+    // Epoch-ordered mistake-driven updates depend on the full record
+    // sequence; like the SVM, sharded serves gather rather than merge.
+    spec.merge_fallback = MergeFallback::kGather;
     reg.register_job(std::move(spec));
   }
 

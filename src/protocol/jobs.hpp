@@ -32,6 +32,7 @@
 
 #include "classify/classifier.hpp"
 #include "data/dataset.hpp"
+#include "protocol/shard.hpp"
 
 namespace sap::proto {
 
@@ -57,12 +58,34 @@ struct ParamSpec {
   bool serve_only = false;
 };
 
+/// Fallback execution for a multi-shard serve when the job declares no
+/// exact merge (merge_partials unset).
+enum class MergeFallback : std::uint8_t {
+  /// Reassemble the canonical pool from every shard and execute there —
+  /// exact, but ships rows to the merging side (SVM/perceptron fits).
+  kGather = 0,
+  /// Serve from the lowest-numbered shard alone — never ships rows, but the
+  /// report covers only that shard's slice of the pool.
+  kRoute = 1,
+};
+
 /// A named mining workload. Exactly one of the two execution paths is set:
 ///   * structural: `run(pool, params)` computes the report directly;
 ///   * trainable:  `make_model(params)` builds an untrained Classifier, the
 ///     engine fits it on the pool (cacheable), and `serve(model, pool,
 ///     params)` produces the report from the fitted model's const,
 ///     thread-safe predict() path.
+///
+/// A job may additionally declare an EXACT-MERGE contract for sharded pools
+/// (DESIGN.md §11): `partial` executes AT one shard over that shard's rows
+/// (plus their parallel canonical PoolKeys) and returns an opaque double
+/// blob; `merge_partials` executes at the coordinator over one blob per
+/// shard — in ANY blob order, because exact merges reorder by canonical key
+/// internally — and produces the final report. `queries` is the eval prefix
+/// of the canonical pool (what the report scores against; empty for
+/// structural merges). The contract: the merged report is bit-identical to
+/// running the job on the canonical concatenated pool, whatever the shard
+/// count or hash-route layout.
 struct JobSpec {
   std::string name;
   std::string summary;
@@ -77,7 +100,20 @@ struct JobSpec {
                                     const JobParams&)>
       serve;
 
+  /// Exact-merge contract (optional; both set or both unset). See the
+  /// struct comment for semantics.
+  std::function<std::vector<double>(const data::Dataset& rows,
+                                    std::span<const PoolKey> keys,
+                                    const data::Dataset& queries, const JobParams&)>
+      partial;
+  std::function<std::vector<double>(const std::vector<std::vector<double>>& partials,
+                                    const data::Dataset& queries, const JobParams&)>
+      merge_partials;
+  /// Multi-shard execution when no exact merge is declared.
+  MergeFallback merge_fallback = MergeFallback::kGather;
+
   [[nodiscard]] bool trainable() const noexcept { return static_cast<bool>(make_model); }
+  [[nodiscard]] bool mergeable() const noexcept { return static_cast<bool>(merge_partials); }
 
   /// Merge `request` over the declared defaults; throws sap::Error on an
   /// undeclared name or an out-of-range value.

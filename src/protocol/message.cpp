@@ -72,6 +72,20 @@ std::string to_string(PayloadKind kind) {
     case PayloadKind::kContributionAck: return "contribution-ack";
     case PayloadKind::kMiningRequest: return "mining-request";
     case PayloadKind::kMiningResponse: return "mining-response";
+    case PayloadKind::kServeError: return "serve-error";
+    case PayloadKind::kPartialRequest: return "partial-request";
+    case PayloadKind::kPartialResponse: return "partial-response";
+    case PayloadKind::kPoolSliceRequest: return "pool-slice-request";
+    case PayloadKind::kPoolSliceResponse: return "pool-slice-response";
+  }
+  return "unknown";
+}
+
+std::string to_string(ServeErrorCode code) {
+  switch (code) {
+    case ServeErrorCode::kBadRequest: return "bad-request";
+    case ServeErrorCode::kNotOwner: return "not-owner";
+    case ServeErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }
@@ -273,6 +287,171 @@ DecodedReceipt decode_receipt(std::span<const double> wire) {
   DecodedReceipt out;
   out.pool_epoch = static_cast<std::uint64_t>(checked_count(wire[0], "pool epoch"));
   out.pool_records = checked_count(wire[1], "record count");
+  return out;
+}
+
+std::vector<double> encode_serve_error(ServeErrorCode code, const std::string& message) {
+  std::vector<double> wire{static_cast<double>(static_cast<std::uint8_t>(code))};
+  // Error texts come from exception messages, which may exceed the wire
+  // string cap or carry odd bytes — clamp instead of refusing to report.
+  std::string clipped = message.empty() ? std::string("(no message)") : message;
+  if (clipped.size() > kMaxWireString) clipped.resize(kMaxWireString);
+  for (auto& c : clipped)
+    if (c < 32 || c > 126) c = '?';
+  encode_string(wire, clipped, "error message");
+  return wire;
+}
+
+DecodedServeError decode_serve_error(std::span<const double> wire) {
+  SAP_REQUIRE(!wire.empty(), "decode_serve_error: empty payload");
+  const auto code = checked_count(wire[0], "error code");
+  SAP_REQUIRE(code >= 1 && code <= 3, "decode_serve_error: unknown error code");
+  DecodedServeError out;
+  out.code = static_cast<ServeErrorCode>(code);
+  std::size_t pos = 1;
+  out.message = decode_string(wire, pos, "error message");
+  SAP_REQUIRE(pos == wire.size(), "decode_serve_error: trailing garbage");
+  return out;
+}
+
+namespace {
+
+/// [qd, qm, features col-major, labels] with qm == 0 allowed (no queries).
+void encode_query_block(std::vector<double>& wire, const data::Dataset& queries) {
+  const std::size_t d = queries.size() == 0 ? 0 : queries.dims();
+  const std::size_t m = queries.size();
+  wire.push_back(static_cast<double>(d));
+  wire.push_back(static_cast<double>(m));
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto rec = queries.record(j);
+    wire.insert(wire.end(), rec.begin(), rec.end());
+  }
+  for (std::size_t j = 0; j < m; ++j)
+    wire.push_back(static_cast<double>(queries.label(j)));
+}
+
+data::Dataset decode_query_block(std::span<const double> wire, std::size_t& pos,
+                                 const char* what) {
+  SAP_REQUIRE(pos + 2 <= wire.size(), std::string("decode: truncated ") + what);
+  const std::size_t d = checked_count(wire[pos++], "dimension count");
+  const std::size_t m = checked_count(wire[pos++], "record count");
+  if (m == 0) {
+    SAP_REQUIRE(d == 0, std::string("decode: malformed ") + what);
+    return {};
+  }
+  SAP_REQUIRE(d > 0 && pos + m * d + m <= wire.size(),
+              std::string("decode: malformed ") + what);
+  linalg::Matrix features(m, d, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    auto row = features.row(j);
+    for (std::size_t i = 0; i < d; ++i) row[i] = wire[pos++];
+  }
+  std::vector<int> labels(m);
+  for (std::size_t j = 0; j < m; ++j) labels[j] = checked_label(wire[pos++]);
+  return data::Dataset("wire", std::move(features), std::move(labels));
+}
+
+}  // namespace
+
+std::vector<double> encode_partial_request(std::size_t shard, const std::string& job,
+                                           const std::map<std::string, double>& params,
+                                           const data::Dataset& queries) {
+  SAP_REQUIRE(shard < 1000000000ULL, "encode_partial_request: shard out of wire range");
+  std::vector<double> wire{static_cast<double>(shard)};
+  const auto request = encode_mining_request(job, params);
+  wire.push_back(static_cast<double>(request.size()));
+  wire.insert(wire.end(), request.begin(), request.end());
+  encode_query_block(wire, queries);
+  return wire;
+}
+
+DecodedPartialRequest decode_partial_request(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() >= 2, "decode_partial_request: truncated payload");
+  DecodedPartialRequest out;
+  out.shard = checked_count(wire[0], "shard id");
+  const std::size_t req_len = checked_count(wire[1], "request length");
+  SAP_REQUIRE(2 + req_len <= wire.size(), "decode_partial_request: malformed payload");
+  const auto request = decode_mining_request(wire.subspan(2, req_len));
+  out.job = request.job;
+  out.params = request.params;
+  std::size_t pos = 2 + req_len;
+  out.queries = decode_query_block(wire, pos, "query block");
+  SAP_REQUIRE(pos == wire.size(), "decode_partial_request: trailing garbage");
+  return out;
+}
+
+std::vector<double> encode_partial_response(std::uint64_t shard_epoch,
+                                            std::span<const double> blob) {
+  SAP_REQUIRE(shard_epoch < 1000000000ULL,
+              "encode_partial_response: epoch out of wire range");
+  std::vector<double> wire;
+  wire.reserve(2 + blob.size());
+  wire.push_back(static_cast<double>(shard_epoch));
+  wire.push_back(static_cast<double>(blob.size()));
+  wire.insert(wire.end(), blob.begin(), blob.end());
+  return wire;
+}
+
+DecodedPartialResponse decode_partial_response(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() >= 2, "decode_partial_response: truncated payload");
+  DecodedPartialResponse out;
+  out.shard_epoch = static_cast<std::uint64_t>(checked_count(wire[0], "shard epoch"));
+  const std::size_t count = checked_count(wire[1], "blob length");
+  SAP_REQUIRE(wire.size() == 2 + count, "decode_partial_response: malformed payload");
+  out.blob.assign(wire.begin() + 2, wire.end());
+  return out;
+}
+
+std::vector<double> encode_pool_slice_request(std::size_t shard, std::size_t max_records) {
+  SAP_REQUIRE(shard < 1000000000ULL, "encode_pool_slice_request: shard out of wire range");
+  SAP_REQUIRE(max_records < 1000000000ULL,
+              "encode_pool_slice_request: max_records out of wire range");
+  return {static_cast<double>(shard), static_cast<double>(max_records)};
+}
+
+DecodedPoolSliceRequest decode_pool_slice_request(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() == 2, "decode_pool_slice_request: malformed payload");
+  DecodedPoolSliceRequest out;
+  out.shard = checked_count(wire[0], "shard id");
+  out.max_records = checked_count(wire[1], "max records");
+  return out;
+}
+
+std::vector<double> encode_pool_slice(std::uint64_t shard_epoch, const data::Dataset& rows,
+                                      std::span<const PoolKey> keys) {
+  SAP_REQUIRE(shard_epoch < 1000000000ULL, "encode_pool_slice: epoch out of wire range");
+  SAP_REQUIRE(rows.size() == keys.size(), "encode_pool_slice: rows/keys size mismatch");
+  std::vector<double> wire{static_cast<double>(shard_epoch)};
+  for (const auto& key : keys) {
+    SAP_REQUIRE(key.nonce < (1ULL << 53), "encode_pool_slice: nonce not double-exact");
+    SAP_REQUIRE(key.seq < 1000000000U, "encode_pool_slice: seq out of wire range");
+  }
+  encode_query_block(wire, rows);
+  for (const auto& key : keys) {
+    wire.push_back(static_cast<double>(key.nonce));
+    wire.push_back(static_cast<double>(key.seq));
+  }
+  return wire;
+}
+
+DecodedPoolSlice decode_pool_slice(std::span<const double> wire) {
+  SAP_REQUIRE(!wire.empty(), "decode_pool_slice: truncated payload");
+  DecodedPoolSlice out;
+  out.shard_epoch = static_cast<std::uint64_t>(checked_count(wire[0], "shard epoch"));
+  std::size_t pos = 1;
+  out.rows = decode_query_block(wire, pos, "slice rows");
+  SAP_REQUIRE(wire.size() == pos + 2 * out.rows.size(),
+              "decode_pool_slice: malformed payload");
+  out.keys.reserve(out.rows.size());
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    const double nonce = wire[pos++];
+    SAP_REQUIRE(std::isfinite(nonce) && nonce >= 0.0 && nonce < 9007199254740992.0 &&
+                    nonce == std::floor(nonce),
+                "decode_pool_slice: malformed nonce");
+    const auto seq = checked_count(wire[pos++], "slice seq");
+    out.keys.push_back({static_cast<std::uint64_t>(nonce),
+                        static_cast<std::uint32_t>(seq)});
+  }
   return out;
 }
 

@@ -17,6 +17,7 @@
 
 #include "data/dataset.hpp"
 #include "linalg/matrix.hpp"
+#include "protocol/shard.hpp"
 
 namespace sap::proto {
 
@@ -35,6 +36,12 @@ enum class PayloadKind : std::uint8_t {
   kContributionAck = 9,  ///< miner -> party: receipt for an accepted batch
   kMiningRequest = 10,   ///< party -> miner: named job + params to serve
   kMiningResponse = 11,  ///< miner -> party: the served job report
+  // -- cluster traffic (PR 8): router <-> sharded miners ------------------
+  kServeError = 12,        ///< miner -> client: typed serving refusal
+  kPartialRequest = 13,    ///< router -> miner: one shard's partial blob, please
+  kPartialResponse = 14,   ///< miner -> router: the opaque partial blob
+  kPoolSliceRequest = 15,  ///< router -> miner: one shard's canonical rows
+  kPoolSliceResponse = 16, ///< miner -> router: rows + keys, canonical order
 };
 
 /// Printable name for traces and tests.
@@ -166,5 +173,78 @@ struct DecodedReceipt {
   std::size_t pool_records = 0;
 };
 DecodedReceipt decode_receipt(std::span<const double> wire);
+
+// ---- cluster serving payloads (PR 8) -----------------------------------
+// The scatter-gather router (net/cluster.hpp) speaks these to sharded
+// miners. All of them ride the same encrypted envelope as every other
+// serving payload.
+
+/// Typed serving refusal — what lets a router distinguish "this request is
+/// wrong" (no point retrying a replica) from "this miner cannot serve it
+/// right now" (fail over).
+enum class ServeErrorCode : std::uint8_t {
+  kBadRequest = 1,   ///< unknown job / bad params — definitive, do not retry
+  kNotOwner = 2,     ///< this miner does not own the addressed shard
+  kUnavailable = 3,  ///< transient (exchange pending, shard not installed)
+};
+std::string to_string(ServeErrorCode code);
+
+/// Serve error: [code, message_len, message...]. Messages are truncated to
+/// the wire string cap on encode.
+std::vector<double> encode_serve_error(ServeErrorCode code, const std::string& message);
+struct DecodedServeError {
+  ServeErrorCode code = ServeErrorCode::kBadRequest;
+  std::string message;
+};
+DecodedServeError decode_serve_error(std::span<const double> wire);
+
+/// Partial request: [shard, req_len, mining_request..., qd, qm, queries
+/// row-major qm x qd, labels...] — run `job` with `params` over one shard
+/// and return the exact-merge partial blob. `queries` is the canonical eval
+/// prefix the merge scores against (qm == 0 => no queries; structural
+/// merges).
+std::vector<double> encode_partial_request(std::size_t shard, const std::string& job,
+                                           const std::map<std::string, double>& params,
+                                           const data::Dataset& queries);
+struct DecodedPartialRequest {
+  std::size_t shard = 0;
+  std::string job;
+  std::map<std::string, double> params;
+  data::Dataset queries;
+};
+DecodedPartialRequest decode_partial_request(std::span<const double> wire);
+
+/// Partial response: [shard_epoch, value_count, blob...]. The blob is the
+/// job's opaque partial; the epoch is the shard epoch it was computed at
+/// (the router's per-shard watermark input).
+std::vector<double> encode_partial_response(std::uint64_t shard_epoch,
+                                            std::span<const double> blob);
+struct DecodedPartialResponse {
+  std::uint64_t shard_epoch = 0;
+  std::vector<double> blob;
+};
+DecodedPartialResponse decode_partial_response(std::span<const double> wire);
+
+/// Pool-slice request: [shard, max_records] (0 = all) — one shard's rows in
+/// canonical (nonce, seq) order, for router-side gathers of non-mergeable
+/// jobs and canonical query prefixes.
+std::vector<double> encode_pool_slice_request(std::size_t shard, std::size_t max_records);
+struct DecodedPoolSliceRequest {
+  std::size_t shard = 0;
+  std::size_t max_records = 0;
+};
+DecodedPoolSliceRequest decode_pool_slice_request(std::span<const double> wire);
+
+/// Pool-slice response: [shard_epoch, d, m, features row-major m x d,
+/// labels x m, (nonce, seq) x m]. m == 0 encodes an installed-but-empty
+/// shard (d 0 too).
+std::vector<double> encode_pool_slice(std::uint64_t shard_epoch, const data::Dataset& rows,
+                                      std::span<const PoolKey> keys);
+struct DecodedPoolSlice {
+  std::uint64_t shard_epoch = 0;
+  data::Dataset rows;
+  std::vector<PoolKey> keys;
+};
+DecodedPoolSlice decode_pool_slice(std::span<const double> wire);
 
 }  // namespace sap::proto

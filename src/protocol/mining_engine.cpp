@@ -1,180 +1,224 @@
 #include "protocol/mining_engine.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 
 namespace sap::proto {
 
 MiningEngine::MiningEngine(MiningEngineOptions opts, JobRegistry registry)
-    : opts_(opts), registry_(std::move(registry)), pool_threads_(opts.threads) {}
+    : opts_(opts), registry_(std::move(registry)), pool_threads_(opts.threads) {
+  SAP_REQUIRE(opts_.shards >= 1, "MiningEngine: shards must be >= 1");
+  if (opts_.owned.empty()) {
+    owned_.resize(opts_.shards);
+    std::iota(owned_.begin(), owned_.end(), std::size_t{0});
+  } else {
+    owned_ = opts_.owned;
+    std::sort(owned_.begin(), owned_.end());
+    owned_.erase(std::unique(owned_.begin(), owned_.end()), owned_.end());
+    SAP_REQUIRE(owned_.back() < opts_.shards,
+                "MiningEngine: owned shard id out of range");
+  }
+  slots_.reserve(owned_.size());
+  for (std::size_t i = 0; i < owned_.size(); ++i)
+    slots_.push_back(std::make_unique<PoolShard>(opts_.cache_models));
+}
+
+PoolShard& MiningEngine::slot_for(std::size_t global_shard) const {
+  const auto it = std::lower_bound(owned_.begin(), owned_.end(), global_shard);
+  SAP_REQUIRE(it != owned_.end() && *it == global_shard,
+              "MiningEngine: shard " + std::to_string(global_shard) +
+                  " is not owned by this engine");
+  return *slots_[static_cast<std::size_t>(it - owned_.begin())];
+}
+
+PoolShard& MiningEngine::sole_slot(const char* what) const {
+  SAP_REQUIRE(opts_.shards == 1,
+              std::string("MiningEngine::") + what +
+                  ": sharded engines use the shard-aware surface");
+  return *slots_.front();
+}
 
 void MiningEngine::set_pool(data::Dataset pool) {
-  MutexLock ingest(ingest_mutex_);
-  auto snapshot = std::make_shared<const data::Dataset>(std::move(pool));
-  {
-    MutexLock lk(pool_mutex_);
-    pool_ = std::move(snapshot);
-    ++pool_epoch_;
-    // New generation: only the new epoch's size is known lineage, so a model
-    // fitted on any replaced pool can never seed an incremental refit.
-    epoch_rows_.clear();
-    epoch_rows_[pool_epoch_] = pool_->size();
+  auto& slot = sole_slot("set_pool");
+  // A flat dataset has no nonce structure: every row keys under the
+  // synthetic nonce 0 in arrival order, so canonical order == arrival
+  // order — the classic single-pool behavior.
+  std::vector<PoolKey> keys;
+  keys.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    keys.push_back({0, static_cast<std::uint32_t>(i)});
+  slot.install(std::move(pool), std::move(keys));
+}
+
+void MiningEngine::set_pool_segments(std::vector<PoolSegment> segments) {
+  for (std::size_t s = 0; s < owned_.size(); ++s) {
+    const std::size_t global = owned_[s];
+    data::Dataset rows;
+    std::vector<PoolKey> keys;
+    bool first = true;
+    for (auto& segment : segments) {
+      if (shard_of_nonce(segment.nonce, opts_.shards, opts_.layout) != global) continue;
+      for (std::size_t i = 0; i < segment.rows.size(); ++i)
+        keys.push_back({segment.nonce, static_cast<std::uint32_t>(i)});
+      if (first) {
+        rows = segment.rows;  // copy: a segment may be re-routed on re-install
+        first = false;
+      } else {
+        rows.append(segment.rows);
+      }
+    }
+    slots_[s]->install(std::move(rows), std::move(keys));
   }
-  // Dropping the cache releases dead models' memory; correctness never
-  // depends on it (a stale entry fails the lineage check and is refitted).
-  MutexLock lk(cache_mutex_);
-  cache_.clear();
 }
 
 std::uint64_t MiningEngine::append_records(const data::Dataset& batch) {
-  SAP_REQUIRE(batch.size() > 0, "MiningEngine::append_records: empty batch");
-  MutexLock ingest(ingest_mutex_);
-  PoolView view = pool_view();
-  SAP_REQUIRE(view.data != nullptr,
-              "MiningEngine::append_records: no pool installed (set_pool first)");
-  SAP_REQUIRE(batch.dims() == view.data->dims(),
-              "MiningEngine::append_records: dimension mismatch");
-  // Build the grown pool outside pool_mutex_ (appends are serialized by
-  // ingest_mutex_, so `view` cannot go stale) — serving only blocks for the
-  // pointer swap, not for the O(N) copy.
-  auto grown = std::make_shared<data::Dataset>(*view.data);
-  grown->append(batch);
-  MutexLock lk(pool_mutex_);
-  pool_ = std::move(grown);
-  ++pool_epoch_;
-  epoch_rows_[pool_epoch_] = pool_->size();
-  // Bound the lineage history on long-running streams: a cache entry more
-  // than kEpochHistory appends behind just loses its incremental seed and
-  // refits in full (rows_at_epoch fails), so pruning never affects
-  // correctness.
-  constexpr std::size_t kEpochHistory = 64;
-  while (epoch_rows_.size() > kEpochHistory) epoch_rows_.erase(epoch_rows_.begin());
-  return pool_epoch_;
+  return sole_slot("append_records").append(0, batch);
+}
+
+std::uint64_t MiningEngine::append_records(std::uint64_t nonce,
+                                           const data::Dataset& batch) {
+  const std::size_t global = shard_of_nonce(nonce, opts_.shards, opts_.layout);
+  return slot_for(global).append(nonce, batch);
 }
 
 bool MiningEngine::has_pool() const {
-  MutexLock lk(pool_mutex_);
-  return pool_ != nullptr;
+  for (const auto& slot : slots_)
+    if (slot->installed()) return true;
+  return false;
 }
 
 const data::Dataset& MiningEngine::pool() const {
-  MutexLock lk(pool_mutex_);
-  SAP_REQUIRE(pool_ != nullptr, "MiningEngine: no pool installed (set_pool first)");
-  return *pool_;
+  auto view = sole_slot("pool").view();
+  SAP_REQUIRE(view.snap != nullptr, "MiningEngine: no pool installed (set_pool first)");
+  // The snapshot stays alive through the slot's own reference; per the
+  // header contract the returned reference is only valid while no
+  // concurrent mutation can replace it.
+  return view.snap->rows;
 }
 
 MiningEngine::PoolView MiningEngine::pool_view() const {
-  MutexLock lk(pool_mutex_);
-  return {pool_, pool_epoch_};
+  auto view = sole_slot("pool_view").view();
+  if (view.snap == nullptr) return {nullptr, view.epoch};
+  // Aliasing share: the Dataset pointer keeps the whole snapshot alive.
+  return {std::shared_ptr<const data::Dataset>(view.snap, &view.snap->rows), view.epoch};
 }
 
 std::uint64_t MiningEngine::pool_epoch() const {
-  MutexLock lk(pool_mutex_);
-  return pool_epoch_;
+  std::uint64_t watermark = 0;
+  bool first = true;
+  for (const auto& slot : slots_) {
+    const auto e = slot->epoch();
+    watermark = first ? e : std::min(watermark, e);
+    first = false;
+  }
+  return watermark;
 }
 
-bool MiningEngine::rows_at_epoch(std::uint64_t epoch, std::size_t& rows) const {
-  MutexLock lk(pool_mutex_);
-  const auto it = epoch_rows_.find(epoch);
-  if (it == epoch_rows_.end()) return false;
-  rows = it->second;
-  return true;
+bool MiningEngine::owns(std::size_t global_shard) const {
+  const auto it = std::lower_bound(owned_.begin(), owned_.end(), global_shard);
+  return it != owned_.end() && *it == global_shard;
 }
 
-std::shared_ptr<const ml::Classifier> MiningEngine::model_for(const JobSpec& spec,
-                                                              const JobParams& resolved,
-                                                              const PoolView& view,
-                                                              bool& cached,
-                                                              bool& incremental) {
-  cached = false;
-  incremental = false;
-  if (!opts_.cache_models) {
-    auto model = spec.make_model(resolved);
-    model->fit(*view.data);
-    fits_.fetch_add(1, std::memory_order_relaxed);
-    return model;
-  }
+PoolShard::View MiningEngine::shard_view(std::size_t global_shard) const {
+  return slot_for(global_shard).view();
+}
 
-  std::string key = spec.name;
-  key += '\0';
-  key += spec.model_key_params(resolved);  // serve-only params share a model
+std::uint64_t MiningEngine::shard_epoch(std::size_t global_shard) const {
+  return slot_for(global_shard).epoch();
+}
 
-  std::promise<std::shared_ptr<const ml::Classifier>> promise;
-  ModelFuture future;
-  ModelFuture base;
-  std::uint64_t base_epoch = 0;
-  bool fitter = false;
-  bool have_base = false;
-  {
-    MutexLock lk(cache_mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end() && it->second.epoch == view.epoch) {
-      // Current-epoch entry: a completed one is a genuine cache hit; an
-      // in-flight one means a peer worker is fitting this exact key right
-      // now and we share its result — counted as a hit too.
-      future = it->second.future;
-      cached = true;
-    } else if (it != cache_.end() && it->second.epoch > view.epoch) {
-      // The slot already answers a NEWER pool (this request started before
-      // an append landed). Bounded staleness: serve this request's own
-      // epoch with a one-off fit, and never regress the cache.
-      fitter = false;
-    } else {
-      if (it != cache_.end()) {
-        base = it->second.future;  // older epoch's model: incremental seed
-        base_epoch = it->second.epoch;
-        have_base = true;
-      }
-      future = ModelFuture(promise.get_future());
-      cache_[key] = {view.epoch, future};
-      fitter = true;
+data::Dataset MiningEngine::gather_canonical(const std::vector<PoolShard::View>& views,
+                                             std::size_t limit) {
+  struct Row {
+    PoolKey key;
+    std::size_t view_idx;
+    std::size_t row_idx;
+  };
+  std::vector<Row> rows;
+  std::size_t dims = 0;
+  std::string name;
+  for (std::size_t v = 0; v < views.size(); ++v) {
+    const auto& snap = *views[v].snap;
+    if (snap.rows.size() == 0) continue;
+    if (dims == 0) {
+      dims = snap.rows.dims();
+      name = snap.rows.name();
     }
+    SAP_REQUIRE(snap.rows.dims() == dims,
+                "MiningEngine: shard dimensionality mismatch in gather");
+    for (std::size_t i = 0; i < snap.rows.size(); ++i)
+      rows.push_back({snap.keys[i], v, i});
   }
-
-  if (!cached && !fitter) {  // the stale-request one-off path
-    auto model = spec.make_model(resolved);
-    model->fit(*view.data);
-    fits_.fetch_add(1, std::memory_order_relaxed);
-    return model;
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  const std::size_t n =
+      limit == 0 ? rows.size() : std::min(limit, rows.size());
+  linalg::Matrix features(n, dims, 0.0);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& snap = *views[rows[i].view_idx].snap;
+    const auto rec = snap.rows.record(rows[i].row_idx);
+    auto dst = features.row(i);
+    std::copy(rec.begin(), rec.end(), dst.begin());
+    labels[i] = snap.rows.label(rows[i].row_idx);
   }
+  return data::Dataset(std::move(name), std::move(features), std::move(labels));
+}
 
-  if (fitter) {
-    try {
-      std::shared_ptr<const ml::Classifier> model;
-      std::size_t base_rows = 0;
-      if (have_base && rows_at_epoch(base_epoch, base_rows)) {
-        std::shared_ptr<const ml::Classifier> seed;
-        try {
-          seed = base.get();
-        } catch (...) {
-          seed = nullptr;  // the base fit failed; fall through to a full fit
-        }
-        if (seed && seed->supports_partial_fit() && base_rows < view.data->size()) {
-          model = seed->partial_fit(view.data->slice(base_rows, view.data->size()));
-          incremental = true;
-          incremental_.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      if (!model) {
-        auto fresh = spec.make_model(resolved);
-        fresh->fit(*view.data);
-        fits_.fetch_add(1, std::memory_order_relaxed);
-        model = std::move(fresh);
-      }
-      promise.set_value(std::move(model));
-    } catch (...) {
-      // Waiting peers see the exception; drop the poisoned entry (only if it
-      // is still ours) so a later request retries instead of replaying a
-      // stale error forever.
-      promise.set_exception(std::current_exception());
-      MutexLock lk(cache_mutex_);
-      const auto it = cache_.find(key);
-      if (it != cache_.end() && it->second.epoch == view.epoch) cache_.erase(it);
+MiningResponse MiningEngine::run_sharded(const JobSpec& spec, const JobParams& resolved) {
+  MiningResponse response;
+  std::vector<PoolShard::View> views;
+  views.reserve(slots_.size());
+  std::uint64_t watermark = 0;
+  for (std::size_t s = 0; s < slots_.size(); ++s) {
+    auto view = slots_[s]->view();
+    SAP_REQUIRE(view.snap != nullptr,
+                "MiningEngine: no pool installed (set_pool_segments first)");
+    watermark = s == 0 ? view.epoch : std::min(watermark, view.epoch);
+    views.push_back(std::move(view));
+  }
+  response.pool_epoch = watermark;
+
+  if (spec.mergeable()) {
+    // Exact merge: per-shard partials over coordinator-grade canonical
+    // queries, folded by the job's merge contract (DESIGN.md §11).
+    data::Dataset queries;
+    if (spec.trainable()) {
+      std::size_t limit = 0;
+      const auto it = resolved.find("eval-records");
+      if (it != resolved.end()) limit = static_cast<std::size_t>(it->second);
+      queries = gather_canonical(views, limit);
+      SAP_REQUIRE(queries.size() > 0, "MiningEngine: empty pool across shards");
     }
+    std::vector<std::vector<double>> partials;
+    partials.reserve(views.size());
+    for (const auto& view : views) {
+      if (view.snap->rows.size() == 0) continue;  // empty shards contribute nothing
+      partials.push_back(spec.partial(view.snap->rows, view.snap->keys, queries, resolved));
+    }
+    SAP_REQUIRE(!partials.empty(), "MiningEngine: empty pool across shards");
+    response.values = spec.merge_partials(partials, queries, resolved);
+    return response;
+  }
+
+  // No exact merge declared: gather the canonical pool and execute flat
+  // (MergeFallback::kGather — the router may choose kRoute instead and
+  // never reach a multi-shard engine run).
+  auto pool = gather_canonical(views, 0);
+  SAP_REQUIRE(pool.size() > 0, "MiningEngine: empty pool across shards");
+  if (spec.trainable()) {
+    Stopwatch fit_sw;
+    auto model = spec.make_model(resolved);
+    model->fit(pool);
+    response.fit_millis = fit_sw.millis();
+    response.values = spec.serve(*model, pool, resolved);
   } else {
-    hits_.fetch_add(1, std::memory_order_relaxed);
+    response.values = spec.run(pool, resolved);
   }
-  return future.get();  // rethrows a fit failure
+  return response;
 }
 
 MiningResponse MiningEngine::run(const MiningRequest& request) {
@@ -185,19 +229,24 @@ MiningResponse MiningEngine::run(const MiningRequest& request) {
     return response;
   }
   const JobSpec& spec = registry_.find(request.job);
-  const PoolView view = pool_view();
-  SAP_REQUIRE(view.data != nullptr, "MiningEngine: no pool installed (set_pool first)");
-  response.pool_epoch = view.epoch;
   const JobParams resolved = spec.resolve_params(request.params);
 
-  if (spec.trainable()) {
-    Stopwatch fit_sw;
-    const auto model =
-        model_for(spec, resolved, view, response.model_cached, response.model_incremental);
-    response.fit_millis = fit_sw.millis();
-    response.values = spec.serve(*model, *view.data, resolved);
+  if (opts_.shards == 1) {
+    const auto view = slots_.front()->view();
+    SAP_REQUIRE(view.snap != nullptr, "MiningEngine: no pool installed (set_pool first)");
+    response.pool_epoch = view.epoch;
+    if (spec.trainable()) {
+      Stopwatch fit_sw;
+      const auto model = slots_.front()->model_for(spec, resolved, view,
+                                                   response.model_cached,
+                                                   response.model_incremental);
+      response.fit_millis = fit_sw.millis();
+      response.values = spec.serve(*model, view.snap->rows, resolved);
+    } else {
+      response.values = spec.run(view.snap->rows, resolved);
+    }
   } else {
-    response.values = spec.run(*view.data, resolved);
+    response = run_sharded(spec, resolved);
   }
   response.millis = sw.millis();
   return response;
@@ -220,18 +269,72 @@ std::vector<MiningResponse> MiningEngine::run_batch(
 
 std::vector<double> MiningEngine::run_adhoc(const MinerJob& job) {
   if (!job) return {};
-  const PoolView view = pool_view();
-  SAP_REQUIRE(view.data != nullptr, "MiningEngine: no pool installed (set_pool first)");
-  return job(*view.data);
+  if (opts_.shards == 1) {
+    const auto view = slots_.front()->view();
+    SAP_REQUIRE(view.snap != nullptr, "MiningEngine: no pool installed (set_pool first)");
+    return job(view.snap->rows);
+  }
+  std::vector<PoolShard::View> views;
+  views.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    auto view = slot->view();
+    SAP_REQUIRE(view.snap != nullptr,
+                "MiningEngine: no pool installed (set_pool_segments first)");
+    views.push_back(std::move(view));
+  }
+  return job(gather_canonical(views, 0));
+}
+
+MiningResponse MiningEngine::run_partial(std::size_t global_shard,
+                                         const MiningRequest& request,
+                                         const data::Dataset& queries) {
+  Stopwatch sw;
+  const JobSpec& spec = registry_.find(request.job);
+  const JobParams resolved = spec.resolve_params(request.params);
+  SAP_REQUIRE(spec.mergeable(),
+              "MiningEngine::run_partial: job '" + spec.name +
+                  "' declares no exact-merge contract");
+  const auto view = slot_for(global_shard).view();
+  SAP_REQUIRE(view.snap != nullptr,
+              "MiningEngine::run_partial: shard not installed");
+  MiningResponse response;
+  response.pool_epoch = view.epoch;
+  response.values = spec.partial(view.snap->rows, view.snap->keys, queries, resolved);
+  response.millis = sw.millis();
+  return response;
+}
+
+ShardSlice MiningEngine::shard_slice(std::size_t global_shard,
+                                     std::size_t max_records) const {
+  const auto view = slot_for(global_shard).view();
+  SAP_REQUIRE(view.snap != nullptr,
+              "MiningEngine::shard_slice: shard not installed");
+  const auto& keys = view.snap->keys;
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return keys[a] < keys[b];
+  });
+  // A shard contributes at most max_records rows to any global
+  // max_records-prefix, so per-shard truncation loses nothing.
+  if (max_records != 0 && order.size() > max_records) order.resize(max_records);
+  ShardSlice slice;
+  slice.epoch = view.epoch;
+  slice.rows = view.snap->rows.subset(order);
+  slice.keys.reserve(order.size());
+  for (const auto i : order) slice.keys.push_back(keys[i]);
+  return slice;
 }
 
 MiningCacheStats MiningEngine::cache_stats() const {
   MiningCacheStats stats;
-  stats.fits = fits_.load(std::memory_order_relaxed);
-  stats.incremental = incremental_.load(std::memory_order_relaxed);
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  MutexLock lk(cache_mutex_);
-  stats.entries = cache_.size();
+  for (const auto& slot : slots_) {
+    const auto s = slot->stats();
+    stats.fits += s.fits;
+    stats.incremental += s.incremental;
+    stats.hits += s.hits;
+    stats.entries += s.entries;
+  }
   return stats;
 }
 

@@ -1,44 +1,49 @@
 // MiningEngine — concurrent, cached, parameterized job serving over a LIVE
-// unified pool.
+// unified pool, optionally split into nonce-hashed shards.
 //
-// PR 2 turned the Mine state into a service over a frozen snapshot; this
-// engine serves a pool that keeps growing while it serves:
+// PR 2 turned the Mine state into a service over a frozen snapshot; PR 4
+// made the pool live (epoch-scoped appends, incremental refits); PR 8
+// shards it. The engine is now a *ShardSet*: a view over N PoolShards
+// (protocol/pool_shard.hpp), each holding one hash-partition of the pool
+// with its own epoch line and model cache. With shards == 1 (the default)
+// the engine delegates everything to its single slot and behaves — bit for
+// bit, including epochs, cache hits, and incremental refits — like the
+// pre-shard engine.
 //
-//   * requests — MiningRequest{job, params} — execute against an immutable
-//     pool *snapshot*, singly (run), as a batch fanned out over an internal
-//     ThreadPool (run_batch), or concurrently from any number of caller
-//     threads (run is thread-safe);
-//   * the pool is epoch-scoped: set_pool() installs a fresh pool (epoch
-//     generation reset, every cached model dropped), while append_records()
-//     — the streaming-ingest path behind the protocol's Contribute phase —
-//     extends the pool in place, bumps the epoch, and KEEPS still-valid
-//     work: in-flight requests finish against the snapshot/epoch they
-//     started on (bounded staleness, never a torn pool), and cached models
-//     from earlier epochs seed incremental refits;
-//   * trainable jobs fit once per (job, model-relevant canonical params) at
-//     the epoch they are first requested. When the pool has grown since a
-//     model was fitted, the engine refits INCREMENTALLY where the model
-//     supports it (Classifier::partial_fit — NaiveBayes, Knn) by extending
-//     the cached model with exactly the appended rows; SVM/perceptron fall
-//     back to a full refit. Either way the replacement is installed under
-//     the new epoch before it resolves, so concurrent requests collapse
-//     onto one (re)fit.
+//   * requests — MiningRequest{job, params} — execute against immutable
+//     shard *snapshots*, singly (run), as a batch fanned out over an
+//     internal ThreadPool (run_batch), or concurrently from any number of
+//     caller threads (run is thread-safe);
+//   * contributions are routed by shard_of_nonce(nonce): an append to one
+//     shard bumps only that shard's epoch and never invalidates another
+//     shard's cache. pool_epoch() over a sharded engine is the cluster-
+//     style WATERMARK — the minimum epoch across owned shards;
+//   * a multi-shard run() executes a job's exact-merge contract when it
+//     declares one (JobSpec::partial + merge_partials — report
+//     bit-identical to the canonical concatenated pool, whatever the shard
+//     count or layout), and otherwise gathers the canonical pool and
+//     executes flat (MergeFallback::kGather semantics);
+//   * a partially-owned engine (a cluster miner serving a subset of the
+//     shard space) additionally serves run_partial() — one shard's partial
+//     blob for a coordinator-side merge — and shard_slice() — one shard's
+//     canonically-ordered rows for coordinator-side gathers
+//     (net/cluster.hpp).
 //
 // Determinism invariant (tested under TSAN like the threaded transport): a
 // batch's reports (MiningResponse::values) are bit-identical to the same
 // requests run serially, regardless of thread count — only the diagnostics
 // (model_cached, model_incremental, millis) may reflect scheduling. This
 // holds because (a) response slots are addressed by request index, (b) every
-// job report is a pure function of (pool snapshot, resolved params) — and
+// job report is a pure function of (shard snapshots, resolved params) — and
 // the incremental-refit contract (DESIGN.md §6) makes a partial_fit-extended
 // model equivalent to the full refit it replaces — and (c) concurrent fits
 // of the same key are collapsed onto one shared_future. Pool mutations are
-// epoch-ordered: the pool content at epoch e is a pure function of the
-// set_pool/append_records call sequence, independent of thread count or
-// transport backend.
+// epoch-ordered per shard: shard content at epoch e is a pure function of
+// the install/append call sequence for that shard, independent of thread
+// count or transport backend.
 //
 // Thread-safety: run()/run_batch() may be called concurrently with each
-// other AND with append_records()/set_pool() (requests serve the snapshot
+// other AND with append_records()/set_pool() (requests serve the snapshots
 // they started with). Registry mutation must still not overlap serving.
 #pragma once
 
@@ -54,6 +59,7 @@
 #include "common/thread_pool.hpp"
 #include "data/dataset.hpp"
 #include "protocol/jobs.hpp"
+#include "protocol/pool_shard.hpp"
 
 namespace sap::proto {
 
@@ -61,10 +67,18 @@ struct MiningEngineOptions {
   /// Worker threads for run_batch(); 0 = execute batches inline on the
   /// calling thread (the serial reference execution).
   std::size_t threads = 0;
-  /// Cache fitted models per (job, params) with epoch-aware incremental
-  /// refit. Disabling forces per-request retraining (the throughput bench's
-  /// comparison baseline).
+  /// Cache fitted models per (job, params, shard) with epoch-aware
+  /// incremental refit. Disabling forces per-request retraining (the
+  /// throughput bench's comparison baseline).
   bool cache_models = true;
+  /// Total shards the pool is partitioned into (shard_of_nonce space).
+  /// 1 = the classic unsharded engine.
+  std::size_t shards = 1;
+  /// Hash-route layout; both layouts satisfy the exact-merge contract.
+  ShardLayout layout = ShardLayout::kHashMod;
+  /// Global shard ids this engine owns (a cluster miner owns a subset).
+  /// Empty = own all `shards` (the in-process ShardSet view).
+  std::vector<std::size_t> owned;
 };
 
 /// One serving request: a registered job name plus per-request parameters
@@ -83,19 +97,27 @@ struct MiningResponse {
   std::vector<double> values;
   bool model_cached = false;
   bool model_incremental = false;
-  std::uint64_t pool_epoch = 0;  ///< epoch this request was served against
+  std::uint64_t pool_epoch = 0;  ///< epoch (sharded: watermark) served against
   double millis = 0.0;           ///< wall-clock service time of this request
   double fit_millis = 0.0;       ///< of which: acquiring the fitted model
                                  ///< (≈0 on a cache hit; the full vs
                                  ///< incremental refit cost otherwise)
 };
 
-/// Cache accounting (cumulative across the engine's lifetime).
+/// Cache accounting (cumulative across the engine's lifetime; sharded:
+/// summed over owned shards).
 struct MiningCacheStats {
   std::size_t fits = 0;         ///< models trained from scratch
   std::size_t incremental = 0;  ///< models extended via partial_fit
   std::size_t hits = 0;         ///< requests served from a cached model
   std::size_t entries = 0;      ///< live cache entries
+};
+
+/// One shard's canonically-ordered rows (coordinator-side gathers).
+struct ShardSlice {
+  data::Dataset rows;             ///< sorted by canonical (nonce, seq)
+  std::vector<PoolKey> keys;      ///< parallel to rows
+  std::uint64_t epoch = 0;        ///< shard epoch the slice was cut at
 };
 
 class MiningEngine {
@@ -108,34 +130,63 @@ class MiningEngine {
 
   // ---- pool lifecycle --------------------------------------------------
 
-  /// Install (or replace) the pooled dataset. Starts a new epoch generation:
-  /// bumps the pool epoch, drops every cached model, and severs incremental
-  /// lineage (a model fitted on a replaced pool can never be extended).
-  /// Safe to call concurrently with serving; in-flight requests finish
-  /// against the snapshot they started on.
+  /// Install (or replace) the pooled dataset (single-shard engines only —
+  /// a flat dataset carries no nonce structure to route by; sharded
+  /// engines install via set_pool_segments). Starts a new epoch
+  /// generation: bumps the pool epoch, drops every cached model, and
+  /// severs incremental lineage. Safe to call concurrently with serving;
+  /// in-flight requests finish against the snapshot they started on.
   void set_pool(data::Dataset pool);
 
-  /// Streaming ingest: append `batch` (dims must match) to the live pool.
-  /// Bumps the epoch WITHOUT dropping cached models — later requests extend
-  /// them incrementally where supported. Appends are serialized and
-  /// epoch-ordered: pool content at any epoch is a pure function of the
-  /// mutation call sequence. Safe to call concurrently with serving
-  /// (in-flight requests keep their snapshot). Returns the new epoch.
+  /// Install the unified pool from its per-nonce segments (callers pass
+  /// canonical — ascending-nonce — order; party_logic's unify_pool already
+  /// yields it). Every owned shard is (re)installed with exactly the
+  /// segments that hash-route to it — possibly none — starting a new epoch
+  /// generation on each; segments routed to unowned shards are skipped (a
+  /// cluster miner installs only its slice).
+  void set_pool_segments(std::vector<PoolSegment> segments);
+
+  /// Streaming ingest, classic form (single-shard engines only): append
+  /// `batch` to the pool under the synthetic nonce 0. Bumps the epoch
+  /// WITHOUT dropping cached models — later requests extend them
+  /// incrementally where supported. Returns the new epoch.
   std::uint64_t append_records(const data::Dataset& batch);
 
+  /// Streaming ingest, routed form: append `batch` as a contribution under
+  /// `nonce`, landing on shard_of_nonce(nonce) — which must be owned
+  /// (callers check owns() first; cluster daemons answer kNotOwner).
+  /// Returns the OWNING SHARD's new epoch (the contribution receipt).
+  std::uint64_t append_records(std::uint64_t nonce, const data::Dataset& batch);
+
   [[nodiscard]] bool has_pool() const;
-  /// Reference to the current pool. Valid only while no concurrent pool
-  /// mutation can run; concurrent callers must use pool_view() instead.
+  /// Reference to the current pool (single-shard engines only). Valid only
+  /// while no concurrent pool mutation can run; concurrent callers must use
+  /// pool_view() instead.
   [[nodiscard]] const data::Dataset& pool() const;
-  /// Atomic (snapshot, epoch) pair — the view one request serves against.
+  /// Atomic (snapshot, epoch) pair — the view one request serves against
+  /// (single-shard engines only; sharded callers use shard_view()).
   struct PoolView {
     std::shared_ptr<const data::Dataset> data;
     std::uint64_t epoch = 0;
   };
   [[nodiscard]] PoolView pool_view() const;
-  /// 0 until the first set_pool(); then increments with every set_pool()
-  /// and every append_records().
+  /// 0 until the first install; then increments with every set_pool/append.
+  /// Sharded: the WATERMARK — the minimum epoch across owned shards (the
+  /// epoch every shard is guaranteed to have reached).
   [[nodiscard]] std::uint64_t pool_epoch() const;
+
+  // ---- shard topology --------------------------------------------------
+
+  [[nodiscard]] std::size_t total_shards() const noexcept { return opts_.shards; }
+  [[nodiscard]] ShardLayout layout() const noexcept { return opts_.layout; }
+  /// Owned global shard ids, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& owned_shards() const noexcept {
+    return owned_;
+  }
+  [[nodiscard]] bool owns(std::size_t global_shard) const;
+  /// One owned shard's (snapshot, epoch) view / current epoch.
+  [[nodiscard]] PoolShard::View shard_view(std::size_t global_shard) const;
+  [[nodiscard]] std::uint64_t shard_epoch(std::size_t global_shard) const;
 
   // ---- job registry ----------------------------------------------------
 
@@ -146,9 +197,12 @@ class MiningEngine {
 
   // ---- serving ---------------------------------------------------------
 
-  /// Serve one request against the pool snapshot current at entry. Thread-
-  /// safe against concurrent run()/append_records() calls. Throws sap::Error
-  /// for an unknown job name, invalid params, or a missing pool.
+  /// Serve one request against the shard snapshots current at entry.
+  /// Thread-safe against concurrent run()/append_records() calls. Sharded
+  /// engines serve over their OWNED shards: exact-merge jobs run partial-
+  /// per-shard + merge, others gather the owned shards' canonical pool and
+  /// execute flat. Throws sap::Error for an unknown job name, invalid
+  /// params, or a missing pool.
   MiningResponse run(const MiningRequest& request);
 
   /// Serve a batch across the worker pool (inline when threads == 0).
@@ -158,9 +212,23 @@ class MiningEngine {
   /// in-flight requests drain (first error wins).
   std::vector<MiningResponse> run_batch(const std::vector<MiningRequest>& requests);
 
-  /// Serve a legacy closure job (SapSession::mine() compat). Not cacheable —
-  /// the closure is opaque. A null job yields an empty report.
+  /// Serve a legacy closure job (SapSession::mine() compat; single-shard
+  /// engines only). Not cacheable — the closure is opaque. A null job
+  /// yields an empty report.
   std::vector<double> run_adhoc(const MinerJob& job);
+
+  /// One shard's partial blob for `request` (coordinator-side exact
+  /// merges): executes spec.partial over the shard's snapshot with the
+  /// coordinator-supplied canonical query prefix. values = the opaque
+  /// blob; pool_epoch = the shard epoch served. Throws for non-mergeable
+  /// jobs or unowned shards.
+  MiningResponse run_partial(std::size_t global_shard, const MiningRequest& request,
+                             const data::Dataset& queries);
+
+  /// One shard's rows in canonical (nonce, seq) order, truncated to
+  /// max_records (0 = all) — the coordinator-side gather primitive.
+  [[nodiscard]] ShardSlice shard_slice(std::size_t global_shard,
+                                       std::size_t max_records) const;
 
   // ---- observability ---------------------------------------------------
 
@@ -168,49 +236,27 @@ class MiningEngine {
   [[nodiscard]] std::size_t threads() const noexcept { return pool_threads_.thread_count(); }
 
  private:
-  using ModelFuture = std::shared_future<std::shared_ptr<const ml::Classifier>>;
+  /// Owned slot for a global shard id; throws for unowned ids.
+  [[nodiscard]] PoolShard& slot_for(std::size_t global_shard) const;
+  /// The single slot of a 1-slot engine; throws when sharded surface must
+  /// be used instead.
+  [[nodiscard]] PoolShard& sole_slot(const char* what) const;
 
-  /// One cached fitted model: the epoch it answers plus the (possibly still
-  /// in-flight) fit. Keys are (job '\0' model-params); append_records leaves
-  /// entries in place so a later epoch's fit can extend them.
-  struct CacheEntry {
-    std::uint64_t epoch = 0;
-    ModelFuture future;
-  };
+  /// Canonically-ordered gather across the given owned-slot views:
+  /// all rows sorted by (nonce, seq), truncated to `limit` (0 = all).
+  [[nodiscard]] static data::Dataset gather_canonical(
+      const std::vector<PoolShard::View>& views, std::size_t limit);
 
-  /// Fitted model for (spec, resolved params) serving `view` — from cache
-  /// when current, extended incrementally from an earlier epoch's model when
-  /// possible, freshly trained otherwise.
-  std::shared_ptr<const ml::Classifier> model_for(const JobSpec& spec,
-                                                  const JobParams& resolved,
-                                                  const PoolView& view, bool& cached,
-                                                  bool& incremental);
-
-  /// Row count the pool had at `epoch`, if `epoch` belongs to the current
-  /// set_pool generation (false otherwise — lineage severed).
-  [[nodiscard]] bool rows_at_epoch(std::uint64_t epoch, std::size_t& rows) const;
+  /// Multi-shard serving: exact merge when the spec declares one, canonical
+  /// gather + flat execution otherwise.
+  MiningResponse run_sharded(const JobSpec& spec, const JobParams& resolved);
 
   MiningEngineOptions opts_;
   JobRegistry registry_;
   ThreadPool pool_threads_;
 
-  mutable Mutex pool_mutex_;  ///< guards pool_, pool_epoch_, epoch_rows_
-  /// Serializes set_pool/append_records; held around (never inside)
-  /// pool_mutex_ so mutators can build the grown pool outside the lock
-  /// serving contends on.
-  Mutex ingest_mutex_ SAP_ACQUIRED_BEFORE(pool_mutex_);
-  std::shared_ptr<const data::Dataset> pool_ SAP_GUARDED_BY(pool_mutex_);
-  std::uint64_t pool_epoch_ SAP_GUARDED_BY(pool_mutex_) = 0;
-  /// Pool size per epoch of the current generation (cleared by set_pool) —
-  /// what lets an incremental refit slice out exactly the appended rows.
-  std::map<std::uint64_t, std::size_t> epoch_rows_ SAP_GUARDED_BY(pool_mutex_);
-
-  mutable Mutex cache_mutex_;
-  /// key: job '\0' model-params
-  std::map<std::string, CacheEntry> cache_ SAP_GUARDED_BY(cache_mutex_);
-  std::atomic<std::size_t> fits_{0};
-  std::atomic<std::size_t> incremental_{0};
-  std::atomic<std::size_t> hits_{0};
+  std::vector<std::size_t> owned_;                    ///< sorted global ids
+  std::vector<std::unique_ptr<PoolShard>> slots_;     ///< parallel to owned_
 };
 
 }  // namespace sap::proto

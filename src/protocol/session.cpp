@@ -51,7 +51,11 @@ void SapSession::validate(const std::vector<data::Dataset>& provider_data,
 SapSession::SapSession(std::vector<data::Dataset> provider_data, SapOptions opts,
                        TransportFactory transport_factory)
     : opts_(opts),
-      engine_({.threads = opts.mining_threads, .cache_models = opts.cache_models}) {
+      engine_({.threads = opts.mining_threads,
+               .cache_models = opts.cache_models,
+               .shards = 1,
+               .layout = proto::ShardLayout::kHashMod,
+               .owned = {}}) {
   validate(provider_data, opts_);
   dims_ = provider_data.front().dims();
 

@@ -63,6 +63,7 @@
 #include "protocol/threaded_transport.hpp"
 #include "protocol/transport.hpp"
 
+#include "net/cluster.hpp"
 #include "net/frame.hpp"
 #include "net/remote.hpp"
 #include "net/socket.hpp"

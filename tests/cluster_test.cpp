@@ -1,0 +1,393 @@
+// Sharded-cluster tests (net/cluster.hpp + the sharded MiningEngine):
+//
+//   * engine layer: every job's report is BIT-IDENTICAL across shard counts
+//     {1, 2, 4} and both hash layouts — from a segment install and again
+//     after interleaved per-nonce appends (the exact-merge contract and the
+//     gather fallback both preserve the canonical (nonce, seq) order);
+//   * router layer: a two-miner cluster's scatter-gather responses equal a
+//     flat engine over the union of the shard snapshots, contributions
+//     hash-route to the owning miner (kNotOwner never reaches the client);
+//   * failover: a dead primary is routed around (zero failed requests), a
+//     replica BELOW the router's epoch floor is refused as stale rather
+//     than served, and recovery through the surviving replica resumes at
+//     the floor;
+//   * typed refusals: kBadRequest is definitive — no replica failover is
+//     burned probing other owners.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "data/normalize.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "net/cluster.hpp"
+#include "net/remote.hpp"
+#include "protocol/mining_engine.hpp"
+#include "protocol/party_logic.hpp"
+
+namespace {
+
+using sap::data::Dataset;
+using sap::rng::Engine;
+namespace net = sap::net;
+namespace proto = sap::proto;
+
+// ---- engine layer --------------------------------------------------------
+
+/// A normalized pool cut into per-nonce segments (distinct nonces, canonical
+/// ascending order — what unify_pool hands the daemon).
+std::vector<proto::PoolSegment> make_segments(const Dataset& pool,
+                                              const std::vector<std::uint64_t>& nonces) {
+  std::vector<proto::PoolSegment> segments;
+  const std::size_t per = pool.size() / nonces.size();
+  for (std::size_t i = 0; i < nonces.size(); ++i) {
+    const std::size_t hi = (i + 1 == nonces.size()) ? pool.size() : (i + 1) * per;
+    segments.push_back({nonces[i], pool.slice(i * per, hi)});
+  }
+  return segments;
+}
+
+Dataset normalized_pool(const std::string& name, std::uint64_t seed) {
+  const Dataset raw = sap::data::make_uci(name, seed);
+  sap::data::MinMaxNormalizer norm;
+  norm.fit(raw.features());
+  return {raw.name(), norm.transform(raw.features()), raw.labels()};
+}
+
+proto::MiningEngine make_engine(std::size_t shards, proto::ShardLayout layout) {
+  return proto::MiningEngine({.threads = 0,
+                              .cache_models = true,
+                              .shards = shards,
+                              .layout = layout,
+                              .owned = {}});
+}
+
+const char* const kAllJobs[] = {"record-count",      "class-histogram",
+                                "nb-train-accuracy", "knn-train-accuracy",
+                                "svm-train-accuracy", "perceptron-train-accuracy"};
+
+proto::JobParams job_params(const std::string& job) {
+  proto::JobParams params;
+  // Cap the eval prefix so the O(n^2) scorers stay cheap; the cap must be
+  // identical flat vs sharded for the reports to be comparable at all.
+  if (job.find("train-accuracy") != std::string::npos) params["eval-records"] = 48.0;
+  return params;
+}
+
+TEST(ShardedEngine, ReportsBitIdenticalAcrossShardCountsAndLayouts) {
+  const Dataset pool = normalized_pool("Iris", 7001);
+  // Nonces chosen ascending with no structure the hash could favor.
+  const std::vector<std::uint64_t> nonces = {11, 5021, 90210, 777001, 900000017};
+  const auto segments = make_segments(pool, nonces);
+
+  auto reference = make_engine(1, proto::ShardLayout::kHashMod);
+  reference.set_pool_segments(segments);
+  ASSERT_EQ(reference.pool_epoch(), 1u);
+
+  for (const std::size_t shards : {2u, 4u}) {
+    for (const auto layout : {proto::ShardLayout::kHashMod, proto::ShardLayout::kHashRange}) {
+      auto engine = make_engine(shards, layout);
+      engine.set_pool_segments(segments);
+      EXPECT_EQ(engine.pool_epoch(), 1u);
+      for (const char* job : kAllJobs) {
+        const auto want = reference.run({job, job_params(job)});
+        const auto got = engine.run({job, job_params(job)});
+        EXPECT_EQ(got.values, want.values)
+            << job << " diverged at " << shards << " shards, layout "
+            << static_cast<int>(layout);
+      }
+    }
+  }
+}
+
+/// Rows of `a` followed by rows of `b` (labels too).
+Dataset concat(const Dataset& a, const Dataset& b) {
+  sap::linalg::Matrix features(a.size() + b.size(), a.dims(), 0.0);
+  std::vector<int> labels;
+  labels.reserve(a.size() + b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto rec = a.record(i);
+    std::copy(rec.begin(), rec.end(), features.row(i).begin());
+    labels.push_back(a.label(i));
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const auto rec = b.record(i);
+    std::copy(rec.begin(), rec.end(), features.row(a.size() + i).begin());
+    labels.push_back(b.label(i));
+  }
+  return {a.name(), std::move(features), std::move(labels)};
+}
+
+TEST(ShardedEngine, ReportsBitIdenticalAfterInterleavedAppends) {
+  const Dataset pool = normalized_pool("Iris", 7002);
+  const std::vector<std::uint64_t> nonces = {401, 63029, 5500001};
+  const auto segments = make_segments(pool.slice(0, 120), nonces);
+  const Dataset tail = pool.slice(120, pool.size());
+
+  // The contract: sharded serving is bit-identical to CONCATENATED-POOL
+  // training in canonical (nonce, seq) order — so the reference is a flat
+  // engine over the final per-nonce segments, while the sharded engines
+  // receive the same batches as interleaved appends (two different global
+  // arrival orders).
+  std::vector<std::pair<std::uint64_t, Dataset>> appends;
+  for (std::size_t b = 0; b < 6; ++b) {
+    const std::size_t at = b * 5;
+    appends.emplace_back(nonces[b % nonces.size()], tail.slice(at, at + 5));
+  }
+  auto final_segments = segments;
+  for (auto& segment : final_segments)
+    for (const auto& [nonce, batch] : appends)
+      if (nonce == segment.nonce) segment.rows = concat(segment.rows, batch);
+  auto reference = make_engine(1, proto::ShardLayout::kHashMod);
+  reference.set_pool_segments(final_segments);
+
+  for (const std::size_t shards : {2u, 4u}) {
+    auto sharded = make_engine(shards, proto::ShardLayout::kHashMod);
+    sharded.set_pool_segments(segments);
+    if (shards == 2) {  // forward interleaving
+      for (const auto& [nonce, batch] : appends) (void)sharded.append_records(nonce, batch);
+    } else {  // reversed across nonces, per-nonce order preserved
+      for (std::size_t i = nonces.size(); i-- > 0;)
+        for (const auto& [nonce, batch] : appends)
+          if (nonce == nonces[i]) (void)sharded.append_records(nonce, batch);
+    }
+    for (const char* job : kAllJobs) {
+      const auto want = reference.run({job, job_params(job)});
+      const auto got = sharded.run({job, job_params(job)});
+      EXPECT_EQ(got.values, want.values)
+          << job << " diverged after appends at " << shards << " shards";
+    }
+  }
+}
+
+// ---- router layer --------------------------------------------------------
+
+/// One in-process cluster member: a MinerDaemon plus its k exchange parties.
+/// Party 0 holds the daemon open until release() — releasing it ends the
+/// daemon run loop and STOPS the reactor, which is how the failover tests
+/// take a miner down without process machinery.
+struct Member {
+  std::unique_ptr<net::MinerDaemon> daemon;
+  std::future<net::MinerDaemon::Summary> done;
+  std::vector<std::thread> parties;
+  std::promise<void> release;
+
+  void start(const std::vector<Dataset>& shards, const proto::SapOptions& sap_opts,
+             std::uint64_t seed, net::MinerDaemonOptions opts) {
+    const std::size_t k = shards.size();
+    opts.parties = k;
+    opts.seed = seed;
+    opts.reactor_loops = 2;
+    opts.reactor_compute_threads = 2;
+    daemon = std::make_unique<net::MinerDaemon>(opts);
+    done = std::async(std::launch::async, [this] { return daemon->run(); });
+    std::promise<void> exchanged;
+    std::shared_future<void> released(release.get_future());
+    for (std::size_t i = 0; i < k; ++i) {
+      parties.emplace_back([this, &shards, &sap_opts, seed, k, i, released,
+                            &exchanged] {
+        net::PartyClientOptions popts;
+        popts.connect = daemon->local_addr();
+        popts.index = i;
+        popts.parties = k;
+        popts.sap = sap_opts;
+        net::PartyClient party(shards[i], popts);
+        (void)party.run_exchange();
+        if (i == 0) {
+          exchanged.set_value();
+          released.wait();
+        }
+        party.finish();
+      });
+    }
+    exchanged.get_future().wait();
+  }
+
+  net::MinerDaemon::Summary stop() {
+    release.set_value();
+    for (auto& t : parties) t.join();
+    return done.get();
+  }
+};
+
+struct Cluster {
+  Dataset pool;
+  std::vector<Dataset> shards;
+  proto::SapOptions sap_opts;
+  std::uint64_t seed;
+  std::size_t k;
+
+  explicit Cluster(std::uint64_t seed_in, std::size_t k_in = 3) : seed(seed_in), k(k_in) {
+    pool = normalized_pool("Iris", seed);
+    Engine shard_eng(seed ^ 0xBEEF);
+    sap::data::PartitionOptions popts;
+    shards = sap::data::partition(pool.slice(0, 100), k, popts, shard_eng);
+    sap_opts = proto::SapOptions::fast();
+    sap_opts.seed = seed;
+    sap_opts.compute_satisfaction = false;
+  }
+
+  /// Party 0's contribution wires (the adaptor the exchange installed
+  /// accepts them), batches drawn from the held-back pool tail.
+  std::vector<std::vector<double>> wires(std::size_t count) const {
+    const auto seeds = proto::logic::derive_session_seeds(seed, k);
+    Engine eng = seeds.provider_eng[0];
+    const auto local = proto::logic::optimize_local(shards[0].features_T(),
+                                                    shards[0].dims(), sap_opts, eng);
+    std::vector<std::vector<double>> out;
+    for (std::size_t b = 0; b < count; ++b) {
+      const Dataset batch = pool.slice(100 + b * 10, 110 + b * 10);
+      const auto y = local.g.apply(batch.features_T(), eng);
+      out.push_back(proto::encode_contribution(local.nonce, y, batch.labels()));
+    }
+    return out;
+  }
+};
+
+/// Flat canonical pool from the union of every member's owned shard views —
+/// the ground truth a cluster response must match bit for bit.
+Dataset union_pool(const std::vector<Member*>& members) {
+  struct Row {
+    proto::PoolKey key;
+    const proto::ShardSnapshot* snap;
+    std::size_t row;
+  };
+  std::vector<proto::PoolShard::View> views;
+  std::vector<Row> rows;
+  for (const Member* m : members) {
+    for (const std::size_t g : m->daemon->engine().owned_shards()) {
+      views.push_back(m->daemon->engine().shard_view(g));
+      const auto& snap = *views.back().snap;
+      for (std::size_t i = 0; i < snap.keys.size(); ++i)
+        rows.push_back({snap.keys[i], &snap, i});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.key < b.key; });
+  const std::size_t dims = rows.empty() ? 0 : rows.front().snap->rows.dims();
+  sap::linalg::Matrix features(rows.size(), dims, 0.0);
+  std::vector<int> labels(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto rec = rows[i].snap->rows.record(rows[i].row);
+    std::copy(rec.begin(), rec.end(), features.row(i).begin());
+    labels[i] = rows[i].snap->rows.label(rows[i].row);
+  }
+  return {"union", std::move(features), std::move(labels)};
+}
+
+TEST(ShardRouter, TwoMinerClusterMatchesFlatEngineOverUnionPool) {
+  Cluster cluster(5151);
+  Member a, b;
+  net::MinerDaemonOptions da;
+  da.shards = 2;
+  da.owned_shards = {0};
+  Member* members[] = {&a, &b};
+  net::MinerDaemonOptions db = da;
+  db.owned_shards = {1};
+  a.start(cluster.shards, cluster.sap_opts, cluster.seed, da);
+  b.start(cluster.shards, cluster.sap_opts, cluster.seed, db);
+
+  net::ShardRouterOptions ropts;
+  ropts.miners = {a.daemon->reactor_addr(), b.daemon->reactor_addr()};
+  ropts.replicas = 1;
+  ropts.seed = cluster.seed;
+  ropts.parties = cluster.k;
+  net::ShardRouter router(ropts);
+
+  // Contributions hash-route to whichever miner owns the nonce's shard;
+  // the client never sees a kNotOwner bounce.
+  const auto wires = cluster.wires(2);
+  for (const auto& wire : wires) {
+    const auto receipt = router.contribute_wire(wire);
+    EXPECT_GE(receipt.pool_epoch, 2u);
+  }
+  EXPECT_EQ(router.failovers(), 0u);
+
+  // Exact-merge jobs, gather-fallback jobs, and the no-params counters all
+  // equal a flat engine over the union of the two miners' shard snapshots.
+  auto flat = make_engine(1, proto::ShardLayout::kHashMod);
+  flat.set_pool(union_pool({members[0], members[1]}));
+  for (const char* job : kAllJobs) {
+    const auto want = flat.run({job, job_params(job)});
+    const auto got = router.mine_named(job, job_params(job));
+    EXPECT_EQ(got.values, want.values) << job << " diverged through the router";
+  }
+
+  // kBadRequest is definitive: one contact, no replica failover burned.
+  const std::size_t failovers_before = router.failovers();
+  try {
+    (void)router.mine_named("no-such-job");
+    ADD_FAILURE() << "expected net::ServeError for an unknown job";
+  } catch (const net::ServeError& e) {
+    EXPECT_EQ(e.code(), proto::ServeErrorCode::kBadRequest);
+  }
+  EXPECT_EQ(router.failovers(), failovers_before);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(ShardRouter, FailoverServesReplicaAndEpochFloorRefusesStaleReads) {
+  Cluster cluster(6262);
+  // One shard, two owners: miner A primary, miner B replica — both install
+  // the identical exchange pool and both accept routed contributions.
+  Member a, b;
+  net::MinerDaemonOptions opts;
+  opts.shards = 1;
+  a.start(cluster.shards, cluster.sap_opts, cluster.seed, opts);
+  b.start(cluster.shards, cluster.sap_opts, cluster.seed, opts);
+
+  net::ShardRouterOptions ropts;
+  ropts.miners = {a.daemon->reactor_addr(), b.daemon->reactor_addr()};
+  ropts.shards = 1;
+  ropts.replicas = 2;
+  ropts.seed = cluster.seed;
+  ropts.parties = cluster.k;
+  net::ShardRouter router(ropts);
+
+  const auto wires = cluster.wires(3);
+  // Routed contribution lands on BOTH owners (that is what keeps the
+  // replica promotable); floor = the acked epoch 2.
+  (void)router.contribute_wire(wires[0]);
+  EXPECT_EQ(router.epoch_floors()[0], 2u);
+  const auto served = router.mine_named("nb-train-accuracy");
+  EXPECT_EQ(served.pool_epoch, 2u);
+
+  // A contribution that bypasses the router (straight to the primary)
+  // leaves the replica one epoch behind; serving from the primary raises
+  // the router's floor past the replica.
+  {
+    net::ServeClient direct(a.daemon->reactor_addr(), cluster.seed, cluster.k);
+    (void)direct.contribute_wire(wires[1]);
+    direct.bye();
+  }
+  EXPECT_EQ(router.mine_named("nb-train-accuracy").pool_epoch, 3u);
+  EXPECT_EQ(router.epoch_floors()[0], 3u);
+
+  // Kill the primary: the replica is BELOW the floor, so failover must
+  // refuse (stale read) rather than silently serve the older pool.
+  a.stop();
+  try {
+    (void)router.mine_named("nb-train-accuracy");
+    ADD_FAILURE() << "expected ServeError{kUnavailable} for a stale replica";
+  } catch (const net::ServeError& e) {
+    EXPECT_EQ(e.code(), proto::ServeErrorCode::kUnavailable);
+  }
+  EXPECT_GE(router.failovers(), 1u);
+
+  // Recovery: a routed contribution reaches the surviving replica, lifting
+  // it to the floor — reads resume with ZERO failed requests.
+  const auto receipt = router.contribute_wire(wires[2]);
+  EXPECT_EQ(receipt.pool_epoch, 3u);
+  const auto after = router.mine_named("nb-train-accuracy");
+  EXPECT_EQ(after.pool_epoch, 3u);
+  EXPECT_FALSE(after.values.empty());
+
+  b.stop();
+}
+
+}  // namespace

@@ -35,7 +35,11 @@ Dataset normalized_pool(const std::string& name, std::uint64_t seed) {
 
 std::unique_ptr<proto::MiningEngine> make_engine(std::size_t threads, bool cache = true) {
   auto engine = std::make_unique<proto::MiningEngine>(
-      proto::MiningEngineOptions{.threads = threads, .cache_models = cache});
+      proto::MiningEngineOptions{.threads = threads,
+                                 .cache_models = cache,
+                                 .shards = 1,
+                                 .layout = proto::ShardLayout::kHashMod,
+                                 .owned = {}});
   engine->set_pool(normalized_pool("Iris", 42));
   return engine;
 }
@@ -412,7 +416,11 @@ TEST(LivePoolTest, BatchReportsBitIdenticalAcrossThreadCountsWithInterleavedAppe
   const Dataset pool = normalized_pool("Iris", 42);
   const auto requests = mixed_requests(40);
   const auto scenario = [&](std::size_t threads) {
-    proto::MiningEngine engine({.threads = threads});
+    proto::MiningEngine engine({.threads = threads,
+                                .cache_models = true,
+                                .shards = 1,
+                                .layout = proto::ShardLayout::kHashMod,
+                                .owned = {}});
     engine.set_pool(pool.slice(0, 100));
     std::vector<proto::MiningResponse> all;
     for (const std::size_t step : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {

@@ -1,0 +1,9 @@
+// Fixture: R2-conforming shard-merge helper — on the merge path (it names
+// merge_partials), but every per-shard partial lands in an ordered std::map,
+// so the merged report cannot depend on hash order. Lint input only.
+#include <map>
+#include <vector>
+
+std::map<int, std::vector<double>> partials_by_shard;
+
+std::vector<double> merge_partials(const std::vector<std::vector<double>>& parts);

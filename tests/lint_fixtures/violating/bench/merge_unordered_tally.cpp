@@ -1,0 +1,12 @@
+// Fixture: R2/determinism on the shard-merge path OUTSIDE src/protocol and
+// src/net — the file names ShardRouter in code, so the strict unordered ban
+// applies to it wherever it lives. Lint input only.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sap::net { class ShardRouter; }
+
+std::vector<double> gather_reports(sap::net::ShardRouter& router);
+
+std::unordered_map<int, std::vector<double>> partial_cache;  // line 12: R2

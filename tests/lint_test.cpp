@@ -137,6 +137,21 @@ TEST(SapLint, R2PermitsLookupsAndSortedSnapshots) {
   EXPECT_EQ(run.exit, 0) << run.output;
 }
 
+TEST(SapLint, R2BansUnorderedContainersOnShardMergePaths) {
+  // Outside src/protocol and src/net, but the file references ShardRouter —
+  // the cluster extension applies the strict ban to the whole file.
+  const std::string file = "bench/merge_unordered_tally.cpp";
+  const LintRun run = lint("violating", file);
+  EXPECT_EQ(run.exit, 1) << run.output;
+  EXPECT_EQ(run.diagnostics.size(), 1u) << run.output;
+  EXPECT_TRUE(has_diag(run, file, 12, "R2/determinism")) << run.output;
+}
+
+TEST(SapLint, R2PermitsOrderedContainersOnShardMergePaths) {
+  const LintRun run = lint("conforming", "bench/merge_sorted_tally.cpp");
+  EXPECT_EQ(run.exit, 0) << run.output;
+}
+
 // ---- R3: codec safety ----------------------------------------------------
 
 TEST(SapLint, R3FlagsByteReinterpretationOutsideCodec) {

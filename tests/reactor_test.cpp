@@ -401,8 +401,18 @@ TEST(ReactorDaemon, FrontDoorsServeBitIdenticalValues) {
   EXPECT_EQ(door_epoch1.values, direct_epoch1.values);
   EXPECT_EQ(hub_epoch1.pool_epoch, 1u);
 
-  // An unknown job is refused (empty values), not an error/disconnect.
-  EXPECT_TRUE(door.mine_named("no-such-job").values.empty());
+  // An unknown job is a TYPED refusal — kServeError{kBadRequest}, raised
+  // client-side as net::ServeError — not a disconnect, and not the old
+  // silent empty-values response a client could not tell from a jobless
+  // report. kBadRequest is definitive: a cluster router must not burn a
+  // replica failover on it.
+  try {
+    (void)door.mine_named("no-such-job");
+    ADD_FAILURE() << "expected net::ServeError for an unknown job";
+  } catch (const net::ServeError& e) {
+    EXPECT_EQ(e.code(), proto::ServeErrorCode::kBadRequest);
+    EXPECT_NE(std::string(e.what()).find("no-such-job"), std::string::npos);
+  }
 
   // Contribute THROUGH THE REACTOR: replicate party 0's side of the math
   // (same derived engine, same LocalOptimize, perturb with its G_0) so the

@@ -38,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,10 +67,24 @@ const char* kUsage =
     "  sap_cli serve --listen HOST:PORT --parties K [--seed S=1]\n"
     "          [--threads K=0] [--no-cache] [--deadline-ms N=30000]\n"
     "          [--reactor-loops N=0] [--reactor-listen HOST:PORT]\n"
+    "          [--shards N=1 --shard-index I] [--replicas R=1]\n"
+    "          [--shard-layout mod|range]\n"
     "          (miner daemon: port 0 = ephemeral, the bound port is printed;\n"
     "           --reactor-loops > 0 opens the epoll serving front door on\n"
     "           --reactor-listen with N sharded event loops — C10k serving\n"
-    "           for clients beyond the K exchange parties, DESIGN.md \xc2\xa7""10)\n"
+    "           for clients beyond the K exchange parties, DESIGN.md \xc2\xa7""10;\n"
+    "           --shards N > 1 makes this daemon cluster member I of N: it\n"
+    "           installs/serves only the nonce-hash shards it owns — shard I\n"
+    "           as primary plus the R-1 preceding shards as replicas,\n"
+    "           DESIGN.md \xc2\xa7""11)\n"
+    "  sap_cli router --miners HOST:PORT,HOST:PORT,... --parties K\n"
+    "          [--seed S=1] [--listen HOST:PORT] [--shards N=miners]\n"
+    "          [--replicas R=1] [--shard-layout mod|range]\n"
+    "          [--serve-ms N=60000]\n"
+    "          (cluster front door: hash-routes contributions to owning\n"
+    "           miners, scatter-gathers mining requests, merges exactly,\n"
+    "           fails reads over to replicas — serves for --serve-ms then\n"
+    "           exits with stats)\n"
     "  sap_cli party <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          --connect HOST:PORT --index I [--batches N=4]\n"
     "          [--batch-records M=16] [--job name[:k=v,...]]\n"
@@ -456,12 +471,31 @@ int cmd_serve_daemon(int argc, char** argv) {
   std::string reactor_listen_text = "127.0.0.1:0";
   std::uint64_t parties = 0, seed = 1, threads = 0, deadline_ms = 30000;
   std::uint64_t reactor_loops = 0;
+  std::uint64_t shards = 1, shard_index = 0, replicas = 1;
+  bool have_shard_index = false;
+  proto::ShardLayout layout = proto::ShardLayout::kHashMod;
   bool cache = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--listen") {
       if (++i >= argc) return usage_error("--listen needs HOST:PORT");
       listen_text = argv[i];
+    } else if (arg == "--shards") {
+      if (++i >= argc || !parse_u64(argv[i], shards) || shards == 0 || shards > 4096)
+        return usage_error("--shards needs a count in [1, 4096]");
+    } else if (arg == "--shard-index") {
+      if (++i >= argc || !parse_u64(argv[i], shard_index))
+        return usage_error("--shard-index needs an index");
+      have_shard_index = true;
+    } else if (arg == "--replicas") {
+      if (++i >= argc || !parse_u64(argv[i], replicas) || replicas == 0)
+        return usage_error("--replicas needs a count >= 1");
+    } else if (arg == "--shard-layout") {
+      if (++i >= argc) return usage_error("--shard-layout needs `mod` or `range`");
+      const std::string value = argv[i];
+      if (value == "mod") layout = proto::ShardLayout::kHashMod;
+      else if (value == "range") layout = proto::ShardLayout::kHashRange;
+      else return usage_error("unknown shard layout (use `mod` or `range`)");
     } else if (arg == "--reactor-loops") {
       if (++i >= argc || !parse_u64(argv[i], reactor_loops) || reactor_loops > 64)
         return usage_error("--reactor-loops needs a count in [0, 64]");
@@ -487,6 +521,10 @@ int cmd_serve_daemon(int argc, char** argv) {
     }
   }
   if (parties < 3) return usage_error("daemon mode needs --parties >= 3");
+  if (shards > 1 && !have_shard_index)
+    return usage_error("--shards > 1 needs --shard-index (this miner's slot)");
+  if (shard_index >= shards) return usage_error("--shard-index must be < --shards");
+  if (replicas > shards) return usage_error("--replicas must be <= --shards");
 
   net::MinerDaemonOptions opts;
   try {
@@ -499,6 +537,17 @@ int cmd_serve_daemon(int argc, char** argv) {
   opts.mining_threads = threads;
   opts.cache_models = cache;
   opts.tcp.receive_timeout_ms = static_cast<int>(deadline_ms);
+  opts.shards = shards;
+  opts.shard_layout = layout;
+  if (shards > 1) {
+    // Miner I owns shard I (primary) plus replica copies of the preceding
+    // replicas-1 shards — matching ShardRouter's owner j of shard g being
+    // miner (g + j) % N in the one-miner-per-shard cluster.
+    std::set<std::size_t> owned;
+    for (std::uint64_t j = 0; j < replicas; ++j)
+      owned.insert(static_cast<std::size_t>((shard_index + shards - j) % shards));
+    opts.owned_shards.assign(owned.begin(), owned.end());
+  }
   opts.reactor_loops = reactor_loops;
   try {
     opts.reactor_listen = net::SocketAddr::parse(reactor_listen_text);
@@ -515,6 +564,15 @@ int cmd_serve_daemon(int argc, char** argv) {
               daemon.local_addr().to_string().c_str(),
               static_cast<unsigned long long>(parties),
               static_cast<unsigned long long>(seed));
+  if (shards > 1) {
+    std::string owned;
+    for (const auto g : opts.owned_shards) owned += " " + std::to_string(g);
+    std::printf("cluster member: shard %llu of %llu (%s layout), owns{%s }\n",
+                static_cast<unsigned long long>(shard_index),
+                static_cast<unsigned long long>(shards),
+                layout == proto::ShardLayout::kHashMod ? "mod" : "range",
+                owned.c_str());
+  }
   // Serving clients parse this one — it must come AFTER the hub line so
   // scripts reading only the first line keep working.
   if (reactor_loops > 0) {
@@ -526,11 +584,15 @@ int cmd_serve_daemon(int argc, char** argv) {
 
   const auto summary = daemon.run();
   const auto stats = daemon.engine().cache_stats();
+  // Sharded daemons have no single flat pool: their summary digest already
+  // IS the commutative multiset combine over owned shards.
+  std::uint64_t multiset = summary.pool_digest;
+  if (shards <= 1)
+    multiset = net::dataset_multiset_digest(*daemon.engine().pool_view().data);
   std::printf("served: %zu records at epoch %llu, digest %llu, multiset %llu\n",
               summary.pool_records, static_cast<unsigned long long>(summary.pool_epoch),
               static_cast<unsigned long long>(summary.pool_digest),
-              static_cast<unsigned long long>(
-                  net::dataset_multiset_digest(*daemon.engine().pool_view().data)));
+              static_cast<unsigned long long>(multiset));
   std::printf("contributions: %zu, requests: %zu, fits: %zu full, %zu incremental, "
               "%zu cache hits\n",
               summary.contributions, summary.requests_served, stats.fits, stats.incremental,
@@ -541,6 +603,90 @@ int cmd_serve_daemon(int argc, char** argv) {
                 "%zu evicted idle, %zu shed\n",
                 rs.accepted, rs.requests, rs.responses, rs.evicted_idle, rs.shed);
   }
+  return 0;
+}
+
+/// The cluster front door: a ShardRouter behind a reactor, hash-routing
+/// contributions and scatter-gathering mining requests across miners.
+int cmd_router(int argc, char** argv) {
+  std::string miners_text, listen_text = "127.0.0.1:0";
+  std::uint64_t parties = 0, seed = 1, shards = 0, replicas = 1, serve_ms = 60000;
+  proto::ShardLayout layout = proto::ShardLayout::kHashMod;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--miners") {
+      if (++i >= argc) return usage_error("--miners needs HOST:PORT,HOST:PORT,...");
+      miners_text = argv[i];
+    } else if (arg == "--listen") {
+      if (++i >= argc) return usage_error("--listen needs HOST:PORT");
+      listen_text = argv[i];
+    } else if (arg == "--parties") {
+      if (++i >= argc || !parse_u64(argv[i], parties))
+        return usage_error("--parties needs a count");
+    } else if (arg == "--seed") {
+      if (++i >= argc || !parse_u64(argv[i], seed)) return usage_error("bad seed");
+    } else if (arg == "--shards") {
+      if (++i >= argc || !parse_u64(argv[i], shards) || shards > 4096)
+        return usage_error("--shards needs a count in [0, 4096] (0 = one per miner)");
+    } else if (arg == "--replicas") {
+      if (++i >= argc || !parse_u64(argv[i], replicas) || replicas == 0)
+        return usage_error("--replicas needs a count >= 1");
+    } else if (arg == "--shard-layout") {
+      if (++i >= argc) return usage_error("--shard-layout needs `mod` or `range`");
+      const std::string value = argv[i];
+      if (value == "mod") layout = proto::ShardLayout::kHashMod;
+      else if (value == "range") layout = proto::ShardLayout::kHashRange;
+      else return usage_error("unknown shard layout (use `mod` or `range`)");
+    } else if (arg == "--serve-ms") {
+      if (++i >= argc || !parse_u64(argv[i], serve_ms) || serve_ms == 0 ||
+          serve_ms > 3600000)
+        return usage_error("--serve-ms needs a duration in (0, 3600000]");
+    } else {
+      return usage_error(("unknown argument " + arg + " for router").c_str());
+    }
+  }
+  if (parties < 3) return usage_error("router needs --parties >= 3");
+  if (miners_text.empty()) return usage_error("router needs --miners");
+
+  net::RouterDaemonOptions opts;
+  try {
+    std::size_t at = 0;
+    while (at <= miners_text.size()) {
+      const auto comma = miners_text.find(',', at);
+      const auto one = miners_text.substr(
+          at, comma == std::string::npos ? std::string::npos : comma - at);
+      if (!one.empty()) opts.router.miners.push_back(net::SocketAddr::parse(one));
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+  } catch (const sap::Error&) {
+    return usage_error("--miners needs HOST:PORT,HOST:PORT,... (IPv4 or localhost)");
+  }
+  if (opts.router.miners.empty()) return usage_error("router needs --miners");
+  if (replicas > opts.router.miners.size())
+    return usage_error("--replicas must be <= miner count");
+  opts.router.shards = shards;
+  opts.router.replicas = replicas;
+  opts.router.layout = layout;
+  opts.router.seed = seed;
+  opts.router.parties = parties;
+  try {
+    opts.reactor.listen = net::SocketAddr::parse(listen_text);
+  } catch (const sap::Error&) {
+    return usage_error("--listen needs HOST:PORT (IPv4 or localhost)");
+  }
+
+  net::RouterDaemon daemon(opts);
+  // Clients parse this line for the bound port (same convention as serve).
+  std::printf("router listening on %s (%zu miners, %zu shards, %llu replicas)\n",
+              daemon.local_addr().to_string().c_str(), opts.router.miners.size(),
+              daemon.router().shards(), static_cast<unsigned long long>(replicas));
+  std::fflush(stdout);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+  daemon.stop();
+  std::printf("router served %zu requests, %zu failovers\n", daemon.requests_served(),
+              daemon.router().failovers());
   return 0;
 }
 
@@ -964,6 +1110,7 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(argc, argv);
     if (cmd == "protocol") return cmd_protocol(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "router") return cmd_router(argc, argv);
     if (cmd == "party") return cmd_party(argc, argv);
     if (cmd == "contribute") return cmd_contribute(argc, argv);
     if (cmd == "minparties") return cmd_minparties(argc, argv);

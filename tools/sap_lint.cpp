@@ -369,6 +369,16 @@ class Linter {
   void collect_declared_names(const ScannedFile& f) {
     mutexes_.clear();
     unordered_vars_.clear();
+    // Shard-merge adjacency (R2, cluster extension): any file whose CODE
+    // references merge_partials or ShardRouter (substring on purpose —
+    // ShardRouterOptions counts) handles per-shard results whose merge must
+    // be bit-identical across shard counts, so the strict unordered ban
+    // applies wherever the file lives (bench drivers and tools included).
+    merge_adjacent_ = false;
+    for (std::size_t line = 1; line < f.code.size(); ++line)
+      if (f.code[line].find("merge_partials") != std::string::npos ||
+          f.code[line].find("ShardRouter") != std::string::npos)
+        merge_adjacent_ = true;
     static const std::vector<std::string> kMutexTypes = {
         "mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
         "shared_mutex", "Mutex"};
@@ -451,13 +461,21 @@ class Linter {
                         const std::string& code) {
     static const std::vector<std::string> kUnordered = {
         "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
-    if (in_dir(f.path, "src/protocol") || in_dir(f.path, "src/net")) {
+    const bool wire_adjacent =
+        in_dir(f.path, "src/protocol") || in_dir(f.path, "src/net");
+    if (wire_adjacent || merge_adjacent_) {
       for (const std::string& type : kUnordered)
         if (has_word(code, type))
           report(f, line, "R2",
-                 "std::" + type + " in a digest/wire-adjacent subsystem — use an "
-                 "ordered container (or a sorted snapshot) so output never "
-                 "depends on hash order");
+                 "std::" + type +
+                     (wire_adjacent
+                          ? " in a digest/wire-adjacent subsystem — use an "
+                            "ordered container (or a sorted snapshot) so output "
+                            "never depends on hash order"
+                          : " in a file on the shard-merge path (it mentions "
+                            "merge_partials / ShardRouter) — merged reports must "
+                            "be bit-identical across shard counts, so use an "
+                            "ordered container (or a sorted snapshot)"));
       return;
     }
     // Elsewhere: flag range-for over a variable this file declared unordered.
@@ -530,6 +548,7 @@ class Linter {
   std::vector<std::set<std::string>> suppressed_;
   std::set<std::string> mutexes_;
   std::set<std::string> unordered_vars_;
+  bool merge_adjacent_ = false;
 };
 
 // ---- driver --------------------------------------------------------------
