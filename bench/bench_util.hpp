@@ -6,6 +6,7 @@
 // the perf/accuracy trajectory can be tracked across PRs by machines.
 #pragma once
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <ctime>
@@ -21,10 +22,58 @@
 #include "data/normalize.hpp"
 #include "data/partition.hpp"
 #include "data/synthetic.hpp"
+#include "obs/metrics.hpp"
 #include "perturb/geometric.hpp"
 #include "protocol/session.hpp"
 
 namespace sap::bench {
+
+// ---- latency summaries ---------------------------------------------------
+
+/// Percentile summary of a latency sample set, computed through the SAME
+/// log-linear sap::obs::Histogram the serving daemons export over the stats
+/// door — so p50/p95/p99 in BENCH_*.json and in `sap_cli stats` output are
+/// bucket-compatible and directly comparable (DESIGN.md §12). Units follow
+/// the samples (the benches record milliseconds or microseconds and say so
+/// in their column headers).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize raw samples. Histogram::record is gated on obs::enabled(), so
+/// the histogram is fed only after forcing metrics on — a bench measuring
+/// the metrics-off position (obs_overhead) can still summarize its samples.
+inline LatencySummary summarize_latency(const std::vector<double>& samples) {
+  LatencySummary out;
+  if (samples.empty()) return out;
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::Histogram h;
+  for (const double s : samples) h.record(s);
+  obs::set_enabled(was_enabled);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  out.count = snap.count;
+  out.mean = snap.mean();
+  out.p50 = snap.quantile(0.50);
+  out.p95 = snap.quantile(0.95);
+  out.p99 = snap.quantile(0.99);
+  out.max = snap.max;
+  return out;
+}
+
+/// Exact sample median (NOT histogram-quantized) for series where a ~12.5%
+/// bucket width would blur the comparison being made (e.g. speedup ratios
+/// near 1.0). Latency percentiles go through summarize_latency instead.
+inline double exact_median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
 
 /// Normalized copy of a synthetic UCI dataset (min-max to [0,1], as the
 /// paper's pipeline requires before perturbation).

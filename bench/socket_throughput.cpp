@@ -7,7 +7,7 @@
 // responses). A driver child process connects C clients, keeps a small
 // active subset pipelining requests while the rest sit connected — the
 // C10k shape, where almost every connection is idle at any instant — and
-// reports completed requests, wall time, p50/p99 latency and an FNV-1a
+// reports completed requests, wall time, p50/p95/p99 latency and an FNV-1a
 // digest of every served value. Emits BENCH_socket_throughput.json.
 //
 // The driver runs in a CHILD process (re-exec of this binary with
@@ -90,6 +90,7 @@ struct DriveResult {
   std::size_t completed = 0;
   std::int64_t elapsed_us = 0;
   std::int64_t p50_us = 0;
+  std::int64_t p95_us = 0;
   std::int64_t p99_us = 0;
   std::size_t errors = 0;
   std::uint64_t digest = kFnvOffset;
@@ -252,15 +253,18 @@ int drive_main(int argc, char** argv) {
   }
   r.elapsed_us = now_us() - t0;
 
-  std::sort(latencies.begin(), latencies.end());
-  if (!latencies.empty()) {
-    r.p50_us = latencies[latencies.size() / 2];
-    r.p99_us = latencies[(latencies.size() * 99) / 100];
-  }
+  // Same log-linear histogram the daemons export over the stats door, so
+  // the reported percentiles line up with live `sap_cli stats` quantiles.
+  std::vector<double> lat_us(latencies.begin(), latencies.end());
+  const auto summary = sap::bench::summarize_latency(lat_us);
+  r.p50_us = static_cast<std::int64_t>(summary.p50);
+  r.p95_us = static_cast<std::int64_t>(summary.p95);
+  r.p99_us = static_cast<std::int64_t>(summary.p99);
   std::printf("RESULT conns=%zu welcomed=%zu completed=%zu elapsed_us=%lld p50_us=%lld "
-              "p99_us=%lld errors=%zu digest=%llu\n",
+              "p95_us=%lld p99_us=%lld errors=%zu digest=%llu\n",
               r.conns, r.welcomed, r.completed, static_cast<long long>(r.elapsed_us),
-              static_cast<long long>(r.p50_us), static_cast<long long>(r.p99_us), r.errors,
+              static_cast<long long>(r.p50_us), static_cast<long long>(r.p95_us),
+              static_cast<long long>(r.p99_us), r.errors,
               static_cast<unsigned long long>(r.digest));
   return 0;
 }
@@ -286,15 +290,16 @@ DriveResult run_driver(const std::string& self, const net::SocketAddr& addr,
   bool got_result = false;
   char line[512];
   while (std::fgets(line, sizeof line, pipe) != nullptr) {
-    long long elapsed = 0, p50 = 0, p99 = 0;
+    long long elapsed = 0, p50 = 0, p95 = 0, p99 = 0;
     unsigned long long digest = 0;
     if (std::sscanf(line,
                     "RESULT conns=%zu welcomed=%zu completed=%zu elapsed_us=%lld "
-                    "p50_us=%lld p99_us=%lld errors=%zu digest=%llu",
-                    &r.conns, &r.welcomed, &r.completed, &elapsed, &p50, &p99, &r.errors,
-                    &digest) == 8) {
+                    "p50_us=%lld p95_us=%lld p99_us=%lld errors=%zu digest=%llu",
+                    &r.conns, &r.welcomed, &r.completed, &elapsed, &p50, &p95, &p99,
+                    &r.errors, &digest) == 9) {
       r.elapsed_us = elapsed;
       r.p50_us = p50;
+      r.p95_us = p95;
       r.p99_us = p99;
       r.digest = digest;
       got_result = true;
@@ -466,13 +471,13 @@ int main(int argc, char** argv) {
   const auto summary = daemon_future.get();
   (void)summary;
 
-  Table table({"front door", "clients", "active", "requests", "req/s", "p50 us", "p99 us",
-               "errors"});
+  Table table({"front door", "clients", "active", "requests", "req/s", "p50 us", "p95 us",
+               "p99 us", "errors"});
   for (const Run& run : runs) {
     table.add_row({run.door, std::to_string(run.conns), std::to_string(active),
                    std::to_string(run.result.completed), Table::num(req_per_sec(run.result), 1),
-                   std::to_string(run.result.p50_us), std::to_string(run.result.p99_us),
-                   std::to_string(run.result.errors)});
+                   std::to_string(run.result.p50_us), std::to_string(run.result.p95_us),
+                   std::to_string(run.result.p99_us), std::to_string(run.result.errors)});
   }
   sap::bench::emit_table("socket_throughput", table,
                          {.transport = "legacy-hub vs epoll-reactor",

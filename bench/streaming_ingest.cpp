@@ -59,11 +59,6 @@ Dataset timing_pool(std::size_t rows) {
   return {raw.name(), norm.transform(raw.features()), raw.labels()};
 }
 
-double median(std::vector<double> v) {
-  std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
-}
-
 struct TimingOutcome {
   bool ok = true;
   Table table{{"batch", "job", "retrain ms", "incremental ms", "speedup",
@@ -216,8 +211,8 @@ int main(int argc, char** argv) {
   sap::bench::emit_table("streaming_ingest", timing.table,
                          {.transport = "simulated+threaded-local", .threads = 8});
 
-  const double nb_speedup = median(timing.nb_speedups);
-  const double knn_speedup = median(timing.knn_speedups);
+  const double nb_speedup = sap::bench::exact_median(timing.nb_speedups);
+  const double knn_speedup = sap::bench::exact_median(timing.knn_speedups);
   std::printf("\nmedian incremental speedup: nb %.1fx, knn %.1fx (bar: >= 3x)\n",
               nb_speedup, knn_speedup);
   bool ok = timing.ok && nb_speedup >= 3.0 && knn_speedup >= 3.0;

@@ -56,8 +56,7 @@ std::vector<proto::MiningRequest> make_load(std::size_t count) {
 struct RunStats {
   double wall_ms = 0.0;
   double req_per_sec = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
+  sap::bench::LatencySummary latency;  ///< per-request ms (histogram-backed)
   std::size_t fits = 0;
   std::size_t hits = 0;
   std::vector<proto::MiningResponse> responses;
@@ -80,12 +79,7 @@ RunStats serve(const sap::data::Dataset& pool, const std::vector<proto::MiningRe
   std::vector<double> lat;
   lat.reserve(stats.responses.size());
   for (const auto& r : stats.responses) lat.push_back(r.millis);
-  std::sort(lat.begin(), lat.end());
-  const auto pct = [&](double p) {
-    return lat[static_cast<std::size_t>(p * static_cast<double>(lat.size() - 1))];
-  };
-  stats.p50_ms = pct(0.50);
-  stats.p99_ms = pct(0.99);
+  stats.latency = sap::bench::summarize_latency(lat);
   const auto cache_stats = engine.cache_stats();
   stats.fits = cache_stats.fits;
   stats.hits = cache_stats.hits;
@@ -132,13 +126,14 @@ int main(int argc, char** argv) {
   const RunStats cached = serve(pool, load, /*threads=*/8, /*cache=*/true);
   const RunStats serial = serve(pool, load, /*threads=*/0, /*cache=*/true);
 
-  Table table({"mode", "threads", "requests", "wall ms", "req/s", "p50 ms", "p99 ms",
-               "fits", "cache hits"});
+  Table table({"mode", "threads", "requests", "wall ms", "req/s", "p50 ms", "p95 ms",
+               "p99 ms", "fits", "cache hits"});
   const auto add = [&](const char* mode, std::size_t threads, const RunStats& s) {
     table.add_row({mode, std::to_string(threads), std::to_string(requests),
                    Table::num(s.wall_ms, 1), Table::num(s.req_per_sec, 1),
-                   Table::num(s.p50_ms, 3), Table::num(s.p99_ms, 3),
-                   std::to_string(s.fits), std::to_string(s.hits)});
+                   Table::num(s.latency.p50, 3), Table::num(s.latency.p95, 3),
+                   Table::num(s.latency.p99, 3), std::to_string(s.fits),
+                   std::to_string(s.hits)});
   };
   add("retrain-8t", 8, retrain);
   add("cached-8t", 8, cached);

@@ -1,8 +1,22 @@
 #include "common/logging.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+
+#include "common/mutex.hpp"
+
 namespace sap::log {
 namespace {
-Level g_level = Level::kWarn;
+
+std::atomic<Level> g_level{Level::kWarn};
+
+/// Role prefix: written once at daemon startup, read on every line. The
+/// mutex keeps set_role racing write() defined; steady-state reads are one
+/// uncontended lock per emitted line (logging is not a hot path).
+Mutex g_role_mutex;
+std::string g_role SAP_GUARDED_BY(g_role_mutex);  // NOLINT(cert-err58-cpp)
 
 const char* tag(Level lvl) {
   switch (lvl) {
@@ -13,14 +27,59 @@ const char* tag(Level lvl) {
     default: return "?    ";
   }
 }
+
 }  // namespace
 
-Level level() noexcept { return g_level; }
-void set_level(Level lvl) noexcept { g_level = lvl; }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+bool parse_level(const std::string& text, Level& out) noexcept {
+  if (text == "off" || text == "0") {
+    out = Level::kOff;
+  } else if (text == "error" || text == "1") {
+    out = Level::kError;
+  } else if (text == "warn" || text == "2") {
+    out = Level::kWarn;
+  } else if (text == "info" || text == "3") {
+    out = Level::kInfo;
+  } else if (text == "debug" || text == "4") {
+    out = Level::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void set_role(const std::string& role) {
+  MutexLock lk(g_role_mutex);
+  g_role = role;
+}
 
 void write(Level lvl, const std::string& message) {
-  if (static_cast<int>(lvl) > static_cast<int>(g_level) || lvl == Level::kOff) return;
-  std::fprintf(stderr, "[sap %s] %s\n", tag(lvl), message.c_str());
+  if (static_cast<int>(lvl) > static_cast<int>(level()) || lvl == Level::kOff) return;
+  // Assemble the whole line first so it leaves in ONE write(2): concurrent
+  // daemon threads may interleave whole lines, never shear within one.
+  std::string line = "[sap ";
+  line += tag(lvl);
+  {
+    MutexLock lk(g_role_mutex);
+    if (!g_role.empty()) {
+      line += ' ';
+      line += g_role;
+    }
+  }
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stderr gone; nothing sane left to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
 }
 
 }  // namespace sap::log

@@ -1,22 +1,37 @@
-// Minimal leveled logger.
+// Minimal leveled logger, hardened for multi-threaded daemons.
 //
-// The protocol simulator and benches use this to narrate runs; tests set the
-// level to kOff. No global constructor magic: the sink is a plain function
-// pointer defaulting to stderr.
+// The protocol simulator, benches, and daemons use this to narrate runs;
+// tests set the level to kOff. No global constructor magic. Thread-safe:
+// the level is one atomic, and write() assembles the whole line (prefix +
+// message + newline) into one buffer emitted with a single write(2) call,
+// so lines from interleaved daemon threads never shear into each other.
+// Daemons install a role prefix ("miner 0/4", "router") once at startup so
+// multiplexed stderr streams stay attributable.
 #pragma once
 
-#include <cstdio>
 #include <string>
 
 namespace sap::log {
 
 enum class Level { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
 
-/// Global verbosity threshold (messages above it are discarded).
+/// Global verbosity threshold (messages above it are discarded). Atomic:
+/// readable/settable from any thread.
 Level level() noexcept;
 void set_level(Level lvl) noexcept;
 
-/// Emit one line at the given level. Thread-compatible: callers serialize.
+/// Parse a level name ("off"/"error"/"warn"/"info"/"debug", or "0".."4");
+/// false on anything else. The SAP_LOG_LEVEL env override in sap_cli goes
+/// through this.
+bool parse_level(const std::string& text, Level& out) noexcept;
+
+/// Role prefix prepended to every subsequent line (e.g. "miner 2/4",
+/// "router"); empty clears it. Set once at daemon startup, before threads
+/// log concurrently.
+void set_role(const std::string& role);
+
+/// Emit one line at the given level — a single write(2) syscall, safe to
+/// call from any thread concurrently.
 void write(Level lvl, const std::string& message);
 
 inline void error(const std::string& m) { write(Level::kError, m); }

@@ -1,7 +1,11 @@
-// Wall-clock stopwatch used by benches and the protocol cost model.
+// Monotonic stopwatch used by benches, daemons, and the protocol cost
+// model. steady_clock ONLY — stats and stage timings must survive NTP
+// steps (DESIGN.md §12); wall-clock time appears in this tree solely as
+// run metadata (bench_util's utc_timestamp), never in a measured interval.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace sap {
 
@@ -24,5 +28,15 @@ class Stopwatch {
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
 };
+
+/// Steady-clock now in nanoseconds — the cross-thread timestamp format
+/// (frame receive stamps, queue-wait measurement). Comparable only within
+/// one process.
+[[nodiscard]] inline std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace sap

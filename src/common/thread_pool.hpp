@@ -23,13 +23,16 @@
 // pointer, the comment tracks the pointee).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
 
 #include "common/mutex.hpp"
+#include "common/stopwatch.hpp"
 
 namespace sap {
 
@@ -56,6 +59,22 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Execution totals for observability (obs registries export these at
+  /// snapshot time — DESIGN.md §12). Relaxed atomics: racy-exact counts,
+  /// no effect on batch execution or its determinism contract.
+  struct Stats {
+    std::uint64_t batches = 0;   ///< run_indexed calls that executed work
+    std::uint64_t tasks = 0;     ///< indices executed
+    std::uint64_t busy_ns = 0;   ///< cumulative per-task execution time
+    std::uint64_t peak_batch = 0;  ///< largest batch (queue depth high-water)
+  };
+  [[nodiscard]] Stats stats() const noexcept {
+    return {batches_.load(std::memory_order_relaxed),
+            tasks_.load(std::memory_order_relaxed),
+            busy_ns_.load(std::memory_order_relaxed),
+            peak_batch_.load(std::memory_order_relaxed)};
+  }
+
   /// Execute body(0) .. body(count-1), each exactly once, across the workers
   /// (inline when the pool has none); returns after every index has
   /// completed. Rethrows the first body exception once the batch is drained.
@@ -63,14 +82,17 @@ class ThreadPool {
   void run_indexed(std::size_t count, const std::function<void(std::size_t)>& body)
       SAP_EXCLUDES(batch_mutex_, mutex_) {
     if (count == 0) return;
+    note_batch(count);
     if (workers_.empty()) {
       std::exception_ptr error;
       for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t t0 = steady_now_ns();
         try {
           body(i);
         } catch (...) {
           if (!error) error = std::current_exception();
         }
+        note_task(steady_now_ns() - t0);
       }
       if (error) std::rethrow_exception(error);
       return;
@@ -111,18 +133,36 @@ class ThreadPool {
       const std::size_t index = batch->next++;
       lk.unlock();
       std::exception_ptr err;
+      const std::uint64_t t0 = steady_now_ns();
       try {
         (*batch->body)(index);
       } catch (...) {
         err = std::current_exception();
       }
+      note_task(steady_now_ns() - t0);
       lk.lock();
       if (err && !batch->error) batch->error = err;
       if (++batch->completed == batch->count) done_cv_.notify_all();
     }
   }
 
+  void note_batch(std::size_t count) noexcept {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    tasks_.fetch_add(count, std::memory_order_relaxed);
+    std::uint64_t peak = peak_batch_.load(std::memory_order_relaxed);
+    while (peak < count &&
+           !peak_batch_.compare_exchange_weak(peak, count, std::memory_order_relaxed)) {
+    }
+  }
+  void note_task(std::uint64_t ns) noexcept {
+    busy_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
   std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> peak_batch_{0};
   Mutex batch_mutex_ SAP_ACQUIRED_BEFORE(mutex_);  ///< serializes run_indexed callers
   Mutex mutex_;                                    ///< protects batch_/stop_ and Batch state
   CondVar work_cv_;

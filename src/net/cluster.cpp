@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "protocol/mining_engine.hpp"
 
 namespace sap::net {
@@ -20,6 +21,19 @@ ShardRouter::ShardRouter(ShardRouterOptions opts)
               "ShardRouter: replicas must be in [1, miner count]");
   clients_.resize(opts_.miners.size());
   floors_.assign(opts_.shards, 0);
+  hist_fanout_ = &obs_.histogram("router.fanout_ms");
+  ctr_contributions_ = &obs_.counter("router.contributions");
+  ctr_mine_ = &obs_.counter("router.mine_requests");
+  shard_requests_.reserve(opts_.shards);
+  for (std::size_t g = 0; g < opts_.shards; ++g)
+    shard_requests_.push_back(
+        &obs_.counter("router.shard" + std::to_string(g) + ".requests"));
+}
+
+void ShardRouter::set_trace(std::uint64_t id) {
+  trace_ = id;
+  for (auto& client : clients_)
+    if (client) client->set_trace(id);
 }
 
 std::vector<std::size_t> ShardRouter::owners(std::size_t shard) const {
@@ -32,9 +46,11 @@ std::vector<std::size_t> ShardRouter::owners(std::size_t shard) const {
 }
 
 ServeClient& ShardRouter::client_for(std::size_t miner) {
-  if (!clients_[miner])
+  if (!clients_[miner]) {
     clients_[miner] = std::make_unique<ServeClient>(opts_.miners[miner], opts_.seed,
                                                     opts_.parties, opts_.client);
+    clients_[miner]->set_trace(trace_);  // lazy connect mid-request keeps the id
+  }
   return *clients_[miner];
 }
 
@@ -47,6 +63,8 @@ proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wi
               "ShardRouter: malformed contribution nonce");
   const auto nonce = static_cast<std::uint64_t>(wire[0]);
   const auto shard = proto::shard_of_nonce(nonce, opts_.shards, opts_.layout);
+  ctr_contributions_->increment();
+  shard_requests_[shard]->increment();
 
   // Every owner ingests the batch (that is what makes a replica a valid
   // read target after the primary dies); the first live owner's receipt is
@@ -58,7 +76,9 @@ proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wi
   std::string last_error = "no owner attempted";
   for (const auto m : owners(shard)) {
     try {
+      Stopwatch leg;
       const auto ack = client_for(m).contribute_wire(wire);
+      hist_fanout_->record(leg.millis());
       top = std::max(top, ack.pool_epoch);
       if (!have_receipt) {
         receipt = ack;
@@ -89,10 +109,13 @@ proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wi
 proto::DecodedPartialResponse ShardRouter::scatter_partial(
     std::size_t shard, const std::string& job, const proto::JobParams& params,
     const data::Dataset& queries) {
+  shard_requests_[shard]->increment();
   std::string last_error = "no owner attempted";
   for (const auto m : owners(shard)) {
     try {
+      Stopwatch leg;
       auto resp = client_for(m).mine_partial(shard, job, params, queries);
+      hist_fanout_->record(leg.millis());
       if (resp.shard_epoch < floors_[shard]) {
         // Stale replica: it missed an append another owner acked.
         ++failovers_;
@@ -119,10 +142,13 @@ proto::DecodedPartialResponse ShardRouter::scatter_partial(
 
 proto::DecodedPoolSlice ShardRouter::scatter_slice(std::size_t shard,
                                                    std::size_t max_records) {
+  shard_requests_[shard]->increment();
   std::string last_error = "no owner attempted";
   for (const auto m : owners(shard)) {
     try {
+      Stopwatch leg;
       auto resp = client_for(m).pool_slice(shard, max_records);
+      hist_fanout_->record(leg.millis());
       if (resp.shard_epoch < floors_[shard]) {
         ++failovers_;
         last_error = "stale shard epoch " + std::to_string(resp.shard_epoch) +
@@ -190,6 +216,8 @@ ShardRouter::Gathered ShardRouter::gather(std::size_t limit) {
 
 proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
                                                   const proto::JobParams& params) {
+  ctr_mine_->increment();
+  last_merge_ms_ = 0.0;
   if (!registry_.contains(job))
     throw ServeError(proto::ServeErrorCode::kBadRequest, "unknown job: " + job);
   const auto& spec = registry_.find(job);
@@ -224,7 +252,11 @@ proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
     }
     response.pool_epoch =
         watermark == std::numeric_limits<std::uint64_t>::max() ? 0 : watermark;
-    response.values = spec.merge_partials(partials, queries, resolved);
+    {
+      Stopwatch merge_sw;  // the kMerge trace stage: router-side reassembly
+      response.values = spec.merge_partials(partials, queries, resolved);
+      last_merge_ms_ = merge_sw.millis();
+    }
     return response;
   }
 
@@ -254,6 +286,7 @@ proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
   // the wire and the next request may see a different epoch).
   auto gathered = gather(0);
   SAP_REQUIRE(gathered.pool.size() > 0, "ShardRouter: empty pool across shards");
+  Stopwatch merge_sw;  // kMerge: reassembled-pool execution, router-side
   proto::MiningEngine local({.threads = 0,
                              .cache_models = false,
                              .shards = 1,
@@ -261,19 +294,65 @@ proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
                              .owned = {}});
   local.set_pool(std::move(gathered.pool));
   const auto served = local.run({job, params});
+  last_merge_ms_ = merge_sw.millis();
   response.pool_epoch = gathered.watermark;
   response.values = served.values;
   return response;
 }
 
+obs::Snapshot ShardRouter::cluster_stats() {
+  obs::Snapshot total = obs_.snapshot();
+  total.set_counter("router.failovers", failovers_);
+  // Per-shard skew: hottest shard's request count over the mean (1.0 =
+  // perfectly even). Derived at snapshot time from the per-shard counters.
+  std::uint64_t peak = 0;
+  std::uint64_t sum = 0;
+  for (const auto* ctr : shard_requests_) {
+    const auto v = ctr->value();
+    peak = std::max(peak, v);
+    sum += v;
+  }
+  if (sum > 0)
+    total.set_gauge("router.shard_skew",
+                    static_cast<double>(peak) * static_cast<double>(opts_.shards) /
+                        static_cast<double>(sum));
+  std::size_t unreachable = 0;
+  for (std::size_t m = 0; m < opts_.miners.size(); ++m) {
+    try {
+      auto decoded = client_for(m).stats();
+      std::string prefix = "m";
+      prefix += std::to_string(m);
+      prefix += '.';
+      for (auto& g : decoded.snapshot.gauges) g.first = prefix + g.first;
+      decoded.snapshot.normalize();
+      total.merge(decoded.snapshot);
+    } catch (const Error&) {
+      clients_[m].reset();  // dead connection — reconnect on next use
+      ++unreachable;
+    }
+  }
+  total.set_gauge("router.stats_unreachable", static_cast<double>(unreachable));
+  total.normalize();
+  return total;
+}
+
 // ---- RouterDaemon --------------------------------------------------------
 
 RouterDaemon::RouterDaemon(RouterDaemonOptions opts)
-    : opts_(std::move(opts)), router_(opts_.router) {
+    : opts_(std::move(opts)),
+      router_(opts_.router),
+      // A different door salt than the miners' (they salt with the raw
+      // seed), so router-minted and miner-minted ids stay distinguishable.
+      minter_(opts_.router.seed ^ 0xD00Dull) {
   const auto seeds =
       proto::logic::derive_session_seeds(opts_.router.seed, opts_.router.parties);
   secret_ = seeds.session_secret;
   my_id_ = static_cast<proto::PartyId>(opts_.router.parties);
+  {
+    MutexLock lk(mutex_);
+    ctr_refused_ = &router_.metrics().counter("router.refused");
+    opts_.reactor.metrics = &router_.metrics();
+  }
   reactor_ = std::make_unique<Reactor>(
       opts_.reactor, [this](const Frame& frame) { return handle(frame); });
 }
@@ -282,16 +361,34 @@ std::vector<Frame> RouterDaemon::handle(const Frame& frame) {
   std::vector<Frame> out;
   proto::PayloadKind out_kind{};
   std::vector<double> out_wire;
+  // This door mints when the request rode untraced; the id propagates to
+  // every fanned-to miner (ShardRouter::set_trace) and echoes back to the
+  // client, so one id names the whole scatter-gather.
+  const std::uint64_t trace_id = frame.trace != 0 ? frame.trace : minter_.mint();
+  obs::TraceRecord rec;
+  rec.id = trace_id;
+  rec.op = proto::to_string(static_cast<proto::PayloadKind>(frame.payload_kind));
+  bool traced = obs::enabled();
+  const std::uint64_t t_entry = steady_now_ns();
+  if (frame.recv_steady_ns != 0 && t_entry > frame.recv_steady_ns)
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kQueue)] =
+        static_cast<double>(t_entry - frame.recv_steady_ns) / 1e6;
   try {
     const auto payload =
         body_envelope(frame.body)
             .open(proto::detail::derive_link_key(secret_, frame.from, my_id_));
     const auto kind = static_cast<proto::PayloadKind>(frame.payload_kind);
-    served_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t t_decoded = steady_now_ns();
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kDecode)] =
+        static_cast<double>(t_decoded - t_entry) / 1e6;
+    if (kind != proto::PayloadKind::kStatsRequest)
+      served_.fetch_add(1, std::memory_order_relaxed);
+    double merge_ms = 0.0;
     try {
       switch (kind) {
         case proto::PayloadKind::kContribution: {
           MutexLock lk(mutex_);
+          router_.set_trace(trace_id);
           const auto receipt = router_.contribute_wire(payload);
           out_kind = proto::PayloadKind::kContributionAck;
           out_wire = proto::encode_receipt(receipt.pool_epoch, receipt.pool_records);
@@ -300,36 +397,65 @@ std::vector<Frame> RouterDaemon::handle(const Frame& frame) {
         case proto::PayloadKind::kMiningRequest: {
           const auto request = proto::decode_mining_request(std::span(payload));
           MutexLock lk(mutex_);
+          router_.set_trace(trace_id);
           const auto response = router_.mine_named(request.job, request.params);
+          merge_ms = router_.last_merge_ms();
           out_kind = proto::PayloadKind::kMiningResponse;
           out_wire = proto::encode_mining_response(response);
           break;
         }
+        case proto::PayloadKind::kStatsRequest: {
+          // The cluster aggregate: router metrics + every miner's snapshot
+          // (exact counter/histogram merge), with THIS hop's traces. Does
+          // not count toward requests_served_ and records no trace of its
+          // own — measurement must not move what it measures.
+          proto::decode_stats_request(std::span<const double>(payload));
+          traced = false;
+          MutexLock lk(mutex_);
+          router_.set_trace(0);  // the stats fan-out itself rides untraced
+          const auto snap = router_.cluster_stats();
+          out_kind = proto::PayloadKind::kStatsResponse;
+          out_wire = proto::encode_stats_response(snap, traces_.recent(32));
+          break;
+        }
         default:
-          SAP_FAIL("RouterDaemon: the router serves only contributions and "
-                   "mining requests");
+          SAP_FAIL("RouterDaemon: the router serves only contributions, "
+                   "mining requests, and stats");
       }
     } catch (const ServeError& e) {
       // Forward the typed code verbatim — the client's failover logic (if
       // it has one above the router) must see what the cluster saw.
+      ctr_refused_->increment();
       out_kind = proto::PayloadKind::kServeError;
       out_wire = proto::encode_serve_error(e.code(), e.what());
     }
+    const std::uint64_t t_served = steady_now_ns();
+    // The router's "serve" is the downstream fan-out; the router-side
+    // reassembly reports separately as kMerge.
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kMerge)] = merge_ms;
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kServe)] =
+        std::max(0.0, static_cast<double>(t_served - t_decoded) / 1e6 - merge_ms);
     Frame resp;
     resp.type = FrameType::kData;
     resp.payload_kind = static_cast<std::uint8_t>(out_kind);
     resp.from = my_id_;
     resp.to = frame.from;
+    resp.trace = trace_id;
     resp.body = envelope_body(proto::EncryptedEnvelope(
         out_wire, proto::detail::derive_link_key(secret_, my_id_, frame.from)));
     out.push_back(std::move(resp));
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kWrite)] =
+        static_cast<double>(steady_now_ns() - t_served) / 1e6;
+    if (traced) traces_.push(std::move(rec));
   } catch (const Error& e) {
     Frame err;
     err.type = FrameType::kError;
     err.from = my_id_;
     err.to = frame.from;
+    err.trace = trace_id;
     err.body = text_body(e.what());
     out.push_back(std::move(err));
+    if (traced) traces_.push(std::move(rec));
   }
   return out;
 }

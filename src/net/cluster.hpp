@@ -39,6 +39,8 @@
 #include "common/thread_annotations.hpp"
 #include "net/reactor.hpp"
 #include "net/remote.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/jobs.hpp"
 #include "protocol/message.hpp"
 
@@ -94,6 +96,30 @@ class ShardRouter {
   /// Times a request was retried on another owner (dead/stale/unowned).
   [[nodiscard]] std::size_t failovers() const noexcept { return failovers_; }
 
+  /// The router's own metrics (router.shard<g>.requests counters, the
+  /// router.fanout_ms leg-latency histogram — DESIGN.md §12).
+  [[nodiscard]] obs::Registry& metrics() noexcept { return obs_; }
+
+  /// Cluster-wide aggregate: this router's own snapshot merged with every
+  /// reachable miner's stats-door snapshot. Counters and histograms merge
+  /// EXACTLY (addition / bucket-wise — the aggregate histogram equals one
+  /// daemon recording the union of the samples); gauges are point-in-time
+  /// per-miner readings and are namespaced "m<i>." instead of pretending
+  /// to merge. Unreachable miners are skipped and counted in the
+  /// router.stats_unreachable gauge. Same serialization contract as every
+  /// other router call.
+  [[nodiscard]] obs::Snapshot cluster_stats();
+
+  /// Trace id stamped on every downstream request frame until changed
+  /// (0 = untraced). The RouterDaemon sets the door's id here so miners
+  /// record the SAME id — the cross-hop propagation sap_cli stats shows.
+  void set_trace(std::uint64_t id);
+
+  /// Router-side merge time (merge_partials or gather-reassembly) of the
+  /// last mine_named call — the kMerge trace stage (0 when the last
+  /// request routed whole).
+  [[nodiscard]] double last_merge_ms() const noexcept { return last_merge_ms_; }
+
  private:
   /// The lazily-connected client for miner m (connects on first use;
   /// callers reset the slot after a transport failure).
@@ -123,6 +149,13 @@ class ShardRouter {
   std::vector<std::unique_ptr<ServeClient>> clients_;  ///< parallel to miners
   std::vector<std::uint64_t> floors_;                  ///< per-shard epoch floor
   std::size_t failovers_ = 0;
+  obs::Registry obs_;
+  obs::Histogram* hist_fanout_ = nullptr;      ///< router.fanout_ms (per leg)
+  obs::Counter* ctr_contributions_ = nullptr;  ///< router.contributions
+  obs::Counter* ctr_mine_ = nullptr;           ///< router.mine_requests
+  std::vector<obs::Counter*> shard_requests_;  ///< router.shard<g>.requests
+  std::uint64_t trace_ = 0;                    ///< stamped on downstream frames
+  double last_merge_ms_ = 0.0;
 };
 
 // ---- router daemon -------------------------------------------------------
@@ -154,6 +187,10 @@ class RouterDaemon {
     return served_.load(std::memory_order_relaxed);
   }
 
+  /// Recent request traces recorded at THIS hop (each fanned-to miner holds
+  /// its own records under the same id).
+  [[nodiscard]] const obs::TraceRing& traces() const noexcept { return traces_; }
+
  private:
   std::vector<Frame> handle(const Frame& frame);
 
@@ -163,6 +200,9 @@ class RouterDaemon {
   Mutex mutex_;
   ShardRouter router_ SAP_GUARDED_BY(mutex_);
   std::atomic<std::size_t> served_{0};
+  obs::TraceRing traces_;
+  obs::TraceMinter minter_;
+  obs::Counter* ctr_refused_ = nullptr;  ///< router.refused (kServeError answers)
   /// Last member: joined before the handler's targets go away.
   std::unique_ptr<Reactor> reactor_;
 };

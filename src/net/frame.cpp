@@ -69,9 +69,10 @@ void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
   out.push_back(0);  // reserved
   put_u32(out, frame.from);
   put_u32(out, frame.to);
+  put_u64(out, frame.trace);
   put_u32(out, static_cast<std::uint32_t>(frame.body.size()));
   // CRC over the header-so-far + body; the crc field itself is excluded.
-  std::uint32_t crc = crc32(out.data() + start, 20);
+  std::uint32_t crc = crc32(out.data() + start, 28);
   crc = crc32(frame.body.data(), frame.body.size(), crc);
   put_u32(out, crc);
   out.insert(out.end(), frame.body.begin(), frame.body.end());
@@ -103,19 +104,20 @@ bool FrameReader::next_view(FrameView& out) {
               "FrameReader: unsupported frame version " + std::to_string(h[4]));
   SAP_REQUIRE(known_type(h[5]), "FrameReader: unknown frame type");
   SAP_REQUIRE(h[7] == 0, "FrameReader: nonzero reserved byte");
-  const std::size_t body_len = get_u32(h + 16);
+  const std::size_t body_len = get_u32(h + 24);
   SAP_REQUIRE(body_len <= max_body_, "FrameReader: frame body exceeds the size cap");
   if (buffered() < kFrameHeaderBytes + body_len) return false;
   const std::uint8_t* body = h + kFrameHeaderBytes;
-  std::uint32_t crc = crc32(h, 20);
+  std::uint32_t crc = crc32(h, 28);
   crc = crc32(body, body_len, crc);
-  SAP_REQUIRE(crc == get_u32(h + 20), "FrameReader: frame checksum mismatch");
+  SAP_REQUIRE(crc == get_u32(h + 28), "FrameReader: frame checksum mismatch");
 
   out.version = h[4];
   out.type = static_cast<FrameType>(h[5]);
   out.payload_kind = h[6];
   out.from = get_u32(h + 8);
   out.to = get_u32(h + 12);
+  out.trace = get_u64(h + 16);
   out.body = {body, body_len};
   pos_ += kFrameHeaderBytes + body_len;
   return true;
@@ -129,6 +131,7 @@ bool FrameReader::next(Frame& out) {
   out.payload_kind = view.payload_kind;
   out.from = view.from;
   out.to = view.to;
+  out.trace = view.trace;
   out.body.assign(view.body.begin(), view.body.end());
   return true;
 }

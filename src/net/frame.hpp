@@ -10,9 +10,11 @@
 //   7       1     reserved, must be 0
 //   8       4     from party id
 //   12      4     to party id
-//   16      4     body length in bytes (bounded by the reader's max)
-//   20      4     CRC-32 over header bytes [0, 20) + the body
-//   24      ...   body
+//   16      8     trace id (0 = untraced; minted at the serving door and
+//                 echoed on responses / propagated router -> shard, §12)
+//   24      4     body length in bytes (bounded by the reader's max)
+//   28      4     CRC-32 over header bytes [0, 28) + the body
+//   32      ...   body
 //
 // kData bodies carry an EncryptedEnvelope byte-exactly: the 8-byte
 // integrity word followed by the ciphertext words (little-endian u64s) —
@@ -36,8 +38,8 @@
 namespace sap::net {
 
 constexpr std::uint32_t kFrameMagic = 0x53415046u;  // "SAPF"
-constexpr std::uint8_t kFrameVersion = 1;
-constexpr std::size_t kFrameHeaderBytes = 24;
+constexpr std::uint8_t kFrameVersion = 2;  ///< v2 added the 8-byte trace id field
+constexpr std::size_t kFrameHeaderBytes = 32;
 /// Default body cap (64 MiB) — large enough for any realistic shard, small
 /// enough that a hostile length prefix cannot balloon memory.
 constexpr std::size_t kDefaultMaxBody = 64u << 20;
@@ -59,7 +61,15 @@ struct Frame {
   std::uint8_t payload_kind = 0;  ///< proto::PayloadKind for kData
   proto::PartyId from = 0;
   proto::PartyId to = 0;
+  /// Request-trace id (obs/trace.hpp): 0 = untraced. A serving door mints
+  /// one for incoming zeros, echoes it on responses, and the router
+  /// forwards it on the scatter frames so every hop logs the same id.
+  std::uint64_t trace = 0;
   std::vector<std::uint8_t> body;
+  /// LOCAL metadata, never serialized: steady-clock nanoseconds at which
+  /// the receiving door finished parsing this frame (0 = unknown). The
+  /// handler reads it to measure queue wait without a second wire field.
+  std::uint64_t recv_steady_ns = 0;
 };
 
 /// Zero-copy decode result: `body` points into the reader's buffer and is
@@ -72,6 +82,7 @@ struct FrameView {
   std::uint8_t payload_kind = 0;
   proto::PartyId from = 0;
   proto::PartyId to = 0;
+  std::uint64_t trace = 0;
   std::span<const std::uint8_t> body;
 };
 

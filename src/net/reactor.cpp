@@ -101,6 +101,13 @@ Reactor::Reactor(ReactorOptions opts, Handler handler)
   SAP_REQUIRE(handler_ != nullptr, "Reactor: null handler");
   SAP_REQUIRE(opts_.loops >= 1, "Reactor: need at least one event loop");
   SAP_REQUIRE(opts_.idle_timeout_ms > 0, "Reactor: idle timeout must be positive");
+  if (opts_.metrics != nullptr) {
+    // Register once, here: the record path must never take the registry
+    // mutex (DESIGN.md §12).
+    hist_queue_wait_ = &opts_.metrics->histogram("reactor.queue_wait_ms");
+    hist_handler_ = &opts_.metrics->histogram("reactor.handler_ms");
+    hist_writev_batch_ = &opts_.metrics->histogram("reactor.writev_batch");
+  }
   listener_ = TcpListener::listen(opts_.listen);
   listener_addr_ = listener_.local_addr();
 
@@ -165,6 +172,7 @@ Reactor::Stats Reactor::stats() const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.responses = responses_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.queue_depth = work_q_.size();
   for (const auto& loop : loops_)
     s.loop_conns.push_back(loop->assigned.load(std::memory_order_relaxed));
   return s;
@@ -386,6 +394,9 @@ void Reactor::on_frame(Loop& loop, std::uint32_t slot, Frame&& frame) {
       }
       requests_.fetch_add(1, std::memory_order_relaxed);
       conn.inflight += 1;
+      // Receive stamp: queue-wait (and the handler's kQueue trace stage)
+      // measures from "frame fully parsed" to compute pickup.
+      frame.recv_steady_ns = steady_now_ns();
       Work work;
       work.loop = static_cast<std::uint32_t>(loop.index);
       work.slot = slot;
@@ -450,6 +461,7 @@ void Reactor::flush_conn(Loop& loop, std::uint32_t slot) {
       }
       const std::size_t wrote = conn.sock.writev_some(iov.data(), iovcnt);
       if (wrote == 0) return;  // kernel buffer full: the EPOLLOUT edge resumes
+      if (hist_writev_batch_ != nullptr) hist_writev_batch_->record(iovcnt);
       conn.outq_bytes -= wrote;
       conn.last_progress = Clock::now();
       std::size_t left = wrote;
@@ -521,6 +533,10 @@ void Reactor::compute_main() {
     Completion comp;
     comp.slot = work.slot;
     comp.gen = work.gen;
+    const std::uint64_t picked_ns = steady_now_ns();
+    if (hist_queue_wait_ != nullptr && work.frame.recv_steady_ns != 0)
+      hist_queue_wait_->record(static_cast<double>(picked_ns - work.frame.recv_steady_ns) /
+                               1e6);
     std::vector<Frame> out;
     try {
       out = handler_(work.frame);
@@ -528,6 +544,8 @@ void Reactor::compute_main() {
       // Handler contract says "don't throw"; contain anyway — one bad
       // request must not kill a compute lane.
     }
+    if (hist_handler_ != nullptr)
+      hist_handler_->record(static_cast<double>(steady_now_ns() - picked_ns) / 1e6);
     comp.frames = out.size();
     for (const Frame& frame : out) encode_frame(frame, comp.bytes);
     Loop& loop = *loops_[work.loop];

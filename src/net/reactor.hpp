@@ -50,6 +50,7 @@
 #include "common/thread_pool.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace sap::net {
 
@@ -68,6 +69,12 @@ struct ReactorOptions {
   /// collide with hub party ids (providers 0..k-1, miner k, hub serving
   /// clients k+1...).
   std::uint32_t first_client_id = 1u << 20;
+  /// Optional metrics sink (non-owning; must outlive the reactor). When
+  /// set, the reactor records latency histograms on its hot path:
+  /// reactor.queue_wait_ms (frame parsed -> compute pickup),
+  /// reactor.handler_ms (serving dispatch), reactor.writev_batch (frames
+  /// per flush syscall). Scalar stats stay in stats() either way.
+  obs::Registry* metrics = nullptr;
 };
 
 class Reactor {
@@ -104,9 +111,18 @@ class Reactor {
     std::size_t requests = 0;      ///< kData frames handed to compute
     std::size_t responses = 0;     ///< response frames flushed toward peers
     std::size_t shed = 0;          ///< requests refused: compute queue full
+    std::size_t queue_depth = 0;   ///< requests waiting for a compute lane, now
     std::vector<std::size_t> loop_conns;  ///< connections dealt per loop
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Compute-pool execution totals (task latency / batch counters for the
+  /// stats door; the pool runs one long-lived lane batch, so `busy_ns` is
+  /// lane lifetime, not per-request latency — that lives in
+  /// reactor.handler_ms).
+  [[nodiscard]] ThreadPool::Stats compute_stats() const {
+    return compute_pool_ ? compute_pool_->stats() : ThreadPool::Stats{};
+  }
 
  private:
   struct Conn;
@@ -142,6 +158,12 @@ class Reactor {
   Handler handler_;
   TcpListener listener_;
   SocketAddr listener_addr_;
+
+  /// Cached hot-path histogram slots (null when opts_.metrics is null) —
+  /// registration happens once in the constructor, never on the data path.
+  obs::Histogram* hist_queue_wait_ = nullptr;
+  obs::Histogram* hist_handler_ = nullptr;
+  obs::Histogram* hist_writev_batch_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> stopped_{false};

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 
 namespace sap::net {
 
@@ -58,12 +59,23 @@ MinerDaemon::MinerDaemon(MinerDaemonOptions opts)
                .cache_models = opts_.cache_models,
                .shards = opts_.shards,
                .layout = opts_.shard_layout,
-               .owned = opts_.owned_shards}) {
+               .owned = opts_.owned_shards}),
+      minter_(opts_.seed) {
   SAP_REQUIRE(opts_.parties >= 3, "MinerDaemon: need at least 3 parties");
   const auto seeds = proto::logic::derive_session_seeds(opts_.seed, opts_.parties);
   secret_ = seeds.session_secret;
   hub_ = TcpTransport::listen(opts_.listen, secret_, opts_.tcp);
   miner_id_ = hub_->claim_party(static_cast<std::uint32_t>(opts_.parties));
+  // Register the hot-path metric slots once — serving threads only touch
+  // the lock-free record path through these pointers (DESIGN.md §12).
+  hist_serve_ms_ = &obs_.histogram("engine.serve_ms");
+  hist_fit_ms_ = &obs_.histogram("engine.fit_ms");
+  ctr_ingest_records_ = &obs_.counter("ingest.records");
+  ctr_ingest_rejected_ = &obs_.counter("ingest.rejected");
+  ctr_refused_bad_ = &obs_.counter("serve.refused.bad_request");
+  ctr_refused_owner_ = &obs_.counter("serve.refused.not_owner");
+  ctr_refused_unavail_ = &obs_.counter("serve.refused.unavailable");
+  g_ingest_epoch_ = &obs_.gauge("ingest.epoch");
   if (opts_.reactor_loops > 0) {
     ReactorOptions ropts;
     ropts.listen = opts_.reactor_listen;
@@ -71,6 +83,7 @@ MinerDaemon::MinerDaemon(MinerDaemonOptions opts)
     ropts.compute_threads = opts_.reactor_compute_threads;
     ropts.idle_timeout_ms = opts_.reactor_idle_timeout_ms;
     ropts.max_frame_body = opts_.tcp.max_frame_body;
+    ropts.metrics = &obs_;  // reactor.queue_wait_ms / handler_ms / writev_batch
     // The front door binds (and accepts) immediately so its address can be
     // advertised next to the hub's; serve_frame refuses every request until
     // the exchange installs the pool (serving_ flips in run()).
@@ -93,6 +106,11 @@ void MinerDaemon::note(const std::string& line) const {
 void MinerDaemon::serve_error(proto::ServeErrorCode code, const std::string& message,
                               proto::PayloadKind& out_kind,
                               std::vector<double>& out_wire) const {
+  switch (code) {
+    case proto::ServeErrorCode::kBadRequest: ctr_refused_bad_->increment(); break;
+    case proto::ServeErrorCode::kNotOwner: ctr_refused_owner_->increment(); break;
+    case proto::ServeErrorCode::kUnavailable: ctr_refused_unavail_->increment(); break;
+  }
   note("refused (" + proto::to_string(code) + "): " + message);
   out_kind = proto::PayloadKind::kServeError;
   out_wire = proto::encode_serve_error(code, message);
@@ -133,12 +151,15 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
         const auto records = engine_.shard_view(global).snap->rows.size();
         out_wire = proto::encode_receipt(epoch, records);
         contributions_.fetch_add(1, std::memory_order_relaxed);
+        ctr_ingest_records_->add(batch.size());
+        g_ingest_epoch_->set(static_cast<double>(epoch));
         note("contribution accepted: shard " + std::to_string(global) + " at " +
              std::to_string(records) + " records, epoch " + std::to_string(epoch));
       } catch (const Error& e) {
         // Negative receipt (epoch 0): the contributor learns of the
         // rejection immediately instead of stalling out its deadline.
         note(std::string("rejected contribution: ") + e.what());
+        ctr_ingest_rejected_->increment();
         out_wire = proto::encode_receipt(/*pool_epoch=*/0, /*pool_records=*/0);
       }
       return true;
@@ -167,6 +188,8 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
       }
       try {
         const auto response = engine_.run({request.job, request.params});
+        hist_serve_ms_->record(response.millis);
+        hist_fit_ms_->record(response.fit_millis);
         proto::WireMiningResponse wire;
         wire.pool_epoch = response.pool_epoch;
         wire.model_cached = response.model_cached;
@@ -225,33 +248,127 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
       }
       return true;
     }
+    case proto::PayloadKind::kStatsRequest: {
+      // The stats door rides the SAME dispatch as serving traffic, so hub-
+      // and reactor-fetched snapshots are assembled identically. It does
+      // not count toward requests_served_ (pure measurement must not move
+      // the serving counters it reports).
+      proto::decode_stats_request(payload);
+      out_kind = proto::PayloadKind::kStatsResponse;
+      out_wire = proto::encode_stats_response(stats_snapshot(), traces_.recent(32));
+      return true;
+    }
     default:
       return false;  // late exchange traffic / reports: nothing to serve
   }
 }
 
+obs::Snapshot MinerDaemon::stats_snapshot() {
+  obs::Snapshot snap = obs_.snapshot();
+  snap.set_counter("serve.requests", requests_served_.load(std::memory_order_relaxed));
+  snap.set_counter("ingest.batches", contributions_.load(std::memory_order_relaxed));
+  snap.set_counter("trace.records", traces_.total());
+  const auto cache = engine_.cache_stats();
+  snap.set_counter("engine.cache.fits", cache.fits);
+  snap.set_counter("engine.cache.incremental", cache.incremental);
+  snap.set_counter("engine.cache.hits", cache.hits);
+  snap.set_gauge("engine.cache.entries", static_cast<double>(cache.entries));
+  const auto pool = engine_.pool_stats();
+  snap.set_counter("engine.pool.batches", pool.batches);
+  snap.set_counter("engine.pool.tasks", pool.tasks);
+  snap.set_counter("engine.pool.busy_ns", pool.busy_ns);
+  snap.set_gauge("engine.pool.peak_batch", static_cast<double>(pool.peak_batch));
+  if (serving_.load(std::memory_order_acquire)) {
+    // Pool shape: records + live snapshot refcounts over owned shards, the
+    // epoch watermark, and how far the hottest shard runs ahead of it.
+    std::size_t records = 0;
+    long refs = 0;
+    std::uint64_t max_epoch = 0;
+    if (engine_.total_shards() == 1) {
+      const auto view = engine_.pool_view();
+      if (view.data) {
+        records = view.data->size();
+        refs = view.data.use_count();
+        max_epoch = view.epoch;
+      }
+    } else {
+      for (const auto g : engine_.owned_shards()) {
+        const auto view = engine_.shard_view(g);
+        records += view.snap->rows.size();
+        refs += view.snap.use_count();
+        max_epoch = std::max(max_epoch, view.epoch);
+      }
+    }
+    const std::uint64_t watermark = engine_.pool_epoch();
+    snap.set_gauge("pool.records", static_cast<double>(records));
+    snap.set_gauge("pool.epoch", static_cast<double>(watermark));
+    snap.set_gauge("pool.snapshot_refs", static_cast<double>(refs));
+    snap.set_gauge("ingest.watermark_lag", static_cast<double>(max_epoch - watermark));
+  }
+  if (reactor_) {
+    const auto rs = reactor_->stats();
+    snap.set_counter("reactor.accepted", rs.accepted);
+    snap.set_counter("reactor.refused", rs.refused);
+    snap.set_counter("reactor.evicted_idle", rs.evicted_idle);
+    snap.set_counter("reactor.requests", rs.requests);
+    snap.set_counter("reactor.responses", rs.responses);
+    snap.set_counter("reactor.shed", rs.shed);
+    snap.set_gauge("reactor.live", static_cast<double>(rs.live));
+    snap.set_gauge("reactor.queue_depth", static_cast<double>(rs.queue_depth));
+    for (std::size_t i = 0; i < rs.loop_conns.size(); ++i)
+      snap.set_gauge("reactor.loop" + std::to_string(i) + ".conns",
+                     static_cast<double>(rs.loop_conns[i]));
+    snap.set_counter("reactor.compute.tasks", reactor_->compute_stats().tasks);
+  }
+  snap.normalize();
+  return snap;
+}
+
 std::vector<Frame> MinerDaemon::serve_frame(const Frame& frame) {
   std::vector<Frame> out;
+  // Trace bookkeeping is pure measurement: adopt the id the frame rode in
+  // with (a router minted it at ITS door) or mint one here; every response
+  // echoes it. Stage clocks are stamped at boundaries only (rule R6).
+  const auto kind = static_cast<proto::PayloadKind>(frame.payload_kind);
+  const std::uint64_t trace_id = frame.trace != 0 ? frame.trace : minter_.mint();
+  const bool traced =
+      obs::enabled() && kind != proto::PayloadKind::kStatsRequest;  // no self-noise
+  obs::TraceRecord rec;
+  rec.id = trace_id;
+  rec.op = proto::to_string(kind);
+  const std::uint64_t t_entry = steady_now_ns();
+  if (frame.recv_steady_ns != 0 && t_entry > frame.recv_steady_ns)
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kQueue)] =
+        static_cast<double>(t_entry - frame.recv_steady_ns) / 1e6;
   try {
     SAP_REQUIRE(serving_.load(std::memory_order_acquire),
                 "MinerDaemon: not serving yet (exchange in progress)");
     const auto payload =
         body_envelope(frame.body)
             .open(proto::detail::derive_link_key(secret_, frame.from, miner_id_));
+    const std::uint64_t t_decoded = steady_now_ns();
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kDecode)] =
+        static_cast<double>(t_decoded - t_entry) / 1e6;
     proto::PayloadKind out_kind{};
     std::vector<double> out_wire;
-    SAP_REQUIRE(serve_payload(static_cast<proto::PayloadKind>(frame.payload_kind),
-                              payload, out_kind, out_wire),
+    SAP_REQUIRE(serve_payload(kind, payload, out_kind, out_wire),
                 "MinerDaemon: the front door serves only contributions, mining "
-                "requests, partials, and pool slices");
+                "requests, partials, pool slices, and stats");
+    const std::uint64_t t_served = steady_now_ns();
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kServe)] =
+        static_cast<double>(t_served - t_decoded) / 1e6;
     Frame resp;
     resp.type = FrameType::kData;
     resp.payload_kind = static_cast<std::uint8_t>(out_kind);
     resp.from = miner_id_;
     resp.to = frame.from;
+    resp.trace = trace_id;
     resp.body = envelope_body(proto::EncryptedEnvelope(
         out_wire, proto::detail::derive_link_key(secret_, miner_id_, frame.from)));
     out.push_back(std::move(resp));
+    rec.stage_ms[static_cast<std::size_t>(obs::Stage::kWrite)] =
+        static_cast<double>(steady_now_ns() - t_served) / 1e6;
+    if (traced) traces_.push(std::move(rec));
   } catch (const Error& e) {
     // Per-request containment, same policy as the hub loop — answer kError
     // so the client fails fast instead of timing out.
@@ -260,8 +377,10 @@ std::vector<Frame> MinerDaemon::serve_frame(const Frame& frame) {
     err.type = FrameType::kError;
     err.from = miner_id_;
     err.to = frame.from;
+    err.trace = trace_id;
     err.body = text_body(e.what());
     out.push_back(std::move(err));
+    if (traced) traces_.push(std::move(rec));
   }
   return out;
 }
@@ -429,8 +548,24 @@ MinerDaemon::Summary MinerDaemon::run() {
     try {
       proto::PayloadKind out_kind{};
       std::vector<double> out_wire;
-      if (serve_payload(msg.kind, msg.payload, out_kind, out_wire))
+      // The hub transport decrypts inside try_receive, so the hub door
+      // sees only decoded payloads: its traces carry serve + write stages
+      // and always mint (Delivery has no frame-level trace field).
+      const std::uint64_t t0 = steady_now_ns();
+      if (serve_payload(msg.kind, msg.payload, out_kind, out_wire)) {
+        const std::uint64_t t1 = steady_now_ns();
         hub_->send(miner_id_, msg.from, out_kind, out_wire);
+        if (obs::enabled() && msg.kind != proto::PayloadKind::kStatsRequest) {
+          obs::TraceRecord rec;
+          rec.id = minter_.mint();
+          rec.op = proto::to_string(msg.kind);
+          rec.stage_ms[static_cast<std::size_t>(obs::Stage::kServe)] =
+              static_cast<double>(t1 - t0) / 1e6;
+          rec.stage_ms[static_cast<std::size_t>(obs::Stage::kWrite)] =
+              static_cast<double>(steady_now_ns() - t1) / 1e6;
+          traces_.push(std::move(rec));
+        }
+      }
     } catch (const Error& e) {
       // One malformed message must not take the daemon down.
       note(std::string("rejected message: ") + e.what());
@@ -520,6 +655,7 @@ std::vector<double> ServeClient::transact(proto::PayloadKind kind,
   req.payload_kind = static_cast<std::uint8_t>(kind);
   req.from = id_;
   req.to = miner_;
+  req.trace = trace_;
   req.body = envelope_body(proto::EncryptedEnvelope(
       payload, proto::detail::derive_link_key(secret_, id_, miner_)));
   std::vector<std::uint8_t> bytes;
@@ -531,6 +667,7 @@ std::vector<double> ServeClient::transact(proto::PayloadKind kind,
     if (resp.type == FrameType::kError)
       SAP_FAIL("ServeClient: request refused: " + body_text(resp.body));
     if (resp.type != FrameType::kData) continue;  // stray control traffic
+    last_trace_ = resp.trace;
     const bool typed_error =
         resp.payload_kind == static_cast<std::uint8_t>(proto::PayloadKind::kServeError);
     SAP_REQUIRE(typed_error || resp.payload_kind == static_cast<std::uint8_t>(expect_kind),
@@ -569,6 +706,13 @@ proto::DecodedPoolSlice ServeClient::pool_slice(std::size_t shard,
                              proto::encode_pool_slice_request(shard, max_records),
                              proto::PayloadKind::kPoolSliceResponse);
   return proto::decode_pool_slice(wire);
+}
+
+proto::DecodedStats ServeClient::stats() {
+  const auto wire = transact(proto::PayloadKind::kStatsRequest,
+                             proto::encode_stats_request(),
+                             proto::PayloadKind::kStatsResponse);
+  return proto::decode_stats_response(wire);
 }
 
 proto::DecodedReceipt ServeClient::contribute_wire(const std::vector<double>& wire) {

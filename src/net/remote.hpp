@@ -45,6 +45,8 @@
 #include "common/mutex.hpp"
 #include "net/reactor.hpp"
 #include "net/tcp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/mining_engine.hpp"
 #include "protocol/party_logic.hpp"
 
@@ -126,6 +128,14 @@ class MinerDaemon {
   /// CLI summary and the connection-scaling bench.
   [[nodiscard]] const Reactor* reactor() const noexcept { return reactor_.get(); }
 
+  /// True once run() has installed the pool and both front doors answer
+  /// serving traffic. Before this, direct mining/stats requests get a typed
+  /// kUnavailable refusal — callers without router failover (tests, probes)
+  /// poll here instead of spinning on refusals.
+  [[nodiscard]] bool serving() const noexcept {
+    return serving_.load(std::memory_order_acquire);
+  }
+
   struct Summary {
     std::size_t pool_records = 0;
     std::uint64_t pool_epoch = 0;
@@ -143,6 +153,20 @@ class MinerDaemon {
 
   /// The serving engine (valid pool only after run() installed it).
   [[nodiscard]] proto::MiningEngine& engine() noexcept { return engine_; }
+
+  /// Live metrics registry — both front doors record into it; the reactor
+  /// shares it via ReactorOptions::metrics (DESIGN.md §12).
+  [[nodiscard]] obs::Registry& metrics() noexcept { return obs_; }
+
+  /// Recent request traces (bounded ring; ids ride the frame header).
+  [[nodiscard]] const obs::TraceRing& traces() const noexcept { return traces_; }
+
+  /// Everything a kStatsRequest is answered with: the registry snapshot
+  /// plus collect-time injections (engine cache stats + pool epoch/records
+  /// + snapshot refcounts, reactor and compute-pool totals, the daemon's
+  /// serving counters) — normalized, ready to merge at a router. Pure
+  /// measurement: collecting takes only read views.
+  [[nodiscard]] obs::Snapshot stats_snapshot();
 
  private:
   void note(const std::string& line) const;
@@ -175,6 +199,20 @@ class MinerDaemon {
   std::atomic<std::size_t> contributions_{0};
   std::atomic<std::size_t> requests_served_{0};
   mutable Mutex log_mutex_;  ///< note() is called from compute lanes too
+  // ---- observability (PR 9): pure measurement, no computation feedback --
+  obs::Registry obs_;
+  obs::TraceRing traces_;
+  obs::TraceMinter minter_;
+  /// Hot-path metric slots, registered once in the constructor (lookups
+  /// allocate; the record path on these pointers is lock-free).
+  obs::Histogram* hist_serve_ms_ = nullptr;      ///< engine.serve_ms
+  obs::Histogram* hist_fit_ms_ = nullptr;        ///< engine.fit_ms
+  obs::Counter* ctr_ingest_records_ = nullptr;   ///< ingest.records
+  obs::Counter* ctr_ingest_rejected_ = nullptr;  ///< ingest.rejected
+  obs::Counter* ctr_refused_bad_ = nullptr;      ///< serve.refused.bad_request
+  obs::Counter* ctr_refused_owner_ = nullptr;    ///< serve.refused.not_owner
+  obs::Counter* ctr_refused_unavail_ = nullptr;  ///< serve.refused.unavailable
+  obs::Gauge* g_ingest_epoch_ = nullptr;         ///< ingest.epoch (last receipt)
   /// Last member: destroyed (and its threads joined) before anything the
   /// serve_frame handler touches.
   std::unique_ptr<Reactor> reactor_;
@@ -226,6 +264,18 @@ class ServeClient {
   /// phase); max_records 0 = all.
   proto::DecodedPoolSlice pool_slice(std::size_t shard, std::size_t max_records);
 
+  /// The daemon's live metrics snapshot + recent traces (one
+  /// kStatsRequest/kStatsResponse round trip — the stats door).
+  proto::DecodedStats stats();
+
+  /// Sticky trace id stamped on every subsequent request frame (0 = let
+  /// the serving door mint one). Routers use this to propagate the door's
+  /// id through shard fan-outs.
+  void set_trace(std::uint64_t id) noexcept { trace_ = id; }
+  /// The trace id the last kData response carried (the door echoes the
+  /// request's id, minting when the request rode untraced).
+  [[nodiscard]] std::uint64_t last_trace() const noexcept { return last_trace_; }
+
   /// Polite goodbye; safe to call repeatedly.
   void bye();
 
@@ -242,6 +292,8 @@ class ServeClient {
   std::uint64_t secret_ = 0;
   proto::PartyId id_ = 0;
   proto::PartyId miner_ = 0;
+  std::uint64_t trace_ = 0;       ///< stamped on request frames (0 = unset)
+  std::uint64_t last_trace_ = 0;  ///< echoed by the last kData response
   bool said_bye_ = false;
 };
 

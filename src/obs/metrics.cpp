@@ -1,0 +1,304 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sap::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Per-thread counter slot: threads take round-robin slots, so up to kSlots
+/// threads increment disjoint cache lines (beyond that, slots are shared
+/// but still correct).
+std::size_t this_thread_slot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kSlots;
+  return slot;
+}
+
+void atomic_double_add(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_double_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Counter::add(std::uint64_t n) noexcept {
+  if (!enabled()) return;
+  slots_[this_thread_slot()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& slot : slots_) total += slot.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Gauge::set(double v) noexcept {
+  if (!enabled()) return;
+  v_.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) noexcept {
+  if (!enabled()) return;
+  atomic_double_add(v_, delta);
+}
+
+// ---- histogram -----------------------------------------------------------
+
+std::uint32_t Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // negative, zero, NaN
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  if (exp <= kMinExp) return 0;
+  if (exp > kMaxExp) return kBucketCount - 1;
+  // Octave [2^(exp-1), 2^exp) split into kSubBuckets equal slices.
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return 1 + static_cast<std::uint32_t>((exp - 1 - kMinExp) * kSubBuckets + sub);
+}
+
+double Histogram::bucket_upper(std::uint32_t index) noexcept {
+  if (index == 0) return std::ldexp(1.0, kMinExp);
+  if (index >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  const std::uint32_t linear = index - 1;
+  const int octave = static_cast<int>(linear) / kSubBuckets;
+  const int sub = static_cast<int>(linear) % kSubBuckets;
+  const double lo = std::ldexp(1.0, kMinExp + octave);
+  return lo * (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+void Histogram::record(double v) noexcept {
+  if (!enabled()) return;
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_double_add(sum_, v);
+  atomic_double_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n > 0) snap.buckets.emplace_back(i, n);
+  }
+  return snap;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0;
+  std::size_t b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b == other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a == buckets.size() || other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first, buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q >= 1.0) return max;
+  if (q < 0.0) q = 0.0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      const double upper = Histogram::bucket_upper(index);
+      return std::isfinite(upper) ? std::min(upper, max > 0.0 ? max : upper) : max;
+    }
+  }
+  return max;
+}
+
+// ---- snapshot ------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void set_entry(std::vector<std::pair<std::string, T>>& entries, const std::string& name,
+               T value) {
+  for (auto& [n, v] : entries) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries.emplace_back(name, std::move(value));
+}
+
+}  // namespace
+
+void Snapshot::set_counter(const std::string& name, std::uint64_t value) {
+  set_entry(counters, name, value);
+}
+
+void Snapshot::set_gauge(const std::string& name, double value) {
+  set_entry(gauges, name, value);
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    bool found = false;
+    for (auto& [n, v] : counters) {
+      if (n == name) {
+        v += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counters.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : other.gauges) {
+    bool found = false;
+    for (auto& [n, v] : gauges) {
+      if (n == name) {
+        v += value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) gauges.emplace_back(name, value);
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    bool found = false;
+    for (auto& [n, h] : histograms) {
+      if (n == name) {
+        h.merge(hist);
+        found = true;
+        break;
+      }
+    }
+    if (!found) histograms.emplace_back(name, hist);
+  }
+  normalize();
+}
+
+void Snapshot::normalize() {
+  const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(histograms.begin(), histograms.end(), by_name);
+}
+
+std::string Snapshot::to_text() const {
+  std::string out = "sap-stats v1\n";
+  for (const auto& [name, value] : counters)
+    out += "counter " + name + " " + std::to_string(value) + "\n";
+  for (const auto& [name, value] : gauges)
+    out += "gauge " + name + " " + fmt_double(value) + "\n";
+  for (const auto& [name, hist] : histograms) {
+    out += "hist " + name + " count=" + std::to_string(hist.count) +
+           " mean=" + fmt_double(hist.mean()) + " p50=" + fmt_double(hist.quantile(0.50)) +
+           " p95=" + fmt_double(hist.quantile(0.95)) +
+           " p99=" + fmt_double(hist.quantile(0.99)) + " max=" + fmt_double(hist.max) + "\n";
+  }
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"version\": 1, \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += std::string(first ? "" : ", ") + "\"" + name + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += std::string(first ? "" : ", ") + "\"" + name + "\": " + fmt_double(value);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += std::string(first ? "" : ", ") + "\"" + name +
+           "\": {\"count\": " + std::to_string(hist.count) +
+           ", \"mean\": " + fmt_double(hist.mean()) +
+           ", \"p50\": " + fmt_double(hist.quantile(0.50)) +
+           ", \"p95\": " + fmt_double(hist.quantile(0.95)) +
+           ", \"p99\": " + fmt_double(hist.quantile(0.99)) +
+           ", \"max\": " + fmt_double(hist.max) + "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+// ---- registry ------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name) {
+  MutexLock lk(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  MutexLock lk(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  MutexLock lk(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  gauge(name).set(value);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  MutexLock lk(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) snap.counters.emplace_back(name, counter->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) snap.gauges.emplace_back(name, gauge->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_)
+    snap.histograms.emplace_back(name, hist->snapshot());
+  return snap;  // std::map iteration is already name-sorted
+}
+
+}  // namespace sap::obs

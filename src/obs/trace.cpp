@@ -1,0 +1,50 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sap::obs {
+
+const char* to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kDecode: return "decode";
+    case Stage::kQueue: return "queue";
+    case Stage::kServe: return "serve";
+    case Stage::kMerge: return "merge";
+    case Stage::kWrite: return "write";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+void TraceRing::push(TraceRecord record) {
+  if (!enabled()) return;
+  MutexLock lk(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceRing::recent(std::size_t max) const {
+  MutexLock lk(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Oldest-first: once wrapped, the oldest record sits at next_.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  if (max > 0 && out.size() > max)
+    out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(max));
+  return out;
+}
+
+std::uint64_t TraceRing::total() const {
+  MutexLock lk(mutex_);
+  return total_;
+}
+
+}  // namespace sap::obs

@@ -1,0 +1,96 @@
+// sap::obs request tracing — per-request stage timings in a fixed ring.
+//
+// A trace id is minted at the serving door (RNG-FREE: a door salt plus a
+// monotone sequence — observability never draws from sap::rng, rule R6),
+// rides the frame header's trace field through router -> shard fan-outs
+// (net/frame.hpp), and each daemon that touches the request records one
+// TraceRecord into its bounded ring: the stage timings (decode, queue
+// wait, fit/serve, merge, write) measured at stage BOUNDARIES only, never
+// inside numeric kernels. kStatsResponse carries the recent records, so
+// `sap_cli stats` can show where a served request spent its time on every
+// hop that handled it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace sap::obs {
+
+/// Request stages, in pipeline order. Unvisited stages stay 0.0 ms (a
+/// miner never runs kMerge; a router never runs kFit).
+enum class Stage : std::uint8_t {
+  kDecode = 0,  ///< envelope open + payload decode
+  kQueue = 1,   ///< frame complete -> compute lane pickup
+  kServe = 2,   ///< fit/serve (engine dispatch, incl. model fit time)
+  kMerge = 3,   ///< router-side partial merge / gather reassembly
+  kWrite = 4,   ///< response assembly (encrypt + frame encode)
+};
+constexpr std::size_t kStageCount = 5;
+
+[[nodiscard]] const char* to_string(Stage stage) noexcept;
+
+/// One handled request: who (trace id), what (payload kind or job name,
+/// printable ASCII <= 128 chars), and the per-stage milliseconds.
+struct TraceRecord {
+  std::uint64_t id = 0;
+  std::string op;
+  std::array<double, kStageCount> stage_ms{};
+
+  [[nodiscard]] double total_ms() const noexcept {
+    double total = 0.0;
+    for (const double ms : stage_ms) total += ms;
+    return total;
+  }
+};
+
+/// Fixed-capacity ring of the most recent trace records. push() overwrites
+/// the oldest once full — per-daemon memory is bounded whatever the
+/// request rate. Mutex-guarded: traces are recorded once per REQUEST (not
+/// per byte or per increment), so a short critical section is cheap next
+/// to the request it describes.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 256);
+
+  /// Record one completed request (dropped entirely when obs is disabled).
+  void push(TraceRecord record) SAP_EXCLUDES(mutex_);
+
+  /// The retained records, oldest first; `max` > 0 returns only the newest
+  /// `max` of them.
+  [[nodiscard]] std::vector<TraceRecord> recent(std::size_t max = 0) const
+      SAP_EXCLUDES(mutex_);
+
+  /// Total records ever pushed (>= retained count once the ring wrapped).
+  [[nodiscard]] std::uint64_t total() const SAP_EXCLUDES(mutex_);
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::vector<TraceRecord> ring_ SAP_GUARDED_BY(mutex_);
+  std::size_t next_ SAP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_ SAP_GUARDED_BY(mutex_) = 0;
+};
+
+/// Deterministic trace-id mint: (16-bit door salt << 48) | sequence. No
+/// randomness — ids only need to be unique per door and nonzero (0 on the
+/// wire means "untraced"; the first door to see it mints).
+class TraceMinter {
+ public:
+  explicit TraceMinter(std::uint64_t salt) noexcept : salt_((salt & 0xFFFF) << 48) {}
+
+  [[nodiscard]] std::uint64_t mint() noexcept {
+    return salt_ | ((seq_.fetch_add(1, std::memory_order_relaxed) + 1) & 0xFFFFFFFFFFFFull);
+  }
+
+ private:
+  std::uint64_t salt_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace sap::obs

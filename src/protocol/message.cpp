@@ -77,6 +77,8 @@ std::string to_string(PayloadKind kind) {
     case PayloadKind::kPartialResponse: return "partial-response";
     case PayloadKind::kPoolSliceRequest: return "pool-slice-request";
     case PayloadKind::kPoolSliceResponse: return "pool-slice-response";
+    case PayloadKind::kStatsRequest: return "stats-request";
+    case PayloadKind::kStatsResponse: return "stats-response";
   }
   return "unknown";
 }
@@ -452,6 +454,178 @@ DecodedPoolSlice decode_pool_slice(std::span<const double> wire) {
     out.keys.push_back({static_cast<std::uint64_t>(nonce),
                         static_cast<std::uint32_t>(seq)});
   }
+  return out;
+}
+
+// ---- stats door (PR 9) ---------------------------------------------------
+
+namespace {
+
+constexpr double kStatsWireVersion = 1.0;
+/// Caps on collection counts — a stats payload is operator traffic, but it
+/// still crosses the adversarial wire boundary like everything else.
+constexpr std::size_t kMaxStatsEntries = 4096;
+
+/// Validate-and-cast a wire double that must encode an exact u64 (counter
+/// values, bucket counts, trace ids can legitimately exceed checked_count's
+/// 1e9 range but must survive the double round-trip bit-exactly).
+std::uint64_t checked_u64(double v, const char* what) {
+  SAP_REQUIRE(std::isfinite(v) && v >= 0.0 && v < 9007199254740992.0 && v == std::floor(v),
+              std::string("decode: malformed ") + what);
+  return static_cast<std::uint64_t>(v);
+}
+
+void encode_u64(std::vector<double>& wire, std::uint64_t v, const char* what) {
+  SAP_REQUIRE(v < (1ULL << 53), std::string("encode: not double-exact: ") + what);
+  wire.push_back(static_cast<double>(v));
+}
+
+void encode_stat_value(std::vector<double>& wire, double v, const char* what) {
+  SAP_REQUIRE(std::isfinite(v), std::string("encode: non-finite ") + what);
+  wire.push_back(v);
+}
+
+double checked_stat_value(std::span<const double> wire, std::size_t& pos, const char* what) {
+  SAP_REQUIRE(pos < wire.size(), std::string("decode: truncated ") + what);
+  const double v = wire[pos++];
+  SAP_REQUIRE(std::isfinite(v), std::string("decode: non-finite ") + what);
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> encode_stats_request() { return {kStatsWireVersion}; }
+
+void decode_stats_request(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() == 1 && wire[0] == kStatsWireVersion,
+              "decode_stats_request: unsupported stats version");
+}
+
+std::vector<double> encode_stats_response(const obs::Snapshot& snapshot,
+                                          std::span<const obs::TraceRecord> traces) {
+  SAP_REQUIRE(snapshot.counters.size() <= kMaxStatsEntries &&
+                  snapshot.gauges.size() <= kMaxStatsEntries &&
+                  snapshot.histograms.size() <= kMaxStatsEntries &&
+                  traces.size() <= kMaxStatsEntries,
+              "encode_stats_response: too many entries");
+  std::vector<double> wire{kStatsWireVersion};
+  wire.push_back(static_cast<double>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    encode_string(wire, name, "counter name");
+    encode_u64(wire, value, "counter value");
+  }
+  wire.push_back(static_cast<double>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    encode_string(wire, name, "gauge name");
+    encode_stat_value(wire, value, "gauge value");
+  }
+  wire.push_back(static_cast<double>(snapshot.histograms.size()));
+  for (const auto& [name, hist] : snapshot.histograms) {
+    encode_string(wire, name, "histogram name");
+    encode_u64(wire, hist.count, "histogram count");
+    encode_stat_value(wire, hist.sum, "histogram sum");
+    encode_stat_value(wire, hist.max, "histogram max");
+    SAP_REQUIRE(hist.buckets.size() <= obs::Histogram::kBucketCount,
+                "encode_stats_response: too many histogram buckets");
+    wire.push_back(static_cast<double>(hist.buckets.size()));
+    for (const auto& [index, n] : hist.buckets) {
+      SAP_REQUIRE(index < obs::Histogram::kBucketCount,
+                  "encode_stats_response: bucket index out of range");
+      wire.push_back(static_cast<double>(index));
+      encode_u64(wire, n, "bucket count");
+    }
+  }
+  wire.push_back(static_cast<double>(traces.size()));
+  for (const auto& trace : traces) {
+    // A trace id uses the full 64 bits (16-bit door salt in the top bits),
+    // so it cannot ride the double-exact u64 path — split into 32-bit
+    // halves, each trivially exact.
+    encode_u64(wire, trace.id >> 32, "trace id hi");
+    encode_u64(wire, trace.id & 0xFFFFFFFFull, "trace id lo");
+    encode_string(wire, trace.op.empty() ? std::string("?") : trace.op, "trace op");
+    for (const double ms : trace.stage_ms) encode_stat_value(wire, ms, "trace stage ms");
+  }
+  return wire;
+}
+
+DecodedStats decode_stats_response(std::span<const double> wire) {
+  SAP_REQUIRE(!wire.empty() && wire[0] == kStatsWireVersion,
+              "decode_stats_response: unsupported stats version");
+  DecodedStats out;
+  std::size_t pos = 1;
+
+  const auto read_count = [&](const char* what) {
+    SAP_REQUIRE(pos < wire.size(), std::string("decode: truncated ") + what);
+    const std::size_t n = checked_count(wire[pos++], what);
+    SAP_REQUIRE(n <= kMaxStatsEntries, std::string("decode: oversized ") + what);
+    return n;
+  };
+
+  const std::size_t n_counters = read_count("counter section");
+  out.snapshot.counters.reserve(n_counters);
+  for (std::size_t i = 0; i < n_counters; ++i) {
+    std::string name = decode_string(wire, pos, "counter name");
+    SAP_REQUIRE(pos < wire.size(), "decode_stats_response: truncated counter");
+    const std::uint64_t value = checked_u64(wire[pos++], "counter value");
+    out.snapshot.counters.emplace_back(std::move(name), value);
+  }
+
+  const std::size_t n_gauges = read_count("gauge section");
+  out.snapshot.gauges.reserve(n_gauges);
+  for (std::size_t i = 0; i < n_gauges; ++i) {
+    std::string name = decode_string(wire, pos, "gauge name");
+    const double value = checked_stat_value(wire, pos, "gauge value");
+    out.snapshot.gauges.emplace_back(std::move(name), value);
+  }
+
+  const std::size_t n_hists = read_count("histogram section");
+  out.snapshot.histograms.reserve(n_hists);
+  for (std::size_t i = 0; i < n_hists; ++i) {
+    std::string name = decode_string(wire, pos, "histogram name");
+    obs::HistogramSnapshot hist;
+    SAP_REQUIRE(pos < wire.size(), "decode_stats_response: truncated histogram");
+    hist.count = checked_u64(wire[pos++], "histogram count");
+    hist.sum = checked_stat_value(wire, pos, "histogram sum");
+    hist.max = checked_stat_value(wire, pos, "histogram max");
+    SAP_REQUIRE(pos < wire.size(), "decode_stats_response: truncated histogram");
+    const std::size_t n_buckets = checked_count(wire[pos++], "bucket count");
+    SAP_REQUIRE(n_buckets <= obs::Histogram::kBucketCount,
+                "decode_stats_response: too many buckets");
+    hist.buckets.reserve(n_buckets);
+    std::uint64_t bucket_total = 0;
+    std::uint32_t prev_index = 0;
+    for (std::size_t b = 0; b < n_buckets; ++b) {
+      SAP_REQUIRE(pos + 1 < wire.size(), "decode_stats_response: truncated bucket");
+      const auto index = static_cast<std::uint32_t>(checked_count(wire[pos++], "bucket index"));
+      SAP_REQUIRE(index < obs::Histogram::kBucketCount,
+                  "decode_stats_response: bucket index out of range");
+      SAP_REQUIRE(b == 0 || index > prev_index,
+                  "decode_stats_response: bucket indices not ascending");
+      prev_index = index;
+      const std::uint64_t n = checked_u64(wire[pos++], "bucket count");
+      bucket_total += n;
+      hist.buckets.emplace_back(index, n);
+    }
+    SAP_REQUIRE(bucket_total == hist.count,
+                "decode_stats_response: bucket counts disagree with total");
+    out.snapshot.histograms.emplace_back(std::move(name), std::move(hist));
+  }
+
+  const std::size_t n_traces = read_count("trace section");
+  out.traces.reserve(n_traces);
+  for (std::size_t i = 0; i < n_traces; ++i) {
+    obs::TraceRecord trace;
+    SAP_REQUIRE(pos + 1 < wire.size(), "decode_stats_response: truncated trace");
+    const std::uint64_t id_hi = checked_u64(wire[pos++], "trace id hi");
+    const std::uint64_t id_lo = checked_u64(wire[pos++], "trace id lo");
+    SAP_REQUIRE(id_hi <= 0xFFFFFFFFull && id_lo <= 0xFFFFFFFFull,
+                "decode_stats_response: trace id half out of range");
+    trace.id = (id_hi << 32) | id_lo;
+    trace.op = decode_string(wire, pos, "trace op");
+    for (double& ms : trace.stage_ms) ms = checked_stat_value(wire, pos, "trace stage ms");
+    out.traces.push_back(std::move(trace));
+  }
+  SAP_REQUIRE(pos == wire.size(), "decode_stats_response: trailing garbage");
   return out;
 }
 

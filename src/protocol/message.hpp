@@ -17,6 +17,8 @@
 
 #include "data/dataset.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocol/shard.hpp"
 
 namespace sap::proto {
@@ -42,6 +44,9 @@ enum class PayloadKind : std::uint8_t {
   kPartialResponse = 14,   ///< miner -> router: the opaque partial blob
   kPoolSliceRequest = 15,  ///< router -> miner: one shard's canonical rows
   kPoolSliceResponse = 16, ///< miner -> router: rows + keys, canonical order
+  // -- observability (PR 9): the live stats door ---------------------------
+  kStatsRequest = 17,      ///< operator/router -> daemon: metrics snapshot, please
+  kStatsResponse = 18,     ///< daemon -> requester: snapshot + recent traces
 };
 
 /// Printable name for traces and tests.
@@ -234,6 +239,32 @@ struct DecodedPoolSliceRequest {
   std::size_t max_records = 0;
 };
 DecodedPoolSliceRequest decode_pool_slice_request(std::span<const double> wire);
+
+// ---- observability payloads (PR 9) --------------------------------------
+// The live stats door (DESIGN.md §12). A stats snapshot rides the same
+// encrypted envelope as every serving payload; both daemon front doors
+// answer it through the one serve_payload dispatch.
+
+/// Stats request: [version]. Version 1 is the only one defined; decoders
+/// reject anything else so a future layout change is a clean break.
+std::vector<double> encode_stats_request();
+void decode_stats_request(std::span<const double> wire);
+
+/// Stats response: [version,
+///   n_counters, (name, value)...,
+///   n_gauges, (name, value)...,
+///   n_hists, (name, count, sum, max, n_buckets, (index, count)...)...,
+///   n_traces, (id, op, stage_ms x 5)...].
+/// Strings use the printable-ASCII-per-double convention; counts and ids
+/// must be exactly representable as doubles (< 2^53) — enforced on encode
+/// so the decoder's adversarial checks mirror a real peer.
+struct DecodedStats {
+  obs::Snapshot snapshot;
+  std::vector<obs::TraceRecord> traces;
+};
+std::vector<double> encode_stats_response(const obs::Snapshot& snapshot,
+                                          std::span<const obs::TraceRecord> traces);
+DecodedStats decode_stats_response(std::span<const double> wire);
 
 /// Pool-slice response: [shard_epoch, d, m, features row-major m x d,
 /// labels x m, (nonce, seq) x m]. m == 0 encodes an installed-but-empty

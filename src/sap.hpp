@@ -12,6 +12,7 @@
 //   sap::opt      — randomized perturbation optimizer, optimality rate
 //   sap::ml       — KNN, SVM(RBF)/SMO, perceptron, Gaussian Naive Bayes
 //   sap::proto    — the Space Adaptation Protocol, risk model, adversaries
+//   sap::obs      — metrics registry, latency histograms, request tracing
 //   sap::net      — TCP wire frames, transport, miner daemon / party client
 #pragma once
 
@@ -50,6 +51,9 @@
 #include "classify/svm.hpp"
 
 #include "common/thread_pool.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #include "protocol/adversary.hpp"
 #include "protocol/baseline.hpp"

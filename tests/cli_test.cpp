@@ -11,9 +11,11 @@
 // SAP_CLI_PATH is injected by CMake as the built binary's absolute path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -242,31 +244,40 @@ TEST(CliCrossProcess, DaemonAndPartiesMatchInProcessSession) {
   // Reference: the identical logical session in THIS process (kSimulated).
   // Data prep and session options come from the SAME library helpers
   // `sap_cli party`/`contribute` call — one copy, no drift.
-  auto workload =
-      sap::data::make_stream_workload("Iris", kParties, kBatches, kBatchRecords, kSeed);
-  const Dataset& stream = workload.stream;
-  sap::proto::SapSession reference(std::move(workload.shards),
-                                   sap::net::serving_session_options(0.1, kSeed));
-  reference.run_until(sap::proto::SessionPhase::kMine);
+  //
   // nb-train-accuracy report per pool epoch: a party's wire request races
   // with the other parties' contributions, so it may legitimately serve at
-  // any epoch — but the (epoch, report) pair must match in-process serving.
-  std::map<unsigned long long, std::string> ref_job_at_epoch;
-  const auto note_epoch = [&] {
-    const auto response = reference.engine().run({"nb-train-accuracy", {}});
-    char text[64];
-    std::snprintf(text, sizeof text, "%.6f", response.values[0]);
-    ref_job_at_epoch[response.pool_epoch] = text;
-  };
-  note_epoch();
-  for (std::uint64_t b = 0; b < kBatches; ++b) {
-    (void)reference.contribute(b % kParties,
-                               stream.slice(b * kBatchRecords, (b + 1) * kBatchRecords));
+  // any epoch — AND an intermediate epoch's pool depends on which batch
+  // arrived first (the final pool is canonical, the prefixes are not). So
+  // the reference replays every contribution arrival order and a wire
+  // (epoch, report) pair must match one of them.
+  std::map<unsigned long long, std::set<std::string>> ref_job_at_epoch;
+  unsigned long long ref_records = 0, ref_multiset = 0;
+  std::vector<std::uint64_t> order(kBatches);
+  for (std::uint64_t b = 0; b < kBatches; ++b) order[b] = b;
+  do {
+    auto workload =
+        sap::data::make_stream_workload("Iris", kParties, kBatches, kBatchRecords, kSeed);
+    const Dataset& stream = workload.stream;
+    sap::proto::SapSession reference(std::move(workload.shards),
+                                     sap::net::serving_session_options(0.1, kSeed));
+    reference.run_until(sap::proto::SessionPhase::kMine);
+    const auto note_epoch = [&] {
+      const auto response = reference.engine().run({"nb-train-accuracy", {}});
+      char text[64];
+      std::snprintf(text, sizeof text, "%.6f", response.values[0]);
+      ref_job_at_epoch[response.pool_epoch].insert(text);
+    };
     note_epoch();
-  }
-  const auto ref_view = reference.engine().pool_view();
-  const auto ref_records = ref_view.data->size();
-  const auto ref_multiset = sap::net::dataset_multiset_digest(*ref_view.data);
+    for (const std::uint64_t b : order) {
+      (void)reference.contribute(b % kParties,
+                                 stream.slice(b * kBatchRecords, (b + 1) * kBatchRecords));
+      note_epoch();
+    }
+    const auto ref_view = reference.engine().pool_view();
+    ref_records = ref_view.data->size();
+    ref_multiset = sap::net::dataset_multiset_digest(*ref_view.data);
+  } while (std::next_permutation(order.begin(), order.end()));
 
   // Daemon process on an ephemeral port; parse the bound port from stdout.
   const std::string cli = SAP_CLI_PATH;
@@ -337,8 +348,9 @@ TEST(CliCrossProcess, DaemonAndPartiesMatchInProcessSession) {
         << party_output[i];
     ASSERT_TRUE(ref_job_at_epoch.count(job_epoch))
         << "party " << i << " served at unknown epoch " << job_epoch;
-    EXPECT_EQ(ref_job_at_epoch[job_epoch], value)
-        << "party " << i << " at epoch " << job_epoch;
+    EXPECT_TRUE(ref_job_at_epoch[job_epoch].count(value))
+        << "party " << i << " at epoch " << job_epoch << " served " << value
+        << ", not an in-process report at that epoch";
   }
 }
 

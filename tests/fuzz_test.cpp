@@ -355,10 +355,10 @@ TEST(Fuzz, FrameRejectsWrongVersionAndOversizedLength) {
   // A length prefix beyond the cap is rejected BEFORE the body arrives —
   // a hostile peer cannot make the reader allocate unbounded memory.
   auto oversized = bytes;
-  oversized[16] = 0xFF;
-  oversized[17] = 0xFF;
-  oversized[18] = 0xFF;
-  oversized[19] = 0xFF;
+  oversized[24] = 0xFF;
+  oversized[25] = 0xFF;
+  oversized[26] = 0xFF;
+  oversized[27] = 0xFF;
   sap::net::FrameReader small_cap(/*max_body=*/1024);
   small_cap.feed(oversized.data(), sap::net::kFrameHeaderBytes);
   sap::net::Frame out;

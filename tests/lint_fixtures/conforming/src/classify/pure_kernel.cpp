@@ -1,0 +1,9 @@
+// Fixture: R6 — a numeric kernel doing only math: no metrics, no timers.
+#include <cmath>
+
+namespace fixture {
+double rbf(double a, double b, double gamma) {
+  const double d = a - b;
+  return std::exp(-gamma * d * d);
+}
+}  // namespace fixture

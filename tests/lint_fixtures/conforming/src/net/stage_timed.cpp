@@ -1,0 +1,13 @@
+// Fixture: R6 — instrumentation at a serving-stage boundary (src/net), where
+// it belongs: the daemon times the stage and records into an obs histogram.
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
+namespace fixture {
+double serve_stage(sap::obs::Histogram& hist) {
+  sap::Stopwatch sw;
+  const double ms = sw.millis();
+  hist.record(ms);
+  return ms;
+}
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: R6 — a numeric kernel that records metrics and times itself.
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
+namespace fixture {
+double step(double x) {
+  sap::Stopwatch sw;
+  static sap::obs::Counter evals;
+  evals.increment();
+  return x * 0.5 + sw.millis() * 0.0;
+}
+}  // namespace fixture

@@ -3,7 +3,7 @@
 // Runs the built linter (SAP_LINT_PATH, injected by CMake like SAP_CLI_PATH)
 // against the in-repo fixture corpus (SAP_LINT_FIXTURES =
 // tests/lint_fixtures): one violating and one conforming input per rule
-// R1–R5, plus suppression handling. Assertions are on EXACT file:line and
+// R1–R6, plus suppression handling. Assertions are on EXACT file:line and
 // rule tags, so the diagnostics the tree relies on can never silently drift.
 //
 // The repo itself is linted by the separate `sap_lint` CTest entry (the tool
@@ -81,7 +81,8 @@ TEST(SapLint, ViolatingTreeFailsWithEveryRuleRepresented) {
   const LintRun run = lint("violating");
   EXPECT_EQ(run.exit, 1) << run.output;
   for (const char* tag : {"R1/rng-discipline", "R2/determinism", "R3/codec-safety",
-                          "R4/raii-locking", "R5/bench-hygiene", "suppression"}) {
+                          "R4/raii-locking", "R5/bench-hygiene", "R6/obs-purity",
+                          "suppression"}) {
     bool seen = false;
     for (const std::string& d : run.diagnostics)
       if (d.find(std::string("[") + tag + "]") != std::string::npos) seen = true;
@@ -197,6 +198,30 @@ TEST(SapLint, R5FlagsRogueBenchEmitters) {
 
 TEST(SapLint, R5PermitsBenchUtilItself) {
   const LintRun run = lint("conforming", "bench/bench_util.hpp");
+  EXPECT_EQ(run.exit, 0) << run.output;
+}
+
+// ---- R6: obs purity ------------------------------------------------------
+
+TEST(SapLint, R6FlagsObsAndTimersInsideNumericKernels) {
+  const std::string file = "src/optimize/instrumented_kernel.cpp";
+  const LintRun run = lint("violating", file);
+  EXPECT_EQ(run.exit, 1) << run.output;
+  EXPECT_EQ(run.diagnostics.size(), 3u) << run.output;
+  EXPECT_TRUE(has_diag(run, file, 3, "R6/obs-purity")) << run.output;  // obs include
+  EXPECT_TRUE(has_diag(run, file, 7, "R6/obs-purity")) << run.output;  // Stopwatch
+  EXPECT_TRUE(has_diag(run, file, 8, "R6/obs-purity")) << run.output;  // sap::obs use
+}
+
+TEST(SapLint, R6PermitsStageBoundaryInstrumentation) {
+  // The same Stopwatch + histogram record is FINE in src/net — stages are
+  // where measurement belongs.
+  const LintRun run = lint("conforming", "src/net/stage_timed.cpp");
+  EXPECT_EQ(run.exit, 0) << run.output;
+}
+
+TEST(SapLint, R6PermitsPureKernels) {
+  const LintRun run = lint("conforming", "src/classify/pure_kernel.cpp");
   EXPECT_EQ(run.exit, 0) << run.output;
 }
 

@@ -85,6 +85,14 @@ const char* kUsage =
     "           miners, scatter-gathers mining requests, merges exactly,\n"
     "           fails reads over to replicas — serves for --serve-ms then\n"
     "           exits with stats)\n"
+    "  sap_cli stats HOST:PORT [--parties K=5] [--seed S=1] [--json]\n"
+    "          (fetch a serving endpoint's live metrics + recent request\n"
+    "           traces over one kStatsRequest round trip. Works against a\n"
+    "           miner's reactor door AND a router front door — the router\n"
+    "           answers the cluster-wide aggregate: counters and latency\n"
+    "           histograms merged exactly across miners, per-miner gauges\n"
+    "           namespaced m<i>.*. --parties/--seed must match the cluster\n"
+    "           session, like every other client)\n"
     "  sap_cli party <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          --connect HOST:PORT --index I [--batches N=4]\n"
     "          [--batch-records M=16] [--job name[:k=v,...]]\n"
@@ -125,6 +133,11 @@ const char* kUsage =
     "  --batch-records <m> records per streamed batch\n"
     "  --job <spec>        job re-served after every append (default\n"
     "                      nb-train-accuracy, which refits incrementally)\n"
+    "\n"
+    "environment:\n"
+    "  SAP_LOG_LEVEL       stderr verbosity: off|error|warn|info|debug (or\n"
+    "                      0-4); default warn. Daemon log lines carry a\n"
+    "                      role prefix ([sap INFO  miner 0/2] ...)\n"
     "\n"
     "cross-process mode (see README for the two-terminal walkthrough):\n"
     "  `serve --listen` runs the miner daemon: it binds HOST:PORT, waits for\n"
@@ -558,6 +571,9 @@ int cmd_serve_daemon(int argc, char** argv) {
     std::printf("%s\n", line.c_str());
     std::fflush(stdout);
   };
+  log::set_role(shards > 1 ? "miner " + std::to_string(shard_index) + "/" +
+                                 std::to_string(shards)
+                           : "miner");
   net::MinerDaemon daemon(opts);
   // Parties (and scripts driving them) parse this line for the bound port.
   std::printf("listening on %s (%llu parties, seed %llu)\n",
@@ -676,6 +692,7 @@ int cmd_router(int argc, char** argv) {
     return usage_error("--listen needs HOST:PORT (IPv4 or localhost)");
   }
 
+  log::set_role("router");
   net::RouterDaemon daemon(opts);
   // Clients parse this line for the bound port (same convention as serve).
   std::printf("router listening on %s (%zu miners, %zu shards, %llu replicas)\n",
@@ -777,6 +794,7 @@ int cmd_party(int argc, char** argv) {
   opts.sap = net::serving_session_options(sigma, seed, optimize_threads);
   opts.tcp.receive_timeout_ms = static_cast<int>(deadline_ms);
 
+  log::set_role("party " + std::to_string(index));
   net::PartyClient party(workload.shards[index], opts);
   std::printf("party %llu: connected to %s\n", static_cast<unsigned long long>(index),
               opts.connect.to_string().c_str());
@@ -1082,6 +1100,61 @@ int cmd_contribute(int argc, char** argv) {
   return 0;
 }
 
+/// Fetch and pretty-print a serving endpoint's live metrics + traces. One
+/// kStatsRequest round trip through the same dispatch door as serving
+/// traffic; a router endpoint answers the cluster-wide aggregate.
+int cmd_stats(int argc, char** argv) {
+  std::string addr_text;
+  std::uint64_t parties = 5, seed = 1;
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--parties") {
+      if (++i >= argc || !parse_u64(argv[i], parties))
+        return usage_error("--parties needs a count");
+    } else if (arg == "--seed") {
+      if (++i >= argc || !parse_u64(argv[i], seed)) return usage_error("bad seed");
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      return usage_error(("unknown flag " + arg + " for stats").c_str());
+    } else if (addr_text.empty()) {
+      addr_text = arg;
+    } else {
+      return usage_error("stats takes one HOST:PORT");
+    }
+  }
+  if (addr_text.empty()) return usage_error("stats needs HOST:PORT");
+  if (parties < 3) return usage_error("stats needs --parties >= 3");
+  net::SocketAddr addr;
+  try {
+    addr = net::SocketAddr::parse(addr_text);
+  } catch (const sap::Error&) {
+    return usage_error("stats needs HOST:PORT (IPv4 or localhost)");
+  }
+  net::ServeClient client(addr, seed, parties);
+  const auto decoded = client.stats();
+  client.bye();
+  if (json) {
+    std::printf("%s\n", decoded.snapshot.to_json().c_str());
+    return 0;
+  }
+  std::fputs(decoded.snapshot.to_text().c_str(), stdout);
+  if (!decoded.traces.empty()) {
+    std::printf("traces (%zu recent, oldest first):\n", decoded.traces.size());
+    for (const auto& t : decoded.traces) {
+      std::printf("  %016llx %-22s", static_cast<unsigned long long>(t.id),
+                  t.op.c_str());
+      for (std::size_t s = 0; s < obs::kStageCount; ++s)
+        if (t.stage_ms[s] > 0.0)
+          std::printf(" %s=%.3f", obs::to_string(static_cast<obs::Stage>(s)),
+                      t.stage_ms[s]);
+      std::printf(" total=%.3f ms\n", t.total_ms());
+    }
+  }
+  return 0;
+}
+
 int cmd_minparties(int argc, char** argv) {
   if (argc != 4) return usage_error("minparties takes exactly 2 arguments");
   double s0 = 0.0, rate = 0.0;
@@ -1100,9 +1173,19 @@ int cmd_minparties(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage_error();
+  if (const char* env = std::getenv("SAP_LOG_LEVEL")) {
+    log::Level lvl;
+    if (log::parse_level(env, lvl))
+      log::set_level(lvl);
+    else
+      std::fprintf(stderr, "warning: ignoring bad SAP_LOG_LEVEL '%s' "
+                           "(use off|error|warn|info|debug or 0-4)\n",
+                   env);
+  }
   const std::string cmd = argv[1];
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage_ok();
   try {
+    if (cmd == "stats") return cmd_stats(argc, argv);
     if (cmd == "datasets") return cmd_datasets();
     if (cmd == "jobs") return cmd_jobs(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);

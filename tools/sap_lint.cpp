@@ -27,6 +27,13 @@
 //                       themselves (ofstream/fopen/FILE) — every
 //                       BENCH_*.json goes through bench_util's emitters so
 //                       the schema and run metadata stay uniform.
+//   R6/obs-purity       the RNG-disciplined numeric kernels (src/linalg,
+//                       src/perturb, src/optimize, src/classify,
+//                       src/privacy, src/rng) never touch sap::obs and
+//                       never read timers (Stopwatch/steady_now_ns) —
+//                       observability is pure measurement, recorded at
+//                       serving-stage boundaries (DESIGN.md §12), so
+//                       metrics on/off can never perturb a job report.
 //
 // Suppressions: a finding is waived by a comment on the same line (or a
 // comment-only line directly above the offending statement):
@@ -63,13 +70,13 @@ namespace fs = std::filesystem;
 // ---- rules ---------------------------------------------------------------
 
 struct RuleInfo {
-  const char* id;    ///< R1..R5
+  const char* id;    ///< R1..R6
   const char* slug;  ///< human-readable name, accepted in allow() too
 };
 
 constexpr RuleInfo kRules[] = {
     {"R1", "rng-discipline"}, {"R2", "determinism"},   {"R3", "codec-safety"},
-    {"R4", "raii-locking"},   {"R5", "bench-hygiene"},
+    {"R4", "raii-locking"},   {"R5", "bench-hygiene"}, {"R6", "obs-purity"},
 };
 
 /// Canonical id for an allow() argument ("R3" or "codec-safety"); empty when
@@ -148,8 +155,18 @@ ScannedFile scan_source(const std::string& path, const std::string& text) {
           i = j;  // at '(' (or end)
           code_line += "\"\"";
         } else if (c == '"') {
-          state = State::kString;
-          code_line += "\"\"";  // keep a token boundary, drop the contents
+          if (code_line.find("#include") != std::string::npos) {
+            // Keep include paths verbatim — path-scoped rules (R6) need to
+            // see WHICH header a kernel pulls in, and an include path is
+            // structure, not user string data.
+            code_line += c;
+            while (i + 1 < text.size() && text[i + 1] != '"' && text[i + 1] != '\n')
+              code_line += text[++i];
+            if (i + 1 < text.size() && text[i + 1] == '"') code_line += text[++i];
+          } else {
+            state = State::kString;
+            code_line += "\"\"";  // keep a token boundary, drop the contents
+          }
         } else if (c == '\'' && (i == 0 || !std::isdigit(static_cast<unsigned char>(
                                                text[i - 1])))) {
           // skip char literals but not C++14 digit separators (1'000'000)
@@ -354,6 +371,7 @@ class Linter {
       rule_codec(f, line, code);
       rule_raii(f, line, code);
       rule_bench(f, line, code);
+      rule_obs(f, line, code);
     }
   }
 
@@ -542,6 +560,41 @@ class Linter {
                std::string(api) + " in a bench — emit results through "
                "bench_util (emit_table/write_json) so every BENCH_*.json "
                "shares schema and run metadata");
+  }
+
+  // R6 — observability never reaches into the numeric kernels: no sap::obs
+  // use, no obs header includes, and no timers — a kernel that times or
+  // counts itself couples its output (via branches on elapsed time, or the
+  // temptation to) to the metrics switch, and the bit-identity contract
+  // (metrics on/off, DESIGN.md §12) forbids exactly that. Timing happens at
+  // serving-stage boundaries in src/net and src/protocol.
+  void rule_obs(const ScannedFile& f, std::size_t line, const std::string& code) {
+    static const std::vector<std::string> kKernelDirs = {
+        "src/linalg", "src/perturb", "src/optimize",
+        "src/classify", "src/privacy", "src/rng"};
+    bool kernel = false;
+    for (const std::string& dir : kKernelDirs)
+      if (in_dir(f.path, dir)) kernel = true;
+    if (!kernel) return;
+    for (std::size_t pos = code.find("obs::"); pos != std::string::npos;
+         pos = code.find("obs::", pos + 1)) {
+      if (pos == 0 || !ident_char(code[pos - 1])) {
+        report(f, line, "R6",
+               "sap::obs use inside a numeric kernel — observability is pure "
+               "measurement; record metrics at serving-stage boundaries "
+               "(src/net, src/protocol), never in the math");
+        break;
+      }
+    }
+    if (code.find("#include") != std::string::npos &&
+        code.find("obs/") != std::string::npos)
+      report(f, line, "R6",
+             "obs header included by a numeric kernel — the kernels must stay "
+             "measurement-free so metrics on/off cannot perturb a job report");
+    if (has_word(code, "Stopwatch") || has_word(code, "steady_now_ns"))
+      report(f, line, "R6",
+             "timer inside a numeric kernel — time requests at stage boundaries "
+             "(decode/queue/serve/merge/write), not inside the computation");
   }
 
   std::vector<Diagnostic>& diags_;
