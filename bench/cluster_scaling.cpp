@@ -132,16 +132,23 @@ int miner_main(std::size_t shards, std::size_t index, std::size_t replicas) {
   }
   exchanged.get_future().wait();
   // Party 0's exchange return races the daemon-side pool install by a hair;
-  // probe our own door until it serves before announcing READY.
-  for (;;) {
+  // probe our own door until it serves before announcing READY. Bounded
+  // (lint R7): if our own door cannot serve within the budget the process
+  // is wedged, and dying beats hanging the driver forever.
+  bool door_up = false;
+  for (int attempt = 0; attempt < 2000 && !door_up; ++attempt) {
     try {
       net::ServeClient probe(daemon.reactor_addr(), kSeed, kParties);
       (void)probe.mine_named("record-count");
       probe.bye();
-      break;
+      door_up = true;
     } catch (const sap::Error&) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
+  }
+  if (!door_up) {
+    std::fprintf(stderr, "miner: own serving door never came up\n");
+    return 1;
   }
   std::printf("READY\n");
   std::fflush(stdout);

@@ -1,11 +1,13 @@
 #include "net/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "net/fault.hpp"
 #include "protocol/mining_engine.hpp"
 
 namespace sap::net {
@@ -20,10 +22,16 @@ ShardRouter::ShardRouter(ShardRouterOptions opts)
   SAP_REQUIRE(opts_.replicas >= 1 && opts_.replicas <= opts_.miners.size(),
               "ShardRouter: replicas must be in [1, miner count]");
   clients_.resize(opts_.miners.size());
+  health_.resize(opts_.miners.size());
   floors_.assign(opts_.shards, 0);
   hist_fanout_ = &obs_.histogram("router.fanout_ms");
   ctr_contributions_ = &obs_.counter("router.contributions");
   ctr_mine_ = &obs_.counter("router.mine_requests");
+  ctr_breaker_opens_ = &obs_.counter("router.breaker_opens");
+  breaker_gauges_.reserve(opts_.miners.size());
+  for (std::size_t m = 0; m < opts_.miners.size(); ++m)
+    breaker_gauges_.push_back(
+        &obs_.gauge("router.m" + std::to_string(m) + ".breaker"));
   shard_requests_.reserve(opts_.shards);
   for (std::size_t g = 0; g < opts_.shards; ++g)
     shard_requests_.push_back(
@@ -47,11 +55,93 @@ std::vector<std::size_t> ShardRouter::owners(std::size_t shard) const {
 
 ServeClient& ShardRouter::client_for(std::size_t miner) {
   if (!clients_[miner]) {
-    clients_[miner] = std::make_unique<ServeClient>(opts_.miners[miner], opts_.seed,
-                                                    opts_.parties, opts_.client);
+    auto& h = health_[miner];
+    if (std::chrono::steady_clock::now() < h.dead_until)
+      SAP_FAIL("miner " + std::to_string(miner) +
+               " skipped by negative-connect cache: " + h.last_connect_error);
+    try {
+      clients_[miner] = std::make_unique<ServeClient>(
+          opts_.miners[miner], opts_.seed, opts_.parties, opts_.client);
+    } catch (const Error& e) {
+      // Remember the failure so every later owner loop inside the window
+      // skips this miner instantly instead of paying the connect deadline
+      // again — the dead-primary scatter no longer serializes timeouts.
+      h.dead_until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(opts_.negative_cache_ms);
+      h.last_connect_error = e.what();
+      throw;
+    }
+    h.dead_until = {};
     clients_[miner]->set_trace(trace_);  // lazy connect mid-request keeps the id
   }
   return *clients_[miner];
+}
+
+void ShardRouter::drop_client(std::size_t miner) {
+  if (clients_[miner]) {
+    retries_accum_ += clients_[miner]->retries();
+    clients_[miner].reset();
+  }
+}
+
+std::size_t ShardRouter::client_retries() const {
+  std::size_t total = retries_accum_;
+  for (const auto& client : clients_)
+    if (client) total += client->retries();
+  return total;
+}
+
+void ShardRouter::record_success(std::size_t miner) {
+  auto& h = health_[miner];
+  h.failures = 0;
+  if (h.state != BreakerState::kClosed) {
+    h.state = BreakerState::kClosed;
+    breaker_gauges_[miner]->set(static_cast<double>(BreakerState::kClosed));
+  }
+}
+
+void ShardRouter::record_failure(std::size_t miner) {
+  drop_client(miner);  // dead connection — reconnect on next use
+  auto& h = health_[miner];
+  ++h.failures;
+  if (opts_.breaker_threshold > 0 && h.state == BreakerState::kClosed &&
+      h.failures >= opts_.breaker_threshold) {
+    h.state = BreakerState::kOpen;
+    h.open_until = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(opts_.breaker_cooldown_ms);
+    ctr_breaker_opens_->increment();
+    breaker_gauges_[miner]->set(static_cast<double>(BreakerState::kOpen));
+  }
+}
+
+bool ShardRouter::admit(std::size_t miner, std::string& why) {
+  auto& h = health_[miner];
+  if (h.state == BreakerState::kClosed) return true;
+  if (h.state == BreakerState::kOpen) {
+    if (std::chrono::steady_clock::now() < h.open_until) {
+      why = "breaker open for miner " + std::to_string(miner);
+      return false;
+    }
+    h.state = BreakerState::kHalfOpen;
+    breaker_gauges_[miner]->set(static_cast<double>(BreakerState::kHalfOpen));
+  }
+  // Half-open: one probe through the stats door decides. Success closes
+  // the breaker and admits the real request; failure restarts the cooldown.
+  try {
+    (void)client_for(miner).stats();
+    record_success(miner);
+    return true;
+  } catch (const Error& e) {
+    drop_client(miner);
+    h.failures = 0;  // the next half-open probe decides alone
+    h.state = BreakerState::kOpen;
+    h.open_until = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(opts_.breaker_cooldown_ms);
+    breaker_gauges_[miner]->set(static_cast<double>(BreakerState::kOpen));
+    why = "breaker probe failed for miner " + std::to_string(miner) + ": " +
+          e.what();
+    return false;
+  }
 }
 
 proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wire) {
@@ -75,10 +165,17 @@ proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wi
   std::uint64_t top = floors_[shard];
   std::string last_error = "no owner attempted";
   for (const auto m : owners(shard)) {
+    std::string why;
+    if (!admit(m, why)) {
+      ++failovers_;
+      last_error = std::move(why);
+      continue;
+    }
     try {
       Stopwatch leg;
       const auto ack = client_for(m).contribute_wire(wire);
       hist_fanout_->record(leg.millis());
+      record_success(m);
       top = std::max(top, ack.pool_epoch);
       if (!have_receipt) {
         receipt = ack;
@@ -86,6 +183,7 @@ proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wi
       }
     } catch (const ServeError& e) {
       if (e.code() == proto::ServeErrorCode::kBadRequest) throw;  // definitive
+      record_success(m);  // a typed refusal means the miner is alive
       ++failovers_;
       last_error = e.what();
     } catch (const Error& e) {
@@ -93,7 +191,7 @@ proto::DecodedReceipt ShardRouter::contribute_wire(const std::vector<double>& wi
       // owner would reject it identically); transport failures are not.
       if (std::string(e.what()).find("rejected this contribution") != std::string::npos)
         throw;
-      clients_[m].reset();  // dead connection — reconnect on next use
+      record_failure(m);
       ++failovers_;
       last_error = e.what();
     }
@@ -112,10 +210,17 @@ proto::DecodedPartialResponse ShardRouter::scatter_partial(
   shard_requests_[shard]->increment();
   std::string last_error = "no owner attempted";
   for (const auto m : owners(shard)) {
+    std::string why;
+    if (!admit(m, why)) {
+      ++failovers_;
+      last_error = std::move(why);
+      continue;
+    }
     try {
       Stopwatch leg;
       auto resp = client_for(m).mine_partial(shard, job, params, queries);
       hist_fanout_->record(leg.millis());
+      record_success(m);
       if (resp.shard_epoch < floors_[shard]) {
         // Stale replica: it missed an append another owner acked.
         ++failovers_;
@@ -127,10 +232,11 @@ proto::DecodedPartialResponse ShardRouter::scatter_partial(
       return resp;
     } catch (const ServeError& e) {
       if (e.code() == proto::ServeErrorCode::kBadRequest) throw;
+      record_success(m);
       ++failovers_;
       last_error = e.what();
     } catch (const Error& e) {
-      clients_[m].reset();
+      record_failure(m);
       ++failovers_;
       last_error = e.what();
     }
@@ -145,10 +251,17 @@ proto::DecodedPoolSlice ShardRouter::scatter_slice(std::size_t shard,
   shard_requests_[shard]->increment();
   std::string last_error = "no owner attempted";
   for (const auto m : owners(shard)) {
+    std::string why;
+    if (!admit(m, why)) {
+      ++failovers_;
+      last_error = std::move(why);
+      continue;
+    }
     try {
       Stopwatch leg;
       auto resp = client_for(m).pool_slice(shard, max_records);
       hist_fanout_->record(leg.millis());
+      record_success(m);
       if (resp.shard_epoch < floors_[shard]) {
         ++failovers_;
         last_error = "stale shard epoch " + std::to_string(resp.shard_epoch) +
@@ -159,10 +272,11 @@ proto::DecodedPoolSlice ShardRouter::scatter_slice(std::size_t shard,
       return resp;
     } catch (const ServeError& e) {
       if (e.code() == proto::ServeErrorCode::kBadRequest) throw;
+      record_success(m);
       ++failovers_;
       last_error = e.what();
     } catch (const Error& e) {
-      clients_[m].reset();
+      record_failure(m);
       ++failovers_;
       last_error = e.what();
     }
@@ -265,14 +379,23 @@ proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
     // miner owns every shard (its engine serves over its owned set).
     std::string last_error = "no owner attempted";
     for (const auto m : owners(0)) {
+      std::string why;
+      if (!admit(m, why)) {
+        ++failovers_;
+        last_error = std::move(why);
+        continue;
+      }
       try {
-        return client_for(m).mine_named(job, params);
+        auto resp = client_for(m).mine_named(job, params);
+        record_success(m);
+        return resp;
       } catch (const ServeError& e) {
         if (e.code() == proto::ServeErrorCode::kBadRequest) throw;
+        record_success(m);
         ++failovers_;
         last_error = e.what();
       } catch (const Error& e) {
-        clients_[m].reset();
+        record_failure(m);
         ++failovers_;
         last_error = e.what();
       }
@@ -303,6 +426,19 @@ proto::WireMiningResponse ShardRouter::mine_named(const std::string& job,
 obs::Snapshot ShardRouter::cluster_stats() {
   obs::Snapshot total = obs_.snapshot();
   total.set_counter("router.failovers", failovers_);
+  total.set_counter("router.retries", client_retries());
+  // This process's own fault injection (--fault / SAP_FAULT), same export
+  // as MinerDaemon::stats_snapshot — counters merge by addition, so the
+  // aggregate reads as cluster-wide injections.
+  if (fault::enabled()) {
+    const auto fs = fault::stats();
+    total.set_counter("fault.decisions", fs.decisions);
+    total.set_counter("fault.injected", fs.total_injected());
+    for (int k = 1; k < fault::kKindCount; ++k)
+      total.set_counter(std::string("fault.injected.") +
+                            fault::kind_name(static_cast<fault::Kind>(k)),
+                        fs.injected[static_cast<std::size_t>(k)]);
+  }
   // Per-shard skew: hottest shard's request count over the mean (1.0 =
   // perfectly even). Derived at snapshot time from the per-shard counters.
   std::uint64_t peak = 0;
@@ -320,6 +456,9 @@ obs::Snapshot ShardRouter::cluster_stats() {
   for (std::size_t m = 0; m < opts_.miners.size(); ++m) {
     try {
       auto decoded = client_for(m).stats();
+      // An operator stats poll doubles as the half-open probe: a miner
+      // that answers its stats door has its breaker closed again.
+      record_success(m);
       std::string prefix = "m";
       prefix += std::to_string(m);
       prefix += '.';
@@ -327,7 +466,7 @@ obs::Snapshot ShardRouter::cluster_stats() {
       decoded.snapshot.normalize();
       total.merge(decoded.snapshot);
     } catch (const Error&) {
-      clients_[m].reset();  // dead connection — reconnect on next use
+      record_failure(m);
       ++unreachable;
     }
   }

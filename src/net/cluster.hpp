@@ -30,6 +30,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,6 +59,18 @@ struct ShardRouterOptions {
   std::uint64_t seed = 0x5A9;   ///< must match the miners' session seed
   std::size_t parties = 0;      ///< k (>= 3); must match the miners
   ServeClient::Options client{};
+  /// Consecutive transport failures on one miner before its circuit
+  /// breaker opens and the shard serves from replicas only (DESIGN.md
+  /// §13). Typed refusals (the daemon answered) never count. 0 disables
+  /// the breaker.
+  std::size_t breaker_threshold = 3;
+  /// How long an open breaker cools down before admitting one half-open
+  /// probe through the stats door.
+  int breaker_cooldown_ms = 250;
+  /// After a failed connect, how long client_for() refuses to re-dial the
+  /// same miner. Failovers inside the window skip the dead owner
+  /// instantly instead of paying the full connect deadline per request.
+  int negative_cache_ms = 100;
 };
 
 /// Scatter-gather coordinator over a set of sharded miner daemons. NOT
@@ -96,6 +109,18 @@ class ShardRouter {
   /// Times a request was retried on another owner (dead/stale/unowned).
   [[nodiscard]] std::size_t failovers() const noexcept { return failovers_; }
 
+  /// Per-miner circuit breaker (DESIGN.md §13): kClosed serves normally;
+  /// kOpen skips the miner while its cooldown runs (replica-only serving);
+  /// a cooled-down breaker goes kHalfOpen and one stats-door probe decides
+  /// whether it closes or re-opens.
+  enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+  [[nodiscard]] BreakerState breaker(std::size_t miner) const {
+    return health_[miner].state;
+  }
+  /// Transport-level retries spent by this router's ServeClients (lifetime
+  /// sum — survives the connection resets a failover performs).
+  [[nodiscard]] std::size_t client_retries() const;
+
   /// The router's own metrics (router.shard<g>.requests counters, the
   /// router.fanout_ms leg-latency histogram — DESIGN.md §12).
   [[nodiscard]] obs::Registry& metrics() noexcept { return obs_; }
@@ -121,9 +146,32 @@ class ShardRouter {
   [[nodiscard]] double last_merge_ms() const noexcept { return last_merge_ms_; }
 
  private:
+  struct MinerHealth {
+    BreakerState state = BreakerState::kClosed;
+    std::size_t failures = 0;  ///< consecutive transport failures
+    std::chrono::steady_clock::time_point open_until{};  ///< cooldown end
+    std::chrono::steady_clock::time_point dead_until{};  ///< negative-cache expiry
+    std::string last_connect_error;  ///< replayed while the cache holds
+  };
+
   /// The lazily-connected client for miner m (connects on first use;
-  /// callers reset the slot after a transport failure).
+  /// failure paths call record_failure, which drops the slot). Throws
+  /// without dialling while the miner's negative-connect cache holds.
   ServeClient& client_for(std::size_t miner);
+
+  /// Breaker gate for one owner attempt: false (with `why`) while the
+  /// breaker is open and cooling down. A cooled-down breaker admits one
+  /// half-open probe through the stats door inline and closes (true) or
+  /// re-opens (false) on the probe's outcome.
+  bool admit(std::size_t miner, std::string& why);
+  /// The miner answered (data or typed refusal): clear the failure streak
+  /// and close its breaker.
+  void record_success(std::size_t miner);
+  /// Transport failure: drop the connection, bump the streak, trip the
+  /// breaker at the threshold.
+  void record_failure(std::size_t miner);
+  /// Reset clients_[miner], folding its retry count into the lifetime sum.
+  void drop_client(std::size_t miner);
 
   /// One shard's partial, trying owners in order (stale-epoch and dead
   /// owners skipped).
@@ -147,12 +195,16 @@ class ShardRouter {
   ShardRouterOptions opts_;
   proto::JobRegistry registry_;   ///< merge contracts, router-side
   std::vector<std::unique_ptr<ServeClient>> clients_;  ///< parallel to miners
+  std::vector<MinerHealth> health_;                    ///< parallel to miners
   std::vector<std::uint64_t> floors_;                  ///< per-shard epoch floor
   std::size_t failovers_ = 0;
+  std::size_t retries_accum_ = 0;  ///< retries of since-dropped clients
   obs::Registry obs_;
   obs::Histogram* hist_fanout_ = nullptr;      ///< router.fanout_ms (per leg)
   obs::Counter* ctr_contributions_ = nullptr;  ///< router.contributions
   obs::Counter* ctr_mine_ = nullptr;           ///< router.mine_requests
+  obs::Counter* ctr_breaker_opens_ = nullptr;  ///< router.breaker_opens
+  std::vector<obs::Gauge*> breaker_gauges_;    ///< router.m<i>.breaker
   std::vector<obs::Counter*> shard_requests_;  ///< router.shard<g>.requests
   std::uint64_t trace_ = 0;                    ///< stamped on downstream frames
   double last_merge_ms_ = 0.0;

@@ -4,9 +4,11 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
+#include "net/fault.hpp"
 
 namespace sap::net {
 
@@ -248,6 +250,30 @@ bool MinerDaemon::serve_payload(proto::PayloadKind kind, std::span<const double>
       }
       return true;
     }
+    case proto::PayloadKind::kShardSnapshotRequest: {
+      // The resync door (DESIGN.md §13): one owned shard's ARRIVAL-order
+      // rows + keys at the shard's CURRENT epoch. Arrival order — not the
+      // canonical order shard_slice serves — because the rejoiner installs
+      // this verbatim and arrival order is what incremental partial_fit
+      // lineage (and therefore bit-identical serving) derives from.
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      const auto shard = proto::decode_shard_snapshot_request(payload);
+      if (shard >= engine_.total_shards() || !engine_.owns(shard)) {
+        serve_error(proto::ServeErrorCode::kNotOwner,
+                    "shard " + std::to_string(shard) + " is not owned here",
+                    out_kind, out_wire);
+        return true;
+      }
+      try {
+        const auto view = engine_.shard_view(shard);
+        SAP_REQUIRE(view.snap != nullptr, "shard not installed yet");
+        out_kind = proto::PayloadKind::kShardSnapshotResponse;
+        out_wire = proto::encode_pool_slice(view.epoch, view.snap->rows, view.snap->keys);
+      } catch (const Error& e) {
+        serve_error(proto::ServeErrorCode::kUnavailable, e.what(), out_kind, out_wire);
+      }
+      return true;
+    }
     case proto::PayloadKind::kStatsRequest: {
       // The stats door rides the SAME dispatch as serving traffic, so hub-
       // and reactor-fetched snapshots are assembled identically. It does
@@ -319,6 +345,18 @@ obs::Snapshot MinerDaemon::stats_snapshot() {
       snap.set_gauge("reactor.loop" + std::to_string(i) + ".conns",
                      static_cast<double>(rs.loop_conns[i]));
     snap.set_counter("reactor.compute.tasks", reactor_->compute_stats().tasks);
+  }
+  if (fault::enabled()) {
+    // Chaos visibility: when this process injects socket faults, the stats
+    // door says so — an operator reading surprising retry counters can tell
+    // deliberate chaos from a genuinely sick network.
+    const auto fs = fault::stats();
+    snap.set_counter("fault.decisions", fs.decisions);
+    snap.set_counter("fault.injected", fs.total_injected());
+    for (int k = 1; k < fault::kKindCount; ++k)
+      snap.set_counter(std::string("fault.injected.") +
+                           fault::kind_name(static_cast<fault::Kind>(k)),
+                       fs.injected[static_cast<std::size_t>(k)]);
   }
   snap.normalize();
   return snap;
@@ -524,6 +562,11 @@ MinerDaemon::Summary MinerDaemon::run() {
     line += " }";
     note(line);
   }
+  // Rejoin resync: a restarted miner's exchange re-derives the adaptors and
+  // the INITIAL pool deterministically, but contributions streamed while it
+  // was dead live only on surviving replicas — pull them before serving so
+  // the router's epoch floors accept this miner again.
+  if (!opts_.resync_peers.empty()) resync_owned_shards();
   // adaptors_/dims_/engine_ pool are frozen now — the reactor compute lanes
   // may start dispatching the moment this store is visible.
   serving_.store(true, std::memory_order_release);
@@ -602,17 +645,62 @@ MinerDaemon::Summary MinerDaemon::run() {
   return summary;
 }
 
+void MinerDaemon::resync_owned_shards() {
+  for (const auto g : engine_.owned_shards()) {
+    const std::uint64_t local_epoch = engine_.shard_epoch(g);
+    bool adopted = false;
+    for (const auto& peer : opts_.resync_peers) {
+      try {
+        ServeClient::Options copts;
+        copts.timeout_ms = opts_.resync_timeout_ms;
+        copts.max_frame_body = opts_.tcp.max_frame_body;
+        ServeClient client(peer, opts_.seed, opts_.parties, copts);
+        auto snap = client.shard_snapshot(g);
+        client.bye();
+        if (snap.shard_epoch <= local_epoch) {
+          note("resync: peer " + peer.to_string() + " shard " + std::to_string(g) +
+               " epoch " + std::to_string(snap.shard_epoch) + " not ahead of local " +
+               std::to_string(local_epoch) + "; keeping exchange state");
+          continue;
+        }
+        const std::size_t records = snap.rows.size();
+        engine_.install_shard(g, std::move(snap.rows), std::move(snap.keys),
+                              snap.shard_epoch);
+        note("resync: shard " + std::to_string(g) + " adopted from " +
+             peer.to_string() + " at epoch " + std::to_string(snap.shard_epoch) +
+             " (" + std::to_string(records) + " records)");
+        adopted = true;
+        break;
+      } catch (const Error& e) {
+        // Down peer, non-owner (typed kNotOwner), or mid-install: try the
+        // next one. Resync is best effort — a cold start still serves.
+        note("resync: peer " + peer.to_string() + " shard " + std::to_string(g) +
+             " unavailable: " + e.what());
+      }
+    }
+    if (!adopted && opts_.log)
+      note("resync: shard " + std::to_string(g) + " keeps local epoch " +
+           std::to_string(local_epoch));
+  }
+}
+
 // ---- ServeClient ---------------------------------------------------------
 
 ServeClient::ServeClient(const SocketAddr& addr, std::uint64_t seed, std::size_t parties,
                          Options opts)
     : sock_(TcpSocket::connect(addr, opts.timeout_ms)),
       reader_(opts.max_frame_body),
-      opts_(opts) {
+      opts_(opts),
+      addr_(addr),
+      parties_(parties),
+      retry_eng_(opts.retry_seed) {
   SAP_REQUIRE(parties >= 3, "ServeClient: need at least 3 parties");
   secret_ = proto::logic::derive_session_seeds(seed, parties).session_secret;
   miner_ = static_cast<proto::PartyId>(parties);
+  handshake();
+}
 
+void ServeClient::handshake() {
   Frame hello;
   hello.type = FrameType::kHello;
   hello.body = u32_body(kClaimAnyParty);
@@ -626,6 +714,13 @@ ServeClient::ServeClient(const SocketAddr& addr, std::uint64_t seed, std::size_t
   SAP_REQUIRE(welcome.type == FrameType::kWelcome,
               "ServeClient: expected kWelcome during the handshake");
   id_ = body_u32(welcome.body);
+}
+
+void ServeClient::reconnect() {
+  sock_ = TcpSocket::connect(addr_, opts_.timeout_ms);
+  reader_.reset();
+  said_bye_ = false;
+  handshake();
 }
 
 Frame ServeClient::read_frame() {
@@ -682,11 +777,46 @@ std::vector<double> ServeClient::transact(proto::PayloadKind kind,
   }
 }
 
+std::vector<double> ServeClient::transact_idempotent(proto::PayloadKind kind,
+                                                     std::span<const double> payload,
+                                                     proto::PayloadKind expect_kind) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.retry_deadline_ms);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0 && !sock_.valid()) reconnect();
+      return transact(kind, payload, expect_kind);
+    } catch (const ServeError&) {
+      throw;  // the daemon answered — typed refusals are never transport noise
+    } catch (const Error& e) {
+      // Transport failure (reset, timeout, corrupt frame, dropped write):
+      // state on the wire is unknown but the request is idempotent, so a
+      // fresh connection + resend is safe. Budget- AND deadline-bounded.
+      if (attempt >= opts_.retry_attempts) throw;
+      const int base =
+          std::min(opts_.retry_backoff_ms << attempt, opts_.retry_backoff_cap_ms);
+      const int jitter =
+          base > 0 ? static_cast<int>(retry_eng_.uniform_index(
+                         static_cast<std::uint64_t>(base))) : 0;
+      const auto wake = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(base + jitter);
+      if (wake >= deadline) throw;  // deadline-scoped: no attempt past it
+      std::this_thread::sleep_for(std::chrono::milliseconds(base + jitter));
+      ++retries_;
+      // The old socket may be half-dead in any number of ways — drop it so
+      // the next attempt rebuilds from scratch (reconnect failures route
+      // through this same catch and back off further).
+      sock_.close();
+      (void)e;
+    }
+  }
+}
+
 proto::WireMiningResponse ServeClient::mine_named(const std::string& job,
                                                   const proto::JobParams& params) {
-  const auto wire = transact(proto::PayloadKind::kMiningRequest,
-                             proto::encode_mining_request(job, params),
-                             proto::PayloadKind::kMiningResponse);
+  const auto wire = transact_idempotent(proto::PayloadKind::kMiningRequest,
+                                        proto::encode_mining_request(job, params),
+                                        proto::PayloadKind::kMiningResponse);
   return proto::decode_mining_response(wire);
 }
 
@@ -694,24 +824,32 @@ proto::DecodedPartialResponse ServeClient::mine_partial(std::size_t shard,
                                                         const std::string& job,
                                                         const proto::JobParams& params,
                                                         const data::Dataset& queries) {
-  const auto wire = transact(proto::PayloadKind::kPartialRequest,
-                             proto::encode_partial_request(shard, job, params, queries),
-                             proto::PayloadKind::kPartialResponse);
+  const auto wire = transact_idempotent(
+      proto::PayloadKind::kPartialRequest,
+      proto::encode_partial_request(shard, job, params, queries),
+      proto::PayloadKind::kPartialResponse);
   return proto::decode_partial_response(wire);
 }
 
 proto::DecodedPoolSlice ServeClient::pool_slice(std::size_t shard,
                                                 std::size_t max_records) {
-  const auto wire = transact(proto::PayloadKind::kPoolSliceRequest,
-                             proto::encode_pool_slice_request(shard, max_records),
-                             proto::PayloadKind::kPoolSliceResponse);
+  const auto wire = transact_idempotent(proto::PayloadKind::kPoolSliceRequest,
+                                        proto::encode_pool_slice_request(shard, max_records),
+                                        proto::PayloadKind::kPoolSliceResponse);
+  return proto::decode_pool_slice(wire);
+}
+
+proto::DecodedPoolSlice ServeClient::shard_snapshot(std::size_t shard) {
+  const auto wire = transact_idempotent(proto::PayloadKind::kShardSnapshotRequest,
+                                        proto::encode_shard_snapshot_request(shard),
+                                        proto::PayloadKind::kShardSnapshotResponse);
   return proto::decode_pool_slice(wire);
 }
 
 proto::DecodedStats ServeClient::stats() {
-  const auto wire = transact(proto::PayloadKind::kStatsRequest,
-                             proto::encode_stats_request(),
-                             proto::PayloadKind::kStatsResponse);
+  const auto wire = transact_idempotent(proto::PayloadKind::kStatsRequest,
+                                        proto::encode_stats_request(),
+                                        proto::PayloadKind::kStatsResponse);
   return proto::decode_stats_response(wire);
 }
 

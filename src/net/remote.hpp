@@ -110,6 +110,18 @@ struct MinerDaemonOptions {
   std::size_t shards = 1;
   std::vector<std::size_t> owned_shards;
   proto::ShardLayout shard_layout = proto::ShardLayout::kHashMod;
+  /// Self-healing rejoin (PR 10): serving doors of live replica peers. When
+  /// non-empty, run() resyncs every owned shard right after the exchange
+  /// install and BEFORE serving starts: each peer is asked through the
+  /// kShardSnapshotRequest door for the shard's ARRIVAL-order rows, and a
+  /// snapshot whose epoch is ahead of the local line is installed with the
+  /// donor's epoch adopted (install_shard) — so a restarted miner re-enters
+  /// rotation with state the router's epoch floors accept. Peers that are
+  /// down, don't own the shard, or are behind are skipped; with no usable
+  /// peer the miner keeps its exchange-derived state (cold start).
+  std::vector<SocketAddr> resync_peers;
+  /// Deadline per resync peer probe (connect + snapshot fetch).
+  int resync_timeout_ms = 5'000;
 };
 
 class MinerDaemon {
@@ -129,9 +141,10 @@ class MinerDaemon {
   [[nodiscard]] const Reactor* reactor() const noexcept { return reactor_.get(); }
 
   /// True once run() has installed the pool and both front doors answer
-  /// serving traffic. Before this, direct mining/stats requests get a typed
-  /// kUnavailable refusal — callers without router failover (tests, probes)
-  /// poll here instead of spinning on refusals.
+  /// serving traffic. Before this, front-door requests are refused with a
+  /// kError frame ("not serving yet") — a TRANSIENT refusal by the DESIGN.md
+  /// §13 taxonomy, so retrying clients absorb it like any transport fault.
+  /// Callers without a retry budget (tests, probes) poll here instead.
   [[nodiscard]] bool serving() const noexcept {
     return serving_.load(std::memory_order_acquire);
   }
@@ -184,6 +197,12 @@ class MinerDaemon {
   void serve_error(proto::ServeErrorCode code, const std::string& message,
                    proto::PayloadKind& out_kind, std::vector<double>& out_wire) const;
 
+  /// Rejoin resync (DESIGN.md §13): pull every owned shard's snapshot from
+  /// the first live peer in opts_.resync_peers that owns it and is ahead of
+  /// the local epoch line; install with the donor epoch adopted. Best
+  /// effort per shard — runs after the exchange install, before serving_.
+  void resync_owned_shards();
+
   /// Reactor handler: decrypt, dispatch through serve_payload, encrypt the
   /// response. Runs on reactor compute lanes.
   std::vector<Frame> serve_frame(const Frame& frame);
@@ -230,6 +249,24 @@ class ServeClient {
   struct Options {
     int timeout_ms = 10'000;  ///< connect/handshake/response deadline
     std::size_t max_frame_body = kDefaultMaxBody;
+    /// Transport-level retry budget for IDEMPOTENT requests (mine_named,
+    /// mine_partial, pool_slice, stats, shard_snapshot): up to this many
+    /// reconnect-and-resend attempts after the first try. 0 (default)
+    /// preserves the classic fail-fast behavior. Contributions are NEVER
+    /// retried here — a lost ack leaves the append outcome unknown, and a
+    /// blind resend could double-append silently (the router's replica
+    /// logic owns that decision, net/cluster.cpp).
+    int retry_attempts = 0;
+    /// Backoff base: attempt n sleeps retry_backoff_ms << n, capped at
+    /// retry_backoff_cap_ms, plus deterministic jitter in [0, base) drawn
+    /// from a sap::rng::Engine seeded by retry_seed — same seed, same
+    /// request sequence => same backoff schedule (sap rng discipline).
+    int retry_backoff_ms = 10;
+    int retry_backoff_cap_ms = 500;
+    /// Total wall-clock budget across all attempts of one request; once
+    /// exceeded no further attempt starts (deadline-scoped retries).
+    int retry_deadline_ms = 20'000;
+    std::uint64_t retry_seed = 0x5AFE;
   };
 
   /// Connect to a serving endpoint and claim an auto-assigned id. `seed`
@@ -264,9 +301,17 @@ class ServeClient {
   /// phase); max_records 0 = all.
   proto::DecodedPoolSlice pool_slice(std::size_t shard, std::size_t max_records);
 
+  /// One shard's ARRIVAL-order rows + keys at the donor's current epoch
+  /// (the kShardSnapshotRequest resync door) — what a rejoining miner
+  /// installs verbatim via MiningEngine::install_shard.
+  proto::DecodedPoolSlice shard_snapshot(std::size_t shard);
+
   /// The daemon's live metrics snapshot + recent traces (one
   /// kStatsRequest/kStatsResponse round trip — the stats door).
   proto::DecodedStats stats();
+
+  /// Transport-level retries performed so far (attempts beyond the first).
+  [[nodiscard]] std::size_t retries() const noexcept { return retries_; }
 
   /// Sticky trace id stamped on every subsequent request frame (0 = let
   /// the serving door mint one). Routers use this to propagate the door's
@@ -284,16 +329,32 @@ class ServeClient {
   /// (kError frames raise sap::Error with the daemon's message).
   std::vector<double> transact(proto::PayloadKind kind, std::span<const double> payload,
                                proto::PayloadKind expect_kind);
+  /// transact() with the Options retry budget applied — idempotent request
+  /// kinds only. Transport failures reconnect + resend with exponential
+  /// backoff and deterministic jitter until the attempt budget or the
+  /// retry deadline runs out; ServeError (a typed daemon answer) is never
+  /// retried here — the daemon processed the request.
+  std::vector<double> transact_idempotent(proto::PayloadKind kind,
+                                          std::span<const double> payload,
+                                          proto::PayloadKind expect_kind);
+  /// Fresh socket + handshake to the remembered endpoint.
+  void reconnect();
+  /// kHello/kWelcome claim over the current socket.
+  void handshake();
   Frame read_frame();
 
   TcpSocket sock_;
   FrameReader reader_;
   Options opts_;
+  SocketAddr addr_;         ///< remembered for reconnect-on-retry
+  std::size_t parties_ = 0;
   std::uint64_t secret_ = 0;
   proto::PartyId id_ = 0;
   proto::PartyId miner_ = 0;
   std::uint64_t trace_ = 0;       ///< stamped on request frames (0 = unset)
   std::uint64_t last_trace_ = 0;  ///< echoed by the last kData response
+  rng::Engine retry_eng_{0};      ///< deterministic backoff jitter stream
+  std::size_t retries_ = 0;
   bool said_bye_ = false;
 };
 

@@ -12,11 +12,18 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "common/error.hpp"
+#include "net/fault.hpp"
 
 namespace sap::net {
 namespace {
+
+void fault_sleep(int delay_ms) {
+  if (delay_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -115,6 +122,10 @@ TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
 }
 
 TcpSocket TcpSocket::connect(const SocketAddr& addr, int timeout_ms) {
+  if (fault::enabled() && fault::next_connect_fault()) {
+    SAP_FAIL("TcpSocket::connect: connect to " + addr.to_string() +
+             " failed: injected fault (reset)");
+  }
   const sockaddr_in sa = to_sockaddr(addr);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   SAP_REQUIRE(fd >= 0, "TcpSocket::connect: cannot create socket");
@@ -135,18 +146,21 @@ TcpSocket TcpSocket::connect(const SocketAddr& addr, int timeout_ms) {
   return sock;
 }
 
-void TcpSocket::write_all(const void* data, std::size_t len, int timeout_ms) {
-  SAP_REQUIRE(valid(), "TcpSocket::write_all: closed socket");
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
+namespace {
+
+// The deadline-driven send loop write_all always used; factored out so the
+// fault hooks can send prefixes / corrupted copies through the exact same
+// kernel path as healthy traffic.
+void send_all(int fd, const std::uint8_t* bytes, std::size_t len, int timeout_ms) {
   std::size_t written = 0;
   while (written < len) {
-    const ssize_t rc = ::send(fd_, bytes + written, len - written, MSG_NOSIGNAL);
+    const ssize_t rc = ::send(fd, bytes + written, len - written, MSG_NOSIGNAL);
     if (rc > 0) {
       written += static_cast<std::size_t>(rc);
       continue;
     }
     if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      SAP_REQUIRE(poll_fd(fd_, POLLOUT, timeout_ms),
+      SAP_REQUIRE(poll_fd(fd, POLLOUT, timeout_ms),
                   "TcpSocket::write_all: write stalled past the deadline");
       continue;
     }
@@ -155,8 +169,70 @@ void TcpSocket::write_all(const void* data, std::size_t len, int timeout_ms) {
   }
 }
 
+}  // namespace
+
+void TcpSocket::write_all(const void* data, std::size_t len, int timeout_ms) {
+  SAP_REQUIRE(valid(), "TcpSocket::write_all: closed socket");
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  if (fault::enabled()) {
+    const fault::WriteFault f = fault::next_write_fault(len);
+    switch (f.kind) {
+      case fault::Kind::kDrop:
+        return;  // swallowed whole: the peer's read deadline surfaces it
+      case fault::Kind::kDelay:
+        fault_sleep(f.delay_ms);
+        break;
+      case fault::Kind::kPartialWrite:
+        // Prefix now, a pause, then the remainder — exercises reassembly.
+        send_all(fd_, bytes, f.keep, timeout_ms);
+        fault_sleep(f.delay_ms);
+        bytes += f.keep;
+        len -= f.keep;
+        break;
+      case fault::Kind::kTruncate:
+        send_all(fd_, bytes, f.keep, timeout_ms);
+        return;  // remainder discarded: peer sees a short frame
+      case fault::Kind::kCorrupt: {
+        std::vector<std::uint8_t> copy(bytes, bytes + len);
+        copy[f.corrupt_at] = static_cast<std::uint8_t>(copy[f.corrupt_at] ^ f.corrupt_mask);
+        send_all(fd_, copy.data(), len, timeout_ms);
+        return;  // the frame CRC catches the flip on the peer
+      }
+      case fault::Kind::kReset:
+        close();
+        SAP_FAIL("TcpSocket::write_all: connection lost: injected fault (reset)");
+      default:
+        break;
+    }
+  }
+  send_all(fd_, bytes, len, timeout_ms);
+}
+
 std::size_t TcpSocket::write_some(const void* data, std::size_t len) {
   SAP_REQUIRE(valid(), "TcpSocket::write_some: closed socket");
+  if (fault::enabled()) {
+    // Nonblocking path (hub io loop, reactor flush): only the faults that
+    // keep the "never waits" contract — drop, corrupt, reset.
+    const fault::WriteFault f = fault::next_write_fault(len);
+    if (f.kind == fault::Kind::kDrop) return len;  // pretend written
+    if (f.kind == fault::Kind::kReset) {
+      close();
+      SAP_FAIL("TcpSocket::write_some: connection lost: injected fault (reset)");
+    }
+    if (f.kind == fault::Kind::kCorrupt && len >= 1) {
+      const auto* bytes = static_cast<const std::uint8_t*>(data);
+      std::vector<std::uint8_t> copy(bytes, bytes + len);
+      copy[f.corrupt_at] = static_cast<std::uint8_t>(copy[f.corrupt_at] ^ f.corrupt_mask);
+      data = copy.data();
+      for (;;) {
+        const ssize_t rc = ::send(fd_, data, len, MSG_NOSIGNAL);
+        if (rc >= 0) return static_cast<std::size_t>(rc);
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+        if (errno == EINTR) continue;
+        SAP_FAIL(std::string("TcpSocket::write_some: connection lost: ") + std::strerror(errno));
+      }
+    }
+  }
   for (;;) {
     const ssize_t rc = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (rc >= 0) return static_cast<std::size_t>(rc);
@@ -168,6 +244,31 @@ std::size_t TcpSocket::write_some(const void* data, std::size_t len) {
 
 std::size_t TcpSocket::writev_some(const struct iovec* iov, int iovcnt) {
   SAP_REQUIRE(valid(), "TcpSocket::writev_some: closed socket");
+  if (fault::enabled() && iovcnt > 0) {
+    std::size_t total = 0;
+    for (int i = 0; i < iovcnt; ++i) total += iov[i].iov_len;
+    const fault::WriteFault f = fault::next_write_fault(total);
+    if (f.kind == fault::Kind::kDrop) return total;  // pretend written
+    if (f.kind == fault::Kind::kReset) {
+      close();
+      SAP_FAIL("TcpSocket::writev_some: connection lost: injected fault (reset)");
+    }
+    if (f.kind == fault::Kind::kCorrupt && iov[0].iov_len >= 1) {
+      // Corrupt within the first buffer and send only it; the caller's
+      // partial-progress handling resumes the queue behind the bad bytes.
+      const auto* base = static_cast<const std::uint8_t*>(iov[0].iov_base);
+      std::vector<std::uint8_t> copy(base, base + iov[0].iov_len);
+      const std::size_t at = f.corrupt_at % copy.size();
+      copy[at] = static_cast<std::uint8_t>(copy[at] ^ f.corrupt_mask);
+      for (;;) {
+        const ssize_t rc = ::send(fd_, copy.data(), copy.size(), MSG_NOSIGNAL);
+        if (rc >= 0) return static_cast<std::size_t>(rc);
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+        if (errno == EINTR) continue;
+        SAP_FAIL(std::string("TcpSocket::writev_some: connection lost: ") + std::strerror(errno));
+      }
+    }
+  }
   // sendmsg rather than writev for MSG_NOSIGNAL: a peer that closed mid-queue
   // must surface as sap::Error, not SIGPIPE.
   msghdr msg{};
@@ -188,7 +289,32 @@ std::size_t TcpSocket::read_some(void* data, std::size_t len, int timeout_ms, bo
   if (!poll_fd(fd_, POLLIN, timeout_ms)) return 0;
   for (;;) {
     const ssize_t rc = ::recv(fd_, data, len, 0);
-    if (rc > 0) return static_cast<std::size_t>(rc);
+    if (rc > 0) {
+      if (fault::enabled()) {
+        const fault::ReadFault f = fault::next_read_fault(static_cast<std::size_t>(rc));
+        switch (f.kind) {
+          case fault::Kind::kDelay:
+            fault_sleep(f.delay_ms);
+            break;
+          case fault::Kind::kCorrupt:
+            if (f.corrupt_at < static_cast<std::size_t>(rc)) {
+              auto* bytes = static_cast<std::uint8_t*>(data);
+              bytes[f.corrupt_at] =
+                  static_cast<std::uint8_t>(bytes[f.corrupt_at] ^ f.corrupt_mask);
+            }
+            break;
+          case fault::Kind::kReset:
+            // Received bytes vanish and the connection reads as torn down —
+            // the framing layer above turns mid-frame EOF into an error.
+            closed = true;
+            close();
+            return 0;
+          default:
+            break;
+        }
+      }
+      return static_cast<std::size_t>(rc);
+    }
     if (rc == 0) {
       closed = true;
       return 0;
@@ -257,6 +383,12 @@ TcpSocket TcpListener::accept(int timeout_ms) {
   if (timeout_ms > 0 && !poll_fd(fd_, POLLIN, timeout_ms)) return {};
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return {};  // kernel queue empty (EAGAIN), raced, or transient
+  if (fault::enabled() && fault::next_accept_fault()) {
+    // Drop the connection before any byte flows: the client sees an
+    // immediate close, indistinguishable from a crashing peer.
+    ::close(fd);
+    return {};
+  }
   return TcpSocket(fd);
 }
 

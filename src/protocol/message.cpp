@@ -79,6 +79,8 @@ std::string to_string(PayloadKind kind) {
     case PayloadKind::kPoolSliceResponse: return "pool-slice-response";
     case PayloadKind::kStatsRequest: return "stats-request";
     case PayloadKind::kStatsResponse: return "stats-response";
+    case PayloadKind::kShardSnapshotRequest: return "shard-snapshot-request";
+    case PayloadKind::kShardSnapshotResponse: return "shard-snapshot-response";
   }
   return "unknown";
 }
@@ -417,6 +419,16 @@ DecodedPoolSliceRequest decode_pool_slice_request(std::span<const double> wire) 
   out.shard = checked_count(wire[0], "shard id");
   out.max_records = checked_count(wire[1], "max records");
   return out;
+}
+
+std::vector<double> encode_shard_snapshot_request(std::size_t shard) {
+  SAP_REQUIRE(shard < 1000000000ULL, "encode_shard_snapshot_request: shard out of wire range");
+  return {static_cast<double>(shard)};
+}
+
+std::size_t decode_shard_snapshot_request(std::span<const double> wire) {
+  SAP_REQUIRE(wire.size() == 1, "decode_shard_snapshot_request: malformed payload");
+  return checked_count(wire[0], "shard id");
 }
 
 std::vector<double> encode_pool_slice(std::uint64_t shard_epoch, const data::Dataset& rows,

@@ -47,6 +47,9 @@ enum class PayloadKind : std::uint8_t {
   // -- observability (PR 9): the live stats door ---------------------------
   kStatsRequest = 17,      ///< operator/router -> daemon: metrics snapshot, please
   kStatsResponse = 18,     ///< daemon -> requester: snapshot + recent traces
+  // -- self-healing (PR 10): the shard-snapshot resync door -----------------
+  kShardSnapshotRequest = 19,   ///< rejoining miner -> live owner: one shard, please
+  kShardSnapshotResponse = 20,  ///< owner -> rejoiner: rows in ARRIVAL order + epoch
 };
 
 /// Printable name for traces and tests.
@@ -265,6 +268,18 @@ struct DecodedStats {
 std::vector<double> encode_stats_response(const obs::Snapshot& snapshot,
                                           std::span<const obs::TraceRecord> traces);
 DecodedStats decode_stats_response(std::span<const double> wire);
+
+// ---- self-healing payloads (PR 10) --------------------------------------
+// The shard-snapshot resync door (DESIGN.md §13): a restarted miner asks a
+// live owner for each shard it owns and installs the answer verbatim.
+
+/// Shard-snapshot request: [shard]. The response reuses the pool-slice
+/// layout (encode_pool_slice / decode_pool_slice) but with rows in ARRIVAL
+/// order — the order incremental partial_fit lineage depends on — and the
+/// donor's CURRENT shard epoch, which the rejoiner adopts so the router's
+/// per-shard epoch floors keep holding.
+std::vector<double> encode_shard_snapshot_request(std::size_t shard);
+std::size_t decode_shard_snapshot_request(std::span<const double> wire);
 
 /// Pool-slice response: [shard_epoch, d, m, features row-major m x d,
 /// labels x m, (nonce, seq) x m]. m == 0 encodes an installed-but-empty

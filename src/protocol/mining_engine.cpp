@@ -130,6 +130,11 @@ std::uint64_t MiningEngine::shard_epoch(std::size_t global_shard) const {
   return slot_for(global_shard).epoch();
 }
 
+void MiningEngine::install_shard(std::size_t global_shard, data::Dataset rows,
+                                 std::vector<PoolKey> keys, std::uint64_t epoch) {
+  slot_for(global_shard).install_at(std::move(rows), std::move(keys), epoch);
+}
+
 data::Dataset MiningEngine::gather_canonical(const std::vector<PoolShard::View>& views,
                                              std::size_t limit) {
   struct Row {

@@ -188,6 +188,14 @@ class MiningEngine {
   [[nodiscard]] PoolShard::View shard_view(std::size_t global_shard) const;
   [[nodiscard]] std::uint64_t shard_epoch(std::size_t global_shard) const;
 
+  /// Resync install (DESIGN.md §13): replace one owned shard with a donor's
+  /// ARRIVAL-order snapshot and ADOPT the donor's epoch (no local bump).
+  /// `rows`/`keys` must parallel; the epoch must not regress the shard's
+  /// local line. Used by a rejoining miner after fetching the live owner's
+  /// shard snapshot through the kShardSnapshotRequest door.
+  void install_shard(std::size_t global_shard, data::Dataset rows,
+                     std::vector<PoolKey> keys, std::uint64_t epoch);
+
   // ---- job registry ----------------------------------------------------
 
   /// Mutable registry access (register jobs before serving; registration

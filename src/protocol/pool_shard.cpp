@@ -32,6 +32,34 @@ void PoolShard::install(data::Dataset rows, std::vector<PoolKey> keys) {
   cache_.clear();
 }
 
+void PoolShard::install_at(data::Dataset rows, std::vector<PoolKey> keys,
+                           std::uint64_t epoch) {
+  SAP_REQUIRE(rows.size() == keys.size(),
+              "PoolShard::install_at: rows/keys size mismatch");
+  SAP_REQUIRE(epoch >= 1, "PoolShard::install_at: epoch must be >= 1");
+  MutexLock ingest(ingest_mutex_);
+  next_seq_.clear();
+  for (const auto& key : keys) {
+    auto& next = next_seq_[key.nonce];
+    if (key.seq >= next) next = key.seq + 1;
+  }
+  auto snapshot = std::make_shared<ShardSnapshot>();
+  snapshot->rows = std::move(rows);
+  snapshot->keys = std::move(keys);
+  {
+    MutexLock lk(pool_mutex_);
+    SAP_REQUIRE(epoch >= epoch_,
+                "PoolShard::install_at: adopted epoch " + std::to_string(epoch) +
+                    " would regress local epoch " + std::to_string(epoch_));
+    snap_ = std::move(snapshot);
+    epoch_ = epoch;
+    epoch_rows_.clear();
+    epoch_rows_[epoch_] = snap_->rows.size();
+  }
+  MutexLock lk(cache_mutex_);
+  cache_.clear();
+}
+
 std::uint64_t PoolShard::append(std::uint64_t nonce, const data::Dataset& batch) {
   SAP_REQUIRE(batch.size() > 0, "PoolShard::append: empty batch");
   MutexLock ingest(ingest_mutex_);

@@ -69,6 +69,15 @@ class PoolShard {
   /// counters from `keys` so later appends continue the canonical order.
   void install(data::Dataset rows, std::vector<PoolKey> keys);
 
+  /// install() that ADOPTS a donor's epoch instead of bumping the local
+  /// line — the resync path (DESIGN.md §13). A rejoining miner installs the
+  /// live owner's arrival-order snapshot with the owner's current epoch so
+  /// the router's per-shard epoch floors keep holding across the restart.
+  /// Everything else matches install(): new generation, caches dropped,
+  /// lineage severed, seq counters re-derived. `epoch` must not regress the
+  /// local epoch line.
+  void install_at(data::Dataset rows, std::vector<PoolKey> keys, std::uint64_t epoch);
+
   /// Streaming ingest: append `batch` under `nonce`, assigning consecutive
   /// canonical seq numbers. Bumps the epoch WITHOUT dropping cached models
   /// (incremental refits pick up exactly the appended rows). Returns the

@@ -13,7 +13,8 @@
 //   sap::ml       — KNN, SVM(RBF)/SMO, perceptron, Gaussian Naive Bayes
 //   sap::proto    — the Space Adaptation Protocol, risk model, adversaries
 //   sap::obs      — metrics registry, latency histograms, request tracing
-//   sap::net      — TCP wire frames, transport, miner daemon / party client
+//   sap::net      — TCP wire frames, transport, miner daemon / party client,
+//                   seeded fault injection (sap::net::fault)
 #pragma once
 
 #include "common/error.hpp"
@@ -68,6 +69,7 @@
 #include "protocol/transport.hpp"
 
 #include "net/cluster.hpp"
+#include "net/fault.hpp"
 #include "net/frame.hpp"
 #include "net/remote.hpp"
 #include "net/socket.hpp"

@@ -1,0 +1,24 @@
+// R7 fixture: the same probe shape, bounded both ways the rule accepts —
+// an attempt budget in the loop header, and a deadline check in the body of
+// an unconditional loop. A dead peer becomes a typed failure, not a hang.
+#include <string>
+
+struct Client {
+  bool mine_named(const std::string& job);
+};
+
+bool probe_with_budget(Client& client) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (client.mine_named("record-count")) return true;
+  }
+  return false;
+}
+
+bool probe_with_deadline(Client& client, long deadline_ms) {
+  long waited_ms = 0;
+  for (;;) {
+    if (client.mine_named("record-count")) return true;
+    waited_ms += 5;
+    if (waited_ms >= deadline_ms) return false;
+  }
+}

@@ -1,0 +1,14 @@
+// R7 fixture: an unconditional probe loop issuing serving-door requests
+// with no attempt budget and no deadline — a dead peer hangs the caller
+// forever. `break` on success is not a bound: the failure path never exits.
+#include <string>
+
+struct Client {
+  bool mine_named(const std::string& job);
+};
+
+void probe_until_up(Client& client) {
+  for (;;) {
+    if (client.mine_named("record-count")) break;
+  }
+}

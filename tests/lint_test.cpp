@@ -3,7 +3,7 @@
 // Runs the built linter (SAP_LINT_PATH, injected by CMake like SAP_CLI_PATH)
 // against the in-repo fixture corpus (SAP_LINT_FIXTURES =
 // tests/lint_fixtures): one violating and one conforming input per rule
-// R1–R6, plus suppression handling. Assertions are on EXACT file:line and
+// R1–R7, plus suppression handling. Assertions are on EXACT file:line and
 // rule tags, so the diagnostics the tree relies on can never silently drift.
 //
 // The repo itself is linted by the separate `sap_lint` CTest entry (the tool
@@ -82,7 +82,7 @@ TEST(SapLint, ViolatingTreeFailsWithEveryRuleRepresented) {
   EXPECT_EQ(run.exit, 1) << run.output;
   for (const char* tag : {"R1/rng-discipline", "R2/determinism", "R3/codec-safety",
                           "R4/raii-locking", "R5/bench-hygiene", "R6/obs-purity",
-                          "suppression"}) {
+                          "R7/bounded-retry", "suppression"}) {
     bool seen = false;
     for (const std::string& d : run.diagnostics)
       if (d.find(std::string("[") + tag + "]") != std::string::npos) seen = true;
@@ -222,6 +222,22 @@ TEST(SapLint, R6PermitsStageBoundaryInstrumentation) {
 
 TEST(SapLint, R6PermitsPureKernels) {
   const LintRun run = lint("conforming", "src/classify/pure_kernel.cpp");
+  EXPECT_EQ(run.exit, 0) << run.output;
+}
+
+// ---- R7: bounded retry ---------------------------------------------------
+
+TEST(SapLint, R7FlagsUnboundedRequestLoops) {
+  const std::string file = "src/net/unbounded_probe.cpp";
+  const LintRun run = lint("violating", file);
+  EXPECT_EQ(run.exit, 1) << run.output;
+  EXPECT_EQ(run.diagnostics.size(), 1u) << run.output;
+  // Anchored at the loop header — that is the line the bound belongs on.
+  EXPECT_TRUE(has_diag(run, file, 11, "R7/bounded-retry")) << run.output;
+}
+
+TEST(SapLint, R7PermitsBudgetAndDeadlineBoundedLoops) {
+  const LintRun run = lint("conforming", "src/net/bounded_probe.cpp");
   EXPECT_EQ(run.exit, 0) << run.output;
 }
 

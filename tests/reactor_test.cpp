@@ -192,6 +192,79 @@ TEST(Reactor, PipelinedRequestsAnswerInOrder) {
   EXPECT_EQ(reactor.stats().responses, kRequests);
 }
 
+TEST(Reactor, ComputeSaturationShedsTypedAndServesSurvivorsIntact) {
+  // One compute lane, queue cap 2. A handler that parks on the first
+  // request makes saturation DETERMINISTIC: while it holds the lane, two
+  // followers fit the queue and every later frame must shed.
+  constexpr std::uint32_t kBlockMarker = 0xB10C;
+  std::atomic<bool> entered{false};
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  net::ReactorOptions opts;
+  opts.loops = 1;
+  opts.compute_threads = 1;
+  opts.compute_queue_cap = 2;
+  net::Reactor reactor(opts, [&](const net::Frame& in) {
+    if (net::body_u32(in.body) == kBlockMarker) {
+      entered.store(true);
+      released.wait();
+    }
+    net::Frame out = in;
+    out.from = in.to;
+    out.to = in.from;
+    return std::vector<net::Frame>{out};
+  });
+
+  auto sock = net::TcpSocket::connect(reactor.local_addr(), 5000);
+  net::FrameReader reader;
+  const auto id = say_hello(sock, reader);
+
+  net::Frame blocker;
+  blocker.type = net::FrameType::kData;
+  blocker.from = id;
+  blocker.to = 0;
+  blocker.body = net::u32_body(kBlockMarker);
+  send_frame(sock, blocker);
+  for (int i = 0; i < 1000 && !entered.load(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(entered.load()) << "the blocking request never reached compute";
+
+  // 8 pipelined requests against a held lane: 2 queue, 6 shed.
+  constexpr std::uint32_t kFollowers = 8;
+  std::vector<std::uint8_t> burst;
+  for (std::uint32_t seq = 0; seq < kFollowers; ++seq) {
+    net::Frame req;
+    req.type = net::FrameType::kData;
+    req.from = id;
+    req.to = 0;
+    req.body = net::u32_body(seq);
+    net::encode_frame(req, burst);
+  }
+  sock.write_all(burst.data(), burst.size(), 5000);
+
+  // The shed refusals are TYPED and immediate — they flush while the lane
+  // is still parked, one per frame that found the queue full.
+  for (int i = 0; i < 6; ++i) {
+    const auto refusal = read_frame(sock, reader);
+    ASSERT_EQ(refusal.type, net::FrameType::kError);
+    EXPECT_EQ(net::body_text(refusal.body), "server overloaded: request shed");
+  }
+  EXPECT_EQ(reactor.stats().shed, 6u);
+
+  // Survivors are served INTACT once the lane frees: the blocker echoes
+  // first, then the two queued followers in order, bit-identical.
+  release.set_value();
+  const auto first = read_frame(sock, reader);
+  ASSERT_EQ(first.type, net::FrameType::kData);
+  EXPECT_EQ(net::body_u32(first.body), kBlockMarker);
+  for (std::uint32_t seq = 0; seq < 2; ++seq) {
+    const auto resp = read_frame(sock, reader);
+    ASSERT_EQ(resp.type, net::FrameType::kData);
+    EXPECT_EQ(net::body_u32(resp.body), seq) << "surviving response corrupted";
+  }
+  EXPECT_EQ(reactor.stats().responses, 3u);
+}
+
 TEST(Reactor, DataBeforeHelloGetsErrorButKeepsConnection) {
   net::ReactorOptions opts;
   opts.loops = 1;

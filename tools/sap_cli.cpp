@@ -68,7 +68,8 @@ const char* kUsage =
     "          [--threads K=0] [--no-cache] [--deadline-ms N=30000]\n"
     "          [--reactor-loops N=0] [--reactor-listen HOST:PORT]\n"
     "          [--shards N=1 --shard-index I] [--replicas R=1]\n"
-    "          [--shard-layout mod|range]\n"
+    "          [--shard-layout mod|range] [--resync HOST:PORT,...]\n"
+    "          [--fault SPEC]\n"
     "          (miner daemon: port 0 = ephemeral, the bound port is printed;\n"
     "           --reactor-loops > 0 opens the epoll serving front door on\n"
     "           --reactor-listen with N sharded event loops — C10k serving\n"
@@ -76,23 +77,30 @@ const char* kUsage =
     "           --shards N > 1 makes this daemon cluster member I of N: it\n"
     "           installs/serves only the nonce-hash shards it owns — shard I\n"
     "           as primary plus the R-1 preceding shards as replicas,\n"
-    "           DESIGN.md \xc2\xa7""11)\n"
+    "           DESIGN.md \xc2\xa7""11;\n"
+    "           --resync names peer serving doors: before serving, each owned\n"
+    "           shard is resynced from the first peer ahead of this miner's\n"
+    "           local epoch — how a restarted miner re-enters rotation,\n"
+    "           DESIGN.md \xc2\xa7""13)\n"
     "  sap_cli router --miners HOST:PORT,HOST:PORT,... --parties K\n"
     "          [--seed S=1] [--listen HOST:PORT] [--shards N=miners]\n"
     "          [--replicas R=1] [--shard-layout mod|range]\n"
-    "          [--serve-ms N=60000]\n"
+    "          [--serve-ms N=60000] [--fault SPEC]\n"
     "          (cluster front door: hash-routes contributions to owning\n"
     "           miners, scatter-gathers mining requests, merges exactly,\n"
     "           fails reads over to replicas — serves for --serve-ms then\n"
     "           exits with stats)\n"
     "  sap_cli stats HOST:PORT [--parties K=5] [--seed S=1] [--json]\n"
+    "          [--health]\n"
     "          (fetch a serving endpoint's live metrics + recent request\n"
     "           traces over one kStatsRequest round trip. Works against a\n"
     "           miner's reactor door AND a router front door — the router\n"
     "           answers the cluster-wide aggregate: counters and latency\n"
     "           histograms merged exactly across miners, per-miner gauges\n"
     "           namespaced m<i>.*. --parties/--seed must match the cluster\n"
-    "           session, like every other client)\n"
+    "           session, like every other client. --health prints a one-line\n"
+    "           liveness summary instead of the full dump. An unreachable\n"
+    "           endpoint exits 2 with a one-line diagnostic)\n"
     "  sap_cli party <dataset-name> [parties=5] [sigma=0.1] [seed=1]\n"
     "          --connect HOST:PORT --index I [--batches N=4]\n"
     "          [--batch-records M=16] [--job name[:k=v,...]]\n"
@@ -138,6 +146,13 @@ const char* kUsage =
     "  SAP_LOG_LEVEL       stderr verbosity: off|error|warn|info|debug (or\n"
     "                      0-4); default warn. Daemon log lines carry a\n"
     "                      role prefix ([sap INFO  miner 0/2] ...)\n"
+    "  SAP_FAULT           seeded socket-level fault injection for THIS\n"
+    "                      process (chaos testing, DESIGN.md \xc2\xa7""13), e.g.\n"
+    "                      'seed=7,drop=0.02,corrupt=0.02,reset=0.02' or\n"
+    "                      'seed=7,rate=0.06'. Same spec + same seed =>\n"
+    "                      the identical fault schedule. The --fault flag\n"
+    "                      (serve --listen / router) takes the same spec\n"
+    "                      and wins over the environment.\n"
     "\n"
     "cross-process mode (see README for the two-terminal walkthrough):\n"
     "  `serve --listen` runs the miner daemon: it binds HOST:PORT, waits for\n"
@@ -180,6 +195,36 @@ bool parse_u64(const char* text, std::uint64_t& out) {
   errno = 0;
   out = std::strtoull(text, &end, 10);
   return errno == 0 && end && *end == '\0';
+}
+
+/// Comma-separated HOST:PORT list ("a:1,b:2"); false when empty or any
+/// element fails to parse.
+bool parse_addr_list(const std::string& text, std::vector<net::SocketAddr>& out) {
+  try {
+    std::size_t at = 0;
+    while (at <= text.size()) {
+      const auto comma = text.find(',', at);
+      const auto one = text.substr(
+          at, comma == std::string::npos ? std::string::npos : comma - at);
+      if (!one.empty()) out.push_back(net::SocketAddr::parse(one));
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+  } catch (const sap::Error&) {
+    return false;
+  }
+  return !out.empty();
+}
+
+/// Shared --fault SPEC handler: parse + install (flag wins over SAP_FAULT).
+bool install_fault_spec(const char* text, std::string& error) {
+  try {
+    net::fault::install(net::fault::FaultPlan::parse(text ? text : ""));
+  } catch (const sap::Error& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
 }
 
 /// Shared --transport value parser; false on an unknown kind.
@@ -488,11 +533,19 @@ int cmd_serve_daemon(int argc, char** argv) {
   bool have_shard_index = false;
   proto::ShardLayout layout = proto::ShardLayout::kHashMod;
   bool cache = true;
+  std::vector<net::SocketAddr> resync_peers;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--listen") {
       if (++i >= argc) return usage_error("--listen needs HOST:PORT");
       listen_text = argv[i];
+    } else if (arg == "--resync") {
+      if (++i >= argc || !parse_addr_list(argv[i], resync_peers))
+        return usage_error("--resync needs HOST:PORT,HOST:PORT,...");
+    } else if (arg == "--fault") {
+      std::string fault_error;
+      if (++i >= argc || !install_fault_spec(argv[i], fault_error))
+        return usage_error(("--fault needs a valid spec: " + fault_error).c_str());
     } else if (arg == "--shards") {
       if (++i >= argc || !parse_u64(argv[i], shards) || shards == 0 || shards > 4096)
         return usage_error("--shards needs a count in [1, 4096]");
@@ -562,6 +615,7 @@ int cmd_serve_daemon(int argc, char** argv) {
     opts.owned_shards.assign(owned.begin(), owned.end());
   }
   opts.reactor_loops = reactor_loops;
+  opts.resync_peers = std::move(resync_peers);
   try {
     opts.reactor_listen = net::SocketAddr::parse(reactor_listen_text);
   } catch (const sap::Error&) {
@@ -657,6 +711,10 @@ int cmd_router(int argc, char** argv) {
       if (++i >= argc || !parse_u64(argv[i], serve_ms) || serve_ms == 0 ||
           serve_ms > 3600000)
         return usage_error("--serve-ms needs a duration in (0, 3600000]");
+    } else if (arg == "--fault") {
+      std::string fault_error;
+      if (++i >= argc || !install_fault_spec(argv[i], fault_error))
+        return usage_error(("--fault needs a valid spec: " + fault_error).c_str());
     } else {
       return usage_error(("unknown argument " + arg + " for router").c_str());
     }
@@ -665,20 +723,8 @@ int cmd_router(int argc, char** argv) {
   if (miners_text.empty()) return usage_error("router needs --miners");
 
   net::RouterDaemonOptions opts;
-  try {
-    std::size_t at = 0;
-    while (at <= miners_text.size()) {
-      const auto comma = miners_text.find(',', at);
-      const auto one = miners_text.substr(
-          at, comma == std::string::npos ? std::string::npos : comma - at);
-      if (!one.empty()) opts.router.miners.push_back(net::SocketAddr::parse(one));
-      if (comma == std::string::npos) break;
-      at = comma + 1;
-    }
-  } catch (const sap::Error&) {
+  if (!parse_addr_list(miners_text, opts.router.miners))
     return usage_error("--miners needs HOST:PORT,HOST:PORT,... (IPv4 or localhost)");
-  }
-  if (opts.router.miners.empty()) return usage_error("router needs --miners");
   if (replicas > opts.router.miners.size())
     return usage_error("--replicas must be <= miner count");
   opts.router.shards = shards;
@@ -1107,10 +1153,13 @@ int cmd_stats(int argc, char** argv) {
   std::string addr_text;
   std::uint64_t parties = 5, seed = 1;
   bool json = false;
+  bool health = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--health") {
+      health = true;
     } else if (arg == "--parties") {
       if (++i >= argc || !parse_u64(argv[i], parties))
         return usage_error("--parties needs a count");
@@ -1132,9 +1181,44 @@ int cmd_stats(int argc, char** argv) {
   } catch (const sap::Error&) {
     return usage_error("stats needs HOST:PORT (IPv4 or localhost)");
   }
-  net::ServeClient client(addr, seed, parties);
-  const auto decoded = client.stats();
-  client.bye();
+  proto::DecodedStats decoded;
+  try {
+    net::ServeClient client(addr, seed, parties);
+    decoded = client.stats();
+    client.bye();
+  } catch (const sap::Error& e) {
+    // Exit 2 (not the generic 1): scripts probing liveness distinguish "the
+    // endpoint is down" from "sap_cli itself misbehaved".
+    std::fprintf(stderr, "stats: %s unreachable: %s\n", addr_text.c_str(), e.what());
+    return 2;
+  }
+  if (health) {
+    // One line an operator (or a watchdog) can grep: request counters plus
+    // the cluster health surface — failovers, retries, and how many miner
+    // breakers are not closed right now (router endpoints only; a plain
+    // miner reports 0s for the router.* entries).
+    std::uint64_t failovers = 0, retries = 0, opens = 0, unreachable = 0;
+    for (const auto& [name, value] : decoded.snapshot.counters) {
+      if (name == "router.failovers") failovers = value;
+      if (name == "router.retries") retries = value;
+      if (name == "router.breaker_opens") opens = value;
+    }
+    std::size_t breakers_not_closed = 0;
+    for (const auto& [name, value] : decoded.snapshot.gauges) {
+      if (name == "router.stats_unreachable")
+        unreachable = static_cast<std::uint64_t>(value);
+      if (name.size() > 8 && name.compare(name.size() - 8, 8, ".breaker") == 0 &&
+          value != 0.0)
+        ++breakers_not_closed;
+    }
+    std::printf("healthy %s: failovers=%llu retries=%llu breaker_opens=%llu "
+                "breakers_not_closed=%zu stats_unreachable=%llu\n",
+                addr_text.c_str(), static_cast<unsigned long long>(failovers),
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(opens), breakers_not_closed,
+                static_cast<unsigned long long>(unreachable));
+    return 0;
+  }
   if (json) {
     std::printf("%s\n", decoded.snapshot.to_json().c_str());
     return 0;
@@ -1181,6 +1265,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: ignoring bad SAP_LOG_LEVEL '%s' "
                            "(use off|error|warn|info|debug or 0-4)\n",
                    env);
+  }
+  try {
+    if (net::fault::install_from_env())
+      std::fprintf(stderr, "warning: SAP_FAULT active (%s) — this process "
+                           "injects socket faults\n",
+                   net::fault::plan().to_string().c_str());
+  } catch (const sap::Error& e) {
+    std::fprintf(stderr, "error: bad SAP_FAULT: %s\n", e.what());
+    return 2;
   }
   const std::string cmd = argv[1];
   if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage_ok();

@@ -34,6 +34,14 @@
 //                       observability is pure measurement, recorded at
 //                       serving-stage boundaries (DESIGN.md §12), so
 //                       metrics on/off can never perturb a job report.
+//   R7/bounded-retry    an unconditional loop (`for (;;)`, `while (true)`)
+//                       that issues high-level requests (connect / transact /
+//                       mine_* / contribute_wire / pool_slice /
+//                       shard_snapshot / .stats) must carry an attempt
+//                       budget or deadline — a peer that never answers must
+//                       not hang the caller forever (DESIGN.md §13). Raw
+//                       syscall EINTR loops and frame-drain loops are out of
+//                       scope: the rule keys on the client-facing ops.
 //
 // Suppressions: a finding is waived by a comment on the same line (or a
 // comment-only line directly above the offending statement):
@@ -43,7 +51,7 @@
 //
 // The reason after `--` is mandatory; an allow() without one is itself a
 // diagnostic ("suppression"), so every waiver in the tree carries a written
-// justification. Rules are named by id (R1..R5) or slug.
+// justification. Rules are named by id (R1..R7) or slug.
 //
 // Usage:  sap_lint [path]...
 //   * a directory containing src/tools/bench scans those subtrees (the
@@ -70,13 +78,14 @@ namespace fs = std::filesystem;
 // ---- rules ---------------------------------------------------------------
 
 struct RuleInfo {
-  const char* id;    ///< R1..R6
+  const char* id;    ///< R1..R7
   const char* slug;  ///< human-readable name, accepted in allow() too
 };
 
 constexpr RuleInfo kRules[] = {
     {"R1", "rng-discipline"}, {"R2", "determinism"},   {"R3", "codec-safety"},
     {"R4", "raii-locking"},   {"R5", "bench-hygiene"}, {"R6", "obs-purity"},
+    {"R7", "bounded-retry"},
 };
 
 /// Canonical id for an allow() argument ("R3" or "codec-safety"); empty when
@@ -373,6 +382,7 @@ class Linter {
       rule_bench(f, line, code);
       rule_obs(f, line, code);
     }
+    rule_retry(f);  // loop-shaped, so it scans the whole file itself
   }
 
  private:
@@ -595,6 +605,117 @@ class Linter {
       report(f, line, "R6",
              "timer inside a numeric kernel — time requests at stage boundaries "
              "(decode/queue/serve/merge/write), not inside the computation");
+  }
+
+  // ---- R7 helpers --------------------------------------------------------
+
+  /// True when the line opens an unconditional loop: `for (;;)` or
+  /// `while (true)` / `while (1)`, whitespace-insensitive.
+  static bool infinite_loop_header(const std::string& code) {
+    const auto at_after_ws = [&](std::size_t p) {
+      while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
+      return p;
+    };
+    std::size_t fo = find_word(code, "for");
+    if (fo != std::string::npos) {
+      std::size_t p = at_after_ws(fo + 3);
+      if (p < code.size() && code[p] == '(') {
+        p = at_after_ws(p + 1);
+        if (p < code.size() && code[p] == ';') {
+          p = at_after_ws(p + 1);
+          if (p < code.size() && code[p] == ';') {
+            p = at_after_ws(p + 1);
+            if (p < code.size() && code[p] == ')') return true;
+          }
+        }
+      }
+    }
+    std::size_t wh = find_word(code, "while");
+    if (wh != std::string::npos) {
+      std::size_t p = at_after_ws(wh + 5);
+      if (p < code.size() && code[p] == '(') {
+        p = at_after_ws(p + 1);
+        if (code.compare(p, 4, "true") == 0 || code.compare(p, 1, "1") == 0) {
+          p = at_after_ws(p + (code[p] == 't' ? 4 : 1));
+          if (p < code.size() && code[p] == ')') return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// True when the line issues a high-level request: a client connect or
+  /// one of the serving-door ops. `::connect(` alone (the raw syscall, whose
+  /// EINTR handling legitimately loops) does not count — only `.connect(`
+  /// and `TcpSocket::connect(`.
+  static bool request_op(const std::string& code) {
+    if (code.find(".connect(") != std::string::npos ||
+        code.find("TcpSocket::connect(") != std::string::npos ||
+        code.find(".stats(") != std::string::npos)
+      return true;
+    static const std::vector<std::string> kOps = {
+        "transact",        "transact_idempotent", "mine_named", "mine_partial",
+        "contribute_wire", "pool_slice",          "shard_snapshot"};
+    for (const std::string& op : kOps) {
+      const std::size_t pos = find_word(code, op);
+      if (pos == std::string::npos) continue;
+      std::size_t p = pos + op.size();
+      while (p < code.size() && std::isspace(static_cast<unsigned char>(code[p]))) ++p;
+      if (p < code.size() && code[p] == '(') return true;
+    }
+    return false;
+  }
+
+  /// True when the line mentions a bound: an attempt budget, a deadline, or
+  /// a remaining-token check (substring on purpose — `retry_deadline_ms`
+  /// and `attempts_left` both count).
+  static bool retry_bound_token(const std::string& code) {
+    for (const char* token :
+         {"attempt", "budget", "deadline", "remaining", "retries", "tries"})
+      if (code.find(token) != std::string::npos) return true;
+    return false;
+  }
+
+  // R7 — a retry loop without a budget or deadline spins forever against a
+  // dead peer; every unconditional loop that issues requests must carry one.
+  void rule_retry(const ScannedFile& f) {
+    struct OpenLoop {
+      std::size_t header_line;
+      int depth_at_entry;
+      bool entered = false;
+      bool has_op = false;
+      bool has_bound = false;
+    };
+    std::vector<OpenLoop> loops;
+    int depth = 0;
+    for (std::size_t line = 1; line < f.code.size(); ++line) {
+      const std::string& code = f.code[line];
+      if (infinite_loop_header(code)) loops.push_back({line, depth});
+      if (!loops.empty()) {
+        if (retry_bound_token(code))
+          for (OpenLoop& l : loops) l.has_bound = true;
+        if (request_op(code))
+          for (OpenLoop& l : loops) l.has_op = true;
+      }
+      for (const char c : code) {
+        if (c == '{') {
+          ++depth;
+          for (OpenLoop& l : loops)
+            if (!l.entered && depth == l.depth_at_entry + 1) l.entered = true;
+        } else if (c == '}') {
+          --depth;
+          for (std::size_t k = loops.size(); k-- > 0;) {
+            if (!loops[k].entered || depth != loops[k].depth_at_entry) continue;
+            if (loops[k].has_op && !loops[k].has_bound)
+              report(f, loops[k].header_line, "R7",
+                     "unbounded retry loop issuing requests — bound it with an "
+                     "attempt budget or deadline (a dead peer must exhaust the "
+                     "caller's patience, not its lifetime)");
+            loops.erase(loops.begin() + k);
+          }
+        }
+      }
+    }
   }
 
   std::vector<Diagnostic>& diags_;
